@@ -1,0 +1,50 @@
+//! LEM-5.1/5.2 benchmark: wall time of dissemination to quiescence —
+//! flooding vs ack-multicast, over network size and topology.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtx_bench::{run_fifo, set_input};
+use rtx_calm::constructions::flood::{flood_transducer, FloodMode};
+use rtx_calm::constructions::multicast::multicast_transducer;
+use rtx_net::Network;
+use rtx_relational::Schema;
+
+fn bench_broadcast(c: &mut Criterion) {
+    let schema = Schema::new().with("S", 1);
+    let input = set_input(4);
+    let mut group = c.benchmark_group("dissemination");
+    group.sample_size(10);
+    for n in [2usize, 4, 6] {
+        let net = Network::line(n).unwrap();
+        let flood = flood_transducer(&schema, FloodMode::Dedup, None).unwrap();
+        group.bench_with_input(BenchmarkId::new("flood-line", n), &n, |b, _| {
+            b.iter(|| {
+                let out = run_fifo(&net, &flood, &input);
+                assert!(out.quiescent);
+                out.messages_enqueued
+            })
+        });
+        let mcast = multicast_transducer(&schema, None).unwrap();
+        group.bench_with_input(BenchmarkId::new("multicast-line", n), &n, |b, _| {
+            b.iter(|| {
+                let out = run_fifo(&net, &mcast, &input);
+                assert!(out.quiescent);
+                out.messages_enqueued
+            })
+        });
+    }
+    // topology sweep at fixed size
+    for (label, net) in [
+        ("ring", Network::ring(5).unwrap()),
+        ("star", Network::star(5).unwrap()),
+        ("clique", Network::clique(5).unwrap()),
+    ] {
+        let flood = flood_transducer(&schema, FloodMode::Dedup, None).unwrap();
+        group.bench_function(BenchmarkId::new("flood-topo", label), |b| {
+            b.iter(|| run_fifo(&net, &flood, &input).messages_enqueued)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcast);
+criterion_main!(benches);

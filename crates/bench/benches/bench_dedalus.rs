@@ -1,0 +1,36 @@
+//! THM-18 benchmark: the Dedalus Turing-machine simulation — ticks and
+//! wall time vs word length, against the direct interpreter baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtx_dedalus::{simulate_word, DedalusOptions, InputSchedule};
+use rtx_machine::machines;
+
+fn bench_dedalus(c: &mut Criterion) {
+    let opts = DedalusOptions { max_ticks: 5000, async_max_delay: 1, seed: 0 };
+    let mut group = c.benchmark_group("dedalus-tm");
+    group.sample_size(10);
+    let m = machines::even_as();
+    for len in [2usize, 4, 6] {
+        let word: String = std::iter::repeat("ab").take(len / 2).collect::<String>();
+        group.bench_with_input(BenchmarkId::new("dedalus-even-as", len), &len, |b, _| {
+            b.iter(|| {
+                let out = simulate_word(&m, &word, InputSchedule::AllAtZero, &opts).unwrap();
+                assert!(out.converged_at.is_some());
+                out.ticks
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("interpreter-even-as", len), &len, |b, _| {
+            b.iter(|| m.run(&word, 1_000_000).unwrap().accepted())
+        });
+    }
+    let pal = machines::palindrome();
+    for (label, word) in [("aa", "aa"), ("abba", "abba")] {
+        group.bench_function(BenchmarkId::new("dedalus-palindrome", label), |b| {
+            b.iter(|| simulate_word(&pal, word, InputSchedule::AllAtZero, &opts).unwrap().ticks)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dedalus);
+criterion_main!(benches);

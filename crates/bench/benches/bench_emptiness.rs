@@ -1,0 +1,36 @@
+//! EX-10 benchmark: the cost of certifying a nonmonotone query — message
+//! volume of the emptiness transducer grows with the network, while the
+//! monotone identity (via flooding) stays cheap on empty inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtx_bench::run_fifo;
+use rtx_calm::constructions::flood::{flood_transducer, FloodMode};
+use rtx_calm::examples::ex10_emptiness;
+use rtx_net::Network;
+use rtx_relational::{Instance, Schema};
+
+fn bench_emptiness(c: &mut Criterion) {
+    let schema = Schema::new().with("S", 1);
+    let empty = Instance::empty(schema.clone());
+    let mut group = c.benchmark_group("emptiness-vs-monotone");
+    group.sample_size(10);
+    for n in [2usize, 4, 6, 8] {
+        let net = Network::line(n).unwrap();
+        let coordinating = ex10_emptiness().unwrap();
+        group.bench_with_input(BenchmarkId::new("emptiness", n), &n, |b, _| {
+            b.iter(|| {
+                let out = run_fifo(&net, &coordinating, &empty);
+                assert!(out.output.as_bool());
+                out.messages_enqueued
+            })
+        });
+        let monotone = flood_transducer(&schema, FloodMode::Dedup, None).unwrap();
+        group.bench_with_input(BenchmarkId::new("flood-baseline", n), &n, |b, _| {
+            b.iter(|| run_fifo(&net, &monotone, &empty).messages_enqueued)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_emptiness);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! THM-6.2 benchmark: first-output latency of the oblivious streaming
+//! wrapper — monotone queries emit partial answers before the input has
+//! fully disseminated ("embarrassing parallelism"), while the Theorem
+//! 6(1) multicast wrapper stays silent until Ready.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtx_bench::chain_input;
+use rtx_calm::constructions::datalog_dist::transitive_closure_program;
+use rtx_calm::constructions::distribute::{distribute_any, distribute_monotone};
+use rtx_calm::constructions::flood::FloodMode;
+use rtx_net::{Configuration, HorizontalPartition, Network};
+use rtx_query::{DatalogQuery, QueryRef};
+use std::sync::Arc;
+
+/// Steps of a FIFO round-robin run until the first output tuple appears.
+fn steps_to_first_output(
+    net: &Network,
+    t: &rtx_transducer::Transducer,
+    p: &HorizontalPartition,
+) -> usize {
+    use rtx_net::{Action, FifoRoundRobin, Scheduler};
+    let mut cfg = Configuration::initial(net, t, p).unwrap();
+    let mut sched = FifoRoundRobin::new();
+    for step in 0..200_000usize {
+        let rec = if cfg.all_buffers_empty() {
+            let n = net.nodes().next().unwrap().clone();
+            cfg.apply_heartbeat(net, t, &n).unwrap()
+        } else {
+            match sched.next_action(&cfg, net) {
+                Action::Heartbeat(n) => cfg.apply_heartbeat(net, t, &n).unwrap(),
+                Action::Deliver(n, i) => cfg.apply_delivery(net, t, &n, i).unwrap(),
+            }
+        };
+        if !rec.output.is_empty() {
+            return step + 1;
+        }
+    }
+    usize::MAX
+}
+
+fn bench_monotone_stream(c: &mut Criterion) {
+    let q: QueryRef =
+        Arc::new(DatalogQuery::new(transitive_closure_program(), "T").unwrap());
+    let input = chain_input("E", 5);
+    let net = Network::line(4).unwrap();
+    let mut group = c.benchmark_group("first-output-latency");
+    group.sample_size(10);
+
+    let streaming = distribute_monotone(q.clone(), input.schema(), FloodMode::Dedup).unwrap();
+    group.bench_function(BenchmarkId::new("thm6.2-streaming", "line4"), |b| {
+        b.iter(|| {
+            let p = HorizontalPartition::round_robin(&net, &input);
+            let s = steps_to_first_output(&net, &streaming, &p);
+            assert!(s < usize::MAX);
+            s
+        })
+    });
+
+    let collect_first = distribute_any(q.clone(), input.schema()).unwrap();
+    group.bench_function(BenchmarkId::new("thm6.1-collect-first", "line4"), |b| {
+        b.iter(|| {
+            let p = HorizontalPartition::round_robin(&net, &input);
+            let s = steps_to_first_output(&net, &collect_first, &p);
+            assert!(s < usize::MAX);
+            s
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_monotone_stream);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Substrate benchmarks: query-language evaluation, including the
+//! naive-vs-semi-naive Datalog ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtx_bench::chain_input;
+use rtx_query::{DatalogQuery, EvalStrategy, Formula, FoQuery, Query};
+use rtx_query::atom;
+
+fn bench_query(c: &mut Criterion) {
+    let program = rtx_query::parser::parse_program(
+        "T(X,Y) :- E(X,Y). T(X,Z) :- T(X,Y), E(Y,Z).",
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("datalog-tc");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let input = chain_input("E", n);
+        let semi = DatalogQuery::new(program.clone(), "T").unwrap();
+        group.bench_with_input(BenchmarkId::new("semi-naive", n), &n, |b, _| {
+            b.iter(|| semi.eval(&input).unwrap().len())
+        });
+        let naive = DatalogQuery::new(program.clone(), "T")
+            .unwrap()
+            .with_strategy(EvalStrategy::Naive);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| naive.eval(&input).unwrap().len())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fo-eval");
+    group.sample_size(10);
+    // generator-optimized conjunctive shape vs quantified residual
+    let conjunctive = FoQuery::new(
+        ["X", "Z"],
+        Formula::exists(
+            ["Y"],
+            Formula::and([
+                Formula::atom(atom!("E"; @"X", @"Y")),
+                Formula::atom(atom!("E"; @"Y", @"Z")),
+            ]),
+        ),
+    )
+    .unwrap();
+    let quantified = FoQuery::sentence(Formula::forall(
+        ["X", "Y"],
+        Formula::or([
+            Formula::not(Formula::atom(atom!("E"; @"X", @"Y"))),
+            Formula::exists(["Z"], Formula::atom(atom!("E"; @"Y", @"Z"))),
+        ]),
+    ))
+    .unwrap();
+    for n in [8usize, 16] {
+        let input = chain_input("E", n);
+        group.bench_with_input(BenchmarkId::new("two-hop-join", n), &n, |b, _| {
+            b.iter(|| conjunctive.eval(&input).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("forall-sentence", n), &n, |b, _| {
+            b.iter(|| quantified.eval(&input).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! EX-3b / THM-6.2 benchmark: distributed transitive closure —
+//! convergence cost vs input size, topology, and partition skew.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtx_bench::chain_input;
+use rtx_calm::examples::ex3_transitive_closure;
+use rtx_net::{run, FifoRoundRobin, HorizontalPartition, Network, RunBudget};
+
+fn bench_tc(c: &mut Criterion) {
+    let t = ex3_transitive_closure(true).unwrap();
+    let mut group = c.benchmark_group("distributed-tc");
+    group.sample_size(10);
+
+    for n in [3usize, 5, 7] {
+        let input = chain_input("S", n);
+        let net = Network::ring(3).unwrap();
+        group.bench_with_input(BenchmarkId::new("chain-length", n), &n, |b, _| {
+            b.iter(|| {
+                let p = HorizontalPartition::round_robin(&net, &input);
+                let out =
+                    run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(5_000_000))
+                        .unwrap();
+                assert!(out.quiescent);
+                out.steps
+            })
+        });
+    }
+
+    let input = chain_input("S", 5);
+    for (label, net) in [
+        ("line4", Network::line(4).unwrap()),
+        ("ring4", Network::ring(4).unwrap()),
+        ("clique4", Network::clique(4).unwrap()),
+    ] {
+        group.bench_function(BenchmarkId::new("topology", label), |b| {
+            b.iter(|| {
+                let p = HorizontalPartition::round_robin(&net, &input);
+                run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(5_000_000))
+                    .unwrap()
+                    .steps
+            })
+        });
+    }
+
+    // partition skew: balanced vs all-at-one-node
+    let net = Network::line(4).unwrap();
+    group.bench_function("partition/balanced", |b| {
+        b.iter(|| {
+            let p = HorizontalPartition::round_robin(&net, &input);
+            run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(5_000_000))
+                .unwrap()
+                .steps
+        })
+    });
+    group.bench_function("partition/concentrated", |b| {
+        b.iter(|| {
+            let owner = net.nodes().next().unwrap();
+            let p = HorizontalPartition::concentrate(&net, &input, owner).unwrap();
+            run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(5_000_000))
+                .unwrap()
+                .steps
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tc);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Shared helpers for the experiment binaries and benches.
+//!
+//! Each experiment binary regenerates one row/table of `EXPERIMENTS.md`;
+//! run them all with `cargo run -p rtx-bench --bin exp_<name> --release`.
+
+use rtx_net::{run, FifoRoundRobin, HorizontalPartition, Network, RunBudget, RunOutcome};
+use rtx_relational::{fact, Instance, Schema};
+use rtx_transducer::Transducer;
+
+/// A minimal fixed-width table printer (keeps experiment output uniform).
+pub struct Table {
+    widths: Vec<usize>,
+}
+
+impl Table {
+    /// Start a table; prints the header immediately.
+    pub fn new(columns: &[(&str, usize)]) -> Self {
+        let widths: Vec<usize> = columns.iter().map(|&(_, w)| w).collect();
+        let total: usize = widths.iter().sum::<usize>() + widths.len();
+        println!("{}", "-".repeat(total));
+        let mut line = String::new();
+        for ((name, _), w) in columns.iter().zip(&widths) {
+            line.push_str(&format!("{name:<w$} "));
+        }
+        println!("{line}");
+        println!("{}", "-".repeat(total));
+        Table { widths }
+    }
+
+    /// Print one row.
+    pub fn row(&self, cells: &[String]) {
+        let mut line = String::new();
+        for (cell, w) in cells.iter().zip(&self.widths) {
+            line.push_str(&format!("{cell:<w$} "));
+        }
+        println!("{line}");
+    }
+
+    /// Print the footer rule.
+    pub fn done(&self) {
+        let total: usize = self.widths.iter().sum::<usize>() + self.widths.len();
+        println!("{}", "-".repeat(total));
+    }
+}
+
+/// Build the unary-set input `S = {0, …, n−1}`.
+pub fn set_input(n: usize) -> Instance {
+    Instance::from_facts(
+        Schema::new().with("S", 1),
+        (0..n as i64).map(|i| fact!("S", i)).collect::<Vec<_>>(),
+    )
+    .expect("valid facts")
+}
+
+/// Build a chain edge instance `E = {(0,1), …, (n−1,n)}` under the given
+/// relation name.
+pub fn chain_input(rel: &str, n: usize) -> Instance {
+    Instance::from_facts(
+        Schema::new().with(rel, 2),
+        (0..n as i64)
+            .map(|i| rtx_relational::Fact::new(
+                rel,
+                rtx_relational::Tuple::new(vec![
+                    rtx_relational::Value::int(i),
+                    rtx_relational::Value::int(i + 1),
+                ]),
+            ))
+            .collect::<Vec<_>>(),
+    )
+    .expect("valid facts")
+}
+
+/// Run to quiescence with a generous budget and a FIFO scheduler.
+pub fn run_fifo(net: &Network, t: &Transducer, input: &Instance) -> RunOutcome {
+    let p = HorizontalPartition::round_robin(net, input);
+    run(net, t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(5_000_000))
+        .expect("run failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_inputs() {
+        assert_eq!(set_input(4).fact_count(), 4);
+        assert_eq!(chain_input("E", 3).fact_count(), 3);
+    }
+}

@@ -1,0 +1,372 @@
+//! The CALM classifier: one harness that ties the paper's Section 6
+//! together.
+//!
+//! For a *case* — a transducer, the reference query it is meant to
+//! compute, and a pool of inputs — the classifier gathers:
+//!
+//! * the syntactic classification (oblivious / inflationary / monotone);
+//! * empirical consistency and network-topology independence;
+//! * whether every explored run computes the reference query;
+//! * empirical coordination-freeness (witness partitions);
+//! * bounded monotonicity and genericity of the reference query.
+//!
+//! Corollary 13 predicts the pattern: *coordination-free ⟺ oblivious ⟺
+//! monotone*. The `exp_calm_classifier` experiment prints this table for
+//! the standard suite; the tests below assert the implications on both
+//! monotone and nonmonotone cases.
+
+use crate::analysis::consistency::{check_consistency, ConsistencyOptions};
+use crate::analysis::coordination::{
+    find_coordination_free_partition, CoordinationOptions,
+};
+use crate::analysis::genericity::check_generic;
+use crate::analysis::monotonicity::check_monotone;
+use rtx_net::{NetError, Network};
+use rtx_query::{Query, QueryRef};
+use rtx_relational::Instance;
+use rtx_transducer::{Classification, Transducer};
+use std::fmt;
+
+/// A classification case: a transducer together with the query it is
+/// meant to distributedly compute and inputs to probe it on.
+pub struct CalmCase {
+    /// Human-readable name.
+    pub name: String,
+    /// The transducer under test.
+    pub transducer: Transducer,
+    /// The reference query (evaluated centrally for ground truth).
+    pub reference: QueryRef,
+    /// Input instances to probe on.
+    pub inputs: Vec<Instance>,
+}
+
+/// Knobs for the classifier.
+#[derive(Clone, Debug, Default)]
+pub struct ClassifierOptions {
+    /// Consistency exploration options.
+    pub consistency: ConsistencyOptions,
+    /// Coordination search options.
+    pub coordination: CoordinationOptions,
+}
+
+/// The combined verdict for one case.
+#[derive(Clone, Debug)]
+pub struct CalmVerdict {
+    /// Case name.
+    pub name: String,
+    /// Syntactic classification of the transducer.
+    pub classification: Classification,
+    /// Consistent over the explored runs.
+    pub consistent: bool,
+    /// Network-topology independent over the explored topologies.
+    pub network_independent: bool,
+    /// Every settled run computed the reference answer.
+    pub computes_reference: bool,
+    /// A coordination-free witness partition exists on every probed
+    /// multi-node network.
+    pub coordination_free: bool,
+    /// The reference query passed the bounded monotonicity check.
+    pub reference_monotone: bool,
+    /// The reference query passed the bounded genericity check.
+    pub reference_generic: bool,
+}
+
+impl fmt::Display for CalmVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<22} [{}] consistent={} nti={} computes={} coordfree={} monotone(Q)={} generic(Q)={}",
+            self.name,
+            self.classification,
+            self.consistent,
+            self.network_independent,
+            self.computes_reference,
+            self.coordination_free,
+            self.reference_monotone,
+            self.reference_generic,
+        )
+    }
+}
+
+/// Run the full CALM analysis on a case.
+pub fn classify(case: &CalmCase, opts: &ClassifierOptions) -> Result<CalmVerdict, NetError> {
+    let classification = Classification::of(&case.transducer);
+
+    let mut consistent = true;
+    let mut network_independent = true;
+    let mut computes_reference = true;
+    let mut coordination_free = true;
+
+    let probe_nets: Vec<Network> = opts
+        .consistency
+        .topologies
+        .iter()
+        .map(|(_, n)| n.clone())
+        .filter(|n| n.len() >= 2)
+        .collect();
+
+    for input in &case.inputs {
+        let expected = case.reference.eval(input).map_err(NetError::Eval)?;
+        let mut c_opts = opts.consistency.clone();
+        c_opts.target_output = Some(expected.clone());
+        let report = check_consistency(&case.transducer, input, &c_opts)?;
+        consistent &= report.consistent;
+        network_independent &= report.network_independent;
+        computes_reference &= report.all_settled
+            && report.outputs.iter().all(|(_, o)| o == &expected);
+
+        for net in &probe_nets {
+            let v = find_coordination_free_partition(
+                net,
+                &case.transducer,
+                input,
+                &expected,
+                &opts.coordination,
+            )?;
+            coordination_free &= v.coordination_free();
+        }
+    }
+
+    let reference_monotone = check_monotone(&case.reference, &case.inputs, 12, 5)
+        .map_err(NetError::Eval)?
+        .passed();
+    let reference_generic = check_generic(&case.reference, &case.inputs, 4, 5)
+        .map_err(NetError::Eval)?
+        .passed();
+
+    Ok(CalmVerdict {
+        name: case.name.clone(),
+        classification,
+        consistent,
+        network_independent,
+        computes_reference,
+        coordination_free,
+        reference_monotone,
+        reference_generic,
+    })
+}
+
+/// The standard case suite used by tests and the `exp_calm_classifier`
+/// experiment: monotone queries built with the Theorem 6(2) recipe and
+/// the paper's nonmonotone / coordinating examples.
+pub fn standard_suite() -> Vec<CalmCase> {
+    use crate::constructions::distribute::distribute_monotone;
+    use crate::constructions::flood::FloodMode;
+    use crate::examples;
+    use rtx_query::{atom, CqBuilder, DatalogQuery, Formula, FoQuery, Term, UcqQuery};
+    use rtx_relational::{fact, Schema};
+    use std::sync::Arc;
+
+    let mut cases = Vec::new();
+
+    // 1. distributed transitive closure (Example 3 / Theorem 6(2)).
+    {
+        let program = rtx_query::parser::parse_program(
+            "T(X,Y) :- S(X,Y). T(X,Z) :- T(X,Y), S(Y,Z).",
+        )
+        .expect("valid program");
+        let reference: QueryRef = Arc::new(DatalogQuery::new(program, "T").expect("valid"));
+        let sch = Schema::new().with("S", 2);
+        cases.push(CalmCase {
+            name: "tc-ex3".into(),
+            transducer: examples::ex3_transitive_closure(true).expect("valid"),
+            reference: reference.clone(),
+            inputs: vec![
+                Instance::from_facts(
+                    sch.clone(),
+                    vec![fact!("S", 1, 2), fact!("S", 2, 3)],
+                )
+                .expect("valid"),
+                Instance::from_facts(sch.clone(), vec![fact!("S", 1, 1)]).expect("valid"),
+            ],
+        });
+    }
+
+    // 2. a selection via the generic Theorem 6(2) wrapper.
+    {
+        let sch = Schema::new().with("S", 2);
+        let q: QueryRef = Arc::new(UcqQuery::single(
+            CqBuilder::head(vec![Term::var("X"), Term::var("X")])
+                .when(atom!("S"; @"X", @"X"))
+                .build()
+                .expect("safe"),
+        ));
+        cases.push(CalmCase {
+            name: "selection-thm62".into(),
+            transducer: distribute_monotone(q.clone(), &sch, FloodMode::Dedup).expect("valid"),
+            reference: q,
+            inputs: vec![Instance::from_facts(
+                sch,
+                vec![fact!("S", 1, 1), fact!("S", 1, 2), fact!("S", 3, 3)],
+            )
+            .expect("valid")],
+        });
+    }
+
+    // 3. the emptiness query (Example 10) — nonmonotone, coordinating.
+    {
+        let reference: QueryRef = Arc::new(
+            FoQuery::sentence(Formula::not(Formula::exists(
+                ["X"],
+                Formula::atom(atom!("S"; @"X")),
+            )))
+            .expect("sentence"),
+        );
+        let sch = Schema::new().with("S", 1);
+        cases.push(CalmCase {
+            name: "emptiness-ex10".into(),
+            transducer: examples::ex10_emptiness().expect("valid"),
+            reference,
+            inputs: vec![
+                Instance::empty(sch.clone()),
+                Instance::from_facts(sch, vec![fact!("S", 1)]).expect("valid"),
+            ],
+        });
+    }
+
+    // 4. identity via ping (Example 15) — monotone query, but the
+    //    transducer coordinates (not oblivious, not coordination-free).
+    {
+        let reference: QueryRef = Arc::new(UcqQuery::single(
+            CqBuilder::head(vec![Term::var("X")])
+                .when(atom!("S"; @"X"))
+                .build()
+                .expect("safe"),
+        ));
+        let sch = Schema::new().with("S", 1);
+        cases.push(CalmCase {
+            name: "identity-ex15".into(),
+            transducer: examples::ex15_ping().expect("valid"),
+            reference,
+            inputs: vec![Instance::from_facts(sch, vec![fact!("S", 1), fact!("S", 2)])
+                .expect("valid")],
+        });
+    }
+
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_net::Network;
+
+    fn fast_opts() -> ClassifierOptions {
+        ClassifierOptions {
+            consistency: ConsistencyOptions {
+                topologies: vec![
+                    ("single".into(), Network::single()),
+                    ("line2".into(), Network::line(2).unwrap()),
+                    ("line3".into(), Network::line(3).unwrap()),
+                ],
+                schedules: vec![
+                    crate::analysis::consistency::ScheduleSpec::Fifo,
+                    crate::analysis::consistency::ScheduleSpec::Random(9),
+                ],
+                random_partitions: 1,
+                seed: 3,
+                max_steps: 150_000,
+                target_output: None,
+            },
+            coordination: CoordinationOptions {
+                random_partitions: 2,
+                exhaustive_limit: 256,
+                max_rounds: 100,
+                seed: 3,
+            },
+        }
+    }
+
+    /// The empirical CALM table (Corollary 13): for every case,
+    /// coordination-freeness ⟺ monotonicity of the reference query, and
+    /// oblivious transducers are coordination-free (Proposition 11).
+    #[test]
+    fn calm_pattern_holds_on_standard_suite() {
+        let opts = fast_opts();
+        for case in standard_suite() {
+            let v = classify(&case, &opts).unwrap();
+            assert!(v.consistent, "{}: must be consistent", v.name);
+            assert!(v.computes_reference, "{}: must compute its reference", v.name);
+            assert!(v.reference_generic, "{}: reference must be generic", v.name);
+            // Theorem 12 direction: coordination-free ⇒ monotone
+            if v.coordination_free {
+                assert!(
+                    v.reference_monotone,
+                    "{}: coordination-free but nonmonotone?! (Theorem 12 violated)",
+                    v.name
+                );
+            }
+            // Proposition 11 direction: oblivious ⇒ coordination-free
+            if v.classification.oblivious {
+                assert!(
+                    v.coordination_free,
+                    "{}: oblivious but not coordination-free?! (Prop. 11 violated)",
+                    v.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tc_case_is_fully_green() {
+        let opts = fast_opts();
+        let case = &standard_suite()[0];
+        let v = classify(case, &opts).unwrap();
+        assert!(v.classification.oblivious);
+        assert!(v.coordination_free);
+        assert!(v.reference_monotone);
+        assert!(v.network_independent);
+    }
+
+    #[test]
+    fn emptiness_case_is_coordinating_and_nonmonotone() {
+        let opts = fast_opts();
+        let suite = standard_suite();
+        let case = suite.iter().find(|c| c.name == "emptiness-ex10").unwrap();
+        let v = classify(case, &opts).unwrap();
+        assert!(!v.classification.oblivious);
+        assert!(!v.coordination_free);
+        assert!(!v.reference_monotone);
+        assert!(v.computes_reference);
+    }
+
+    #[test]
+    fn ex15_shows_gap_between_query_and_strategy() {
+        // the query (identity) is monotone, yet this particular transducer
+        // is not coordination-free — CALM says a *different*, oblivious
+        // transducer exists for the same query (Corollary 13 (3)⇒(2)).
+        let opts = fast_opts();
+        let suite = standard_suite();
+        let case = suite.iter().find(|c| c.name == "identity-ex15").unwrap();
+        let v = classify(case, &opts).unwrap();
+        assert!(v.reference_monotone);
+        assert!(!v.coordination_free);
+        assert!(!v.classification.system_usage.uses_id, "no Id per Example 15");
+        // the CALM-promised replacement:
+        let replacement = crate::constructions::distribute::distribute_monotone(
+            case.reference.clone(),
+            &rtx_relational::Schema::new().with("S", 1),
+            crate::constructions::flood::FloodMode::Dedup,
+        )
+        .unwrap();
+        let replacement_case = CalmCase {
+            name: "identity-oblivious".into(),
+            transducer: replacement,
+            reference: case.reference.clone(),
+            inputs: case.inputs.clone(),
+        };
+        let v2 = classify(&replacement_case, &opts).unwrap();
+        assert!(v2.classification.oblivious);
+        assert!(v2.coordination_free);
+        assert!(v2.computes_reference);
+    }
+
+    #[test]
+    fn verdict_display_is_informative() {
+        let opts = fast_opts();
+        let v = classify(&standard_suite()[1], &opts).unwrap();
+        let s = v.to_string();
+        assert!(s.contains("selection-thm62"));
+        assert!(s.contains("coordfree="));
+    }
+}

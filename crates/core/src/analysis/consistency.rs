@@ -1,0 +1,349 @@
+//! Empirical consistency and network-topology-independence checking.
+//!
+//! The paper (Section 4): a transducer network is *consistent* if all
+//! fair runs on all horizontal partitions of an input produce the same
+//! output; a transducer is *network-topology independent* if it is
+//! consistent on every network and computes the same query on all of
+//! them. Both properties quantify over infinitely many runs, so the
+//! checker explores a finite, seeded family of topologies × partitions ×
+//! schedulers and reports either a *counterexample* (two runs with
+//! different outputs — definitive) or *no counterexample found* (bounded
+//! evidence).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtx_net::{
+    run, FifoRoundRobin, HorizontalPartition, LifoRoundRobin, Network, NetError,
+    RandomScheduler, RunBudget, Scheduler,
+};
+use rtx_relational::{Instance, Relation};
+use rtx_transducer::Transducer;
+use std::fmt;
+
+/// Scheduler family used by the checkers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleSpec {
+    /// FIFO round-robin.
+    Fifo,
+    /// LIFO round-robin (adversarial reordering).
+    Lifo,
+    /// Seeded random interleaving.
+    Random(u64),
+}
+
+impl ScheduleSpec {
+    fn instantiate(&self) -> Box<dyn Scheduler> {
+        match self {
+            ScheduleSpec::Fifo => Box::new(FifoRoundRobin::new()),
+            ScheduleSpec::Lifo => Box::new(LifoRoundRobin::new()),
+            ScheduleSpec::Random(seed) => Box::new(RandomScheduler::seeded(*seed)),
+        }
+    }
+}
+
+impl fmt::Display for ScheduleSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleSpec::Fifo => write!(f, "fifo"),
+            ScheduleSpec::Lifo => write!(f, "lifo"),
+            ScheduleSpec::Random(s) => write!(f, "random#{s}"),
+        }
+    }
+}
+
+/// Options for the consistency checker.
+#[derive(Clone, Debug)]
+pub struct ConsistencyOptions {
+    /// Topologies to explore, with labels.
+    pub topologies: Vec<(String, Network)>,
+    /// Schedulers per (topology, partition).
+    pub schedules: Vec<ScheduleSpec>,
+    /// Extra random partitions per topology (besides replicate /
+    /// concentrate / round-robin).
+    pub random_partitions: usize,
+    /// Seed for partition generation.
+    pub seed: u64,
+    /// Per-run step budget.
+    pub max_steps: usize,
+    /// For non-draining transducers: stop runs once this output is
+    /// reached (and treat reaching it as success).
+    pub target_output: Option<Relation>,
+}
+
+impl Default for ConsistencyOptions {
+    fn default() -> Self {
+        ConsistencyOptions {
+            topologies: vec![
+                ("single".into(), Network::single()),
+                ("line3".into(), Network::line(3).expect("valid")),
+                ("ring4".into(), Network::ring(4).expect("valid")),
+                ("star4".into(), Network::star(4).expect("valid")),
+            ],
+            schedules: vec![
+                ScheduleSpec::Fifo,
+                ScheduleSpec::Lifo,
+                ScheduleSpec::Random(17),
+                ScheduleSpec::Random(42),
+            ],
+            random_partitions: 2,
+            seed: 7,
+            max_steps: 200_000,
+            target_output: None,
+        }
+    }
+}
+
+/// A single explored run, for witness reporting.
+#[derive(Clone, Debug)]
+pub struct RunDescriptor {
+    /// Topology label.
+    pub topology: String,
+    /// Partition description.
+    pub partition: String,
+    /// Scheduler description.
+    pub schedule: String,
+    /// The run's accumulated output.
+    pub output: Relation,
+    /// Whether the run reached quiescence (or its target output).
+    pub settled: bool,
+}
+
+/// The checker's verdict.
+#[derive(Clone, Debug)]
+pub struct ConsistencyReport {
+    /// Total runs executed.
+    pub runs: usize,
+    /// No two runs on the same topology disagreed.
+    pub consistent: bool,
+    /// Additionally, all topologies produced the same output.
+    pub network_independent: bool,
+    /// Every run settled (quiescent or reached the target) within budget.
+    pub all_settled: bool,
+    /// First disagreeing pair, if any.
+    pub witness: Option<(RunDescriptor, RunDescriptor)>,
+    /// One representative output per topology (the first run's).
+    pub outputs: Vec<(String, Relation)>,
+}
+
+/// Generate the partition family for one topology.
+fn partitions(
+    net: &Network,
+    input: &Instance,
+    extra_random: usize,
+    rng: &mut StdRng,
+) -> Vec<(String, HorizontalPartition)> {
+    let mut out = vec![
+        ("replicate".to_string(), HorizontalPartition::replicate(net, input)),
+        ("round-robin".to_string(), HorizontalPartition::round_robin(net, input)),
+    ];
+    if let Some(first) = net.nodes().next() {
+        out.push((
+            format!("concentrate@{first}"),
+            HorizontalPartition::concentrate(net, input, first).expect("known node"),
+        ));
+    }
+    for i in 0..extra_random {
+        out.push((
+            format!("random#{i}"),
+            HorizontalPartition::random(net, input, 0.2, rng),
+        ));
+    }
+    out
+}
+
+/// Check consistency and network-topology independence on one input.
+pub fn check_consistency(
+    transducer: &Transducer,
+    input: &Instance,
+    opts: &ConsistencyOptions,
+) -> Result<ConsistencyReport, NetError> {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut runs = 0usize;
+    let mut all_settled = true;
+    let mut witness: Option<(RunDescriptor, RunDescriptor)> = None;
+    let mut outputs: Vec<(String, Relation)> = Vec::new();
+    let mut consistent = true;
+    let mut network_independent = true;
+
+    for (label, net) in &opts.topologies {
+        let mut reference: Option<RunDescriptor> = None;
+        for (plabel, partition) in partitions(net, input, opts.random_partitions, &mut rng) {
+            for spec in &opts.schedules {
+                let mut sched = spec.instantiate();
+                let mut budget = RunBudget::steps(opts.max_steps);
+                if let Some(t) = &opts.target_output {
+                    budget = budget.until_output(t.clone());
+                }
+                let outcome = run(net, transducer, &partition, sched.as_mut(), &budget)?;
+                runs += 1;
+                let settled = outcome.quiescent || outcome.reached_target;
+                all_settled &= settled;
+                let desc = RunDescriptor {
+                    topology: label.clone(),
+                    partition: plabel.clone(),
+                    schedule: spec.to_string(),
+                    output: outcome.output.clone(),
+                    settled,
+                };
+                match &reference {
+                    None => {
+                        outputs.push((label.clone(), desc.output.clone()));
+                        reference = Some(desc.clone());
+                    }
+                    Some(r) if r.output != desc.output => {
+                        consistent = false;
+                        if witness.is_none() {
+                            witness = Some((r.clone(), desc.clone()));
+                        }
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+
+    // network independence: compare the per-topology representative outputs
+    if let Some((_, first)) = outputs.first() {
+        for (_, o) in &outputs {
+            if o != first {
+                network_independent = false;
+            }
+        }
+    }
+    if !consistent {
+        network_independent = false;
+    }
+
+    Ok(ConsistencyReport {
+        runs,
+        consistent,
+        network_independent,
+        all_settled,
+        witness,
+        outputs,
+    })
+}
+
+/// Check that the transducer distributedly *computes* `expected` on this
+/// input: consistent, network-independent, and every run's output equals
+/// `expected(I)`.
+///
+/// Runs are first driven to quiescence with no early target-stop — the
+/// sound check for draining transducers (a run that overshoots or
+/// undershoots `expected` is caught exactly). Only when some run fails
+/// to quiesce within budget (paper-faithful non-draining flooding) does
+/// the checker fall back to target-stopped runs, which certify "produced
+/// exactly `expected` at some point" (see [`rtx_net::RunBudget`] for the
+/// overshoot caveat of that mode).
+pub fn verify_computes(
+    transducer: &Transducer,
+    input: &Instance,
+    expected: &Relation,
+    opts: &ConsistencyOptions,
+) -> Result<bool, NetError> {
+    let mut quiescent_opts = opts.clone();
+    quiescent_opts.target_output = None;
+    let report = check_consistency(transducer, input, &quiescent_opts)?;
+    if report.all_settled {
+        return Ok(report.consistent
+            && report.network_independent
+            && report.outputs.iter().all(|(_, o)| o == expected));
+    }
+    let mut target_opts = opts.clone();
+    target_opts.target_output = Some(expected.clone());
+    let report = check_consistency(transducer, input, &target_opts)?;
+    Ok(report.consistent
+        && report.network_independent
+        && report.all_settled
+        && report.outputs.iter().all(|(_, o)| o == expected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{ex2_first_element, ex3_transitive_closure, ex4_echo};
+    use rtx_relational::{fact, Schema, Tuple, Value};
+
+    fn pairs_input(pairs: &[(i64, i64)]) -> Instance {
+        let sch = Schema::new().with("S", 2);
+        let mut i = Instance::empty(sch);
+        for &(a, b) in pairs {
+            i.insert_fact(fact!("S", a, b)).unwrap();
+        }
+        i
+    }
+
+    fn small_opts() -> ConsistencyOptions {
+        ConsistencyOptions {
+            topologies: vec![
+                ("single".into(), Network::single()),
+                ("line2".into(), Network::line(2).unwrap()),
+                ("line3".into(), Network::line(3).unwrap()),
+            ],
+            schedules: vec![ScheduleSpec::Fifo, ScheduleSpec::Lifo, ScheduleSpec::Random(5)],
+            random_partitions: 1,
+            seed: 11,
+            max_steps: 100_000,
+            target_output: None,
+        }
+    }
+
+    #[test]
+    fn tc_is_consistent_and_network_independent() {
+        let t = ex3_transitive_closure(true).unwrap();
+        let input = pairs_input(&[(1, 2), (2, 3)]);
+        let report = check_consistency(&t, &input, &small_opts()).unwrap();
+        assert!(report.consistent, "witness: {:?}", report.witness);
+        assert!(report.network_independent);
+        assert!(report.all_settled);
+        assert!(report.runs >= 27);
+    }
+
+    #[test]
+    fn tc_verifies_against_reference_closure() {
+        let t = ex3_transitive_closure(true).unwrap();
+        let input = pairs_input(&[(1, 2), (2, 3), (3, 1)]);
+        let mut expected = Relation::empty(2);
+        for a in [1i64, 2, 3] {
+            for b in [1i64, 2, 3] {
+                expected.insert(Tuple::new(vec![Value::int(a), Value::int(b)])).unwrap();
+            }
+        }
+        assert!(verify_computes(&t, &input, &expected, &small_opts()).unwrap());
+        // and a wrong expectation fails
+        let wrong = Relation::empty(2);
+        assert!(!verify_computes(&t, &input, &wrong, &small_opts()).unwrap());
+    }
+
+    #[test]
+    fn ex2_flagged_inconsistent_with_witness() {
+        let t = ex2_first_element().unwrap();
+        let input = Instance::from_facts(
+            Schema::new().with("S", 1),
+            vec![fact!("S", 1), fact!("S", 2)],
+        )
+        .unwrap();
+        let report = check_consistency(&t, &input, &small_opts()).unwrap();
+        assert!(!report.consistent);
+        assert!(!report.network_independent);
+        let (a, b) = report.witness.expect("must produce a witness");
+        assert_eq!(a.topology, b.topology, "witness pair is on the same topology");
+        assert_ne!(a.output, b.output);
+    }
+
+    #[test]
+    fn ex4_consistent_per_topology_but_not_independent() {
+        let t = ex4_echo().unwrap();
+        let input = Instance::from_facts(
+            Schema::new().with("S", 1),
+            vec![fact!("S", 1), fact!("S", 2)],
+        )
+        .unwrap();
+        let report = check_consistency(&t, &input, &small_opts()).unwrap();
+        assert!(report.consistent, "each topology alone is consistent");
+        assert!(
+            !report.network_independent,
+            "single node computes ∅, multi-node computes identity"
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! Empirical coordination-freeness (paper, Section 5).
+//!
+//! A network-topology-independent transducer `Π` is *coordination-free on
+//! `N`* if for every input `I` there **exists** a horizontal partition
+//! `H` and a run on `H` that reaches a quiescence point using only
+//! heartbeat transitions; `Π` is coordination-free if this holds on every
+//! network. "It actually does not matter what a suitable partition is,
+//! as long as it exists."
+//!
+//! The search enumerates a partition family (replication, concentration
+//! at each node, round-robin, seeded random, and — for tiny inputs — all
+//! single-owner placements) and probes each with a heartbeat-only run.
+//! A probe succeeds when the heartbeat fixpoint's accumulated output
+//! equals the query answer `Q(I)`: by consistency, a run that already
+//! produced `Q(I)` has passed its quiescence point. Finding a witness is
+//! definitive; exhausting the family is bounded evidence of *non*-freeness
+//! (the property is undecidable in general — paper, Section 5).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtx_net::{run_heartbeats_only, HorizontalPartition, Network, NetError};
+use rtx_relational::{Instance, Relation};
+use rtx_transducer::Transducer;
+
+/// Options for the coordination-freeness search.
+#[derive(Clone, Debug)]
+pub struct CoordinationOptions {
+    /// Random partitions to try per network.
+    pub random_partitions: usize,
+    /// Exhaustively enumerate single-owner partitions when
+    /// `|nodes|^|facts|` is at most this bound.
+    pub exhaustive_limit: usize,
+    /// Heartbeat rounds per probe.
+    pub max_rounds: usize,
+    /// Seed for random partitions.
+    pub seed: u64,
+}
+
+impl Default for CoordinationOptions {
+    fn default() -> Self {
+        CoordinationOptions {
+            random_partitions: 4,
+            exhaustive_limit: 4096,
+            max_rounds: 200,
+            seed: 23,
+        }
+    }
+}
+
+/// Result of the search on one network and input.
+#[derive(Clone, Debug)]
+pub struct CoordinationVerdict {
+    /// A partition on which heartbeats alone produced `Q(I)`.
+    pub witness: Option<String>,
+    /// Number of partitions probed.
+    pub probed: usize,
+}
+
+impl CoordinationVerdict {
+    /// Did the search find a communication-free partition?
+    pub fn coordination_free(&self) -> bool {
+        self.witness.is_some()
+    }
+}
+
+/// Search for a heartbeat-only quiescent partition on one network.
+///
+/// `expected` is the query answer `Q(I)` the transducer distributedly
+/// computes (callers obtain it from a reference query or a trusted run).
+pub fn find_coordination_free_partition(
+    net: &Network,
+    transducer: &Transducer,
+    input: &Instance,
+    expected: &Relation,
+    opts: &CoordinationOptions,
+) -> Result<CoordinationVerdict, NetError> {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut candidates: Vec<(String, HorizontalPartition)> = vec![
+        ("replicate".into(), HorizontalPartition::replicate(net, input)),
+        ("round-robin".into(), HorizontalPartition::round_robin(net, input)),
+    ];
+    for n in net.nodes() {
+        candidates.push((
+            format!("concentrate@{n}"),
+            HorizontalPartition::concentrate(net, input, n)?,
+        ));
+    }
+    for i in 0..opts.random_partitions {
+        candidates.push((
+            format!("random#{i}"),
+            HorizontalPartition::random(net, input, 0.25, &mut rng),
+        ));
+    }
+    let single_owner_count = net
+        .len()
+        .checked_pow(input.fact_count() as u32)
+        .unwrap_or(usize::MAX);
+    if single_owner_count <= opts.exhaustive_limit {
+        for (i, p) in HorizontalPartition::enumerate_single_owner(net, input, opts.exhaustive_limit)
+            .into_iter()
+            .enumerate()
+        {
+            candidates.push((format!("owner#{i}"), p));
+        }
+    }
+
+    let mut probed = 0usize;
+    for (label, partition) in candidates {
+        probed += 1;
+        let probe = run_heartbeats_only(net, transducer, &partition, opts.max_rounds)?;
+        if probe.fixpoint && &probe.output == expected {
+            return Ok(CoordinationVerdict { witness: Some(label), probed });
+        }
+    }
+    Ok(CoordinationVerdict { witness: None, probed })
+}
+
+/// Probe coordination-freeness across several networks: free iff a
+/// witness partition exists on *each* of them.
+pub fn coordination_free_on_all(
+    nets: &[(String, Network)],
+    transducer: &Transducer,
+    input: &Instance,
+    expected: &Relation,
+    opts: &CoordinationOptions,
+) -> Result<Vec<(String, CoordinationVerdict)>, NetError> {
+    let mut out = Vec::new();
+    for (label, net) in nets {
+        let v = find_coordination_free_partition(net, transducer, input, expected, opts)?;
+        out.push((label.clone(), v));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{ex10_emptiness, ex15_ping, ex3_transitive_closure, ex9_ab_nonempty};
+    use rtx_relational::{fact, Schema, Tuple, Value};
+
+    fn expected_tc(pairs: &[(i64, i64)], closure: &[(i64, i64)]) -> (Instance, Relation) {
+        let sch = Schema::new().with("S", 2);
+        let mut i = Instance::empty(sch);
+        for &(a, b) in pairs {
+            i.insert_fact(fact!("S", a, b)).unwrap();
+        }
+        let mut r = Relation::empty(2);
+        for &(a, b) in closure {
+            r.insert(Tuple::new(vec![Value::int(a), Value::int(b)])).unwrap();
+        }
+        (i, r)
+    }
+
+    #[test]
+    fn example9_tc_is_coordination_free() {
+        // Example 9: "when every node already has the full input, they can
+        // each individually compute the transitive closure"
+        let t = ex3_transitive_closure(true).unwrap();
+        let (input, expected) = expected_tc(&[(1, 2), (2, 3)], &[(1, 2), (2, 3), (1, 3)]);
+        for net in [Network::line(2).unwrap(), Network::ring(3).unwrap()] {
+            let v = find_coordination_free_partition(
+                &net,
+                &t,
+                &input,
+                &expected,
+                &CoordinationOptions::default(),
+            )
+            .unwrap();
+            assert!(v.coordination_free(), "TC must be coordination-free");
+            assert_eq!(v.witness.as_deref(), Some("replicate"));
+        }
+    }
+
+    #[test]
+    fn example10_emptiness_is_not_coordination_free() {
+        let t = ex10_emptiness().unwrap();
+        // S empty: the answer is true, but certifying it needs id exchange
+        let input = Instance::empty(Schema::new().with("S", 1));
+        let expected = Relation::nullary_true();
+        let net = Network::line(2).unwrap();
+        let v = find_coordination_free_partition(
+            &net,
+            &t,
+            &input,
+            &expected,
+            &CoordinationOptions::default(),
+        )
+        .unwrap();
+        assert!(!v.coordination_free(), "emptiness needs coordination");
+        assert!(v.probed >= 4);
+    }
+
+    #[test]
+    fn example15_ping_is_not_coordination_free() {
+        let t = ex15_ping().unwrap();
+        let input = Instance::from_facts(
+            Schema::new().with("S", 1),
+            vec![fact!("S", 1)],
+        )
+        .unwrap();
+        let mut expected = Relation::empty(1);
+        expected.insert(Tuple::new(vec![Value::int(1)])).unwrap();
+        let net = Network::line(2).unwrap();
+        let v = find_coordination_free_partition(
+            &net,
+            &t,
+            &input,
+            &expected,
+            &CoordinationOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            !v.coordination_free(),
+            "Example 15: communication is required on every partition"
+        );
+    }
+
+    #[test]
+    fn example9_ab_coordination_free_via_split_partition() {
+        // the contrived A/B example: free thanks to the A-here/B-there
+        // partition, even though replication needs communication
+        let t = ex9_ab_nonempty().unwrap();
+        let sch = Schema::new().with("A", 1).with("B", 1);
+        let input =
+            Instance::from_facts(sch, vec![fact!("A", 1), fact!("B", 2)]).unwrap();
+        let expected = Relation::nullary_true();
+        let net = Network::line(2).unwrap();
+        let v = find_coordination_free_partition(
+            &net,
+            &t,
+            &input,
+            &expected,
+            &CoordinationOptions::default(),
+        )
+        .unwrap();
+        assert!(v.coordination_free());
+        let w = v.witness.unwrap();
+        assert!(
+            w != "replicate",
+            "replication is NOT a witness here; got {w}"
+        );
+    }
+
+    #[test]
+    fn coordination_profile_across_networks() {
+        let t = ex3_transitive_closure(true).unwrap();
+        let (input, expected) = expected_tc(&[(1, 2)], &[(1, 2)]);
+        let nets = vec![
+            ("line2".to_string(), Network::line(2).unwrap()),
+            ("star3".to_string(), Network::star(3).unwrap()),
+        ];
+        let profile = coordination_free_on_all(
+            &nets,
+            &t,
+            &input,
+            &expected,
+            &CoordinationOptions::default(),
+        )
+        .unwrap();
+        assert!(profile.iter().all(|(_, v)| v.coordination_free()));
+    }
+}

@@ -1,0 +1,147 @@
+//! Bounded genericity checking.
+//!
+//! Condition (ii) of the paper's definition of a query (Section 2):
+//! `Q(h(I)) = h(Q(I))` for every permutation `h` of **dom**. The checker
+//! samples random permutations of the active domain (and optionally
+//! renamings into fresh values) and compares both sides.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rtx_query::{EvalError, Query};
+use rtx_relational::{Instance, Iso, Value};
+
+/// Verdict of the bounded genericity check.
+#[derive(Clone, Debug)]
+pub enum GenericityVerdict {
+    /// All sampled permutations commuted with the query.
+    NoViolationFound {
+        /// Number of (instance, permutation) pairs checked.
+        checked: usize,
+    },
+    /// A permutation on which the query is not generic.
+    Violation {
+        /// The instance.
+        instance: Instance,
+        /// The offending renaming.
+        iso: Iso,
+    },
+}
+
+impl GenericityVerdict {
+    /// Did the check pass?
+    pub fn passed(&self) -> bool {
+        matches!(self, GenericityVerdict::NoViolationFound { .. })
+    }
+}
+
+/// A random permutation of the instance's active domain.
+pub fn random_adom_permutation(instance: &Instance, rng: &mut StdRng) -> Iso {
+    let dom: Vec<Value> = instance.adom().into_iter().collect();
+    let mut image = dom.clone();
+    image.shuffle(rng);
+    Iso::from_pairs(dom.into_iter().zip(image)).expect("a permutation is injective")
+}
+
+/// A renaming of the active domain into fresh values (also a legal
+/// injective renaming — fresh values cannot collide with the old ones).
+pub fn fresh_renaming(instance: &Instance, tag: u64) -> Iso {
+    let dom: Vec<Value> = instance.adom().into_iter().collect();
+    let pairs = dom
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, Value::sym(format!("fresh_{tag}_{i}"))));
+    Iso::from_pairs(pairs).expect("fresh targets are distinct")
+}
+
+/// Check genericity of `query` on each instance under `permutations`
+/// sampled permutations plus one fresh renaming.
+pub fn check_generic(
+    query: &dyn Query,
+    pool: &[Instance],
+    permutations: usize,
+    seed: u64,
+) -> Result<GenericityVerdict, EvalError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut checked = 0usize;
+    for instance in pool {
+        let mut isos: Vec<Iso> =
+            (0..permutations).map(|_| random_adom_permutation(instance, &mut rng)).collect();
+        isos.push(fresh_renaming(instance, seed));
+        for iso in isos {
+            let lhs = query.eval(&iso.apply_instance(instance))?;
+            let rhs = iso.apply_relation(&query.eval(instance)?);
+            checked += 1;
+            if lhs != rhs {
+                return Ok(GenericityVerdict::Violation {
+                    instance: instance.clone(),
+                    iso,
+                });
+            }
+        }
+    }
+    Ok(GenericityVerdict::NoViolationFound { checked })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_query::{atom, CqBuilder, NativeQuery, Term, UcqQuery};
+    use rtx_relational::{fact, Relation, Schema, Tuple};
+
+    fn pool() -> Vec<Instance> {
+        let sch = Schema::new().with("E", 2);
+        vec![
+            Instance::from_facts(sch.clone(), vec![fact!("E", 1, 2), fact!("E", 2, 3)])
+                .unwrap(),
+            Instance::from_facts(sch, vec![fact!("E", 5, 5)]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn constant_free_cq_is_generic() {
+        let q = UcqQuery::single(
+            CqBuilder::head(vec![Term::var("X"), Term::var("Y")])
+                .when(atom!("E"; @"X", @"Y"))
+                .build()
+                .unwrap(),
+        );
+        let v = check_generic(&q, &pool(), 5, 1).unwrap();
+        assert!(v.passed());
+    }
+
+    #[test]
+    fn constant_using_query_fails_genericity() {
+        // "output 1 if present" is not generic: renaming 1 breaks it
+        let q = NativeQuery::new("const-1", 1, [rtx_relational::RelName::new("E")], |db| {
+            let mut r = Relation::empty(1);
+            let one = Tuple::new(vec![rtx_relational::Value::int(1)]);
+            if db.adom().contains(&rtx_relational::Value::int(1)) {
+                r.insert(one).unwrap();
+            }
+            Ok(r)
+        });
+        let v = check_generic(&q, &pool(), 5, 2).unwrap();
+        assert!(!v.passed());
+    }
+
+    #[test]
+    fn fresh_renaming_is_injective_and_complete() {
+        let i = &pool()[0];
+        let iso = fresh_renaming(i, 7);
+        assert_eq!(iso.support_len(), i.adom().len());
+        let j = iso.apply_instance(i);
+        assert_eq!(j.fact_count(), i.fact_count());
+        assert!(j.adom().iter().all(|v| v.as_sym().is_some()));
+    }
+
+    #[test]
+    fn permutations_are_permutations() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let i = &pool()[0];
+        for _ in 0..5 {
+            let iso = random_adom_permutation(i, &mut rng);
+            assert!(iso.is_permutation_like());
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Empirical analyses of the paper's semantic notions.
+//!
+//! Consistency, network-topology independence, coordination-freeness and
+//! monotonicity are all undecidable in general (the paper lists their
+//! decidability as future work); these checkers explore bounded, seeded
+//! families of runs and report definitive counterexamples or bounded
+//! evidence.
+
+pub mod classifier;
+pub mod consistency;
+pub mod coordination;
+pub mod genericity;
+pub mod monotonicity;
+pub mod thm16;
+
+pub use classifier::{classify, standard_suite, CalmCase, CalmVerdict, ClassifierOptions};
+pub use consistency::{
+    check_consistency, verify_computes, ConsistencyOptions, ConsistencyReport, RunDescriptor,
+    ScheduleSpec,
+};
+pub use coordination::{
+    coordination_free_on_all, find_coordination_free_partition, CoordinationOptions,
+    CoordinationVerdict,
+};
+pub use genericity::{check_generic, fresh_renaming, random_adom_permutation, GenericityVerdict};
+pub use monotonicity::{check_monotone, random_subinstance, MonotonicityVerdict};
+pub use thm16::{thm16_scenario, Thm16Outcome};

@@ -1,0 +1,162 @@
+//! Bounded monotonicity checking (the semantic property at the heart of
+//! the CALM theorem).
+//!
+//! A query `Q` is monotone when `I ⊆ J` implies `Q(I) ⊆ Q(J)` (paper,
+//! Section 2). Undecidable in general; the checker samples random
+//! sub-instances `I ⊆ J` from a pool of instances and looks for a
+//! violation. A violation is definitive; exhausting the budget is
+//! bounded evidence.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtx_query::{EvalError, Query};
+use rtx_relational::Instance;
+
+/// Verdict of the bounded monotonicity check.
+#[derive(Clone, Debug)]
+pub enum MonotonicityVerdict {
+    /// No violation in `checked` sampled pairs.
+    NoViolationFound {
+        /// Number of pairs checked.
+        checked: usize,
+    },
+    /// A definitive counterexample.
+    Violation {
+        /// The smaller instance.
+        smaller: Instance,
+        /// The larger instance.
+        larger: Instance,
+    },
+}
+
+impl MonotonicityVerdict {
+    /// Did the check pass (no violation)?
+    pub fn passed(&self) -> bool {
+        matches!(self, MonotonicityVerdict::NoViolationFound { .. })
+    }
+}
+
+/// A random sub-instance of `full`: each fact kept with probability
+/// `keep`.
+pub fn random_subinstance(full: &Instance, keep: f64, rng: &mut impl Rng) -> Instance {
+    let mut out = Instance::empty(full.schema().clone());
+    for f in full.facts() {
+        if rng.gen_bool(keep.clamp(0.0, 1.0)) {
+            out.insert_fact(f).expect("same schema");
+        }
+    }
+    out
+}
+
+/// Check `Q` for monotonicity over random sub-instance pairs drawn from
+/// the pool. `samples_per_instance` pairs are drawn from each pool
+/// element.
+pub fn check_monotone(
+    query: &dyn Query,
+    pool: &[Instance],
+    samples_per_instance: usize,
+    seed: u64,
+) -> Result<MonotonicityVerdict, EvalError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut checked = 0usize;
+    for full in pool {
+        // the chain ∅ ⊆ I is always included
+        let empty = Instance::empty(full.schema().clone());
+        let pairs = std::iter::once((empty, full.clone())).chain((0..samples_per_instance).map(
+            |_| {
+                let large = random_subinstance(full, 0.8, &mut rng);
+                let small = random_subinstance(&large, 0.6, &mut rng);
+                (small, large)
+            },
+        ));
+        for (small, large) in pairs {
+            debug_assert!(small.is_subinstance_of(&large));
+            let q_small = query.eval(&small)?;
+            let q_large = query.eval(&large)?;
+            checked += 1;
+            if !q_small.is_subset(&q_large) {
+                return Ok(MonotonicityVerdict::Violation { smaller: small, larger: large });
+            }
+        }
+    }
+    Ok(MonotonicityVerdict::NoViolationFound { checked })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_query::{atom, CqBuilder, Formula, FoQuery, Term, UcqQuery};
+    use rtx_relational::{fact, Schema};
+
+    fn pool() -> Vec<Instance> {
+        let sch = Schema::new().with("E", 2).with("S", 1);
+        vec![
+            Instance::from_facts(
+                sch.clone(),
+                vec![fact!("E", 1, 2), fact!("E", 2, 3), fact!("S", 1)],
+            )
+            .unwrap(),
+            Instance::from_facts(
+                sch,
+                vec![fact!("E", 1, 1), fact!("S", 1), fact!("S", 2), fact!("S", 3)],
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn positive_queries_pass() {
+        let q = UcqQuery::single(
+            CqBuilder::head(vec![Term::var("X"), Term::var("Y")])
+                .when(atom!("E"; @"X", @"Y"))
+                .build()
+                .unwrap(),
+        );
+        let v = check_monotone(&q, &pool(), 20, 1).unwrap();
+        assert!(v.passed());
+        match v {
+            MonotonicityVerdict::NoViolationFound { checked } => assert!(checked >= 40),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn negation_caught() {
+        // S(x) ∧ ¬E(x,x): removing E(1,1) adds answers — antimonotone part
+        let q = UcqQuery::single(
+            CqBuilder::head(vec![Term::var("X")])
+                .when(atom!("S"; @"X"))
+                .unless(atom!("E"; @"X", @"X"))
+                .build()
+                .unwrap(),
+        );
+        let v = check_monotone(&q, &pool(), 50, 2).unwrap();
+        assert!(!v.passed(), "the checker must find a violating pair");
+        if let MonotonicityVerdict::Violation { smaller, larger } = v {
+            assert!(smaller.is_subinstance_of(&larger));
+        }
+    }
+
+    #[test]
+    fn emptiness_caught_via_empty_chain() {
+        // the ∅ ⊆ I chain suffices to catch the emptiness query
+        let q = FoQuery::sentence(Formula::not(Formula::exists(
+            ["X"],
+            Formula::atom(atom!("S"; @"X")),
+        )))
+        .unwrap();
+        let v = check_monotone(&q, &pool(), 0, 3).unwrap();
+        assert!(!v.passed());
+    }
+
+    #[test]
+    fn random_subinstance_is_contained() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for full in pool() {
+            for _ in 0..10 {
+                let sub = random_subinstance(&full, 0.5, &mut rng);
+                assert!(sub.is_subinstance_of(&full));
+            }
+        }
+    }
+}

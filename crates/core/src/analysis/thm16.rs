@@ -1,0 +1,145 @@
+//! The Theorem 16 scenario: transducers that do not use `Id` compute
+//! monotone queries.
+//!
+//! The proof constructs a specific pair of runs: a FIFO, round-synchronous
+//! run of `(R4, Π)` on the partition that places the entire `I` at every
+//! node of the 4-ring, and a mimicking run of `(R4 + chord 2–4, Π)` on
+//! the partition `H'` with `H'(1) = H'(2) = H'(4) = I` and
+//! `H'(3) = J ∖ I`. Whatever tuple the first run outputs must also be
+//! output under `J` — hence `Q(I) ⊆ Q(J)`.
+//!
+//! This module reproduces the scenario executably: it runs both
+//! configurations with the FIFO round-robin scheduler and checks the
+//! preservation property for the library's `Id`-free transducers.
+
+use rtx_net::{run, FifoRoundRobin, HorizontalPartition, NetError, Network, RunBudget};
+use rtx_relational::{Instance, Relation};
+use rtx_transducer::Transducer;
+use std::collections::BTreeMap;
+
+/// Outcome of the Theorem 16 scenario.
+#[derive(Clone, Debug)]
+pub struct Thm16Outcome {
+    /// Output of the FIFO run on the plain 4-ring with `I` everywhere.
+    pub output_on_ring: Relation,
+    /// Output of the FIFO run on the chorded ring under `H'` over `J`.
+    pub output_on_chord: Relation,
+    /// `output_on_ring ⊆ output_on_chord` — the monotonicity transfer the
+    /// theorem's proof establishes.
+    pub preserved: bool,
+}
+
+/// Run the scenario for a transducer and a pair `I ⊆ J`.
+pub fn thm16_scenario(
+    transducer: &Transducer,
+    smaller: &Instance,
+    larger: &Instance,
+    max_steps: usize,
+) -> Result<Thm16Outcome, NetError> {
+    if !smaller.is_subinstance_of(larger) {
+        return Err(NetError::Partition("Theorem 16 needs I ⊆ J".into()));
+    }
+    let ring = Network::ring(4)?;
+    let replicated = HorizontalPartition::replicate(&ring, smaller);
+    let on_ring = run(
+        &ring,
+        transducer,
+        &replicated,
+        &mut FifoRoundRobin::new(),
+        &RunBudget::steps(max_steps),
+    )?;
+
+    let chord = Network::ring4_with_chord();
+    // H'(1) = H'(2) = H'(4) = I and H'(3) = J ∖ I  (zero-based: n0, n1,
+    // n3 get I; n2 gets the difference).
+    let mut difference = Instance::empty(larger.schema().clone());
+    for f in larger.facts() {
+        if !smaller.contains_fact(&f) {
+            difference.insert_fact(f).map_err(NetError::Rel)?;
+        }
+    }
+    let mut fragments: BTreeMap<rtx_net::NodeId, Instance> = BTreeMap::new();
+    for (i, node) in chord.node_set().into_iter().enumerate() {
+        let frag = if i == 2 { difference.clone() } else { smaller.clone() };
+        // schemas must match the full instance's schema
+        fragments.insert(node, frag.widen(larger.schema().clone()).map_err(NetError::Rel)?);
+    }
+    let h_prime = HorizontalPartition::new(&chord, larger, fragments)?;
+    let on_chord = run(
+        &chord,
+        transducer,
+        &h_prime,
+        &mut FifoRoundRobin::new(),
+        &RunBudget::steps(max_steps),
+    )?;
+
+    let preserved = on_ring.output.is_subset(&on_chord.output);
+    Ok(Thm16Outcome {
+        output_on_ring: on_ring.output,
+        output_on_chord: on_chord.output,
+        preserved,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{ex10_emptiness, ex15_ping, ex3_transitive_closure};
+    use rtx_relational::{fact, Schema};
+    use rtx_transducer::Classification;
+
+    fn s1(vals: &[i64]) -> Instance {
+        Instance::from_facts(
+            Schema::new().with("S", 1),
+            vals.iter().map(|&v| fact!("S", v)).collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ex15_no_id_transfer_holds() {
+        // Example 15 uses All but not Id: Theorem 16 applies.
+        let t = ex15_ping().unwrap();
+        assert!(!Classification::of(&t).system_usage.uses_id);
+        let smaller = s1(&[1, 2]);
+        let larger = s1(&[1, 2, 3]);
+        let out = thm16_scenario(&t, &smaller, &larger, 300_000).unwrap();
+        assert!(out.preserved, "Q(I) ⊆ Q(J) transfer failed");
+        assert_eq!(out.output_on_ring.len(), 2);
+        assert_eq!(out.output_on_chord.len(), 3);
+    }
+
+    #[test]
+    fn tc_transfer_holds() {
+        let t = ex3_transitive_closure(true).unwrap();
+        let sch = Schema::new().with("S", 2);
+        let smaller =
+            Instance::from_facts(sch.clone(), vec![fact!("S", 1, 2)]).unwrap();
+        let larger =
+            Instance::from_facts(sch, vec![fact!("S", 1, 2), fact!("S", 2, 3)]).unwrap();
+        let out = thm16_scenario(&t, &smaller, &larger, 300_000).unwrap();
+        assert!(out.preserved);
+        assert_eq!(out.output_on_chord.len(), 3);
+    }
+
+    #[test]
+    fn emptiness_with_id_shows_the_contrast() {
+        // Example 10 uses Id — Theorem 16 does NOT apply, and indeed the
+        // transfer fails: Q(∅) = true but Q({3}) = false.
+        let t = ex10_emptiness().unwrap();
+        assert!(Classification::of(&t).system_usage.uses_id);
+        let smaller = s1(&[]);
+        let larger = s1(&[3]);
+        let out = thm16_scenario(&t, &smaller, &larger, 300_000).unwrap();
+        assert!(
+            !out.preserved,
+            "the emptiness query is nonmonotone — exactly why it needs Id"
+        );
+    }
+
+    #[test]
+    fn requires_subinstance() {
+        let t = ex15_ping().unwrap();
+        assert!(thm16_scenario(&t, &s1(&[5]), &s1(&[6]), 1000).is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! Lemma 5(2): oblivious dissemination by flooding.
+//!
+//! "All nodes simply send out their local input facts and forward any
+//! message they receive. In any fair run, eventually all nodes will have
+//! received all input facts. Relations `Id` and `All` are not needed."
+//!
+//! Two modes:
+//!
+//! * [`FloodMode::Naive`] — the paper's construction verbatim: every
+//!   heartbeat re-sends the local input, and every received fact is
+//!   forwarded unconditionally. The local queries are **monotone** UCQs
+//!   and the transducer is oblivious and inflationary (the exact premise
+//!   of Theorem 6(2)), but buffers never drain on a multi-node network:
+//!   only the *output* quiesces (Proposition 1). Drive such runs with a
+//!   step budget or a target output.
+//! * [`FloodMode::Dedup`] — store-and-forward-once: a fact is sent only
+//!   while absent from the store. Buffers drain, runs terminate, and the
+//!   disseminated set is identical; the price is one negation per send
+//!   query, so the transducer is no longer *syntactically* monotone.
+//!   Still oblivious and inflationary.
+
+use crate::constructions::{arg_vars, known_input_views, msg_rel, store_rel};
+use rtx_query::{Atom, CqBuilder, EvalError, QueryRef, UcqQuery, ViewQuery};
+use rtx_relational::Schema;
+use rtx_transducer::{Transducer, TransducerBuilder};
+use std::sync::Arc;
+
+/// Flooding discipline. See the module docs for the trade-off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FloodMode {
+    /// Paper-faithful: always forward; monotone; non-draining.
+    Naive,
+    /// Forward-once via a store check; draining; one negation.
+    Dedup,
+}
+
+/// Build the flooding transducer for an input schema.
+///
+/// `output` is an optional query phrased over the *input* relation names;
+/// it is re-evaluated every transition against everything the node knows
+/// so far (local fragment ∪ store) — the Theorem 6(2) wrapper. With
+/// `None` the transducer only disseminates.
+pub fn flood_transducer(
+    input: &Schema,
+    mode: FloodMode,
+    output: Option<QueryRef>,
+) -> Result<Transducer, EvalError> {
+    let mut b = TransducerBuilder::new(match mode {
+        FloodMode::Naive => "flood-naive",
+        FloodMode::Dedup => "flood-dedup",
+    })
+    .input_schema(input);
+
+    for (r, k) in input.iter() {
+        let msg = msg_rel(r);
+        let store = store_rel(r);
+        b = b.message_relation(msg.clone(), k).memory_relation(store.clone(), k);
+
+        let vars = arg_vars(k);
+        let local_atom = Atom::new(r.clone(), vars.clone());
+        let msg_atom = Atom::new(msg.clone(), vars.clone());
+        let store_atom = Atom::new(store.clone(), vars.clone());
+
+        // snd Msg_R
+        let send_rules = match mode {
+            FloodMode::Naive => vec![
+                CqBuilder::head(vars.clone()).when(local_atom.clone()).build()?,
+                CqBuilder::head(vars.clone()).when(msg_atom.clone()).build()?,
+            ],
+            FloodMode::Dedup => vec![
+                CqBuilder::head(vars.clone())
+                    .when(local_atom.clone())
+                    .unless(store_atom.clone())
+                    .build()?,
+                CqBuilder::head(vars.clone())
+                    .when(msg_atom.clone())
+                    .unless(store_atom.clone())
+                    .build()?,
+            ],
+        };
+        b = b.send(msg, Arc::new(UcqQuery::new(k, send_rules)?));
+
+        // ins Store_R := R ∪ Msg_R  (no deletions: inflationary)
+        let ins_rules = vec![
+            CqBuilder::head(vars.clone()).when(local_atom).build()?,
+            CqBuilder::head(vars.clone()).when(msg_atom).build()?,
+        ];
+        b = b.insert(store, Arc::new(UcqQuery::new(k, ins_rules)?));
+    }
+
+    if let Some(q) = output {
+        let views = known_input_views(input)?;
+        b = b.output(Arc::new(ViewQuery::new(views, q)));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_net::{
+        run, run_heartbeats_only, FifoRoundRobin, HorizontalPartition, LifoRoundRobin, Network,
+        RandomScheduler, RunBudget,
+    };
+    use rtx_query::{atom, Query, Term};
+    use rtx_relational::{fact, Instance, Relation};
+    use rtx_transducer::Classification;
+
+    fn input_s(vals: &[i64]) -> Instance {
+        Instance::from_facts(
+            Schema::new().with("S", 1),
+            vals.iter().map(|&v| fact!("S", v)).collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    fn identity_output() -> QueryRef {
+        Arc::new(UcqQuery::single(
+            CqBuilder::head(vec![Term::var("X")])
+                .when(atom!("S"; @"X"))
+                .build()
+                .unwrap(),
+        ))
+    }
+
+    #[test]
+    fn naive_flood_is_oblivious_inflationary_monotone() {
+        let t = flood_transducer(&Schema::new().with("S", 1), FloodMode::Naive, Some(identity_output()))
+            .unwrap();
+        let c = Classification::of(&t);
+        assert!(c.oblivious, "Lemma 5(2): Id and All are not needed");
+        assert!(c.inflationary, "no deletions are necessary");
+        assert!(c.monotone, "all local queries are monotone UCQs");
+    }
+
+    #[test]
+    fn dedup_flood_is_oblivious_inflationary_but_not_syntactically_monotone() {
+        let t = flood_transducer(&Schema::new().with("S", 1), FloodMode::Dedup, Some(identity_output()))
+            .unwrap();
+        let c = Classification::of(&t);
+        assert!(c.oblivious);
+        assert!(c.inflationary);
+        assert!(!c.monotone); // the ¬Store dedup check
+    }
+
+    #[test]
+    fn dedup_flood_disseminates_and_quiesces() {
+        let net = Network::ring(5).unwrap();
+        let input = input_s(&[1, 2, 3]);
+        let t = flood_transducer(input.schema(), FloodMode::Dedup, Some(identity_output()))
+            .unwrap();
+        let p = HorizontalPartition::round_robin(&net, &input);
+        let out = run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(20_000))
+            .unwrap();
+        assert!(out.quiescent);
+        assert_eq!(out.output.len(), 3);
+        // every node's store holds all facts
+        for n in net.nodes() {
+            let st = out.final_config.state(n).unwrap();
+            assert_eq!(st.relation(&store_rel(&"S".into())).unwrap().len(), 3);
+        }
+    }
+
+    #[test]
+    fn naive_flood_reaches_output_under_budget() {
+        let net = Network::line(3).unwrap();
+        let input = input_s(&[4, 5]);
+        let t = flood_transducer(input.schema(), FloodMode::Naive, Some(identity_output()))
+            .unwrap();
+        let p = HorizontalPartition::round_robin(&net, &input);
+        let target = Relation::from_tuples(
+            1,
+            input.relation(&"S".into()).unwrap().iter().cloned().collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let budget = RunBudget::steps(50_000).until_output(target);
+        let out = run(&net, &t, &p, &mut RandomScheduler::seeded(3), &budget).unwrap();
+        assert!(out.reached_target, "output quiesces even though buffers do not");
+        assert!(!out.quiescent);
+    }
+
+    #[test]
+    fn dedup_flood_consistent_across_schedulers_topologies_partitions() {
+        let input = input_s(&[1, 2, 3, 4]);
+        let t = flood_transducer(input.schema(), FloodMode::Dedup, Some(identity_output()))
+            .unwrap();
+        let budget = RunBudget::steps(100_000);
+        let mut outputs = Vec::new();
+        for net in [Network::line(4).unwrap(), Network::star(4).unwrap(), Network::clique(4).unwrap()] {
+            for p in [
+                HorizontalPartition::replicate(&net, &input),
+                HorizontalPartition::round_robin(&net, &input),
+                HorizontalPartition::concentrate(&net, &input, net.nodes().next().unwrap())
+                    .unwrap(),
+            ] {
+                let fifo = run(&net, &t, &p, &mut FifoRoundRobin::new(), &budget).unwrap();
+                let lifo = run(&net, &t, &p, &mut LifoRoundRobin::new(), &budget).unwrap();
+                assert!(fifo.quiescent && lifo.quiescent);
+                outputs.push(fifo.output.clone());
+                outputs.push(lifo.output.clone());
+            }
+        }
+        for o in &outputs {
+            assert_eq!(o, &outputs[0], "flooding identity is consistent and NTI");
+        }
+    }
+
+    #[test]
+    fn replicated_partition_needs_no_communication() {
+        // the coordination-freeness witness for flooding-based transducers
+        let net = Network::ring(4).unwrap();
+        let input = input_s(&[7, 8]);
+        let t = flood_transducer(input.schema(), FloodMode::Naive, Some(identity_output()))
+            .unwrap();
+        let p = HorizontalPartition::replicate(&net, &input);
+        let probe = run_heartbeats_only(&net, &t, &p, 20).unwrap();
+        assert_eq!(probe.output.len(), 2, "full output from heartbeats alone");
+    }
+
+    #[test]
+    fn flood_without_output_has_empty_output_query() {
+        let t = flood_transducer(&Schema::new().with("S", 1), FloodMode::Dedup, None).unwrap();
+        assert_eq!(t.schema().output_arity(), 0);
+        assert!(t.out_query().is_always_empty());
+    }
+
+    #[test]
+    fn multi_relation_input_schemas_flood_independently() {
+        let input = Schema::new().with("A", 1).with("E", 2);
+        let t = flood_transducer(&input, FloodMode::Dedup, None).unwrap();
+        assert!(t.schema().message().contains(&"Msg_A".into()));
+        assert!(t.schema().message().contains(&"Msg_E".into()));
+        assert_eq!(t.schema().message().arity(&"Msg_E".into()), Some(2));
+        assert_eq!(t.schema().memory().arity(&"Store_E".into()), Some(2));
+    }
+}

@@ -1,0 +1,469 @@
+//! Corollary 8: on a network with at least two nodes, every node can
+//! establish a **linear order** on the active domain, and therefore every
+//! PSPACE query becomes computable by an FO-transducer.
+//!
+//! The construction (paper, end of Section 4): first collect all input
+//! tuples (the multicast protocol of Lemma 5(1)); once `Ready`, send out
+//! all elements of the active domain; forward `Elem` messages; and store
+//! the elements *in the order they are received back*. Receiving one fact
+//! per delivery transition serializes the elements — each node ends up
+//! with its own strict total order `Order(x, y)` ("x arrived before y").
+//!
+//! As the paper notes, such a transducer is *not* truly
+//! network-topology independent: on a one-node network no messages flow,
+//! so no order materializes. The demo query here —
+//! [`even_cardinality_transducer`], a nonmonotone query outside FO — only
+//! produces output on networks with ≥ 2 nodes, exactly matching the
+//! corollary's statement.
+
+use crate::constructions::multicast::install_multicast;
+use crate::constructions::{arg_vars, multicast_input_views, ready_rel, seen_cast_rel};
+use rtx_query::{
+    Atom, CqBuilder, DatalogQuery, EvalError, Formula, FoQuery, GatedQuery, Literal,
+    Program, QueryRef, Rule, Term, UcqQuery, UnionQuery, ViewQuery,
+};
+use rtx_relational::{RelName, Schema};
+use rtx_transducer::{Transducer, TransducerBuilder};
+use std::sync::Arc;
+
+/// The `Elem` message relation (elements of the active domain).
+pub fn elem_rel() -> RelName {
+    RelName::new("Elem")
+}
+
+/// Memory: elements received so far.
+pub fn seen_elem_rel() -> RelName {
+    RelName::new("SeenElem")
+}
+
+/// Memory: the constructed strict order (`Order(x,y)` ⇔ x before y).
+pub fn order_rel() -> RelName {
+    RelName::new("Order")
+}
+
+/// Memory flag: this node has broadcast its elements.
+pub fn elem_sent_rel() -> RelName {
+    RelName::new("ElemSent")
+}
+
+/// Install the order-construction machinery on top of the multicast
+/// protocol; returns the extended builder.
+fn install_order(
+    mut b: TransducerBuilder,
+    input: &Schema,
+) -> Result<TransducerBuilder, EvalError> {
+    b = b
+        .message_relation(elem_rel(), 1)
+        .memory_relation(seen_elem_rel(), 1)
+        .memory_relation(order_rel(), 2)
+        .memory_relation(elem_sent_rel(), 0);
+
+    let x = Term::var("X");
+    let y = Term::var("Y");
+    let elem_atom = Atom::new(elem_rel(), vec![x.clone()]);
+    let seen_atom = Atom::new(seen_elem_rel(), vec![x.clone()]);
+
+    // Initial broadcast: once Ready and not yet sent, emit every element
+    // of the active domain of the collected input — one rule per input
+    // relation and argument position (skipping the origin tag).
+    let mut send_rules = Vec::new();
+    for (r, k) in input.iter() {
+        let vars = arg_vars(k);
+        let mut cast_args = vec![Term::var("Src")];
+        cast_args.extend(vars.clone());
+        for var in vars.iter().take(k) {
+            send_rules.push(
+                CqBuilder::head(vec![var.clone()])
+                    .when(Atom::new(ready_rel(), vec![]))
+                    .when(Atom::new(seen_cast_rel(r), cast_args.clone()))
+                    .unless(Atom::new(elem_sent_rel(), vec![]))
+                    .build()?,
+            );
+        }
+    }
+    // Forward each element on first receipt.
+    send_rules.push(
+        CqBuilder::head(vec![x.clone()])
+            .when(elem_atom.clone())
+            .unless(seen_atom.clone())
+            .build()?,
+    );
+    b = b.send(elem_rel(), Arc::new(UcqQuery::new(1, send_rules)?));
+
+    // ins ElemSent := Ready (fires together with the broadcast).
+    b = b.insert(
+        elem_sent_rel(),
+        Arc::new(UcqQuery::single(
+            CqBuilder::head(vec![]).when(Atom::new(ready_rel(), vec![])).build()?,
+        )),
+    );
+
+    // ins SeenElem := received elements.
+    b = b.insert(
+        seen_elem_rel(),
+        Arc::new(UcqQuery::single(
+            CqBuilder::head(vec![x.clone()]).when(elem_atom.clone()).build()?,
+        )),
+    );
+
+    // ins Order(y, x) := y already seen, x freshly delivered.
+    b = b.insert(
+        order_rel(),
+        Arc::new(UcqQuery::single(
+            CqBuilder::head(vec![y.clone(), x.clone()])
+                .when(Atom::new(seen_elem_rel(), vec![y.clone()]))
+                .when(elem_atom)
+                .unless(seen_atom)
+                .build()?,
+        )),
+    );
+    Ok(b)
+}
+
+/// The FO sentence "this node has received back the whole active domain":
+/// `Ready ∧ ∀x (x ∈ adom(collected input) → SeenElem(x))`.
+fn order_complete_sentence(input: &Schema) -> Result<QueryRef, EvalError> {
+    let mut adom_cases = Vec::new();
+    for (r, k) in input.iter() {
+        let vars: Vec<String> = (0..=k).map(|i| format!("A{i}")).collect();
+        // A0 is the src tag; positions 1..=k are data.
+        for j in 1..=k {
+            let atom =
+                Atom::new(seen_cast_rel(r), vars.iter().map(rtx_query::Term::var).collect());
+            let mut bound: Vec<&str> = Vec::new();
+            for (idx, v) in vars.iter().enumerate() {
+                if idx != j {
+                    bound.push(v);
+                }
+            }
+            let inner = Formula::and([
+                Formula::Atom(atom),
+                Formula::eq(Term::var(format!("A{j}")), Term::var("X")),
+            ]);
+            adom_cases.push(Formula::exists(vars.iter().map(String::as_str), inner));
+            let _ = &bound;
+        }
+    }
+    let in_adom = Formula::or(adom_cases);
+    let sentence = Formula::and([
+        Formula::Atom(Atom::new(ready_rel(), vec![])),
+        Formula::forall(
+            ["X"],
+            Formula::or([
+                Formula::not(in_adom),
+                Formula::Atom(Atom::new(seen_elem_rel(), vec![Term::var("X")])),
+            ]),
+        ),
+    ]);
+    Ok(Arc::new(FoQuery::sentence(sentence)?))
+}
+
+/// The order-building transducer (no output): after running to
+/// quiescence on a ≥2-node network, every node's `Order` memory holds a
+/// strict total order over the input's active domain.
+pub fn linear_order_transducer(input: &Schema) -> Result<Transducer, EvalError> {
+    let b = TransducerBuilder::new("linear-order").input_schema(input);
+    let b = install_multicast(b, input)?;
+    let b = install_order(b, input)?;
+    b.build()
+}
+
+/// Stratified-Datalog parity walk over `SView` (the elements of `S`)
+/// linearly ordered by `Order`: derives nullary `EvenCard` iff `|S|` is
+/// even and nonzero.
+fn parity_program() -> Program {
+    let v = |s: &str| Term::var(s);
+    let rules = vec![
+        // Before(x,y): both in S, x before y.
+        Rule::new(
+            Atom::new("Before", vec![v("X"), v("Y")]),
+            vec![
+                Literal::Pos(Atom::new("SView", vec![v("X")])),
+                Literal::Pos(Atom::new("SView", vec![v("Y")])),
+                Literal::Pos(Atom::new("Order", vec![v("X"), v("Y")])),
+            ],
+        )
+        .expect("safe"),
+        // Mid(x,y): some S element strictly between.
+        Rule::new(
+            Atom::new("Mid", vec![v("X"), v("Y")]),
+            vec![
+                Literal::Pos(Atom::new("Before", vec![v("X"), v("Z")])),
+                Literal::Pos(Atom::new("Before", vec![v("Z"), v("Y")])),
+            ],
+        )
+        .expect("safe"),
+        // Succ: consecutive in the order restricted to S.
+        Rule::new(
+            Atom::new("Succ", vec![v("X"), v("Y")]),
+            vec![
+                Literal::Pos(Atom::new("Before", vec![v("X"), v("Y")])),
+                Literal::Neg(Atom::new("Mid", vec![v("X"), v("Y")])),
+            ],
+        )
+        .expect("safe"),
+        Rule::new(
+            Atom::new("HasPred", vec![v("Y")]),
+            vec![Literal::Pos(Atom::new("Before", vec![v("X"), v("Y")]))],
+        )
+        .expect("safe"),
+        Rule::new(
+            Atom::new("First", vec![v("X")]),
+            vec![
+                Literal::Pos(Atom::new("SView", vec![v("X")])),
+                Literal::Neg(Atom::new("HasPred", vec![v("X")])),
+            ],
+        )
+        .expect("safe"),
+        Rule::new(
+            Atom::new("HasSucc", vec![v("X")]),
+            vec![Literal::Pos(Atom::new("Before", vec![v("X"), v("Y")]))],
+        )
+        .expect("safe"),
+        Rule::new(
+            Atom::new("Last", vec![v("X")]),
+            vec![
+                Literal::Pos(Atom::new("SView", vec![v("X")])),
+                Literal::Neg(Atom::new("HasSucc", vec![v("X")])),
+            ],
+        )
+        .expect("safe"),
+        // Parity walk.
+        Rule::new(
+            Atom::new("OddAt", vec![v("X")]),
+            vec![Literal::Pos(Atom::new("First", vec![v("X")]))],
+        )
+        .expect("safe"),
+        Rule::new(
+            Atom::new("OddAt", vec![v("Y")]),
+            vec![
+                Literal::Pos(Atom::new("EvenAt", vec![v("X")])),
+                Literal::Pos(Atom::new("Succ", vec![v("X"), v("Y")])),
+            ],
+        )
+        .expect("safe"),
+        Rule::new(
+            Atom::new("EvenAt", vec![v("Y")]),
+            vec![
+                Literal::Pos(Atom::new("OddAt", vec![v("X")])),
+                Literal::Pos(Atom::new("Succ", vec![v("X"), v("Y")])),
+            ],
+        )
+        .expect("safe"),
+        Rule::new(
+            Atom::new("EvenCard", vec![]),
+            vec![
+                Literal::Pos(Atom::new("Last", vec![v("X")])),
+                Literal::Pos(Atom::new("EvenAt", vec![v("X")])),
+            ],
+        )
+        .expect("safe"),
+    ];
+    Program::new(rules).expect("consistent arities")
+}
+
+/// The Corollary 8 demo: the (nonmonotone, non-FO) boolean query
+/// "`|S|` is even", computed distributedly on any network with at least
+/// two nodes via the constructed linear order.
+///
+/// Input schema: a single unary relation `S`.
+pub fn even_cardinality_transducer() -> Result<Transducer, EvalError> {
+    let input = Schema::new().with("S", 1);
+    let b = TransducerBuilder::new("even-cardinality").input_schema(&input);
+    let b = install_multicast(b, &input)?;
+    let mut b = install_order(b, &input)?;
+
+    // Views: SView := elements of S (from the multicast store), Order.
+    let mut views = multicast_input_views(&input)?;
+    // rename the S view to SView, keep Order via base passthrough
+    let s_view = views.pop().expect("one input relation").1;
+    let views = vec![("SView".into(), s_view)];
+
+    // parity via the order walk; empty-S handled by an FO disjunct
+    let walk: QueryRef = Arc::new(DatalogQuery::new(parity_program(), "EvenCard")?);
+    let empty_s: QueryRef = Arc::new(FoQuery::sentence(Formula::not(Formula::exists(
+        ["X"],
+        Formula::Atom(Atom::new("SView", vec![Term::var("X")])),
+    )))?);
+    let parity = UnionQuery::new(0, vec![walk, empty_s])?;
+    let viewed = ViewQuery::new(views, Arc::new(parity)).with_base();
+
+    let complete = order_complete_sentence(&input)?;
+    b = b.output(Arc::new(GatedQuery::new(complete, Arc::new(viewed))));
+    b.build()
+}
+
+/// Convenience re-export used by tests and experiments: does the memory
+/// of `state` hold a strict total order over `expected` elements?
+pub fn is_total_order_over(
+    state: &rtx_relational::Instance,
+    expected: &std::collections::BTreeSet<rtx_relational::Value>,
+) -> bool {
+    let order = match state.relation(&order_rel()) {
+        Ok(r) => r,
+        Err(_) => return false,
+    };
+    // totality + antisymmetry: exactly one of (x,y),(y,x) for x≠y
+    for a in expected {
+        for bv in expected {
+            if a == bv {
+                continue;
+            }
+            let ab = order
+                .contains(&rtx_relational::Tuple::new(vec![a.clone(), bv.clone()]));
+            let ba = order
+                .contains(&rtx_relational::Tuple::new(vec![bv.clone(), a.clone()]));
+            if ab == ba {
+                return false;
+            }
+        }
+    }
+    // transitivity
+    for a in expected {
+        for bv in expected {
+            for c in expected {
+                let ab = order
+                    .contains(&rtx_relational::Tuple::new(vec![a.clone(), bv.clone()]));
+                let bc = order
+                    .contains(&rtx_relational::Tuple::new(vec![bv.clone(), c.clone()]));
+                let ac = order
+                    .contains(&rtx_relational::Tuple::new(vec![a.clone(), c.clone()]));
+                if ab && bc && !ac {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_net::{
+        run, FifoRoundRobin, HorizontalPartition, Network, RandomScheduler, RunBudget,
+    };
+    use rtx_relational::{fact, Instance, Value};
+    use std::collections::BTreeSet;
+
+    fn input_s(vals: &[i64]) -> Instance {
+        Instance::from_facts(
+            Schema::new().with("S", 1),
+            vals.iter().map(|&v| fact!("S", v)).collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn every_node_builds_a_total_order() {
+        let net = Network::line(3).unwrap();
+        let input = input_s(&[1, 2, 3, 4]);
+        let t = linear_order_transducer(input.schema()).unwrap();
+        let p = HorizontalPartition::round_robin(&net, &input);
+        let out = run(&net, &t, &p, &mut RandomScheduler::seeded(5), &RunBudget::steps(500_000))
+            .unwrap();
+        assert!(out.quiescent);
+        let expected: BTreeSet<Value> = input.adom();
+        for n in net.nodes() {
+            let st = out.final_config.state(n).unwrap();
+            assert!(
+                is_total_order_over(st, &expected),
+                "node {n} did not build a total order"
+            );
+        }
+    }
+
+    #[test]
+    fn orders_may_differ_between_nodes() {
+        // not asserted as must-differ (schedule-dependent), but the order
+        // is at least well-formed per node under different schedulers
+        let net = Network::ring(4).unwrap();
+        let input = input_s(&[10, 20, 30]);
+        let t = linear_order_transducer(input.schema()).unwrap();
+        let p = HorizontalPartition::round_robin(&net, &input);
+        for seed in [1, 2] {
+            let out = run(
+                &net,
+                &t,
+                &p,
+                &mut RandomScheduler::seeded(seed),
+                &RunBudget::steps(500_000),
+            )
+            .unwrap();
+            assert!(out.quiescent);
+            let expected: BTreeSet<Value> = input.adom();
+            for n in net.nodes() {
+                assert!(is_total_order_over(out.final_config.state(n).unwrap(), &expected));
+            }
+        }
+    }
+
+    #[test]
+    fn even_cardinality_true_on_even_sets() {
+        let net = Network::line(2).unwrap();
+        let t = even_cardinality_transducer().unwrap();
+        for (vals, expected) in [
+            (&[1i64, 2][..], true),
+            (&[1, 2, 3][..], false),
+            (&[1, 2, 3, 4][..], true),
+            (&[9][..], false),
+        ] {
+            let input = input_s(vals);
+            let p = HorizontalPartition::round_robin(&net, &input);
+            let out =
+                run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(500_000))
+                    .unwrap();
+            assert!(out.quiescent, "run for {vals:?} did not quiesce");
+            assert_eq!(out.output.as_bool(), expected, "parity of {vals:?}");
+        }
+    }
+
+    #[test]
+    fn even_cardinality_empty_set_is_even() {
+        let net = Network::line(2).unwrap();
+        let t = even_cardinality_transducer().unwrap();
+        let input = input_s(&[]);
+        let p = HorizontalPartition::round_robin(&net, &input);
+        let out =
+            run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(500_000)).unwrap();
+        assert!(out.quiescent);
+        assert!(out.output.as_bool(), "|∅| = 0 is even");
+    }
+
+    #[test]
+    fn parity_consistent_across_schedulers() {
+        // any linear order gives the same parity: consistency on ≥2 nodes
+        let net = Network::ring(3).unwrap();
+        let t = even_cardinality_transducer().unwrap();
+        let input = input_s(&[1, 2, 3, 4]);
+        let p = HorizontalPartition::round_robin(&net, &input);
+        for seed in [3, 17, 99] {
+            let out = run(
+                &net,
+                &t,
+                &p,
+                &mut RandomScheduler::seeded(seed),
+                &RunBudget::steps(500_000),
+            )
+            .unwrap();
+            assert!(out.quiescent);
+            assert!(out.output.as_bool(), "4 elements is even under any order");
+        }
+    }
+
+    #[test]
+    fn single_node_network_produces_no_output_on_nonempty_s() {
+        // the Corollary 8 caveat: the construction needs ≥ 2 nodes
+        let net = Network::single();
+        let t = even_cardinality_transducer().unwrap();
+        let input = input_s(&[1, 2]);
+        let p = HorizontalPartition::replicate(&net, &input);
+        let out =
+            run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(50_000)).unwrap();
+        assert!(out.quiescent);
+        assert!(
+            out.output.is_empty(),
+            "on one node no order materializes, so no parity output"
+        );
+    }
+}

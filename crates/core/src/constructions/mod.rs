@@ -1,0 +1,166 @@
+//! The paper's constructions, as executable transducer factories.
+//!
+//! | Module | Paper item |
+//! |--------|-----------|
+//! | [`flood`] | Lemma 5(2): oblivious dissemination |
+//! | [`multicast`] | Lemma 5(1): ack-based multicast with `Ready` |
+//! | [`distribute`] | Theorem 6(1)–(4): distributing arbitrary / monotone / while queries |
+//! | [`datalog_dist`] | Theorem 6(5): Datalog ⟷ oblivious inflationary transducers |
+//! | [`while_compiler`] | Lemma 5(3): while-programs as iterated heartbeats |
+//! | [`linear_order`] | Corollary 8: a linear order (and PSPACE queries) on ≥ 2 nodes |
+
+pub mod datalog_dist;
+pub mod distribute;
+pub mod flood;
+pub mod linear_order;
+pub mod multicast;
+pub mod while_compiler;
+
+use rtx_query::{CqBuilder, EvalError, QueryRef, Term, UcqQuery};
+use rtx_relational::{RelName, Schema};
+use std::sync::Arc;
+
+/// Name of the flooding message relation carrying facts of input `R`.
+pub fn msg_rel(r: &RelName) -> RelName {
+    RelName::new(format!("Msg_{r}"))
+}
+
+/// Name of the memory relation storing disseminated facts of input `R`.
+pub fn store_rel(r: &RelName) -> RelName {
+    RelName::new(format!("Store_{r}"))
+}
+
+/// Name of the origin-tagged multicast message relation for input `R`.
+pub fn cast_rel(r: &RelName) -> RelName {
+    RelName::new(format!("Cast_{r}"))
+}
+
+/// Name of the acknowledgement message relation for input `R`.
+pub fn ack_rel(r: &RelName) -> RelName {
+    RelName::new(format!("Ack_{r}"))
+}
+
+/// Memory relation recording seen casts of input `R`.
+pub fn seen_cast_rel(r: &RelName) -> RelName {
+    RelName::new(format!("SeenCast_{r}"))
+}
+
+/// Memory relation recording seen acknowledgements of input `R`.
+pub fn seen_ack_rel(r: &RelName) -> RelName {
+    RelName::new(format!("SeenAck_{r}"))
+}
+
+/// The `Done(owner, target)` message relation of the multicast protocol.
+pub fn done_rel() -> RelName {
+    RelName::new("Done")
+}
+
+/// Memory relation recording seen `Done` facts.
+pub fn seen_done_rel() -> RelName {
+    RelName::new("SeenDone")
+}
+
+/// The nullary `Ready` flag of Lemma 5(1).
+pub fn ready_rel() -> RelName {
+    RelName::new("Ready")
+}
+
+/// Fresh variable terms `X0 … X{k-1}`.
+pub(crate) fn arg_vars(k: usize) -> Vec<Term> {
+    (0..k).map(|i| Term::var(format!("X{i}"))).collect()
+}
+
+/// A nullary constant-true query (`← ⊤` as a UCQ).
+pub(crate) fn const_true() -> QueryRef {
+    Arc::new(UcqQuery::single(
+        CqBuilder::head(vec![]).build().expect("variable-free rule is safe"),
+    ))
+}
+
+/// The view mapping each input relation `R` to "everything this node
+/// knows about `R`": its local fragment union the flooded store.
+///
+/// Wrapping a query `Q` over the input schema in this view is the
+/// "continuously apply Q to the part of the input already received" step
+/// of Theorem 6(2).
+pub fn known_input_views(input: &Schema) -> Result<Vec<(RelName, QueryRef)>, EvalError> {
+    let mut views: Vec<(RelName, QueryRef)> = Vec::new();
+    for (r, k) in input.iter() {
+        let vars = arg_vars(k);
+        let local = CqBuilder::head(vars.clone())
+            .when(rtx_query::Atom::new(r.clone(), vars.clone()))
+            .build()?;
+        let stored = CqBuilder::head(vars.clone())
+            .when(rtx_query::Atom::new(store_rel(r), vars.clone()))
+            .build()?;
+        views.push((r.clone(), Arc::new(UcqQuery::new(k, vec![local, stored])?)));
+    }
+    Ok(views)
+}
+
+/// The view mapping each input relation `R` to the facts stored by the
+/// multicast protocol (projecting away the origin tag).
+pub fn multicast_input_views(input: &Schema) -> Result<Vec<(RelName, QueryRef)>, EvalError> {
+    let mut views: Vec<(RelName, QueryRef)> = Vec::new();
+    for (r, k) in input.iter() {
+        let vars = arg_vars(k);
+        let mut atom_args = vec![Term::var("Src")];
+        atom_args.extend(vars.clone());
+        let rule = CqBuilder::head(vars)
+            .when(rtx_query::Atom::new(seen_cast_rel(r), atom_args))
+            .build()?;
+        views.push((r.clone(), Arc::new(UcqQuery::single(rule))));
+    }
+    Ok(views)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_query::Query;
+    use rtx_relational::{fact, Instance};
+
+    #[test]
+    fn naming_helpers_are_stable() {
+        let r: RelName = "E".into();
+        assert_eq!(msg_rel(&r).as_str(), "Msg_E");
+        assert_eq!(store_rel(&r).as_str(), "Store_E");
+        assert_eq!(cast_rel(&r).as_str(), "Cast_E");
+        assert_eq!(ack_rel(&r).as_str(), "Ack_E");
+        assert_eq!(seen_cast_rel(&r).as_str(), "SeenCast_E");
+        assert_eq!(seen_ack_rel(&r).as_str(), "SeenAck_E");
+    }
+
+    #[test]
+    fn const_true_is_true() {
+        let q = const_true();
+        let db = Instance::empty(Schema::new());
+        assert!(q.eval(&db).unwrap().as_bool());
+        assert!(q.is_monotone_syntactic());
+    }
+
+    #[test]
+    fn known_views_union_local_and_store() {
+        let input = Schema::new().with("S", 1);
+        let views = known_input_views(&input).unwrap();
+        assert_eq!(views.len(), 1);
+        let sch = Schema::new().with("S", 1).with("Store_S", 1);
+        let db = Instance::from_facts(sch, vec![fact!("S", 1), fact!("Store_S", 2)]).unwrap();
+        let rel = views[0].1.eval(&db).unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn multicast_views_project_src_tag() {
+        let input = Schema::new().with("E", 2);
+        let views = multicast_input_views(&input).unwrap();
+        let sch = Schema::new().with("SeenCast_E", 3);
+        let db = Instance::from_facts(
+            sch,
+            vec![fact!("SeenCast_E", "n0", 1, 2), fact!("SeenCast_E", "n1", 1, 2)],
+        )
+        .unwrap();
+        let rel = views[0].1.eval(&db).unwrap();
+        assert_eq!(rel.len(), 1); // deduplicated projection
+    }
+}

@@ -1,0 +1,416 @@
+//! Lemma 5(1): the acknowledgement-based multicast protocol with a
+//! `Ready` flag.
+//!
+//! Every node origin-tags its local input facts and floods them
+//! (`Cast_R(src, x̄)`). Every node acknowledges each cast on first receipt
+//! (`Ack_R(src, x̄, acker)`, also flooded). When a node `o` has seen an
+//! ack from node `w` for *every* local input fact, it emits
+//! `Done(o, w)` (flooded). A node `w` raises its nullary `Ready` flag
+//! once it has seen `Done(v, w)` from every node `v` — which, by the ack
+//! discipline, certifies that `w` stores the entire distributed input.
+//!
+//! The protocol is inflationary ("no deletions are necessary") but
+//! decidedly *not* oblivious: it consults both `Id` and `All`. It is the
+//! engine behind Theorem 6(1)/(3) and the canonical example of the heavy
+//! coordination the CALM theorem says monotone queries can avoid.
+
+use crate::constructions::{
+    ack_rel, arg_vars, cast_rel, done_rel, multicast_input_views, ready_rel, seen_ack_rel,
+    seen_cast_rel, seen_done_rel,
+};
+use rtx_query::{
+    Atom, CopyQuery, CqBuilder, EvalError, Formula, FoQuery, GatedQuery, QueryRef, Term,
+    UcqQuery, UnionQuery, ViewQuery,
+};
+use rtx_relational::{RelName, Schema};
+use rtx_transducer::{Transducer, TransducerBuilder, SYS_ALL, SYS_ID};
+use std::sync::Arc;
+
+/// Build the multicast transducer for an input schema.
+///
+/// `output` is an optional query over the *input* relation names,
+/// evaluated on the fully-collected instance and gated on `Ready` —
+/// exactly the Theorem 6(1) recipe "first obtain the entire input
+/// instance, then apply and output Q".
+pub fn multicast_transducer(
+    input: &Schema,
+    output: Option<QueryRef>,
+) -> Result<Transducer, EvalError> {
+    let mut b = install_multicast(TransducerBuilder::new("multicast").input_schema(input), input)?;
+    if let Some(q) = output {
+        let views = multicast_input_views(input)?;
+        let gated = GatedQuery::new(
+            Arc::new(CopyQuery::new(ready_rel(), 0)),
+            Arc::new(ViewQuery::new(views, q)),
+        );
+        b = b.output(Arc::new(gated));
+    }
+    b.build()
+}
+
+/// Install the multicast protocol's message/memory relations and queries
+/// onto an existing builder (used by constructions that extend the
+/// protocol, e.g. the Corollary 8 linear order).
+pub(crate) fn install_multicast(
+    mut b: TransducerBuilder,
+    input: &Schema,
+) -> Result<TransducerBuilder, EvalError> {
+
+    // message + memory schema
+    for (r, k) in input.iter() {
+        b = b
+            .message_relation(cast_rel(r), k + 1)
+            .message_relation(ack_rel(r), k + 2)
+            .memory_relation(seen_cast_rel(r), k + 1)
+            .memory_relation(seen_ack_rel(r), k + 2);
+    }
+    b = b
+        .message_relation(done_rel(), 2)
+        .memory_relation(seen_done_rel(), 2)
+        .memory_relation(ready_rel(), 0);
+
+    let src = Term::var("Src");
+    let me = Term::var("Me");
+
+    for (r, k) in input.iter() {
+        let vars = arg_vars(k);
+        let mut src_args = vec![src.clone()];
+        src_args.extend(vars.clone());
+        let mut ack_args = src_args.clone();
+        ack_args.push(me.clone());
+
+        let local = Atom::new(r.clone(), vars.clone());
+        let cast = Atom::new(cast_rel(r), src_args.clone());
+        let seen_cast = Atom::new(seen_cast_rel(r), src_args.clone());
+        let ack = Atom::new(ack_rel(r), ack_args.clone());
+        let seen_ack = Atom::new(seen_ack_rel(r), ack_args.clone());
+        let id_src = Atom::new(RelName::new(SYS_ID), vec![src.clone()]);
+        let id_me = Atom::new(RelName::new(SYS_ID), vec![me.clone()]);
+
+        // snd Cast_R: initial cast of own facts (once), plus
+        // forward-on-first-receipt.
+        let snd_cast = UcqQuery::new(
+            k + 1,
+            vec![
+                CqBuilder::head(src_args.clone())
+                    .when(id_src.clone())
+                    .when(local.clone())
+                    .unless(seen_cast.clone())
+                    .build()?,
+                CqBuilder::head(src_args.clone())
+                    .when(cast.clone())
+                    .unless(seen_cast.clone())
+                    .build()?,
+            ],
+        )?;
+        b = b.send(cast_rel(r), Arc::new(snd_cast));
+
+        // ins SeenCast_R := own facts ∪ received casts.
+        let ins_seen_cast = UcqQuery::new(
+            k + 1,
+            vec![
+                CqBuilder::head(src_args.clone())
+                    .when(id_src.clone())
+                    .when(local.clone())
+                    .build()?,
+                CqBuilder::head(src_args.clone()).when(cast.clone()).build()?,
+            ],
+        )?;
+        b = b.insert(seen_cast_rel(r), Arc::new(ins_seen_cast));
+
+        // snd Ack_R: ack each cast on first receipt, plus forwarding.
+        let snd_ack = UcqQuery::new(
+            k + 2,
+            vec![
+                CqBuilder::head(ack_args.clone())
+                    .when(cast.clone())
+                    .unless(seen_cast.clone())
+                    .when(id_me.clone())
+                    .build()?,
+                CqBuilder::head(ack_args.clone())
+                    .when(ack.clone())
+                    .unless(seen_ack.clone())
+                    .build()?,
+            ],
+        )?;
+        b = b.send(ack_rel(r), Arc::new(snd_ack));
+
+        // ins SeenAck_R := my acks for received casts ∪ self-acks for my
+        // own facts ∪ every ack seen on the wire.
+        let ins_seen_ack = UcqQuery::new(
+            k + 2,
+            vec![
+                CqBuilder::head(ack_args.clone())
+                    .when(cast.clone())
+                    .unless(seen_cast.clone())
+                    .when(id_me.clone())
+                    .build()?,
+                CqBuilder::head(ack_args.clone())
+                    .when(id_src.clone())
+                    .when(local.clone())
+                    .when(id_me.clone())
+                    .build()?,
+                CqBuilder::head(ack_args.clone()).when(ack.clone()).build()?,
+            ],
+        )?;
+        b = b.insert(seen_ack_rel(r), Arc::new(ins_seen_ack));
+    }
+
+    // The "w has acked all my local facts" condition, as an FO formula
+    // with free variables O (owner = me) and W (the acker):
+    //   ⋀_R ∀x̄ ( ¬R(x̄) ∨ SeenAck_R(O, x̄, W) )
+    let all_acked = |o: &str, w: &str| -> Formula {
+        let mut parts = Vec::new();
+        for (r, k) in input.iter() {
+            let vars: Vec<_> = (0..k).map(|i| format!("Y{i}")).collect();
+            let var_terms: Vec<Term> = vars.iter().map(Term::var).collect();
+            let mut ack_args = vec![Term::var(o)];
+            ack_args.extend(var_terms.clone());
+            ack_args.push(Term::var(w));
+            let body = Formula::or([
+                Formula::not(Formula::Atom(Atom::new(r.clone(), var_terms))),
+                Formula::Atom(Atom::new(seen_ack_rel(r), ack_args)),
+            ]);
+            parts.push(if k == 0 {
+                body
+            } else {
+                Formula::forall(vars.iter().map(String::as_str), body)
+            });
+        }
+        Formula::and(parts)
+    };
+
+    // snd Done(O, W): once per (me, W), when everything is acked by W.
+    let snd_done_fresh = FoQuery::new(
+        ["O", "W"],
+        Formula::and([
+            Formula::Atom(Atom::new(RelName::new(SYS_ID), vec![Term::var("O")])),
+            Formula::Atom(Atom::new(RelName::new(SYS_ALL), vec![Term::var("W")])),
+            Formula::not(Formula::Atom(Atom::new(
+                seen_done_rel(),
+                vec![Term::var("O"), Term::var("W")],
+            ))),
+            all_acked("O", "W"),
+        ]),
+    )?;
+    // … plus forwarding of received Done facts.
+    let done_atom = Atom::new(done_rel(), vec![Term::var("O"), Term::var("W")]);
+    let seen_done_atom = Atom::new(seen_done_rel(), vec![Term::var("O"), Term::var("W")]);
+    let snd_done_forward = UcqQuery::single(
+        CqBuilder::head(vec![Term::var("O"), Term::var("W")])
+            .when(done_atom.clone())
+            .unless(seen_done_atom.clone())
+            .build()?,
+    );
+    b = b.send(
+        done_rel(),
+        Arc::new(UnionQuery::new(
+            2,
+            vec![Arc::new(snd_done_fresh), Arc::new(snd_done_forward)],
+        )?),
+    );
+
+    // ins SeenDone := locally-established Done pairs ∪ received Done.
+    let ins_done_local = FoQuery::new(
+        ["O", "W"],
+        Formula::and([
+            Formula::Atom(Atom::new(RelName::new(SYS_ID), vec![Term::var("O")])),
+            Formula::Atom(Atom::new(RelName::new(SYS_ALL), vec![Term::var("W")])),
+            all_acked("O", "W"),
+        ]),
+    )?;
+    let ins_done_rcv = UcqQuery::single(
+        CqBuilder::head(vec![Term::var("O"), Term::var("W")])
+            .when(done_atom)
+            .build()?,
+    );
+    b = b.insert(
+        seen_done_rel(),
+        Arc::new(UnionQuery::new(2, vec![Arc::new(ins_done_local), Arc::new(ins_done_rcv)])?),
+    );
+
+    // ins Ready := ∃me ( Id(me) ∧ ∀v (All(v) → SeenDone(v, me)) ).
+    let ins_ready = FoQuery::sentence(Formula::exists(
+        ["M"],
+        Formula::and([
+            Formula::Atom(Atom::new(RelName::new(SYS_ID), vec![Term::var("M")])),
+            Formula::forall(
+                ["V"],
+                Formula::or([
+                    Formula::not(Formula::Atom(Atom::new(
+                        RelName::new(SYS_ALL),
+                        vec![Term::var("V")],
+                    ))),
+                    Formula::Atom(Atom::new(
+                        seen_done_rel(),
+                        vec![Term::var("V"), Term::var("M")],
+                    )),
+                ]),
+            ),
+        ]),
+    ))?;
+    b = b.insert(ready_rel(), Arc::new(ins_ready));
+    Ok(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_net::{
+        run, FifoRoundRobin, HorizontalPartition, LifoRoundRobin, Network, RandomScheduler,
+        RunBudget,
+    };
+    use rtx_query::atom;
+    use rtx_relational::{fact, Instance, Value};
+    use rtx_transducer::Classification;
+
+    fn input_s(vals: &[i64]) -> Instance {
+        Instance::from_facts(
+            Schema::new().with("S", 1),
+            vals.iter().map(|&v| fact!("S", v)).collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    fn run_to_quiescence(net: &Network, input: &Instance) -> rtx_net::RunOutcome {
+        let t = multicast_transducer(input.schema(), None).unwrap();
+        let p = HorizontalPartition::round_robin(net, input);
+        run(net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(500_000)).unwrap()
+    }
+
+    #[test]
+    fn classification_inflationary_not_oblivious() {
+        let t = multicast_transducer(&Schema::new().with("S", 1), None).unwrap();
+        let c = Classification::of(&t);
+        assert!(c.inflationary, "Lemma 5(1): no deletions are necessary");
+        assert!(!c.oblivious);
+        assert!(c.system_usage.uses_id);
+        assert!(c.system_usage.uses_all);
+    }
+
+    #[test]
+    fn ready_implies_full_store_on_line() {
+        let net = Network::line(3).unwrap();
+        let input = input_s(&[1, 2, 3]);
+        let out = run_to_quiescence(&net, &input);
+        assert!(out.quiescent, "multicast drains and stabilizes");
+        for n in net.nodes() {
+            let st = out.final_config.state(n).unwrap();
+            assert!(
+                st.relation(&ready_rel()).unwrap().as_bool(),
+                "every node eventually becomes Ready"
+            );
+            // the store holds all 3 facts (origin-tagged)
+            let stored = st.relation(&seen_cast_rel(&"S".into())).unwrap();
+            let data: std::collections::BTreeSet<_> =
+                stored.iter().map(|t| t.get(1).unwrap().clone()).collect();
+            assert_eq!(data.len(), 3, "node {n} is missing input facts");
+        }
+    }
+
+    /// The Lemma 5(1) safety property: `Ready` never precedes a full
+    /// store. We check it at every prefix of a run by single-stepping.
+    #[test]
+    fn ready_never_true_before_full_store() {
+        let net = Network::ring(4).unwrap();
+        let input = input_s(&[10, 20, 30]);
+        let t = multicast_transducer(input.schema(), None).unwrap();
+        let p = HorizontalPartition::round_robin(&net, &input);
+        let mut cfg = rtx_net::Configuration::initial(&net, &t, &p).unwrap();
+        let mut sched = RandomScheduler::seeded(99);
+        use rtx_net::{Action, Scheduler};
+        for _ in 0..4_000 {
+            // invariant check at every reachable configuration
+            for n in net.nodes() {
+                let st = cfg.state(n).unwrap();
+                if st.relation(&ready_rel()).unwrap().as_bool() {
+                    let stored = st.relation(&seen_cast_rel(&"S".into())).unwrap();
+                    let data: std::collections::BTreeSet<_> =
+                        stored.iter().map(|t| t.get(1).unwrap().clone()).collect();
+                    assert_eq!(
+                        data.len(),
+                        3,
+                        "Ready at {n} before the node had the whole instance"
+                    );
+                }
+            }
+            if cfg.all_buffers_empty() {
+                for n in net.node_set() {
+                    cfg.apply_heartbeat(&net, &t, &n).unwrap();
+                }
+                continue;
+            }
+            match sched.next_action(&cfg, &net) {
+                Action::Heartbeat(n) => {
+                    cfg.apply_heartbeat(&net, &t, &n).unwrap();
+                }
+                Action::Deliver(n, i) => {
+                    cfg.apply_delivery(&net, &t, &n, i).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn works_with_empty_fragments_and_single_node() {
+        // single node: Ready via self-recording, no messages needed
+        let net = Network::single();
+        let input = input_s(&[5]);
+        let out = run_to_quiescence(&net, &input);
+        assert!(out.quiescent);
+        let n0 = Value::sym("n0");
+        let st = out.final_config.state(&n0).unwrap();
+        assert!(st.relation(&ready_rel()).unwrap().as_bool());
+        // empty input: everything vacuous, Ready still reached
+        let empty = input_s(&[]);
+        let out = run_to_quiescence(&Network::line(2).unwrap(), &empty);
+        assert!(out.quiescent);
+        for n in [Value::sym("n0"), Value::sym("n1")] {
+            let st = out.final_config.state(&n).unwrap();
+            assert!(st.relation(&ready_rel()).unwrap().as_bool());
+        }
+    }
+
+    #[test]
+    fn gated_output_appears_only_after_ready() {
+        // output = identity on S, gated on Ready
+        let out_q: QueryRef = Arc::new(UcqQuery::single(
+            CqBuilder::head(vec![Term::var("X")])
+                .when(atom!("S"; @"X"))
+                .build()
+                .unwrap(),
+        ));
+        let net = Network::line(3).unwrap();
+        let input = input_s(&[1, 2]);
+        let t = multicast_transducer(input.schema(), Some(out_q)).unwrap();
+        let p = HorizontalPartition::round_robin(&net, &input);
+        let res = run(&net, &t, &p, &mut LifoRoundRobin::new(), &RunBudget::steps(500_000))
+            .unwrap();
+        assert!(res.quiescent);
+        assert_eq!(res.output.len(), 2, "full identity once Ready");
+        // per-node outputs are complete too (every node got everything)
+        for o in res.outputs_per_node.values() {
+            assert_eq!(o.len(), 2);
+        }
+    }
+
+    #[test]
+    fn multicast_message_cost_exceeds_flooding() {
+        use crate::constructions::flood::{flood_transducer, FloodMode};
+        let net = Network::line(4).unwrap();
+        let input = input_s(&[1, 2, 3]);
+        let p = HorizontalPartition::round_robin(&net, &input);
+        let budget = RunBudget::steps(500_000);
+        let mc = multicast_transducer(input.schema(), None).unwrap();
+        let fl = flood_transducer(input.schema(), FloodMode::Dedup, None).unwrap();
+        let mc_run = run(&net, &mc, &p, &mut FifoRoundRobin::new(), &budget).unwrap();
+        let fl_run = run(&net, &fl, &p, &mut FifoRoundRobin::new(), &budget).unwrap();
+        assert!(mc_run.quiescent && fl_run.quiescent);
+        assert!(
+            mc_run.messages_enqueued > 2 * fl_run.messages_enqueued,
+            "coordination is expensive: multicast {} msgs vs flood {} msgs",
+            mc_run.messages_enqueued,
+            fl_run.messages_enqueued
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! # rtx-calm — the CALM theorem toolkit
+//!
+//! The paper's contribution, executable: the constructions of Lemma 5,
+//! Theorem 6 and Corollary 8 ([`constructions`]), the worked examples of
+//! Sections 4–7 ([`examples`]), and the empirical analyses — consistency,
+//! coordination-freeness, monotonicity, genericity, and the CALM
+//! classifier ([`analysis`]).
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod constructions;
+pub mod examples;

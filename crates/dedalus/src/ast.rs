@@ -1,0 +1,314 @@
+//! Dedalus abstract syntax (paper, Section 8).
+//!
+//! Dedalus is "a temporal version of Datalog with negation where the last
+//! position of each predicate carries a timestamp; all subgoals of any
+//! rule must be joined on this timestamp". Rather than writing the
+//! timestamp argument explicitly, a [`DRule`] carries a [`DTime`] tag:
+//!
+//! * [`DTime::Same`] — a *deductive* rule (head at the body timestamp);
+//! * [`DTime::Next`] — an *inductive* rule (head at the successor
+//!   timestamp);
+//! * [`DTime::Async`] — an *asynchronous* rule (head at a
+//!   nondeterministically chosen later timestamp).
+//!
+//! **Entanglement**: a rule may name the body timestamp with
+//! [`DRule::with_time_var`]; that variable can then be used in the head
+//! or body as *data* — "timestamp values can also occur as data values" —
+//! which is what lets Dedalus mint unboundedly many fresh values
+//! (Theorem 18 uses it to extend the simulated Turing tape).
+
+use rtx_query::{Atom, EvalError, Term, Var};
+use rtx_relational::{RelName, Schema};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Head-timestamp discipline of a rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DTime {
+    /// Deductive: same timestamp.
+    Same,
+    /// Inductive: successor timestamp.
+    Next,
+    /// Asynchronous: arbitrary later timestamp (chosen by the runtime).
+    Async,
+}
+
+/// A Dedalus rule. Atom arguments are *data* positions only; the
+/// timestamp is implicit.
+#[derive(Clone, Debug)]
+pub struct DRule {
+    head: Atom,
+    timing: DTime,
+    body_pos: Vec<Atom>,
+    body_neg: Vec<Atom>,
+    diseq: Vec<(Term, Term)>,
+    time_var: Option<Var>,
+}
+
+impl DRule {
+    /// Start building a rule with the given head and timing.
+    pub fn new(head: Atom, timing: DTime) -> Self {
+        DRule {
+            head,
+            timing,
+            body_pos: Vec::new(),
+            body_neg: Vec::new(),
+            diseq: Vec::new(),
+            time_var: None,
+        }
+    }
+
+    /// Add a positive body atom.
+    pub fn when(mut self, a: Atom) -> Self {
+        self.body_pos.push(a);
+        self
+    }
+
+    /// Add a negated body atom (stratified within the tick).
+    pub fn unless(mut self, a: Atom) -> Self {
+        self.body_neg.push(a);
+        self
+    }
+
+    /// Add a nonequality constraint.
+    pub fn distinct(mut self, a: Term, b: Term) -> Self {
+        self.diseq.push((a, b));
+        self
+    }
+
+    /// Bind the body timestamp to a variable usable as data
+    /// (entanglement).
+    pub fn with_time_var(mut self, v: impl Into<Var>) -> Self {
+        self.time_var = Some(v.into());
+        self
+    }
+
+    /// The head atom.
+    pub fn head(&self) -> &Atom {
+        &self.head
+    }
+
+    /// The timing tag.
+    pub fn timing(&self) -> DTime {
+        self.timing
+    }
+
+    /// Positive body atoms.
+    pub fn body_pos(&self) -> &[Atom] {
+        &self.body_pos
+    }
+
+    /// Negated body atoms.
+    pub fn body_neg(&self) -> &[Atom] {
+        &self.body_neg
+    }
+
+    /// Nonequality constraints.
+    pub fn diseqs(&self) -> &[(Term, Term)] {
+        &self.diseq
+    }
+
+    /// The entangled time variable, if any.
+    pub fn time_var(&self) -> Option<&Var> {
+        self.time_var.as_ref()
+    }
+
+    /// Does the rule use negation?
+    pub fn has_negation(&self) -> bool {
+        !self.body_neg.is_empty()
+    }
+
+    /// Validate safety: every head / negated / nonequality variable must
+    /// be bound by a positive atom or be the time variable.
+    pub fn validate(&self) -> Result<(), EvalError> {
+        let mut bound: BTreeSet<Var> = BTreeSet::new();
+        for a in &self.body_pos {
+            bound.extend(a.vars());
+        }
+        if let Some(tv) = &self.time_var {
+            bound.insert(tv.clone());
+        }
+        let mut need: Vec<Var> = self.head.vars();
+        for a in &self.body_neg {
+            need.extend(a.vars());
+        }
+        for (a, b) in &self.diseq {
+            for t in [a, b] {
+                if let Term::Var(v) = t {
+                    need.push(v.clone());
+                }
+            }
+        }
+        for v in need {
+            if !bound.contains(&v) {
+                return Err(EvalError::Unsafe {
+                    reason: format!("variable {v} not bound by a positive atom or the time variable"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let suffix = match self.timing {
+            DTime::Same => "",
+            DTime::Next => "@next",
+            DTime::Async => "@async",
+        };
+        write!(f, "{}{suffix} ← ", self.head)?;
+        let mut first = true;
+        for a in &self.body_pos {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{a}")?;
+        }
+        for a in &self.body_neg {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "¬{a}")?;
+        }
+        for (a, b) in &self.diseq {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{a} ≠ {b}")?;
+        }
+        if let Some(tv) = &self.time_var {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{tv} = now")?;
+        }
+        Ok(())
+    }
+}
+
+/// A Dedalus program.
+#[derive(Clone, Debug)]
+pub struct DedalusProgram {
+    rules: Vec<DRule>,
+    signature: Schema,
+}
+
+impl DedalusProgram {
+    /// Build a program, validating rule safety and arity consistency
+    /// (data arities — the implicit timestamp is not counted).
+    pub fn new(rules: Vec<DRule>) -> Result<Self, EvalError> {
+        let mut signature = Schema::new();
+        for r in &rules {
+            r.validate()?;
+            signature
+                .declare(r.head().pred.clone(), r.head().arity())
+                .map_err(EvalError::Rel)?;
+            for a in r.body_pos().iter().chain(r.body_neg()) {
+                signature.declare(a.pred.clone(), a.arity()).map_err(EvalError::Rel)?;
+            }
+        }
+        Ok(DedalusProgram { rules, signature })
+    }
+
+    /// The rules.
+    pub fn rules(&self) -> &[DRule] {
+        &self.rules
+    }
+
+    /// Rules with a given timing.
+    pub fn rules_with(&self, timing: DTime) -> impl Iterator<Item = &DRule> {
+        self.rules.iter().filter(move |r| r.timing() == timing)
+    }
+
+    /// Data-arity signature of every predicate.
+    pub fn signature(&self) -> &Schema {
+        &self.signature
+    }
+
+    /// Predicates defined by some rule head.
+    pub fn idb_predicates(&self) -> BTreeSet<RelName> {
+        self.rules.iter().map(|r| r.head().pred.clone()).collect()
+    }
+
+    /// Predicates only read.
+    pub fn edb_predicates(&self) -> BTreeSet<RelName> {
+        let idb = self.idb_predicates();
+        self.signature.names().filter(|n| !idb.contains(*n)).cloned().collect()
+    }
+
+    /// Is the program free of asynchronous rules (hence deterministic)?
+    pub fn is_synchronous(&self) -> bool {
+        self.rules_with(DTime::Async).next().is_none()
+    }
+}
+
+impl fmt::Display for DedalusProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}.")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_query::atom;
+
+    #[test]
+    fn rule_building_and_display() {
+        let r = DRule::new(atom!("p"; @"X"), DTime::Next)
+            .when(atom!("q"; @"X"))
+            .unless(atom!("r"; @"X"))
+            .distinct(Term::var("X"), Term::cons(1));
+        assert!(r.validate().is_ok());
+        let s = r.to_string();
+        assert!(s.contains("@next"));
+        assert!(s.contains("¬r(X)"));
+    }
+
+    #[test]
+    fn safety_needs_positive_or_time_binding() {
+        let bad = DRule::new(atom!("p"; @"X"), DTime::Same);
+        assert!(bad.validate().is_err());
+        let ok = DRule::new(atom!("p"; @"T"), DTime::Next).with_time_var("T");
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn program_signature_and_split() {
+        let p = DedalusProgram::new(vec![
+            DRule::new(atom!("p"; @"X"), DTime::Same).when(atom!("e"; @"X", @"Y")),
+            DRule::new(atom!("p"; @"X"), DTime::Next).when(atom!("p"; @"X")),
+        ])
+        .unwrap();
+        assert_eq!(p.signature().arity(&"e".into()), Some(2));
+        assert!(p.idb_predicates().contains(&"p".into()));
+        assert!(p.edb_predicates().contains(&"e".into()));
+        assert!(p.is_synchronous());
+        assert_eq!(p.rules_with(DTime::Next).count(), 1);
+    }
+
+    #[test]
+    fn arity_conflicts_rejected() {
+        let res = DedalusProgram::new(vec![
+            DRule::new(atom!("p"; @"X"), DTime::Same).when(atom!("e"; @"X")),
+            DRule::new(atom!("p"; @"X", @"Y"), DTime::Same).when(atom!("e2"; @"X", @"Y")),
+        ]);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn async_detection() {
+        let p = DedalusProgram::new(vec![
+            DRule::new(atom!("m"; @"X"), DTime::Async).when(atom!("s"; @"X")),
+        ])
+        .unwrap();
+        assert!(!p.is_synchronous());
+    }
+}

@@ -1,0 +1,426 @@
+//! The Dedalus runtime: tick-by-tick temporal evaluation.
+//!
+//! A temporal instance assigns facts to timestamps. Each tick `t`:
+//!
+//! 1. the tick's base facts are gathered — EDB arrivals at `t`, heads of
+//!    inductive rules fired at `t−1`, and asynchronous heads whose chosen
+//!    timestamp is `t`;
+//! 2. the **deductive** rules (which must be stratifiable — the paper
+//!    requires modular stratification for a deterministic semantics) are
+//!    evaluated to fixpoint over the base, with the entangled time
+//!    variable bound to `t`;
+//! 3. **inductive** rules fire once against the completed tick database,
+//!    scheduling their heads at `t+1`;
+//! 4. **asynchronous** rules fire once, scheduling each derived head at a
+//!    seeded-random later timestamp (the paper's nondeterministic
+//!    construct modelling asynchronous communication).
+//!
+//! The run stops at the tick budget or at *convergence* — the executable
+//! reading of the paper's eventual consistency (`Π(I)|m = Π(I)|n` for all
+//! `m ≥ n`): the tick database repeats, nothing new is scheduled, and no
+//! EDB arrivals remain.
+
+use crate::ast::{DRule, DTime, DedalusProgram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtx_query::{Atom, EvalError, Literal, Program, Rule, Term, Var};
+use rtx_relational::{Fact, Instance, RelName, Schema, Value};
+use std::collections::BTreeMap;
+
+/// EDB facts with arrival timestamps.
+#[derive(Clone, Debug, Default)]
+pub struct TemporalFacts {
+    arrivals: BTreeMap<u64, Vec<Fact>>,
+}
+
+impl TemporalFacts {
+    /// No facts.
+    pub fn new() -> Self {
+        TemporalFacts::default()
+    }
+
+    /// All facts arrive at tick 0.
+    pub fn all_at_zero(instance: &Instance) -> Self {
+        let mut t = TemporalFacts::new();
+        for f in instance.facts() {
+            t.insert(0, f);
+        }
+        t
+    }
+
+    /// Scatter the facts of an instance over ticks `0..=spread` with a
+    /// seeded RNG — "input facts can arrive at any timestamp".
+    pub fn scattered(instance: &Instance, spread: u64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = TemporalFacts::new();
+        for f in instance.facts() {
+            t.insert(rng.gen_range(0..=spread), f);
+        }
+        t
+    }
+
+    /// Add one fact at a tick.
+    pub fn insert(&mut self, tick: u64, fact: Fact) {
+        self.arrivals.entry(tick).or_default().push(fact);
+    }
+
+    /// The last tick with an arrival.
+    pub fn last_arrival(&self) -> Option<u64> {
+        self.arrivals.keys().next_back().copied()
+    }
+
+    fn at(&self, tick: u64) -> &[Fact] {
+        self.arrivals.get(&tick).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of scheduled facts.
+    pub fn len(&self) -> usize {
+        self.arrivals.values().map(Vec::len).sum()
+    }
+
+    /// No facts at all?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Options for a Dedalus run.
+#[derive(Clone, Debug)]
+pub struct DedalusOptions {
+    /// Maximum number of ticks.
+    pub max_ticks: u64,
+    /// Maximum async delivery delay (delays are 1..=max).
+    pub async_max_delay: u64,
+    /// Seed for async timestamp choices.
+    pub seed: u64,
+}
+
+impl Default for DedalusOptions {
+    fn default() -> Self {
+        DedalusOptions { max_ticks: 500, async_max_delay: 3, seed: 0 }
+    }
+}
+
+/// The observable result of a run.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// The database at each tick.
+    pub ticks: Vec<Instance>,
+    /// The first tick from which the database provably repeats forever.
+    pub converged_at: Option<u64>,
+}
+
+impl Trace {
+    /// The final tick's database.
+    pub fn last(&self) -> &Instance {
+        self.ticks.last().expect("at least one tick")
+    }
+
+    /// Did the run converge (eventual consistency)?
+    pub fn converged(&self) -> bool {
+        self.converged_at.is_some()
+    }
+
+    /// Is a nullary predicate true in the limit?
+    pub fn holds(&self, pred: &str) -> bool {
+        self.last()
+            .relation(&RelName::new(pred))
+            .map(|r| r.as_bool())
+            .unwrap_or(false)
+    }
+}
+
+/// Substitute the time variable by the current tick in a term.
+fn subst_term(t: &Term, tv: Option<&Var>, now: u64) -> Term {
+    match (t, tv) {
+        (Term::Var(v), Some(tvar)) if v == tvar => Term::Const(Value::Int(now as i64)),
+        _ => t.clone(),
+    }
+}
+
+fn subst_atom(a: &Atom, tv: Option<&Var>, now: u64) -> Atom {
+    Atom::new(a.pred.clone(), a.terms.iter().map(|t| subst_term(t, tv, now)).collect())
+}
+
+/// Translate a Dedalus rule (with the time variable bound to `now`) into
+/// a plain Datalog rule.
+fn translate(rule: &DRule, now: u64) -> Result<Rule, EvalError> {
+    let tv = rule.time_var();
+    let head = subst_atom(rule.head(), tv, now);
+    let mut body: Vec<Literal> = Vec::new();
+    for a in rule.body_pos() {
+        body.push(Literal::Pos(subst_atom(a, tv, now)));
+    }
+    for a in rule.body_neg() {
+        body.push(Literal::Neg(subst_atom(a, tv, now)));
+    }
+    for (a, b) in rule.diseqs() {
+        body.push(Literal::Diseq(subst_term(a, tv, now), subst_term(b, tv, now)));
+    }
+    Rule::new(head, body)
+}
+
+/// The Dedalus evaluator.
+pub struct DedalusRuntime<'p> {
+    program: &'p DedalusProgram,
+    /// Cached deductive program when no deductive rule entangles time.
+    cached_deductive: Option<Program>,
+}
+
+impl<'p> DedalusRuntime<'p> {
+    /// Prepare a runtime for a program.
+    pub fn new(program: &'p DedalusProgram) -> Result<Self, EvalError> {
+        let time_free = program
+            .rules_with(DTime::Same)
+            .all(|r| r.time_var().is_none());
+        let cached_deductive = if time_free {
+            let p = Self::build(program, DTime::Same, 0)?;
+            // surface stratification problems at construction time
+            p.stratify()?;
+            Some(p)
+        } else {
+            None
+        };
+        Ok(DedalusRuntime { program, cached_deductive })
+    }
+
+    fn build(program: &DedalusProgram, timing: DTime, now: u64) -> Result<Program, EvalError> {
+        let rules: Vec<Rule> = program
+            .rules_with(timing)
+            .map(|r| translate(r, now))
+            .collect::<Result<_, _>>()?;
+        Program::new(rules)
+    }
+
+    /// Working schema: program signature ∪ EDB fact relations.
+    fn schema(&self, edb: &TemporalFacts) -> Result<Schema, EvalError> {
+        let mut s = self.program.signature().clone();
+        for facts in edb.arrivals.values() {
+            for f in facts {
+                s.declare(f.rel().clone(), f.arity()).map_err(EvalError::Rel)?;
+            }
+        }
+        Ok(s)
+    }
+
+    /// Run the program on a temporal EDB.
+    pub fn run(&self, edb: &TemporalFacts, opts: &DedalusOptions) -> Result<Trace, EvalError> {
+        let schema = self.schema(edb)?;
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let mut carry: Instance = Instance::empty(schema.clone());
+        let mut pending_async: BTreeMap<u64, Vec<Fact>> = BTreeMap::new();
+        let mut ticks: Vec<Instance> = Vec::new();
+        let mut converged_at = None;
+
+        for now in 0..opts.max_ticks {
+            // 1. base facts
+            let mut base = carry.clone();
+            for f in edb.at(now) {
+                base.insert_fact(f.clone()).map_err(EvalError::Rel)?;
+            }
+            if let Some(facts) = pending_async.remove(&now) {
+                for f in facts {
+                    base.insert_fact(f).map_err(EvalError::Rel)?;
+                }
+            }
+
+            // 2. deductive fixpoint
+            let db = match &self.cached_deductive {
+                Some(p) => p.eval(&base)?,
+                None => Self::build(self.program, DTime::Same, now)?.eval(&base)?,
+            };
+
+            // 3. inductive rules → carry to now+1
+            let inductive = Self::build(self.program, DTime::Next, now)?;
+            let step = inductive.tp_step(&db)?;
+            let mut next_carry = Instance::empty(schema.clone());
+            for f in step.facts() {
+                if self.program.signature().contains(f.rel()) {
+                    next_carry.insert_fact(f).map_err(EvalError::Rel)?;
+                }
+            }
+
+            // 4. async rules → pending deliveries
+            let async_p = Self::build(self.program, DTime::Async, now)?;
+            let astep = async_p.tp_step(&db)?;
+            for f in astep.facts() {
+                if !self.program.signature().contains(f.rel()) {
+                    continue;
+                }
+                let delay = rng.gen_range(1..=opts.async_max_delay.max(1));
+                pending_async.entry(now + delay).or_default().push(f);
+            }
+
+            // 5. convergence detection: the tick database repeats, no
+            // input remains, and every pending asynchronous delivery is
+            // *idempotent* (already present in the stable database — an
+            // async rule over persisted state re-derives the same facts
+            // forever, which is still eventually consistent).
+            let stable = ticks.last() == Some(&db);
+            let arrivals_done = edb.last_arrival().map(|l| l < now).unwrap_or(true);
+            let async_idempotent = pending_async
+                .values()
+                .flatten()
+                .all(|f| db.contains_fact(f));
+            ticks.push(db);
+            if stable && arrivals_done && async_idempotent {
+                converged_at = Some(now);
+                break;
+            }
+            carry = next_carry;
+        }
+        Ok(Trace { ticks, converged_at })
+    }
+}
+
+/// Convenience: run a program in one call.
+pub fn run_dedalus(
+    program: &DedalusProgram,
+    edb: &TemporalFacts,
+    opts: &DedalusOptions,
+) -> Result<Trace, EvalError> {
+    DedalusRuntime::new(program)?.run(edb, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{DRule, DTime};
+    use rtx_query::atom;
+    use rtx_relational::fact;
+
+    fn persist(pred: &str, arity: usize) -> DRule {
+        let vars: Vec<Term> = (0..arity).map(|i| Term::var(format!("X{i}"))).collect();
+        DRule::new(Atom::new(pred, vars.clone()), DTime::Next).when(Atom::new(pred, vars))
+    }
+
+    #[test]
+    fn persistence_carries_facts_forward() {
+        let p = DedalusProgram::new(vec![persist("s", 1)]).unwrap();
+        let mut edb = TemporalFacts::new();
+        edb.insert(0, fact!("s", 1));
+        edb.insert(3, fact!("s", 2));
+        let trace = run_dedalus(&p, &edb, &DedalusOptions::default()).unwrap();
+        assert!(trace.converged());
+        let last = trace.last();
+        assert!(last.contains_fact(&fact!("s", 1)));
+        assert!(last.contains_fact(&fact!("s", 2)));
+        // converged shortly after the last arrival
+        assert!(trace.converged_at.unwrap() >= 4);
+        assert!(trace.converged_at.unwrap() <= 6);
+    }
+
+    #[test]
+    fn deductive_rules_close_within_a_tick() {
+        // tc within the tick, over persisted edges
+        let p = DedalusProgram::new(vec![
+            persist("e", 2),
+            DRule::new(atom!("t"; @"X", @"Y"), DTime::Same).when(atom!("e"; @"X", @"Y")),
+            DRule::new(atom!("t"; @"X", @"Z"), DTime::Same)
+                .when(atom!("t"; @"X", @"Y"))
+                .when(atom!("e"; @"Y", @"Z")),
+        ])
+        .unwrap();
+        let mut edb = TemporalFacts::new();
+        edb.insert(0, fact!("e", 1, 2));
+        edb.insert(1, fact!("e", 2, 3));
+        let trace = run_dedalus(&p, &edb, &DedalusOptions::default()).unwrap();
+        assert!(trace.converged());
+        assert!(trace.last().contains_fact(&fact!("t", 1, 3)));
+        // at tick 0 only the first edge exists
+        assert!(!trace.ticks[0].contains_fact(&fact!("t", 1, 3)));
+    }
+
+    #[test]
+    fn inductive_counter_with_entanglement_mints_values() {
+        // tick(T)@next ← go, T = now : records timestamps as data
+        let p = DedalusProgram::new(vec![
+            persist("go", 0),
+            persist("tick", 1),
+            DRule::new(atom!("tick"; @"T"), DTime::Next)
+                .when(atom!("go"))
+                .with_time_var("T"),
+        ])
+        .unwrap();
+        let mut edb = TemporalFacts::new();
+        edb.insert(0, fact!("go"));
+        let opts = DedalusOptions { max_ticks: 6, ..Default::default() };
+        let trace = run_dedalus(&p, &edb, &opts).unwrap();
+        // never converges (a fresh timestamp every tick) within budget
+        assert!(!trace.converged());
+        let last = trace.last();
+        assert!(last.contains_fact(&fact!("tick", 0)));
+        assert!(last.contains_fact(&fact!("tick", 3)));
+    }
+
+    #[test]
+    fn async_rules_deliver_with_seeded_delay() {
+        let p = DedalusProgram::new(vec![
+            persist("sent", 1),
+            persist("got", 1),
+            // send once: m(X)@async ← s(X); record: got(X) ← m(X)
+            DRule::new(atom!("m"; @"X"), DTime::Async).when(atom!("s"; @"X")),
+            DRule::new(atom!("got"; @"X"), DTime::Same).when(atom!("m"; @"X")),
+        ])
+        .unwrap();
+        let mut edb = TemporalFacts::new();
+        edb.insert(0, fact!("s", 9));
+        let opts = DedalusOptions { max_ticks: 50, async_max_delay: 4, seed: 13 };
+        let trace = run_dedalus(&p, &edb, &opts).unwrap();
+        assert!(trace.converged());
+        assert!(trace.last().contains_fact(&fact!("got", 9)));
+        // delivery was strictly later than tick 0
+        assert!(!trace.ticks[0].contains_fact(&fact!("got", 9)));
+        // deterministic per seed
+        let t2 = run_dedalus(&p, &edb, &opts).unwrap();
+        assert_eq!(trace.ticks.len(), t2.ticks.len());
+    }
+
+    #[test]
+    fn non_stratifiable_deductive_rules_rejected() {
+        let p = DedalusProgram::new(vec![
+            DRule::new(atom!("p"; @"X"), DTime::Same)
+                .when(atom!("s"; @"X"))
+                .unless(atom!("q"; @"X")),
+            DRule::new(atom!("q"; @"X"), DTime::Same)
+                .when(atom!("s"; @"X"))
+                .unless(atom!("p"; @"X")),
+        ])
+        .unwrap();
+        assert!(DedalusRuntime::new(&p).is_err());
+    }
+
+    #[test]
+    fn negation_across_ticks_is_fine() {
+        // "not yet seen" latch: fire(X)@next ← s(X), ¬done; done@next ← s(X)
+        let p = DedalusProgram::new(vec![
+            persist("done", 0),
+            persist("fired", 1),
+            DRule::new(atom!("fired"; @"X"), DTime::Next)
+                .when(atom!("s"; @"X"))
+                .unless(atom!("done")),
+            DRule::new(atom!("done"), DTime::Next).when(atom!("s"; @"X")),
+            persist("s", 1),
+        ])
+        .unwrap();
+        let mut edb = TemporalFacts::new();
+        edb.insert(0, fact!("s", 1));
+        let trace = run_dedalus(&p, &edb, &DedalusOptions::default()).unwrap();
+        assert!(trace.converged());
+        assert!(trace.last().contains_fact(&fact!("fired", 1)));
+    }
+
+    #[test]
+    fn temporal_facts_helpers() {
+        let sch = Schema::new().with("s", 1);
+        let i = Instance::from_facts(sch, vec![fact!("s", 1), fact!("s", 2)]).unwrap();
+        let zero = TemporalFacts::all_at_zero(&i);
+        assert_eq!(zero.len(), 2);
+        assert_eq!(zero.last_arrival(), Some(0));
+        let scattered = TemporalFacts::scattered(&i, 5, 3);
+        assert_eq!(scattered.len(), 2);
+        assert!(scattered.last_arrival().unwrap() <= 5);
+        assert!(!scattered.is_empty());
+        assert!(TemporalFacts::new().is_empty());
+    }
+}

@@ -1,0 +1,526 @@
+//! Theorem 18: for every Turing machine `M`, the query `Q_M` is
+//! expressible in an eventually consistent way by a Dedalus program.
+//!
+//! The compiler generates, per the paper's proof sketch:
+//!
+//! 1. **Persistence** of all input (EDB) facts — they "can arrive at any
+//!    timestamp";
+//! 2. **Word-structure detection**: a `Tape` path from `Begin` to `End`
+//!    through labeled elements;
+//! 3. **Spurious-tuple detection** (conditions (a)–(d)), which makes
+//!    `Q_M` monotone: a detected word *plus* junk accepts outright;
+//! 4. **Simulation**: the input letters are copied to separate `cell_*`
+//!    predicates ("because `a` is persisted, which would cause the
+//!    simulation to be overwritten"), the head/state walks via inductive
+//!    rules, and the tape is extended **only when necessary** with fresh
+//!    cells named by the current timestamp — the paper's *entanglement*.
+//!
+//! One deviation, recorded in `DESIGN.md`: the paper keeps extension
+//! cells in separate `TapeExt`/`q_ext` predicates to avoid confusing
+//! timestamp-named cells with input positions that are also numbers. Our
+//! word structures name positions with *symbols* (`p1, p2, …`) while
+//! timestamps are *integers*, so the name spaces are disjoint by typing
+//! and a single family of predicates suffices — the entanglement
+//! mechanism itself (minting fresh cells from timestamps) is preserved.
+
+use crate::ast::{DRule, DTime, DedalusProgram};
+use crate::eval::{run_dedalus, DedalusOptions, TemporalFacts};
+use rtx_machine::{letter_rel, Move, Sym, TuringMachine, BLANK};
+use rtx_query::{Atom, EvalError, Term};
+use rtx_relational::Instance;
+
+fn cell_rel(c: Sym) -> String {
+    format!("cell_{c}")
+}
+
+fn state_rel(q: &str) -> String {
+    format!("st_{q}")
+}
+
+fn v(n: &str) -> Term {
+    Term::var(n)
+}
+
+/// Compile a Turing machine into the Theorem 18 Dedalus program.
+pub fn compile_tm(m: &TuringMachine) -> Result<DedalusProgram, EvalError> {
+    let sigma: Vec<Sym> = m.input_alphabet().iter().copied().collect();
+    let gamma: Vec<Sym> = m.tape_alphabet().iter().copied().collect();
+    let states: Vec<String> = m.states().into_iter().collect();
+    let mut rules: Vec<DRule> = Vec::new();
+
+    let persist = |pred: &str, arity: usize| -> DRule {
+        let vars: Vec<Term> = (0..arity).map(|i| v(&format!("X{i}"))).collect();
+        DRule::new(Atom::new(pred, vars.clone()), DTime::Next).when(Atom::new(pred, vars))
+    };
+
+    // 1. persistence of the EDB
+    for a in &sigma {
+        rules.push(persist(letter_rel(*a).as_str(), 1));
+    }
+    rules.push(persist("Tape", 2));
+    rules.push(persist("Begin", 1));
+    rules.push(persist("End", 1));
+
+    // 2. word-structure detection (deductive)
+    for a in &sigma {
+        rules.push(
+            DRule::new(Atom::new("Labeled", vec![v("X")]), DTime::Same)
+                .when(Atom::new(letter_rel(*a).as_str(), vec![v("X")])),
+        );
+    }
+    rules.push(
+        DRule::new(Atom::new("WReach", vec![v("X")]), DTime::Same)
+            .when(Atom::new("Begin", vec![v("X")]))
+            .when(Atom::new("Labeled", vec![v("X")])),
+    );
+    rules.push(
+        DRule::new(Atom::new("WReach", vec![v("Y")]), DTime::Same)
+            .when(Atom::new("WReach", vec![v("X")]))
+            .when(Atom::new("Tape", vec![v("X"), v("Y")]))
+            .when(Atom::new("Labeled", vec![v("Y")])),
+    );
+    rules.push(
+        DRule::new(Atom::new("Word", vec![]), DTime::Same)
+            .when(Atom::new("WReach", vec![v("X")]))
+            .when(Atom::new("End", vec![v("X")])),
+    );
+
+    // 3. spurious-tuple detection (deductive, gated on Word)
+    let spurious = || DRule::new(Atom::new("Spurious", vec![]), DTime::Same).when(Atom::new("Word", vec![]));
+    // (a) Begin / End not singletons
+    rules.push(
+        spurious()
+            .when(Atom::new("Begin", vec![v("X")]))
+            .when(Atom::new("Begin", vec![v("Y")]))
+            .distinct(v("X"), v("Y")),
+    );
+    rules.push(
+        spurious()
+            .when(Atom::new("End", vec![v("X")]))
+            .when(Atom::new("End", vec![v("Y")]))
+            .distinct(v("X"), v("Y")),
+    );
+    // (b) doubly-labeled element
+    for (i, a) in sigma.iter().enumerate() {
+        for b in sigma.iter().skip(i + 1) {
+            rules.push(
+                spurious()
+                    .when(Atom::new(letter_rel(*a).as_str(), vec![v("X")]))
+                    .when(Atom::new(letter_rel(*b).as_str(), vec![v("X")])),
+            );
+        }
+    }
+    // (c) Tape not a successor path
+    rules.push(
+        spurious()
+            .when(Atom::new("Tape", vec![v("X"), v("Y")]))
+            .when(Atom::new("Tape", vec![v("X"), v("Z")]))
+            .distinct(v("Y"), v("Z")),
+    );
+    rules.push(
+        spurious()
+            .when(Atom::new("Tape", vec![v("Y"), v("X")]))
+            .when(Atom::new("Tape", vec![v("Z"), v("X")]))
+            .distinct(v("Y"), v("Z")),
+    );
+    rules.push(
+        DRule::new(Atom::new("TapeElem", vec![v("X")]), DTime::Same)
+            .when(Atom::new("Tape", vec![v("X"), v("Y")])),
+    );
+    rules.push(
+        DRule::new(Atom::new("TapeElem", vec![v("Y")]), DTime::Same)
+            .when(Atom::new("Tape", vec![v("X"), v("Y")])),
+    );
+    rules.push(
+        DRule::new(Atom::new("TReach", vec![v("X")]), DTime::Same)
+            .when(Atom::new("Begin", vec![v("X")])),
+    );
+    rules.push(
+        DRule::new(Atom::new("TReach", vec![v("Y")]), DTime::Same)
+            .when(Atom::new("TReach", vec![v("X")]))
+            .when(Atom::new("Tape", vec![v("X"), v("Y")])),
+    );
+    rules.push(
+        spurious()
+            .when(Atom::new("TapeElem", vec![v("X")]))
+            .unless(Atom::new("TReach", vec![v("X")])),
+    );
+    // (d) phantom elements
+    for a in &sigma {
+        rules.push(
+            DRule::new(Atom::new("InAdom", vec![v("X")]), DTime::Same)
+                .when(Atom::new(letter_rel(*a).as_str(), vec![v("X")])),
+        );
+    }
+    for p in ["Begin", "End", "TapeElem"] {
+        rules.push(
+            DRule::new(Atom::new("InAdom", vec![v("X")]), DTime::Same)
+                .when(Atom::new(p, vec![v("X")])),
+        );
+    }
+    rules.push(
+        spurious()
+            .when(Atom::new("InAdom", vec![v("X")]))
+            .unless(Atom::new("Labeled", vec![v("X")])),
+    );
+    rules.push(
+        spurious()
+            .when(Atom::new("InAdom", vec![v("X")]))
+            .unless(Atom::new("TapeElem", vec![v("X")])),
+    );
+
+    // acceptance by spuriousness (keeps Q_M monotone), and by simulation
+    rules.push(
+        DRule::new(Atom::new("Accepted", vec![]), DTime::Same)
+            .when(Atom::new("Word", vec![]))
+            .when(Atom::new("Spurious", vec![])),
+    );
+    rules.push(
+        DRule::new(Atom::new("Accepted", vec![]), DTime::Same)
+            .when(Atom::new(state_rel(m.accept()).as_str(), vec![v("X")])),
+    );
+    rules.push(persist("Accepted", 0));
+
+    // 4a. simulation start: copy the tape once, place the head
+    let start_gate = |r: DRule| -> DRule {
+        r.when(Atom::new("Word", vec![]))
+            .unless(Atom::new("Spurious", vec![]))
+            .unless(Atom::new("Started", vec![]))
+    };
+    rules.push(
+        DRule::new(Atom::new("Started", vec![]), DTime::Next)
+            .when(Atom::new("Word", vec![]))
+            .unless(Atom::new("Spurious", vec![])),
+    );
+    rules.push(persist("Started", 0));
+    for a in &sigma {
+        rules.push(start_gate(
+            DRule::new(Atom::new(cell_rel(*a).as_str(), vec![v("X")]), DTime::Next)
+                .when(Atom::new(letter_rel(*a).as_str(), vec![v("X")])),
+        ));
+    }
+    rules.push(start_gate(
+        DRule::new(Atom::new(state_rel(m.start()).as_str(), vec![v("X")]), DTime::Next)
+            .when(Atom::new("Begin", vec![v("X")])),
+    ));
+
+    // 4b. simulation helpers (deductive)
+    for q in &states {
+        rules.push(
+            DRule::new(Atom::new("Head", vec![v("X")]), DTime::Same)
+                .when(Atom::new(state_rel(q).as_str(), vec![v("X")])),
+        );
+    }
+    for c in &gamma {
+        rules.push(
+            DRule::new(Atom::new("SimOn", vec![v("X")]), DTime::Same)
+                .when(Atom::new(cell_rel(*c).as_str(), vec![v("X")])),
+        );
+    }
+    rules.push(
+        DRule::new(Atom::new("STape", vec![v("X"), v("Y")]), DTime::Same)
+            .when(Atom::new("Tape", vec![v("X"), v("Y")])),
+    );
+    rules.push(
+        DRule::new(Atom::new("STape", vec![v("X"), v("Y")]), DTime::Same)
+            .when(Atom::new("ExtSucc", vec![v("X"), v("Y")])),
+    );
+    rules.push(persist("ExtSucc", 2));
+    rules.push(
+        DRule::new(Atom::new("HasNextCell", vec![v("X")]), DTime::Same)
+            .when(Atom::new("STape", vec![v("X"), v("Y")])),
+    );
+    rules.push(
+        DRule::new(Atom::new("LastCell", vec![v("X")]), DTime::Same)
+            .when(Atom::new("SimOn", vec![v("X")]))
+            .unless(Atom::new("HasNextCell", vec![v("X")])),
+    );
+    for (q, a, _) in m.transitions() {
+        rules.push(
+            DRule::new(Atom::new("Live", vec![]), DTime::Same)
+                .when(Atom::new(state_rel(q).as_str(), vec![v("X")]))
+                .when(Atom::new(cell_rel(a).as_str(), vec![v("X")])),
+        );
+    }
+    rules.push(
+        DRule::new(Atom::new("NeedExt", vec![]), DTime::Same)
+            .when(Atom::new("Live", vec![]))
+            .when(Atom::new("Head", vec![v("X")]))
+            .when(Atom::new("LastCell", vec![v("X")])),
+    );
+    rules.push(
+        DRule::new(Atom::new("CanStep", vec![]), DTime::Same)
+            .when(Atom::new("Live", vec![]))
+            .unless(Atom::new("NeedExt", vec![])),
+    );
+    for (q, a, _) in m.transitions() {
+        rules.push(
+            DRule::new(Atom::new("WriteAt", vec![v("X")]), DTime::Same)
+                .when(Atom::new(state_rel(q).as_str(), vec![v("X")]))
+                .when(Atom::new(cell_rel(a).as_str(), vec![v("X")]))
+                .when(Atom::new("CanStep", vec![])),
+        );
+    }
+
+    // 4c. tape extension — the entangled rules of the paper: the fresh
+    // cell is *named by the current timestamp*.
+    rules.push(
+        DRule::new(Atom::new("ExtSucc", vec![v("X"), v("T")]), DTime::Next)
+            .when(Atom::new("NeedExt", vec![]))
+            .when(Atom::new("LastCell", vec![v("X")]))
+            .with_time_var("T"),
+    );
+    rules.push(
+        DRule::new(Atom::new(cell_rel(BLANK).as_str(), vec![v("T")]), DTime::Next)
+            .when(Atom::new("NeedExt", vec![]))
+            .when(Atom::new("LastCell", vec![v("X")]))
+            .with_time_var("T"),
+    );
+
+    // 4d. machine steps (inductive)
+    for (q, a, t) in m.transitions() {
+        let fire = |head: Atom| -> DRule {
+            DRule::new(head, DTime::Next)
+                .when(Atom::new(state_rel(q).as_str(), vec![v("X")]))
+                .when(Atom::new(cell_rel(a).as_str(), vec![v("X")]))
+                .when(Atom::new("CanStep", vec![]))
+        };
+        // write
+        rules.push(fire(Atom::new(cell_rel(t.write).as_str(), vec![v("X")])));
+        // move
+        let next_state = state_rel(&t.next);
+        rules.push(match t.movement {
+            Move::Right => fire(Atom::new(next_state.as_str(), vec![v("Y")]))
+                .when(Atom::new("STape", vec![v("X"), v("Y")])),
+            Move::Left => fire(Atom::new(next_state.as_str(), vec![v("Y")]))
+                .when(Atom::new("STape", vec![v("Y"), v("X")])),
+            Move::Stay => fire(Atom::new(next_state.as_str(), vec![v("X")])),
+        });
+    }
+
+    // 4e. frame rules
+    for c in &gamma {
+        rules.push(
+            DRule::new(Atom::new(cell_rel(*c).as_str(), vec![v("Y")]), DTime::Next)
+                .when(Atom::new(cell_rel(*c).as_str(), vec![v("Y")]))
+                .unless(Atom::new("WriteAt", vec![v("Y")])),
+        );
+    }
+    for q in &states {
+        rules.push(
+            DRule::new(Atom::new(state_rel(q).as_str(), vec![v("X")]), DTime::Next)
+                .when(Atom::new(state_rel(q).as_str(), vec![v("X")]))
+                .when(Atom::new("NeedExt", vec![])),
+        );
+    }
+
+    DedalusProgram::new(rules)
+}
+
+/// How the input facts arrive over time.
+#[derive(Clone, Copy, Debug)]
+pub enum InputSchedule {
+    /// Everything at tick 0.
+    AllAtZero,
+    /// Scattered uniformly over `0..=spread` ticks with a seed.
+    Scattered {
+        /// Latest possible arrival tick.
+        spread: u64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Result of simulating `Q_M` in Dedalus.
+#[derive(Clone, Debug)]
+pub struct Thm18Outcome {
+    /// Did the limit database contain `Accepted`?
+    pub accepted: bool,
+    /// Tick at which the trace provably stabilized (eventual
+    /// consistency); `None` when the budget ran out first.
+    pub converged_at: Option<u64>,
+    /// Number of ticks executed.
+    pub ticks: usize,
+}
+
+/// Simulate the machine on an arbitrary instance over the word schema
+/// (which may be a proper word, spurious, or not a word at all).
+pub fn simulate_instance(
+    m: &TuringMachine,
+    input: &Instance,
+    schedule: InputSchedule,
+    opts: &DedalusOptions,
+) -> Result<Thm18Outcome, EvalError> {
+    let program = compile_tm(m)?;
+    let edb = match schedule {
+        InputSchedule::AllAtZero => TemporalFacts::all_at_zero(input),
+        InputSchedule::Scattered { spread, seed } => {
+            TemporalFacts::scattered(input, spread, seed)
+        }
+    };
+    let trace = run_dedalus(&program, &edb, opts)?;
+    Ok(Thm18Outcome {
+        accepted: trace.holds("Accepted"),
+        converged_at: trace.converged_at,
+        ticks: trace.ticks.len(),
+    })
+}
+
+/// Simulate the machine on a string (encoded as a word structure).
+pub fn simulate_word(
+    m: &TuringMachine,
+    word: &str,
+    schedule: InputSchedule,
+    opts: &DedalusOptions,
+) -> Result<Thm18Outcome, EvalError> {
+    let input = rtx_machine::encode_word(word, m.input_alphabet().iter().copied())
+        .map_err(EvalError::Rel)?;
+    simulate_instance(m, &input, schedule, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_machine::machines;
+    use rtx_relational::{Fact, Tuple, Value};
+
+    fn opts() -> DedalusOptions {
+        DedalusOptions { max_ticks: 400, async_max_delay: 1, seed: 0 }
+    }
+
+    #[test]
+    fn even_as_agrees_with_interpreter() {
+        let m = machines::even_as();
+        for (w, expected) in [("aa", true), ("ab", false), ("baab", true), ("aba", true)] {
+            let out = simulate_word(&m, w, InputSchedule::AllAtZero, &opts()).unwrap();
+            assert!(out.converged_at.is_some(), "{w}: must be eventually consistent");
+            assert_eq!(out.accepted, expected, "word {w}");
+        }
+    }
+
+    #[test]
+    fn anbn_agrees_with_interpreter() {
+        let m = machines::a_n_b_n();
+        for (w, expected) in [("ab", true), ("aabb", true), ("aab", false), ("ba", false)] {
+            let out = simulate_word(&m, w, InputSchedule::AllAtZero, &opts()).unwrap();
+            assert!(out.converged_at.is_some(), "{w}");
+            assert_eq!(out.accepted, expected, "word {w}");
+        }
+    }
+
+    #[test]
+    fn scattered_arrivals_do_not_change_the_answer() {
+        let m = machines::contains_ab();
+        for (w, expected) in [("ab", true), ("bb", false), ("bab", true)] {
+            for seed in [1u64, 2, 3] {
+                let out = simulate_word(
+                    &m,
+                    w,
+                    InputSchedule::Scattered { spread: 6, seed },
+                    &opts(),
+                )
+                .unwrap();
+                assert!(out.converged_at.is_some());
+                assert_eq!(out.accepted, expected, "word {w} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn spurious_input_accepts_regardless_of_machine() {
+        // contains a word ("ab") plus a double Begin: spurious ⇒ accept,
+        // even though the machine rejects "ab"… wait, contains_ab accepts
+        // "ab"; use even_as which rejects "ab".
+        let m = machines::even_as();
+        let mut input = rtx_machine::encode_word("ab", ['a', 'b']).unwrap();
+        input
+            .insert_fact(Fact::new("Begin", Tuple::new(vec![rtx_machine::position(2)])))
+            .unwrap();
+        let out =
+            simulate_instance(&m, &input, InputSchedule::AllAtZero, &opts()).unwrap();
+        assert!(out.accepted, "spurious word structures accept (monotonicity)");
+        assert!(out.converged_at.is_some());
+    }
+
+    #[test]
+    fn non_word_inputs_reject() {
+        let m = machines::even_as();
+        // a tape fragment with no Begin
+        let mut input = rtx_machine::encode_word("aa", ['a', 'b']).unwrap();
+        input.remove_fact(&Fact::new("Begin", Tuple::new(vec![rtx_machine::position(1)])));
+        let out =
+            simulate_instance(&m, &input, InputSchedule::AllAtZero, &opts()).unwrap();
+        assert!(!out.accepted);
+        assert!(out.converged_at.is_some());
+    }
+
+    #[test]
+    fn late_spurious_facts_flip_to_accept_monotonically() {
+        // the word "ab" (rejected by even_as) arrives first; a second
+        // End fact arrives much later — the limit must accept.
+        let m = machines::even_as();
+        let input = rtx_machine::encode_word("ab", ['a', 'b']).unwrap();
+        let mut edb = TemporalFacts::all_at_zero(&input);
+        edb.insert(
+            12,
+            Fact::new("End", Tuple::new(vec![rtx_machine::position(1)])),
+        );
+        let program = compile_tm(&m).unwrap();
+        let trace = run_dedalus(&program, &edb, &opts()).unwrap();
+        assert!(trace.converged());
+        assert!(trace.holds("Accepted"));
+    }
+
+    #[test]
+    fn tape_extension_mints_timestamp_cells() {
+        // even_as runs off the right end of the input: the simulation
+        // must extend the tape with an Int-named cell to read the blank.
+        let m = machines::even_as();
+        let program = compile_tm(&m).unwrap();
+        let input = rtx_machine::encode_word("aa", ['a', 'b']).unwrap();
+        let trace =
+            run_dedalus(&program, &TemporalFacts::all_at_zero(&input), &opts()).unwrap();
+        assert!(trace.holds("Accepted"));
+        let ext = trace.last().relation(&"ExtSucc".into()).unwrap();
+        assert!(!ext.is_empty(), "the tape was extended");
+        let minted: Vec<Value> =
+            ext.iter().map(|t| t.get(1).unwrap().clone()).collect();
+        assert!(
+            minted.iter().all(|c| c.as_int().is_some()),
+            "extension cells are named by integer timestamps (entanglement)"
+        );
+    }
+
+    #[test]
+    fn palindrome_simulation_with_multiple_extensions() {
+        let m = machines::palindrome();
+        let o = DedalusOptions { max_ticks: 2000, ..opts() };
+        for (w, expected) in [("aa", true), ("ab", false), ("aba", true)] {
+            let out = simulate_word(&m, w, InputSchedule::AllAtZero, &o).unwrap();
+            assert!(out.converged_at.is_some(), "{w}");
+            assert_eq!(out.accepted, expected, "word {w}");
+        }
+    }
+
+    #[test]
+    fn full_catalog_cross_validation() {
+        // every machine × every catalog word: Dedalus ≡ direct interpreter
+        let o = DedalusOptions { max_ticks: 2000, ..opts() };
+        for (m, cases) in machines::catalog() {
+            for (w, expected) in cases {
+                if w.len() < 2 {
+                    continue; // the paper considers strings of length ≥ 2
+                }
+                let direct = m.run(w, 100_000).unwrap().accepted();
+                assert_eq!(direct, expected);
+                let sim = simulate_word(&m, w, InputSchedule::AllAtZero, &o).unwrap();
+                assert_eq!(
+                    sim.accepted,
+                    expected,
+                    "machine {} diverges from interpreter on {w}",
+                    m.name()
+                );
+            }
+        }
+    }
+}

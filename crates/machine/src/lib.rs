@@ -1,0 +1,16 @@
+//! # rtx-machine — Turing machines and word structures
+//!
+//! The substrate for the paper's Theorem 18: deterministic single-tape
+//! Turing machines with a direct interpreter (the ground truth the
+//! Dedalus simulation is validated against), and *word structures* — the
+//! relational encoding of strings over `S_Σ = {Tape, Begin, End} ∪ Σ`
+//! with the paper's spurious-tuple case analysis.
+
+#![warn(missing_docs)]
+
+pub mod machines;
+mod tm;
+mod word;
+
+pub use tm::{Move, State, Sym, TmError, TmOutcome, Transition, TuringMachine, BLANK};
+pub use word::{decode_word, encode_word, letter_rel, position, word_schema, WordShape};

@@ -1,0 +1,128 @@
+//! A small library of sample Turing machines used by the Theorem 18
+//! experiments.
+
+use crate::tm::{Move, TuringMachine, BLANK};
+
+/// Accepts strings over `{a, b}` with an **even number of `a`s**
+/// (a two-state parity scan; regular language).
+pub fn even_as() -> TuringMachine {
+    TuringMachine::new("even a's", ['a', 'b'], "even", "acc")
+        .with_rule("even", 'a', "odd", 'a', Move::Right)
+        .with_rule("even", 'b', "even", 'b', Move::Right)
+        .with_rule("even", BLANK, "acc", BLANK, Move::Stay)
+        .with_rule("odd", 'a', "even", 'a', Move::Right)
+        .with_rule("odd", 'b', "odd", 'b', Move::Right)
+}
+
+/// Accepts `aⁿbⁿ` for `n ≥ 1` (the classic non-regular language; marks
+/// one `a` and one `b` per pass).
+pub fn a_n_b_n() -> TuringMachine {
+    TuringMachine::new("a^n b^n", ['a', 'b'], "q0", "acc")
+        // q0: expect an unmarked 'a' (or all marked: check only X/Y left)
+        .with_rule("q0", 'a', "q1", 'X', Move::Right)
+        .with_rule("q0", 'Y', "q3", 'Y', Move::Right)
+        // q1: scan right over a's and Y's to the first 'b'
+        .with_rule("q1", 'a', "q1", 'a', Move::Right)
+        .with_rule("q1", 'Y', "q1", 'Y', Move::Right)
+        .with_rule("q1", 'b', "q2", 'Y', Move::Left)
+        // q2: scan left back to the X boundary
+        .with_rule("q2", 'a', "q2", 'a', Move::Left)
+        .with_rule("q2", 'Y', "q2", 'Y', Move::Left)
+        .with_rule("q2", 'X', "q0", 'X', Move::Right)
+        // q3: verify only Y's remain
+        .with_rule("q3", 'Y', "q3", 'Y', Move::Right)
+        .with_rule("q3", BLANK, "acc", BLANK, Move::Stay)
+}
+
+/// Accepts strings over `{a, b}` containing the substring `ab`
+/// (a three-state scanner; regular language).
+pub fn contains_ab() -> TuringMachine {
+    TuringMachine::new("contains ab", ['a', 'b'], "s", "acc")
+        .with_rule("s", 'a', "saw_a", 'a', Move::Right)
+        .with_rule("s", 'b', "s", 'b', Move::Right)
+        .with_rule("saw_a", 'a', "saw_a", 'a', Move::Right)
+        .with_rule("saw_a", 'b', "acc", 'b', Move::Stay)
+}
+
+/// Accepts palindromes over `{a, b}` of length ≥ 1 (quadratic-time
+/// two-ended erasure).
+pub fn palindrome() -> TuringMachine {
+    TuringMachine::new("palindrome", ['a', 'b'], "p0", "acc")
+        // p0: read the first unerased symbol
+        .with_rule("p0", 'a', "ra", BLANK, Move::Right)
+        .with_rule("p0", 'b', "rb", BLANK, Move::Right)
+        .with_rule("p0", BLANK, "acc", BLANK, Move::Stay) // everything erased
+        // ra/rb: run right to the end
+        .with_rule("ra", 'a', "ra", 'a', Move::Right)
+        .with_rule("ra", 'b', "ra", 'b', Move::Right)
+        .with_rule("ra", BLANK, "ca", BLANK, Move::Left)
+        .with_rule("rb", 'a', "rb", 'a', Move::Right)
+        .with_rule("rb", 'b', "rb", 'b', Move::Right)
+        .with_rule("rb", BLANK, "cb", BLANK, Move::Left)
+        // ca/cb: check the rightmost unerased symbol matches
+        .with_rule("ca", 'a', "back", BLANK, Move::Left)
+        .with_rule("ca", BLANK, "acc", BLANK, Move::Stay) // odd length, middle
+        .with_rule("cb", 'b', "back", BLANK, Move::Left)
+        .with_rule("cb", BLANK, "acc", BLANK, Move::Stay)
+        // back: run left to the erased prefix boundary
+        .with_rule("back", 'a', "back", 'a', Move::Left)
+        .with_rule("back", 'b', "back", 'b', Move::Left)
+        .with_rule("back", BLANK, "p0", BLANK, Move::Right)
+}
+
+/// All sample machines with representative accept/reject inputs — the
+/// table driven by the Theorem 18 experiments.
+pub fn catalog() -> Vec<(TuringMachine, Vec<(&'static str, bool)>)> {
+    vec![
+        (
+            even_as(),
+            vec![("aa", true), ("ab", false), ("baab", true), ("bb", true), ("aba", true)],
+        ),
+        (
+            a_n_b_n(),
+            vec![("ab", true), ("aabb", true), ("aab", false), ("ba", false)],
+        ),
+        (
+            contains_ab(),
+            vec![("ab", true), ("bba", false), ("bab", true), ("bb", false)],
+        ),
+        (
+            palindrome(),
+            vec![("aa", true), ("aba", true), ("abab", false), ("ab", false)],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn palindrome_machine() {
+        let m = palindrome();
+        for (w, exp) in [
+            ("a", true),
+            ("ab", false),
+            ("aba", true),
+            ("abba", true),
+            ("aabaa", true),
+            ("aab", false),
+        ] {
+            assert_eq!(m.run(w, 10_000).unwrap().accepted(), exp, "input {w}");
+        }
+    }
+
+    #[test]
+    fn catalog_expectations_hold_on_the_interpreter() {
+        for (m, cases) in catalog() {
+            for (w, exp) in cases {
+                assert_eq!(
+                    m.run(w, 100_000).unwrap().accepted(),
+                    exp,
+                    "machine {} on {w}",
+                    m.name()
+                );
+            }
+        }
+    }
+}

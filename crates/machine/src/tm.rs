@@ -1,0 +1,292 @@
+//! Deterministic single-tape Turing machines.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A machine state name.
+pub type State = String;
+/// A tape symbol (single char; `BLANK` is the blank).
+pub type Sym = char;
+
+/// The blank tape symbol.
+pub const BLANK: Sym = '_';
+
+/// Head movement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Move {
+    /// One cell left.
+    Left,
+    /// One cell right.
+    Right,
+    /// Stay put.
+    Stay,
+}
+
+/// A transition `δ(q, a) = (q', b, move)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transition {
+    /// Next state.
+    pub next: State,
+    /// Symbol written.
+    pub write: Sym,
+    /// Head movement.
+    pub movement: Move,
+}
+
+/// Errors from machine construction or execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TmError {
+    /// A transition references an undeclared state.
+    UnknownState(State),
+    /// The input contains a symbol outside the input alphabet.
+    BadInputSymbol(Sym),
+    /// The step budget was exhausted.
+    OutOfFuel {
+        /// Steps executed.
+        steps: usize,
+    },
+    /// The head moved left of the leftmost cell.
+    FellOffLeft,
+}
+
+impl fmt::Display for TmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TmError::UnknownState(s) => write!(f, "unknown state `{s}`"),
+            TmError::BadInputSymbol(c) => write!(f, "symbol `{c}` not in the input alphabet"),
+            TmError::OutOfFuel { steps } => write!(f, "no halt within {steps} steps"),
+            TmError::FellOffLeft => write!(f, "head moved left of the tape start"),
+        }
+    }
+}
+
+impl std::error::Error for TmError {}
+
+/// Result of running a machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TmOutcome {
+    /// Halted in the accepting state.
+    Accept {
+        /// Steps taken.
+        steps: usize,
+    },
+    /// Halted in a non-accepting configuration.
+    Reject {
+        /// Steps taken.
+        steps: usize,
+    },
+}
+
+impl TmOutcome {
+    /// Did the machine accept?
+    pub fn accepted(&self) -> bool {
+        matches!(self, TmOutcome::Accept { .. })
+    }
+}
+
+/// A deterministic single-tape Turing machine.
+///
+/// The machine halts when it enters `accept` or when no transition is
+/// defined for the current `(state, symbol)` pair (an implicit reject).
+#[derive(Clone, Debug)]
+pub struct TuringMachine {
+    name: String,
+    input_alphabet: BTreeSet<Sym>,
+    start: State,
+    accept: State,
+    delta: BTreeMap<(State, Sym), Transition>,
+}
+
+impl TuringMachine {
+    /// Build a machine.
+    pub fn new(
+        name: impl Into<String>,
+        input_alphabet: impl IntoIterator<Item = Sym>,
+        start: impl Into<State>,
+        accept: impl Into<State>,
+    ) -> Self {
+        TuringMachine {
+            name: name.into(),
+            input_alphabet: input_alphabet.into_iter().collect(),
+            start: start.into(),
+            accept: accept.into(),
+            delta: BTreeMap::new(),
+        }
+    }
+
+    /// Add a transition (builder style).
+    pub fn with_rule(
+        mut self,
+        state: impl Into<State>,
+        read: Sym,
+        next: impl Into<State>,
+        write: Sym,
+        movement: Move,
+    ) -> Self {
+        self.delta.insert(
+            (state.into(), read),
+            Transition { next: next.into(), write, movement },
+        );
+        self
+    }
+
+    /// Machine name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input alphabet Σ.
+    pub fn input_alphabet(&self) -> &BTreeSet<Sym> {
+        &self.input_alphabet
+    }
+
+    /// Start state.
+    pub fn start(&self) -> &State {
+        &self.start
+    }
+
+    /// Accept state.
+    pub fn accept(&self) -> &State {
+        &self.accept
+    }
+
+    /// All states mentioned anywhere.
+    pub fn states(&self) -> BTreeSet<State> {
+        let mut out: BTreeSet<State> = [self.start.clone(), self.accept.clone()].into();
+        for ((q, _), t) in &self.delta {
+            out.insert(q.clone());
+            out.insert(t.next.clone());
+        }
+        out
+    }
+
+    /// All tape symbols mentioned anywhere (input alphabet ∪ written
+    /// symbols ∪ blank).
+    pub fn tape_alphabet(&self) -> BTreeSet<Sym> {
+        let mut out = self.input_alphabet.clone();
+        out.insert(BLANK);
+        for ((_, read), t) in &self.delta {
+            out.insert(*read);
+            out.insert(t.write);
+        }
+        out
+    }
+
+    /// The transition table.
+    pub fn transitions(&self) -> impl Iterator<Item = (&State, Sym, &Transition)> {
+        self.delta.iter().map(|((q, a), t)| (q, *a, t))
+    }
+
+    /// Look up `δ(state, symbol)`.
+    pub fn transition(&self, state: &str, read: Sym) -> Option<&Transition> {
+        self.delta.get(&(state.to_string(), read))
+    }
+
+    /// Run the machine on `input`, with a step budget.
+    pub fn run(&self, input: &str, fuel: usize) -> Result<TmOutcome, TmError> {
+        for c in input.chars() {
+            if !self.input_alphabet.contains(&c) {
+                return Err(TmError::BadInputSymbol(c));
+            }
+        }
+        let mut tape: Vec<Sym> = input.chars().collect();
+        if tape.is_empty() {
+            tape.push(BLANK);
+        }
+        let mut head: usize = 0;
+        let mut state = self.start.clone();
+        for steps in 0..fuel {
+            if state == self.accept {
+                return Ok(TmOutcome::Accept { steps });
+            }
+            let read = tape[head];
+            let t = match self.delta.get(&(state.clone(), read)) {
+                Some(t) => t.clone(),
+                None => return Ok(TmOutcome::Reject { steps }),
+            };
+            tape[head] = t.write;
+            state = t.next;
+            match t.movement {
+                Move::Left => {
+                    if head == 0 {
+                        return Err(TmError::FellOffLeft);
+                    }
+                    head -= 1;
+                }
+                Move::Right => {
+                    head += 1;
+                    if head == tape.len() {
+                        tape.push(BLANK);
+                    }
+                }
+                Move::Stay => {}
+            }
+        }
+        if state == self.accept {
+            return Ok(TmOutcome::Accept { steps: fuel });
+        }
+        Err(TmError::OutOfFuel { steps: fuel })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+
+    #[test]
+    fn even_as_accepts_even_counts() {
+        let m = machines::even_as();
+        assert!(m.run("", 100).unwrap().accepted());
+        assert!(m.run("aa", 100).unwrap().accepted());
+        assert!(m.run("abab", 100).unwrap().accepted());
+        assert!(m.run("aba", 100).unwrap().accepted());
+        assert!(!m.run("a", 100).unwrap().accepted());
+        assert!(!m.run("aaab", 100).unwrap().accepted());
+    }
+
+    #[test]
+    fn anbn_accepts_balanced() {
+        let m = machines::a_n_b_n();
+        assert!(m.run("ab", 1000).unwrap().accepted());
+        assert!(m.run("aabb", 1000).unwrap().accepted());
+        assert!(m.run("aaabbb", 2000).unwrap().accepted());
+        assert!(!m.run("aab", 1000).unwrap().accepted());
+        assert!(!m.run("ba", 1000).unwrap().accepted());
+        assert!(!m.run("abab", 1000).unwrap().accepted());
+    }
+
+    #[test]
+    fn contains_ab_scans() {
+        let m = machines::contains_ab();
+        assert!(m.run("ab", 100).unwrap().accepted());
+        assert!(m.run("bbab", 100).unwrap().accepted());
+        assert!(!m.run("ba", 100).unwrap().accepted());
+        assert!(!m.run("bbb", 100).unwrap().accepted());
+        assert!(!m.run("a", 100).unwrap().accepted());
+    }
+
+    #[test]
+    fn bad_input_symbol_rejected() {
+        let m = machines::even_as();
+        assert!(matches!(m.run("xyz", 100), Err(TmError::BadInputSymbol('x'))));
+    }
+
+    #[test]
+    fn fuel_exhaustion_detected() {
+        // spin forever in place
+        let m = TuringMachine::new("spin", ['a'], "q0", "acc")
+            .with_rule("q0", 'a', "q0", 'a', Move::Stay);
+        assert!(matches!(m.run("a", 50), Err(TmError::OutOfFuel { steps: 50 })));
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let m = machines::a_n_b_n();
+        assert!(m.states().contains("q0"));
+        assert!(m.tape_alphabet().contains(&BLANK));
+        assert!(m.transitions().count() > 0);
+        assert!(m.transition("q0", 'a').is_some());
+        assert_eq!(m.name(), "a^n b^n");
+    }
+}

@@ -1,0 +1,311 @@
+//! Word structures: strings as relational instances (paper, Section 8).
+//!
+//! A string `s = a1 … ap` over alphabet `Σ` is the instance `I_s` over
+//! the schema `S_Σ = {Tape/2, Begin/1, End/1} ∪ {a/1 | a ∈ Σ}` with facts
+//! `Tape(1,2), …, Tape(p−1,p), Begin(1), End(p), a1(1), …, ap(p)` —
+//! Thomas's *word structures*. The paper considers strings of length ≥ 2.
+//!
+//! Positions are encoded as symbols `p1 … pp` rather than integers so
+//! that they can never collide with the integer timestamps Dedalus uses
+//! to mint fresh tape cells (see `rtx-dedalus`; the paper handles the
+//! same collision with a separate `TapeExt` predicate — our value-typed
+//! encoding achieves the separation structurally).
+
+use crate::tm::Sym;
+use rtx_relational::{Fact, Instance, RelError, RelName, Schema, Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Relation name for a letter predicate.
+pub fn letter_rel(a: Sym) -> RelName {
+    RelName::new(format!("sym_{a}"))
+}
+
+/// The word-structure schema for an alphabet.
+pub fn word_schema(alphabet: impl IntoIterator<Item = Sym>) -> Schema {
+    let mut s = Schema::new().with("Tape", 2).with("Begin", 1).with("End", 1);
+    for a in alphabet {
+        s = s.with(letter_rel(a), 1);
+    }
+    s
+}
+
+/// The value naming position `i` (1-based).
+pub fn position(i: usize) -> Value {
+    Value::sym(format!("p{i}"))
+}
+
+/// Encode a string (length ≥ 2) as a word structure.
+pub fn encode_word(
+    s: &str,
+    alphabet: impl IntoIterator<Item = Sym>,
+) -> Result<Instance, RelError> {
+    let chars: Vec<Sym> = s.chars().collect();
+    let schema = word_schema(alphabet);
+    let mut out = Instance::empty(schema);
+    if chars.len() < 2 {
+        // the paper restricts to length ≥ 2; shorter strings still encode
+        // (Begin = End for length 1), but callers should prefer ≥ 2.
+    }
+    let p = chars.len();
+    for i in 1..p {
+        out.insert_fact(Fact::new("Tape", Tuple::new(vec![position(i), position(i + 1)])))?;
+    }
+    if p >= 1 {
+        out.insert_fact(Fact::new("Begin", Tuple::new(vec![position(1)])))?;
+        out.insert_fact(Fact::new("End", Tuple::new(vec![position(p)])))?;
+    }
+    for (i, a) in chars.iter().enumerate() {
+        out.insert_fact(Fact::new(letter_rel(*a), Tuple::new(vec![position(i + 1)])))?;
+    }
+    Ok(out)
+}
+
+/// The result of inspecting an instance over a word schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WordShape {
+    /// A proper word structure representing this string.
+    Word(String),
+    /// Contains a word structure (a fully-labeled `Tape` path from a
+    /// `Begin` to an `End` element) but violates one of the paper's
+    /// structural conditions (a)–(d): spurious facts.
+    Spurious,
+    /// Does not contain a word structure at all.
+    NotAWord,
+}
+
+/// Decode / classify an instance per the paper's case analysis.
+///
+/// Conditions checked once a word path exists:
+/// (a) `Begin` or `End` not a singleton; (b) an element labeled by two
+/// letters; (c) `Tape` not a plain successor path from begin to end
+/// (branching, or an on-tape element unreachable from `Begin`);
+/// (d) a phantom element (unlabeled, or off the tape).
+pub fn decode_word(instance: &Instance, alphabet: &BTreeSet<Sym>) -> WordShape {
+    let begin: Vec<Value> = rel_values(instance, "Begin");
+    let end: Vec<Value> = rel_values(instance, "End");
+    let tape: Vec<(Value, Value)> = instance
+        .relation(&"Tape".into())
+        .map(|r| {
+            r.iter()
+                .map(|t| (t.get(0).unwrap().clone(), t.get(1).unwrap().clone()))
+                .collect()
+        })
+        .unwrap_or_default();
+
+    // labels
+    let mut labels: BTreeMap<Value, Vec<Sym>> = BTreeMap::new();
+    for a in alphabet {
+        for v in rel_values(instance, letter_rel(*a).as_str()) {
+            labels.entry(v).or_default().push(*a);
+        }
+    }
+
+    // does a labeled path from some Begin to some End exist?
+    let succ: BTreeMap<&Value, Vec<&Value>> = {
+        let mut m: BTreeMap<&Value, Vec<&Value>> = BTreeMap::new();
+        for (a, b) in &tape {
+            m.entry(a).or_default().push(b);
+        }
+        m
+    };
+    let labeled = |v: &Value| labels.contains_key(v);
+    let mut contains_word = false;
+    let mut witness: Option<Vec<Value>> = None;
+    for b in &begin {
+        if !labeled(b) {
+            continue;
+        }
+        // DFS along labeled tape elements
+        let mut stack = vec![(b.clone(), vec![b.clone()])];
+        let mut visited: BTreeSet<Value> = BTreeSet::new();
+        while let Some((v, path)) = stack.pop() {
+            if end.contains(&v) {
+                contains_word = true;
+                witness = Some(path.clone());
+                break;
+            }
+            if !visited.insert(v.clone()) {
+                continue;
+            }
+            for next in succ.get(&v).into_iter().flatten() {
+                if labeled(next) {
+                    let mut p = path.clone();
+                    p.push((*next).clone());
+                    stack.push(((*next).clone(), p));
+                }
+            }
+        }
+        if contains_word {
+            break;
+        }
+    }
+    if !contains_word {
+        return WordShape::NotAWord;
+    }
+
+    // (a) Begin/End singletons
+    if begin.len() != 1 || end.len() != 1 {
+        return WordShape::Spurious;
+    }
+    // (b) unique labels
+    if labels.values().any(|ls| ls.len() > 1) {
+        return WordShape::Spurious;
+    }
+    // (c) Tape must be a simple successor path: out/in-degree ≤ 1, and
+    // every tape element reachable from Begin.
+    let mut outdeg: BTreeMap<&Value, usize> = BTreeMap::new();
+    let mut indeg: BTreeMap<&Value, usize> = BTreeMap::new();
+    let mut tape_elems: BTreeSet<&Value> = BTreeSet::new();
+    for (a, b) in &tape {
+        *outdeg.entry(a).or_default() += 1;
+        *indeg.entry(b).or_default() += 1;
+        tape_elems.insert(a);
+        tape_elems.insert(b);
+    }
+    if outdeg.values().any(|&d| d > 1) || indeg.values().any(|&d| d > 1) {
+        return WordShape::Spurious;
+    }
+    let mut reach: BTreeSet<&Value> = BTreeSet::new();
+    let mut frontier = vec![&begin[0]];
+    while let Some(v) = frontier.pop() {
+        if !reach.insert(v) {
+            continue;
+        }
+        for n in succ.get(v).into_iter().flatten() {
+            frontier.push(n);
+        }
+    }
+    if tape_elems.iter().any(|v| !reach.contains(*v)) {
+        return WordShape::Spurious;
+    }
+    // (d) phantom elements: everything in the active domain must be
+    // labeled and on the tape (or be the single begin=endpoint).
+    let adom = instance.adom();
+    for v in &adom {
+        if !labeled(v) {
+            return WordShape::Spurious;
+        }
+        if !tape_elems.contains(v) {
+            // a single-letter word has an empty tape; tolerate only then
+            if !tape.is_empty() || adom.len() > 1 {
+                return WordShape::Spurious;
+            }
+        }
+    }
+
+    // reconstruct the string from the witness path
+    let path = witness.expect("set when contains_word");
+    // the witness must cover the whole tape to be the word itself
+    if path.len() != tape_elems.len().max(1) {
+        return WordShape::Spurious;
+    }
+    let s: String = path
+        .iter()
+        .map(|v| labels[v][0])
+        .collect();
+    WordShape::Word(s)
+}
+
+fn rel_values(instance: &Instance, rel: &str) -> Vec<Value> {
+    instance
+        .relation(&rel.into())
+        .map(|r| r.iter().map(|t| t.get(0).unwrap().clone()).collect())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_relational::fact;
+
+    fn ab() -> BTreeSet<Sym> {
+        ['a', 'b'].into_iter().collect()
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for w in ["ab", "aab", "baba", "bb"] {
+            let i = encode_word(w, ['a', 'b']).unwrap();
+            assert_eq!(decode_word(&i, &ab()), WordShape::Word(w.to_string()), "{w}");
+        }
+    }
+
+    #[test]
+    fn encoding_shape() {
+        let i = encode_word("ab", ['a', 'b']).unwrap();
+        assert!(i.contains_fact(&Fact::new("Begin", Tuple::new(vec![position(1)]))));
+        assert!(i.contains_fact(&Fact::new("End", Tuple::new(vec![position(2)]))));
+        assert!(i.contains_fact(&Fact::new(
+            "Tape",
+            Tuple::new(vec![position(1), position(2)])
+        )));
+        assert!(i.contains_fact(&Fact::new(letter_rel('a'), Tuple::new(vec![position(1)]))));
+        assert_eq!(i.fact_count(), 5);
+    }
+
+    #[test]
+    fn not_a_word_without_path() {
+        let mut i = encode_word("ab", ['a', 'b']).unwrap();
+        // cut the tape
+        i.remove_fact(&Fact::new("Tape", Tuple::new(vec![position(1), position(2)])));
+        assert_eq!(decode_word(&i, &ab()), WordShape::NotAWord);
+        // empty instance
+        let empty = Instance::empty(word_schema(['a', 'b']));
+        assert_eq!(decode_word(&empty, &ab()), WordShape::NotAWord);
+    }
+
+    #[test]
+    fn spurious_double_begin() {
+        let mut i = encode_word("ab", ['a', 'b']).unwrap();
+        i.insert_fact(Fact::new("Begin", Tuple::new(vec![position(2)]))).unwrap();
+        assert_eq!(decode_word(&i, &ab()), WordShape::Spurious);
+    }
+
+    #[test]
+    fn spurious_double_label() {
+        let mut i = encode_word("ab", ['a', 'b']).unwrap();
+        i.insert_fact(Fact::new(letter_rel('b'), Tuple::new(vec![position(1)]))).unwrap();
+        assert_eq!(decode_word(&i, &ab()), WordShape::Spurious);
+    }
+
+    #[test]
+    fn spurious_branching_tape() {
+        let mut i = encode_word("aab", ['a', 'b']).unwrap();
+        // add a branch 1 -> 3
+        i.insert_fact(Fact::new("Tape", Tuple::new(vec![position(1), position(3)])))
+            .unwrap();
+        assert_eq!(decode_word(&i, &ab()), WordShape::Spurious);
+    }
+
+    #[test]
+    fn spurious_phantom_element() {
+        let mut i = encode_word("ab", ['a', 'b']).unwrap();
+        i.insert_fact(fact!("sym_a", "ghost")).unwrap(); // labeled but off-tape
+        assert_eq!(decode_word(&i, &ab()), WordShape::Spurious);
+        let mut j = encode_word("ab", ['a', 'b']).unwrap();
+        j.insert_fact(Fact::new("Tape", Tuple::new(vec![position(2), Value::sym("x")])))
+            .unwrap(); // on-tape but unlabeled
+        assert_eq!(decode_word(&j, &ab()), WordShape::Spurious);
+    }
+
+    #[test]
+    fn spurious_unreachable_tape_component() {
+        let mut i = encode_word("ab", ['a', 'b']).unwrap();
+        // a detached labeled tape pair
+        i.insert_fact(Fact::new(
+            "Tape",
+            Tuple::new(vec![Value::sym("u"), Value::sym("v")]),
+        ))
+        .unwrap();
+        i.insert_fact(Fact::new(letter_rel('a'), Tuple::new(vec![Value::sym("u")])))
+            .unwrap();
+        i.insert_fact(Fact::new(letter_rel('a'), Tuple::new(vec![Value::sym("v")])))
+            .unwrap();
+        assert_eq!(decode_word(&i, &ab()), WordShape::Spurious);
+    }
+
+    #[test]
+    fn positions_are_symbols_not_ints() {
+        assert!(position(3).as_sym().is_some());
+    }
+}

@@ -1,0 +1,333 @@
+//! System configurations and global transitions (paper, Section 3).
+//!
+//! A configuration maps every node to a transducer state and a buffer of
+//! undelivered messages. The paper's buffers are multisets; ours keep
+//! arrival order as well, so that schedulers can realize FIFO behaviour
+//! (the proof of Theorem 16 constructs a run with FIFO buffers), LIFO
+//! behaviour, or arbitrary reorderings — the multiset semantics is
+//! recovered by ignoring the order.
+
+use crate::error::NetError;
+use crate::partition::HorizontalPartition;
+use crate::topology::{Network, NodeId};
+use rtx_relational::{Fact, FactMultiset, Instance, Relation};
+use rtx_transducer::Transducer;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// What kind of global transition happened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransitionKind {
+    /// `γ1 --v,∅--> γ2`: a node transitions without reading messages.
+    Heartbeat,
+    /// `γ1 --v,{f}--> γ2`: a node reads a single fact from its buffer.
+    Delivery(Fact),
+}
+
+/// A record of one applied global transition.
+#[derive(Clone, Debug)]
+pub struct TransitionRecord {
+    /// The node that transitioned.
+    pub node: NodeId,
+    /// Heartbeat or delivery (with the delivered fact).
+    pub kind: TransitionKind,
+    /// The output `J_out` of the local transition.
+    pub output: Relation,
+    /// Number of facts sent (each is enqueued at every neighbor).
+    pub sent_facts: usize,
+    /// Number of buffer entries added across all neighbors.
+    pub enqueued: usize,
+    /// Did the node's state change?
+    pub state_changed: bool,
+}
+
+impl TransitionRecord {
+    /// A transition that changed nothing observable.
+    pub fn is_noop(&self) -> bool {
+        !self.state_changed && self.sent_facts == 0 && self.output.is_empty()
+    }
+}
+
+/// A configuration of a transducer network.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Configuration {
+    states: BTreeMap<NodeId, Instance>,
+    buffers: BTreeMap<NodeId, Vec<Fact>>,
+}
+
+impl Configuration {
+    /// The initial configuration for a horizontal partition: every node
+    /// holds its input fragment, `Id`/`All` are set, memory and buffers
+    /// are empty (paper, Section 4).
+    pub fn initial(
+        net: &Network,
+        transducer: &Transducer,
+        partition: &HorizontalPartition,
+    ) -> Result<Self, NetError> {
+        let all = net.node_set();
+        let mut states = BTreeMap::new();
+        let mut buffers = BTreeMap::new();
+        for node in net.nodes() {
+            let fragment = partition
+                .fragment(node)
+                .ok_or_else(|| NetError::Partition(format!("no fragment for node {node}")))?;
+            let state = transducer
+                .schema()
+                .initial_state(fragment, node, &all)
+                .map_err(NetError::Rel)?;
+            states.insert(node.clone(), state);
+            buffers.insert(node.clone(), Vec::new());
+        }
+        Ok(Configuration { states, buffers })
+    }
+
+    /// The state of a node.
+    pub fn state(&self, node: &NodeId) -> Option<&Instance> {
+        self.states.get(node)
+    }
+
+    /// The message buffer of a node, in arrival order.
+    pub fn buffer(&self, node: &NodeId) -> &[Fact] {
+        self.buffers.get(node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The buffer of a node as a multiset (order-insensitive view).
+    pub fn buffer_multiset(&self, node: &NodeId) -> FactMultiset {
+        self.buffer(node).iter().cloned().collect()
+    }
+
+    /// Are all buffers empty?
+    pub fn all_buffers_empty(&self) -> bool {
+        self.buffers.values().all(Vec::is_empty)
+    }
+
+    /// Total number of undelivered messages.
+    pub fn buffered_total(&self) -> usize {
+        self.buffers.values().map(Vec::len).sum()
+    }
+
+    /// Nodes with a nonempty buffer, in order.
+    pub fn nodes_with_mail(&self) -> impl Iterator<Item = &NodeId> {
+        self.buffers.iter().filter(|(_, b)| !b.is_empty()).map(|(n, _)| n)
+    }
+
+    /// Apply a heartbeat transition at `node`.
+    pub fn apply_heartbeat(
+        &mut self,
+        net: &Network,
+        transducer: &Transducer,
+        node: &NodeId,
+    ) -> Result<TransitionRecord, NetError> {
+        let empty = Instance::empty(transducer.schema().message().clone());
+        self.apply(net, transducer, node, empty, TransitionKind::Heartbeat)
+    }
+
+    /// Apply a delivery transition at `node`, reading the buffered fact
+    /// at `index` (single-fact delivery, per the paper).
+    pub fn apply_delivery(
+        &mut self,
+        net: &Network,
+        transducer: &Transducer,
+        node: &NodeId,
+        index: usize,
+    ) -> Result<TransitionRecord, NetError> {
+        let buf = self
+            .buffers
+            .get_mut(node)
+            .ok_or_else(|| NetError::Topology(format!("unknown node {node}")))?;
+        if index >= buf.len() {
+            return Err(NetError::Partition(format!(
+                "delivery index {index} out of range for node {node} (buffer has {})",
+                buf.len()
+            )));
+        }
+        let fact = buf.remove(index);
+        let mut received = Instance::empty(transducer.schema().message().clone());
+        received.insert_fact(fact.clone()).map_err(NetError::Rel)?;
+        self.apply(net, transducer, node, received, TransitionKind::Delivery(fact))
+    }
+
+    fn apply(
+        &mut self,
+        net: &Network,
+        transducer: &Transducer,
+        node: &NodeId,
+        received: Instance,
+        kind: TransitionKind,
+    ) -> Result<TransitionRecord, NetError> {
+        let state = self
+            .states
+            .get(node)
+            .ok_or_else(|| NetError::Topology(format!("unknown node {node}")))?;
+        let res = transducer.step(state, &received).map_err(NetError::Eval)?;
+        let state_changed = &res.new_state != state;
+        let sent: Vec<Fact> = res.sent.facts().collect();
+        let mut enqueued = 0usize;
+        for neighbor in net.neighbors(node) {
+            let buf = self.buffers.get_mut(neighbor).expect("all nodes have buffers");
+            for f in &sent {
+                buf.push(f.clone());
+                enqueued += 1;
+            }
+        }
+        self.states.insert(node.clone(), res.new_state);
+        Ok(TransitionRecord {
+            node: node.clone(),
+            kind,
+            output: res.output,
+            sent_facts: sent.len(),
+            enqueued,
+            state_changed,
+        })
+    }
+}
+
+impl fmt::Debug for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "configuration:")?;
+        for (n, st) in &self.states {
+            writeln!(
+                f,
+                "  {n}: state {} facts, buffer {} msgs",
+                st.fact_count(),
+                self.buffer(n).len()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_query::{atom, CqBuilder, QueryRef, Term, UcqQuery};
+    use rtx_relational::{fact, Schema};
+    use rtx_transducer::TransducerBuilder;
+    use std::sync::Arc;
+
+    fn cq(rule: rtx_query::CqRule) -> QueryRef {
+        Arc::new(UcqQuery::single(rule))
+    }
+
+    /// Sends local S on every step; stores received M facts in T.
+    fn flooder() -> Transducer {
+        TransducerBuilder::new("flooder")
+            .input_relation("S", 1)
+            .message_relation("M", 1)
+            .memory_relation("T", 1)
+            .output_arity(1)
+            .send(
+                "M",
+                cq(CqBuilder::head(vec![Term::var("X")])
+                    .when(atom!("S"; @"X"))
+                    .build()
+                    .unwrap()),
+            )
+            .insert(
+                "T",
+                cq(CqBuilder::head(vec![Term::var("X")])
+                    .when(atom!("M"; @"X"))
+                    .build()
+                    .unwrap()),
+            )
+            .output(
+                cq(CqBuilder::head(vec![Term::var("X")])
+                    .when(atom!("T"; @"X"))
+                    .build()
+                    .unwrap()),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn setup() -> (Network, Transducer, Configuration) {
+        let net = Network::line(2).unwrap();
+        let t = flooder();
+        let full = Instance::from_facts(Schema::new().with("S", 1), vec![fact!("S", 7)]).unwrap();
+        let p = HorizontalPartition::concentrate(&net, &full, &rtx_relational::Value::sym("n0"))
+            .unwrap();
+        let cfg = Configuration::initial(&net, &t, &p).unwrap();
+        (net, t, cfg)
+    }
+
+    #[test]
+    fn initial_configuration_shape() {
+        let (net, _, cfg) = setup();
+        assert!(cfg.all_buffers_empty());
+        for n in net.nodes() {
+            let st = cfg.state(n).unwrap();
+            assert!(st.contains_fact(&Fact::new("Id", rtx_relational::Tuple::new(vec![n.clone()]))));
+            assert_eq!(st.relation(&"All".into()).unwrap().len(), 2);
+        }
+        assert_eq!(
+            cfg.state(&rtx_relational::Value::sym("n0")).unwrap().relation(&"S".into()).unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn heartbeat_floods_to_neighbors() {
+        let (net, t, mut cfg) = setup();
+        let n0 = rtx_relational::Value::sym("n0");
+        let n1 = rtx_relational::Value::sym("n1");
+        let rec = cfg.apply_heartbeat(&net, &t, &n0).unwrap();
+        assert_eq!(rec.sent_facts, 1);
+        assert_eq!(rec.enqueued, 1); // one neighbor
+        assert_eq!(cfg.buffer(&n1).len(), 1);
+        assert!(cfg.buffer(&n0).is_empty()); // no self-delivery
+    }
+
+    #[test]
+    fn delivery_consumes_one_copy_and_updates_state() {
+        let (net, t, mut cfg) = setup();
+        let n0 = rtx_relational::Value::sym("n0");
+        let n1 = rtx_relational::Value::sym("n1");
+        cfg.apply_heartbeat(&net, &t, &n0).unwrap();
+        cfg.apply_heartbeat(&net, &t, &n0).unwrap(); // second copy
+        assert_eq!(cfg.buffer(&n1).len(), 2);
+        let rec = cfg.apply_delivery(&net, &t, &n1, 0).unwrap();
+        assert!(matches!(rec.kind, TransitionKind::Delivery(_)));
+        assert!(rec.state_changed);
+        assert_eq!(cfg.buffer(&n1).len(), 1);
+        assert!(cfg.state(&n1).unwrap().contains_fact(&fact!("T", 7)));
+        // second delivery of the same fact: state no longer changes
+        let rec2 = cfg.apply_delivery(&net, &t, &n1, 0).unwrap();
+        assert!(!rec2.state_changed);
+    }
+
+    #[test]
+    fn delivery_index_out_of_range() {
+        let (net, t, mut cfg) = setup();
+        let n1 = rtx_relational::Value::sym("n1");
+        assert!(cfg.apply_delivery(&net, &t, &n1, 0).is_err());
+    }
+
+    #[test]
+    fn buffer_multiset_view() {
+        let (net, t, mut cfg) = setup();
+        let n0 = rtx_relational::Value::sym("n0");
+        let n1 = rtx_relational::Value::sym("n1");
+        cfg.apply_heartbeat(&net, &t, &n0).unwrap();
+        cfg.apply_heartbeat(&net, &t, &n0).unwrap();
+        let ms = cfg.buffer_multiset(&n1);
+        assert_eq!(ms.count(&fact!("M", 7)), 2);
+        assert_eq!(cfg.buffered_total(), 2);
+        assert_eq!(cfg.nodes_with_mail().count(), 1);
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let (net, t, mut cfg) = setup();
+        let zz = rtx_relational::Value::sym("zz");
+        assert!(cfg.apply_heartbeat(&net, &t, &zz).is_err());
+    }
+
+    #[test]
+    fn noop_detection() {
+        let (net, t, mut cfg) = setup();
+        let n1 = rtx_relational::Value::sym("n1");
+        // n1 has no input: heartbeat sends nothing, changes nothing
+        let rec = cfg.apply_heartbeat(&net, &t, &n1).unwrap();
+        assert!(rec.is_noop());
+    }
+}

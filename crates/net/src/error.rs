@@ -1,0 +1,75 @@
+//! Network simulation errors.
+
+use rtx_query::EvalError;
+use rtx_relational::RelError;
+use std::fmt;
+
+/// Errors from building or running transducer networks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// An invalid network topology (empty, disconnected, unknown node…).
+    Topology(String),
+    /// An invalid horizontal partition.
+    Partition(String),
+    /// A kernel error.
+    Rel(RelError),
+    /// A query evaluation error inside a transition.
+    Eval(EvalError),
+    /// The step budget was exhausted before the stop condition was met.
+    Budget {
+        /// Number of steps executed.
+        steps: usize,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Topology(s) => write!(f, "invalid topology: {s}"),
+            NetError::Partition(s) => write!(f, "invalid partition: {s}"),
+            NetError::Rel(e) => write!(f, "{e}"),
+            NetError::Eval(e) => write!(f, "{e}"),
+            NetError::Budget { steps } => {
+                write!(f, "step budget exhausted after {steps} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Rel(e) => Some(e),
+            NetError::Eval(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelError> for NetError {
+    fn from(e: RelError) -> Self {
+        NetError::Rel(e)
+    }
+}
+
+impl From<EvalError> for NetError {
+    fn from(e: EvalError) -> Self {
+        NetError::Eval(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(NetError::Topology("empty".into()).to_string().contains("topology"));
+        assert!(NetError::Partition("bad".into()).to_string().contains("partition"));
+        assert!(NetError::Budget { steps: 5 }.to_string().contains('5'));
+        let e: NetError = RelError::NotInjective.into();
+        assert!(e.to_string().contains("injective"));
+        let e: NetError = EvalError::Diverged { fuel: 3 }.into();
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,30 @@
+//! # rtx-net — transducer networks
+//!
+//! The operational semantics of the paper (Section 3): a copy of one
+//! transducer runs at every node of a finite connected undirected graph;
+//! nodes exchange facts through multiset message buffers; the system
+//! evolves by *heartbeat* transitions (a node steps without reading) and
+//! *delivery* transitions (a node reads a single buffered fact); sent
+//! facts are enqueued at every neighbor.
+//!
+//! Nondeterminism (which node moves, which fact is delivered) lives in
+//! pluggable, seeded [`Scheduler`]s — FIFO round-robin, LIFO, and random
+//! — so the consistency analyses of `rtx-calm` can quantify over delivery
+//! orders reproducibly.
+
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod partition;
+mod run;
+mod topology;
+
+pub use config::{Configuration, TransitionKind, TransitionRecord};
+pub use error::NetError;
+pub use partition::HorizontalPartition;
+pub use run::{
+    run, run_from, run_heartbeats_only, Action, FifoRoundRobin, HeartbeatOnlyOutcome,
+    LifoRoundRobin, RandomScheduler, RunBudget, RunOutcome, Scheduler,
+};
+pub use topology::{Network, NodeId};

@@ -1,0 +1,286 @@
+//! Horizontal partitions of an input instance over a network.
+//!
+//! A horizontal partition of `I` on network `N` maps every node `v` to a
+//! subset `H(v) ⊆ I` with `I = ⋃_v H(v)` (paper, Section 4). Fragments
+//! may overlap; a fact may live at several nodes.
+
+use crate::error::NetError;
+use crate::topology::{Network, NodeId};
+use rand::Rng;
+use rtx_relational::{Fact, Instance, Schema};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A horizontal partition: a fragment of the input per node.
+#[derive(Clone, PartialEq, Eq)]
+pub struct HorizontalPartition {
+    fragments: BTreeMap<NodeId, Instance>,
+    schema: Schema,
+}
+
+impl HorizontalPartition {
+    /// Build from explicit fragments, validating that every network node
+    /// has a fragment (possibly empty) and that the union equals `full`.
+    pub fn new(
+        net: &Network,
+        full: &Instance,
+        fragments: BTreeMap<NodeId, Instance>,
+    ) -> Result<Self, NetError> {
+        for node in net.nodes() {
+            if !fragments.contains_key(node) {
+                return Err(NetError::Partition(format!("node {node} has no fragment")));
+            }
+        }
+        for node in fragments.keys() {
+            if !net.contains(node) {
+                return Err(NetError::Partition(format!("fragment for unknown node {node}")));
+            }
+        }
+        let mut union = Instance::empty(full.schema().clone());
+        for frag in fragments.values() {
+            for f in frag.facts() {
+                union.insert_fact(f).map_err(NetError::Rel)?;
+            }
+        }
+        if &union != full {
+            return Err(NetError::Partition(
+                "fragment union differs from the full instance".into(),
+            ));
+        }
+        Ok(HorizontalPartition { fragments, schema: full.schema().clone() })
+    }
+
+    /// Every node holds the entire instance.
+    pub fn replicate(net: &Network, full: &Instance) -> Self {
+        let fragments = net.nodes().map(|n| (n.clone(), full.clone())).collect();
+        HorizontalPartition { fragments, schema: full.schema().clone() }
+    }
+
+    /// One node holds everything; the rest hold nothing.
+    pub fn concentrate(net: &Network, full: &Instance, owner: &NodeId) -> Result<Self, NetError> {
+        if !net.contains(owner) {
+            return Err(NetError::Partition(format!("unknown owner {owner}")));
+        }
+        let empty = Instance::empty(full.schema().clone());
+        let fragments = net
+            .nodes()
+            .map(|n| (n.clone(), if n == owner { full.clone() } else { empty.clone() }))
+            .collect();
+        Ok(HorizontalPartition { fragments, schema: full.schema().clone() })
+    }
+
+    /// Deal facts round-robin over the nodes (a disjoint partition).
+    pub fn round_robin(net: &Network, full: &Instance) -> Self {
+        let nodes: Vec<&NodeId> = net.nodes().collect();
+        let empty = Instance::empty(full.schema().clone());
+        let mut fragments: BTreeMap<NodeId, Instance> =
+            nodes.iter().map(|n| ((*n).clone(), empty.clone())).collect();
+        for (i, fact) in full.facts().enumerate() {
+            let node = nodes[i % nodes.len()];
+            fragments
+                .get_mut(node)
+                .expect("node present")
+                .insert_fact(fact)
+                .expect("fact from the same schema");
+        }
+        HorizontalPartition { fragments, schema: full.schema().clone() }
+    }
+
+    /// Assign each fact to one uniformly-random node, then give each fact
+    /// independently to extra nodes with probability `overlap`.
+    pub fn random(
+        net: &Network,
+        full: &Instance,
+        overlap: f64,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let nodes: Vec<&NodeId> = net.nodes().collect();
+        let empty = Instance::empty(full.schema().clone());
+        let mut fragments: BTreeMap<NodeId, Instance> =
+            nodes.iter().map(|n| ((*n).clone(), empty.clone())).collect();
+        for fact in full.facts() {
+            let owner = nodes[rng.gen_range(0..nodes.len())];
+            fragments.get_mut(owner).unwrap().insert_fact(fact.clone()).unwrap();
+            for n in &nodes {
+                if *n != owner && rng.gen_bool(overlap.clamp(0.0, 1.0)) {
+                    fragments.get_mut(*n).unwrap().insert_fact(fact.clone()).unwrap();
+                }
+            }
+        }
+        HorizontalPartition { fragments, schema: full.schema().clone() }
+    }
+
+    /// All single-owner partitions of `full` over the nodes of `net`
+    /// (each fact placed at exactly one node), capped at `limit` results.
+    ///
+    /// There are `|nodes|^|facts|` of them — callers must keep inputs
+    /// tiny; this powers the exhaustive coordination-freeness search.
+    pub fn enumerate_single_owner(
+        net: &Network,
+        full: &Instance,
+        limit: usize,
+    ) -> Vec<HorizontalPartition> {
+        let nodes: Vec<NodeId> = net.node_set().into_iter().collect();
+        let facts: Vec<Fact> = full.facts().collect();
+        let empty = Instance::empty(full.schema().clone());
+        let mut out = Vec::new();
+        let total = nodes.len().checked_pow(facts.len() as u32).unwrap_or(usize::MAX);
+        for code in 0..total.min(limit) {
+            let mut c = code;
+            let mut fragments: BTreeMap<NodeId, Instance> =
+                nodes.iter().map(|n| (n.clone(), empty.clone())).collect();
+            for fact in &facts {
+                let node = &nodes[c % nodes.len()];
+                c /= nodes.len();
+                fragments.get_mut(node).unwrap().insert_fact(fact.clone()).unwrap();
+            }
+            out.push(HorizontalPartition { fragments, schema: full.schema().clone() });
+        }
+        out
+    }
+
+    /// The fragment of a node.
+    pub fn fragment(&self, node: &NodeId) -> Option<&Instance> {
+        self.fragments.get(node)
+    }
+
+    /// Iterate over `(node, fragment)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&NodeId, &Instance)> {
+        self.fragments.iter()
+    }
+
+    /// The input schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Reconstruct the full instance (union of fragments).
+    pub fn union(&self) -> Instance {
+        let mut out = Instance::empty(self.schema.clone());
+        for frag in self.fragments.values() {
+            for f in frag.facts() {
+                out.insert_fact(f).expect("schema-valid fact");
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for HorizontalPartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "partition{{")?;
+        for (i, (n, frag)) in self.fragments.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{n}: {} facts", frag.fact_count())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rtx_relational::fact;
+
+    fn input() -> Instance {
+        Instance::from_facts(
+            Schema::new().with("S", 1),
+            vec![fact!("S", 1), fact!("S", 2), fact!("S", 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn replicate_gives_everyone_everything() {
+        let net = Network::line(3).unwrap();
+        let p = HorizontalPartition::replicate(&net, &input());
+        for (_, frag) in p.iter() {
+            assert_eq!(frag.fact_count(), 3);
+        }
+        assert_eq!(p.union(), input());
+    }
+
+    #[test]
+    fn concentrate_gives_one_node_everything() {
+        let net = Network::line(3).unwrap();
+        let owner = rtx_relational::Value::sym("n1");
+        let p = HorizontalPartition::concentrate(&net, &input(), &owner).unwrap();
+        assert_eq!(p.fragment(&owner).unwrap().fact_count(), 3);
+        assert_eq!(p.fragment(&rtx_relational::Value::sym("n0")).unwrap().fact_count(), 0);
+        assert_eq!(p.union(), input());
+        assert!(HorizontalPartition::concentrate(
+            &net,
+            &input(),
+            &rtx_relational::Value::sym("zz")
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn round_robin_is_disjoint_and_covering() {
+        let net = Network::line(2).unwrap();
+        let p = HorizontalPartition::round_robin(&net, &input());
+        let total: usize = p.iter().map(|(_, f)| f.fact_count()).sum();
+        assert_eq!(total, 3); // disjoint
+        assert_eq!(p.union(), input());
+    }
+
+    #[test]
+    fn random_covers_across_seeds() {
+        let net = Network::ring(4).unwrap();
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = HorizontalPartition::random(&net, &input(), 0.3, &mut rng);
+            assert_eq!(p.union(), input());
+        }
+    }
+
+    #[test]
+    fn explicit_partition_validation() {
+        let net = Network::line(2).unwrap();
+        let full = input();
+        // missing node
+        let frags: BTreeMap<NodeId, Instance> =
+            [(rtx_relational::Value::sym("n0"), full.clone())].into_iter().collect();
+        assert!(HorizontalPartition::new(&net, &full, frags).is_err());
+        // union mismatch
+        let empty = Instance::empty(full.schema().clone());
+        let frags: BTreeMap<NodeId, Instance> = [
+            (rtx_relational::Value::sym("n0"), empty.clone()),
+            (rtx_relational::Value::sym("n1"), empty),
+        ]
+        .into_iter()
+        .collect();
+        assert!(HorizontalPartition::new(&net, &full, frags).is_err());
+    }
+
+    #[test]
+    fn enumerate_single_owner_counts() {
+        let net = Network::line(2).unwrap();
+        let ps = HorizontalPartition::enumerate_single_owner(&net, &input(), 100);
+        assert_eq!(ps.len(), 8); // 2^3
+        for p in &ps {
+            assert_eq!(p.union(), input());
+        }
+        let capped = HorizontalPartition::enumerate_single_owner(&net, &input(), 3);
+        assert_eq!(capped.len(), 3);
+    }
+
+    #[test]
+    fn overlapping_fragments_are_legal() {
+        // the paper allows overlap: I = ⋃ H(v) without disjointness
+        let net = Network::line(2).unwrap();
+        let full = input();
+        let frags: BTreeMap<NodeId, Instance> = [
+            (rtx_relational::Value::sym("n0"), full.clone()),
+            (rtx_relational::Value::sym("n1"), full.clone()),
+        ]
+        .into_iter()
+        .collect();
+        assert!(HorizontalPartition::new(&net, &full, frags).is_ok());
+    }
+}

@@ -1,0 +1,607 @@
+//! Run drivers and schedulers.
+//!
+//! The paper's runs are infinite fair sequences of heartbeat and delivery
+//! transitions; their *output* reaches a quiescence point after finitely
+//! many steps (Proposition 1). The driver executes a finite prefix: it
+//! follows a pluggable [`Scheduler`] while messages are in flight, probes
+//! for stability when all buffers are empty, and stops at quiescence, at
+//! a target output, or at the step budget.
+
+use crate::config::{Configuration, TransitionRecord};
+use crate::error::NetError;
+use crate::partition::HorizontalPartition;
+use crate::topology::{Network, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtx_relational::Relation;
+use rtx_transducer::Transducer;
+use std::collections::{BTreeMap, VecDeque};
+
+/// One schedulable global transition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Heartbeat at a node.
+    Heartbeat(NodeId),
+    /// Deliver the buffered fact at the given index of a node's buffer.
+    Deliver(NodeId, usize),
+}
+
+/// Chooses the next transition. The driver only consults the scheduler
+/// while at least one buffer is nonempty; all-empty configurations are
+/// handled by deterministic stability rounds.
+pub trait Scheduler {
+    /// Pick the next action for the configuration.
+    fn next_action(&mut self, cfg: &Configuration, net: &Network) -> Action;
+
+    /// Diagnostic name.
+    fn name(&self) -> &'static str;
+}
+
+/// Round-based FIFO scheduler: each round heartbeats every node once,
+/// then delivers the *oldest* buffered fact at every node that has mail.
+///
+/// This realizes the FIFO-buffer, round-synchronous runs used in the
+/// proof of Theorem 16.
+#[derive(Debug, Default)]
+pub struct FifoRoundRobin {
+    pending: VecDeque<PlannedAction>,
+    rounds: usize,
+}
+
+#[derive(Debug, Clone)]
+enum PlannedAction {
+    Heartbeat(NodeId),
+    DeliverOldest(NodeId),
+    DeliverNewest(NodeId),
+}
+
+impl FifoRoundRobin {
+    /// New FIFO round-robin scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of completed scheduling rounds.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
+impl Scheduler for FifoRoundRobin {
+    fn next_action(&mut self, cfg: &Configuration, net: &Network) -> Action {
+        loop {
+            match self.pending.pop_front() {
+                Some(PlannedAction::Heartbeat(n)) => return Action::Heartbeat(n),
+                Some(PlannedAction::DeliverOldest(n)) => {
+                    if !cfg.buffer(&n).is_empty() {
+                        return Action::Deliver(n, 0);
+                    }
+                }
+                Some(PlannedAction::DeliverNewest(n)) => {
+                    let len = cfg.buffer(&n).len();
+                    if len > 0 {
+                        return Action::Deliver(n, len - 1);
+                    }
+                }
+                None => {
+                    self.rounds += 1;
+                    for n in net.nodes() {
+                        self.pending.push_back(PlannedAction::Heartbeat(n.clone()));
+                    }
+                    for n in net.nodes() {
+                        self.pending.push_back(PlannedAction::DeliverOldest(n.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo-round-robin"
+    }
+}
+
+/// Like [`FifoRoundRobin`] but delivers the *newest* buffered fact —
+/// an adversarial ordering that exhibits the non-FIFO behaviour the
+/// paper explicitly allows ("messages are not necessarily received in
+/// the order they have been sent").
+#[derive(Debug, Default)]
+pub struct LifoRoundRobin {
+    pending: VecDeque<PlannedAction>,
+}
+
+impl LifoRoundRobin {
+    /// New LIFO round-robin scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for LifoRoundRobin {
+    fn next_action(&mut self, cfg: &Configuration, net: &Network) -> Action {
+        loop {
+            match self.pending.pop_front() {
+                Some(PlannedAction::Heartbeat(n)) => return Action::Heartbeat(n),
+                Some(PlannedAction::DeliverNewest(n)) => {
+                    let len = cfg.buffer(&n).len();
+                    if len > 0 {
+                        return Action::Deliver(n, len - 1);
+                    }
+                }
+                Some(PlannedAction::DeliverOldest(_)) => unreachable!("lifo plans no fifo"),
+                None => {
+                    for n in net.nodes() {
+                        self.pending.push_back(PlannedAction::Heartbeat(n.clone()));
+                    }
+                    for n in net.nodes() {
+                        self.pending.push_back(PlannedAction::DeliverNewest(n.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "lifo-round-robin"
+    }
+}
+
+/// Seeded random scheduler: picks a random node; delivers a uniformly
+/// random buffered fact with high probability, heartbeats otherwise.
+/// Statistically fair — every buffered fact is eventually delivered with
+/// probability 1, and every node heartbeats infinitely often.
+#[derive(Debug)]
+pub struct RandomScheduler {
+    rng: StdRng,
+    heartbeat_prob: f64,
+}
+
+impl RandomScheduler {
+    /// New random scheduler from a seed.
+    pub fn seeded(seed: u64) -> Self {
+        RandomScheduler { rng: StdRng::seed_from_u64(seed), heartbeat_prob: 0.25 }
+    }
+
+    /// Adjust the heartbeat probability.
+    pub fn with_heartbeat_prob(mut self, p: f64) -> Self {
+        self.heartbeat_prob = p.clamp(0.0, 1.0);
+        self
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn next_action(&mut self, cfg: &Configuration, net: &Network) -> Action {
+        let nodes: Vec<&NodeId> = net.nodes().collect();
+        if self.rng.gen_bool(self.heartbeat_prob) {
+            let n = nodes[self.rng.gen_range(0..nodes.len())];
+            return Action::Heartbeat(n.clone());
+        }
+        let with_mail: Vec<&NodeId> = cfg.nodes_with_mail().collect();
+        if with_mail.is_empty() {
+            let n = nodes[self.rng.gen_range(0..nodes.len())];
+            return Action::Heartbeat(n.clone());
+        }
+        let n = with_mail[self.rng.gen_range(0..with_mail.len())];
+        let idx = self.rng.gen_range(0..cfg.buffer(n).len());
+        Action::Deliver(n.clone(), idx)
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Stop conditions and budgets for a run.
+#[derive(Clone, Debug)]
+pub struct RunBudget {
+    /// Maximum number of global transitions.
+    pub max_steps: usize,
+    /// Stop early once the accumulated global output equals this relation
+    /// (used to drive paper-faithful but non-draining transducers, whose
+    /// buffers never empty although the output quiesces).
+    ///
+    /// An **empty** target is ignored: the initial output trivially equals
+    /// it, so an empty expected answer can only be certified by reaching
+    /// quiescence. Note also that outputs accumulate monotonically, so a
+    /// run that would eventually *overshoot* the target passes through it;
+    /// treat `reached_target` as "produced exactly the target so far".
+    pub target_output: Option<Relation>,
+}
+
+impl RunBudget {
+    /// A budget with the given step cap and no output target.
+    pub fn steps(max_steps: usize) -> Self {
+        RunBudget { max_steps, target_output: None }
+    }
+
+    /// Add an output target.
+    pub fn until_output(mut self, target: Relation) -> Self {
+        self.target_output = Some(target);
+        self
+    }
+}
+
+impl Default for RunBudget {
+    fn default() -> Self {
+        RunBudget::steps(100_000)
+    }
+}
+
+/// The observable result of a (finite prefix of a) run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Global accumulated output `out(ρ)` = union over all transitions.
+    pub output: Relation,
+    /// Output accumulated per node.
+    pub outputs_per_node: BTreeMap<NodeId, Relation>,
+    /// Total global transitions executed.
+    pub steps: usize,
+    /// Heartbeat transitions executed.
+    pub heartbeats: usize,
+    /// Delivery transitions executed.
+    pub deliveries: usize,
+    /// Total facts sent (a fact sent to `d` neighbors counts `d` times).
+    pub messages_enqueued: usize,
+    /// Did the run reach quiescence (all buffers empty, every heartbeat a
+    /// no-op)?
+    pub quiescent: bool,
+    /// Did the run reach the requested target output?
+    pub reached_target: bool,
+    /// The final configuration.
+    pub final_config: Configuration,
+}
+
+/// Drive a run of `(net, transducer)` from the initial configuration for
+/// `partition`, following `scheduler`.
+pub fn run(
+    net: &Network,
+    transducer: &Transducer,
+    partition: &HorizontalPartition,
+    scheduler: &mut dyn Scheduler,
+    budget: &RunBudget,
+) -> Result<RunOutcome, NetError> {
+    let cfg = Configuration::initial(net, transducer, partition)?;
+    run_from(net, transducer, cfg, scheduler, budget)
+}
+
+/// Drive a run from an explicit starting configuration.
+pub fn run_from(
+    net: &Network,
+    transducer: &Transducer,
+    mut cfg: Configuration,
+    scheduler: &mut dyn Scheduler,
+    budget: &RunBudget,
+) -> Result<RunOutcome, NetError> {
+    let arity = transducer.schema().output_arity();
+    let mut outputs_per_node: BTreeMap<NodeId, Relation> =
+        net.nodes().map(|n| (n.clone(), Relation::empty(arity))).collect();
+    let mut output = Relation::empty(arity);
+    let mut steps = 0usize;
+    let mut heartbeats = 0usize;
+    let mut deliveries = 0usize;
+    let mut messages_enqueued = 0usize;
+    let mut quiescent = false;
+    let mut reached_target = false;
+
+    let absorb = |rec: &TransitionRecord,
+                      output: &mut Relation,
+                      outputs_per_node: &mut BTreeMap<NodeId, Relation>|
+     -> Result<(), NetError> {
+        *output = output.union(&rec.output).map_err(NetError::Rel)?;
+        let per = outputs_per_node.get_mut(&rec.node).expect("known node");
+        *per = per.union(&rec.output).map_err(NetError::Rel)?;
+        Ok(())
+    };
+
+    'outer: while steps < budget.max_steps {
+        if let Some(target) = &budget.target_output {
+            if !target.is_empty() && &output == target {
+                reached_target = true;
+                break;
+            }
+        }
+        if cfg.all_buffers_empty() {
+            // Stability round: heartbeat every node once. If the whole
+            // round is a no-op (and produced no new output), the
+            // configuration repeats forever: quiescence.
+            let mut all_quiet = true;
+            for n in net.node_set() {
+                if steps >= budget.max_steps {
+                    break 'outer;
+                }
+                let rec = cfg.apply_heartbeat(net, transducer, &n)?;
+                steps += 1;
+                heartbeats += 1;
+                messages_enqueued += rec.enqueued;
+                let new_out = !rec.output.is_subset(&output);
+                absorb(&rec, &mut output, &mut outputs_per_node)?;
+                if rec.state_changed || rec.sent_facts > 0 || new_out {
+                    all_quiet = false;
+                }
+            }
+            if all_quiet {
+                quiescent = true;
+                break;
+            }
+            continue;
+        }
+        let action = scheduler.next_action(&cfg, net);
+        let rec = match action {
+            Action::Heartbeat(n) => {
+                heartbeats += 1;
+                cfg.apply_heartbeat(net, transducer, &n)?
+            }
+            Action::Deliver(n, idx) => {
+                deliveries += 1;
+                cfg.apply_delivery(net, transducer, &n, idx)?
+            }
+        };
+        steps += 1;
+        messages_enqueued += rec.enqueued;
+        absorb(&rec, &mut output, &mut outputs_per_node)?;
+    }
+
+    if let Some(target) = &budget.target_output {
+        if &output == target && (quiescent || !target.is_empty()) {
+            reached_target = true;
+        }
+    }
+
+    Ok(RunOutcome {
+        output,
+        outputs_per_node,
+        steps,
+        heartbeats,
+        deliveries,
+        messages_enqueued,
+        quiescent,
+        reached_target,
+        final_config: cfg,
+    })
+}
+
+/// Outcome of a heartbeat-only run (the coordination-freeness probe).
+#[derive(Clone, Debug)]
+pub struct HeartbeatOnlyOutcome {
+    /// Accumulated output.
+    pub output: Relation,
+    /// Rounds executed (each round heartbeats every node once).
+    pub rounds: usize,
+    /// Whether a global heartbeat fixpoint was reached. Note: facts may
+    /// have been *sent* (they pile up in buffers and are never delivered);
+    /// quiescence of the *output* is what the definition asks for.
+    pub fixpoint: bool,
+    /// Final configuration (with possibly nonempty buffers).
+    pub final_config: Configuration,
+}
+
+/// Run only heartbeat transitions, round-robin, until the output and
+/// all states stabilize or `max_rounds` is hit.
+///
+/// This implements the paper's coordination-freeness probe: "a run in
+/// which a quiescence point is reached by only performing heartbeat
+/// transitions". Messages may be sent — they are simply never delivered
+/// within the probe (a legal run prefix: delivery is merely postponed).
+pub fn run_heartbeats_only(
+    net: &Network,
+    transducer: &Transducer,
+    partition: &HorizontalPartition,
+    max_rounds: usize,
+) -> Result<HeartbeatOnlyOutcome, NetError> {
+    let mut cfg = Configuration::initial(net, transducer, partition)?;
+    let arity = transducer.schema().output_arity();
+    let mut output = Relation::empty(arity);
+    for round in 0..max_rounds {
+        let mut quiet = true;
+        for n in net.node_set() {
+            let rec = cfg.apply_heartbeat(net, transducer, &n)?;
+            let new_out = !rec.output.is_subset(&output);
+            output = output.union(&rec.output).map_err(NetError::Rel)?;
+            if rec.state_changed || new_out {
+                quiet = false;
+            }
+            // sends do not break the fixpoint: the probe never delivers,
+            // and resending the same messages does not change any state.
+        }
+        if quiet {
+            return Ok(HeartbeatOnlyOutcome {
+                output,
+                rounds: round + 1,
+                fixpoint: true,
+                final_config: cfg,
+            });
+        }
+    }
+    Ok(HeartbeatOnlyOutcome { output, rounds: max_rounds, fixpoint: false, final_config: cfg })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_query::{atom, CqBuilder, QueryRef, Term, UcqQuery};
+    use rtx_relational::{fact, tuple, Instance, Schema};
+    use rtx_transducer::TransducerBuilder;
+    use std::sync::Arc;
+
+    fn cq(rule: rtx_query::CqRule) -> QueryRef {
+        Arc::new(UcqQuery::single(rule))
+    }
+
+    /// Deduplicating flooder: sends unseen S/M facts, stores everything
+    /// in T, outputs T. Terminates (buffers drain) on every topology.
+    fn dedup_flooder() -> Transducer {
+        let send = rtx_query::UcqQuery::new(
+            1,
+            vec![
+                CqBuilder::head(vec![Term::var("X")])
+                    .when(atom!("S"; @"X"))
+                    .unless(atom!("T"; @"X"))
+                    .build()
+                    .unwrap(),
+                CqBuilder::head(vec![Term::var("X")])
+                    .when(atom!("M"; @"X"))
+                    .unless(atom!("T"; @"X"))
+                    .build()
+                    .unwrap(),
+            ],
+        )
+        .unwrap();
+        let store = rtx_query::UcqQuery::new(
+            1,
+            vec![
+                CqBuilder::head(vec![Term::var("X")])
+                    .when(atom!("S"; @"X"))
+                    .build()
+                    .unwrap(),
+                CqBuilder::head(vec![Term::var("X")])
+                    .when(atom!("M"; @"X"))
+                    .build()
+                    .unwrap(),
+            ],
+        )
+        .unwrap();
+        TransducerBuilder::new("dedup-flooder")
+            .input_relation("S", 1)
+            .message_relation("M", 1)
+            .memory_relation("T", 1)
+            .output_arity(1)
+            .send("M", Arc::new(send))
+            .insert("T", Arc::new(store))
+            .output(cq(CqBuilder::head(vec![Term::var("X")])
+                .when(atom!("T"; @"X"))
+                .build()
+                .unwrap()))
+            .build()
+            .unwrap()
+    }
+
+    fn input_s(vals: &[i64]) -> Instance {
+        Instance::from_facts(
+            Schema::new().with("S", 1),
+            vals.iter().map(|&v| fact!("S", v)).collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flooding_reaches_quiescence_on_line() {
+        let net = Network::line(4).unwrap();
+        let t = dedup_flooder();
+        let full = input_s(&[1, 2, 3]);
+        let p = HorizontalPartition::round_robin(&net, &full);
+        let mut sched = FifoRoundRobin::new();
+        let out = run(&net, &t, &p, &mut sched, &RunBudget::steps(10_000)).unwrap();
+        assert!(out.quiescent, "dedup flooding must quiesce");
+        assert_eq!(out.output.len(), 3);
+        // every node ends with the full set
+        for per in out.outputs_per_node.values() {
+            assert_eq!(per.len(), 3);
+        }
+        assert!(out.deliveries > 0);
+        assert!(out.messages_enqueued > 0);
+    }
+
+    #[test]
+    fn schedulers_agree_on_consistent_transducer() {
+        let net = Network::ring(5).unwrap();
+        let t = dedup_flooder();
+        let full = input_s(&[10, 20, 30, 40]);
+        let p = HorizontalPartition::round_robin(&net, &full);
+        let budget = RunBudget::steps(50_000);
+        let fifo = run(&net, &t, &p, &mut FifoRoundRobin::new(), &budget).unwrap();
+        let lifo = run(&net, &t, &p, &mut LifoRoundRobin::new(), &budget).unwrap();
+        let rand1 = run(&net, &t, &p, &mut RandomScheduler::seeded(42), &budget).unwrap();
+        let rand2 = run(&net, &t, &p, &mut RandomScheduler::seeded(1337), &budget).unwrap();
+        assert_eq!(fifo.output, lifo.output);
+        assert_eq!(fifo.output, rand1.output);
+        assert_eq!(fifo.output, rand2.output);
+        assert!(fifo.quiescent && lifo.quiescent && rand1.quiescent && rand2.quiescent);
+    }
+
+    #[test]
+    fn runs_are_reproducible_per_seed() {
+        let net = Network::star(4).unwrap();
+        let t = dedup_flooder();
+        let full = input_s(&[1, 2]);
+        let p = HorizontalPartition::round_robin(&net, &full);
+        let budget = RunBudget::default();
+        let a = run(&net, &t, &p, &mut RandomScheduler::seeded(7), &budget).unwrap();
+        let b = run(&net, &t, &p, &mut RandomScheduler::seeded(7), &budget).unwrap();
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.messages_enqueued, b.messages_enqueued);
+        assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn target_output_stops_early() {
+        let net = Network::line(3).unwrap();
+        let t = dedup_flooder();
+        let full = input_s(&[5]);
+        let p = HorizontalPartition::concentrate(&net, &full, &rtx_relational::Value::sym("n0"))
+            .unwrap();
+        let target = Relation::from_tuples(1, vec![tuple![5]]).unwrap();
+        let budget = RunBudget::steps(10_000).until_output(target);
+        let out = run(&net, &t, &p, &mut FifoRoundRobin::new(), &budget).unwrap();
+        assert!(out.reached_target);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_non_quiescent() {
+        let net = Network::line(3).unwrap();
+        let t = dedup_flooder();
+        let full = input_s(&[1, 2, 3, 4]);
+        let p = HorizontalPartition::round_robin(&net, &full);
+        let out = run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(3)).unwrap();
+        assert!(!out.quiescent);
+        assert_eq!(out.steps, 3);
+    }
+
+    #[test]
+    fn heartbeat_only_probe_with_full_replication() {
+        // with the full input everywhere, the dedup flooder outputs
+        // everything in round 1 without any delivery
+        let net = Network::ring(4).unwrap();
+        let t = dedup_flooder();
+        let full = input_s(&[1, 2]);
+        let p = HorizontalPartition::replicate(&net, &full);
+        let probe = run_heartbeats_only(&net, &t, &p, 50).unwrap();
+        assert!(probe.fixpoint);
+        assert_eq!(probe.output.len(), 2);
+    }
+
+    #[test]
+    fn heartbeat_only_probe_fails_on_concentrated_partition() {
+        let net = Network::line(3).unwrap();
+        let t = dedup_flooder();
+        let full = input_s(&[1, 2]);
+        let p = HorizontalPartition::concentrate(&net, &full, &rtx_relational::Value::sym("n0"))
+            .unwrap();
+        let probe = run_heartbeats_only(&net, &t, &p, 50).unwrap();
+        // only n0's own facts are output; others never hear of them
+        assert!(probe.fixpoint);
+        assert_eq!(probe.output.len(), 2); // n0 outputs its own copy
+                                           // (output is global union; n1, n2 output nothing)
+        let n2 = rtx_relational::Value::sym("n2");
+        let st = probe.final_config.state(&n2).unwrap();
+        assert!(st.relation(&"T".into()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_node_network_only_heartbeats() {
+        let net = Network::single();
+        let t = dedup_flooder();
+        let full = input_s(&[1, 2]);
+        let p = HorizontalPartition::replicate(&net, &full);
+        let out = run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::default()).unwrap();
+        assert!(out.quiescent);
+        assert_eq!(out.deliveries, 0);
+        assert_eq!(out.output.len(), 2);
+    }
+
+    #[test]
+    fn scheduler_names() {
+        assert_eq!(FifoRoundRobin::new().name(), "fifo-round-robin");
+        assert_eq!(LifoRoundRobin::new().name(), "lifo-round-robin");
+        assert_eq!(RandomScheduler::seeded(1).name(), "random");
+    }
+}

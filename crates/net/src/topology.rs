@@ -1,0 +1,336 @@
+//! Network topologies.
+//!
+//! A network is a finite, **connected**, undirected graph over a set of
+//! nodes drawn from **dom** (paper, Section 3) — connectivity is what
+//! lets information flow reach every node.
+
+use crate::error::NetError;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rtx_relational::Value;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// A node identifier — a plain data element, since the paper stores node
+/// ids in relations (`Id`, `All`).
+pub type NodeId = Value;
+
+/// A finite connected undirected graph.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Network {
+    adj: BTreeMap<NodeId, BTreeSet<NodeId>>,
+}
+
+impl Network {
+    /// Build from explicit nodes and undirected edges.
+    ///
+    /// Validates: at least one node, edges reference known nodes, no
+    /// self-loops, and the graph is connected.
+    pub fn from_edges(
+        nodes: impl IntoIterator<Item = NodeId>,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Result<Self, NetError> {
+        let mut adj: BTreeMap<NodeId, BTreeSet<NodeId>> =
+            nodes.into_iter().map(|n| (n, BTreeSet::new())).collect();
+        if adj.is_empty() {
+            return Err(NetError::Topology("a network needs at least one node".into()));
+        }
+        for (a, b) in edges {
+            if a == b {
+                return Err(NetError::Topology(format!("self-loop on node {a}")));
+            }
+            if !adj.contains_key(&a) || !adj.contains_key(&b) {
+                return Err(NetError::Topology(format!("edge ({a},{b}) references unknown node")));
+            }
+            adj.get_mut(&a).unwrap().insert(b.clone());
+            adj.get_mut(&b).unwrap().insert(a.clone());
+        }
+        let net = Network { adj };
+        if !net.is_connected() {
+            return Err(NetError::Topology("network is not connected".into()));
+        }
+        Ok(net)
+    }
+
+    fn node_name(i: usize) -> NodeId {
+        Value::sym(format!("n{i}"))
+    }
+
+    /// The single-node network (no edges; the paper's degenerate case
+    /// where only heartbeat transitions exist).
+    pub fn single() -> Self {
+        Network::from_edges([Self::node_name(0)], []).expect("one node is connected")
+    }
+
+    /// A line `n0 – n1 – … – n{k-1}`.
+    pub fn line(k: usize) -> Result<Self, NetError> {
+        let nodes: Vec<NodeId> = (0..k).map(Self::node_name).collect();
+        let edges = (1..k).map(|i| (Self::node_name(i - 1), Self::node_name(i)));
+        Network::from_edges(nodes, edges)
+    }
+
+    /// A ring `n0 – n1 – … – n{k-1} – n0` (k ≥ 3).
+    pub fn ring(k: usize) -> Result<Self, NetError> {
+        if k < 3 {
+            return Err(NetError::Topology("a ring needs at least 3 nodes".into()));
+        }
+        let nodes: Vec<NodeId> = (0..k).map(Self::node_name).collect();
+        let edges = (0..k).map(|i| (Self::node_name(i), Self::node_name((i + 1) % k)));
+        Network::from_edges(nodes, edges)
+    }
+
+    /// The 4-ring `1–2–3–4–1` with an added chord `2–4` — the network
+    /// `R'` in the proof of Theorem 16.
+    pub fn ring4_with_chord() -> Self {
+        let nodes: Vec<NodeId> = (0..4).map(Self::node_name).collect();
+        let mut edges: Vec<(NodeId, NodeId)> =
+            (0..4).map(|i| (Self::node_name(i), Self::node_name((i + 1) % 4))).collect();
+        edges.push((Self::node_name(1), Self::node_name(3)));
+        Network::from_edges(nodes, edges).expect("fixed graph is valid")
+    }
+
+    /// A star with a hub and `k-1` leaves.
+    pub fn star(k: usize) -> Result<Self, NetError> {
+        if k == 0 {
+            return Err(NetError::Topology("a network needs at least one node".into()));
+        }
+        let nodes: Vec<NodeId> = (0..k).map(Self::node_name).collect();
+        let edges = (1..k).map(|i| (Self::node_name(0), Self::node_name(i)));
+        Network::from_edges(nodes, edges)
+    }
+
+    /// The complete graph on `k` nodes.
+    pub fn clique(k: usize) -> Result<Self, NetError> {
+        let nodes: Vec<NodeId> = (0..k).map(Self::node_name).collect();
+        let mut edges = Vec::new();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                edges.push((Self::node_name(i), Self::node_name(j)));
+            }
+        }
+        Network::from_edges(nodes, edges)
+    }
+
+    /// A random connected graph: a random spanning tree plus each extra
+    /// edge independently with probability `extra_edge_prob`.
+    pub fn random_connected(
+        k: usize,
+        extra_edge_prob: f64,
+        rng: &mut impl Rng,
+    ) -> Result<Self, NetError> {
+        if k == 0 {
+            return Err(NetError::Topology("a network needs at least one node".into()));
+        }
+        let nodes: Vec<NodeId> = (0..k).map(Self::node_name).collect();
+        let mut order: Vec<usize> = (0..k).collect();
+        order.shuffle(rng);
+        let mut edges = Vec::new();
+        // random spanning tree: attach each node to a random earlier node
+        for i in 1..k {
+            let parent = order[rng.gen_range(0..i)];
+            edges.push((Self::node_name(order[i]), Self::node_name(parent)));
+        }
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if rng.gen_bool(extra_edge_prob.clamp(0.0, 1.0)) {
+                    edges.push((Self::node_name(i), Self::node_name(j)));
+                }
+            }
+        }
+        Network::from_edges(nodes, edges)
+    }
+
+    /// The nodes, in deterministic order.
+    pub fn nodes(&self) -> impl Iterator<Item = &NodeId> {
+        self.adj.keys()
+    }
+
+    /// The node set.
+    pub fn node_set(&self) -> BTreeSet<NodeId> {
+        self.adj.keys().cloned().collect()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Never true — construction requires at least one node.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.values().map(BTreeSet::len).sum::<usize>() / 2
+    }
+
+    /// Does the network contain this node?
+    pub fn contains(&self, n: &NodeId) -> bool {
+        self.adj.contains_key(n)
+    }
+
+    /// The neighbors of a node.
+    pub fn neighbors(&self, n: &NodeId) -> impl Iterator<Item = &NodeId> {
+        self.adj.get(n).into_iter().flatten()
+    }
+
+    /// Graph diameter (longest shortest path); `0` for a single node.
+    pub fn diameter(&self) -> usize {
+        let mut best = 0;
+        for start in self.adj.keys() {
+            let dist = self.bfs(start);
+            if let Some(&d) = dist.values().max() {
+                best = best.max(d);
+            }
+        }
+        best
+    }
+
+    fn bfs(&self, start: &NodeId) -> BTreeMap<NodeId, usize> {
+        let mut dist = BTreeMap::new();
+        dist.insert(start.clone(), 0usize);
+        let mut queue = VecDeque::from([start.clone()]);
+        while let Some(n) = queue.pop_front() {
+            let d = dist[&n];
+            for m in self.neighbors(&n) {
+                if !dist.contains_key(m) {
+                    dist.insert(m.clone(), d + 1);
+                    queue.push_back(m.clone());
+                }
+            }
+        }
+        dist
+    }
+
+    fn is_connected(&self) -> bool {
+        let start = match self.adj.keys().next() {
+            Some(s) => s,
+            None => return false,
+        };
+        self.bfs(start).len() == self.adj.len()
+    }
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Network[{} nodes: ", self.len())?;
+        let mut first = true;
+        for (n, nbrs) in &self.adj {
+            for m in nbrs {
+                if n < m {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    first = false;
+                    write!(f, "{n}–{m}")?;
+                }
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn line_ring_star_clique_shapes() {
+        let l = Network::line(4).unwrap();
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.edge_count(), 3);
+        assert_eq!(l.diameter(), 3);
+
+        let r = Network::ring(5).unwrap();
+        assert_eq!(r.edge_count(), 5);
+        assert_eq!(r.diameter(), 2);
+
+        let s = Network::star(5).unwrap();
+        assert_eq!(s.edge_count(), 4);
+        assert_eq!(s.diameter(), 2);
+
+        let c = Network::clique(5).unwrap();
+        assert_eq!(c.edge_count(), 10);
+        assert_eq!(c.diameter(), 1);
+    }
+
+    #[test]
+    fn single_node_network() {
+        let n = Network::single();
+        assert_eq!(n.len(), 1);
+        assert_eq!(n.edge_count(), 0);
+        assert_eq!(n.diameter(), 0);
+    }
+
+    #[test]
+    fn ring4_with_chord_matches_theorem16() {
+        let n = Network::ring4_with_chord();
+        assert_eq!(n.len(), 4);
+        assert_eq!(n.edge_count(), 5);
+        // chord 2–4 is n1–n3 in zero-based naming
+        assert!(n
+            .neighbors(&Value::sym("n1"))
+            .any(|m| m == &Value::sym("n3")));
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let nodes = vec![Value::sym("a"), Value::sym("b"), Value::sym("c")];
+        let edges = vec![(Value::sym("a"), Value::sym("b"))];
+        assert!(matches!(
+            Network::from_edges(nodes, edges),
+            Err(NetError::Topology(_))
+        ));
+    }
+
+    #[test]
+    fn self_loops_and_unknown_nodes_rejected() {
+        let nodes = vec![Value::sym("a"), Value::sym("b")];
+        assert!(Network::from_edges(
+            nodes.clone(),
+            vec![(Value::sym("a"), Value::sym("a"))]
+        )
+        .is_err());
+        assert!(Network::from_edges(
+            nodes,
+            vec![(Value::sym("a"), Value::sym("zz"))]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(Network::from_edges([], []).is_err());
+        assert!(Network::ring(2).is_err());
+    }
+
+    #[test]
+    fn random_connected_is_connected_across_seeds() {
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = Network::random_connected(12, 0.1, &mut rng).unwrap();
+            assert_eq!(n.len(), 12);
+            // from_edges validated connectivity already; sanity:
+            assert!(n.diameter() < 12);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let n = Network::line(3).unwrap();
+        let n0 = Value::sym("n0");
+        let n1 = Value::sym("n1");
+        assert!(n.neighbors(&n0).any(|m| m == &n1));
+        assert!(n.neighbors(&n1).any(|m| m == &n0));
+    }
+
+    #[test]
+    fn debug_render() {
+        let n = Network::line(3).unwrap();
+        let d = format!("{n:?}");
+        assert!(d.contains("n0–n1"));
+    }
+}

@@ -1,0 +1,500 @@
+//! Conjunctive queries and unions thereof, with safe negation — UCQ¬.
+//!
+//! The paper notes (Proposition 7) that the multicast transducer of
+//! Lemma 5(1) can be implemented with UCQ¬ local queries, and
+//! Corollary 14(3) characterizes Datalog via nonrecursive-Datalog
+//! (equivalently, UCQ¬-composition) transducers. This module provides the
+//! syntactic class together with a join-based evaluator that is much
+//! faster than brute-force FO enumeration.
+
+use crate::error::EvalError;
+use crate::query::Query;
+use crate::term::{Atom, Bindings, Term, Var};
+use rtx_relational::{Instance, RelName, Relation, Tuple, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One conjunctive rule with optional safe negation and nonequalities:
+/// `head(t̄) ← p1, …, pm, ¬n1, …, ¬nj, u1 ≠ v1, …`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct CqRule {
+    head: Vec<Term>,
+    pos: Vec<Atom>,
+    neg: Vec<Atom>,
+    diseq: Vec<(Term, Term)>,
+}
+
+impl CqRule {
+    /// Build and validate a rule.
+    ///
+    /// Safety: every variable in the head, in a negated atom, or in a
+    /// nonequality must occur in some positive atom.
+    pub fn new(
+        head: Vec<Term>,
+        pos: Vec<Atom>,
+        neg: Vec<Atom>,
+        diseq: Vec<(Term, Term)>,
+    ) -> Result<Self, EvalError> {
+        let mut positive_vars: BTreeSet<Var> = BTreeSet::new();
+        for a in &pos {
+            positive_vars.extend(a.vars());
+        }
+        let mut need: Vec<(&str, Var)> = Vec::new();
+        for t in &head {
+            if let Term::Var(v) = t {
+                need.push(("head", v.clone()));
+            }
+        }
+        for a in &neg {
+            for v in a.vars() {
+                need.push(("negated atom", v));
+            }
+        }
+        for (a, b) in &diseq {
+            for t in [a, b] {
+                if let Term::Var(v) = t {
+                    need.push(("nonequality", v.clone()));
+                }
+            }
+        }
+        for (what, v) in need {
+            if !positive_vars.contains(&v) {
+                return Err(EvalError::Unsafe {
+                    reason: format!("{what} variable {v} is not bound by a positive atom"),
+                });
+            }
+        }
+        Ok(CqRule { head, pos, neg, diseq })
+    }
+
+    /// Head terms.
+    pub fn head(&self) -> &[Term] {
+        &self.head
+    }
+
+    /// Positive body atoms.
+    pub fn positive(&self) -> &[Atom] {
+        &self.pos
+    }
+
+    /// Negated body atoms.
+    pub fn negated(&self) -> &[Atom] {
+        &self.neg
+    }
+
+    /// Is the rule negation-free (nonequalities allowed)?
+    pub fn is_positive(&self) -> bool {
+        self.neg.is_empty()
+    }
+
+    /// Evaluate the rule against `db`, emitting head tuples into `out`.
+    fn eval_into(&self, db: &Instance, out: &mut Relation) -> Result<(), EvalError> {
+        let mut envs: Vec<Bindings> = vec![Bindings::new()];
+        for a in &self.pos {
+            let rel = db.relation(&a.pred)?;
+            if rel.arity() != a.arity() {
+                return Err(EvalError::Rel(rtx_relational::RelError::ArityMismatch {
+                    rel: a.pred.clone(),
+                    expected: rel.arity(),
+                    found: a.arity(),
+                }));
+            }
+            envs = a.join(&rel, &envs);
+            if envs.is_empty() {
+                return Ok(());
+            }
+        }
+        'env: for env in envs {
+            for a in &self.neg {
+                let rel = db.relation(&a.pred)?;
+                let t = a.instantiate(&env).ok_or_else(|| EvalError::Unsafe {
+                    reason: format!("negated atom {a} unbound at evaluation"),
+                })?;
+                if rel.contains(&t) {
+                    continue 'env;
+                }
+            }
+            for (x, y) in &self.diseq {
+                let (vx, vy) = (x.resolve(&env), y.resolve(&env));
+                match (vx, vy) {
+                    (Some(a), Some(b)) if a != b => {}
+                    (Some(_), Some(_)) => continue 'env,
+                    _ => {
+                        return Err(EvalError::Unsafe {
+                            reason: "nonequality over unbound variable".into(),
+                        })
+                    }
+                }
+            }
+            let values: Vec<Value> = self
+                .head
+                .iter()
+                .map(|t| {
+                    t.resolve(&env).ok_or_else(|| EvalError::Unsafe {
+                        reason: "head term unbound".into(),
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            out.insert(Tuple::new(values))?;
+        }
+        Ok(())
+    }
+
+    fn relations(&self) -> BTreeSet<RelName> {
+        self.pos
+            .iter()
+            .chain(self.neg.iter())
+            .map(|a| a.pred.clone())
+            .collect()
+    }
+}
+
+impl fmt::Debug for CqRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, t) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ") ← ")?;
+        let mut first = true;
+        for a in &self.pos {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{a}")?;
+        }
+        for a in &self.neg {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "¬{a}")?;
+        }
+        for (x, y) in &self.diseq {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{x} ≠ {y}")?;
+        }
+        if first {
+            write!(f, "⊤")?;
+        }
+        Ok(())
+    }
+}
+
+/// A union of conjunctive queries with safe negation (UCQ¬).
+///
+/// With no rules this is the empty query; with negation-free rules it is
+/// a plain UCQ and syntactically monotone.
+#[derive(Clone, PartialEq, Eq)]
+pub struct UcqQuery {
+    arity: usize,
+    rules: Vec<CqRule>,
+}
+
+impl UcqQuery {
+    /// Build a UCQ¬ from rules of matching head arity.
+    pub fn new(arity: usize, rules: Vec<CqRule>) -> Result<Self, EvalError> {
+        for r in &rules {
+            if r.head.len() != arity {
+                return Err(EvalError::Unsafe {
+                    reason: format!(
+                        "rule head arity {} differs from query arity {arity}",
+                        r.head.len()
+                    ),
+                });
+            }
+        }
+        Ok(UcqQuery { arity, rules })
+    }
+
+    /// A single-rule conjunctive query.
+    pub fn single(rule: CqRule) -> Self {
+        UcqQuery { arity: rule.head.len(), rules: vec![rule] }
+    }
+
+    /// The rules.
+    pub fn rules(&self) -> &[CqRule] {
+        &self.rules
+    }
+
+    /// Add a rule (builder style).
+    pub fn or_rule(mut self, rule: CqRule) -> Result<Self, EvalError> {
+        if rule.head.len() != self.arity {
+            return Err(EvalError::Unsafe {
+                reason: "rule arity mismatch in union".into(),
+            });
+        }
+        self.rules.push(rule);
+        Ok(self)
+    }
+}
+
+impl Query for UcqQuery {
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn eval(&self, db: &Instance) -> Result<Relation, EvalError> {
+        let mut out = Relation::empty(self.arity);
+        for r in &self.rules {
+            r.eval_into(db, &mut out)?;
+        }
+        // Enforce condition (i): answers are over the active domain. Head
+        // constants are the only way a non-adom value can appear.
+        let has_head_constants = self
+            .rules
+            .iter()
+            .any(|r| r.head.iter().any(|t| matches!(t, Term::Const(_))));
+        if has_head_constants {
+            let adom = db.adom();
+            let filtered: Vec<Tuple> = out
+                .iter()
+                .filter(|t| t.iter().all(|v| adom.contains(v)))
+                .cloned()
+                .collect();
+            out = Relation::from_tuples(self.arity, filtered)?;
+        }
+        Ok(out)
+    }
+
+    fn is_monotone_syntactic(&self) -> bool {
+        self.rules.iter().all(CqRule::is_positive)
+    }
+
+    fn referenced_relations(&self) -> BTreeSet<RelName> {
+        self.rules.iter().flat_map(|r| r.relations()).collect()
+    }
+
+    fn is_always_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    fn describe(&self) -> String {
+        format!("{self:?}")
+    }
+}
+
+impl fmt::Debug for UcqQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.rules.is_empty() {
+            return write!(f, "∅/{}", self.arity);
+        }
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ∪  ")?;
+            }
+            write!(f, "{r:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Ergonomic builder for a single CQ¬ rule.
+#[derive(Clone, Debug, Default)]
+pub struct CqBuilder {
+    head: Vec<Term>,
+    pos: Vec<Atom>,
+    neg: Vec<Atom>,
+    diseq: Vec<(Term, Term)>,
+}
+
+impl CqBuilder {
+    /// Start a rule with the given head terms.
+    pub fn head(terms: Vec<Term>) -> Self {
+        CqBuilder { head: terms, ..Default::default() }
+    }
+
+    /// Add a positive atom.
+    pub fn when(mut self, a: Atom) -> Self {
+        self.pos.push(a);
+        self
+    }
+
+    /// Add a negated atom.
+    pub fn unless(mut self, a: Atom) -> Self {
+        self.neg.push(a);
+        self
+    }
+
+    /// Add a nonequality.
+    pub fn distinct(mut self, a: Term, b: Term) -> Self {
+        self.diseq.push((a, b));
+        self
+    }
+
+    /// Finish, validating safety.
+    pub fn build(self) -> Result<CqRule, EvalError> {
+        CqRule::new(self.head, self.pos, self.neg, self.diseq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom;
+    use rtx_relational::{fact, tuple, Schema};
+
+    fn db() -> Instance {
+        let sch = Schema::new().with("E", 2).with("S", 1);
+        Instance::from_facts(
+            sch,
+            vec![fact!("E", 1, 2), fact!("E", 2, 3), fact!("S", 2)],
+        )
+        .unwrap()
+    }
+
+    fn v(n: &str) -> Term {
+        Term::var(n)
+    }
+
+    #[test]
+    fn single_atom_cq() {
+        let r = CqBuilder::head(vec![v("X")]).when(atom!("S"; @"X")).build().unwrap();
+        let q = UcqQuery::single(r);
+        let out = q.eval(&db()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&tuple![2]));
+        assert!(q.is_monotone_syntactic());
+    }
+
+    #[test]
+    fn join_two_atoms() {
+        let r = CqBuilder::head(vec![v("X"), v("Z")])
+            .when(atom!("E"; @"X", @"Y"))
+            .when(atom!("E"; @"Y", @"Z"))
+            .build()
+            .unwrap();
+        let out = UcqQuery::single(r).eval(&db()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&tuple![1, 3]));
+    }
+
+    #[test]
+    fn negation_filters() {
+        let r = CqBuilder::head(vec![v("X"), v("Y")])
+            .when(atom!("E"; @"X", @"Y"))
+            .unless(atom!("S"; @"X"))
+            .build()
+            .unwrap();
+        let q = UcqQuery::single(r);
+        let out = q.eval(&db()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&tuple![1, 2]));
+        assert!(!q.is_monotone_syntactic());
+    }
+
+    #[test]
+    fn nonequality_filters_but_stays_monotone() {
+        let r = CqBuilder::head(vec![v("X"), v("Y")])
+            .when(atom!("E"; @"X", @"Y"))
+            .distinct(v("X"), Term::cons(1))
+            .build()
+            .unwrap();
+        let q = UcqQuery::single(r);
+        let out = q.eval(&db()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&tuple![2, 3]));
+        assert!(q.is_monotone_syntactic());
+    }
+
+    #[test]
+    fn union_of_rules() {
+        let r1 = CqBuilder::head(vec![v("X")]).when(atom!("S"; @"X")).build().unwrap();
+        let r2 = CqBuilder::head(vec![v("X")]).when(atom!("E"; @"X", @"Y")).build().unwrap();
+        let q = UcqQuery::new(1, vec![r1, r2]).unwrap();
+        let out = q.eval(&db()).unwrap();
+        assert_eq!(out.len(), 2); // {2} ∪ {1,2}
+    }
+
+    #[test]
+    fn safety_violations_rejected() {
+        // head var not in positive body
+        assert!(CqBuilder::head(vec![v("X")]).build().is_err());
+        // negated var not positive-bound
+        assert!(CqBuilder::head(vec![v("X")])
+            .when(atom!("S"; @"X"))
+            .unless(atom!("S"; @"Y"))
+            .build()
+            .is_err());
+        // diseq var not positive-bound
+        assert!(CqBuilder::head(vec![v("X")])
+            .when(atom!("S"; @"X"))
+            .distinct(v("Z"), Term::cons(1))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn nullary_rule_with_empty_body_is_constant_true() {
+        let r = CqRule::new(vec![], vec![], vec![], vec![]).unwrap();
+        let q = UcqQuery::single(r);
+        assert!(q.eval(&db()).unwrap().as_bool());
+        assert_eq!(q.arity(), 0);
+    }
+
+    #[test]
+    fn head_constants_filtered_by_adom() {
+        let r = CqRule::new(vec![Term::cons(99)], vec![atom!("S"; @"X")], vec![], vec![])
+            .unwrap();
+        let q = UcqQuery::single(r);
+        assert!(q.eval(&db()).unwrap().is_empty()); // 99 ∉ adom
+        let r2 = CqRule::new(vec![Term::cons(1)], vec![atom!("S"; @"X")], vec![], vec![])
+            .unwrap();
+        let out = UcqQuery::single(r2).eval(&db()).unwrap();
+        assert!(out.contains(&tuple![1])); // 1 ∈ adom
+    }
+
+    #[test]
+    fn empty_union_is_always_empty() {
+        let q = UcqQuery::new(2, vec![]).unwrap();
+        assert!(q.is_always_empty());
+        assert!(q.eval(&db()).unwrap().is_empty());
+        assert!(q.is_monotone_syntactic()); // vacuously positive
+    }
+
+    #[test]
+    fn arity_mismatch_in_union_rejected() {
+        let r1 = CqBuilder::head(vec![v("X")]).when(atom!("S"; @"X")).build().unwrap();
+        assert!(UcqQuery::new(2, vec![r1.clone()]).is_err());
+        let q = UcqQuery::single(r1);
+        let r2 = CqBuilder::head(vec![v("X"), v("Y")])
+            .when(atom!("E"; @"X", @"Y"))
+            .build()
+            .unwrap();
+        assert!(q.or_rule(r2).is_err());
+    }
+
+    #[test]
+    fn repeated_variables_join_correctly() {
+        let sch = Schema::new().with("E", 2);
+        let db = Instance::from_facts(sch, vec![fact!("E", 1, 1), fact!("E", 1, 2)]).unwrap();
+        let r = CqBuilder::head(vec![v("X")]).when(atom!("E"; @"X", @"X")).build().unwrap();
+        let out = UcqQuery::single(r).eval(&db).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&tuple![1]));
+    }
+
+    #[test]
+    fn ucq_monotonicity_semantic_spotcheck() {
+        // adding facts only adds answers, for a UCQ with nonequalities
+        let r = CqBuilder::head(vec![v("X"), v("Y")])
+            .when(atom!("E"; @"X", @"Y"))
+            .distinct(v("X"), v("Y"))
+            .build()
+            .unwrap();
+        let q = UcqQuery::single(r);
+        let small = db();
+        let mut big = small.clone();
+        big.insert_fact(fact!("E", 7, 8)).unwrap();
+        let out_small = q.eval(&small).unwrap();
+        let out_big = q.eval(&big).unwrap();
+        assert!(out_small.is_subset(&out_big));
+    }
+}

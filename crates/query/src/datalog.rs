@@ -1,0 +1,923 @@
+//! Datalog, stratified Datalog, and nonrecursive Datalog.
+//!
+//! Implements naive and semi-naive bottom-up evaluation with stratified
+//! negation. The immediate-consequence operator `T_P` is exposed
+//! separately because the paper's Theorem 6(5) builds an oblivious,
+//! inflationary transducer whose insertion queries apply `T_P` once per
+//! heartbeat.
+
+use crate::error::EvalError;
+use crate::query::Query;
+use crate::term::{Atom, Bindings, Term, Var};
+use rtx_relational::{Instance, RelName, Relation, Schema, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A body literal.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Literal {
+    /// A positive atom.
+    Pos(Atom),
+    /// A negated atom (stratified semantics).
+    Neg(Atom),
+    /// A nonequality constraint `t1 ≠ t2`.
+    Diseq(Term, Term),
+}
+
+impl fmt::Debug for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Pos(a) => write!(f, "{a}"),
+            Literal::Neg(a) => write!(f, "¬{a}"),
+            Literal::Diseq(x, y) => write!(f, "{x} ≠ {y}"),
+        }
+    }
+}
+
+/// A Datalog rule `head ← body`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Rule {
+    head: Atom,
+    body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Build a rule, validating safety: every head variable, negated-atom
+    /// variable, and nonequality variable must occur in a positive body
+    /// atom.
+    pub fn new(head: Atom, body: Vec<Literal>) -> Result<Self, EvalError> {
+        let mut pos_vars: BTreeSet<Var> = BTreeSet::new();
+        for l in &body {
+            if let Literal::Pos(a) = l {
+                pos_vars.extend(a.vars());
+            }
+        }
+        let mut need: Vec<(&str, Var)> = Vec::new();
+        for v in head.vars() {
+            need.push(("head", v));
+        }
+        for l in &body {
+            match l {
+                Literal::Pos(_) => {}
+                Literal::Neg(a) => {
+                    for v in a.vars() {
+                        need.push(("negated atom", v));
+                    }
+                }
+                Literal::Diseq(x, y) => {
+                    for t in [x, y] {
+                        if let Term::Var(v) = t {
+                            need.push(("nonequality", v.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        for (what, v) in need {
+            if !pos_vars.contains(&v) {
+                return Err(EvalError::Unsafe {
+                    reason: format!("{what} variable {v} not bound by a positive body atom"),
+                });
+            }
+        }
+        Ok(Rule { head, body })
+    }
+
+    /// The head atom.
+    pub fn head(&self) -> &Atom {
+        &self.head
+    }
+
+    /// The body literals.
+    pub fn body(&self) -> &[Literal] {
+        &self.body
+    }
+
+    /// Does the body contain a negated atom?
+    pub fn has_negation(&self) -> bool {
+        self.body.iter().any(|l| matches!(l, Literal::Neg(_)))
+    }
+
+    /// Evaluate the rule against `pos_db` for positive atoms and `neg_db`
+    /// for negated atoms (these differ under stratified semantics only in
+    /// that `neg_db` must already be complete). When `delta` is given as
+    /// `(index, instance)`, the positive atom at `index` is joined against
+    /// `delta` instead of `pos_db` (semi-naive evaluation).
+    fn derive(
+        &self,
+        pos_db: &Instance,
+        neg_db: &Instance,
+        delta: Option<(usize, &Instance)>,
+        out: &mut Vec<Tuple>,
+    ) -> Result<(), EvalError> {
+        let mut envs: Vec<Bindings> = vec![Bindings::new()];
+        let mut pos_index = 0usize;
+        // positive joins first
+        for l in &self.body {
+            if let Literal::Pos(a) = l {
+                let source = match delta {
+                    Some((i, d)) if i == pos_index => d,
+                    _ => pos_db,
+                };
+                let rel = source.relation(&a.pred)?;
+                if rel.arity() != a.arity() {
+                    return Err(EvalError::Rel(rtx_relational::RelError::ArityMismatch {
+                        rel: a.pred.clone(),
+                        expected: rel.arity(),
+                        found: a.arity(),
+                    }));
+                }
+                envs = a.join(&rel, &envs);
+                if envs.is_empty() {
+                    return Ok(());
+                }
+                pos_index += 1;
+            }
+        }
+        // filters
+        'env: for env in envs {
+            for l in &self.body {
+                match l {
+                    Literal::Pos(_) => {}
+                    Literal::Neg(a) => {
+                        let rel = neg_db.relation(&a.pred)?;
+                        let t = a.instantiate(&env).ok_or_else(|| EvalError::Unsafe {
+                            reason: format!("negated atom {a} unbound"),
+                        })?;
+                        if rel.contains(&t) {
+                            continue 'env;
+                        }
+                    }
+                    Literal::Diseq(x, y) => {
+                        let (vx, vy) = (x.resolve(&env), y.resolve(&env));
+                        match (vx, vy) {
+                            (Some(a), Some(b)) if a != b => {}
+                            (Some(_), Some(_)) => continue 'env,
+                            _ => {
+                                return Err(EvalError::Unsafe {
+                                    reason: "nonequality over unbound variable".into(),
+                                })
+                            }
+                        }
+                    }
+                }
+            }
+            let t = self.head.instantiate(&env).ok_or_else(|| EvalError::Unsafe {
+                reason: "head unbound".into(),
+            })?;
+            out.push(t);
+        }
+        Ok(())
+    }
+
+    fn count_pos(&self) -> usize {
+        self.body.iter().filter(|l| matches!(l, Literal::Pos(_))).count()
+    }
+
+    fn pos_pred(&self, index: usize) -> Option<&RelName> {
+        self.body
+            .iter()
+            .filter_map(|l| match l {
+                Literal::Pos(a) => Some(&a.pred),
+                _ => None,
+            })
+            .nth(index)
+    }
+}
+
+impl fmt::Debug for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ← ", self.head)?;
+        if self.body.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, l) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluation strategy for fixpoint computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvalStrategy {
+    /// Re-derive everything each round.
+    Naive,
+    /// Join each rule against the per-round delta (default).
+    SemiNaive,
+}
+
+/// A Datalog program: a finite set of rules.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Program {
+    rules: Vec<Rule>,
+    /// Arity signature of every predicate mentioned.
+    signature: Schema,
+    idb: BTreeSet<RelName>,
+}
+
+impl Program {
+    /// Build a program, validating arity-consistency across rules.
+    pub fn new(rules: Vec<Rule>) -> Result<Self, EvalError> {
+        let mut signature = Schema::new();
+        let mut idb = BTreeSet::new();
+        for r in &rules {
+            signature.declare(r.head.pred.clone(), r.head.arity())?;
+            idb.insert(r.head.pred.clone());
+            for l in &r.body {
+                match l {
+                    Literal::Pos(a) | Literal::Neg(a) => {
+                        signature.declare(a.pred.clone(), a.arity())?;
+                    }
+                    Literal::Diseq(_, _) => {}
+                }
+            }
+        }
+        Ok(Program { rules, signature, idb })
+    }
+
+    /// The rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Predicates defined by rule heads (the IDB).
+    pub fn idb_predicates(&self) -> &BTreeSet<RelName> {
+        &self.idb
+    }
+
+    /// Predicates only read (the EDB).
+    pub fn edb_predicates(&self) -> BTreeSet<RelName> {
+        self.signature
+            .names()
+            .filter(|n| !self.idb.contains(*n))
+            .cloned()
+            .collect()
+    }
+
+    /// Arity signature of all mentioned predicates.
+    pub fn signature(&self) -> &Schema {
+        &self.signature
+    }
+
+    /// Does any rule use negation?
+    pub fn has_negation(&self) -> bool {
+        self.rules.iter().any(Rule::has_negation)
+    }
+
+    /// Is the predicate dependency graph acyclic (nonrecursive Datalog)?
+    pub fn is_nonrecursive(&self) -> bool {
+        // DFS for a cycle among IDB predicates.
+        let mut deps: BTreeMap<&RelName, BTreeSet<&RelName>> = BTreeMap::new();
+        for r in &self.rules {
+            let entry = deps.entry(&r.head.pred).or_default();
+            for l in &r.body {
+                if let Literal::Pos(a) | Literal::Neg(a) = l {
+                    if self.idb.contains(&a.pred) {
+                        entry.insert(&a.pred);
+                    }
+                }
+            }
+        }
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            Visiting,
+            Done,
+        }
+        fn dfs<'a>(
+            n: &'a RelName,
+            deps: &BTreeMap<&'a RelName, BTreeSet<&'a RelName>>,
+            marks: &mut BTreeMap<&'a RelName, Mark>,
+        ) -> bool {
+            match marks.get(n) {
+                Some(Mark::Visiting) => return false,
+                Some(Mark::Done) => return true,
+                None => {}
+            }
+            marks.insert(n, Mark::Visiting);
+            if let Some(succ) = deps.get(n) {
+                for s in succ {
+                    if !dfs(s, deps, marks) {
+                        return false;
+                    }
+                }
+            }
+            marks.insert(n, Mark::Done);
+            true
+        }
+        let mut marks = BTreeMap::new();
+        self.idb.iter().all(|p| dfs(p, &deps, &mut marks))
+    }
+
+    /// Compute a stratification: a list of strata, each a set of IDB
+    /// predicates, such that negation only reaches strictly lower strata.
+    pub fn stratify(&self) -> Result<Vec<BTreeSet<RelName>>, EvalError> {
+        let mut stratum: BTreeMap<RelName, usize> =
+            self.idb.iter().map(|p| (p.clone(), 0)).collect();
+        let n = self.idb.len().max(1);
+        // Bellman-Ford-style relaxation; a stratum exceeding the number of
+        // IDB predicates certifies a negative cycle.
+        for _ in 0..=n {
+            let mut changed = false;
+            for r in &self.rules {
+                let head_s = stratum[&r.head.pred];
+                let mut required = head_s;
+                for l in &r.body {
+                    match l {
+                        Literal::Pos(a) => {
+                            if let Some(&s) = stratum.get(&a.pred) {
+                                required = required.max(s);
+                            }
+                        }
+                        Literal::Neg(a) => {
+                            if let Some(&s) = stratum.get(&a.pred) {
+                                required = required.max(s + 1);
+                            }
+                        }
+                        Literal::Diseq(_, _) => {}
+                    }
+                }
+                if required > head_s {
+                    if required > n {
+                        return Err(EvalError::NotStratifiable { pred: r.head.pred.clone() });
+                    }
+                    stratum.insert(r.head.pred.clone(), required);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Re-check: a final pass must be quiescent, otherwise a negative
+        // cycle kept pumping.
+        for r in &self.rules {
+            let head_s = stratum[&r.head.pred];
+            for l in &r.body {
+                match l {
+                    Literal::Pos(a) => {
+                        if let Some(&s) = stratum.get(&a.pred) {
+                            if s > head_s {
+                                return Err(EvalError::NotStratifiable {
+                                    pred: r.head.pred.clone(),
+                                });
+                            }
+                        }
+                    }
+                    Literal::Neg(a) => {
+                        if let Some(&s) = stratum.get(&a.pred) {
+                            if s >= head_s {
+                                return Err(EvalError::NotStratifiable {
+                                    pred: r.head.pred.clone(),
+                                });
+                            }
+                        }
+                    }
+                    Literal::Diseq(_, _) => {}
+                }
+            }
+        }
+        let max = stratum.values().copied().max().unwrap_or(0);
+        let mut out = vec![BTreeSet::new(); max + 1];
+        for (p, s) in stratum {
+            out[s].insert(p);
+        }
+        out.retain(|s| !s.is_empty());
+        Ok(out)
+    }
+
+    /// Working schema for evaluation: the program signature merged with
+    /// the database schema.
+    fn working_schema(&self, db: &Instance) -> Result<Schema, EvalError> {
+        Ok(db.schema().union_compatible(&self.signature)?)
+    }
+
+    /// Evaluate to fixpoint with stratified semantics.
+    ///
+    /// Facts in `db` for IDB predicates (if its schema declares them) are
+    /// used as seeds — the distributed constructions store accumulated
+    /// IDB facts in transducer memory between heartbeats.
+    pub fn eval(&self, db: &Instance) -> Result<Instance, EvalError> {
+        self.eval_with(db, EvalStrategy::SemiNaive)
+    }
+
+    /// Evaluate with an explicit strategy (naive kept for the ablation
+    /// benchmark).
+    pub fn eval_with(&self, db: &Instance, strategy: EvalStrategy) -> Result<Instance, EvalError> {
+        let schema = self.working_schema(db)?;
+        let mut total = Instance::empty(schema.clone());
+        for f in db.facts() {
+            total.insert_fact(f)?;
+        }
+        for stratum in self.stratify()? {
+            let rules: Vec<&Rule> =
+                self.rules.iter().filter(|r| stratum.contains(&r.head.pred)).collect();
+            match strategy {
+                EvalStrategy::Naive => self.run_naive(&rules, &mut total)?,
+                EvalStrategy::SemiNaive => self.run_seminaive(&rules, &stratum, &mut total)?,
+            }
+        }
+        Ok(total)
+    }
+
+    fn run_naive(&self, rules: &[&Rule], total: &mut Instance) -> Result<(), EvalError> {
+        loop {
+            let mut derived = Vec::new();
+            for r in rules {
+                let mut tuples = Vec::new();
+                r.derive(total, total, None, &mut tuples)?;
+                for t in tuples {
+                    derived.push((r.head.pred.clone(), t));
+                }
+            }
+            let mut changed = false;
+            for (p, t) in derived {
+                if total.insert_fact(rtx_relational::Fact::new(p, t))? {
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Ok(());
+            }
+        }
+    }
+
+    fn run_seminaive(
+        &self,
+        rules: &[&Rule],
+        stratum: &BTreeSet<RelName>,
+        total: &mut Instance,
+    ) -> Result<(), EvalError> {
+        let schema = total.schema().clone();
+        // Round 0: full evaluation (covers rules without stratum-IDB in
+        // the body, and seeds the delta).
+        let mut delta = Instance::empty(schema.clone());
+        for r in rules {
+            let mut tuples = Vec::new();
+            r.derive(total, total, None, &mut tuples)?;
+            for t in tuples {
+                let f = rtx_relational::Fact::new(r.head.pred.clone(), t);
+                if !total.contains_fact(&f) {
+                    delta.insert_fact(f)?;
+                }
+            }
+        }
+        for f in delta.facts() {
+            total.insert_fact(f)?;
+        }
+        while !delta.is_empty() {
+            let mut next = Instance::empty(schema.clone());
+            for r in rules {
+                for i in 0..r.count_pos() {
+                    let pred = r.pos_pred(i).expect("index within positive atoms");
+                    if !stratum.contains(pred) {
+                        continue;
+                    }
+                    let mut tuples = Vec::new();
+                    r.derive(total, total, Some((i, &delta)), &mut tuples)?;
+                    for t in tuples {
+                        let f = rtx_relational::Fact::new(r.head.pred.clone(), t);
+                        if !total.contains_fact(&f) && !next.contains_fact(&f) {
+                            next.insert_fact(f)?;
+                        }
+                    }
+                }
+            }
+            for f in next.facts() {
+                total.insert_fact(f)?;
+            }
+            delta = next;
+        }
+        Ok(())
+    }
+
+    /// One application of the immediate-consequence operator `T_P`:
+    /// every head fact derivable from `db` in a single rule firing.
+    ///
+    /// Negation is evaluated against `db` as given — callers are
+    /// responsible for only using `T_P` with semipositive programs (the
+    /// paper's Theorem 6(5) uses pure Datalog, with no negation at all).
+    pub fn tp_step(&self, db: &Instance) -> Result<Instance, EvalError> {
+        let schema = self.working_schema(db)?;
+        let widened = db.widen(schema.clone())?;
+        let mut out = Instance::empty(schema);
+        for r in &self.rules {
+            let mut tuples = Vec::new();
+            r.derive(&widened, &widened, None, &mut tuples)?;
+            for t in tuples {
+                out.insert_fact(rtx_relational::Fact::new(r.head.pred.clone(), t))?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{r:?}.")?;
+        }
+        Ok(())
+    }
+}
+
+/// A Datalog program used as a query: evaluate to fixpoint, return one
+/// designated output predicate.
+#[derive(Clone)]
+pub struct DatalogQuery {
+    program: Program,
+    output: RelName,
+    arity: usize,
+    strategy: EvalStrategy,
+}
+
+impl DatalogQuery {
+    /// Build, validating that the output predicate is mentioned.
+    pub fn new(program: Program, output: impl Into<RelName>) -> Result<Self, EvalError> {
+        let output = output.into();
+        let arity = program
+            .signature()
+            .arity(&output)
+            .ok_or_else(|| EvalError::Rel(rtx_relational::RelError::UnknownRelation {
+                rel: output.clone(),
+            }))?;
+        Ok(DatalogQuery { program, output, arity, strategy: EvalStrategy::SemiNaive })
+    }
+
+    /// Select an evaluation strategy (ablation hook).
+    pub fn with_strategy(mut self, strategy: EvalStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The output predicate.
+    pub fn output(&self) -> &RelName {
+        &self.output
+    }
+}
+
+impl Query for DatalogQuery {
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn eval(&self, db: &Instance) -> Result<Relation, EvalError> {
+        let result = self.program.eval_with(db, self.strategy)?;
+        Ok(result.relation(&self.output)?)
+    }
+
+    fn is_monotone_syntactic(&self) -> bool {
+        !self.program.has_negation()
+    }
+
+    fn referenced_relations(&self) -> BTreeSet<RelName> {
+        self.program.signature().names().cloned().collect()
+    }
+
+    fn describe(&self) -> String {
+        format!("datalog[{}]: {:?}", self.output, self.program)
+    }
+}
+
+impl fmt::Debug for DatalogQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "datalog[{}]", self.output)
+    }
+}
+
+/// A single `T_P` application used as a query (the local language of the
+/// Theorem 6(5) transducer): returns the immediate consequences for one
+/// predicate.
+#[derive(Clone)]
+pub struct TpQuery {
+    program: Program,
+    output: RelName,
+    arity: usize,
+}
+
+impl TpQuery {
+    /// Build, validating the output predicate.
+    pub fn new(program: Program, output: impl Into<RelName>) -> Result<Self, EvalError> {
+        let output = output.into();
+        let arity = program
+            .signature()
+            .arity(&output)
+            .ok_or_else(|| EvalError::Rel(rtx_relational::RelError::UnknownRelation {
+                rel: output.clone(),
+            }))?;
+        Ok(TpQuery { program, output, arity })
+    }
+}
+
+impl Query for TpQuery {
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn eval(&self, db: &Instance) -> Result<Relation, EvalError> {
+        let step = self.program.tp_step(db)?;
+        Ok(step.relation(&self.output)?)
+    }
+
+    fn is_monotone_syntactic(&self) -> bool {
+        !self.program.has_negation()
+    }
+
+    fn referenced_relations(&self) -> BTreeSet<RelName> {
+        self.program.signature().names().cloned().collect()
+    }
+
+    fn describe(&self) -> String {
+        format!("T_P[{}]", self.output)
+    }
+}
+
+impl fmt::Debug for TpQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T_P[{}]", self.output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom;
+    use rtx_relational::{fact, tuple};
+
+    fn rule(head: Atom, body: Vec<Literal>) -> Rule {
+        Rule::new(head, body).unwrap()
+    }
+
+    fn tc_program() -> Program {
+        Program::new(vec![
+            rule(atom!("T"; @"X", @"Y"), vec![Literal::Pos(atom!("E"; @"X", @"Y"))]),
+            rule(
+                atom!("T"; @"X", @"Z"),
+                vec![
+                    Literal::Pos(atom!("T"; @"X", @"Y")),
+                    Literal::Pos(atom!("E"; @"Y", @"Z")),
+                ],
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn edges(pairs: &[(i64, i64)]) -> Instance {
+        let sch = Schema::new().with("E", 2);
+        let mut i = Instance::empty(sch);
+        for &(a, b) in pairs {
+            i.insert_fact(fact!("E", a, b)).unwrap();
+        }
+        i
+    }
+
+    #[test]
+    fn transitive_closure_chain() {
+        let db = edges(&[(1, 2), (2, 3), (3, 4)]);
+        let q = DatalogQuery::new(tc_program(), "T").unwrap();
+        let out = q.eval(&db).unwrap();
+        assert_eq!(out.len(), 6);
+        assert!(out.contains(&tuple![1, 4]));
+        assert!(q.is_monotone_syntactic());
+    }
+
+    #[test]
+    fn transitive_closure_cycle() {
+        let db = edges(&[(1, 2), (2, 1)]);
+        let q = DatalogQuery::new(tc_program(), "T").unwrap();
+        let out = q.eval(&db).unwrap();
+        assert_eq!(out.len(), 4); // all pairs over {1,2}
+    }
+
+    #[test]
+    fn naive_equals_seminaive() {
+        let db = edges(&[(1, 2), (2, 3), (3, 1), (3, 5), (5, 6)]);
+        let semi = DatalogQuery::new(tc_program(), "T").unwrap().eval(&db).unwrap();
+        let naive = DatalogQuery::new(tc_program(), "T")
+            .unwrap()
+            .with_strategy(EvalStrategy::Naive)
+            .eval(&db)
+            .unwrap();
+        assert_eq!(semi, naive);
+    }
+
+    #[test]
+    fn idb_seeds_from_database_are_used() {
+        // T seeded with an extra pair that E alone would not produce.
+        let sch = Schema::new().with("E", 2).with("T", 2);
+        let db = Instance::from_facts(sch, vec![fact!("E", 1, 2), fact!("T", 7, 8)]).unwrap();
+        let out = DatalogQuery::new(tc_program(), "T").unwrap().eval(&db).unwrap();
+        assert!(out.contains(&tuple![7, 8]));
+        assert!(out.contains(&tuple![1, 2]));
+    }
+
+    #[test]
+    fn stratified_negation_complement() {
+        // unreachable(X) over nodes: node(X), ¬reach(X)
+        let p = Program::new(vec![
+            rule(atom!("Reach"; @"X"), vec![Literal::Pos(atom!("Src"; @"X"))]),
+            rule(
+                atom!("Reach"; @"Y"),
+                vec![
+                    Literal::Pos(atom!("Reach"; @"X")),
+                    Literal::Pos(atom!("E"; @"X", @"Y")),
+                ],
+            ),
+            rule(
+                atom!("Unreach"; @"X"),
+                vec![
+                    Literal::Pos(atom!("Node"; @"X")),
+                    Literal::Neg(atom!("Reach"; @"X")),
+                ],
+            ),
+        ])
+        .unwrap();
+        let strata = p.stratify().unwrap();
+        assert_eq!(strata.len(), 2);
+        assert!(strata[0].contains(&"Reach".into()));
+        assert!(strata[1].contains(&"Unreach".into()));
+
+        let sch = Schema::new().with("E", 2).with("Src", 1).with("Node", 1);
+        let db = Instance::from_facts(
+            sch,
+            vec![
+                fact!("E", 1, 2),
+                fact!("Src", 1),
+                fact!("Node", 1),
+                fact!("Node", 2),
+                fact!("Node", 3),
+            ],
+        )
+        .unwrap();
+        let q = DatalogQuery::new(p, "Unreach").unwrap();
+        let out = q.eval(&db).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&tuple![3]));
+        assert!(!q.is_monotone_syntactic());
+    }
+
+    #[test]
+    fn negative_cycle_rejected() {
+        let p = Program::new(vec![
+            rule(
+                atom!("P"; @"X"),
+                vec![Literal::Pos(atom!("S"; @"X")), Literal::Neg(atom!("Q"; @"X"))],
+            ),
+            rule(
+                atom!("Q"; @"X"),
+                vec![Literal::Pos(atom!("S"; @"X")), Literal::Neg(atom!("P"; @"X"))],
+            ),
+        ])
+        .unwrap();
+        assert!(matches!(p.stratify(), Err(EvalError::NotStratifiable { .. })));
+        let q = DatalogQuery::new(p, "P").unwrap();
+        assert!(q.eval(&edges(&[])).is_err());
+    }
+
+    #[test]
+    fn self_negation_rejected() {
+        let p = Program::new(vec![rule(
+            atom!("P"; @"X"),
+            vec![Literal::Pos(atom!("S"; @"X")), Literal::Neg(atom!("P"; @"X"))],
+        )])
+        .unwrap();
+        assert!(p.stratify().is_err());
+    }
+
+    #[test]
+    fn nonrecursive_detection() {
+        let nr = Program::new(vec![
+            rule(atom!("A"; @"X"), vec![Literal::Pos(atom!("S"; @"X"))]),
+            rule(atom!("B"; @"X"), vec![Literal::Pos(atom!("A"; @"X"))]),
+        ])
+        .unwrap();
+        assert!(nr.is_nonrecursive());
+        assert!(!tc_program().is_nonrecursive());
+    }
+
+    #[test]
+    fn edb_idb_split() {
+        let p = tc_program();
+        assert!(p.idb_predicates().contains(&"T".into()));
+        assert!(p.edb_predicates().contains(&"E".into()));
+        assert_eq!(p.signature().arity(&"T".into()), Some(2));
+    }
+
+    #[test]
+    fn arity_conflicts_rejected() {
+        let r1 = rule(atom!("P"; @"X"), vec![Literal::Pos(atom!("S"; @"X"))]);
+        let r2 = rule(
+            atom!("P"; @"X", @"Y"),
+            vec![Literal::Pos(atom!("E"; @"X", @"Y"))],
+        );
+        assert!(Program::new(vec![r1, r2]).is_err());
+    }
+
+    #[test]
+    fn rule_safety_rejected() {
+        assert!(Rule::new(atom!("P"; @"X"), vec![]).is_err());
+        assert!(Rule::new(
+            atom!("P"; @"X"),
+            vec![Literal::Pos(atom!("S"; @"X")), Literal::Neg(atom!("T"; @"Y"))],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn diseq_literal_filters() {
+        let p = Program::new(vec![rule(
+            atom!("P"; @"X", @"Y"),
+            vec![
+                Literal::Pos(atom!("E"; @"X", @"Y")),
+                Literal::Diseq(Term::var("X"), Term::var("Y")),
+            ],
+        )])
+        .unwrap();
+        let db = edges(&[(1, 1), (1, 2)]);
+        let out = DatalogQuery::new(p, "P").unwrap().eval(&db).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&tuple![1, 2]));
+    }
+
+    #[test]
+    fn tp_step_is_single_application() {
+        let db = edges(&[(1, 2), (2, 3), (3, 4)]);
+        let tp = TpQuery::new(tc_program(), "T").unwrap();
+        // one step: only direct edges (the recursive rule needs T facts)
+        let s1 = tp.eval(&db).unwrap();
+        assert_eq!(s1.len(), 3);
+        // feed the step back in as T facts: length-2 paths appear
+        let sch = Schema::new().with("E", 2).with("T", 2);
+        let mut db2 = db.widen(sch).unwrap();
+        for t in s1.iter() {
+            db2.insert_fact(rtx_relational::Fact::new(RelName::new("T"), t.clone())).unwrap();
+        }
+        let s2 = tp.eval(&db2).unwrap();
+        assert!(s2.contains(&tuple![1, 3]));
+        assert!(!s2.contains(&tuple![1, 4]));
+    }
+
+    #[test]
+    fn monotonicity_of_positive_programs_spotcheck() {
+        let small = edges(&[(1, 2), (2, 3)]);
+        let mut big = small.clone();
+        big.insert_fact(fact!("E", 3, 4)).unwrap();
+        let q = DatalogQuery::new(tc_program(), "T").unwrap();
+        assert!(q.eval(&small).unwrap().is_subset(&q.eval(&big).unwrap()));
+    }
+
+    #[test]
+    fn same_generation_classic() {
+        // sg(X,Y) ← flat(X,Y); sg(X,Y) ← up(X,A), sg(A,B), down(B,Y)
+        let p = Program::new(vec![
+            rule(atom!("Sg"; @"X", @"Y"), vec![Literal::Pos(atom!("Flat"; @"X", @"Y"))]),
+            rule(
+                atom!("Sg"; @"X", @"Y"),
+                vec![
+                    Literal::Pos(atom!("Up"; @"X", @"A")),
+                    Literal::Pos(atom!("Sg"; @"A", @"B")),
+                    Literal::Pos(atom!("Down"; @"B", @"Y")),
+                ],
+            ),
+        ])
+        .unwrap();
+        let sch = Schema::new().with("Flat", 2).with("Up", 2).with("Down", 2);
+        let db = Instance::from_facts(
+            sch,
+            vec![
+                fact!("Up", "a", "b"),
+                fact!("Up", "c", "d"),
+                fact!("Flat", "b", "d"),
+                fact!("Down", "d", "e"),
+                fact!("Down", "b", "f"),
+            ],
+        )
+        .unwrap();
+        let out = DatalogQuery::new(p, "Sg").unwrap().eval(&db).unwrap();
+        assert!(out.contains(&tuple!["b", "d"]));
+        assert!(out.contains(&tuple!["a", "e"])); // up(a,b), sg(b,d), down(d,e)
+    }
+
+    #[test]
+    fn tp_of_nullary_head() {
+        let p = Program::new(vec![rule(
+            atom!("Found"),
+            vec![Literal::Pos(atom!("E"; @"X", @"Y"))],
+        )])
+        .unwrap();
+        let q = TpQuery::new(p, "Found").unwrap();
+        assert!(q.eval(&edges(&[(1, 2)])).unwrap().as_bool());
+        assert!(!q.eval(&edges(&[])).unwrap().as_bool());
+    }
+}

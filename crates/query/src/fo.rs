@@ -1,0 +1,769 @@
+//! First-order logic under the **active-domain semantics** — the paper's
+//! default local query language for transducers.
+//!
+//! An FO formula `ϕ(x1, …, xk)` expresses the k-ary query
+//! `ϕ(I) = {(a1,…,ak) ∈ adom(I)^k | (adom(I), I) ⊨ ϕ[a1,…,ak]}`
+//! (paper, Section 2): quantifiers range over the active domain of the
+//! instance, and output tuples are drawn from the active domain.
+//!
+//! The evaluator is a hybrid: top-level positive conjuncts are used as
+//! *generators* (joined relationally, as a conjunctive-query engine
+//! would), and only the residual formula is checked per candidate
+//! binding, with quantifiers enumerating the active domain. This keeps
+//! the constructions of the paper (whose send/insert queries are mostly
+//! conjunctive) fast, while still supporting full FO.
+
+use crate::error::EvalError;
+use crate::query::Query;
+use crate::term::{Atom, Bindings, Term, Var};
+use rtx_relational::{Instance, RelName, Relation, Tuple, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An FO formula.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// A relational atom `R(t̄)`.
+    Atom(Atom),
+    /// Equality `t1 = t2`.
+    Eq(Term, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction (empty = true).
+    And(Vec<Formula>),
+    /// Disjunction (empty = false).
+    Or(Vec<Formula>),
+    /// Existential quantification over the active domain.
+    Exists(Vec<Var>, Box<Formula>),
+    /// Universal quantification over the active domain.
+    Forall(Vec<Var>, Box<Formula>),
+}
+
+impl Formula {
+    /// `R(t̄)` as a formula.
+    pub fn atom(a: Atom) -> Formula {
+        Formula::Atom(a)
+    }
+
+    /// Conjunction of the given formulas.
+    pub fn and(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        Formula::And(fs.into_iter().collect())
+    }
+
+    /// Disjunction of the given formulas.
+    pub fn or(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        Formula::Or(fs.into_iter().collect())
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// `∃ vars . f`
+    pub fn exists<V: Into<Var>>(vars: impl IntoIterator<Item = V>, f: Formula) -> Formula {
+        Formula::Exists(vars.into_iter().map(Into::into).collect(), Box::new(f))
+    }
+
+    /// `∀ vars . f`
+    pub fn forall<V: Into<Var>>(vars: impl IntoIterator<Item = V>, f: Formula) -> Formula {
+        Formula::Forall(vars.into_iter().map(Into::into).collect(), Box::new(f))
+    }
+
+    /// `t1 = t2`
+    pub fn eq(a: Term, b: Term) -> Formula {
+        Formula::Eq(a, b)
+    }
+
+    /// `t1 ≠ t2`
+    pub fn neq(a: Term, b: Term) -> Formula {
+        Formula::not(Formula::Eq(a, b))
+    }
+
+    /// Free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut BTreeSet::new(), &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut BTreeSet<Var>, out: &mut BTreeSet<Var>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(a) => {
+                for t in &a.terms {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            out.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::Eq(a, b) => {
+                for t in [a, b] {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            out.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_free(bound, out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, out);
+                }
+            }
+            Formula::Exists(vs, f) | Formula::Forall(vs, f) => {
+                let newly: Vec<Var> =
+                    vs.iter().filter(|v| bound.insert((*v).clone())).cloned().collect();
+                f.collect_free(bound, out);
+                for v in newly {
+                    bound.remove(&v);
+                }
+            }
+        }
+    }
+
+    /// All relation names mentioned.
+    pub fn relations(&self) -> BTreeSet<RelName> {
+        let mut out = BTreeSet::new();
+        self.collect_relations(&mut out);
+        out
+    }
+
+    fn collect_relations(&self, out: &mut BTreeSet<RelName>) {
+        match self {
+            Formula::True | Formula::False | Formula::Eq(_, _) => {}
+            Formula::Atom(a) => {
+                out.insert(a.pred.clone());
+            }
+            Formula::Not(f) => f.collect_relations(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_relations(out);
+                }
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.collect_relations(out),
+        }
+    }
+
+    /// Is the formula positive-existential (no `∀`; `¬` only directly on
+    /// equalities)? Such formulas express monotone queries: adding facts
+    /// only grows the active domain and the relations, so every witness
+    /// survives, and nonequalities do not read the instance at all.
+    pub fn is_positive_existential(&self) -> bool {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) | Formula::Eq(_, _) => true,
+            Formula::Not(f) => matches!(**f, Formula::Eq(_, _)),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(|f| f.is_positive_existential()),
+            Formula::Exists(_, f) => f.is_positive_existential(),
+            Formula::Forall(_, _) => false,
+        }
+    }
+
+    /// Evaluate under complete bindings for the free variables.
+    fn holds(&self, db: &Instance, adom: &[Value], env: &Bindings) -> Result<bool, EvalError> {
+        match self {
+            Formula::True => Ok(true),
+            Formula::False => Ok(false),
+            Formula::Atom(a) => {
+                let rel = db.relation(&a.pred)?;
+                if rel.arity() != a.arity() {
+                    return Err(EvalError::Rel(rtx_relational::RelError::ArityMismatch {
+                        rel: a.pred.clone(),
+                        expected: rel.arity(),
+                        found: a.arity(),
+                    }));
+                }
+                let t = a.instantiate(env).ok_or_else(|| EvalError::Unsafe {
+                    reason: format!("atom {a} has an unbound variable at evaluation time"),
+                })?;
+                Ok(rel.contains(&t))
+            }
+            Formula::Eq(a, b) => {
+                let (va, vb) = (a.resolve(env), b.resolve(env));
+                match (va, vb) {
+                    (Some(x), Some(y)) => Ok(x == y),
+                    _ => Err(EvalError::Unsafe {
+                        reason: "equality over an unbound variable".into(),
+                    }),
+                }
+            }
+            Formula::Not(f) => Ok(!f.holds(db, adom, env)?),
+            Formula::And(fs) => {
+                for f in fs {
+                    if !f.holds(db, adom, env)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Formula::Or(fs) => {
+                for f in fs {
+                    if f.holds(db, adom, env)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Formula::Exists(vs, f) => Self::quantify(db, adom, env, vs, f, false),
+            Formula::Forall(vs, f) => Self::quantify(db, adom, env, vs, f, true),
+        }
+    }
+
+    /// Shared quantifier loop: `universal = false` searches for a witness,
+    /// `universal = true` searches for a counterexample.
+    fn quantify(
+        db: &Instance,
+        adom: &[Value],
+        env: &Bindings,
+        vars: &[Var],
+        f: &Formula,
+        universal: bool,
+    ) -> Result<bool, EvalError> {
+        fn rec(
+            db: &Instance,
+            adom: &[Value],
+            env: &mut Bindings,
+            vars: &[Var],
+            f: &Formula,
+            universal: bool,
+        ) -> Result<bool, EvalError> {
+            match vars.split_first() {
+                None => {
+                    let h = f.holds(db, adom, env)?;
+                    Ok(if universal { !h } else { h })
+                }
+                Some((v, rest)) => {
+                    let shadowed = env.get(v).cloned();
+                    for a in adom {
+                        env.insert(v.clone(), a.clone());
+                        if rec(db, adom, env, rest, f, universal)? {
+                            match shadowed {
+                                Some(old) => env.insert(v.clone(), old),
+                                None => env.remove(v),
+                            };
+                            return Ok(true);
+                        }
+                    }
+                    match shadowed {
+                        Some(old) => env.insert(v.clone(), old),
+                        None => env.remove(v),
+                    };
+                    Ok(false)
+                }
+            }
+        }
+        let mut scratch = env.clone();
+        let found = rec(db, adom, &mut scratch, vars, f, universal)?;
+        Ok(if universal { !found } else { found })
+    }
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::Eq(a, b) => write!(f, "{a} = {b}"),
+            Formula::Not(inner) => write!(f, "¬({inner:?})"),
+            Formula::And(fs) => {
+                if fs.is_empty() {
+                    return write!(f, "true");
+                }
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{g:?}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                if fs.is_empty() {
+                    return write!(f, "false");
+                }
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{g:?}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Exists(vs, g) => {
+                write!(f, "∃")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ".({g:?})")
+            }
+            Formula::Forall(vs, g) => {
+                write!(f, "∀")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ".({g:?})")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// An FO query `ϕ(x1, …, xk)`: a formula with a designated tuple of head
+/// variables.
+#[derive(Clone, PartialEq, Eq)]
+pub struct FoQuery {
+    head: Vec<Var>,
+    formula: Formula,
+}
+
+impl FoQuery {
+    /// Build an FO query, validating that every free variable of the
+    /// formula appears in the head.
+    pub fn new<V: Into<Var>>(
+        head: impl IntoIterator<Item = V>,
+        formula: Formula,
+    ) -> Result<Self, EvalError> {
+        let head: Vec<Var> = head.into_iter().map(Into::into).collect();
+        let head_set: BTreeSet<_> = head.iter().cloned().collect();
+        for v in formula.free_vars() {
+            if !head_set.contains(&v) {
+                return Err(EvalError::Unsafe {
+                    reason: format!("free variable {v} does not appear in the head"),
+                });
+            }
+        }
+        Ok(FoQuery { head, formula })
+    }
+
+    /// A boolean (nullary) query; the formula must be a sentence.
+    pub fn sentence(formula: Formula) -> Result<Self, EvalError> {
+        FoQuery::new(Vec::<Var>::new(), formula)
+    }
+
+    /// The head variables.
+    pub fn head(&self) -> &[Var] {
+        &self.head
+    }
+
+    /// The formula.
+    pub fn formula(&self) -> &Formula {
+        &self.formula
+    }
+
+    /// Split the formula into top-level conjuncts.
+    fn conjuncts(&self) -> Vec<&Formula> {
+        fn flatten<'a>(f: &'a Formula, out: &mut Vec<&'a Formula>) {
+            match f {
+                Formula::And(fs) => {
+                    for g in fs {
+                        flatten(g, out);
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+        let mut out = Vec::new();
+        flatten(&self.formula, &mut out);
+        out
+    }
+}
+
+impl Query for FoQuery {
+    fn arity(&self) -> usize {
+        self.head.len()
+    }
+
+    fn eval(&self, db: &Instance) -> Result<Relation, EvalError> {
+        let adom: Vec<Value> = db.adom().into_iter().collect();
+        let adom_set: BTreeSet<&Value> = adom.iter().collect();
+
+        // Phase 1: use top-level positive atoms as generators.
+        let conjuncts = self.conjuncts();
+        let mut generators: Vec<&Atom> = Vec::new();
+        let mut checks: Vec<&Formula> = Vec::new();
+        for c in &conjuncts {
+            match c {
+                Formula::Atom(a) => generators.push(a),
+                other => checks.push(other),
+            }
+        }
+
+        let mut envs: Vec<Bindings> = vec![Bindings::new()];
+        for a in &generators {
+            let rel = db.relation(&a.pred)?;
+            if rel.arity() != a.arity() {
+                return Err(EvalError::Rel(rtx_relational::RelError::ArityMismatch {
+                    rel: a.pred.clone(),
+                    expected: rel.arity(),
+                    found: a.arity(),
+                }));
+            }
+            envs = a.join(&rel, &envs);
+            if envs.is_empty() {
+                return Ok(Relation::empty(self.head.len()));
+            }
+        }
+
+        // Phase 2: enumerate the active domain for head variables the
+        // generators left unbound.
+        let bound_by_generators: BTreeSet<Var> = envs
+            .first()
+            .map(|e| e.keys().cloned().collect())
+            .unwrap_or_default();
+        let mut unbound: Vec<Var> = Vec::new();
+        let mut seen = BTreeSet::new();
+        for v in &self.head {
+            if !bound_by_generators.contains(v) && seen.insert(v.clone()) {
+                unbound.push(v.clone());
+            }
+        }
+
+        let mut out = Relation::empty(self.head.len());
+        let mut stack: Vec<(Bindings, usize)> = envs.into_iter().map(|e| (e, 0)).collect();
+        while let Some((env, depth)) = stack.pop() {
+            if depth < unbound.len() {
+                for a in &adom {
+                    let mut e = env.clone();
+                    e.insert(unbound[depth].clone(), a.clone());
+                    stack.push((e, depth + 1));
+                }
+                continue;
+            }
+            // Phase 3: check the residual conjuncts.
+            let mut ok = true;
+            for c in &checks {
+                if !c.holds(db, &adom, &env)? {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let values: Vec<Value> = self
+                .head
+                .iter()
+                .map(|v| {
+                    env.get(v).cloned().ok_or_else(|| EvalError::Unsafe {
+                        reason: format!("head variable {v} unbound after evaluation"),
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            // Condition (i) of the paper: answers live in adom(I)^k. A
+            // constant in the formula may lie outside the active domain.
+            if values.iter().all(|v| adom_set.contains(v)) {
+                out.insert(Tuple::new(values))?;
+            }
+        }
+        Ok(out)
+    }
+
+    fn is_monotone_syntactic(&self) -> bool {
+        self.formula.is_positive_existential()
+    }
+
+    fn referenced_relations(&self) -> BTreeSet<RelName> {
+        self.formula.relations()
+    }
+
+    fn is_always_empty(&self) -> bool {
+        matches!(self.formula, Formula::False)
+            || matches!(&self.formula, Formula::Or(fs) if fs.is_empty())
+    }
+
+    fn describe(&self) -> String {
+        format!("{self:?}")
+    }
+}
+
+impl fmt::Debug for FoQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ") ← {:?}", self.formula)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom;
+    use rtx_relational::{fact, tuple, Schema};
+
+    fn db_edges(edges: &[(i64, i64)]) -> Instance {
+        let sch = Schema::new().with("E", 2).with("S", 1);
+        let mut i = Instance::empty(sch);
+        for &(a, b) in edges {
+            i.insert_fact(fact!("E", a, b)).unwrap();
+        }
+        i
+    }
+
+    #[test]
+    fn atom_query_selects_tuples() {
+        let db = db_edges(&[(1, 2), (2, 3)]);
+        let q = FoQuery::new(["X", "Y"], Formula::atom(atom!("E"; @"X", @"Y"))).unwrap();
+        let r = q.eval(&db).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&tuple![1, 2]));
+    }
+
+    #[test]
+    fn equality_selection_example3a() {
+        // σ_{$1=$2}(E) — the paper's Example 3 (first part).
+        let db = db_edges(&[(1, 1), (1, 2), (3, 3)]);
+        let q = FoQuery::new(
+            ["X", "Y"],
+            Formula::and([
+                Formula::atom(atom!("E"; @"X", @"Y")),
+                Formula::eq(Term::var("X"), Term::var("Y")),
+            ]),
+        )
+        .unwrap();
+        let r = q.eval(&db).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&tuple![1, 1]));
+        assert!(r.contains(&tuple![3, 3]));
+    }
+
+    #[test]
+    fn join_composes_relations() {
+        let db = db_edges(&[(1, 2), (2, 3), (3, 4)]);
+        // two-step paths
+        let q = FoQuery::new(
+            ["X", "Z"],
+            Formula::exists(
+                ["Y"],
+                Formula::and([
+                    Formula::atom(atom!("E"; @"X", @"Y")),
+                    Formula::atom(atom!("E"; @"Y", @"Z")),
+                ]),
+            ),
+        )
+        .unwrap();
+        let r = q.eval(&db).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&tuple![1, 3]));
+        assert!(r.contains(&tuple![2, 4]));
+    }
+
+    #[test]
+    fn negation_under_active_domain() {
+        // non-edges over the active domain
+        let db = db_edges(&[(1, 2)]);
+        let q = FoQuery::new(
+            ["X", "Y"],
+            Formula::not(Formula::atom(atom!("E"; @"X", @"Y"))),
+        )
+        .unwrap();
+        let r = q.eval(&db).unwrap();
+        // adom = {1,2}; pairs are (1,1),(1,2),(2,1),(2,2); (1,2) is an edge.
+        assert_eq!(r.len(), 3);
+        assert!(!r.contains(&tuple![1, 2]));
+    }
+
+    #[test]
+    fn forall_sentence() {
+        // "every S element has an outgoing edge"
+        let sch = Schema::new().with("E", 2).with("S", 1);
+        let mut db = Instance::empty(sch);
+        db.insert_fact(fact!("S", 1)).unwrap();
+        db.insert_fact(fact!("E", 1, 2)).unwrap();
+        let q = FoQuery::sentence(Formula::forall(
+            ["X"],
+            Formula::or([
+                Formula::not(Formula::atom(atom!("S"; @"X"))),
+                Formula::exists(["Y"], Formula::atom(atom!("E"; @"X", @"Y"))),
+            ]),
+        ))
+        .unwrap();
+        assert!(q.eval(&db).unwrap().as_bool());
+        db.insert_fact(fact!("S", 2)).unwrap(); // 2 has no outgoing edge
+        assert!(!q.eval(&db).unwrap().as_bool());
+    }
+
+    #[test]
+    fn emptiness_sentence() {
+        // the paper's Example 10 kernel: "S is empty"
+        let q = FoQuery::sentence(Formula::not(Formula::exists(
+            ["X"],
+            Formula::atom(atom!("S"; @"X")),
+        )))
+        .unwrap();
+        let sch = Schema::new().with("S", 1).with("E", 2);
+        let mut db = Instance::empty(sch);
+        db.insert_fact(fact!("E", 1, 2)).unwrap(); // keeps adom nonempty
+        assert!(q.eval(&db).unwrap().as_bool());
+        db.insert_fact(fact!("S", 1)).unwrap();
+        assert!(!q.eval(&db).unwrap().as_bool());
+    }
+
+    #[test]
+    fn nullary_sentence_on_empty_adom() {
+        // With an empty active domain, ∃x.S(x) is false and ¬∃x.S(x) true.
+        let sch = Schema::new().with("S", 1);
+        let db = Instance::empty(sch);
+        let q = FoQuery::sentence(Formula::not(Formula::exists(
+            ["X"],
+            Formula::atom(atom!("S"; @"X")),
+        )))
+        .unwrap();
+        assert!(q.eval(&db).unwrap().as_bool());
+    }
+
+    #[test]
+    fn head_variable_not_in_formula_ranges_over_adom() {
+        let db = db_edges(&[(1, 2)]);
+        let q = FoQuery::new(
+            ["X", "Y"],
+            Formula::exists(["Z"], Formula::atom(atom!("E"; @"X", @"Z"))),
+        )
+        .unwrap();
+        let r = q.eval(&db).unwrap();
+        // X=1 (has an outgoing edge), Y ranges over adom {1,2}.
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&tuple![1, 1]));
+        assert!(r.contains(&tuple![1, 2]));
+    }
+
+    #[test]
+    fn constants_outside_adom_do_not_leak_into_output() {
+        let db = db_edges(&[(1, 2)]);
+        let q = FoQuery::new(["X"], Formula::eq(Term::var("X"), Term::cons(99))).unwrap();
+        assert!(q.eval(&db).unwrap().is_empty());
+        let q2 = FoQuery::new(["X"], Formula::eq(Term::var("X"), Term::cons(1))).unwrap();
+        assert_eq!(q2.eval(&db).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn free_variable_validation() {
+        let err = FoQuery::new(["X"], Formula::atom(atom!("E"; @"X", @"Y")));
+        assert!(matches!(err, Err(EvalError::Unsafe { .. })));
+    }
+
+    #[test]
+    fn positive_existential_detection() {
+        let pe = Formula::exists(
+            ["X"],
+            Formula::and([
+                Formula::atom(atom!("S"; @"X")),
+                Formula::neq(Term::var("X"), Term::cons(1)),
+            ]),
+        );
+        assert!(pe.is_positive_existential());
+        assert!(!Formula::not(Formula::atom(atom!("S"; @"X"))).is_positive_existential());
+        assert!(!Formula::forall(["X"], Formula::atom(atom!("S"; @"X")))
+            .is_positive_existential());
+    }
+
+    #[test]
+    fn monotone_queries_report_monotone() {
+        let q = FoQuery::new(["X"], Formula::atom(atom!("S"; @"X"))).unwrap();
+        assert!(q.is_monotone_syntactic());
+        let q2 = FoQuery::new(["X"], Formula::not(Formula::atom(atom!("S"; @"X")))).unwrap();
+        assert!(!q2.is_monotone_syntactic());
+    }
+
+    #[test]
+    fn referenced_relations_collects_all() {
+        let q = FoQuery::new(
+            ["X"],
+            Formula::or([
+                Formula::atom(atom!("S"; @"X")),
+                Formula::exists(["Y"], Formula::atom(atom!("E"; @"X", @"Y"))),
+            ]),
+        )
+        .unwrap();
+        let refs = q.referenced_relations();
+        assert!(refs.contains(&"S".into()));
+        assert!(refs.contains(&"E".into()));
+        assert_eq!(refs.len(), 2);
+    }
+
+    #[test]
+    fn always_empty_detection() {
+        let q = FoQuery::new(["X"], Formula::False).unwrap();
+        assert!(q.is_always_empty());
+        let q2 = FoQuery::new(["X"], Formula::atom(atom!("S"; @"X"))).unwrap();
+        assert!(!q2.is_always_empty());
+    }
+
+    #[test]
+    fn quantifier_shadowing_is_handled() {
+        // ∃X (S(X)) where X also in head: head X and quantified X are
+        // different bindings; the inner one must not clobber the outer.
+        let sch = Schema::new().with("S", 1).with("T", 1);
+        let mut db = Instance::empty(sch);
+        db.insert_fact(fact!("S", 1)).unwrap();
+        db.insert_fact(fact!("T", 2)).unwrap();
+        let q = FoQuery::new(
+            ["X"],
+            Formula::and([
+                Formula::atom(atom!("T"; @"X")),
+                Formula::exists(["X"], Formula::atom(atom!("S"; @"X"))),
+            ]),
+        )
+        .unwrap();
+        let r = q.eval(&db).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&tuple![2]));
+    }
+
+    #[test]
+    fn genericity_under_renaming() {
+        let db = db_edges(&[(1, 2), (2, 3)]);
+        let q = FoQuery::new(
+            ["X", "Z"],
+            Formula::exists(
+                ["Y"],
+                Formula::and([
+                    Formula::atom(atom!("E"; @"X", @"Y")),
+                    Formula::atom(atom!("E"; @"Y", @"Z")),
+                ]),
+            ),
+        )
+        .unwrap();
+        let h = rtx_relational::Iso::from_pairs(vec![
+            (Value::int(1), Value::int(10)),
+            (Value::int(2), Value::int(20)),
+            (Value::int(3), Value::int(30)),
+        ])
+        .unwrap();
+        let lhs = q.eval(&h.apply_instance(&db)).unwrap();
+        let rhs = h.apply_relation(&q.eval(&db).unwrap());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let q = FoQuery::new(["X"], Formula::atom(atom!("S"; @"X"))).unwrap();
+        assert!(q.describe().contains("S(X)"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Native (Rust-implemented) queries — the "computationally complete"
+//! local language of the paper's abstract transducers.
+//!
+//! Theorem 6(1)/(2) and Corollary 14(1) quantify over a computationally
+//! complete query language `L`. We model such an `L` by arbitrary Rust
+//! functions `Instance → Relation`. Properties that are syntactic for the
+//! declarative languages (monotonicity, referenced relations) are
+//! *declared* by the constructor here, and can be spot-checked by the
+//! empirical analyses in `rtx-calm`.
+
+use crate::error::EvalError;
+use crate::query::Query;
+use rtx_relational::{Instance, RelName, Relation};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+type NativeFn = dyn Fn(&Instance) -> Result<Relation, EvalError> + Send + Sync;
+
+/// A query given by a native Rust function.
+#[derive(Clone)]
+pub struct NativeQuery {
+    name: String,
+    arity: usize,
+    f: Arc<NativeFn>,
+    monotone: bool,
+    refs: BTreeSet<RelName>,
+}
+
+impl NativeQuery {
+    /// Build a native query.
+    ///
+    /// * `refs` must list every relation the function may read — the
+    ///   obliviousness analysis trusts it.
+    /// * Call [`NativeQuery::declared_monotone`] only when the function is
+    ///   genuinely monotone; the CALM classifier trusts the declaration
+    ///   (and the empirical monotonicity checker can audit it).
+    pub fn new(
+        name: impl Into<String>,
+        arity: usize,
+        refs: impl IntoIterator<Item = RelName>,
+        f: impl Fn(&Instance) -> Result<Relation, EvalError> + Send + Sync + 'static,
+    ) -> Self {
+        NativeQuery {
+            name: name.into(),
+            arity,
+            f: Arc::new(f),
+            monotone: false,
+            refs: refs.into_iter().collect(),
+        }
+    }
+
+    /// Declare the query monotone (trusted).
+    pub fn declared_monotone(mut self) -> Self {
+        self.monotone = true;
+        self
+    }
+}
+
+impl Query for NativeQuery {
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn eval(&self, db: &Instance) -> Result<Relation, EvalError> {
+        let out = (self.f)(db)?;
+        if out.arity() != self.arity {
+            return Err(EvalError::Other(format!(
+                "native query `{}` returned arity {} instead of {}",
+                self.name,
+                out.arity(),
+                self.arity
+            )));
+        }
+        Ok(out)
+    }
+
+    fn is_monotone_syntactic(&self) -> bool {
+        self.monotone
+    }
+
+    fn referenced_relations(&self) -> BTreeSet<RelName> {
+        self.refs.clone()
+    }
+
+    fn describe(&self) -> String {
+        format!("native:{}", self.name)
+    }
+}
+
+impl fmt::Debug for NativeQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "native:{}/{}", self.name, self.arity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_relational::{fact, Schema, Tuple, Value};
+
+    #[test]
+    fn native_function_runs() {
+        // cardinality parity of S, a classic nonmonotone query
+        let q = NativeQuery::new("even-card", 0, [RelName::new("S")], |db| {
+            let n = db.relation(&"S".into())?.len();
+            Ok(if n % 2 == 0 { Relation::nullary_true() } else { Relation::nullary_false() })
+        });
+        let sch = Schema::new().with("S", 1);
+        let mut db = Instance::empty(sch);
+        assert!(q.eval(&db).unwrap().as_bool());
+        db.insert_fact(fact!("S", 1)).unwrap();
+        assert!(!q.eval(&db).unwrap().as_bool());
+        assert!(!q.is_monotone_syntactic());
+        assert!(q.referenced_relations().contains(&"S".into()));
+    }
+
+    #[test]
+    fn arity_postcondition_enforced() {
+        let q = NativeQuery::new("bad", 2, [], |_| {
+            let mut r = Relation::empty(1);
+            r.insert(Tuple::new(vec![Value::int(1)])).unwrap();
+            Ok(r)
+        });
+        let db = Instance::empty(Schema::new());
+        assert!(q.eval(&db).is_err());
+    }
+
+    #[test]
+    fn declared_monotone_is_reported() {
+        let q = NativeQuery::new("copy", 1, [RelName::new("S")], |db| {
+            Ok(db.relation(&"S".into())?)
+        })
+        .declared_monotone();
+        assert!(q.is_monotone_syntactic());
+        assert!(q.describe().contains("copy"));
+    }
+}

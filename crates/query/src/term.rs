@@ -1,0 +1,319 @@
+//! Variables, terms, atoms and bindings — shared by every rule-based
+//! language in this crate (CQ, UCQ¬, Datalog) and by the FO engine.
+
+use rtx_relational::{RelName, Relation, Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// A variable name (interned).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Intern a variable name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Var(Arc::from(name.as_ref()))
+    }
+
+    /// The textual name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+/// A term: a variable or a constant.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// Shorthand for a variable term.
+    pub fn var(name: impl AsRef<str>) -> Self {
+        Term::Var(Var::new(name))
+    }
+
+    /// Shorthand for a constant term.
+    pub fn cons(v: impl Into<Value>) -> Self {
+        Term::Const(v.into())
+    }
+
+    /// The variable inside, if any.
+    pub fn as_var(&self) -> Option<&Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Resolve under a binding; `None` when an unbound variable.
+    pub fn resolve(&self, env: &Bindings) -> Option<Value> {
+        match self {
+            Term::Var(v) => env.get(v).cloned(),
+            Term::Const(c) => Some(c.clone()),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A (partial) assignment of values to variables.
+pub type Bindings = BTreeMap<Var, Value>;
+
+/// A predicate atom `R(t1, …, tk)`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Atom {
+    /// The predicate / relation name.
+    pub pred: RelName,
+    /// The argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom.
+    pub fn new(pred: impl Into<RelName>, terms: Vec<Term>) -> Self {
+        Atom { pred: pred.into(), terms }
+    }
+
+    /// Arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The variables occurring in the atom, in first-occurrence order.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for t in &self.terms {
+            if let Term::Var(v) = t {
+                if seen.insert(v.clone()) {
+                    out.push(v.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Match the atom against a concrete tuple, extending `env`.
+    ///
+    /// Returns the extended bindings when the tuple is compatible with the
+    /// atom's constants, repeated variables, and the existing bindings.
+    pub fn match_tuple(&self, tuple: &Tuple, env: &Bindings) -> Option<Bindings> {
+        if tuple.arity() != self.terms.len() {
+            return None;
+        }
+        let mut out = env.clone();
+        for (term, value) in self.terms.iter().zip(tuple.iter()) {
+            match term {
+                Term::Const(c) => {
+                    if c != value {
+                        return None;
+                    }
+                }
+                Term::Var(v) => match out.get(v) {
+                    Some(bound) if bound != value => return None,
+                    Some(_) => {}
+                    None => {
+                        out.insert(v.clone(), value.clone());
+                    }
+                },
+            }
+        }
+        Some(out)
+    }
+
+    /// Instantiate the atom under complete bindings into a tuple.
+    ///
+    /// Returns `None` if some variable is unbound.
+    pub fn instantiate(&self, env: &Bindings) -> Option<Tuple> {
+        self.terms.iter().map(|t| t.resolve(env)).collect::<Option<Vec<_>>>().map(Tuple::new)
+    }
+
+    /// Join this atom against a materialized relation: for every tuple of
+    /// `rel` compatible with some binding in `envs`, emit the extension.
+    pub fn join(&self, rel: &Relation, envs: &[Bindings]) -> Vec<Bindings> {
+        let mut out = Vec::new();
+        for env in envs {
+            // If all terms are already determined, use a membership probe
+            // instead of scanning the relation.
+            if let Some(t) = self.instantiate(env) {
+                if rel.contains(&t) {
+                    out.push(env.clone());
+                }
+                continue;
+            }
+            for tuple in rel.iter() {
+                if let Some(ext) = self.match_tuple(tuple, env) {
+                    out.push(ext);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Build an atom tersely: variables are `@"X"`, constants anything
+/// convertible to [`Value`].
+///
+/// ```
+/// use rtx_query::atom;
+/// let a = atom!("R"; @"X", 3, @"Y");
+/// assert_eq!(a.arity(), 3);
+/// ```
+#[macro_export]
+macro_rules! atom {
+    ($pred:expr $(; $($args:tt)*)?) => {
+        $crate::Atom::new($pred, $crate::atom_args!([] $($($args)*)?))
+    };
+}
+
+/// Internal helper for [`atom!`]: parses the argument list.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! atom_args {
+    ([$($done:expr),*]) => { vec![$($done),*] };
+    ([$($done:expr),*] @$v:literal $(, $($rest:tt)*)?) => {
+        $crate::atom_args!([$($done,)* $crate::Term::var($v)] $($($rest)*)?)
+    };
+    ([$($done:expr),*] $c:expr $(, $($rest:tt)*)?) => {
+        $crate::atom_args!([$($done,)* $crate::Term::cons($c)] $($($rest)*)?)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_relational::tuple;
+
+    #[test]
+    fn atom_macro_mixes_vars_and_consts() {
+        let a = atom!("R"; @"X", 3, "sym");
+        assert_eq!(a.pred.as_str(), "R");
+        assert_eq!(a.terms[0], Term::var("X"));
+        assert_eq!(a.terms[1], Term::cons(3));
+        assert_eq!(a.terms[2], Term::cons("sym"));
+        let nullary = atom!("B");
+        assert_eq!(nullary.arity(), 0);
+    }
+
+    #[test]
+    fn match_tuple_binds_fresh_vars() {
+        let a = atom!("R"; @"X", @"Y");
+        let env = a.match_tuple(&tuple![1, 2], &Bindings::new()).unwrap();
+        assert_eq!(env[&Var::new("X")], Value::int(1));
+        assert_eq!(env[&Var::new("Y")], Value::int(2));
+    }
+
+    #[test]
+    fn match_tuple_respects_repeats_and_consts() {
+        let a = atom!("R"; @"X", @"X");
+        assert!(a.match_tuple(&tuple![1, 2], &Bindings::new()).is_none());
+        assert!(a.match_tuple(&tuple![2, 2], &Bindings::new()).is_some());
+        let c = atom!("R"; 5, @"X");
+        assert!(c.match_tuple(&tuple![4, 1], &Bindings::new()).is_none());
+        assert!(c.match_tuple(&tuple![5, 1], &Bindings::new()).is_some());
+    }
+
+    #[test]
+    fn match_tuple_respects_prior_bindings() {
+        let a = atom!("R"; @"X");
+        let mut env = Bindings::new();
+        env.insert(Var::new("X"), Value::int(9));
+        assert!(a.match_tuple(&tuple![1], &env).is_none());
+        assert!(a.match_tuple(&tuple![9], &env).is_some());
+    }
+
+    #[test]
+    fn instantiate_requires_complete_bindings() {
+        let a = atom!("R"; @"X", 7);
+        assert_eq!(a.instantiate(&Bindings::new()), None);
+        let mut env = Bindings::new();
+        env.insert(Var::new("X"), Value::int(1));
+        assert_eq!(a.instantiate(&env), Some(tuple![1, 7]));
+    }
+
+    #[test]
+    fn join_extends_bindings() {
+        let rel = Relation::from_tuples(2, vec![tuple![1, 2], tuple![2, 3]]).unwrap();
+        let a = atom!("R"; @"X", @"Y");
+        let envs = a.join(&rel, &[Bindings::new()]);
+        assert_eq!(envs.len(), 2);
+        // join with X pre-bound probes
+        let mut env = Bindings::new();
+        env.insert(Var::new("X"), Value::int(2));
+        let b = atom!("R"; @"X", @"Y");
+        let envs = b.join(&rel, &[env]);
+        assert_eq!(envs.len(), 1);
+        assert_eq!(envs[0][&Var::new("Y")], Value::int(3));
+    }
+
+    #[test]
+    fn vars_in_first_occurrence_order() {
+        let a = atom!("R"; @"Y", @"X", @"Y");
+        let vs: Vec<_> = a.vars().iter().map(|v| v.as_str().to_string()).collect();
+        assert_eq!(vs, vec!["Y", "X"]);
+    }
+
+    #[test]
+    fn term_resolution() {
+        let mut env = Bindings::new();
+        env.insert(Var::new("X"), Value::int(4));
+        assert_eq!(Term::var("X").resolve(&env), Some(Value::int(4)));
+        assert_eq!(Term::var("Z").resolve(&env), None);
+        assert_eq!(Term::cons(1).resolve(&env), Some(Value::int(1)));
+    }
+}

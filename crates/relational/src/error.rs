@@ -1,0 +1,75 @@
+//! Kernel error type.
+
+use crate::fact::RelName;
+use std::fmt;
+
+/// Errors from the relational kernel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RelError {
+    /// A relation name is not declared in the relevant schema.
+    UnknownRelation {
+        /// The offending name.
+        rel: RelName,
+    },
+    /// A relation was used with conflicting arities.
+    ArityMismatch {
+        /// The offending name.
+        rel: RelName,
+        /// Arity expected by the schema.
+        expected: usize,
+        /// Arity found.
+        found: usize,
+    },
+    /// A tuple's arity does not match its relation.
+    TupleArity {
+        /// Expected arity.
+        expected: usize,
+        /// Found arity.
+        found: usize,
+    },
+    /// Two schemas that must be disjoint share a relation name.
+    NotDisjoint {
+        /// The shared name.
+        rel: RelName,
+    },
+    /// A value renaming is not injective.
+    NotInjective,
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::UnknownRelation { rel } => write!(f, "unknown relation `{rel}`"),
+            RelError::ArityMismatch { rel, expected, found } => {
+                write!(f, "arity mismatch for `{rel}`: expected {expected}, found {found}")
+            }
+            RelError::TupleArity { expected, found } => {
+                write!(f, "tuple arity {found} does not match relation arity {expected}")
+            }
+            RelError::NotDisjoint { rel } => {
+                write!(f, "schemas are not disjoint: both declare `{rel}`")
+            }
+            RelError::NotInjective => write!(f, "value renaming is not injective"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelError::UnknownRelation { rel: "R".into() };
+        assert!(e.to_string().contains("unknown relation"));
+        let e = RelError::ArityMismatch { rel: "R".into(), expected: 2, found: 3 };
+        assert!(e.to_string().contains("expected 2"));
+        let e = RelError::TupleArity { expected: 1, found: 0 };
+        assert!(e.to_string().contains("arity 0"));
+        let e = RelError::NotDisjoint { rel: "R".into() };
+        assert!(e.to_string().contains("not disjoint"));
+        assert!(RelError::NotInjective.to_string().contains("injective"));
+    }
+}

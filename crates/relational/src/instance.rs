@@ -1,0 +1,368 @@
+//! Database instances: assignments of finite relations to relation names,
+//! equivalently sets of facts (paper, Section 2).
+
+use crate::error::RelError;
+use crate::fact::{Fact, RelName};
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An instance of a database schema.
+///
+/// Unlike a raw map of relations, an `Instance` is always paired with its
+/// schema: looking up a declared-but-unpopulated relation yields the empty
+/// relation of the right arity, and inserting an undeclared or ill-sized
+/// fact is an error.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Instance {
+    schema: Schema,
+    relations: BTreeMap<RelName, Relation>,
+}
+
+impl Instance {
+    /// The empty instance of a schema.
+    pub fn empty(schema: Schema) -> Self {
+        Instance { schema, relations: BTreeMap::new() }
+    }
+
+    /// Build an instance from facts, validating each against the schema.
+    pub fn from_facts(
+        schema: Schema,
+        facts: impl IntoIterator<Item = Fact>,
+    ) -> Result<Self, RelError> {
+        let mut i = Instance::empty(schema);
+        for f in facts {
+            i.insert_fact(f)?;
+        }
+        Ok(i)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The relation assigned to `name`.
+    ///
+    /// Declared but unpopulated relations are empty; undeclared names are
+    /// an error.
+    pub fn relation(&self, name: &RelName) -> Result<Relation, RelError> {
+        match self.relations.get(name) {
+            Some(r) => Ok(r.clone()),
+            None => match self.schema.arity(name) {
+                Some(a) => Ok(Relation::empty(a)),
+                None => Err(RelError::UnknownRelation { rel: name.clone() }),
+            },
+        }
+    }
+
+    /// Borrowing lookup: `None` when the relation is unpopulated or
+    /// undeclared (use [`Instance::relation`] for the validating form).
+    pub fn relation_ref(&self, name: &RelName) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Insert a fact.
+    pub fn insert_fact(&mut self, fact: Fact) -> Result<bool, RelError> {
+        self.schema.check_fact(&fact)?;
+        let (rel, tuple) = fact.into_parts();
+        let arity = tuple.arity();
+        self.relations
+            .entry(rel)
+            .or_insert_with(|| Relation::empty(arity))
+            .insert(tuple)
+    }
+
+    /// Insert a whole relation under `name`, replacing the previous value.
+    pub fn set_relation(&mut self, name: impl Into<RelName>, rel: Relation) -> Result<(), RelError> {
+        let name = name.into();
+        match self.schema.arity(&name) {
+            None => return Err(RelError::UnknownRelation { rel: name }),
+            Some(a) if a != rel.arity() => {
+                return Err(RelError::ArityMismatch { rel: name, expected: a, found: rel.arity() })
+            }
+            Some(_) => {}
+        }
+        if rel.is_empty() {
+            self.relations.remove(&name);
+        } else {
+            self.relations.insert(name, rel);
+        }
+        Ok(())
+    }
+
+    /// Remove a fact; `true` if present.
+    pub fn remove_fact(&mut self, fact: &Fact) -> bool {
+        if let Some(r) = self.relations.get_mut(fact.rel()) {
+            let removed = r.remove(fact.tuple());
+            if r.is_empty() {
+                self.relations.remove(fact.rel());
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// Does the instance contain this fact?
+    pub fn contains_fact(&self, fact: &Fact) -> bool {
+        self.relations
+            .get(fact.rel())
+            .map(|r| r.contains(fact.tuple()))
+            .unwrap_or(false)
+    }
+
+    /// Iterate over all facts, relation by relation, in order.
+    pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.relations.iter().flat_map(|(name, rel)| {
+            rel.iter().map(move |t| Fact::new(name.clone(), t.clone()))
+        })
+    }
+
+    /// Total number of facts.
+    pub fn fact_count(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Is the instance empty (no facts)?
+    pub fn is_empty(&self) -> bool {
+        self.relations.values().all(Relation::is_empty)
+    }
+
+    /// The active domain: all data elements occurring in the instance.
+    pub fn adom(&self) -> BTreeSet<Value> {
+        self.relations.values().flat_map(|r| r.adom()).collect()
+    }
+
+    /// Union of two instances (schemas merged compatibly). The paper forms
+    /// `I' = I ∪ I_rcv` where state and message schemas are disjoint, and
+    /// horizontal partitions overlap freely, so shared relations union
+    /// their tuples.
+    pub fn union(&self, other: &Instance) -> Result<Instance, RelError> {
+        let schema = self.schema.union_compatible(&other.schema)?;
+        let mut out = Instance::empty(schema);
+        for f in self.facts().chain(other.facts()) {
+            out.insert_fact(f)?;
+        }
+        Ok(out)
+    }
+
+    /// Is `self ⊆ other` as sets of facts (schemas may differ)?
+    pub fn is_subinstance_of(&self, other: &Instance) -> bool {
+        self.facts().all(|f| other.contains_fact(&f))
+    }
+
+    /// Restrict to the relations of `target`, which must be a subset of
+    /// this instance's schema (used e.g. to split a transducer state into
+    /// its input / memory parts).
+    pub fn restrict(&self, target: &Schema) -> Result<Instance, RelError> {
+        let mut out = Instance::empty(target.clone());
+        for (name, arity) in target.iter() {
+            match self.schema.arity(name) {
+                None => return Err(RelError::UnknownRelation { rel: name.clone() }),
+                Some(a) if a != arity => {
+                    return Err(RelError::ArityMismatch {
+                        rel: name.clone(),
+                        expected: arity,
+                        found: a,
+                    })
+                }
+                Some(_) => {}
+            }
+            if let Some(r) = self.relations.get(name) {
+                out.set_relation(name.clone(), r.clone())?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Re-house the same facts under a wider schema (every relation of the
+    /// current schema must appear in `wider` with the same arity).
+    pub fn widen(&self, wider: Schema) -> Result<Instance, RelError> {
+        for (name, arity) in self.schema.iter() {
+            match wider.arity(name) {
+                Some(a) if a == arity => {}
+                Some(a) => {
+                    return Err(RelError::ArityMismatch {
+                        rel: name.clone(),
+                        expected: a,
+                        found: arity,
+                    })
+                }
+                None => return Err(RelError::UnknownRelation { rel: name.clone() }),
+            }
+        }
+        let mut out = Instance::empty(wider);
+        out.relations = self.relations.clone();
+        Ok(out)
+    }
+
+    /// The isomorphic instance `h(I)` for a mapping `h` on values.
+    ///
+    /// Genericity of queries (paper, Section 2) is stated via permutations
+    /// of **dom**; callers wanting a genuine isomorphism should pass an
+    /// injective map (see [`crate::iso::Iso`]).
+    pub fn map_values(&self, mut h: impl FnMut(&Value) -> Value) -> Instance {
+        let mut out = Instance::empty(self.schema.clone());
+        for (name, rel) in &self.relations {
+            let mapped = rel.map_values(&mut h);
+            out.relations.insert(name.clone(), mapped);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for fact in self.facts() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{fact}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fact, tuple};
+
+    fn schema_rs() -> Schema {
+        Schema::new().with("R", 2).with("S", 1)
+    }
+
+    #[test]
+    fn empty_instance_has_empty_declared_relations() {
+        let i = Instance::empty(schema_rs());
+        let r = i.relation(&"R".into()).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.arity(), 2);
+        assert!(i.relation(&"T".into()).is_err());
+    }
+
+    #[test]
+    fn insert_and_query_facts() {
+        let mut i = Instance::empty(schema_rs());
+        assert!(i.insert_fact(fact!("R", 1, 2)).unwrap());
+        assert!(!i.insert_fact(fact!("R", 1, 2)).unwrap());
+        assert!(i.contains_fact(&fact!("R", 1, 2)));
+        assert!(!i.contains_fact(&fact!("S", 1)));
+        assert_eq!(i.fact_count(), 1);
+    }
+
+    #[test]
+    fn schema_violations_rejected() {
+        let mut i = Instance::empty(schema_rs());
+        assert!(i.insert_fact(fact!("T", 1)).is_err());
+        assert!(i.insert_fact(fact!("R", 1)).is_err());
+    }
+
+    #[test]
+    fn facts_iteration_deterministic() {
+        let i = Instance::from_facts(
+            schema_rs(),
+            vec![fact!("S", 9), fact!("R", 1, 2), fact!("R", 0, 0)],
+        )
+        .unwrap();
+        let fs: Vec<_> = i.facts().collect();
+        assert_eq!(fs, vec![fact!("R", 0, 0), fact!("R", 1, 2), fact!("S", 9)]);
+    }
+
+    #[test]
+    fn adom_spans_all_relations() {
+        let i = Instance::from_facts(schema_rs(), vec![fact!("R", 1, 2), fact!("S", "a")]).unwrap();
+        let d = i.adom();
+        assert_eq!(d.len(), 3);
+        assert!(d.contains(&Value::sym("a")));
+    }
+
+    #[test]
+    fn union_merges_facts() {
+        let a = Instance::from_facts(schema_rs(), vec![fact!("R", 1, 2)]).unwrap();
+        let b = Instance::from_facts(schema_rs(), vec![fact!("S", 3), fact!("R", 1, 2)]).unwrap();
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.fact_count(), 2);
+    }
+
+    #[test]
+    fn union_merges_disjoint_schemas() {
+        let a = Instance::from_facts(Schema::new().with("R", 1), vec![fact!("R", 1)]).unwrap();
+        let b = Instance::from_facts(Schema::new().with("M", 1), vec![fact!("M", 2)]).unwrap();
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.fact_count(), 2);
+        assert!(u.schema().contains(&"R".into()));
+        assert!(u.schema().contains(&"M".into()));
+    }
+
+    #[test]
+    fn subinstance_is_fact_containment() {
+        let a = Instance::from_facts(schema_rs(), vec![fact!("R", 1, 2)]).unwrap();
+        let b =
+            Instance::from_facts(schema_rs(), vec![fact!("R", 1, 2), fact!("S", 1)]).unwrap();
+        assert!(a.is_subinstance_of(&b));
+        assert!(!b.is_subinstance_of(&a));
+    }
+
+    #[test]
+    fn restrict_projects_schema() {
+        let i = Instance::from_facts(schema_rs(), vec![fact!("R", 1, 2), fact!("S", 3)]).unwrap();
+        let r = i.restrict(&Schema::new().with("S", 1)).unwrap();
+        assert_eq!(r.fact_count(), 1);
+        assert!(r.contains_fact(&fact!("S", 3)));
+        assert!(r.relation(&"R".into()).is_err());
+    }
+
+    #[test]
+    fn widen_keeps_facts_adds_names() {
+        let i = Instance::from_facts(Schema::new().with("S", 1), vec![fact!("S", 3)]).unwrap();
+        let w = i.widen(schema_rs()).unwrap();
+        assert!(w.contains_fact(&fact!("S", 3)));
+        assert!(w.relation(&"R".into()).unwrap().is_empty());
+        // widening to a schema missing S fails
+        assert!(i.widen(Schema::new().with("R", 2)).is_err());
+    }
+
+    #[test]
+    fn map_values_applies_isomorphism() {
+        let i = Instance::from_facts(schema_rs(), vec![fact!("R", 1, 2)]).unwrap();
+        let j = i.map_values(|v| match v {
+            Value::Int(k) => Value::int(k + 100),
+            o => o.clone(),
+        });
+        assert!(j.contains_fact(&fact!("R", 101, 102)));
+        assert_eq!(j.fact_count(), 1);
+    }
+
+    #[test]
+    fn set_relation_replaces_and_validates() {
+        let mut i = Instance::empty(schema_rs());
+        let r = Relation::from_tuples(1, vec![tuple![5]]).unwrap();
+        i.set_relation("S", r).unwrap();
+        assert!(i.contains_fact(&fact!("S", 5)));
+        i.set_relation("S", Relation::empty(1)).unwrap();
+        assert!(i.is_empty());
+        assert!(i.set_relation("S", Relation::empty(4)).is_err());
+        assert!(i.set_relation("Nope", Relation::empty(1)).is_err());
+    }
+
+    #[test]
+    fn remove_fact_cleans_up() {
+        let mut i = Instance::from_facts(schema_rs(), vec![fact!("S", 1)]).unwrap();
+        assert!(i.remove_fact(&fact!("S", 1)));
+        assert!(!i.remove_fact(&fact!("S", 1)));
+        assert!(i.is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! Isomorphisms (injective renamings) of **dom**.
+//!
+//! A query `Q` is *generic* when `Q(h(I)) = h(Q(I))` for every permutation
+//! `h` of **dom** (paper, Section 2, condition (ii)). Since instances are
+//! finite, it suffices to specify `h` on finitely many values and require
+//! injectivity; values outside the map are fixed.
+
+use crate::error::RelError;
+use crate::instance::Instance;
+use crate::relation::Relation;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// A finitely-supported injective renaming of **dom**, identity elsewhere.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Iso {
+    map: BTreeMap<Value, Value>,
+}
+
+impl Iso {
+    /// The identity isomorphism.
+    pub fn identity() -> Self {
+        Iso::default()
+    }
+
+    /// Build from `(from, to)` pairs; errors when the pairs are not
+    /// injective or remap the same source twice inconsistently.
+    pub fn from_pairs(
+        pairs: impl IntoIterator<Item = (Value, Value)>,
+    ) -> Result<Self, RelError> {
+        let mut map = BTreeMap::new();
+        let mut seen_targets = BTreeMap::new();
+        for (from, to) in pairs {
+            if let Some(prev) = map.get(&from) {
+                if prev != &to {
+                    return Err(RelError::NotInjective);
+                }
+                continue;
+            }
+            if let Some(prev_src) = seen_targets.get(&to) {
+                if prev_src != &from {
+                    return Err(RelError::NotInjective);
+                }
+            }
+            seen_targets.insert(to.clone(), from.clone());
+            map.insert(from, to);
+        }
+        Ok(Iso { map })
+    }
+
+    /// Apply to a single value.
+    pub fn apply(&self, v: &Value) -> Value {
+        self.map.get(v).cloned().unwrap_or_else(|| v.clone())
+    }
+
+    /// Apply to an instance: the isomorphic instance `h(I)`.
+    pub fn apply_instance(&self, i: &Instance) -> Instance {
+        i.map_values(|v| self.apply(v))
+    }
+
+    /// Apply to a relation: `h(R)`.
+    pub fn apply_relation(&self, r: &Relation) -> Relation {
+        r.map_values(|v| self.apply(v))
+    }
+
+    /// The inverse renaming (support swapped).
+    pub fn inverse(&self) -> Iso {
+        Iso {
+            map: self.map.iter().map(|(a, b)| (b.clone(), a.clone())).collect(),
+        }
+    }
+
+    /// Number of explicitly-moved values.
+    pub fn support_len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is this renaming injective *as a function on all of dom*?
+    ///
+    /// `from_pairs` guarantees pairwise-distinct targets, but a target that
+    /// is a non-source value collides with that value's identity image
+    /// (e.g. `{a→b}` with `b` not in the support maps both `a` and `b` to
+    /// `b`). Permutation-like isos avoid this by having support = image.
+    pub fn is_permutation_like(&self) -> bool {
+        self.map.values().all(|target| self.map.contains_key(target))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::{fact, tuple};
+
+    fn v(i: i64) -> Value {
+        Value::int(i)
+    }
+
+    #[test]
+    fn identity_fixes_everything() {
+        let h = Iso::identity();
+        assert_eq!(h.apply(&v(5)), v(5));
+        assert_eq!(h.support_len(), 0);
+        assert!(h.is_permutation_like());
+    }
+
+    #[test]
+    fn swap_is_a_permutation() {
+        let h = Iso::from_pairs(vec![(v(1), v(2)), (v(2), v(1))]).unwrap();
+        assert_eq!(h.apply(&v(1)), v(2));
+        assert_eq!(h.apply(&v(2)), v(1));
+        assert_eq!(h.apply(&v(3)), v(3));
+        assert!(h.is_permutation_like());
+        assert_eq!(h.inverse(), h);
+    }
+
+    #[test]
+    fn non_injective_rejected() {
+        assert!(Iso::from_pairs(vec![(v(1), v(3)), (v(2), v(3))]).is_err());
+        assert!(Iso::from_pairs(vec![(v(1), v(2)), (v(1), v(3))]).is_err());
+        // duplicate consistent pair is fine
+        assert!(Iso::from_pairs(vec![(v(1), v(2)), (v(1), v(2))]).is_ok());
+    }
+
+    #[test]
+    fn rename_into_fresh_values_is_not_permutation_like() {
+        let h = Iso::from_pairs(vec![(v(1), v(100))]).unwrap();
+        assert!(!h.is_permutation_like());
+    }
+
+    #[test]
+    fn apply_instance_renames_facts() {
+        let sch = Schema::new().with("R", 2);
+        let i = Instance::from_facts(sch, vec![fact!("R", 1, 2)]).unwrap();
+        let h = Iso::from_pairs(vec![(v(1), v(2)), (v(2), v(1))]).unwrap();
+        let j = h.apply_instance(&i);
+        assert!(j.contains_fact(&fact!("R", 2, 1)));
+        assert_eq!(j.fact_count(), 1);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let h = Iso::from_pairs(vec![(v(1), v(7)), (v(2), v(8))]).unwrap();
+        let sch = Schema::new().with("R", 1);
+        let i = Instance::from_facts(sch, vec![fact!("R", 1), fact!("R", 2)]).unwrap();
+        let back = h.inverse().apply_instance(&h.apply_instance(&i));
+        assert_eq!(back, i);
+    }
+
+    #[test]
+    fn apply_relation_maps_tuples() {
+        let r = Relation::from_tuples(1, vec![tuple![1]]).unwrap();
+        let h = Iso::from_pairs(vec![(v(1), v(9))]).unwrap();
+        assert!(h.apply_relation(&r).contains(&tuple![9]));
+    }
+}

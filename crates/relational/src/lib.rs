@@ -1,0 +1,33 @@
+//! # rtx-relational — the relational database kernel
+//!
+//! The substrate shared by every other crate in this workspace:
+//! atomic data elements ([`Value`], the universe **dom**), tuples and
+//! facts, finite relations, database schemas and instances, multisets of
+//! facts (message buffers), and isomorphisms of **dom** (for genericity
+//! checks).
+//!
+//! All collections are B-tree-based: iteration order is deterministic,
+//! which the network simulator relies on for reproducible runs.
+//!
+//! Terminology follows Section 2 of *Ameloot, Neven, Van den Bussche,
+//! "Relational transducers for declarative networking"* (PODS 2011).
+
+#![warn(missing_docs)]
+
+mod error;
+mod fact;
+mod instance;
+mod iso;
+mod multiset;
+mod relation;
+mod schema;
+mod value;
+
+pub use error::RelError;
+pub use fact::{Fact, RelName, Tuple};
+pub use instance::Instance;
+pub use iso::Iso;
+pub use multiset::FactMultiset;
+pub use relation::Relation;
+pub use schema::Schema;
+pub use value::Value;

@@ -1,0 +1,269 @@
+//! Finite relations: ordered sets of tuples of a fixed arity.
+
+use crate::error::RelError;
+use crate::fact::Tuple;
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A finite `k`-ary relation on **dom**.
+///
+/// Backed by a `BTreeSet` so iteration order is deterministic — the whole
+/// simulator relies on runs being pure functions of their inputs.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Relation {
+    arity: usize,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// The empty relation of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        Relation { arity, tuples: BTreeSet::new() }
+    }
+
+    /// Build from tuples, validating arity.
+    pub fn from_tuples(
+        arity: usize,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Self, RelError> {
+        let mut r = Relation::empty(arity);
+        for t in tuples {
+            r.insert(t)?;
+        }
+        Ok(r)
+    }
+
+    /// The nullary relation containing the empty tuple — boolean *true*
+    /// in the paper's encoding.
+    pub fn nullary_true() -> Self {
+        let mut r = Relation::empty(0);
+        r.insert(Tuple::empty()).expect("empty tuple has arity 0");
+        r
+    }
+
+    /// The empty nullary relation — boolean *false*.
+    pub fn nullary_false() -> Self {
+        Relation::empty(0)
+    }
+
+    /// Arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Interpreted as a boolean (paper encoding): nonempty = true.
+    pub fn as_bool(&self) -> bool {
+        !self.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Insert a tuple; `Ok(true)` if newly inserted.
+    pub fn insert(&mut self, t: Tuple) -> Result<bool, RelError> {
+        if t.arity() != self.arity {
+            return Err(RelError::TupleArity { expected: self.arity, found: t.arity() });
+        }
+        Ok(self.tuples.insert(t))
+    }
+
+    /// Remove a tuple; `true` if it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        self.tuples.remove(t)
+    }
+
+    /// Iterate over tuples in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Set union (arities must agree).
+    pub fn union(&self, other: &Relation) -> Result<Relation, RelError> {
+        self.check_same_arity(other)?;
+        let mut out = self.clone();
+        out.tuples.extend(other.tuples.iter().cloned());
+        Ok(out)
+    }
+
+    /// Set intersection (arities must agree).
+    pub fn intersect(&self, other: &Relation) -> Result<Relation, RelError> {
+        self.check_same_arity(other)?;
+        Ok(Relation {
+            arity: self.arity,
+            tuples: self.tuples.intersection(&other.tuples).cloned().collect(),
+        })
+    }
+
+    /// Set difference `self \ other` (arities must agree).
+    pub fn difference(&self, other: &Relation) -> Result<Relation, RelError> {
+        self.check_same_arity(other)?;
+        Ok(Relation {
+            arity: self.arity,
+            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
+        })
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset(&self, other: &Relation) -> bool {
+        self.arity == other.arity && self.tuples.is_subset(&other.tuples)
+    }
+
+    /// All values occurring in the relation (its active domain).
+    pub fn adom(&self) -> BTreeSet<Value> {
+        self.tuples.iter().flat_map(|t| t.iter().cloned()).collect()
+    }
+
+    /// A new relation with `f` applied to every value (isomorphic image).
+    pub fn map_values(&self, mut f: impl FnMut(&Value) -> Value) -> Relation {
+        Relation {
+            arity: self.arity,
+            tuples: self.tuples.iter().map(|t| t.map(&mut f)).collect(),
+        }
+    }
+
+    fn check_same_arity(&self, other: &Relation) -> Result<(), RelError> {
+        if self.arity != other.arity {
+            return Err(RelError::TupleArity { expected: self.arity, found: other.arity });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl IntoIterator for Relation {
+    type Item = Tuple;
+    type IntoIter = std::collections::btree_set::IntoIter<Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::collections::btree_set::Iter<'a, Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn rel(arity: usize, ts: Vec<Tuple>) -> Relation {
+        Relation::from_tuples(arity, ts).unwrap()
+    }
+
+    #[test]
+    fn empty_and_insert() {
+        let mut r = Relation::empty(2);
+        assert!(r.is_empty());
+        assert!(r.insert(tuple![1, 2]).unwrap());
+        assert!(!r.insert(tuple![1, 2]).unwrap()); // duplicate
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&tuple![1, 2]));
+    }
+
+    #[test]
+    fn arity_enforced_on_insert() {
+        let mut r = Relation::empty(2);
+        assert!(matches!(
+            r.insert(tuple![1]),
+            Err(RelError::TupleArity { expected: 2, found: 1 })
+        ));
+    }
+
+    #[test]
+    fn boolean_encoding() {
+        assert!(Relation::nullary_true().as_bool());
+        assert!(!Relation::nullary_false().as_bool());
+        assert_eq!(Relation::nullary_true().arity(), 0);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = rel(1, vec![tuple![1], tuple![2]]);
+        let b = rel(1, vec![tuple![2], tuple![3]]);
+        assert_eq!(a.union(&b).unwrap().len(), 3);
+        assert_eq!(a.intersect(&b).unwrap(), rel(1, vec![tuple![2]]));
+        assert_eq!(a.difference(&b).unwrap(), rel(1, vec![tuple![1]]));
+        assert!(rel(1, vec![tuple![1]]).is_subset(&a));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn set_algebra_rejects_mixed_arity() {
+        let a = rel(1, vec![tuple![1]]);
+        let b = rel(2, vec![tuple![1, 2]]);
+        assert!(a.union(&b).is_err());
+        assert!(a.intersect(&b).is_err());
+        assert!(a.difference(&b).is_err());
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn adom_collects_all_values() {
+        let r = rel(2, vec![tuple![1, "a"], tuple![2, "a"]]);
+        let d = r.adom();
+        assert_eq!(d.len(), 3);
+        assert!(d.contains(&Value::int(1)));
+        assert!(d.contains(&Value::sym("a")));
+    }
+
+    #[test]
+    fn map_values_is_isomorphic_image() {
+        let r = rel(2, vec![tuple![1, 2]]);
+        let s = r.map_values(|v| match v {
+            Value::Int(i) => Value::int(i * 10),
+            o => o.clone(),
+        });
+        assert_eq!(s, rel(2, vec![tuple![10, 20]]));
+    }
+
+    #[test]
+    fn deterministic_iteration_order() {
+        let r = rel(1, vec![tuple![3], tuple![1], tuple![2]]);
+        let order: Vec<_> = r.iter().cloned().collect();
+        assert_eq!(order, vec![tuple![1], tuple![2], tuple![3]]);
+    }
+
+    #[test]
+    fn remove_and_idempotence() {
+        let mut r = rel(1, vec![tuple![1]]);
+        assert!(r.remove(&tuple![1]));
+        assert!(!r.remove(&tuple![1]));
+        assert!(r.is_empty());
+    }
+}

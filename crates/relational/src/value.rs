@@ -1,0 +1,142 @@
+//! Atomic data elements — the universe **dom** of the paper.
+//!
+//! The paper assumes "some infinite universe **dom** of atomic data
+//! elements" (Section 2). Values are *uninterpreted*: queries must be
+//! generic, i.e. invariant under permutations of **dom**. We provide two
+//! constructors — integers and interned symbols — purely as convenient
+//! names for elements; nothing in the kernel gives them arithmetic or
+//! lexicographic *semantics* (the total order on [`Value`] exists only so
+//! that relations can be stored in ordered sets deterministically).
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An atomic data element of the universe **dom**.
+///
+/// Node identifiers of a network are also values (the paper stores nodes
+/// in relations, e.g. in `Id` and `All`), so there is no separate node
+/// type: a node is whatever [`Value`] names it.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// An integer-named element.
+    Int(i64),
+    /// A symbol-named element (interned via `Arc<str>`, cheap to clone).
+    Sym(Arc<str>),
+}
+
+impl Value {
+    /// Build a symbol value from anything string-like.
+    pub fn sym(s: impl AsRef<str>) -> Self {
+        Value::Sym(Arc::from(s.as_ref()))
+    }
+
+    /// Build an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Return the integer payload if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Sym(_) => None,
+        }
+    }
+
+    /// Return the symbol payload if this is a [`Value::Sym`].
+    pub fn as_sym(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Sym(s) => Some(s),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::sym(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Sym(Arc::from(s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn sym_equality_is_structural() {
+        assert_eq!(Value::sym("a"), Value::sym("a"));
+        assert_ne!(Value::sym("a"), Value::sym("b"));
+    }
+
+    #[test]
+    fn int_and_sym_are_distinct() {
+        assert_ne!(Value::int(1), Value::sym("1"));
+    }
+
+    #[test]
+    fn ordering_is_total_and_deterministic() {
+        let mut set = BTreeSet::new();
+        set.insert(Value::sym("b"));
+        set.insert(Value::int(2));
+        set.insert(Value::sym("a"));
+        set.insert(Value::int(1));
+        let v: Vec<_> = set.into_iter().collect();
+        // Ints sort before Syms (enum declaration order); each group ordered.
+        assert_eq!(
+            v,
+            vec![Value::int(1), Value::int(2), Value::sym("a"), Value::sym("b")]
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Value = 7.into();
+        assert_eq!(a.as_int(), Some(7));
+        let b: Value = "x".into();
+        assert_eq!(b.as_sym(), Some("x"));
+        assert_eq!(b.as_int(), None);
+        let c: Value = String::from("y").into();
+        assert_eq!(c.as_sym(), Some("y"));
+    }
+
+    #[test]
+    fn display_matches_debug() {
+        assert_eq!(format!("{}", Value::int(3)), "3");
+        assert_eq!(format!("{:?}", Value::sym("n1")), "n1");
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let v = Value::sym("a-long-symbol-name-for-testing");
+        let w = v.clone();
+        assert_eq!(v, w);
+    }
+}

@@ -1,0 +1,270 @@
+//! Ergonomic construction of transducers.
+
+use crate::schema::TransducerSchema;
+use crate::transducer::Transducer;
+use rtx_query::{EmptyQuery, EvalError, Query, QueryRef};
+use rtx_relational::{RelName, Schema};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Builder for [`Transducer`].
+///
+/// Declares the schema piecewise, then attaches queries. Message
+/// relations with no send query and memory relations with no
+/// insert/delete query default to the always-empty query (deletion
+/// defaulting to empty is what makes a transducer *inflationary*).
+pub struct TransducerBuilder {
+    name: String,
+    input: Schema,
+    message: Schema,
+    memory: Schema,
+    output_arity: Option<usize>,
+    snd: BTreeMap<RelName, QueryRef>,
+    ins: BTreeMap<RelName, QueryRef>,
+    del: BTreeMap<RelName, QueryRef>,
+    out: Option<QueryRef>,
+    error: Option<EvalError>,
+}
+
+impl TransducerBuilder {
+    /// Start building a transducer with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TransducerBuilder {
+            name: name.into(),
+            input: Schema::new(),
+            message: Schema::new(),
+            memory: Schema::new(),
+            output_arity: None,
+            snd: BTreeMap::new(),
+            ins: BTreeMap::new(),
+            del: BTreeMap::new(),
+            out: None,
+            error: None,
+        }
+    }
+
+    fn record<T>(&mut self, r: Result<T, rtx_relational::RelError>) {
+        if let (Err(e), None) = (r, &self.error) {
+            self.error = Some(EvalError::Rel(e));
+        }
+    }
+
+    /// Declare an input relation.
+    pub fn input_relation(mut self, name: impl Into<RelName>, arity: usize) -> Self {
+        let r = self.input.declare(name, arity);
+        self.record(r);
+        self
+    }
+
+    /// Declare every relation of a schema as input.
+    pub fn input_schema(mut self, schema: &Schema) -> Self {
+        for (name, arity) in schema.iter() {
+            let r = self.input.declare(name.clone(), arity);
+            self.record(r);
+        }
+        self
+    }
+
+    /// Declare a message relation.
+    pub fn message_relation(mut self, name: impl Into<RelName>, arity: usize) -> Self {
+        let r = self.message.declare(name, arity);
+        self.record(r);
+        self
+    }
+
+    /// Declare a memory relation.
+    pub fn memory_relation(mut self, name: impl Into<RelName>, arity: usize) -> Self {
+        let r = self.memory.declare(name, arity);
+        self.record(r);
+        self
+    }
+
+    /// Set the output arity.
+    pub fn output_arity(mut self, k: usize) -> Self {
+        self.output_arity = Some(k);
+        self
+    }
+
+    /// Attach the send query for a message relation.
+    pub fn send(mut self, rel: impl Into<RelName>, q: QueryRef) -> Self {
+        self.snd.insert(rel.into(), q);
+        self
+    }
+
+    /// Attach the insertion query for a memory relation.
+    pub fn insert(mut self, rel: impl Into<RelName>, q: QueryRef) -> Self {
+        self.ins.insert(rel.into(), q);
+        self
+    }
+
+    /// Attach the deletion query for a memory relation.
+    pub fn delete(mut self, rel: impl Into<RelName>, q: QueryRef) -> Self {
+        self.del.insert(rel.into(), q);
+        self
+    }
+
+    /// Attach the output query (its arity fixes `k` unless
+    /// [`TransducerBuilder::output_arity`] was called).
+    pub fn output(mut self, q: QueryRef) -> Self {
+        if self.output_arity.is_none() {
+            self.output_arity = Some(q.arity());
+        }
+        self.out = Some(q);
+        self
+    }
+
+    /// Finish, validating schema disjointness and query arities.
+    pub fn build(self) -> Result<Transducer, EvalError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let output_arity = self.output_arity.unwrap_or(0);
+        let schema =
+            TransducerSchema::new(self.input, self.message, self.memory, output_arity)
+                .map_err(EvalError::Rel)?;
+
+        let mut snd = self.snd;
+        let mut ins = self.ins;
+        let mut del = self.del;
+
+        // Unknown names?
+        for (role, map, target) in [
+            ("send", &snd, schema.message()),
+            ("insert", &ins, schema.memory()),
+            ("delete", &del, schema.memory()),
+        ] {
+            for (rel, q) in map.iter() {
+                match target.arity(rel) {
+                    None => {
+                        return Err(EvalError::Unsafe {
+                            reason: format!("{role} query for undeclared relation {rel}"),
+                        })
+                    }
+                    Some(a) if a != q.arity() => {
+                        return Err(EvalError::Rel(rtx_relational::RelError::ArityMismatch {
+                            rel: rel.clone(),
+                            expected: a,
+                            found: q.arity(),
+                        }))
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+
+        // Defaults: empty queries.
+        for (rel, arity) in schema.message().iter() {
+            snd.entry(rel.clone()).or_insert_with(|| Arc::new(EmptyQuery::new(arity)));
+        }
+        for (rel, arity) in schema.memory().iter() {
+            ins.entry(rel.clone()).or_insert_with(|| Arc::new(EmptyQuery::new(arity)));
+            del.entry(rel.clone()).or_insert_with(|| Arc::new(EmptyQuery::new(arity)));
+        }
+
+        let out = match self.out {
+            Some(q) => {
+                if q.arity() != output_arity {
+                    return Err(EvalError::Unsafe {
+                        reason: format!(
+                            "output query arity {} differs from declared output arity {output_arity}",
+                            q.arity()
+                        ),
+                    });
+                }
+                q
+            }
+            None => Arc::new(EmptyQuery::new(output_arity)) as QueryRef,
+        };
+
+        Ok(Transducer::from_parts(schema, snd, ins, del, out, self.name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_query::{atom, CqBuilder, Term, UcqQuery};
+
+    fn cq1() -> QueryRef {
+        Arc::new(UcqQuery::single(
+            CqBuilder::head(vec![Term::var("X")])
+                .when(atom!("S"; @"X"))
+                .build()
+                .unwrap(),
+        ))
+    }
+
+    #[test]
+    fn defaults_fill_missing_queries() {
+        let t = TransducerBuilder::new("defaults")
+            .input_relation("S", 1)
+            .message_relation("M", 1)
+            .memory_relation("T", 1)
+            .output_arity(0)
+            .build()
+            .unwrap();
+        assert!(t.snd_query(&"M".into()).unwrap().is_always_empty());
+        assert!(t.ins_query(&"T".into()).unwrap().is_always_empty());
+        assert!(t.del_query(&"T".into()).unwrap().is_always_empty());
+        assert!(t.out_query().is_always_empty());
+    }
+
+    #[test]
+    fn undeclared_targets_rejected() {
+        let err = TransducerBuilder::new("bad")
+            .input_relation("S", 1)
+            .send("M", cq1())
+            .build();
+        assert!(err.is_err());
+        let err = TransducerBuilder::new("bad2")
+            .input_relation("S", 1)
+            .memory_relation("T", 1)
+            .insert("U", cq1())
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn arity_mismatches_rejected() {
+        let err = TransducerBuilder::new("bad")
+            .input_relation("S", 1)
+            .message_relation("M", 2)
+            .send("M", cq1()) // arity 1 into M/2
+            .build();
+        assert!(err.is_err());
+        let err = TransducerBuilder::new("bad")
+            .input_relation("S", 1)
+            .output_arity(2)
+            .output(cq1())
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn output_arity_inferred_from_query() {
+        let t = TransducerBuilder::new("inferred")
+            .input_relation("S", 1)
+            .output(cq1())
+            .build()
+            .unwrap();
+        assert_eq!(t.schema().output_arity(), 1);
+    }
+
+    #[test]
+    fn schema_conflicts_propagate() {
+        let err = TransducerBuilder::new("clash")
+            .input_relation("S", 1)
+            .memory_relation("S", 1)
+            .build();
+        assert!(err.is_err());
+        let err = TransducerBuilder::new("sys-clash")
+            .input_relation("Id", 1)
+            .build();
+        assert!(err.is_err());
+        let err = TransducerBuilder::new("arity-clash")
+            .input_relation("S", 1)
+            .input_relation("S", 2)
+            .build();
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! Syntactic classification of transducers (paper, Section 4):
+//!
+//! * **oblivious** — no query uses the system relations `Id` or `All`;
+//! * **inflationary** — every deletion query returns empty on all inputs;
+//! * **monotone** — every local query is monotone.
+//!
+//! These are the premises of Theorem 6, Proposition 11 and Corollaries
+//! 13/14/17. Obliviousness and inflationarity are decidable syntactically;
+//! monotonicity is approximated conservatively by
+//! [`Query::is_monotone_syntactic`] (sound: `true` implies monotone).
+
+use crate::schema::{SYS_ALL, SYS_ID};
+use crate::transducer::Transducer;
+use rtx_query::Query;
+use rtx_relational::RelName;
+use std::fmt;
+
+/// Which of the two system relations a transducer consults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SystemUsage {
+    /// Mentions `Id`.
+    pub uses_id: bool,
+    /// Mentions `All`.
+    pub uses_all: bool,
+}
+
+/// The syntactic classification of a transducer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Classification {
+    /// Does not mention `Id` nor `All` (paper: *oblivious*).
+    pub oblivious: bool,
+    /// Finer-grained system-relation usage (Theorem 16 / Corollary 17
+    /// distinguish Id-free from All-free transducers).
+    pub system_usage: SystemUsage,
+    /// All deletion queries are syntactically empty (paper:
+    /// *inflationary*).
+    pub inflationary: bool,
+    /// All local queries are syntactically monotone (paper: *monotone*).
+    pub monotone: bool,
+}
+
+impl Classification {
+    /// Compute the classification of a transducer.
+    pub fn of(t: &Transducer) -> Self {
+        let id: RelName = SYS_ID.into();
+        let all: RelName = SYS_ALL.into();
+        let mut uses_id = false;
+        let mut uses_all = false;
+        let mut monotone = true;
+        for (_, q) in t.queries() {
+            let refs = q.referenced_relations();
+            uses_id |= refs.contains(&id);
+            uses_all |= refs.contains(&all);
+            monotone &= q.is_monotone_syntactic();
+        }
+        let inflationary = t
+            .schema()
+            .memory()
+            .names()
+            .all(|r| t.del_query(r).map(|q| q.is_always_empty()).unwrap_or(true));
+        Classification {
+            oblivious: !uses_id && !uses_all,
+            system_usage: SystemUsage { uses_id, uses_all },
+            inflationary,
+            monotone,
+        }
+    }
+}
+
+impl fmt::Display for Classification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut tags: Vec<&str> = Vec::new();
+        if self.oblivious {
+            tags.push("oblivious");
+        } else {
+            if self.system_usage.uses_id {
+                tags.push("uses-Id");
+            }
+            if self.system_usage.uses_all {
+                tags.push("uses-All");
+            }
+        }
+        if self.inflationary {
+            tags.push("inflationary");
+        }
+        if self.monotone {
+            tags.push("monotone(syn)");
+        }
+        if tags.is_empty() {
+            tags.push("unrestricted");
+        }
+        write!(f, "{}", tags.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TransducerBuilder;
+    use rtx_query::{atom, CqBuilder, Formula, FoQuery, QueryRef, Term, UcqQuery};
+    use std::sync::Arc;
+
+    fn copy_s() -> QueryRef {
+        Arc::new(UcqQuery::single(
+            CqBuilder::head(vec![Term::var("X")])
+                .when(atom!("S"; @"X"))
+                .build()
+                .unwrap(),
+        ))
+    }
+
+    #[test]
+    fn oblivious_inflationary_monotone() {
+        let t = TransducerBuilder::new("nice")
+            .input_relation("S", 1)
+            .message_relation("M", 1)
+            .memory_relation("T", 1)
+            .send("M", copy_s())
+            .insert("T", copy_s())
+            .output(copy_s())
+            .build()
+            .unwrap();
+        let c = Classification::of(&t);
+        assert!(c.oblivious);
+        assert!(c.inflationary);
+        assert!(c.monotone);
+        assert_eq!(format!("{c}"), "oblivious, inflationary, monotone(syn)");
+    }
+
+    #[test]
+    fn id_usage_detected() {
+        let uses_id: QueryRef = Arc::new(UcqQuery::single(
+            CqBuilder::head(vec![Term::var("X")])
+                .when(atom!("Id"; @"X"))
+                .build()
+                .unwrap(),
+        ));
+        let t = TransducerBuilder::new("id-user")
+            .input_relation("S", 1)
+            .message_relation("M", 1)
+            .send("M", uses_id)
+            .build()
+            .unwrap();
+        let c = Classification::of(&t);
+        assert!(!c.oblivious);
+        assert!(c.system_usage.uses_id);
+        assert!(!c.system_usage.uses_all);
+    }
+
+    #[test]
+    fn all_usage_detected() {
+        let q: QueryRef = Arc::new(
+            FoQuery::sentence(Formula::forall(
+                ["X"],
+                Formula::or([
+                    Formula::not(Formula::atom(atom!("All"; @"X"))),
+                    Formula::atom(atom!("T"; @"X")),
+                ]),
+            ))
+            .unwrap(),
+        );
+        let t = TransducerBuilder::new("all-user")
+            .input_relation("S", 1)
+            .memory_relation("T", 1)
+            .output_arity(0)
+            .output(q)
+            .build()
+            .unwrap();
+        let c = Classification::of(&t);
+        assert!(!c.oblivious);
+        assert!(c.system_usage.uses_all);
+        assert!(!c.system_usage.uses_id);
+        assert!(!c.monotone); // forall + negation
+    }
+
+    #[test]
+    fn deletion_breaks_inflationary() {
+        let t = TransducerBuilder::new("deleter")
+            .input_relation("S", 1)
+            .memory_relation("T", 1)
+            .insert("T", copy_s())
+            .delete(
+                "T",
+                Arc::new(UcqQuery::single(
+                    CqBuilder::head(vec![Term::var("X")])
+                        .when(atom!("T"; @"X"))
+                        .build()
+                        .unwrap(),
+                )),
+            )
+            .build()
+            .unwrap();
+        let c = Classification::of(&t);
+        assert!(!c.inflationary);
+        assert!(c.oblivious);
+    }
+
+    #[test]
+    fn negation_breaks_monotone() {
+        let q: QueryRef = Arc::new(UcqQuery::single(
+            CqBuilder::head(vec![Term::var("X")])
+                .when(atom!("S"; @"X"))
+                .unless(atom!("T"; @"X"))
+                .build()
+                .unwrap(),
+        ));
+        let t = TransducerBuilder::new("negator")
+            .input_relation("S", 1)
+            .memory_relation("T", 1)
+            .insert("T", q)
+            .build()
+            .unwrap();
+        assert!(!Classification::of(&t).monotone);
+    }
+}

@@ -1,0 +1,26 @@
+//! # rtx-transducer — abstract relational transducers
+//!
+//! The machine model of the paper (Section 2.1, with the Section 3
+//! proviso): a deterministic data-centric agent specified by queries
+//! `Q_snd^R` (per message relation), `Q_ins^R` / `Q_del^R` (per memory
+//! relation) and `Q_out`, over the combined schema
+//! `S_in ∪ {Id, All} ∪ S_msg ∪ S_mem`.
+//!
+//! The local language is pluggable ([`rtx_query::Query`] objects), so
+//! FO-, UCQ¬-, (nonrecursive-)Datalog-, while- and abstract transducers
+//! are all built with the same [`TransducerBuilder`].
+//!
+//! Syntactic classification — *oblivious*, *inflationary*, *monotone* —
+//! lives in [`Classification`]; network execution lives in `rtx-net`.
+
+#![warn(missing_docs)]
+
+mod builder;
+mod classify;
+mod schema;
+mod transducer;
+
+pub use builder::TransducerBuilder;
+pub use classify::{Classification, SystemUsage};
+pub use schema::{system_schema, TransducerSchema, SYS_ALL, SYS_ID};
+pub use transducer::{StepResult, Transducer};

@@ -1,0 +1,46 @@
+//! The CALM theorem, empirically: classify the paper's transducers and
+//! print the Corollary 13 pattern — *coordination-free ⟺ oblivious ⟺
+//! monotone*.
+//!
+//! ```bash
+//! cargo run --example calm_classifier
+//! ```
+
+use rtx::calm::analysis::{classify, standard_suite, ClassifierOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ClassifierOptions::default();
+    println!("CALM classification (bounded, seeded exploration)");
+    println!("{}", "-".repeat(118));
+    println!(
+        "{:<22} {:<10} {:<13} {:<11} {:<5} {:<9} {:<11} {:<12} {:<10}",
+        "case",
+        "oblivious",
+        "inflationary",
+        "consistent",
+        "nti",
+        "computes",
+        "coord-free",
+        "monotone(Q)",
+        "generic(Q)"
+    );
+    println!("{}", "-".repeat(118));
+    for case in standard_suite() {
+        let v = classify(&case, &opts)?;
+        println!(
+            "{:<22} {:<10} {:<13} {:<11} {:<5} {:<9} {:<11} {:<12} {:<10}",
+            v.name,
+            v.classification.oblivious,
+            v.classification.inflationary,
+            v.consistent,
+            v.network_independent,
+            v.computes_reference,
+            v.coordination_free,
+            v.reference_monotone,
+            v.reference_generic,
+        );
+    }
+    println!("{}", "-".repeat(118));
+    println!("CALM (Cor. 13): coordination-free ⟺ monotone; oblivious ⇒ coordination-free (Prop. 11).");
+    Ok(())
+}

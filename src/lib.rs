@@ -1,0 +1,47 @@
+//! # rtx — relational transducer networks for declarative networking
+//!
+//! An executable reproduction of *Ameloot, Neven, Van den Bussche,
+//! "Relational transducers for declarative networking"* (PODS 2011) —
+//! the paper that formalized and proved Hellerstein's **CALM
+//! conjecture**: a query has a coordination-free distributed execution
+//! strategy if and only if it is monotone.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`relational`] — the database kernel (values, facts, instances);
+//! * [`query`] — FO, UCQ¬, Datalog, stratified Datalog, *while*;
+//! * [`transducer`] — the relational transducer machine model;
+//! * [`net`] — transducer networks: topologies, schedulers, runs;
+//! * [`calm`] — the paper's constructions, examples, and analyses;
+//! * [`machine`] — Turing machines and word structures;
+//! * [`dedalus`] — Dedalus and the Theorem 18 TM simulation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rtx::calm::examples::ex3_transitive_closure;
+//! use rtx::net::{run, FifoRoundRobin, HorizontalPartition, Network, RunBudget};
+//! use rtx::relational::{fact, Instance, Schema};
+//!
+//! // the paper's Example 3: distributed transitive closure
+//! let transducer = ex3_transitive_closure(true).unwrap();
+//! let input = Instance::from_facts(
+//!     Schema::new().with("S", 2),
+//!     vec![fact!("S", 1, 2), fact!("S", 2, 3)],
+//! )
+//! .unwrap();
+//! let net = Network::ring(4).unwrap();
+//! let partition = HorizontalPartition::round_robin(&net, &input);
+//! let out = run(&net, &transducer, &partition, &mut FifoRoundRobin::new(),
+//!               &RunBudget::steps(100_000)).unwrap();
+//! assert!(out.quiescent);
+//! assert_eq!(out.output.len(), 3); // {(1,2),(2,3),(1,3)}
+//! ```
+
+pub use rtx_calm as calm;
+pub use rtx_dedalus as dedalus;
+pub use rtx_machine as machine;
+pub use rtx_net as net;
+pub use rtx_query as query;
+pub use rtx_relational as relational;
+pub use rtx_transducer as transducer;

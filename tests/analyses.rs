@@ -1,0 +1,128 @@
+//! Integration tests for the analysis toolkit's reporting surfaces —
+//! the parts downstream users consume programmatically.
+
+use rtx::calm::analysis::{
+    check_consistency, check_generic, check_monotone, verify_computes, ConsistencyOptions,
+    GenericityVerdict, MonotonicityVerdict, ScheduleSpec,
+};
+use rtx::calm::examples;
+use rtx::net::Network;
+use rtx::query::{Formula, FoQuery, Query};
+use rtx::query::atom;
+use rtx::relational::{fact, Instance, Relation, Schema};
+
+fn tc_input() -> Instance {
+    Instance::from_facts(
+        Schema::new().with("S", 2),
+        vec![fact!("S", 1, 2), fact!("S", 2, 3)],
+    )
+    .unwrap()
+}
+
+#[test]
+fn consistency_report_fields_are_coherent() {
+    let t = examples::ex3_transitive_closure(true).unwrap();
+    let opts = ConsistencyOptions {
+        topologies: vec![
+            ("single".into(), Network::single()),
+            ("line2".into(), Network::line(2).unwrap()),
+        ],
+        schedules: vec![ScheduleSpec::Fifo, ScheduleSpec::Random(3)],
+        random_partitions: 1,
+        seed: 5,
+        max_steps: 100_000,
+        target_output: None,
+    };
+    let report = check_consistency(&t, &tc_input(), &opts).unwrap();
+    assert!(report.consistent);
+    assert!(report.network_independent);
+    assert!(report.all_settled);
+    assert!(report.witness.is_none());
+    assert_eq!(report.outputs.len(), 2, "one representative per topology");
+    // topologies × partitions × schedules
+    assert_eq!(report.runs, 2 * 4 * 2);
+    for (_, o) in &report.outputs {
+        assert_eq!(o.len(), 3);
+    }
+}
+
+#[test]
+fn schedule_spec_display() {
+    assert_eq!(ScheduleSpec::Fifo.to_string(), "fifo");
+    assert_eq!(ScheduleSpec::Lifo.to_string(), "lifo");
+    assert_eq!(ScheduleSpec::Random(9).to_string(), "random#9");
+}
+
+#[test]
+fn verify_computes_rejects_superset_and_subset_answers() {
+    let t = examples::ex3_transitive_closure(true).unwrap();
+    let input = tc_input();
+    let opts = ConsistencyOptions {
+        topologies: vec![("line2".into(), Network::line(2).unwrap())],
+        schedules: vec![ScheduleSpec::Fifo],
+        random_partitions: 0,
+        seed: 1,
+        max_steps: 100_000,
+        target_output: None,
+    };
+    let mut correct = Relation::empty(2);
+    for (a, b) in [(1i64, 2i64), (2, 3), (1, 3)] {
+        correct
+            .insert(rtx::relational::Tuple::new(vec![
+                rtx::relational::Value::int(a),
+                rtx::relational::Value::int(b),
+            ]))
+            .unwrap();
+    }
+    assert!(verify_computes(&t, &input, &correct, &opts).unwrap());
+    // a strict subset must be rejected
+    let mut subset = correct.clone();
+    subset.remove(&rtx::relational::Tuple::new(vec![
+        rtx::relational::Value::int(1),
+        rtx::relational::Value::int(3),
+    ]));
+    assert!(!verify_computes(&t, &input, &subset, &opts).unwrap());
+    // a strict superset must be rejected too
+    let mut superset = correct;
+    superset
+        .insert(rtx::relational::Tuple::new(vec![
+            rtx::relational::Value::int(3),
+            rtx::relational::Value::int(1),
+        ]))
+        .unwrap();
+    assert!(!verify_computes(&t, &input, &superset, &opts).unwrap());
+}
+
+#[test]
+fn monotonicity_verdict_carries_witness() {
+    let q = FoQuery::sentence(Formula::not(Formula::exists(
+        ["X"],
+        Formula::atom(atom!("S"; @"X")),
+    )))
+    .unwrap();
+    let pool = vec![Instance::from_facts(
+        Schema::new().with("S", 1),
+        vec![fact!("S", 1)],
+    )
+    .unwrap()];
+    match check_monotone(&q, &pool, 4, 7).unwrap() {
+        MonotonicityVerdict::Violation { smaller, larger } => {
+            assert!(smaller.is_subinstance_of(&larger));
+            assert!(q.eval(&smaller).unwrap().as_bool());
+            assert!(!q.eval(&larger).unwrap().as_bool());
+        }
+        other => panic!("expected a violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn genericity_verdict_on_suite_references() {
+    for case in rtx::calm::analysis::standard_suite() {
+        let v = check_generic(&case.reference, &case.inputs, 3, 11).unwrap();
+        assert!(
+            matches!(v, GenericityVerdict::NoViolationFound { .. }),
+            "{} reference must be generic",
+            case.name
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Cross-crate integration tests: parse queries with `rtx-query`, wrap
+//! them into transducers with `rtx-calm`, run them on `rtx-net`
+//! networks, and validate against centralized evaluation.
+
+use rtx::calm::constructions::datalog_dist::{distribute_datalog, transitive_closure_program};
+use rtx::calm::constructions::distribute::{distribute_any, distribute_monotone};
+use rtx::calm::constructions::flood::FloodMode;
+use rtx::calm::examples;
+use rtx::net::{
+    run, FifoRoundRobin, HorizontalPartition, LifoRoundRobin, Network, RandomScheduler,
+    RunBudget,
+};
+use rtx::query::{DatalogQuery, Query, QueryRef};
+use rtx::relational::{fact, Instance, Relation, Schema};
+use std::sync::Arc;
+
+fn edges(pairs: &[(i64, i64)]) -> Instance {
+    let sch = Schema::new().with("E", 2);
+    let mut i = Instance::empty(sch);
+    for &(a, b) in pairs {
+        i.insert_fact(fact!("E", a, b)).unwrap();
+    }
+    i
+}
+
+#[test]
+fn parsed_datalog_distributed_on_every_builtin_topology() {
+    let program = rtx::query::parser::parse_program(
+        "T(X,Y) :- E(X,Y). T(X,Z) :- T(X,Y), E(Y,Z).",
+    )
+    .unwrap();
+    let q: QueryRef = Arc::new(DatalogQuery::new(program, "T").unwrap());
+    let input = edges(&[(1, 2), (2, 3), (3, 4), (5, 1)]);
+    let expected = q.eval(&input).unwrap();
+
+    let t = distribute_monotone(q, input.schema(), FloodMode::Dedup).unwrap();
+    for net in [
+        Network::single(),
+        Network::line(4).unwrap(),
+        Network::ring(5).unwrap(),
+        Network::star(4).unwrap(),
+        Network::clique(4).unwrap(),
+        Network::ring4_with_chord(),
+    ] {
+        let p = HorizontalPartition::round_robin(&net, &input);
+        let out =
+            run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(500_000)).unwrap();
+        assert!(out.quiescent, "not quiescent on {net:?}");
+        assert_eq!(out.output, expected, "wrong closure on {net:?}");
+    }
+}
+
+#[test]
+fn random_topologies_random_partitions_random_schedules() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let program = transitive_closure_program();
+    let q: QueryRef = Arc::new(DatalogQuery::new(program.clone(), "T").unwrap());
+    let input = edges(&[(1, 2), (2, 3), (3, 1), (4, 5)]);
+    let expected = q.eval(&input).unwrap();
+    let t = distribute_datalog(&program, &"T".into(), FloodMode::Dedup).unwrap();
+
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Network::random_connected(2 + (seed as usize % 4), 0.3, &mut rng).unwrap();
+        let p = HorizontalPartition::random(&net, &input, 0.2, &mut rng);
+        let out = run(
+            &net,
+            &t,
+            &p,
+            &mut RandomScheduler::seeded(seed * 31 + 7),
+            &RunBudget::steps(500_000),
+        )
+        .unwrap();
+        assert!(out.quiescent, "seed {seed}");
+        assert_eq!(out.output, expected, "seed {seed}");
+    }
+}
+
+#[test]
+fn theorem_6_1_distributes_a_while_query_end_to_end() {
+    // nonmonotone while-ish query via FO sentence: "E is a total relation
+    // over its active domain" — every pair of adom elements is an edge.
+    let q: QueryRef = Arc::new(
+        rtx::query::parser::parse_fo_query(
+            "() <- forall X, Y . E(X,X) | E(X,Y) | E(Y,X) | X = Y",
+        )
+        .unwrap(),
+    );
+    let yes = edges(&[(1, 2), (2, 1)]);
+    let no = edges(&[(1, 2), (3, 4)]);
+    for input in [&yes, &no] {
+        let central = q.eval(input).unwrap().as_bool();
+        let t = distribute_any(q.clone(), input.schema()).unwrap();
+        let net = Network::line(3).unwrap();
+        let p = HorizontalPartition::round_robin(&net, input);
+        let out =
+            run(&net, &t, &p, &mut LifoRoundRobin::new(), &RunBudget::steps(500_000)).unwrap();
+        assert!(out.quiescent);
+        assert_eq!(out.output.as_bool(), central);
+    }
+}
+
+#[test]
+fn outputs_are_never_retracted_along_any_run() {
+    // sample prefixes of a run and check output growth (Proposition 1's
+    // premise: out(ρ) accumulates)
+    let t = examples::ex3_transitive_closure(true).unwrap();
+    let sch = Schema::new().with("S", 2);
+    let input = Instance::from_facts(
+        sch,
+        vec![fact!("S", 1, 2), fact!("S", 2, 3), fact!("S", 3, 4)],
+    )
+    .unwrap();
+    let net = Network::line(3).unwrap();
+    let p = HorizontalPartition::round_robin(&net, &input);
+    let mut previous = Relation::empty(2);
+    for steps in [1usize, 5, 10, 25, 50, 100, 500] {
+        let out = run(
+            &net,
+            &t,
+            &p,
+            &mut FifoRoundRobin::new(),
+            &RunBudget::steps(steps),
+        )
+        .unwrap();
+        assert!(
+            previous.is_subset(&out.output),
+            "outputs must accumulate: step budget {steps}"
+        );
+        previous = out.output;
+    }
+}
+
+#[test]
+fn quiescence_point_exists_for_every_library_transducer() {
+    // Proposition 1: finitely many output tuples; our quiescence-driven
+    // runs terminate for all draining transducers of the library.
+    let sch1 = Schema::new().with("S", 1);
+    let sch2 = Schema::new().with("S", 2);
+    let schab = Schema::new().with("A", 1).with("B", 1);
+    let cases: Vec<(rtx::transducer::Transducer, Instance)> = vec![
+        (
+            examples::ex2_first_element().unwrap(),
+            Instance::from_facts(sch1.clone(), vec![fact!("S", 1)]).unwrap(),
+        ),
+        (
+            examples::ex3_equality_selection().unwrap(),
+            Instance::from_facts(sch2.clone(), vec![fact!("S", 1, 1)]).unwrap(),
+        ),
+        (
+            examples::ex3_transitive_closure(true).unwrap(),
+            Instance::from_facts(sch2, vec![fact!("S", 1, 2)]).unwrap(),
+        ),
+        (
+            examples::ex4_echo().unwrap(),
+            Instance::from_facts(sch1.clone(), vec![fact!("S", 2)]).unwrap(),
+        ),
+        (
+            examples::ex9_ab_nonempty().unwrap(),
+            Instance::from_facts(schab, vec![fact!("A", 1)]).unwrap(),
+        ),
+        (
+            examples::ex10_emptiness().unwrap(),
+            Instance::empty(sch1.clone()),
+        ),
+        (
+            examples::ex15_ping().unwrap(),
+            Instance::from_facts(sch1, vec![fact!("S", 9)]).unwrap(),
+        ),
+    ];
+    let net = Network::ring(3).unwrap();
+    for (t, input) in cases {
+        let p = HorizontalPartition::round_robin(&net, &input);
+        let out = run(
+            &net,
+            &t,
+            &p,
+            &mut RandomScheduler::seeded(11),
+            &RunBudget::steps(500_000),
+        )
+        .unwrap();
+        assert!(out.quiescent, "{} did not quiesce", t.name());
+    }
+}
+
+#[test]
+fn per_node_outputs_union_to_global_output() {
+    let t = examples::ex3_transitive_closure(true).unwrap();
+    let sch = Schema::new().with("S", 2);
+    let input =
+        Instance::from_facts(sch, vec![fact!("S", 1, 2), fact!("S", 2, 3)]).unwrap();
+    let net = Network::star(4).unwrap();
+    let p = HorizontalPartition::round_robin(&net, &input);
+    let out = run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(500_000)).unwrap();
+    let mut union = Relation::empty(2);
+    for per in out.outputs_per_node.values() {
+        union = union.union(per).unwrap();
+    }
+    assert_eq!(union, out.output);
+}

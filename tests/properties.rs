@@ -1,0 +1,327 @@
+//! Property-based tests (proptest) for the core invariants of the
+//! reproduction:
+//!
+//! * genericity of constant-free queries: `Q(h(I)) = h(Q(I))`;
+//! * monotonicity of positive programs: `I ⊆ J ⇒ P(I) ⊆ P(J)`;
+//! * naive ≡ semi-naive Datalog evaluation;
+//! * flooding disseminates to every node of random connected topologies;
+//! * distributed TC is consistent across random seeds/partitions;
+//! * the transducer update formula's conflict-resolution laws;
+//! * Dedalus TM simulation ≡ the direct interpreter on random words.
+
+use proptest::prelude::*;
+use rtx::calm::constructions::distribute::distribute_monotone;
+use rtx::calm::constructions::flood::{flood_transducer, FloodMode};
+use rtx::net::{
+    run, HorizontalPartition, Network, RandomScheduler, RunBudget,
+};
+use rtx::query::{DatalogQuery, EvalStrategy, Query, QueryRef};
+use rtx::relational::{fact, Fact, Instance, Iso, Schema, Value};
+use std::sync::Arc;
+
+fn edge_instance(pairs: &[(u8, u8)]) -> Instance {
+    let sch = Schema::new().with("E", 2);
+    let mut i = Instance::empty(sch);
+    for &(a, b) in pairs {
+        i.insert_fact(fact!("E", a as i64, b as i64)).unwrap();
+    }
+    i
+}
+
+fn tc_query() -> DatalogQuery {
+    let p = rtx::query::parser::parse_program(
+        "T(X,Y) :- E(X,Y). T(X,Z) :- T(X,Y), E(Y,Z).",
+    )
+    .unwrap();
+    DatalogQuery::new(p, "T").unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn genericity_of_tc(pairs in proptest::collection::vec((0u8..8, 0u8..8), 0..10),
+                        perm_seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let i = edge_instance(&pairs);
+        let q = tc_query();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(perm_seed);
+        let iso = rtx::calm::analysis::random_adom_permutation(&i, &mut rng);
+        let lhs = q.eval(&iso.apply_instance(&i)).unwrap();
+        let rhs = iso.apply_relation(&q.eval(&i).unwrap());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn genericity_under_fresh_renaming(pairs in proptest::collection::vec((0u8..8, 0u8..8), 0..10)) {
+        let i = edge_instance(&pairs);
+        let q = tc_query();
+        let iso = rtx::calm::analysis::fresh_renaming(&i, 99);
+        let lhs = q.eval(&iso.apply_instance(&i)).unwrap();
+        let rhs = iso.apply_relation(&q.eval(&i).unwrap());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn monotonicity_of_positive_datalog(pairs in proptest::collection::vec((0u8..6, 0u8..6), 0..12),
+                                        keep in proptest::collection::vec(any::<bool>(), 12)) {
+        let big = edge_instance(&pairs);
+        let mut small = Instance::empty(big.schema().clone());
+        for (i, f) in big.facts().enumerate() {
+            if *keep.get(i).unwrap_or(&false) {
+                small.insert_fact(f).unwrap();
+            }
+        }
+        let q = tc_query();
+        let small_out = q.eval(&small).unwrap();
+        let big_out = q.eval(&big).unwrap();
+        prop_assert!(small_out.is_subset(&big_out));
+    }
+
+    #[test]
+    fn naive_equals_seminaive(pairs in proptest::collection::vec((0u8..7, 0u8..7), 0..14)) {
+        let i = edge_instance(&pairs);
+        let semi = tc_query().eval(&i).unwrap();
+        let naive = tc_query().with_strategy(EvalStrategy::Naive).eval(&i).unwrap();
+        prop_assert_eq!(semi, naive);
+    }
+
+    #[test]
+    fn flooding_reaches_all_nodes(values in proptest::collection::btree_set(0i64..40, 1..6),
+                                  nodes in 2usize..6,
+                                  topo_seed in 0u64..500,
+                                  sched_seed in 0u64..500) {
+        use rand::SeedableRng;
+        let sch = Schema::new().with("S", 1);
+        let facts: Vec<Fact> = values.iter().map(|&v| fact!("S", v)).collect();
+        let input = Instance::from_facts(sch.clone(), facts).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(topo_seed);
+        let net = Network::random_connected(nodes, 0.25, &mut rng).unwrap();
+        let t = flood_transducer(&sch, FloodMode::Dedup, None).unwrap();
+        let p = HorizontalPartition::random(&net, &input, 0.1, &mut rng);
+        let out = run(&net, &t, &p, &mut RandomScheduler::seeded(sched_seed),
+                      &RunBudget::steps(500_000)).unwrap();
+        prop_assert!(out.quiescent);
+        for n in net.nodes() {
+            let st = out.final_config.state(n).unwrap();
+            let store = st.relation(&"Store_S".into()).unwrap();
+            prop_assert_eq!(store.len(), values.len(), "node {} incomplete", n);
+        }
+    }
+
+    #[test]
+    fn distributed_tc_consistent_across_everything(
+        pairs in proptest::collection::vec((0u8..5, 0u8..5), 1..8),
+        seed_a in 0u64..300, seed_b in 300u64..600) {
+        let input = edge_instance(&pairs);
+        let q: QueryRef = Arc::new(tc_query());
+        let expected = q.eval(&input).unwrap();
+        let t = distribute_monotone(q, input.schema(), FloodMode::Dedup).unwrap();
+        let net = Network::ring(3).unwrap();
+        for (seed, partition) in [
+            (seed_a, HorizontalPartition::round_robin(&net, &input)),
+            (seed_b, HorizontalPartition::replicate(&net, &input)),
+        ] {
+            let out = run(&net, &t, &partition, &mut RandomScheduler::seeded(seed),
+                          &RunBudget::steps(500_000)).unwrap();
+            prop_assert!(out.quiescent);
+            prop_assert_eq!(out.output.clone(), expected.clone());
+        }
+    }
+
+    #[test]
+    fn update_formula_laws(ins in proptest::collection::btree_set(0i64..10, 0..6),
+                           del in proptest::collection::btree_set(0i64..10, 0..6),
+                           cur in proptest::collection::btree_set(0i64..10, 0..6)) {
+        // J(R) = (ins∖del) ∪ (ins∩del∩cur) ∪ (cur∖(ins∪del)) — element-wise:
+        // x ∈ J ⟺ (x∈ins ∧ x∉del) ∨ (x∈ins ∧ x∈del ∧ x∈cur) ∨ (x∈cur ∧ x∉ins ∧ x∉del)
+        use rtx::query::{NativeQuery, QueryRef};
+        use rtx::relational::{Relation, Tuple};
+        let mk = |s: &std::collections::BTreeSet<i64>| {
+            Relation::from_tuples(1, s.iter().map(|&v| Tuple::new(vec![Value::int(v)])).collect::<Vec<_>>()).unwrap()
+        };
+        let ins_rel = mk(&ins);
+        let del_rel = mk(&del);
+        let ins_q: QueryRef = {
+            let r = ins_rel.clone();
+            Arc::new(NativeQuery::new("ins", 1, [rtx::relational::RelName::new("A")], move |_| Ok(r.clone())))
+        };
+        let del_q: QueryRef = {
+            let r = del_rel.clone();
+            Arc::new(NativeQuery::new("del", 1, [rtx::relational::RelName::new("A")], move |_| Ok(r.clone())))
+        };
+        let t = rtx::transducer::TransducerBuilder::new("law")
+            .input_relation("A", 1)
+            .memory_relation("T", 1)
+            .insert("T", ins_q)
+            .delete("T", del_q)
+            .build().unwrap();
+        let input = Instance::empty(Schema::new().with("A", 1));
+        let nodes: std::collections::BTreeSet<Value> = [Value::sym("n")].into();
+        let mut state = t.schema().initial_state(&input, &Value::sym("n"), &nodes).unwrap();
+        state.set_relation("T", mk(&cur)).unwrap();
+        let res = t.heartbeat(&state).unwrap();
+        let j = res.new_state.relation(&"T".into()).unwrap();
+        for x in 0i64..10 {
+            let expected = (ins.contains(&x) && !del.contains(&x))
+                || (ins.contains(&x) && del.contains(&x) && cur.contains(&x))
+                || (cur.contains(&x) && !ins.contains(&x) && !del.contains(&x));
+            let tuple = rtx::relational::Tuple::new(vec![Value::int(x)]);
+            prop_assert_eq!(j.contains(&tuple), expected, "element {}", x);
+        }
+    }
+
+    #[test]
+    fn iso_roundtrip(pairs in proptest::collection::vec((0u8..10, 0u8..10), 0..12),
+                     seed in 0u64..100) {
+        use rand::SeedableRng;
+        let i = edge_instance(&pairs);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let iso = rtx::calm::analysis::random_adom_permutation(&i, &mut rng);
+        let back = iso.inverse().apply_instance(&iso.apply_instance(&i));
+        prop_assert_eq!(back, i);
+    }
+}
+
+proptest! {
+    // the TM cross-validation is slower: fewer cases
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn dedalus_tm_matches_interpreter_on_random_words(
+        word in proptest::collection::vec(prop_oneof![Just('a'), Just('b')], 2..6)) {
+        use rtx::dedalus::{simulate_word, DedalusOptions, InputSchedule};
+        let w: String = word.into_iter().collect();
+        let opts = DedalusOptions { max_ticks: 2000, async_max_delay: 1, seed: 0 };
+        for m in [rtx::machine::machines::even_as(), rtx::machine::machines::contains_ab()] {
+            let direct = m.run(&w, 1_000_000).unwrap().accepted();
+            let sim = simulate_word(&m, &w, InputSchedule::AllAtZero, &opts).unwrap();
+            prop_assert!(sim.converged_at.is_some());
+            prop_assert_eq!(direct, sim.accepted, "machine {} word {}", m.name(), w);
+        }
+    }
+
+    #[test]
+    fn theorem12_empirically_coordination_free_implies_monotone(
+        pairs in proptest::collection::vec((0u8..4, 0u8..4), 1..5),
+        extra in proptest::collection::vec((4u8..6, 4u8..6), 0..3)) {
+        // the TC transducer is coordination-free; its computed query must
+        // be monotone on random I ⊆ J
+        let small_pairs = pairs.clone();
+        let mut big_pairs = pairs;
+        big_pairs.extend(extra);
+        // rename E→S to match ex3's input schema
+        let mk = |ps: &[(u8, u8)]| {
+            let sch = Schema::new().with("S", 2);
+            let mut i = Instance::empty(sch);
+            for &(a, b) in ps {
+                i.insert_fact(fact!("S", a as i64, b as i64)).unwrap();
+            }
+            i
+        };
+        let small = mk(&small_pairs);
+        let big = mk(&big_pairs);
+        let t = rtx::calm::examples::ex3_transitive_closure(true).unwrap();
+        let net = Network::line(2).unwrap();
+        let budget = RunBudget::steps(500_000);
+        let out_small = run(&net, &t, &HorizontalPartition::round_robin(&net, &small),
+                            &mut RandomScheduler::seeded(1), &budget).unwrap();
+        let out_big = run(&net, &t, &HorizontalPartition::round_robin(&net, &big),
+                          &mut RandomScheduler::seeded(2), &budget).unwrap();
+        prop_assert!(out_small.quiescent && out_big.quiescent);
+        prop_assert!(out_small.output.is_subset(&out_big.output));
+    }
+}
+
+#[test]
+fn iso_with_explicit_pairs_sanity() {
+    // non-proptest companion: a concrete renaming round trip
+    let i = edge_instance(&[(1, 2), (2, 3)]);
+    let iso = Iso::from_pairs(vec![
+        (Value::int(1), Value::int(2)),
+        (Value::int(2), Value::int(3)),
+        (Value::int(3), Value::int(1)),
+    ])
+    .unwrap();
+    let j = iso.apply_instance(&i);
+    assert!(j.contains_fact(&fact!("E", 2, 3)));
+    assert!(j.contains_fact(&fact!("E", 3, 1)));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cross-engine validation: a conjunctive query evaluated by the
+    /// join-based UCQ engine and by the FO engine (as ∃-formula) agree.
+    #[test]
+    fn fo_and_ucq_engines_agree_on_conjunctive_queries(
+        pairs in proptest::collection::vec((0u8..6, 0u8..6), 0..10),
+        singles in proptest::collection::btree_set(0i64..6, 0..5)) {
+        use rtx::query::{atom, CqBuilder, Formula, FoQuery, Term, UcqQuery};
+        let sch = Schema::new().with("E", 2).with("S", 1);
+        let mut db = Instance::empty(sch);
+        for &(a, b) in &pairs {
+            db.insert_fact(fact!("E", a as i64, b as i64)).unwrap();
+        }
+        for &v in &singles {
+            db.insert_fact(fact!("S", v)).unwrap();
+        }
+        // Q(X,Z) ← E(X,Y), E(Y,Z), S(X)
+        let cq = UcqQuery::single(
+            CqBuilder::head(vec![Term::var("X"), Term::var("Z")])
+                .when(atom!("E"; @"X", @"Y"))
+                .when(atom!("E"; @"Y", @"Z"))
+                .when(atom!("S"; @"X"))
+                .build()
+                .unwrap(),
+        );
+        let fo = FoQuery::new(
+            ["X", "Z"],
+            Formula::exists(
+                ["Y"],
+                Formula::and([
+                    Formula::atom(atom!("E"; @"X", @"Y")),
+                    Formula::atom(atom!("E"; @"Y", @"Z")),
+                    Formula::atom(atom!("S"; @"X")),
+                ]),
+            ),
+        )
+        .unwrap();
+        prop_assert_eq!(cq.eval(&db).unwrap(), fo.eval(&db).unwrap());
+    }
+
+    /// The same cross-check with safe negation.
+    #[test]
+    fn fo_and_ucq_engines_agree_with_negation(
+        pairs in proptest::collection::vec((0u8..5, 0u8..5), 0..10),
+        singles in proptest::collection::btree_set(0i64..5, 0..4)) {
+        use rtx::query::{atom, CqBuilder, Formula, FoQuery, Term, UcqQuery};
+        let sch = Schema::new().with("E", 2).with("S", 1);
+        let mut db = Instance::empty(sch);
+        for &(a, b) in &pairs {
+            db.insert_fact(fact!("E", a as i64, b as i64)).unwrap();
+        }
+        for &v in &singles {
+            db.insert_fact(fact!("S", v)).unwrap();
+        }
+        // Q(X,Y) ← E(X,Y), ¬S(X), X ≠ Y
+        let cq = UcqQuery::single(
+            CqBuilder::head(vec![Term::var("X"), Term::var("Y")])
+                .when(atom!("E"; @"X", @"Y"))
+                .unless(atom!("S"; @"X"))
+                .distinct(Term::var("X"), Term::var("Y"))
+                .build()
+                .unwrap(),
+        );
+        let fo = FoQuery::new(
+            ["X", "Y"],
+            Formula::and([
+                Formula::atom(atom!("E"; @"X", @"Y")),
+                Formula::not(Formula::atom(atom!("S"; @"X"))),
+                Formula::neq(Term::var("X"), Term::var("Y")),
+            ]),
+        )
+        .unwrap();
+        prop_assert_eq!(cq.eval(&db).unwrap(), fo.eval(&db).unwrap());
+    }
+}
