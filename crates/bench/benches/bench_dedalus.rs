@@ -6,12 +6,16 @@ use rtx_dedalus::{simulate_word, DedalusOptions, InputSchedule};
 use rtx_machine::machines;
 
 fn bench_dedalus(c: &mut Criterion) {
-    let opts = DedalusOptions { max_ticks: 5000, async_max_delay: 1, seed: 0 };
+    let opts = DedalusOptions {
+        max_ticks: 5000,
+        async_max_delay: 1,
+        seed: 0,
+    };
     let mut group = c.benchmark_group("dedalus-tm");
     group.sample_size(10);
     let m = machines::even_as();
     for len in [2usize, 4, 6] {
-        let word: String = std::iter::repeat("ab").take(len / 2).collect::<String>();
+        let word: String = "ab".repeat(len / 2);
         group.bench_with_input(BenchmarkId::new("dedalus-even-as", len), &len, |b, _| {
             b.iter(|| {
                 let out = simulate_word(&m, &word, InputSchedule::AllAtZero, &opts).unwrap();
@@ -19,14 +23,20 @@ fn bench_dedalus(c: &mut Criterion) {
                 out.ticks
             })
         });
-        group.bench_with_input(BenchmarkId::new("interpreter-even-as", len), &len, |b, _| {
-            b.iter(|| m.run(&word, 1_000_000).unwrap().accepted())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("interpreter-even-as", len),
+            &len,
+            |b, _| b.iter(|| m.run(&word, 1_000_000).unwrap().accepted()),
+        );
     }
     let pal = machines::palindrome();
     for (label, word) in [("aa", "aa"), ("abba", "abba")] {
         group.bench_function(BenchmarkId::new("dedalus-palindrome", label), |b| {
-            b.iter(|| simulate_word(&pal, word, InputSchedule::AllAtZero, &opts).unwrap().ticks)
+            b.iter(|| {
+                simulate_word(&pal, word, InputSchedule::AllAtZero, &opts)
+                    .unwrap()
+                    .ticks
+            })
         });
     }
     group.finish();

@@ -39,8 +39,7 @@ fn steps_to_first_output(
 }
 
 fn bench_monotone_stream(c: &mut Criterion) {
-    let q: QueryRef =
-        Arc::new(DatalogQuery::new(transitive_closure_program(), "T").unwrap());
+    let q: QueryRef = Arc::new(DatalogQuery::new(transitive_closure_program(), "T").unwrap());
     let input = chain_input("E", 5);
     let net = Network::line(4).unwrap();
     let mut group = c.benchmark_group("first-output-latency");

@@ -3,14 +3,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtx_bench::chain_input;
-use rtx_query::{DatalogQuery, EvalStrategy, Formula, FoQuery, Query};
 use rtx_query::atom;
+use rtx_query::{DatalogQuery, EvalStrategy, FoQuery, Formula, Query};
 
 fn bench_query(c: &mut Criterion) {
-    let program = rtx_query::parser::parse_program(
-        "T(X,Y) :- E(X,Y). T(X,Z) :- T(X,Y), E(Y,Z).",
-    )
-    .unwrap();
+    let program =
+        rtx_query::parser::parse_program("T(X,Y) :- E(X,Y). T(X,Z) :- T(X,Y), E(Y,Z).").unwrap();
 
     let mut group = c.benchmark_group("datalog-tc");
     group.sample_size(10);

@@ -17,9 +17,14 @@ fn bench_tc(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("chain-length", n), &n, |b, _| {
             b.iter(|| {
                 let p = HorizontalPartition::round_robin(&net, &input);
-                let out =
-                    run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(5_000_000))
-                        .unwrap();
+                let out = run(
+                    &net,
+                    &t,
+                    &p,
+                    &mut FifoRoundRobin::new(),
+                    &RunBudget::steps(5_000_000),
+                )
+                .unwrap();
                 assert!(out.quiescent);
                 out.steps
             })
@@ -35,9 +40,15 @@ fn bench_tc(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("topology", label), |b| {
             b.iter(|| {
                 let p = HorizontalPartition::round_robin(&net, &input);
-                run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(5_000_000))
-                    .unwrap()
-                    .steps
+                run(
+                    &net,
+                    &t,
+                    &p,
+                    &mut FifoRoundRobin::new(),
+                    &RunBudget::steps(5_000_000),
+                )
+                .unwrap()
+                .steps
             })
         });
     }
@@ -47,18 +58,30 @@ fn bench_tc(c: &mut Criterion) {
     group.bench_function("partition/balanced", |b| {
         b.iter(|| {
             let p = HorizontalPartition::round_robin(&net, &input);
-            run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(5_000_000))
-                .unwrap()
-                .steps
+            run(
+                &net,
+                &t,
+                &p,
+                &mut FifoRoundRobin::new(),
+                &RunBudget::steps(5_000_000),
+            )
+            .unwrap()
+            .steps
         })
     });
     group.bench_function("partition/concentrated", |b| {
         b.iter(|| {
             let owner = net.nodes().next().unwrap();
             let p = HorizontalPartition::concentrate(&net, &input, owner).unwrap();
-            run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(5_000_000))
-                .unwrap()
-                .steps
+            run(
+                &net,
+                &t,
+                &p,
+                &mut FifoRoundRobin::new(),
+                &RunBudget::steps(5_000_000),
+            )
+            .unwrap()
+            .steps
         })
     });
     group.finish();

@@ -39,7 +39,9 @@ fn main() {
         ]);
     }
     tab.done();
-    println!("THM-12 (coord-free ⇒ monotone) and PROP-11 (oblivious ⇒ coord-free) hold: {calm_holds}");
+    println!(
+        "THM-12 (coord-free ⇒ monotone) and PROP-11 (oblivious ⇒ coord-free) hold: {calm_holds}"
+    );
     println!("the ex15 row shows the gap CALM closes: a monotone query computed by a");
     println!("coordinating transducer — Corollary 13 promises (and THM-6.2 builds) an");
     println!("oblivious, coordination-free replacement for it.");

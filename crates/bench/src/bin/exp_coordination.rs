@@ -14,7 +14,9 @@ fn main() {
     let opts = CoordinationOptions::default();
     let net = Network::line(2).unwrap();
 
-    println!("\n[EX-9/10/15, PROP-11] coordination-freeness search (2-node line, exhaustive partitions)");
+    println!(
+        "\n[EX-9/10/15, PROP-11] coordination-freeness search (2-node line, exhaustive partitions)"
+    );
     let tab = Table::new(&[
         ("transducer", 18),
         ("oblivious", 10),
@@ -33,10 +35,8 @@ fn main() {
         .unwrap();
         let q: QueryRef = Arc::new(
             rtx_query::DatalogQuery::new(
-                rtx_query::parser::parse_program(
-                    "T(X,Y) :- S(X,Y). T(X,Z) :- T(X,Y), S(Y,Z).",
-                )
-                .unwrap(),
+                rtx_query::parser::parse_program("T(X,Y) :- S(X,Y). T(X,Z) :- T(X,Y), S(Y,Z).")
+                    .unwrap(),
                 "T",
             )
             .unwrap(),
@@ -60,14 +60,9 @@ fn main() {
             vec![fact!("A", 1), fact!("B", 2)],
         )
         .unwrap();
-        let v = find_coordination_free_partition(
-            &net,
-            &t,
-            &input,
-            &Relation::nullary_true(),
-            &opts,
-        )
-        .unwrap();
+        let v =
+            find_coordination_free_partition(&net, &t, &input, &Relation::nullary_true(), &opts)
+                .unwrap();
         tab.row(&[
             "ex9-ab-nonempty".into(),
             Classification::of(&t).oblivious.to_string(),
@@ -81,14 +76,9 @@ fn main() {
     {
         let t = examples::ex10_emptiness().unwrap();
         let input = Instance::empty(Schema::new().with("S", 1));
-        let v = find_coordination_free_partition(
-            &net,
-            &t,
-            &input,
-            &Relation::nullary_true(),
-            &opts,
-        )
-        .unwrap();
+        let v =
+            find_coordination_free_partition(&net, &t, &input, &Relation::nullary_true(), &opts)
+                .unwrap();
         tab.row(&[
             "ex10-emptiness".into(),
             Classification::of(&t).oblivious.to_string(),
@@ -101,11 +91,12 @@ fn main() {
     // ping (Example 15: NOT coordination-free despite monotone query)
     {
         let t = examples::ex15_ping().unwrap();
-        let input =
-            Instance::from_facts(Schema::new().with("S", 1), vec![fact!("S", 1)]).unwrap();
+        let input = Instance::from_facts(Schema::new().with("S", 1), vec![fact!("S", 1)]).unwrap();
         let mut expected = Relation::empty(1);
         expected
-            .insert(rtx_relational::Tuple::new(vec![rtx_relational::Value::int(1)]))
+            .insert(rtx_relational::Tuple::new(vec![
+                rtx_relational::Value::int(1),
+            ]))
             .unwrap();
         let v = find_coordination_free_partition(&net, &t, &input, &expected, &opts).unwrap();
         tab.row(&[

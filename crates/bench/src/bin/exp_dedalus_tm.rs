@@ -7,7 +7,11 @@ use rtx_machine::machines;
 use rtx_relational::{Fact, Tuple};
 
 fn main() {
-    let opts = DedalusOptions { max_ticks: 3000, async_max_delay: 1, seed: 0 };
+    let opts = DedalusOptions {
+        max_ticks: 3000,
+        async_max_delay: 1,
+        seed: 0,
+    };
 
     println!("\n[THM-18] Q_M in Dedalus: agreement with the direct interpreter");
     let tab = Table::new(&[
@@ -45,7 +49,9 @@ fn main() {
                 sim.accepted.to_string(),
                 scat.accepted.to_string(),
                 sim.ticks.to_string(),
-                sim.converged_at.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+                sim.converged_at
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "-".into()),
                 program_size.to_string(),
             ]);
         }
@@ -61,7 +67,10 @@ fn main() {
         let mut v: Vec<(&str, Instance)> = vec![("none (proper word, rejected)", base.clone())];
         let mut double_begin = base.clone();
         double_begin
-            .insert_fact(Fact::new("Begin", Tuple::new(vec![rtx_machine::position(2)])))
+            .insert_fact(Fact::new(
+                "Begin",
+                Tuple::new(vec![rtx_machine::position(2)]),
+            ))
             .unwrap();
         v.push(("second Begin fact", double_begin));
         let mut double_label = base.clone();

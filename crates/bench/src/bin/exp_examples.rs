@@ -19,8 +19,16 @@ fn main() {
     let fifo = run(&net, &t, &p, &mut FifoRoundRobin::new(), &budget).unwrap();
     let lifo = run(&net, &t, &p, &mut LifoRoundRobin::new(), &budget).unwrap();
     let tab = Table::new(&[("schedule", 10), ("output", 24), ("quiescent", 10)]);
-    tab.row(&["fifo".into(), format!("{}", fifo.output), fifo.quiescent.to_string()]);
-    tab.row(&["lifo".into(), format!("{}", lifo.output), lifo.quiescent.to_string()]);
+    tab.row(&[
+        "fifo".into(),
+        format!("{}", fifo.output),
+        fifo.quiescent.to_string(),
+    ]);
+    tab.row(&[
+        "lifo".into(),
+        format!("{}", lifo.output),
+        lifo.quiescent.to_string(),
+    ]);
     tab.done();
     println!(
         "paper: \"different runs may deliver the elements in different orders\" → inconsistent: {}",
@@ -52,7 +60,12 @@ fn main() {
         vec![fact!("S", 1, 2), fact!("S", 2, 3), fact!("S", 3, 4)],
     )
     .unwrap();
-    let tab = Table::new(&[("topology", 10), ("|output|", 9), ("steps", 8), ("messages", 10)]);
+    let tab = Table::new(&[
+        ("topology", 10),
+        ("|output|", 9),
+        ("steps", 8),
+        ("messages", 10),
+    ]);
     for net in [
         Network::line(2).unwrap(),
         Network::ring(4).unwrap(),
@@ -78,9 +91,17 @@ fn main() {
     )
     .unwrap();
     let tab = Table::new(&[("topology", 10), ("computed query", 20)]);
-    for net in [Network::single(), Network::line(2).unwrap(), Network::ring(3).unwrap()] {
+    for net in [
+        Network::single(),
+        Network::line(2).unwrap(),
+        Network::ring(3).unwrap(),
+    ] {
         let out = rtx_bench::run_fifo(&net, &t, &input);
-        let what = if out.output.is_empty() { "empty query" } else { "identity" };
+        let what = if out.output.is_empty() {
+            "empty query"
+        } else {
+            "identity"
+        };
         tab.row(&[format!("{}-node", net.len()), what.into()]);
     }
     tab.done();

@@ -41,8 +41,14 @@ fn main() {
         let mcast = multicast_transducer(&schema, None).unwrap();
         let m = run_fifo(&net, &mcast, &input);
         assert!(m.quiescent);
-        let all_ready = m.final_config.state(net.nodes().next().unwrap())
-            .map(|st| st.relation(&ready_rel()).map(|r| r.as_bool()).unwrap_or(false))
+        let all_ready = m
+            .final_config
+            .state(net.nodes().next().unwrap())
+            .map(|st| {
+                st.relation(&ready_rel())
+                    .map(|r| r.as_bool())
+                    .unwrap_or(false)
+            })
             .unwrap_or(false)
             && net.nodes().all(|n| {
                 m.final_config
@@ -59,7 +65,10 @@ fn main() {
             f.steps.to_string(),
             m.messages_enqueued.to_string(),
             m.steps.to_string(),
-            format!("{:.1}", m.messages_enqueued as f64 / f.messages_enqueued.max(1) as f64),
+            format!(
+                "{:.1}",
+                m.messages_enqueued as f64 / f.messages_enqueued.max(1) as f64
+            ),
             all_ready.to_string(),
         ]);
     }

@@ -19,11 +19,12 @@ fn main() {
             let expected = input.adom();
             let good = net
                 .nodes()
-                .filter(|n| {
-                    is_total_order_over(out.final_config.state(n).unwrap(), &expected)
-                })
+                .filter(|n| is_total_order_over(out.final_config.state(n).unwrap(), &expected))
                 .count();
-            tab.row(&[format!("{}-node", net.len()), format!("{good}/{}", net.len())]);
+            tab.row(&[
+                format!("{}-node", net.len()),
+                format!("{good}/{}", net.len()),
+            ]);
         }
         tab.done();
     }

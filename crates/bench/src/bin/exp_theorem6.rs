@@ -5,8 +5,8 @@ use rtx_calm::constructions::datalog_dist::{distribute_datalog, transitive_closu
 use rtx_calm::constructions::distribute::{distribute_any, distribute_monotone};
 use rtx_calm::constructions::flood::FloodMode;
 use rtx_net::Network;
-use rtx_query::{DatalogQuery, Formula, FoQuery, Query, QueryRef};
 use rtx_query::atom;
+use rtx_query::{DatalogQuery, FoQuery, Formula, Query, QueryRef};
 use rtx_relational::{fact, Instance, Schema};
 use rtx_transducer::Classification;
 use std::sync::Arc;
@@ -25,7 +25,12 @@ fn main() {
             .unwrap(),
         );
         let t = distribute_any(q.clone(), &schema).unwrap();
-        let tab = Table::new(&[("input", 24), ("Q(I) central", 13), ("distributed", 12), ("agree", 6)]);
+        let tab = Table::new(&[
+            ("input", 24),
+            ("Q(I) central", 13),
+            ("distributed", 12),
+            ("agree", 6),
+        ]);
         for (label, facts) in [
             ("S = ∅, K = {1,2}", vec![fact!("K", 1), fact!("K", 2)]),
             ("S = {9}, K = {1}", vec![fact!("K", 1), fact!("S", 9)]),
@@ -70,7 +75,9 @@ fn main() {
             ]);
         }
         tab.done();
-        println!("note: with FloodMode::Naive the same construction is additionally monotone(syn).");
+        println!(
+            "note: with FloodMode::Naive the same construction is additionally monotone(syn)."
+        );
     }
 
     println!("\n[THM-6.5] Datalog via the T_P-operator transducer");
@@ -102,6 +109,8 @@ fn main() {
             ]);
         }
         tab.done();
-        println!("paper: \"by the monotone nature of Datalog evaluation, deletions are not needed\".");
+        println!(
+            "paper: \"by the monotone nature of Datalog evaluation, deletions are not needed\"."
+        );
     }
 }

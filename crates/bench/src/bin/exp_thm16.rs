@@ -34,8 +34,7 @@ fn main() {
         let t = examples::ex3_transitive_closure(true).unwrap();
         let sch = Schema::new().with("S", 2);
         let smaller = Instance::from_facts(sch.clone(), vec![fact!("S", 1, 2)]).unwrap();
-        let larger =
-            Instance::from_facts(sch, vec![fact!("S", 1, 2), fact!("S", 2, 3)]).unwrap();
+        let larger = Instance::from_facts(sch, vec![fact!("S", 1, 2), fact!("S", 2, 3)]).unwrap();
         let o = thm16_scenario(&t, &smaller, &larger, 500_000).unwrap();
         tab.row(&[
             "ex3-tc".into(),

@@ -5,7 +5,9 @@ use rtx_bench::{chain_input, Table};
 use rtx_calm::constructions::while_compiler::compile_while_to_transducer;
 use rtx_net::{run, FifoRoundRobin, HorizontalPartition, Network, RunBudget};
 use rtx_query::atom;
-use rtx_query::{CqBuilder, Guard, Query, QueryRef, Stmt, Term, UcqQuery, WhileProgram, WhileQuery};
+use rtx_query::{
+    CqBuilder, Guard, Query, QueryRef, Stmt, Term, UcqQuery, WhileProgram, WhileQuery,
+};
 use rtx_relational::Schema;
 use std::sync::Arc;
 
@@ -60,8 +62,14 @@ fn main() {
         let t = compile_while_to_transducer(&program, input.schema()).unwrap();
         let net = Network::single();
         let p = HorizontalPartition::replicate(&net, &input);
-        let out = run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(1_000_000))
-            .unwrap();
+        let out = run(
+            &net,
+            &t,
+            &p,
+            &mut FifoRoundRobin::new(),
+            &RunBudget::steps(1_000_000),
+        )
+        .unwrap();
         assert!(out.quiescent);
         tab.row(&[
             format!("chain-{n}"),

@@ -58,13 +58,15 @@ pub fn chain_input(rel: &str, n: usize) -> Instance {
     Instance::from_facts(
         Schema::new().with(rel, 2),
         (0..n as i64)
-            .map(|i| rtx_relational::Fact::new(
-                rel,
-                rtx_relational::Tuple::new(vec![
-                    rtx_relational::Value::int(i),
-                    rtx_relational::Value::int(i + 1),
-                ]),
-            ))
+            .map(|i| {
+                rtx_relational::Fact::new(
+                    rel,
+                    rtx_relational::Tuple::new(vec![
+                        rtx_relational::Value::int(i),
+                        rtx_relational::Value::int(i + 1),
+                    ]),
+                )
+            })
             .collect::<Vec<_>>(),
     )
     .expect("valid facts")
@@ -73,8 +75,14 @@ pub fn chain_input(rel: &str, n: usize) -> Instance {
 /// Run to quiescence with a generous budget and a FIFO scheduler.
 pub fn run_fifo(net: &Network, t: &Transducer, input: &Instance) -> RunOutcome {
     let p = HorizontalPartition::round_robin(net, input);
-    run(net, t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(5_000_000))
-        .expect("run failed")
+    run(
+        net,
+        t,
+        &p,
+        &mut FifoRoundRobin::new(),
+        &RunBudget::steps(5_000_000),
+    )
+    .expect("run failed")
 }
 
 #[cfg(test)]

@@ -1,0 +1,211 @@
+//! # criterion (offline stand-in)
+//!
+//! This workspace builds with no network access, so this crate vendors
+//! the small slice of the `criterion` API its benches use: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups with `sample_size` /
+//! `bench_function` / `bench_with_input` / `finish`, [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! It is a *timer*, not a statistics engine: each benchmark is warmed
+//! up once, then timed over `sample_size` batched samples, and the
+//! mean/min per-iteration wall time is printed. Good enough to compare
+//! hot paths across commits; swap in the real criterion when the
+//! registry is reachable.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point handed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Mirror of criterion's CLI hookup; accepts and ignores the
+    /// harness arguments (`--bench`, filters) that cargo passes.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Run a stand-alone benchmark (outside any group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into().to_string(), 10, f);
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure under the given id.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.sample_size, f);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// End the group (prints nothing extra; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Id for `name` at parameter value `param`.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: Some(param.to_string()),
+        }
+    }
+
+    /// Id distinguished only by a parameter value.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            param: Some(param.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.param {
+            Some(p) if self.name.is_empty() => write!(f, "{p}"),
+            Some(p) => write!(f, "{}/{p}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+            param: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            name: s,
+            param: None,
+        }
+    }
+}
+
+/// Times the closure handed to it by a benchmark function.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, once per sample, after one warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.results.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        results: Vec::new(),
+    };
+    f(&mut b);
+    if b.results.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let total: Duration = b.results.iter().sum();
+    let mean = total / b.results.len() as u32;
+    let min = b.results.iter().min().copied().unwrap_or_default();
+    println!(
+        "{label:<48} mean {mean:>12.3?}   min {min:>12.3?}   ({} samples)",
+        b.results.len()
+    );
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Produce a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

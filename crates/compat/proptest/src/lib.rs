@@ -1,0 +1,246 @@
+//! # proptest (offline stand-in)
+//!
+//! A minimal, dependency-free property-testing harness exposing the
+//! subset of the `proptest` API used by this workspace's test suites:
+//! the [`proptest!`] macro, [`ProptestConfig`], `prop_assert!` /
+//! `prop_assert_eq!`, `prop_oneof!`, [`strategy::Just`], [`any`], and
+//! the [`collection`] strategies (`vec`, `btree_set`).
+//!
+//! ## Determinism
+//!
+//! Unlike the real proptest (which derives entropy from the OS), every
+//! run here is **fully deterministic**: each test function draws its
+//! inputs from a seeded [`rand::rngs::StdRng`]. Two environment
+//! variables widen or redirect the search without editing code:
+//!
+//! * `RTX_PROPTEST_CASES` — overrides the per-test case count (e.g.
+//!   `RTX_PROPTEST_CASES=2000 cargo test` for deeper local fuzzing);
+//! * `RTX_PROPTEST_SEED` — changes the base seed (default `0x5EED`).
+//!
+//! There is no shrinking: a failing case reports the case index, the
+//! seed, and the assertion message, which is enough to replay it.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use strategy::{any, Just, Strategy, Union};
+
+/// Per-`proptest!`-block configuration. Only `cases` is modelled.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many random cases each test function runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count after applying the `RTX_PROPTEST_CASES` override.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("RTX_PROPTEST_CASES") {
+            Ok(v) => match parse_env_int("RTX_PROPTEST_CASES", &v) {
+                Some(n) if n > u32::MAX as u64 => {
+                    eprintln!(
+                        "warning: clamping RTX_PROPTEST_CASES={n} to u32::MAX ({})",
+                        u32::MAX
+                    );
+                    u32::MAX
+                }
+                Some(n) => n as u32,
+                None => self.cases,
+            },
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// The base seed: `RTX_PROPTEST_SEED` if set, else `0x5EED`.
+/// Accepts decimal or `0x`-prefixed hex (failure reports print hex).
+pub fn base_seed() -> u64 {
+    match std::env::var("RTX_PROPTEST_SEED") {
+        Ok(v) => parse_env_int("RTX_PROPTEST_SEED", &v).unwrap_or(0x5EED),
+        Err(_) => 0x5EED,
+    }
+}
+
+/// Parse a decimal or `0x`-hex integer; warn loudly instead of
+/// silently falling back, so a typo'd override can't mislead a replay.
+fn parse_env_int(name: &str, v: &str) -> Option<u64> {
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    match parsed {
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("warning: ignoring unparsable {name}={v:?} (want decimal or 0x-hex)");
+            None
+        }
+    }
+}
+
+/// Deterministic RNG for one test function: the base seed mixed with a
+/// hash of the test's name, so each test explores its own stream.
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(base_seed() ^ h)
+}
+
+/// A failed property assertion (carries the formatted message).
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Build a failure from a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Everything the test suites import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Define property tests. Mirrors proptest's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn prop(x in 0u8..10, v in proptest::collection::vec(0i64..5, 0..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __cases = __cfg.effective_cases();
+            let mut __rng = $crate::test_rng(stringify!($name));
+            for __case in 0..__cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{} (base seed {:#x}): {}",
+                        stringify!($name), __case, __cases, $crate::base_seed(), e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_tests! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Assert inside a `proptest!` body; fails the case instead of panicking
+/// directly so the harness can report the case index and seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), l, r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            l
+        );
+    }};
+}
+
+/// Uniformly choose among several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(::std::boxed::Box::new($strat) as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}

@@ -1,0 +1,91 @@
+//! # rand (offline stand-in)
+//!
+//! This workspace must build with **no network access**, so this crate
+//! vendors the tiny subset of the `rand` 0.8 API that the `rtx` crates
+//! use: [`rngs::StdRng`], the [`Rng`] and [`SeedableRng`] traits
+//! (`gen_range`, `gen_bool`), and [`seq::SliceRandom`]
+//! (`shuffle`, `choose`).
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — fast,
+//! deterministic, and identical on every platform. It is **not** the
+//! same stream as the real `StdRng` (ChaCha12), and it is **not**
+//! cryptographically secure; it only needs to drive reproducible
+//! simulations and tests.
+
+#![warn(missing_docs)]
+
+pub mod rngs;
+pub mod seq;
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of randomness. Mirrors the `rand::Rng` surface the
+/// workspace uses: `gen_range` over integer ranges and `gen_bool`.
+pub trait Rng {
+    /// Produce the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample uniformly from an integer range (`a..b` or `a..=b`).
+    ///
+    /// Panics on an empty range, like the real `rand`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // 53 uniform mantissa bits, exactly like rand's f64 sampling.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: Rng> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A seedable source of randomness (the only constructor the workspace
+/// uses is `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample; panics if the range is empty.
+    fn sample_single<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);

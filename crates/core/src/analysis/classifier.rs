@@ -16,9 +16,7 @@
 //! monotone and nonmonotone cases.
 
 use crate::analysis::consistency::{check_consistency, ConsistencyOptions};
-use crate::analysis::coordination::{
-    find_coordination_free_partition, CoordinationOptions,
-};
+use crate::analysis::coordination::{find_coordination_free_partition, CoordinationOptions};
 use crate::analysis::genericity::check_generic;
 use crate::analysis::monotonicity::check_monotone;
 use rtx_net::{NetError, Network};
@@ -112,8 +110,8 @@ pub fn classify(case: &CalmCase, opts: &ClassifierOptions) -> Result<CalmVerdict
         let report = check_consistency(&case.transducer, input, &c_opts)?;
         consistent &= report.consistent;
         network_independent &= report.network_independent;
-        computes_reference &= report.all_settled
-            && report.outputs.iter().all(|(_, o)| o == &expected);
+        computes_reference &=
+            report.all_settled && report.outputs.iter().all(|(_, o)| o == &expected);
 
         for net in &probe_nets {
             let v = find_coordination_free_partition(
@@ -153,7 +151,7 @@ pub fn standard_suite() -> Vec<CalmCase> {
     use crate::constructions::distribute::distribute_monotone;
     use crate::constructions::flood::FloodMode;
     use crate::examples;
-    use rtx_query::{atom, CqBuilder, DatalogQuery, Formula, FoQuery, Term, UcqQuery};
+    use rtx_query::{atom, CqBuilder, DatalogQuery, FoQuery, Formula, Term, UcqQuery};
     use rtx_relational::{fact, Schema};
     use std::sync::Arc;
 
@@ -161,10 +159,9 @@ pub fn standard_suite() -> Vec<CalmCase> {
 
     // 1. distributed transitive closure (Example 3 / Theorem 6(2)).
     {
-        let program = rtx_query::parser::parse_program(
-            "T(X,Y) :- S(X,Y). T(X,Z) :- T(X,Y), S(Y,Z).",
-        )
-        .expect("valid program");
+        let program =
+            rtx_query::parser::parse_program("T(X,Y) :- S(X,Y). T(X,Z) :- T(X,Y), S(Y,Z).")
+                .expect("valid program");
         let reference: QueryRef = Arc::new(DatalogQuery::new(program, "T").expect("valid"));
         let sch = Schema::new().with("S", 2);
         cases.push(CalmCase {
@@ -172,11 +169,8 @@ pub fn standard_suite() -> Vec<CalmCase> {
             transducer: examples::ex3_transitive_closure(true).expect("valid"),
             reference: reference.clone(),
             inputs: vec![
-                Instance::from_facts(
-                    sch.clone(),
-                    vec![fact!("S", 1, 2), fact!("S", 2, 3)],
-                )
-                .expect("valid"),
+                Instance::from_facts(sch.clone(), vec![fact!("S", 1, 2), fact!("S", 2, 3)])
+                    .expect("valid"),
                 Instance::from_facts(sch.clone(), vec![fact!("S", 1, 1)]).expect("valid"),
             ],
         });
@@ -238,8 +232,9 @@ pub fn standard_suite() -> Vec<CalmCase> {
             name: "identity-ex15".into(),
             transducer: examples::ex15_ping().expect("valid"),
             reference,
-            inputs: vec![Instance::from_facts(sch, vec![fact!("S", 1), fact!("S", 2)])
-                .expect("valid")],
+            inputs: vec![
+                Instance::from_facts(sch, vec![fact!("S", 1), fact!("S", 2)]).expect("valid"),
+            ],
         });
     }
 
@@ -286,7 +281,11 @@ mod tests {
         for case in standard_suite() {
             let v = classify(&case, &opts).unwrap();
             assert!(v.consistent, "{}: must be consistent", v.name);
-            assert!(v.computes_reference, "{}: must compute its reference", v.name);
+            assert!(
+                v.computes_reference,
+                "{}: must compute its reference",
+                v.name
+            );
             assert!(v.reference_generic, "{}: reference must be generic", v.name);
             // Theorem 12 direction: coordination-free ⇒ monotone
             if v.coordination_free {
@@ -341,7 +340,10 @@ mod tests {
         let v = classify(case, &opts).unwrap();
         assert!(v.reference_monotone);
         assert!(!v.coordination_free);
-        assert!(!v.classification.system_usage.uses_id, "no Id per Example 15");
+        assert!(
+            !v.classification.system_usage.uses_id,
+            "no Id per Example 15"
+        );
         // the CALM-promised replacement:
         let replacement = crate::constructions::distribute::distribute_monotone(
             case.reference.clone(),

@@ -13,8 +13,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rtx_net::{
-    run, FifoRoundRobin, HorizontalPartition, LifoRoundRobin, Network, NetError,
-    RandomScheduler, RunBudget, Scheduler,
+    run, FifoRoundRobin, HorizontalPartition, LifoRoundRobin, NetError, Network, RandomScheduler,
+    RunBudget, Scheduler,
 };
 use rtx_relational::{Instance, Relation};
 use rtx_transducer::Transducer;
@@ -133,8 +133,14 @@ fn partitions(
     rng: &mut StdRng,
 ) -> Vec<(String, HorizontalPartition)> {
     let mut out = vec![
-        ("replicate".to_string(), HorizontalPartition::replicate(net, input)),
-        ("round-robin".to_string(), HorizontalPartition::round_robin(net, input)),
+        (
+            "replicate".to_string(),
+            HorizontalPartition::replicate(net, input),
+        ),
+        (
+            "round-robin".to_string(),
+            HorizontalPartition::round_robin(net, input),
+        ),
     ];
     if let Some(first) = net.nodes().next() {
         out.push((
@@ -280,7 +286,11 @@ mod tests {
                 ("line2".into(), Network::line(2).unwrap()),
                 ("line3".into(), Network::line(3).unwrap()),
             ],
-            schedules: vec![ScheduleSpec::Fifo, ScheduleSpec::Lifo, ScheduleSpec::Random(5)],
+            schedules: vec![
+                ScheduleSpec::Fifo,
+                ScheduleSpec::Lifo,
+                ScheduleSpec::Random(5),
+            ],
             random_partitions: 1,
             seed: 11,
             max_steps: 100_000,
@@ -306,7 +316,9 @@ mod tests {
         let mut expected = Relation::empty(2);
         for a in [1i64, 2, 3] {
             for b in [1i64, 2, 3] {
-                expected.insert(Tuple::new(vec![Value::int(a), Value::int(b)])).unwrap();
+                expected
+                    .insert(Tuple::new(vec![Value::int(a), Value::int(b)]))
+                    .unwrap();
             }
         }
         assert!(verify_computes(&t, &input, &expected, &small_opts()).unwrap());
@@ -327,7 +339,10 @@ mod tests {
         assert!(!report.consistent);
         assert!(!report.network_independent);
         let (a, b) = report.witness.expect("must produce a witness");
-        assert_eq!(a.topology, b.topology, "witness pair is on the same topology");
+        assert_eq!(
+            a.topology, b.topology,
+            "witness pair is on the same topology"
+        );
         assert_ne!(a.output, b.output);
     }
 

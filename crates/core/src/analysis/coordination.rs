@@ -18,7 +18,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rtx_net::{run_heartbeats_only, HorizontalPartition, Network, NetError};
+use rtx_net::{run_heartbeats_only, HorizontalPartition, NetError, Network};
 use rtx_relational::{Instance, Relation};
 use rtx_transducer::Transducer;
 
@@ -76,8 +76,14 @@ pub fn find_coordination_free_partition(
 ) -> Result<CoordinationVerdict, NetError> {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut candidates: Vec<(String, HorizontalPartition)> = vec![
-        ("replicate".into(), HorizontalPartition::replicate(net, input)),
-        ("round-robin".into(), HorizontalPartition::round_robin(net, input)),
+        (
+            "replicate".into(),
+            HorizontalPartition::replicate(net, input),
+        ),
+        (
+            "round-robin".into(),
+            HorizontalPartition::round_robin(net, input),
+        ),
     ];
     for n in net.nodes() {
         candidates.push((
@@ -109,10 +115,16 @@ pub fn find_coordination_free_partition(
         probed += 1;
         let probe = run_heartbeats_only(net, transducer, &partition, opts.max_rounds)?;
         if probe.fixpoint && &probe.output == expected {
-            return Ok(CoordinationVerdict { witness: Some(label), probed });
+            return Ok(CoordinationVerdict {
+                witness: Some(label),
+                probed,
+            });
         }
     }
-    Ok(CoordinationVerdict { witness: None, probed })
+    Ok(CoordinationVerdict {
+        witness: None,
+        probed,
+    })
 }
 
 /// Probe coordination-freeness across several networks: free iff a
@@ -146,7 +158,8 @@ mod tests {
         }
         let mut r = Relation::empty(2);
         for &(a, b) in closure {
-            r.insert(Tuple::new(vec![Value::int(a), Value::int(b)])).unwrap();
+            r.insert(Tuple::new(vec![Value::int(a), Value::int(b)]))
+                .unwrap();
         }
         (i, r)
     }
@@ -193,11 +206,7 @@ mod tests {
     #[test]
     fn example15_ping_is_not_coordination_free() {
         let t = ex15_ping().unwrap();
-        let input = Instance::from_facts(
-            Schema::new().with("S", 1),
-            vec![fact!("S", 1)],
-        )
-        .unwrap();
+        let input = Instance::from_facts(Schema::new().with("S", 1), vec![fact!("S", 1)]).unwrap();
         let mut expected = Relation::empty(1);
         expected.insert(Tuple::new(vec![Value::int(1)])).unwrap();
         let net = Network::line(2).unwrap();
@@ -221,8 +230,7 @@ mod tests {
         // partition, even though replication needs communication
         let t = ex9_ab_nonempty().unwrap();
         let sch = Schema::new().with("A", 1).with("B", 1);
-        let input =
-            Instance::from_facts(sch, vec![fact!("A", 1), fact!("B", 2)]).unwrap();
+        let input = Instance::from_facts(sch, vec![fact!("A", 1), fact!("B", 2)]).unwrap();
         let expected = Relation::nullary_true();
         let net = Network::line(2).unwrap();
         let v = find_coordination_free_partition(

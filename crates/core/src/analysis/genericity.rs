@@ -65,8 +65,9 @@ pub fn check_generic(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut checked = 0usize;
     for instance in pool {
-        let mut isos: Vec<Iso> =
-            (0..permutations).map(|_| random_adom_permutation(instance, &mut rng)).collect();
+        let mut isos: Vec<Iso> = (0..permutations)
+            .map(|_| random_adom_permutation(instance, &mut rng))
+            .collect();
         isos.push(fresh_renaming(instance, seed));
         for iso in isos {
             let lhs = query.eval(&iso.apply_instance(instance))?;
@@ -92,8 +93,7 @@ mod tests {
     fn pool() -> Vec<Instance> {
         let sch = Schema::new().with("E", 2);
         vec![
-            Instance::from_facts(sch.clone(), vec![fact!("E", 1, 2), fact!("E", 2, 3)])
-                .unwrap(),
+            Instance::from_facts(sch.clone(), vec![fact!("E", 1, 2), fact!("E", 2, 3)]).unwrap(),
             Instance::from_facts(sch, vec![fact!("E", 5, 5)]).unwrap(),
         ]
     }

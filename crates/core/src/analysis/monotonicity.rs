@@ -62,20 +62,22 @@ pub fn check_monotone(
     for full in pool {
         // the chain ∅ ⊆ I is always included
         let empty = Instance::empty(full.schema().clone());
-        let pairs = std::iter::once((empty, full.clone())).chain((0..samples_per_instance).map(
-            |_| {
+        let pairs =
+            std::iter::once((empty, full.clone())).chain((0..samples_per_instance).map(|_| {
                 let large = random_subinstance(full, 0.8, &mut rng);
                 let small = random_subinstance(&large, 0.6, &mut rng);
                 (small, large)
-            },
-        ));
+            }));
         for (small, large) in pairs {
             debug_assert!(small.is_subinstance_of(&large));
             let q_small = query.eval(&small)?;
             let q_large = query.eval(&large)?;
             checked += 1;
             if !q_small.is_subset(&q_large) {
-                return Ok(MonotonicityVerdict::Violation { smaller: small, larger: large });
+                return Ok(MonotonicityVerdict::Violation {
+                    smaller: small,
+                    larger: large,
+                });
             }
         }
     }
@@ -85,7 +87,7 @@ pub fn check_monotone(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rtx_query::{atom, CqBuilder, Formula, FoQuery, Term, UcqQuery};
+    use rtx_query::{atom, CqBuilder, FoQuery, Formula, Term, UcqQuery};
     use rtx_relational::{fact, Schema};
 
     fn pool() -> Vec<Instance> {
@@ -98,7 +100,12 @@ mod tests {
             .unwrap(),
             Instance::from_facts(
                 sch,
-                vec![fact!("E", 1, 1), fact!("S", 1), fact!("S", 2), fact!("S", 3)],
+                vec![
+                    fact!("E", 1, 1),
+                    fact!("S", 1),
+                    fact!("S", 2),
+                    fact!("S", 3),
+                ],
             )
             .unwrap(),
         ]

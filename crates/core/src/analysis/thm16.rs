@@ -60,9 +60,16 @@ pub fn thm16_scenario(
     }
     let mut fragments: BTreeMap<rtx_net::NodeId, Instance> = BTreeMap::new();
     for (i, node) in chord.node_set().into_iter().enumerate() {
-        let frag = if i == 2 { difference.clone() } else { smaller.clone() };
+        let frag = if i == 2 {
+            difference.clone()
+        } else {
+            smaller.clone()
+        };
         // schemas must match the full instance's schema
-        fragments.insert(node, frag.widen(larger.schema().clone()).map_err(NetError::Rel)?);
+        fragments.insert(
+            node,
+            frag.widen(larger.schema().clone()).map_err(NetError::Rel)?,
+        );
     }
     let h_prime = HorizontalPartition::new(&chord, larger, fragments)?;
     let on_chord = run(
@@ -113,10 +120,8 @@ mod tests {
     fn tc_transfer_holds() {
         let t = ex3_transitive_closure(true).unwrap();
         let sch = Schema::new().with("S", 2);
-        let smaller =
-            Instance::from_facts(sch.clone(), vec![fact!("S", 1, 2)]).unwrap();
-        let larger =
-            Instance::from_facts(sch, vec![fact!("S", 1, 2), fact!("S", 2, 3)]).unwrap();
+        let smaller = Instance::from_facts(sch.clone(), vec![fact!("S", 1, 2)]).unwrap();
+        let larger = Instance::from_facts(sch, vec![fact!("S", 1, 2), fact!("S", 2, 3)]).unwrap();
         let out = thm16_scenario(&t, &smaller, &larger, 300_000).unwrap();
         assert!(out.preserved);
         assert_eq!(out.output_on_chord.len(), 3);

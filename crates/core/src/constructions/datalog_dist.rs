@@ -15,8 +15,8 @@
 use crate::constructions::flood::FloodMode;
 use crate::constructions::{arg_vars, known_input_views, msg_rel, store_rel};
 use rtx_query::{
-    Atom, CopyQuery, CqBuilder, CqRule, EvalError, Literal, Program, QueryRef, Rule, Term,
-    TpQuery, UcqQuery, ViewQuery,
+    Atom, CopyQuery, CqBuilder, CqRule, EvalError, Literal, Program, QueryRef, Rule, Term, TpQuery,
+    UcqQuery, ViewQuery,
 };
 use rtx_relational::{RelName, Schema};
 use rtx_transducer::{Transducer, TransducerBuilder};
@@ -39,14 +39,19 @@ pub fn distribute_datalog(
         });
     }
     let answer_arity = program.signature().arity(answer).ok_or_else(|| {
-        EvalError::Rel(rtx_relational::RelError::UnknownRelation { rel: answer.clone() })
+        EvalError::Rel(rtx_relational::RelError::UnknownRelation {
+            rel: answer.clone(),
+        })
     })?;
 
     let edb: Schema = program
         .edb_predicates()
         .into_iter()
         .map(|r| {
-            let a = program.signature().arity(&r).expect("signature lists every predicate");
+            let a = program
+                .signature()
+                .arity(&r)
+                .expect("signature lists every predicate");
             (r, a)
         })
         .collect();
@@ -58,7 +63,9 @@ pub fn distribute_datalog(
     for (r, k) in edb.iter() {
         let msg = msg_rel(r);
         let store = store_rel(r);
-        b = b.message_relation(msg.clone(), k).memory_relation(store.clone(), k);
+        b = b
+            .message_relation(msg.clone(), k)
+            .memory_relation(store.clone(), k);
         let vars = arg_vars(k);
         let local = Atom::new(r.clone(), vars.clone());
         let msg_atom = Atom::new(msg.clone(), vars.clone());
@@ -66,7 +73,9 @@ pub fn distribute_datalog(
         let send_rules = match mode {
             FloodMode::Naive => vec![
                 CqBuilder::head(vars.clone()).when(local.clone()).build()?,
-                CqBuilder::head(vars.clone()).when(msg_atom.clone()).build()?,
+                CqBuilder::head(vars.clone())
+                    .when(msg_atom.clone())
+                    .build()?,
             ],
             FloodMode::Dedup => vec![
                 CqBuilder::head(vars.clone())
@@ -132,14 +141,9 @@ pub fn datalog_from_transducer_rules(
     Program::new(rules)
 }
 
-fn convert_rule(
-    head_pred: &RelName,
-    cq: &CqRule,
-    rules: &mut Vec<Rule>,
-) -> Result<(), EvalError> {
+fn convert_rule(head_pred: &RelName, cq: &CqRule, rules: &mut Vec<Rule>) -> Result<(), EvalError> {
     let head = Atom::new(head_pred.clone(), cq.head().to_vec());
-    let body: Vec<Literal> =
-        cq.positive().iter().cloned().map(Literal::Pos).collect();
+    let body: Vec<Literal> = cq.positive().iter().cloned().map(Literal::Pos).collect();
     rules.push(Rule::new(head, body)?);
     Ok(())
 }
@@ -149,7 +153,10 @@ fn convert_rule(
 pub fn transitive_closure_program() -> Program {
     let t_copy = Rule::new(
         Atom::new("T", vec![Term::var("X"), Term::var("Y")]),
-        vec![Literal::Pos(Atom::new("E", vec![Term::var("X"), Term::var("Y")]))],
+        vec![Literal::Pos(Atom::new(
+            "E",
+            vec![Term::var("X"), Term::var("Y")],
+        ))],
     )
     .expect("safe rule");
     let t_step = Rule::new(
@@ -182,16 +189,14 @@ mod tests {
 
     #[test]
     fn tp_transducer_is_oblivious_and_inflationary() {
-        let t =
-            distribute_datalog(&transitive_closure_program(), &"T".into(), FloodMode::Dedup)
-                .unwrap();
+        let t = distribute_datalog(&transitive_closure_program(), &"T".into(), FloodMode::Dedup)
+            .unwrap();
         let c = Classification::of(&t);
         assert!(c.oblivious);
         assert!(c.inflationary, "Datalog evaluation needs no deletions");
         // with naive flooding, fully monotone
-        let t2 =
-            distribute_datalog(&transitive_closure_program(), &"T".into(), FloodMode::Naive)
-                .unwrap();
+        let t2 = distribute_datalog(&transitive_closure_program(), &"T".into(), FloodMode::Naive)
+            .unwrap();
         assert!(Classification::of(&t2).monotone);
     }
 
@@ -202,13 +207,18 @@ mod tests {
             .unwrap()
             .eval(&input)
             .unwrap();
-        let t =
-            distribute_datalog(&transitive_closure_program(), &"T".into(), FloodMode::Dedup)
-                .unwrap();
+        let t = distribute_datalog(&transitive_closure_program(), &"T".into(), FloodMode::Dedup)
+            .unwrap();
         let net = Network::ring(4).unwrap();
         let p = HorizontalPartition::round_robin(&net, &input);
-        let out =
-            run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(500_000)).unwrap();
+        let out = run(
+            &net,
+            &t,
+            &p,
+            &mut FifoRoundRobin::new(),
+            &RunBudget::steps(500_000),
+        )
+        .unwrap();
         assert!(out.quiescent);
         assert_eq!(out.output, expected);
         // every node individually converged to the full closure
@@ -279,7 +289,8 @@ mod tests {
                 .build()
                 .unwrap(),
         );
-        assert!(datalog_from_transducer_rules(&[("T".into(), bad)], (&"A".into(), &out_rule))
-            .is_err());
+        assert!(
+            datalog_from_transducer_rules(&[("T".into(), bad)], (&"A".into(), &out_rule)).is_err()
+        );
     }
 }

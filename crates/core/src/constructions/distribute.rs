@@ -46,10 +46,7 @@ pub fn distribute_monotone(
 }
 
 /// Theorem 6(3): distribute a while-program query.
-pub fn distribute_while(
-    program: WhileProgram,
-    input: &Schema,
-) -> Result<Transducer, EvalError> {
+pub fn distribute_while(program: WhileProgram, input: &Schema) -> Result<Transducer, EvalError> {
     distribute_any(Arc::new(WhileQuery::new(program)), input)
 }
 
@@ -61,8 +58,7 @@ mod tests {
         RunBudget,
     };
     use rtx_query::{
-        atom, CqBuilder, DatalogQuery, Formula, FoQuery, NativeQuery, Query, Stmt, Term,
-        UcqQuery,
+        atom, CqBuilder, DatalogQuery, FoQuery, Formula, NativeQuery, Query, Stmt, Term, UcqQuery,
     };
     use rtx_relational::{fact, Instance, RelName, Relation, Tuple, Value};
     use rtx_transducer::Classification;
@@ -77,15 +73,11 @@ mod tests {
     }
 
     fn tc_query() -> QueryRef {
-        let p = rtx_query::parser::parse_program(
-            "t(X,Y) :- e2(X,Y). t(X,Z) :- t(X,Y), e2(Y,Z).",
-        )
-        .unwrap();
+        let p = rtx_query::parser::parse_program("t(X,Y) :- e2(X,Y). t(X,Z) :- t(X,Y), e2(Y,Z).")
+            .unwrap();
         // rename: our input relation is E
-        let p = rtx_query::parser::parse_program(
-            "T(X,Y) :- E(X,Y). T(X,Z) :- T(X,Y), E(Y,Z).",
-        )
-        .unwrap_or(p);
+        let p = rtx_query::parser::parse_program("T(X,Y) :- E(X,Y). T(X,Z) :- T(X,Y), E(Y,Z).")
+            .unwrap_or(p);
         Arc::new(DatalogQuery::new(p, "T").unwrap())
     }
 
@@ -110,21 +102,23 @@ mod tests {
         let net = Network::line(3).unwrap();
         // S empty: query true
         let empty_s =
-            Instance::from_facts(input_schema.clone(), vec![fact!("K", 1), fact!("K", 2)])
-                .unwrap();
+            Instance::from_facts(input_schema.clone(), vec![fact!("K", 1), fact!("K", 2)]).unwrap();
         let p = HorizontalPartition::round_robin(&net, &empty_s);
-        let out =
-            run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(500_000)).unwrap();
+        let out = run(
+            &net,
+            &t,
+            &p,
+            &mut FifoRoundRobin::new(),
+            &RunBudget::steps(500_000),
+        )
+        .unwrap();
         assert!(out.quiescent);
         assert!(out.output.as_bool(), "S is empty: output true");
 
         // S nonempty: query false — and crucially, no node may ever output
         // true even transiently (outputs cannot be retracted).
-        let with_s = Instance::from_facts(
-            input_schema.clone(),
-            vec![fact!("K", 1), fact!("S", 9)],
-        )
-        .unwrap();
+        let with_s =
+            Instance::from_facts(input_schema.clone(), vec![fact!("K", 1), fact!("S", 9)]).unwrap();
         let p = HorizontalPartition::round_robin(&net, &with_s);
         for seed in [1u64, 2, 3] {
             let out = run(
@@ -147,13 +141,19 @@ mod tests {
         let c = Classification::of(&t);
         assert!(c.oblivious);
         assert!(c.inflationary);
-        assert!(c.monotone, "naive flood + monotone Datalog = monotone transducer");
+        assert!(
+            c.monotone,
+            "naive flood + monotone Datalog = monotone transducer"
+        );
 
         let net = Network::ring(3).unwrap();
         let p = HorizontalPartition::round_robin(&net, &input);
         let budget = RunBudget::steps(200_000).until_output(expected_tc(&input));
         let out = run(&net, &t, &p, &mut FifoRoundRobin::new(), &budget).unwrap();
-        assert!(out.reached_target, "distributed TC converges to the true closure");
+        assert!(
+            out.reached_target,
+            "distributed TC converges to the true closure"
+        );
     }
 
     #[test]
@@ -162,8 +162,14 @@ mod tests {
         let t = distribute_monotone(tc_query(), input.schema(), FloodMode::Dedup).unwrap();
         let net = Network::star(4).unwrap();
         let p = HorizontalPartition::round_robin(&net, &input);
-        let out =
-            run(&net, &t, &p, &mut LifoRoundRobin::new(), &RunBudget::steps(200_000)).unwrap();
+        let out = run(
+            &net,
+            &t,
+            &p,
+            &mut LifoRoundRobin::new(),
+            &RunBudget::steps(200_000),
+        )
+        .unwrap();
         assert!(out.quiescent);
         assert_eq!(out.output, expected_tc(&input));
     }
@@ -179,10 +185,18 @@ mod tests {
         let net = Network::line(5).unwrap();
         let p = HorizontalPartition::round_robin(&net, &input);
         for steps in [5usize, 20, 60, 200] {
-            let out =
-                run(&net, &t, &p, &mut RandomScheduler::seeded(7), &RunBudget::steps(steps))
-                    .unwrap();
-            assert!(out.output.is_subset(&truth), "partial output ⊆ Q(I) at {steps} steps");
+            let out = run(
+                &net,
+                &t,
+                &p,
+                &mut RandomScheduler::seeded(7),
+                &RunBudget::steps(steps),
+            )
+            .unwrap();
+            assert!(
+                out.output.is_subset(&truth),
+                "partial output ⊆ Q(I) at {steps} steps"
+            );
         }
     }
 
@@ -190,16 +204,19 @@ mod tests {
     fn theorem_6_1_with_native_query_language() {
         // L computationally complete: compute |S| mod 3 == 0 (far outside FO)
         let input_schema = Schema::new().with("S", 1);
-        let q: QueryRef = Arc::new(
-            NativeQuery::new("card-mod-3", 0, [RelName::new("S")], |db| {
+        let q: QueryRef = Arc::new(NativeQuery::new(
+            "card-mod-3",
+            0,
+            [RelName::new("S")],
+            |db| {
                 let n = db.relation(&"S".into())?.len();
                 Ok(if n % 3 == 0 {
                     Relation::nullary_true()
                 } else {
                     Relation::nullary_false()
                 })
-            }),
-        );
+            },
+        ));
         let t = distribute_any(q, &input_schema).unwrap();
         let net = Network::clique(3).unwrap();
         let input = Instance::from_facts(
@@ -208,8 +225,14 @@ mod tests {
         )
         .unwrap();
         let p = HorizontalPartition::round_robin(&net, &input);
-        let out =
-            run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(500_000)).unwrap();
+        let out = run(
+            &net,
+            &t,
+            &p,
+            &mut FifoRoundRobin::new(),
+            &RunBudget::steps(500_000),
+        )
+        .unwrap();
         assert!(out.quiescent);
         assert!(out.output.as_bool(), "|S| = 3 ≡ 0 (mod 3)");
     }
@@ -250,12 +273,20 @@ mod tests {
         let t = distribute_while(program, input.schema()).unwrap();
         let net = Network::line(2).unwrap();
         let p = HorizontalPartition::round_robin(&net, &input);
-        let out =
-            run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(500_000)).unwrap();
+        let out = run(
+            &net,
+            &t,
+            &p,
+            &mut FifoRoundRobin::new(),
+            &RunBudget::steps(500_000),
+        )
+        .unwrap();
         assert!(out.quiescent);
         let mut expected = Relation::empty(2);
         for (a, b) in [(1i64, 2i64), (2, 3), (1, 3)] {
-            expected.insert(Tuple::new(vec![Value::int(a), Value::int(b)])).unwrap();
+            expected
+                .insert(Tuple::new(vec![Value::int(a), Value::int(b)]))
+                .unwrap();
         }
         assert_eq!(out.output, expected);
     }

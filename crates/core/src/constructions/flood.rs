@@ -54,7 +54,9 @@ pub fn flood_transducer(
     for (r, k) in input.iter() {
         let msg = msg_rel(r);
         let store = store_rel(r);
-        b = b.message_relation(msg.clone(), k).memory_relation(store.clone(), k);
+        b = b
+            .message_relation(msg.clone(), k)
+            .memory_relation(store.clone(), k);
 
         let vars = arg_vars(k);
         let local_atom = Atom::new(r.clone(), vars.clone());
@@ -64,8 +66,12 @@ pub fn flood_transducer(
         // snd Msg_R
         let send_rules = match mode {
             FloodMode::Naive => vec![
-                CqBuilder::head(vars.clone()).when(local_atom.clone()).build()?,
-                CqBuilder::head(vars.clone()).when(msg_atom.clone()).build()?,
+                CqBuilder::head(vars.clone())
+                    .when(local_atom.clone())
+                    .build()?,
+                CqBuilder::head(vars.clone())
+                    .when(msg_atom.clone())
+                    .build()?,
             ],
             FloodMode::Dedup => vec![
                 CqBuilder::head(vars.clone())
@@ -125,8 +131,12 @@ mod tests {
 
     #[test]
     fn naive_flood_is_oblivious_inflationary_monotone() {
-        let t = flood_transducer(&Schema::new().with("S", 1), FloodMode::Naive, Some(identity_output()))
-            .unwrap();
+        let t = flood_transducer(
+            &Schema::new().with("S", 1),
+            FloodMode::Naive,
+            Some(identity_output()),
+        )
+        .unwrap();
         let c = Classification::of(&t);
         assert!(c.oblivious, "Lemma 5(2): Id and All are not needed");
         assert!(c.inflationary, "no deletions are necessary");
@@ -135,8 +145,12 @@ mod tests {
 
     #[test]
     fn dedup_flood_is_oblivious_inflationary_but_not_syntactically_monotone() {
-        let t = flood_transducer(&Schema::new().with("S", 1), FloodMode::Dedup, Some(identity_output()))
-            .unwrap();
+        let t = flood_transducer(
+            &Schema::new().with("S", 1),
+            FloodMode::Dedup,
+            Some(identity_output()),
+        )
+        .unwrap();
         let c = Classification::of(&t);
         assert!(c.oblivious);
         assert!(c.inflationary);
@@ -147,11 +161,17 @@ mod tests {
     fn dedup_flood_disseminates_and_quiesces() {
         let net = Network::ring(5).unwrap();
         let input = input_s(&[1, 2, 3]);
-        let t = flood_transducer(input.schema(), FloodMode::Dedup, Some(identity_output()))
-            .unwrap();
+        let t =
+            flood_transducer(input.schema(), FloodMode::Dedup, Some(identity_output())).unwrap();
         let p = HorizontalPartition::round_robin(&net, &input);
-        let out = run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(20_000))
-            .unwrap();
+        let out = run(
+            &net,
+            &t,
+            &p,
+            &mut FifoRoundRobin::new(),
+            &RunBudget::steps(20_000),
+        )
+        .unwrap();
         assert!(out.quiescent);
         assert_eq!(out.output.len(), 3);
         // every node's store holds all facts
@@ -165,28 +185,40 @@ mod tests {
     fn naive_flood_reaches_output_under_budget() {
         let net = Network::line(3).unwrap();
         let input = input_s(&[4, 5]);
-        let t = flood_transducer(input.schema(), FloodMode::Naive, Some(identity_output()))
-            .unwrap();
+        let t =
+            flood_transducer(input.schema(), FloodMode::Naive, Some(identity_output())).unwrap();
         let p = HorizontalPartition::round_robin(&net, &input);
         let target = Relation::from_tuples(
             1,
-            input.relation(&"S".into()).unwrap().iter().cloned().collect::<Vec<_>>(),
+            input
+                .relation(&"S".into())
+                .unwrap()
+                .iter()
+                .cloned()
+                .collect::<Vec<_>>(),
         )
         .unwrap();
         let budget = RunBudget::steps(50_000).until_output(target);
         let out = run(&net, &t, &p, &mut RandomScheduler::seeded(3), &budget).unwrap();
-        assert!(out.reached_target, "output quiesces even though buffers do not");
+        assert!(
+            out.reached_target,
+            "output quiesces even though buffers do not"
+        );
         assert!(!out.quiescent);
     }
 
     #[test]
     fn dedup_flood_consistent_across_schedulers_topologies_partitions() {
         let input = input_s(&[1, 2, 3, 4]);
-        let t = flood_transducer(input.schema(), FloodMode::Dedup, Some(identity_output()))
-            .unwrap();
+        let t =
+            flood_transducer(input.schema(), FloodMode::Dedup, Some(identity_output())).unwrap();
         let budget = RunBudget::steps(100_000);
         let mut outputs = Vec::new();
-        for net in [Network::line(4).unwrap(), Network::star(4).unwrap(), Network::clique(4).unwrap()] {
+        for net in [
+            Network::line(4).unwrap(),
+            Network::star(4).unwrap(),
+            Network::clique(4).unwrap(),
+        ] {
             for p in [
                 HorizontalPartition::replicate(&net, &input),
                 HorizontalPartition::round_robin(&net, &input),
@@ -210,8 +242,8 @@ mod tests {
         // the coordination-freeness witness for flooding-based transducers
         let net = Network::ring(4).unwrap();
         let input = input_s(&[7, 8]);
-        let t = flood_transducer(input.schema(), FloodMode::Naive, Some(identity_output()))
-            .unwrap();
+        let t =
+            flood_transducer(input.schema(), FloodMode::Naive, Some(identity_output())).unwrap();
         let p = HorizontalPartition::replicate(&net, &input);
         let probe = run_heartbeats_only(&net, &t, &p, 20).unwrap();
         assert_eq!(probe.output.len(), 2, "full output from heartbeats alone");

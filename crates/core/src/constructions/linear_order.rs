@@ -19,8 +19,8 @@
 use crate::constructions::multicast::install_multicast;
 use crate::constructions::{arg_vars, multicast_input_views, ready_rel, seen_cast_rel};
 use rtx_query::{
-    Atom, CqBuilder, DatalogQuery, EvalError, Formula, FoQuery, GatedQuery, Literal,
-    Program, QueryRef, Rule, Term, UcqQuery, UnionQuery, ViewQuery,
+    Atom, CqBuilder, DatalogQuery, EvalError, FoQuery, Formula, GatedQuery, Literal, Program,
+    QueryRef, Rule, Term, UcqQuery, UnionQuery, ViewQuery,
 };
 use rtx_relational::{RelName, Schema};
 use rtx_transducer::{Transducer, TransducerBuilder};
@@ -48,10 +48,7 @@ pub fn elem_sent_rel() -> RelName {
 
 /// Install the order-construction machinery on top of the multicast
 /// protocol; returns the extended builder.
-fn install_order(
-    mut b: TransducerBuilder,
-    input: &Schema,
-) -> Result<TransducerBuilder, EvalError> {
+fn install_order(mut b: TransducerBuilder, input: &Schema) -> Result<TransducerBuilder, EvalError> {
     b = b
         .message_relation(elem_rel(), 1)
         .memory_relation(seen_elem_rel(), 1)
@@ -94,7 +91,9 @@ fn install_order(
     b = b.insert(
         elem_sent_rel(),
         Arc::new(UcqQuery::single(
-            CqBuilder::head(vec![]).when(Atom::new(ready_rel(), vec![])).build()?,
+            CqBuilder::head(vec![])
+                .when(Atom::new(ready_rel(), vec![]))
+                .build()?,
         )),
     );
 
@@ -102,7 +101,9 @@ fn install_order(
     b = b.insert(
         seen_elem_rel(),
         Arc::new(UcqQuery::single(
-            CqBuilder::head(vec![x.clone()]).when(elem_atom.clone()).build()?,
+            CqBuilder::head(vec![x.clone()])
+                .when(elem_atom.clone())
+                .build()?,
         )),
     );
 
@@ -128,8 +129,10 @@ fn order_complete_sentence(input: &Schema) -> Result<QueryRef, EvalError> {
         let vars: Vec<String> = (0..=k).map(|i| format!("A{i}")).collect();
         // A0 is the src tag; positions 1..=k are data.
         for j in 1..=k {
-            let atom =
-                Atom::new(seen_cast_rel(r), vars.iter().map(rtx_query::Term::var).collect());
+            let atom = Atom::new(
+                seen_cast_rel(r),
+                vars.iter().map(rtx_query::Term::var).collect(),
+            );
             let mut bound: Vec<&str> = Vec::new();
             for (idx, v) in vars.iter().enumerate() {
                 if idx != j {
@@ -309,10 +312,8 @@ pub fn is_total_order_over(
             if a == bv {
                 continue;
             }
-            let ab = order
-                .contains(&rtx_relational::Tuple::new(vec![a.clone(), bv.clone()]));
-            let ba = order
-                .contains(&rtx_relational::Tuple::new(vec![bv.clone(), a.clone()]));
+            let ab = order.contains(&rtx_relational::Tuple::new(vec![a.clone(), bv.clone()]));
+            let ba = order.contains(&rtx_relational::Tuple::new(vec![bv.clone(), a.clone()]));
             if ab == ba {
                 return false;
             }
@@ -322,12 +323,9 @@ pub fn is_total_order_over(
     for a in expected {
         for bv in expected {
             for c in expected {
-                let ab = order
-                    .contains(&rtx_relational::Tuple::new(vec![a.clone(), bv.clone()]));
-                let bc = order
-                    .contains(&rtx_relational::Tuple::new(vec![bv.clone(), c.clone()]));
-                let ac = order
-                    .contains(&rtx_relational::Tuple::new(vec![a.clone(), c.clone()]));
+                let ab = order.contains(&rtx_relational::Tuple::new(vec![a.clone(), bv.clone()]));
+                let bc = order.contains(&rtx_relational::Tuple::new(vec![bv.clone(), c.clone()]));
+                let ac = order.contains(&rtx_relational::Tuple::new(vec![a.clone(), c.clone()]));
                 if ab && bc && !ac {
                     return false;
                 }
@@ -340,9 +338,7 @@ pub fn is_total_order_over(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rtx_net::{
-        run, FifoRoundRobin, HorizontalPartition, Network, RandomScheduler, RunBudget,
-    };
+    use rtx_net::{run, FifoRoundRobin, HorizontalPartition, Network, RandomScheduler, RunBudget};
     use rtx_relational::{fact, Instance, Value};
     use std::collections::BTreeSet;
 
@@ -360,8 +356,14 @@ mod tests {
         let input = input_s(&[1, 2, 3, 4]);
         let t = linear_order_transducer(input.schema()).unwrap();
         let p = HorizontalPartition::round_robin(&net, &input);
-        let out = run(&net, &t, &p, &mut RandomScheduler::seeded(5), &RunBudget::steps(500_000))
-            .unwrap();
+        let out = run(
+            &net,
+            &t,
+            &p,
+            &mut RandomScheduler::seeded(5),
+            &RunBudget::steps(500_000),
+        )
+        .unwrap();
         assert!(out.quiescent);
         let expected: BTreeSet<Value> = input.adom();
         for n in net.nodes() {
@@ -393,7 +395,10 @@ mod tests {
             assert!(out.quiescent);
             let expected: BTreeSet<Value> = input.adom();
             for n in net.nodes() {
-                assert!(is_total_order_over(out.final_config.state(n).unwrap(), &expected));
+                assert!(is_total_order_over(
+                    out.final_config.state(n).unwrap(),
+                    &expected
+                ));
             }
         }
     }
@@ -410,9 +415,14 @@ mod tests {
         ] {
             let input = input_s(vals);
             let p = HorizontalPartition::round_robin(&net, &input);
-            let out =
-                run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(500_000))
-                    .unwrap();
+            let out = run(
+                &net,
+                &t,
+                &p,
+                &mut FifoRoundRobin::new(),
+                &RunBudget::steps(500_000),
+            )
+            .unwrap();
             assert!(out.quiescent, "run for {vals:?} did not quiesce");
             assert_eq!(out.output.as_bool(), expected, "parity of {vals:?}");
         }
@@ -424,8 +434,14 @@ mod tests {
         let t = even_cardinality_transducer().unwrap();
         let input = input_s(&[]);
         let p = HorizontalPartition::round_robin(&net, &input);
-        let out =
-            run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(500_000)).unwrap();
+        let out = run(
+            &net,
+            &t,
+            &p,
+            &mut FifoRoundRobin::new(),
+            &RunBudget::steps(500_000),
+        )
+        .unwrap();
         assert!(out.quiescent);
         assert!(out.output.as_bool(), "|∅| = 0 is even");
     }
@@ -458,8 +474,14 @@ mod tests {
         let t = even_cardinality_transducer().unwrap();
         let input = input_s(&[1, 2]);
         let p = HorizontalPartition::replicate(&net, &input);
-        let out =
-            run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(50_000)).unwrap();
+        let out = run(
+            &net,
+            &t,
+            &p,
+            &mut FifoRoundRobin::new(),
+            &RunBudget::steps(50_000),
+        )
+        .unwrap();
         assert!(out.quiescent);
         assert!(
             out.output.is_empty(),

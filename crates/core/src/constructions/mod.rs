@@ -73,7 +73,9 @@ pub(crate) fn arg_vars(k: usize) -> Vec<Term> {
 /// A nullary constant-true query (`← ⊤` as a UCQ).
 pub(crate) fn const_true() -> QueryRef {
     Arc::new(UcqQuery::single(
-        CqBuilder::head(vec![]).build().expect("variable-free rule is safe"),
+        CqBuilder::head(vec![])
+            .build()
+            .expect("variable-free rule is safe"),
     ))
 }
 
@@ -157,7 +159,10 @@ mod tests {
         let sch = Schema::new().with("SeenCast_E", 3);
         let db = Instance::from_facts(
             sch,
-            vec![fact!("SeenCast_E", "n0", 1, 2), fact!("SeenCast_E", "n1", 1, 2)],
+            vec![
+                fact!("SeenCast_E", "n0", 1, 2),
+                fact!("SeenCast_E", "n1", 1, 2),
+            ],
         )
         .unwrap();
         let rel = views[0].1.eval(&db).unwrap();

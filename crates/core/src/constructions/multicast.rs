@@ -19,8 +19,8 @@ use crate::constructions::{
     seen_cast_rel, seen_done_rel,
 };
 use rtx_query::{
-    Atom, CopyQuery, CqBuilder, EvalError, Formula, FoQuery, GatedQuery, QueryRef, Term,
-    UcqQuery, UnionQuery, ViewQuery,
+    Atom, CopyQuery, CqBuilder, EvalError, FoQuery, Formula, GatedQuery, QueryRef, Term, UcqQuery,
+    UnionQuery, ViewQuery,
 };
 use rtx_relational::{RelName, Schema};
 use rtx_transducer::{Transducer, TransducerBuilder, SYS_ALL, SYS_ID};
@@ -36,7 +36,10 @@ pub fn multicast_transducer(
     input: &Schema,
     output: Option<QueryRef>,
 ) -> Result<Transducer, EvalError> {
-    let mut b = install_multicast(TransducerBuilder::new("multicast").input_schema(input), input)?;
+    let mut b = install_multicast(
+        TransducerBuilder::new("multicast").input_schema(input),
+        input,
+    )?;
     if let Some(q) = output {
         let views = multicast_input_views(input)?;
         let gated = GatedQuery::new(
@@ -55,7 +58,6 @@ pub(crate) fn install_multicast(
     mut b: TransducerBuilder,
     input: &Schema,
 ) -> Result<TransducerBuilder, EvalError> {
-
     // message + memory schema
     for (r, k) in input.iter() {
         b = b
@@ -113,7 +115,9 @@ pub(crate) fn install_multicast(
                     .when(id_src.clone())
                     .when(local.clone())
                     .build()?,
-                CqBuilder::head(src_args.clone()).when(cast.clone()).build()?,
+                CqBuilder::head(src_args.clone())
+                    .when(cast.clone())
+                    .build()?,
             ],
         )?;
         b = b.insert(seen_cast_rel(r), Arc::new(ins_seen_cast));
@@ -150,7 +154,9 @@ pub(crate) fn install_multicast(
                     .when(local.clone())
                     .when(id_me.clone())
                     .build()?,
-                CqBuilder::head(ack_args.clone()).when(ack.clone()).build()?,
+                CqBuilder::head(ack_args.clone())
+                    .when(ack.clone())
+                    .build()?,
             ],
         )?;
         b = b.insert(seen_ack_rel(r), Arc::new(ins_seen_ack));
@@ -226,7 +232,10 @@ pub(crate) fn install_multicast(
     );
     b = b.insert(
         seen_done_rel(),
-        Arc::new(UnionQuery::new(2, vec![Arc::new(ins_done_local), Arc::new(ins_done_rcv)])?),
+        Arc::new(UnionQuery::new(
+            2,
+            vec![Arc::new(ins_done_local), Arc::new(ins_done_rcv)],
+        )?),
     );
 
     // ins Ready := ∃me ( Id(me) ∧ ∀v (All(v) → SeenDone(v, me)) ).
@@ -275,7 +284,14 @@ mod tests {
     fn run_to_quiescence(net: &Network, input: &Instance) -> rtx_net::RunOutcome {
         let t = multicast_transducer(input.schema(), None).unwrap();
         let p = HorizontalPartition::round_robin(net, input);
-        run(net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(500_000)).unwrap()
+        run(
+            net,
+            &t,
+            &p,
+            &mut FifoRoundRobin::new(),
+            &RunBudget::steps(500_000),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -384,8 +400,14 @@ mod tests {
         let input = input_s(&[1, 2]);
         let t = multicast_transducer(input.schema(), Some(out_q)).unwrap();
         let p = HorizontalPartition::round_robin(&net, &input);
-        let res = run(&net, &t, &p, &mut LifoRoundRobin::new(), &RunBudget::steps(500_000))
-            .unwrap();
+        let res = run(
+            &net,
+            &t,
+            &p,
+            &mut LifoRoundRobin::new(),
+            &RunBudget::steps(500_000),
+        )
+        .unwrap();
         assert!(res.quiescent);
         assert_eq!(res.output.len(), 2, "full identity once Ready");
         // per-node outputs are complete too (every node got everything)

@@ -20,7 +20,7 @@
 //! comparing against direct [`rtx_query::WhileQuery`] evaluation.
 
 use rtx_query::{
-    Atom, CopyQuery, EvalError, Formula, FoQuery, GatedQuery, Guard, QueryRef, Stmt, UnionQuery,
+    Atom, CopyQuery, EvalError, FoQuery, Formula, GatedQuery, Guard, QueryRef, Stmt, UnionQuery,
     WhileProgram,
 };
 use rtx_relational::{RelName, Schema};
@@ -31,10 +31,21 @@ use std::sync::Arc;
 /// A flattened while-program instruction.
 #[derive(Clone, Debug)]
 enum Instr {
-    Assign { target: RelName, query: QueryRef },
-    Accumulate { target: RelName, query: QueryRef },
+    Assign {
+        target: RelName,
+        query: QueryRef,
+    },
+    Accumulate {
+        target: RelName,
+        query: QueryRef,
+    },
     /// Test a relation for (non)emptiness and branch.
-    Branch { rel: RelName, jump_if_nonempty: bool, on_jump: usize, on_fall: usize },
+    Branch {
+        rel: RelName,
+        jump_if_nonempty: bool,
+        on_jump: usize,
+        on_fall: usize,
+    },
     Jump(usize),
     Halt,
 }
@@ -42,12 +53,14 @@ enum Instr {
 /// Flatten the statement tree into instructions ending in `Halt`.
 fn compile(stmt: &Stmt, out: &mut Vec<Instr>) {
     match stmt {
-        Stmt::Assign(r, q) => {
-            out.push(Instr::Assign { target: r.clone(), query: q.clone() })
-        }
-        Stmt::Accumulate(r, q) => {
-            out.push(Instr::Accumulate { target: r.clone(), query: q.clone() })
-        }
+        Stmt::Assign(r, q) => out.push(Instr::Assign {
+            target: r.clone(),
+            query: q.clone(),
+        }),
+        Stmt::Accumulate(r, q) => out.push(Instr::Accumulate {
+            target: r.clone(),
+            query: q.clone(),
+        }),
         Stmt::Seq(ss) => {
             for s in ss {
                 compile(s, out);
@@ -66,8 +79,12 @@ fn compile(stmt: &Stmt, out: &mut Vec<Instr>) {
                 // loop while empty ⇒ exit when nonempty
                 Guard::Empty(r) => (r.clone(), true),
             };
-            out[test] =
-                Instr::Branch { rel, jump_if_nonempty, on_jump: after, on_fall: test + 1 };
+            out[test] = Instr::Branch {
+                rel,
+                jump_if_nonempty,
+                on_jump: after,
+                on_fall: test + 1,
+            };
         }
     }
 }
@@ -98,7 +115,11 @@ fn branch_sentence(
     } else {
         Formula::exists(vars.iter().map(String::as_str), Formula::Atom(atom))
     };
-    let test = if want_nonempty { exists } else { Formula::not(exists) };
+    let test = if want_nonempty {
+        exists
+    } else {
+        Formula::not(exists)
+    };
     let f = Formula::and([Formula::Atom(Atom::new(pc.clone(), vec![])), test]);
     Ok(Arc::new(FoQuery::sentence(f)?))
 }
@@ -119,12 +140,9 @@ pub fn compile_while_to_transducer(
 
     let scratch = program.scratch().clone();
     let lookup_arity = |r: &RelName| -> Result<usize, EvalError> {
-        scratch
-            .arity(r)
-            .or_else(|| input.arity(r))
-            .ok_or_else(|| EvalError::Rel(rtx_relational::RelError::UnknownRelation {
-                rel: r.clone(),
-            }))
+        scratch.arity(r).or_else(|| input.arity(r)).ok_or_else(|| {
+            EvalError::Rel(rtx_relational::RelError::UnknownRelation { rel: r.clone() })
+        })
     };
 
     let mut b = TransducerBuilder::new("while-compiled").input_schema(input);
@@ -134,7 +152,9 @@ pub fn compile_while_to_transducer(
     for i in 0..instrs.len() {
         b = b.memory_relation(pc_rel(i), 0);
     }
-    b = b.memory_relation(halted_rel(), 0).memory_relation(started_rel(), 0);
+    b = b
+        .memory_relation(halted_rel(), 0)
+        .memory_relation(started_rel(), 0);
 
     // Per-scratch-relation insertion/deletion parts, and pc successors.
     let mut ins_parts: BTreeMap<RelName, Vec<QueryRef>> = BTreeMap::new();
@@ -150,7 +170,10 @@ pub fn compile_while_to_transducer(
     for (i, instr) in instrs.iter().enumerate() {
         match instr {
             Instr::Assign { target, query } => {
-                ins_parts.entry(target.clone()).or_default().push(gate(i, query.clone()));
+                ins_parts
+                    .entry(target.clone())
+                    .or_default()
+                    .push(gate(i, query.clone()));
                 let arity = lookup_arity(target)?;
                 del_parts
                     .entry(target.clone())
@@ -159,19 +182,31 @@ pub fn compile_while_to_transducer(
                 pc_ins.entry(i + 1).or_default().push(pc_copy(i));
             }
             Instr::Accumulate { target, query } => {
-                ins_parts.entry(target.clone()).or_default().push(gate(i, query.clone()));
+                ins_parts
+                    .entry(target.clone())
+                    .or_default()
+                    .push(gate(i, query.clone()));
                 pc_ins.entry(i + 1).or_default().push(pc_copy(i));
             }
-            Instr::Branch { rel, jump_if_nonempty, on_jump, on_fall } => {
+            Instr::Branch {
+                rel,
+                jump_if_nonempty,
+                on_jump,
+                on_fall,
+            } => {
                 let arity = lookup_arity(rel)?;
-                pc_ins
-                    .entry(*on_jump)
-                    .or_default()
-                    .push(branch_sentence(&pc_rel(i), rel, arity, *jump_if_nonempty)?);
-                pc_ins
-                    .entry(*on_fall)
-                    .or_default()
-                    .push(branch_sentence(&pc_rel(i), rel, arity, !*jump_if_nonempty)?);
+                pc_ins.entry(*on_jump).or_default().push(branch_sentence(
+                    &pc_rel(i),
+                    rel,
+                    arity,
+                    *jump_if_nonempty,
+                )?);
+                pc_ins.entry(*on_fall).or_default().push(branch_sentence(
+                    &pc_rel(i),
+                    rel,
+                    arity,
+                    !*jump_if_nonempty,
+                )?);
             }
             Instr::Jump(t) => {
                 pc_ins.entry(*t).or_default().push(pc_copy(i));
@@ -275,7 +310,14 @@ mod tests {
     fn run_single_node(t: &Transducer, input: &Instance) -> rtx_net::RunOutcome {
         let net = Network::single();
         let p = HorizontalPartition::replicate(&net, input);
-        run(&net, t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(100_000)).unwrap()
+        run(
+            &net,
+            t,
+            &p,
+            &mut FifoRoundRobin::new(),
+            &RunBudget::steps(100_000),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -323,7 +365,9 @@ mod tests {
             let active: usize = (0..64)
                 .filter_map(|i| {
                     let r = pc_rel(i);
-                    cfg.state(&n0).and_then(|st| st.relation(&r).ok()).map(|rel| rel.as_bool())
+                    cfg.state(&n0)
+                        .and_then(|st| st.relation(&r).ok())
+                        .map(|rel| rel.as_bool())
                 })
                 .filter(|b| *b)
                 .count();

@@ -11,9 +11,7 @@
 //! | [`ex15_ping`] | Example 15 | no `Id`, network-topology independent, but **not** coordination-free |
 
 use crate::constructions::const_true;
-use rtx_query::{
-    Atom, CqBuilder, EvalError, Formula, FoQuery, Term, UcqQuery, UnionQuery,
-};
+use rtx_query::{Atom, CqBuilder, EvalError, FoQuery, Formula, Term, UcqQuery, UnionQuery};
 use rtx_relational::RelName;
 use rtx_transducer::{Transducer, TransducerBuilder, SYS_ALL, SYS_ID};
 use std::sync::Arc;
@@ -28,8 +26,14 @@ fn alone_sentence() -> Formula {
     Formula::forall(
         ["U", "V"],
         Formula::or([
-            Formula::not(Formula::Atom(Atom::new(RelName::new(SYS_ALL), vec![Term::var("U")]))),
-            Formula::not(Formula::Atom(Atom::new(RelName::new(SYS_ALL), vec![Term::var("V")]))),
+            Formula::not(Formula::Atom(Atom::new(
+                RelName::new(SYS_ALL),
+                vec![Term::var("U")],
+            ))),
+            Formula::not(Formula::Atom(Atom::new(
+                RelName::new(SYS_ALL),
+                vec![Term::var("V")],
+            ))),
             Formula::eq(Term::var("U"), Term::var("V")),
         ]),
     )
@@ -116,8 +120,14 @@ pub fn ex3_transitive_closure(dedup: bool) -> Result<Transducer, EvalError> {
 
     let send_rules = if dedup {
         vec![
-            CqBuilder::head(pair.clone()).when(s_atom.clone()).unless(r_atom.clone()).build()?,
-            CqBuilder::head(pair.clone()).when(m_atom.clone()).unless(r_atom.clone()).build()?,
+            CqBuilder::head(pair.clone())
+                .when(s_atom.clone())
+                .unless(r_atom.clone())
+                .build()?,
+            CqBuilder::head(pair.clone())
+                .when(m_atom.clone())
+                .unless(r_atom.clone())
+                .build()?,
         ]
     } else {
         vec![
@@ -137,25 +147,33 @@ pub fn ex3_transitive_closure(dedup: bool) -> Result<Transducer, EvalError> {
     let ins_t = vec![
         CqBuilder::head(pair.clone()).when(s_atom).build()?,
         CqBuilder::head(pair.clone()).when(r_atom).build()?,
-        CqBuilder::head(pair.clone()).when(Atom::new("T", pair.clone())).build()?,
+        CqBuilder::head(pair.clone())
+            .when(Atom::new("T", pair.clone()))
+            .build()?,
         CqBuilder::head(vec![xv.clone(), zv.clone()])
             .when(Atom::new("T", vec![xv.clone(), yv.clone()]))
             .when(Atom::new("T", vec![yv.clone(), zv.clone()]))
             .build()?,
     ];
 
-    TransducerBuilder::new(if dedup { "ex3-tc-dedup" } else { "ex3-tc-naive" })
-        .input_relation("S", 2)
-        .message_relation("M", 2)
-        .memory_relation("R", 2)
-        .memory_relation("T", 2)
-        .send("M", Arc::new(UcqQuery::new(2, send_rules)?))
-        .insert("R", Arc::new(UcqQuery::new(2, ins_r)?))
-        .insert("T", Arc::new(UcqQuery::new(2, ins_t)?))
-        .output(Arc::new(UcqQuery::single(
-            CqBuilder::head(pair.clone()).when(Atom::new("T", pair)).build()?,
-        )))
-        .build()
+    TransducerBuilder::new(if dedup {
+        "ex3-tc-dedup"
+    } else {
+        "ex3-tc-naive"
+    })
+    .input_relation("S", 2)
+    .message_relation("M", 2)
+    .memory_relation("R", 2)
+    .memory_relation("T", 2)
+    .send("M", Arc::new(UcqQuery::new(2, send_rules)?))
+    .insert("R", Arc::new(UcqQuery::new(2, ins_r)?))
+    .insert("T", Arc::new(UcqQuery::new(2, ins_t)?))
+    .output(Arc::new(UcqQuery::single(
+        CqBuilder::head(pair.clone())
+            .when(Atom::new("T", pair))
+            .build()?,
+    )))
+    .build()
 }
 
 /// **Example 4** — the echo transducer.
@@ -252,7 +270,9 @@ pub fn ex9_ab_nonempty() -> Result<Transducer, EvalError> {
         .insert(
             "SentTrue",
             Arc::new(UcqQuery::single(
-                CqBuilder::head(vec![]).when(Atom::new("MTrue", vec![])).build()?,
+                CqBuilder::head(vec![])
+                    .when(Atom::new("MTrue", vec![]))
+                    .build()?,
             )),
         )
         .output(Arc::new(out))
@@ -266,8 +286,10 @@ pub fn ex9_ab_nonempty() -> Result<Transducer, EvalError> {
 /// identifiers of **all** nodes (checked against `All`) knows `S = ∅`
 /// everywhere and outputs `true`.
 pub fn ex10_emptiness() -> Result<Transducer, EvalError> {
-    let local_empty =
-        Formula::not(Formula::exists(["Y"], Formula::Atom(Atom::new("S", vec![Term::var("Y")]))));
+    let local_empty = Formula::not(Formula::exists(
+        ["Y"],
+        Formula::Atom(Atom::new("S", vec![Term::var("Y")])),
+    ));
     // snd NId(x) := (Id(x) ∧ S=∅ ∧ ¬SeenId(x)) ∪ forward
     let snd_own = FoQuery::new(
         ["X"],
@@ -291,13 +313,18 @@ pub fn ex10_emptiness() -> Result<Transducer, EvalError> {
         ]),
     )?;
     let ins_fwd = UcqQuery::single(
-        CqBuilder::head(vec![x()]).when(Atom::new("NId", vec![x()])).build()?,
+        CqBuilder::head(vec![x()])
+            .when(Atom::new("NId", vec![x()]))
+            .build()?,
     );
     // out := ∀v (All(v) → SeenId(v))
     let out = FoQuery::sentence(Formula::forall(
         ["V"],
         Formula::or([
-            Formula::not(Formula::Atom(Atom::new(RelName::new(SYS_ALL), vec![Term::var("V")]))),
+            Formula::not(Formula::Atom(Atom::new(
+                RelName::new(SYS_ALL),
+                vec![Term::var("V")],
+            ))),
             Formula::Atom(Atom::new("SeenId", vec![Term::var("V")])),
         ]),
     ))?;
@@ -308,11 +335,17 @@ pub fn ex10_emptiness() -> Result<Transducer, EvalError> {
         .memory_relation("SeenId", 1)
         .send(
             "NId",
-            Arc::new(UnionQuery::new(1, vec![Arc::new(snd_own), Arc::new(snd_fwd)])?),
+            Arc::new(UnionQuery::new(
+                1,
+                vec![Arc::new(snd_own), Arc::new(snd_fwd)],
+            )?),
         )
         .insert(
             "SeenId",
-            Arc::new(UnionQuery::new(1, vec![Arc::new(ins_own), Arc::new(ins_fwd)])?),
+            Arc::new(UnionQuery::new(
+                1,
+                vec![Arc::new(ins_own), Arc::new(ins_fwd)],
+            )?),
         )
         .output(Arc::new(out))
         .build()
@@ -352,10 +385,8 @@ pub fn ex15_ping() -> Result<Transducer, EvalError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtx_net::{run, FifoRoundRobin, HorizontalPartition, LifoRoundRobin, Network, RunBudget};
     use rtx_relational::Schema;
-    use rtx_net::{
-        run, FifoRoundRobin, HorizontalPartition, LifoRoundRobin, Network, RunBudget,
-    };
     use rtx_relational::{fact, tuple, Instance, Relation, Value};
     use rtx_transducer::Classification;
 
@@ -378,8 +409,7 @@ mod tests {
         let input = input_s1(&[1, 2]);
         // concentrate both elements at n0 so n1's first delivery is
         // order-dependent
-        let p =
-            HorizontalPartition::concentrate(&net, &input, &Value::sym("n0")).unwrap();
+        let p = HorizontalPartition::concentrate(&net, &input, &Value::sym("n0")).unwrap();
         let fifo = run(&net, &t, &p, &mut FifoRoundRobin::new(), &budget()).unwrap();
         let lifo = run(&net, &t, &p, &mut LifoRoundRobin::new(), &budget()).unwrap();
         assert!(fifo.quiescent && lifo.quiescent);
@@ -472,11 +502,9 @@ mod tests {
     fn ex9_answers_correctly_on_various_partitions() {
         let t = ex9_ab_nonempty().unwrap();
         let sch = Schema::new().with("A", 1).with("B", 1);
-        let both = Instance::from_facts(sch.clone(), vec![fact!("A", 1), fact!("B", 2)])
-            .unwrap();
+        let both = Instance::from_facts(sch.clone(), vec![fact!("A", 1), fact!("B", 2)]).unwrap();
         let neither = Instance::empty(sch.clone());
-        let only_a =
-            Instance::from_facts(sch.clone(), vec![fact!("A", 7)]).unwrap();
+        let only_a = Instance::from_facts(sch.clone(), vec![fact!("A", 7)]).unwrap();
         let net = Network::line(2).unwrap();
         for (input, expected) in [(&both, true), (&neither, false), (&only_a, true)] {
             for p in [
@@ -501,12 +529,14 @@ mod tests {
         // heartbeat-only run cannot produce the output
         let t = ex9_ab_nonempty().unwrap();
         let sch = Schema::new().with("A", 1).with("B", 1);
-        let both =
-            Instance::from_facts(sch, vec![fact!("A", 1), fact!("B", 2)]).unwrap();
+        let both = Instance::from_facts(sch, vec![fact!("A", 1), fact!("B", 2)]).unwrap();
         let net = Network::line(2).unwrap();
         let p = HorizontalPartition::replicate(&net, &both);
         let probe = rtx_net::run_heartbeats_only(&net, &t, &p, 30).unwrap();
-        assert!(probe.output.is_empty(), "no output without communication here");
+        assert!(
+            probe.output.is_empty(),
+            "no output without communication here"
+        );
         // …but with a split partition, heartbeats alone suffice
         let frags: std::collections::BTreeMap<_, _> = [
             (
@@ -522,7 +552,10 @@ mod tests {
         .collect();
         let split = HorizontalPartition::new(&net, &both, frags).unwrap();
         let probe2 = rtx_net::run_heartbeats_only(&net, &t, &split, 30).unwrap();
-        assert!(probe2.output.as_bool(), "the right partition needs no communication");
+        assert!(
+            probe2.output.as_bool(),
+            "the right partition needs no communication"
+        );
     }
 
     #[test]
@@ -533,13 +566,19 @@ mod tests {
         let p = HorizontalPartition::round_robin(&net, &empty);
         let out = run(&net, &t, &p, &mut FifoRoundRobin::new(), &budget()).unwrap();
         assert!(out.quiescent);
-        assert!(out.output.as_bool(), "S = ∅ certified by full id collection");
+        assert!(
+            out.output.as_bool(),
+            "S = ∅ certified by full id collection"
+        );
 
         let nonempty = input_s1(&[3]);
         let p = HorizontalPartition::round_robin(&net, &nonempty);
         let out = run(&net, &t, &p, &mut LifoRoundRobin::new(), &budget()).unwrap();
         assert!(out.quiescent);
-        assert!(!out.output.as_bool(), "one S fact anywhere blocks the certificate");
+        assert!(
+            !out.output.as_bool(),
+            "one S fact anywhere blocks the certificate"
+        );
     }
 
     #[test]
@@ -555,7 +594,11 @@ mod tests {
     fn ex15_identity_on_any_topology() {
         let t = ex15_ping().unwrap();
         let input = input_s1(&[1, 2, 3]);
-        for net in [Network::single(), Network::line(2).unwrap(), Network::ring(4).unwrap()] {
+        for net in [
+            Network::single(),
+            Network::line(2).unwrap(),
+            Network::ring(4).unwrap(),
+        ] {
             let p = HorizontalPartition::round_robin(&net, &input);
             let out = run(&net, &t, &p, &mut FifoRoundRobin::new(), &budget()).unwrap();
             assert!(out.quiescent);

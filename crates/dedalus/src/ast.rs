@@ -142,7 +142,9 @@ impl DRule {
         for v in need {
             if !bound.contains(&v) {
                 return Err(EvalError::Unsafe {
-                    reason: format!("variable {v} not bound by a positive atom or the time variable"),
+                    reason: format!(
+                        "variable {v} not bound by a positive atom or the time variable"
+                    ),
                 });
             }
         }
@@ -208,7 +210,9 @@ impl DedalusProgram {
                 .declare(r.head().pred.clone(), r.head().arity())
                 .map_err(EvalError::Rel)?;
             for a in r.body_pos().iter().chain(r.body_neg()) {
-                signature.declare(a.pred.clone(), a.arity()).map_err(EvalError::Rel)?;
+                signature
+                    .declare(a.pred.clone(), a.arity())
+                    .map_err(EvalError::Rel)?;
             }
         }
         Ok(DedalusProgram { rules, signature })
@@ -237,7 +241,11 @@ impl DedalusProgram {
     /// Predicates only read.
     pub fn edb_predicates(&self) -> BTreeSet<RelName> {
         let idb = self.idb_predicates();
-        self.signature.names().filter(|n| !idb.contains(*n)).cloned().collect()
+        self.signature
+            .names()
+            .filter(|n| !idb.contains(*n))
+            .cloned()
+            .collect()
     }
 
     /// Is the program free of asynchronous rules (hence deterministic)?
@@ -306,7 +314,7 @@ mod tests {
     #[test]
     fn async_detection() {
         let p = DedalusProgram::new(vec![
-            DRule::new(atom!("m"; @"X"), DTime::Async).when(atom!("s"; @"X")),
+            DRule::new(atom!("m"; @"X"), DTime::Async).when(atom!("s"; @"X"))
         ])
         .unwrap();
         assert!(!p.is_synchronous());

@@ -97,7 +97,11 @@ pub struct DedalusOptions {
 
 impl Default for DedalusOptions {
     fn default() -> Self {
-        DedalusOptions { max_ticks: 500, async_max_delay: 3, seed: 0 }
+        DedalusOptions {
+            max_ticks: 500,
+            async_max_delay: 3,
+            seed: 0,
+        }
     }
 }
 
@@ -139,7 +143,10 @@ fn subst_term(t: &Term, tv: Option<&Var>, now: u64) -> Term {
 }
 
 fn subst_atom(a: &Atom, tv: Option<&Var>, now: u64) -> Atom {
-    Atom::new(a.pred.clone(), a.terms.iter().map(|t| subst_term(t, tv, now)).collect())
+    Atom::new(
+        a.pred.clone(),
+        a.terms.iter().map(|t| subst_term(t, tv, now)).collect(),
+    )
 }
 
 /// Translate a Dedalus rule (with the time variable bound to `now`) into
@@ -155,7 +162,10 @@ fn translate(rule: &DRule, now: u64) -> Result<Rule, EvalError> {
         body.push(Literal::Neg(subst_atom(a, tv, now)));
     }
     for (a, b) in rule.diseqs() {
-        body.push(Literal::Diseq(subst_term(a, tv, now), subst_term(b, tv, now)));
+        body.push(Literal::Diseq(
+            subst_term(a, tv, now),
+            subst_term(b, tv, now),
+        ));
     }
     Rule::new(head, body)
 }
@@ -181,7 +191,10 @@ impl<'p> DedalusRuntime<'p> {
         } else {
             None
         };
-        Ok(DedalusRuntime { program, cached_deductive })
+        Ok(DedalusRuntime {
+            program,
+            cached_deductive,
+        })
     }
 
     fn build(program: &DedalusProgram, timing: DTime, now: u64) -> Result<Program, EvalError> {
@@ -197,7 +210,8 @@ impl<'p> DedalusRuntime<'p> {
         let mut s = self.program.signature().clone();
         for facts in edb.arrivals.values() {
             for f in facts {
-                s.declare(f.rel().clone(), f.arity()).map_err(EvalError::Rel)?;
+                s.declare(f.rel().clone(), f.arity())
+                    .map_err(EvalError::Rel)?;
             }
         }
         Ok(s)
@@ -269,7 +283,10 @@ impl<'p> DedalusRuntime<'p> {
             }
             carry = next_carry;
         }
-        Ok(Trace { ticks, converged_at })
+        Ok(Trace {
+            ticks,
+            converged_at,
+        })
     }
 }
 
@@ -344,7 +361,10 @@ mod tests {
         .unwrap();
         let mut edb = TemporalFacts::new();
         edb.insert(0, fact!("go"));
-        let opts = DedalusOptions { max_ticks: 6, ..Default::default() };
+        let opts = DedalusOptions {
+            max_ticks: 6,
+            ..Default::default()
+        };
         let trace = run_dedalus(&p, &edb, &opts).unwrap();
         // never converges (a fresh timestamp every tick) within budget
         assert!(!trace.converged());
@@ -365,7 +385,11 @@ mod tests {
         .unwrap();
         let mut edb = TemporalFacts::new();
         edb.insert(0, fact!("s", 9));
-        let opts = DedalusOptions { max_ticks: 50, async_max_delay: 4, seed: 13 };
+        let opts = DedalusOptions {
+            max_ticks: 50,
+            async_max_delay: 4,
+            seed: 13,
+        };
         let trace = run_dedalus(&p, &edb, &opts).unwrap();
         assert!(trace.converged());
         assert!(trace.last().contains_fact(&fact!("got", 9)));

@@ -132,7 +132,12 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, EvalError> {
                     start,
                 ));
             }
-            other => return Err(err(format!("unexpected character `{}`", other as char), pos)),
+            other => {
+                return Err(err(
+                    format!("unexpected character `{}`", other as char),
+                    pos,
+                ))
+            }
         }
     }
     Ok(out)
@@ -151,11 +156,17 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.toks.get(self.pos).map(|&(_, o)| o).unwrap_or(usize::MAX)
+        self.toks
+            .get(self.pos)
+            .map(|&(_, o)| o)
+            .unwrap_or(usize::MAX)
     }
 
     fn error(&self, message: impl Into<String>) -> EvalError {
-        EvalError::Parse { message: message.into(), offset: self.offset() }
+        EvalError::Parse {
+            message: message.into(),
+            offset: self.offset(),
+        }
     }
 
     fn next(&mut self) -> Option<Tok> {
@@ -202,16 +213,15 @@ impl Parser {
 
     fn atom(&mut self, name: String) -> Result<Atom, EvalError> {
         let mut terms = Vec::new();
-        if self.eat(&Tok::LParen)
-            && !self.eat(&Tok::RParen) {
-                loop {
-                    terms.push(self.term()?);
-                    if self.eat(&Tok::RParen) {
-                        break;
-                    }
-                    self.expect(Tok::Comma)?;
+        if self.eat(&Tok::LParen) && !self.eat(&Tok::RParen) {
+            loop {
+                terms.push(self.term()?);
+                if self.eat(&Tok::RParen) {
+                    break;
                 }
+                self.expect(Tok::Comma)?;
             }
+        }
         Ok(Atom::new(name, terms))
     }
 
@@ -262,8 +272,9 @@ impl Parser {
                         let name = match self.next() {
                             Some(Tok::Ident(n)) if n != NOW => n,
                             other => {
-                                return Err(self
-                                    .error(format!("expected a body literal, found {other:?}")))
+                                return Err(
+                                    self.error(format!("expected a body literal, found {other:?}"))
+                                )
                             }
                         };
                         rule = rule.when(self.atom(name)?);
@@ -285,7 +296,11 @@ impl Parser {
 
 /// Parse a Dedalus program.
 pub fn parse_dedalus(src: &str) -> Result<DedalusProgram, EvalError> {
-    let mut p = Parser { toks: lex(src)?, pos: 0, uses_now: false };
+    let mut p = Parser {
+        toks: lex(src)?,
+        pos: 0,
+        uses_now: false,
+    };
     let mut rules = Vec::new();
     while p.peek().is_some() {
         rules.push(p.rule()?);
@@ -370,7 +385,10 @@ mod tests {
         let p = parse_dedalus("tick(now)@next :- go. go@next :- go.").unwrap();
         let mut edb = TemporalFacts::new();
         edb.insert(0, fact!("go"));
-        let opts = DedalusOptions { max_ticks: 4, ..Default::default() };
+        let opts = DedalusOptions {
+            max_ticks: 4,
+            ..Default::default()
+        };
         let trace = run_dedalus(&p, &edb, &opts).unwrap();
         assert!(trace.last().contains_fact(&fact!("tick", 2)));
     }

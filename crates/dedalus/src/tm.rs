@@ -86,7 +86,8 @@ pub fn compile_tm(m: &TuringMachine) -> Result<DedalusProgram, EvalError> {
     );
 
     // 3. spurious-tuple detection (deductive, gated on Word)
-    let spurious = || DRule::new(Atom::new("Spurious", vec![]), DTime::Same).when(Atom::new("Word", vec![]));
+    let spurious =
+        || DRule::new(Atom::new("Spurious", vec![]), DTime::Same).when(Atom::new("Word", vec![]));
     // (a) Begin / End not singletons
     rules.push(
         spurious()
@@ -200,8 +201,11 @@ pub fn compile_tm(m: &TuringMachine) -> Result<DedalusProgram, EvalError> {
         ));
     }
     rules.push(start_gate(
-        DRule::new(Atom::new(state_rel(m.start()).as_str(), vec![v("X")]), DTime::Next)
-            .when(Atom::new("Begin", vec![v("X")])),
+        DRule::new(
+            Atom::new(state_rel(m.start()).as_str(), vec![v("X")]),
+            DTime::Next,
+        )
+        .when(Atom::new("Begin", vec![v("X")])),
     ));
 
     // 4b. simulation helpers (deductive)
@@ -271,10 +275,13 @@ pub fn compile_tm(m: &TuringMachine) -> Result<DedalusProgram, EvalError> {
             .with_time_var("T"),
     );
     rules.push(
-        DRule::new(Atom::new(cell_rel(BLANK).as_str(), vec![v("T")]), DTime::Next)
-            .when(Atom::new("NeedExt", vec![]))
-            .when(Atom::new("LastCell", vec![v("X")]))
-            .with_time_var("T"),
+        DRule::new(
+            Atom::new(cell_rel(BLANK).as_str(), vec![v("T")]),
+            DTime::Next,
+        )
+        .when(Atom::new("NeedExt", vec![]))
+        .when(Atom::new("LastCell", vec![v("X")]))
+        .with_time_var("T"),
     );
 
     // 4d. machine steps (inductive)
@@ -354,9 +361,7 @@ pub fn simulate_instance(
     let program = compile_tm(m)?;
     let edb = match schedule {
         InputSchedule::AllAtZero => TemporalFacts::all_at_zero(input),
-        InputSchedule::Scattered { spread, seed } => {
-            TemporalFacts::scattered(input, spread, seed)
-        }
+        InputSchedule::Scattered { spread, seed } => TemporalFacts::scattered(input, spread, seed),
     };
     let trace = run_dedalus(&program, &edb, opts)?;
     Ok(Thm18Outcome {
@@ -385,7 +390,11 @@ mod tests {
     use rtx_relational::{Fact, Tuple, Value};
 
     fn opts() -> DedalusOptions {
-        DedalusOptions { max_ticks: 400, async_max_delay: 1, seed: 0 }
+        DedalusOptions {
+            max_ticks: 400,
+            async_max_delay: 1,
+            seed: 0,
+        }
     }
 
     #[test]
@@ -393,7 +402,10 @@ mod tests {
         let m = machines::even_as();
         for (w, expected) in [("aa", true), ("ab", false), ("baab", true), ("aba", true)] {
             let out = simulate_word(&m, w, InputSchedule::AllAtZero, &opts()).unwrap();
-            assert!(out.converged_at.is_some(), "{w}: must be eventually consistent");
+            assert!(
+                out.converged_at.is_some(),
+                "{w}: must be eventually consistent"
+            );
             assert_eq!(out.accepted, expected, "word {w}");
         }
     }
@@ -413,13 +425,9 @@ mod tests {
         let m = machines::contains_ab();
         for (w, expected) in [("ab", true), ("bb", false), ("bab", true)] {
             for seed in [1u64, 2, 3] {
-                let out = simulate_word(
-                    &m,
-                    w,
-                    InputSchedule::Scattered { spread: 6, seed },
-                    &opts(),
-                )
-                .unwrap();
+                let out =
+                    simulate_word(&m, w, InputSchedule::Scattered { spread: 6, seed }, &opts())
+                        .unwrap();
                 assert!(out.converged_at.is_some());
                 assert_eq!(out.accepted, expected, "word {w} seed {seed}");
             }
@@ -434,11 +442,16 @@ mod tests {
         let m = machines::even_as();
         let mut input = rtx_machine::encode_word("ab", ['a', 'b']).unwrap();
         input
-            .insert_fact(Fact::new("Begin", Tuple::new(vec![rtx_machine::position(2)])))
+            .insert_fact(Fact::new(
+                "Begin",
+                Tuple::new(vec![rtx_machine::position(2)]),
+            ))
             .unwrap();
-        let out =
-            simulate_instance(&m, &input, InputSchedule::AllAtZero, &opts()).unwrap();
-        assert!(out.accepted, "spurious word structures accept (monotonicity)");
+        let out = simulate_instance(&m, &input, InputSchedule::AllAtZero, &opts()).unwrap();
+        assert!(
+            out.accepted,
+            "spurious word structures accept (monotonicity)"
+        );
         assert!(out.converged_at.is_some());
     }
 
@@ -447,9 +460,11 @@ mod tests {
         let m = machines::even_as();
         // a tape fragment with no Begin
         let mut input = rtx_machine::encode_word("aa", ['a', 'b']).unwrap();
-        input.remove_fact(&Fact::new("Begin", Tuple::new(vec![rtx_machine::position(1)])));
-        let out =
-            simulate_instance(&m, &input, InputSchedule::AllAtZero, &opts()).unwrap();
+        input.remove_fact(&Fact::new(
+            "Begin",
+            Tuple::new(vec![rtx_machine::position(1)]),
+        ));
+        let out = simulate_instance(&m, &input, InputSchedule::AllAtZero, &opts()).unwrap();
         assert!(!out.accepted);
         assert!(out.converged_at.is_some());
     }
@@ -478,13 +493,11 @@ mod tests {
         let m = machines::even_as();
         let program = compile_tm(&m).unwrap();
         let input = rtx_machine::encode_word("aa", ['a', 'b']).unwrap();
-        let trace =
-            run_dedalus(&program, &TemporalFacts::all_at_zero(&input), &opts()).unwrap();
+        let trace = run_dedalus(&program, &TemporalFacts::all_at_zero(&input), &opts()).unwrap();
         assert!(trace.holds("Accepted"));
         let ext = trace.last().relation(&"ExtSucc".into()).unwrap();
         assert!(!ext.is_empty(), "the tape was extended");
-        let minted: Vec<Value> =
-            ext.iter().map(|t| t.get(1).unwrap().clone()).collect();
+        let minted: Vec<Value> = ext.iter().map(|t| t.get(1).unwrap().clone()).collect();
         assert!(
             minted.iter().all(|c| c.as_int().is_some()),
             "extension cells are named by integer timestamps (entanglement)"
@@ -494,7 +507,10 @@ mod tests {
     #[test]
     fn palindrome_simulation_with_multiple_extensions() {
         let m = machines::palindrome();
-        let o = DedalusOptions { max_ticks: 2000, ..opts() };
+        let o = DedalusOptions {
+            max_ticks: 2000,
+            ..opts()
+        };
         for (w, expected) in [("aa", true), ("ab", false), ("aba", true)] {
             let out = simulate_word(&m, w, InputSchedule::AllAtZero, &o).unwrap();
             assert!(out.converged_at.is_some(), "{w}");
@@ -505,7 +521,10 @@ mod tests {
     #[test]
     fn full_catalog_cross_validation() {
         // every machine × every catalog word: Dedalus ≡ direct interpreter
-        let o = DedalusOptions { max_ticks: 2000, ..opts() };
+        let o = DedalusOptions {
+            max_ticks: 2000,
+            ..opts()
+        };
         for (m, cases) in machines::catalog() {
             for (w, expected) in cases {
                 if w.len() < 2 {

@@ -76,7 +76,13 @@ pub fn catalog() -> Vec<(TuringMachine, Vec<(&'static str, bool)>)> {
     vec![
         (
             even_as(),
-            vec![("aa", true), ("ab", false), ("baab", true), ("bb", true), ("aba", true)],
+            vec![
+                ("aa", true),
+                ("ab", false),
+                ("baab", true),
+                ("bb", true),
+                ("aba", true),
+            ],
         ),
         (
             a_n_b_n(),

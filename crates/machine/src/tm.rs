@@ -125,7 +125,11 @@ impl TuringMachine {
     ) -> Self {
         self.delta.insert(
             (state.into(), read),
-            Transition { next: next.into(), write, movement },
+            Transition {
+                next: next.into(),
+                write,
+                movement,
+            },
         );
         self
     }
@@ -269,15 +273,26 @@ mod tests {
     #[test]
     fn bad_input_symbol_rejected() {
         let m = machines::even_as();
-        assert!(matches!(m.run("xyz", 100), Err(TmError::BadInputSymbol('x'))));
+        assert!(matches!(
+            m.run("xyz", 100),
+            Err(TmError::BadInputSymbol('x'))
+        ));
     }
 
     #[test]
     fn fuel_exhaustion_detected() {
         // spin forever in place
-        let m = TuringMachine::new("spin", ['a'], "q0", "acc")
-            .with_rule("q0", 'a', "q0", 'a', Move::Stay);
-        assert!(matches!(m.run("a", 50), Err(TmError::OutOfFuel { steps: 50 })));
+        let m = TuringMachine::new("spin", ['a'], "q0", "acc").with_rule(
+            "q0",
+            'a',
+            "q0",
+            'a',
+            Move::Stay,
+        );
+        assert!(matches!(
+            m.run("a", 50),
+            Err(TmError::OutOfFuel { steps: 50 })
+        ));
     }
 
     #[test]

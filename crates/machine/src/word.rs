@@ -22,7 +22,10 @@ pub fn letter_rel(a: Sym) -> RelName {
 
 /// The word-structure schema for an alphabet.
 pub fn word_schema(alphabet: impl IntoIterator<Item = Sym>) -> Schema {
-    let mut s = Schema::new().with("Tape", 2).with("Begin", 1).with("End", 1);
+    let mut s = Schema::new()
+        .with("Tape", 2)
+        .with("Begin", 1)
+        .with("End", 1);
     for a in alphabet {
         s = s.with(letter_rel(a), 1);
     }
@@ -35,10 +38,7 @@ pub fn position(i: usize) -> Value {
 }
 
 /// Encode a string (length ≥ 2) as a word structure.
-pub fn encode_word(
-    s: &str,
-    alphabet: impl IntoIterator<Item = Sym>,
-) -> Result<Instance, RelError> {
+pub fn encode_word(s: &str, alphabet: impl IntoIterator<Item = Sym>) -> Result<Instance, RelError> {
     let chars: Vec<Sym> = s.chars().collect();
     let schema = word_schema(alphabet);
     let mut out = Instance::empty(schema);
@@ -48,7 +48,10 @@ pub fn encode_word(
     }
     let p = chars.len();
     for i in 1..p {
-        out.insert_fact(Fact::new("Tape", Tuple::new(vec![position(i), position(i + 1)])))?;
+        out.insert_fact(Fact::new(
+            "Tape",
+            Tuple::new(vec![position(i), position(i + 1)]),
+        ))?;
     }
     if p >= 1 {
         out.insert_fact(Fact::new("Begin", Tuple::new(vec![position(1)])))?;
@@ -199,10 +202,7 @@ pub fn decode_word(instance: &Instance, alphabet: &BTreeSet<Sym>) -> WordShape {
     if path.len() != tape_elems.len().max(1) {
         return WordShape::Spurious;
     }
-    let s: String = path
-        .iter()
-        .map(|v| labels[v][0])
-        .collect();
+    let s: String = path.iter().map(|v| labels[v][0]).collect();
     WordShape::Word(s)
 }
 
@@ -226,7 +226,11 @@ mod tests {
     fn encode_decode_round_trip() {
         for w in ["ab", "aab", "baba", "bb"] {
             let i = encode_word(w, ['a', 'b']).unwrap();
-            assert_eq!(decode_word(&i, &ab()), WordShape::Word(w.to_string()), "{w}");
+            assert_eq!(
+                decode_word(&i, &ab()),
+                WordShape::Word(w.to_string()),
+                "{w}"
+            );
         }
     }
 
@@ -247,7 +251,10 @@ mod tests {
     fn not_a_word_without_path() {
         let mut i = encode_word("ab", ['a', 'b']).unwrap();
         // cut the tape
-        i.remove_fact(&Fact::new("Tape", Tuple::new(vec![position(1), position(2)])));
+        i.remove_fact(&Fact::new(
+            "Tape",
+            Tuple::new(vec![position(1), position(2)]),
+        ));
         assert_eq!(decode_word(&i, &ab()), WordShape::NotAWord);
         // empty instance
         let empty = Instance::empty(word_schema(['a', 'b']));
@@ -257,14 +264,16 @@ mod tests {
     #[test]
     fn spurious_double_begin() {
         let mut i = encode_word("ab", ['a', 'b']).unwrap();
-        i.insert_fact(Fact::new("Begin", Tuple::new(vec![position(2)]))).unwrap();
+        i.insert_fact(Fact::new("Begin", Tuple::new(vec![position(2)])))
+            .unwrap();
         assert_eq!(decode_word(&i, &ab()), WordShape::Spurious);
     }
 
     #[test]
     fn spurious_double_label() {
         let mut i = encode_word("ab", ['a', 'b']).unwrap();
-        i.insert_fact(Fact::new(letter_rel('b'), Tuple::new(vec![position(1)]))).unwrap();
+        i.insert_fact(Fact::new(letter_rel('b'), Tuple::new(vec![position(1)])))
+            .unwrap();
         assert_eq!(decode_word(&i, &ab()), WordShape::Spurious);
     }
 
@@ -272,8 +281,11 @@ mod tests {
     fn spurious_branching_tape() {
         let mut i = encode_word("aab", ['a', 'b']).unwrap();
         // add a branch 1 -> 3
-        i.insert_fact(Fact::new("Tape", Tuple::new(vec![position(1), position(3)])))
-            .unwrap();
+        i.insert_fact(Fact::new(
+            "Tape",
+            Tuple::new(vec![position(1), position(3)]),
+        ))
+        .unwrap();
         assert_eq!(decode_word(&i, &ab()), WordShape::Spurious);
     }
 
@@ -283,8 +295,11 @@ mod tests {
         i.insert_fact(fact!("sym_a", "ghost")).unwrap(); // labeled but off-tape
         assert_eq!(decode_word(&i, &ab()), WordShape::Spurious);
         let mut j = encode_word("ab", ['a', 'b']).unwrap();
-        j.insert_fact(Fact::new("Tape", Tuple::new(vec![position(2), Value::sym("x")])))
-            .unwrap(); // on-tape but unlabeled
+        j.insert_fact(Fact::new(
+            "Tape",
+            Tuple::new(vec![position(2), Value::sym("x")]),
+        ))
+        .unwrap(); // on-tape but unlabeled
         assert_eq!(decode_word(&j, &ab()), WordShape::Spurious);
     }
 
@@ -297,10 +312,16 @@ mod tests {
             Tuple::new(vec![Value::sym("u"), Value::sym("v")]),
         ))
         .unwrap();
-        i.insert_fact(Fact::new(letter_rel('a'), Tuple::new(vec![Value::sym("u")])))
-            .unwrap();
-        i.insert_fact(Fact::new(letter_rel('a'), Tuple::new(vec![Value::sym("v")])))
-            .unwrap();
+        i.insert_fact(Fact::new(
+            letter_rel('a'),
+            Tuple::new(vec![Value::sym("u")]),
+        ))
+        .unwrap();
+        i.insert_fact(Fact::new(
+            letter_rel('a'),
+            Tuple::new(vec![Value::sym("v")]),
+        ))
+        .unwrap();
         assert_eq!(decode_word(&i, &ab()), WordShape::Spurious);
     }
 

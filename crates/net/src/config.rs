@@ -108,7 +108,10 @@ impl Configuration {
 
     /// Nodes with a nonempty buffer, in order.
     pub fn nodes_with_mail(&self) -> impl Iterator<Item = &NodeId> {
-        self.buffers.iter().filter(|(_, b)| !b.is_empty()).map(|(n, _)| n)
+        self.buffers
+            .iter()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(n, _)| n)
     }
 
     /// Apply a heartbeat transition at `node`.
@@ -144,7 +147,13 @@ impl Configuration {
         let fact = buf.remove(index);
         let mut received = Instance::empty(transducer.schema().message().clone());
         received.insert_fact(fact.clone()).map_err(NetError::Rel)?;
-        self.apply(net, transducer, node, received, TransitionKind::Delivery(fact))
+        self.apply(
+            net,
+            transducer,
+            node,
+            received,
+            TransitionKind::Delivery(fact),
+        )
     }
 
     fn apply(
@@ -164,7 +173,10 @@ impl Configuration {
         let sent: Vec<Fact> = res.sent.facts().collect();
         let mut enqueued = 0usize;
         for neighbor in net.neighbors(node) {
-            let buf = self.buffers.get_mut(neighbor).expect("all nodes have buffers");
+            let buf = self
+                .buffers
+                .get_mut(neighbor)
+                .expect("all nodes have buffers");
             for f in &sent {
                 buf.push(f.clone());
                 enqueued += 1;
@@ -230,12 +242,10 @@ mod tests {
                     .build()
                     .unwrap()),
             )
-            .output(
-                cq(CqBuilder::head(vec![Term::var("X")])
-                    .when(atom!("T"; @"X"))
-                    .build()
-                    .unwrap()),
-            )
+            .output(cq(CqBuilder::head(vec![Term::var("X")])
+                .when(atom!("T"; @"X"))
+                .build()
+                .unwrap()))
             .build()
             .unwrap()
     }
@@ -256,11 +266,18 @@ mod tests {
         assert!(cfg.all_buffers_empty());
         for n in net.nodes() {
             let st = cfg.state(n).unwrap();
-            assert!(st.contains_fact(&Fact::new("Id", rtx_relational::Tuple::new(vec![n.clone()]))));
+            assert!(st.contains_fact(&Fact::new(
+                "Id",
+                rtx_relational::Tuple::new(vec![n.clone()])
+            )));
             assert_eq!(st.relation(&"All".into()).unwrap().len(), 2);
         }
         assert_eq!(
-            cfg.state(&rtx_relational::Value::sym("n0")).unwrap().relation(&"S".into()).unwrap().len(),
+            cfg.state(&rtx_relational::Value::sym("n0"))
+                .unwrap()
+                .relation(&"S".into())
+                .unwrap()
+                .len(),
             1
         );
     }

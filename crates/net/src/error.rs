@@ -64,8 +64,12 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(NetError::Topology("empty".into()).to_string().contains("topology"));
-        assert!(NetError::Partition("bad".into()).to_string().contains("partition"));
+        assert!(NetError::Topology("empty".into())
+            .to_string()
+            .contains("topology"));
+        assert!(NetError::Partition("bad".into())
+            .to_string()
+            .contains("partition"));
         assert!(NetError::Budget { steps: 5 }.to_string().contains('5'));
         let e: NetError = RelError::NotInjective.into();
         assert!(e.to_string().contains("injective"));

@@ -33,7 +33,9 @@ impl HorizontalPartition {
         }
         for node in fragments.keys() {
             if !net.contains(node) {
-                return Err(NetError::Partition(format!("fragment for unknown node {node}")));
+                return Err(NetError::Partition(format!(
+                    "fragment for unknown node {node}"
+                )));
             }
         }
         let mut union = Instance::empty(full.schema().clone());
@@ -47,13 +49,19 @@ impl HorizontalPartition {
                 "fragment union differs from the full instance".into(),
             ));
         }
-        Ok(HorizontalPartition { fragments, schema: full.schema().clone() })
+        Ok(HorizontalPartition {
+            fragments,
+            schema: full.schema().clone(),
+        })
     }
 
     /// Every node holds the entire instance.
     pub fn replicate(net: &Network, full: &Instance) -> Self {
         let fragments = net.nodes().map(|n| (n.clone(), full.clone())).collect();
-        HorizontalPartition { fragments, schema: full.schema().clone() }
+        HorizontalPartition {
+            fragments,
+            schema: full.schema().clone(),
+        }
     }
 
     /// One node holds everything; the rest hold nothing.
@@ -64,17 +72,31 @@ impl HorizontalPartition {
         let empty = Instance::empty(full.schema().clone());
         let fragments = net
             .nodes()
-            .map(|n| (n.clone(), if n == owner { full.clone() } else { empty.clone() }))
+            .map(|n| {
+                (
+                    n.clone(),
+                    if n == owner {
+                        full.clone()
+                    } else {
+                        empty.clone()
+                    },
+                )
+            })
             .collect();
-        Ok(HorizontalPartition { fragments, schema: full.schema().clone() })
+        Ok(HorizontalPartition {
+            fragments,
+            schema: full.schema().clone(),
+        })
     }
 
     /// Deal facts round-robin over the nodes (a disjoint partition).
     pub fn round_robin(net: &Network, full: &Instance) -> Self {
         let nodes: Vec<&NodeId> = net.nodes().collect();
         let empty = Instance::empty(full.schema().clone());
-        let mut fragments: BTreeMap<NodeId, Instance> =
-            nodes.iter().map(|n| ((*n).clone(), empty.clone())).collect();
+        let mut fragments: BTreeMap<NodeId, Instance> = nodes
+            .iter()
+            .map(|n| ((*n).clone(), empty.clone()))
+            .collect();
         for (i, fact) in full.facts().enumerate() {
             let node = nodes[i % nodes.len()];
             fragments
@@ -83,31 +105,42 @@ impl HorizontalPartition {
                 .insert_fact(fact)
                 .expect("fact from the same schema");
         }
-        HorizontalPartition { fragments, schema: full.schema().clone() }
+        HorizontalPartition {
+            fragments,
+            schema: full.schema().clone(),
+        }
     }
 
     /// Assign each fact to one uniformly-random node, then give each fact
     /// independently to extra nodes with probability `overlap`.
-    pub fn random(
-        net: &Network,
-        full: &Instance,
-        overlap: f64,
-        rng: &mut impl Rng,
-    ) -> Self {
+    pub fn random(net: &Network, full: &Instance, overlap: f64, rng: &mut impl Rng) -> Self {
         let nodes: Vec<&NodeId> = net.nodes().collect();
         let empty = Instance::empty(full.schema().clone());
-        let mut fragments: BTreeMap<NodeId, Instance> =
-            nodes.iter().map(|n| ((*n).clone(), empty.clone())).collect();
+        let mut fragments: BTreeMap<NodeId, Instance> = nodes
+            .iter()
+            .map(|n| ((*n).clone(), empty.clone()))
+            .collect();
         for fact in full.facts() {
             let owner = nodes[rng.gen_range(0..nodes.len())];
-            fragments.get_mut(owner).unwrap().insert_fact(fact.clone()).unwrap();
+            fragments
+                .get_mut(owner)
+                .unwrap()
+                .insert_fact(fact.clone())
+                .unwrap();
             for n in &nodes {
                 if *n != owner && rng.gen_bool(overlap.clamp(0.0, 1.0)) {
-                    fragments.get_mut(*n).unwrap().insert_fact(fact.clone()).unwrap();
+                    fragments
+                        .get_mut(*n)
+                        .unwrap()
+                        .insert_fact(fact.clone())
+                        .unwrap();
                 }
             }
         }
-        HorizontalPartition { fragments, schema: full.schema().clone() }
+        HorizontalPartition {
+            fragments,
+            schema: full.schema().clone(),
+        }
     }
 
     /// All single-owner partitions of `full` over the nodes of `net`
@@ -124,7 +157,10 @@ impl HorizontalPartition {
         let facts: Vec<Fact> = full.facts().collect();
         let empty = Instance::empty(full.schema().clone());
         let mut out = Vec::new();
-        let total = nodes.len().checked_pow(facts.len() as u32).unwrap_or(usize::MAX);
+        let total = nodes
+            .len()
+            .checked_pow(facts.len() as u32)
+            .unwrap_or(usize::MAX);
         for code in 0..total.min(limit) {
             let mut c = code;
             let mut fragments: BTreeMap<NodeId, Instance> =
@@ -132,9 +168,16 @@ impl HorizontalPartition {
             for fact in &facts {
                 let node = &nodes[c % nodes.len()];
                 c /= nodes.len();
-                fragments.get_mut(node).unwrap().insert_fact(fact.clone()).unwrap();
+                fragments
+                    .get_mut(node)
+                    .unwrap()
+                    .insert_fact(fact.clone())
+                    .unwrap();
             }
-            out.push(HorizontalPartition { fragments, schema: full.schema().clone() });
+            out.push(HorizontalPartition {
+                fragments,
+                schema: full.schema().clone(),
+            });
         }
         out
     }
@@ -210,7 +253,12 @@ mod tests {
         let owner = rtx_relational::Value::sym("n1");
         let p = HorizontalPartition::concentrate(&net, &input(), &owner).unwrap();
         assert_eq!(p.fragment(&owner).unwrap().fact_count(), 3);
-        assert_eq!(p.fragment(&rtx_relational::Value::sym("n0")).unwrap().fact_count(), 0);
+        assert_eq!(
+            p.fragment(&rtx_relational::Value::sym("n0"))
+                .unwrap()
+                .fact_count(),
+            0
+        );
         assert_eq!(p.union(), input());
         assert!(HorizontalPartition::concentrate(
             &net,
@@ -244,8 +292,9 @@ mod tests {
         let net = Network::line(2).unwrap();
         let full = input();
         // missing node
-        let frags: BTreeMap<NodeId, Instance> =
-            [(rtx_relational::Value::sym("n0"), full.clone())].into_iter().collect();
+        let frags: BTreeMap<NodeId, Instance> = [(rtx_relational::Value::sym("n0"), full.clone())]
+            .into_iter()
+            .collect();
         assert!(HorizontalPartition::new(&net, &full, frags).is_err());
         // union mismatch
         let empty = Instance::empty(full.schema().clone());

@@ -89,7 +89,8 @@ impl Scheduler for FifoRoundRobin {
                         self.pending.push_back(PlannedAction::Heartbeat(n.clone()));
                     }
                     for n in net.nodes() {
-                        self.pending.push_back(PlannedAction::DeliverOldest(n.clone()));
+                        self.pending
+                            .push_back(PlannedAction::DeliverOldest(n.clone()));
                     }
                 }
             }
@@ -134,7 +135,8 @@ impl Scheduler for LifoRoundRobin {
                         self.pending.push_back(PlannedAction::Heartbeat(n.clone()));
                     }
                     for n in net.nodes() {
-                        self.pending.push_back(PlannedAction::DeliverNewest(n.clone()));
+                        self.pending
+                            .push_back(PlannedAction::DeliverNewest(n.clone()));
                     }
                 }
             }
@@ -159,7 +161,10 @@ pub struct RandomScheduler {
 impl RandomScheduler {
     /// New random scheduler from a seed.
     pub fn seeded(seed: u64) -> Self {
-        RandomScheduler { rng: StdRng::seed_from_u64(seed), heartbeat_prob: 0.25 }
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+            heartbeat_prob: 0.25,
+        }
     }
 
     /// Adjust the heartbeat probability.
@@ -211,7 +216,10 @@ pub struct RunBudget {
 impl RunBudget {
     /// A budget with the given step cap and no output target.
     pub fn steps(max_steps: usize) -> Self {
-        RunBudget { max_steps, target_output: None }
+        RunBudget {
+            max_steps,
+            target_output: None,
+        }
     }
 
     /// Add an output target.
@@ -273,8 +281,10 @@ pub fn run_from(
     budget: &RunBudget,
 ) -> Result<RunOutcome, NetError> {
     let arity = transducer.schema().output_arity();
-    let mut outputs_per_node: BTreeMap<NodeId, Relation> =
-        net.nodes().map(|n| (n.clone(), Relation::empty(arity))).collect();
+    let mut outputs_per_node: BTreeMap<NodeId, Relation> = net
+        .nodes()
+        .map(|n| (n.clone(), Relation::empty(arity)))
+        .collect();
     let mut output = Relation::empty(arity);
     let mut steps = 0usize;
     let mut heartbeats = 0usize;
@@ -284,8 +294,8 @@ pub fn run_from(
     let mut reached_target = false;
 
     let absorb = |rec: &TransitionRecord,
-                      output: &mut Relation,
-                      outputs_per_node: &mut BTreeMap<NodeId, Relation>|
+                  output: &mut Relation,
+                  outputs_per_node: &mut BTreeMap<NodeId, Relation>|
      -> Result<(), NetError> {
         *output = output.union(&rec.output).map_err(NetError::Rel)?;
         let per = outputs_per_node.get_mut(&rec.node).expect("known node");
@@ -412,7 +422,12 @@ pub fn run_heartbeats_only(
             });
         }
     }
-    Ok(HeartbeatOnlyOutcome { output, rounds: max_rounds, fixpoint: false, final_config: cfg })
+    Ok(HeartbeatOnlyOutcome {
+        output,
+        rounds: max_rounds,
+        fixpoint: false,
+        final_config: cfg,
+    })
 }
 
 #[cfg(test)]
@@ -551,7 +566,14 @@ mod tests {
         let t = dedup_flooder();
         let full = input_s(&[1, 2, 3, 4]);
         let p = HorizontalPartition::round_robin(&net, &full);
-        let out = run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(3)).unwrap();
+        let out = run(
+            &net,
+            &t,
+            &p,
+            &mut FifoRoundRobin::new(),
+            &RunBudget::steps(3),
+        )
+        .unwrap();
         assert!(!out.quiescent);
         assert_eq!(out.steps, 3);
     }
@@ -592,7 +614,14 @@ mod tests {
         let t = dedup_flooder();
         let full = input_s(&[1, 2]);
         let p = HorizontalPartition::replicate(&net, &full);
-        let out = run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::default()).unwrap();
+        let out = run(
+            &net,
+            &t,
+            &p,
+            &mut FifoRoundRobin::new(),
+            &RunBudget::default(),
+        )
+        .unwrap();
         assert!(out.quiescent);
         assert_eq!(out.deliveries, 0);
         assert_eq!(out.output.len(), 2);

@@ -33,14 +33,18 @@ impl Network {
         let mut adj: BTreeMap<NodeId, BTreeSet<NodeId>> =
             nodes.into_iter().map(|n| (n, BTreeSet::new())).collect();
         if adj.is_empty() {
-            return Err(NetError::Topology("a network needs at least one node".into()));
+            return Err(NetError::Topology(
+                "a network needs at least one node".into(),
+            ));
         }
         for (a, b) in edges {
             if a == b {
                 return Err(NetError::Topology(format!("self-loop on node {a}")));
             }
             if !adj.contains_key(&a) || !adj.contains_key(&b) {
-                return Err(NetError::Topology(format!("edge ({a},{b}) references unknown node")));
+                return Err(NetError::Topology(format!(
+                    "edge ({a},{b}) references unknown node"
+                )));
             }
             adj.get_mut(&a).unwrap().insert(b.clone());
             adj.get_mut(&b).unwrap().insert(a.clone());
@@ -83,8 +87,9 @@ impl Network {
     /// `R'` in the proof of Theorem 16.
     pub fn ring4_with_chord() -> Self {
         let nodes: Vec<NodeId> = (0..4).map(Self::node_name).collect();
-        let mut edges: Vec<(NodeId, NodeId)> =
-            (0..4).map(|i| (Self::node_name(i), Self::node_name((i + 1) % 4))).collect();
+        let mut edges: Vec<(NodeId, NodeId)> = (0..4)
+            .map(|i| (Self::node_name(i), Self::node_name((i + 1) % 4)))
+            .collect();
         edges.push((Self::node_name(1), Self::node_name(3)));
         Network::from_edges(nodes, edges).expect("fixed graph is valid")
     }
@@ -92,7 +97,9 @@ impl Network {
     /// A star with a hub and `k-1` leaves.
     pub fn star(k: usize) -> Result<Self, NetError> {
         if k == 0 {
-            return Err(NetError::Topology("a network needs at least one node".into()));
+            return Err(NetError::Topology(
+                "a network needs at least one node".into(),
+            ));
         }
         let nodes: Vec<NodeId> = (0..k).map(Self::node_name).collect();
         let edges = (1..k).map(|i| (Self::node_name(0), Self::node_name(i)));
@@ -119,7 +126,9 @@ impl Network {
         rng: &mut impl Rng,
     ) -> Result<Self, NetError> {
         if k == 0 {
-            return Err(NetError::Topology("a network needs at least one node".into()));
+            return Err(NetError::Topology(
+                "a network needs at least one node".into(),
+            ));
         }
         let nodes: Vec<NodeId> = (0..k).map(Self::node_name).collect();
         let mut order: Vec<usize> = (0..k).collect();
@@ -289,16 +298,10 @@ mod tests {
     #[test]
     fn self_loops_and_unknown_nodes_rejected() {
         let nodes = vec![Value::sym("a"), Value::sym("b")];
-        assert!(Network::from_edges(
-            nodes.clone(),
-            vec![(Value::sym("a"), Value::sym("a"))]
-        )
-        .is_err());
-        assert!(Network::from_edges(
-            nodes,
-            vec![(Value::sym("a"), Value::sym("zz"))]
-        )
-        .is_err());
+        assert!(
+            Network::from_edges(nodes.clone(), vec![(Value::sym("a"), Value::sym("a"))]).is_err()
+        );
+        assert!(Network::from_edges(nodes, vec![(Value::sym("a"), Value::sym("zz"))]).is_err());
     }
 
     #[test]

@@ -59,7 +59,11 @@ impl Query for GatedQuery {
     }
 
     fn describe(&self) -> String {
-        format!("if [{}] then {}", self.condition.describe(), self.inner.describe())
+        format!(
+            "if [{}] then {}",
+            self.condition.describe(),
+            self.inner.describe()
+        )
     }
 }
 
@@ -111,7 +115,10 @@ impl Query for UnionQuery {
     }
 
     fn referenced_relations(&self) -> BTreeSet<RelName> {
-        self.parts.iter().flat_map(|p| p.referenced_relations()).collect()
+        self.parts
+            .iter()
+            .flat_map(|p| p.referenced_relations())
+            .collect()
     }
 
     fn is_always_empty(&self) -> bool {
@@ -122,7 +129,11 @@ impl Query for UnionQuery {
         if self.parts.is_empty() {
             return format!("∅/{}", self.arity);
         }
-        self.parts.iter().map(|p| p.describe()).collect::<Vec<_>>().join(" ∪ ")
+        self.parts
+            .iter()
+            .map(|p| p.describe())
+            .collect::<Vec<_>>()
+            .join(" ∪ ")
     }
 }
 
@@ -150,8 +161,11 @@ mod tests {
         let sch = Schema::new().with("Ready", 0).with("S", 1).with("T", 1);
         let mut i = Instance::empty(sch);
         if ready {
-            i.insert_fact(rtx_relational::Fact::new("Ready", rtx_relational::Tuple::empty()))
-                .unwrap();
+            i.insert_fact(rtx_relational::Fact::new(
+                "Ready",
+                rtx_relational::Tuple::empty(),
+            ))
+            .unwrap();
         }
         for &v in s {
             i.insert_fact(fact!("S", v)).unwrap();
@@ -218,10 +232,7 @@ mod tests {
             .when(atom!("S"; @"X"))
             .build()
             .unwrap();
-        let q = GatedQuery::new(
-            Arc::new(crate::cq::UcqQuery::single(cond)),
-            copy("T"),
-        );
+        let q = GatedQuery::new(Arc::new(crate::cq::UcqQuery::single(cond)), copy("T"));
         let mut d = db(false, &[1]);
         d.insert_fact(fact!("T", 5)).unwrap();
         assert_eq!(q.eval(&d).unwrap().len(), 1);

@@ -64,7 +64,12 @@ impl CqRule {
                 });
             }
         }
-        Ok(CqRule { head, pos, neg, diseq })
+        Ok(CqRule {
+            head,
+            pos,
+            neg,
+            diseq,
+        })
     }
 
     /// Head terms.
@@ -216,7 +221,10 @@ impl UcqQuery {
 
     /// A single-rule conjunctive query.
     pub fn single(rule: CqRule) -> Self {
-        UcqQuery { arity: rule.head.len(), rules: vec![rule] }
+        UcqQuery {
+            arity: rule.head.len(),
+            rules: vec![rule],
+        }
     }
 
     /// The rules.
@@ -308,7 +316,10 @@ pub struct CqBuilder {
 impl CqBuilder {
     /// Start a rule with the given head terms.
     pub fn head(terms: Vec<Term>) -> Self {
-        CqBuilder { head: terms, ..Default::default() }
+        CqBuilder {
+            head: terms,
+            ..Default::default()
+        }
     }
 
     /// Add a positive atom.
@@ -343,11 +354,7 @@ mod tests {
 
     fn db() -> Instance {
         let sch = Schema::new().with("E", 2).with("S", 1);
-        Instance::from_facts(
-            sch,
-            vec![fact!("E", 1, 2), fact!("E", 2, 3), fact!("S", 2)],
-        )
-        .unwrap()
+        Instance::from_facts(sch, vec![fact!("E", 1, 2), fact!("E", 2, 3), fact!("S", 2)]).unwrap()
     }
 
     fn v(n: &str) -> Term {
@@ -356,7 +363,10 @@ mod tests {
 
     #[test]
     fn single_atom_cq() {
-        let r = CqBuilder::head(vec![v("X")]).when(atom!("S"; @"X")).build().unwrap();
+        let r = CqBuilder::head(vec![v("X")])
+            .when(atom!("S"; @"X"))
+            .build()
+            .unwrap();
         let q = UcqQuery::single(r);
         let out = q.eval(&db()).unwrap();
         assert_eq!(out.len(), 1);
@@ -406,8 +416,14 @@ mod tests {
 
     #[test]
     fn union_of_rules() {
-        let r1 = CqBuilder::head(vec![v("X")]).when(atom!("S"; @"X")).build().unwrap();
-        let r2 = CqBuilder::head(vec![v("X")]).when(atom!("E"; @"X", @"Y")).build().unwrap();
+        let r1 = CqBuilder::head(vec![v("X")])
+            .when(atom!("S"; @"X"))
+            .build()
+            .unwrap();
+        let r2 = CqBuilder::head(vec![v("X")])
+            .when(atom!("E"; @"X", @"Y"))
+            .build()
+            .unwrap();
         let q = UcqQuery::new(1, vec![r1, r2]).unwrap();
         let out = q.eval(&db()).unwrap();
         assert_eq!(out.len(), 2); // {2} ∪ {1,2}
@@ -441,12 +457,10 @@ mod tests {
 
     #[test]
     fn head_constants_filtered_by_adom() {
-        let r = CqRule::new(vec![Term::cons(99)], vec![atom!("S"; @"X")], vec![], vec![])
-            .unwrap();
+        let r = CqRule::new(vec![Term::cons(99)], vec![atom!("S"; @"X")], vec![], vec![]).unwrap();
         let q = UcqQuery::single(r);
         assert!(q.eval(&db()).unwrap().is_empty()); // 99 ∉ adom
-        let r2 = CqRule::new(vec![Term::cons(1)], vec![atom!("S"; @"X")], vec![], vec![])
-            .unwrap();
+        let r2 = CqRule::new(vec![Term::cons(1)], vec![atom!("S"; @"X")], vec![], vec![]).unwrap();
         let out = UcqQuery::single(r2).eval(&db()).unwrap();
         assert!(out.contains(&tuple![1])); // 1 ∈ adom
     }
@@ -461,7 +475,10 @@ mod tests {
 
     #[test]
     fn arity_mismatch_in_union_rejected() {
-        let r1 = CqBuilder::head(vec![v("X")]).when(atom!("S"; @"X")).build().unwrap();
+        let r1 = CqBuilder::head(vec![v("X")])
+            .when(atom!("S"; @"X"))
+            .build()
+            .unwrap();
         assert!(UcqQuery::new(2, vec![r1.clone()]).is_err());
         let q = UcqQuery::single(r1);
         let r2 = CqBuilder::head(vec![v("X"), v("Y")])
@@ -475,7 +492,10 @@ mod tests {
     fn repeated_variables_join_correctly() {
         let sch = Schema::new().with("E", 2);
         let db = Instance::from_facts(sch, vec![fact!("E", 1, 1), fact!("E", 1, 2)]).unwrap();
-        let r = CqBuilder::head(vec![v("X")]).when(atom!("E"; @"X", @"X")).build().unwrap();
+        let r = CqBuilder::head(vec![v("X")])
+            .when(atom!("E"; @"X", @"X"))
+            .build()
+            .unwrap();
         let out = UcqQuery::single(r).eval(&db).unwrap();
         assert_eq!(out.len(), 1);
         assert!(out.contains(&tuple![1]));

@@ -162,16 +162,22 @@ impl Rule {
                     }
                 }
             }
-            let t = self.head.instantiate(&env).ok_or_else(|| EvalError::Unsafe {
-                reason: "head unbound".into(),
-            })?;
+            let t = self
+                .head
+                .instantiate(&env)
+                .ok_or_else(|| EvalError::Unsafe {
+                    reason: "head unbound".into(),
+                })?;
             out.push(t);
         }
         Ok(())
     }
 
     fn count_pos(&self) -> usize {
-        self.body.iter().filter(|l| matches!(l, Literal::Pos(_))).count()
+        self.body
+            .iter()
+            .filter(|l| matches!(l, Literal::Pos(_)))
+            .count()
     }
 
     fn pos_pred(&self, index: usize) -> Option<&RelName> {
@@ -236,7 +242,11 @@ impl Program {
                 }
             }
         }
-        Ok(Program { rules, signature, idb })
+        Ok(Program {
+            rules,
+            signature,
+            idb,
+        })
     }
 
     /// The rules.
@@ -342,7 +352,9 @@ impl Program {
                 }
                 if required > head_s {
                     if required > n {
-                        return Err(EvalError::NotStratifiable { pred: r.head.pred.clone() });
+                        return Err(EvalError::NotStratifiable {
+                            pred: r.head.pred.clone(),
+                        });
                     }
                     stratum.insert(r.head.pred.clone(), required);
                     changed = true;
@@ -413,8 +425,11 @@ impl Program {
             total.insert_fact(f)?;
         }
         for stratum in self.stratify()? {
-            let rules: Vec<&Rule> =
-                self.rules.iter().filter(|r| stratum.contains(&r.head.pred)).collect();
+            let rules: Vec<&Rule> = self
+                .rules
+                .iter()
+                .filter(|r| stratum.contains(&r.head.pred))
+                .collect();
             match strategy {
                 EvalStrategy::Naive => self.run_naive(&rules, &mut total)?,
                 EvalStrategy::SemiNaive => self.run_seminaive(&rules, &stratum, &mut total)?,
@@ -541,13 +556,17 @@ impl DatalogQuery {
     /// Build, validating that the output predicate is mentioned.
     pub fn new(program: Program, output: impl Into<RelName>) -> Result<Self, EvalError> {
         let output = output.into();
-        let arity = program
-            .signature()
-            .arity(&output)
-            .ok_or_else(|| EvalError::Rel(rtx_relational::RelError::UnknownRelation {
+        let arity = program.signature().arity(&output).ok_or_else(|| {
+            EvalError::Rel(rtx_relational::RelError::UnknownRelation {
                 rel: output.clone(),
-            }))?;
-        Ok(DatalogQuery { program, output, arity, strategy: EvalStrategy::SemiNaive })
+            })
+        })?;
+        Ok(DatalogQuery {
+            program,
+            output,
+            arity,
+            strategy: EvalStrategy::SemiNaive,
+        })
     }
 
     /// Select an evaluation strategy (ablation hook).
@@ -610,13 +629,16 @@ impl TpQuery {
     /// Build, validating the output predicate.
     pub fn new(program: Program, output: impl Into<RelName>) -> Result<Self, EvalError> {
         let output = output.into();
-        let arity = program
-            .signature()
-            .arity(&output)
-            .ok_or_else(|| EvalError::Rel(rtx_relational::RelError::UnknownRelation {
+        let arity = program.signature().arity(&output).ok_or_else(|| {
+            EvalError::Rel(rtx_relational::RelError::UnknownRelation {
                 rel: output.clone(),
-            }))?;
-        Ok(TpQuery { program, output, arity })
+            })
+        })?;
+        Ok(TpQuery {
+            program,
+            output,
+            arity,
+        })
     }
 }
 
@@ -661,7 +683,10 @@ mod tests {
 
     fn tc_program() -> Program {
         Program::new(vec![
-            rule(atom!("T"; @"X", @"Y"), vec![Literal::Pos(atom!("E"; @"X", @"Y"))]),
+            rule(
+                atom!("T"; @"X", @"Y"),
+                vec![Literal::Pos(atom!("E"; @"X", @"Y"))],
+            ),
             rule(
                 atom!("T"; @"X", @"Z"),
                 vec![
@@ -703,7 +728,10 @@ mod tests {
     #[test]
     fn naive_equals_seminaive() {
         let db = edges(&[(1, 2), (2, 3), (3, 1), (3, 5), (5, 6)]);
-        let semi = DatalogQuery::new(tc_program(), "T").unwrap().eval(&db).unwrap();
+        let semi = DatalogQuery::new(tc_program(), "T")
+            .unwrap()
+            .eval(&db)
+            .unwrap();
         let naive = DatalogQuery::new(tc_program(), "T")
             .unwrap()
             .with_strategy(EvalStrategy::Naive)
@@ -717,7 +745,10 @@ mod tests {
         // T seeded with an extra pair that E alone would not produce.
         let sch = Schema::new().with("E", 2).with("T", 2);
         let db = Instance::from_facts(sch, vec![fact!("E", 1, 2), fact!("T", 7, 8)]).unwrap();
-        let out = DatalogQuery::new(tc_program(), "T").unwrap().eval(&db).unwrap();
+        let out = DatalogQuery::new(tc_program(), "T")
+            .unwrap()
+            .eval(&db)
+            .unwrap();
         assert!(out.contains(&tuple![7, 8]));
         assert!(out.contains(&tuple![1, 2]));
     }
@@ -772,15 +803,24 @@ mod tests {
         let p = Program::new(vec![
             rule(
                 atom!("P"; @"X"),
-                vec![Literal::Pos(atom!("S"; @"X")), Literal::Neg(atom!("Q"; @"X"))],
+                vec![
+                    Literal::Pos(atom!("S"; @"X")),
+                    Literal::Neg(atom!("Q"; @"X")),
+                ],
             ),
             rule(
                 atom!("Q"; @"X"),
-                vec![Literal::Pos(atom!("S"; @"X")), Literal::Neg(atom!("P"; @"X"))],
+                vec![
+                    Literal::Pos(atom!("S"; @"X")),
+                    Literal::Neg(atom!("P"; @"X")),
+                ],
             ),
         ])
         .unwrap();
-        assert!(matches!(p.stratify(), Err(EvalError::NotStratifiable { .. })));
+        assert!(matches!(
+            p.stratify(),
+            Err(EvalError::NotStratifiable { .. })
+        ));
         let q = DatalogQuery::new(p, "P").unwrap();
         assert!(q.eval(&edges(&[])).is_err());
     }
@@ -789,7 +829,10 @@ mod tests {
     fn self_negation_rejected() {
         let p = Program::new(vec![rule(
             atom!("P"; @"X"),
-            vec![Literal::Pos(atom!("S"; @"X")), Literal::Neg(atom!("P"; @"X"))],
+            vec![
+                Literal::Pos(atom!("S"; @"X")),
+                Literal::Neg(atom!("P"; @"X")),
+            ],
         )])
         .unwrap();
         assert!(p.stratify().is_err());
@@ -829,7 +872,10 @@ mod tests {
         assert!(Rule::new(atom!("P"; @"X"), vec![]).is_err());
         assert!(Rule::new(
             atom!("P"; @"X"),
-            vec![Literal::Pos(atom!("S"; @"X")), Literal::Neg(atom!("T"; @"Y"))],
+            vec![
+                Literal::Pos(atom!("S"; @"X")),
+                Literal::Neg(atom!("T"; @"Y"))
+            ],
         )
         .is_err());
     }
@@ -861,7 +907,8 @@ mod tests {
         let sch = Schema::new().with("E", 2).with("T", 2);
         let mut db2 = db.widen(sch).unwrap();
         for t in s1.iter() {
-            db2.insert_fact(rtx_relational::Fact::new(RelName::new("T"), t.clone())).unwrap();
+            db2.insert_fact(rtx_relational::Fact::new(RelName::new("T"), t.clone()))
+                .unwrap();
         }
         let s2 = tp.eval(&db2).unwrap();
         assert!(s2.contains(&tuple![1, 3]));
@@ -881,7 +928,10 @@ mod tests {
     fn same_generation_classic() {
         // sg(X,Y) ← flat(X,Y); sg(X,Y) ← up(X,A), sg(A,B), down(B,Y)
         let p = Program::new(vec![
-            rule(atom!("Sg"; @"X", @"Y"), vec![Literal::Pos(atom!("Flat"; @"X", @"Y"))]),
+            rule(
+                atom!("Sg"; @"X", @"Y"),
+                vec![Literal::Pos(atom!("Flat"; @"X", @"Y"))],
+            ),
             rule(
                 atom!("Sg"; @"X", @"Y"),
                 vec![

@@ -41,7 +41,10 @@ impl fmt::Display for EvalError {
             EvalError::Rel(e) => write!(f, "{e}"),
             EvalError::Unsafe { reason } => write!(f, "unsafe query: {reason}"),
             EvalError::NotStratifiable { pred } => {
-                write!(f, "program is not stratifiable: `{pred}` depends negatively on itself")
+                write!(
+                    f,
+                    "program is not stratifiable: `{pred}` depends negatively on itself"
+                )
             }
             EvalError::Diverged { fuel } => {
                 write!(f, "while-program exceeded its step budget of {fuel}")
@@ -75,14 +78,21 @@ mod tests {
 
     #[test]
     fn display_covers_variants() {
-        assert!(EvalError::Unsafe { reason: "x free".into() }.to_string().contains("unsafe"));
+        assert!(EvalError::Unsafe {
+            reason: "x free".into()
+        }
+        .to_string()
+        .contains("unsafe"));
         assert!(EvalError::NotStratifiable { pred: "p".into() }
             .to_string()
             .contains("stratifiable"));
         assert!(EvalError::Diverged { fuel: 10 }.to_string().contains("10"));
-        assert!(EvalError::Parse { message: "oops".into(), offset: 3 }
-            .to_string()
-            .contains("byte 3"));
+        assert!(EvalError::Parse {
+            message: "oops".into(),
+            offset: 3
+        }
+        .to_string()
+        .contains("byte 3"));
         let rel: EvalError = RelError::NotInjective.into();
         assert!(rel.to_string().contains("injective"));
     }

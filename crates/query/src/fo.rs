@@ -120,8 +120,11 @@ impl Formula {
                 }
             }
             Formula::Exists(vs, f) | Formula::Forall(vs, f) => {
-                let newly: Vec<Var> =
-                    vs.iter().filter(|v| bound.insert((*v).clone())).cloned().collect();
+                let newly: Vec<Var> = vs
+                    .iter()
+                    .filter(|v| bound.insert((*v).clone()))
+                    .cloned()
+                    .collect();
                 f.collect_free(bound, out);
                 for v in newly {
                     bound.remove(&v);
@@ -679,8 +682,7 @@ mod tests {
         );
         assert!(pe.is_positive_existential());
         assert!(!Formula::not(Formula::atom(atom!("S"; @"X"))).is_positive_existential());
-        assert!(!Formula::forall(["X"], Formula::atom(atom!("S"; @"X")))
-            .is_positive_existential());
+        assert!(!Formula::forall(["X"], Formula::atom(atom!("S"; @"X"))).is_positive_existential());
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use combinator::{GatedQuery, UnionQuery};
 pub use cq::{CqBuilder, CqRule, UcqQuery};
 pub use datalog::{DatalogQuery, EvalStrategy, Literal, Program, Rule, TpQuery};
 pub use error::EvalError;
-pub use fo::{Formula, FoQuery};
+pub use fo::{FoQuery, Formula};
 pub use native::NativeQuery;
 pub use query::{CopyQuery, EmptyQuery, Query, QueryRef};
 pub use term::{Atom, Bindings, Term, Var};

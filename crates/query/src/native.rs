@@ -104,7 +104,11 @@ mod tests {
         // cardinality parity of S, a classic nonmonotone query
         let q = NativeQuery::new("even-card", 0, [RelName::new("S")], |db| {
             let n = db.relation(&"S".into())?.len();
-            Ok(if n % 2 == 0 { Relation::nullary_true() } else { Relation::nullary_false() })
+            Ok(if n % 2 == 0 {
+                Relation::nullary_true()
+            } else {
+                Relation::nullary_false()
+            })
         });
         let sch = Schema::new().with("S", 1);
         let mut db = Instance::empty(sch);

@@ -18,7 +18,7 @@
 
 use crate::datalog::{Literal, Program, Rule};
 use crate::error::EvalError;
-use crate::fo::{Formula, FoQuery};
+use crate::fo::{FoQuery, Formula};
 use crate::term::{Atom, Term, Var};
 use rtx_relational::Value;
 
@@ -47,11 +47,17 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> EvalError {
-        EvalError::Parse { message: message.into(), offset: self.pos }
+        EvalError::Parse {
+            message: message.into(),
+            offset: self.pos,
+        }
     }
 
     fn tokens(mut self) -> Result<Vec<(Tok, usize)>, EvalError> {
@@ -157,7 +163,9 @@ impl<'a> Lexer<'a> {
                     {
                         self.pos += 1;
                     }
-                    let text = std::str::from_utf8(&self.src[s..self.pos]).unwrap().to_string();
+                    let text = std::str::from_utf8(&self.src[s..self.pos])
+                        .unwrap()
+                        .to_string();
                     out.push((Tok::Ident(text), start));
                 }
                 other => {
@@ -176,7 +184,10 @@ struct Parser {
 
 impl Parser {
     fn new(src: &str) -> Result<Self, EvalError> {
-        Ok(Parser { toks: Lexer::new(src).tokens()?, pos: 0 })
+        Ok(Parser {
+            toks: Lexer::new(src).tokens()?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -184,11 +195,17 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.toks.get(self.pos).map(|&(_, o)| o).unwrap_or(usize::MAX)
+        self.toks
+            .get(self.pos)
+            .map(|&(_, o)| o)
+            .unwrap_or(usize::MAX)
     }
 
     fn error(&self, message: impl Into<String>) -> EvalError {
-        EvalError::Parse { message: message.into(), offset: self.offset() }
+        EvalError::Parse {
+            message: message.into(),
+            offset: self.offset(),
+        }
     }
 
     fn next(&mut self) -> Option<Tok> {
@@ -245,16 +262,15 @@ impl Parser {
     /// `name(t1, …, tk)` or bare `name` (nullary).
     fn parse_atom(&mut self, name: String) -> Result<Atom, EvalError> {
         let mut terms = Vec::new();
-        if self.eat(&Tok::LParen)
-            && !self.eat(&Tok::RParen) {
-                loop {
-                    terms.push(self.parse_term()?);
-                    if self.eat(&Tok::RParen) {
-                        break;
-                    }
-                    self.expect(Tok::Comma)?;
+        if self.eat(&Tok::LParen) && !self.eat(&Tok::RParen) {
+            loop {
+                terms.push(self.parse_term()?);
+                if self.eat(&Tok::RParen) {
+                    break;
                 }
+                self.expect(Tok::Comma)?;
             }
+        }
         Ok(Atom::new(name, terms))
     }
 
@@ -283,7 +299,9 @@ impl Parser {
         if self.eat(&Tok::Bang) {
             let name = match self.next() {
                 Some(Tok::Ident(n)) => n,
-                other => return Err(self.error(format!("expected atom after `!`, found {other:?}"))),
+                other => {
+                    return Err(self.error(format!("expected atom after `!`, found {other:?}")))
+                }
             };
             return Ok(Literal::Neg(self.parse_atom(name)?));
         }
@@ -329,7 +347,11 @@ impl Parser {
         while self.eat(&Tok::Pipe) {
             parts.push(self.parse_conjunction()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Formula::Or(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Formula::Or(parts)
+        })
     }
 
     fn parse_conjunction(&mut self) -> Result<Formula, EvalError> {
@@ -337,7 +359,11 @@ impl Parser {
         while self.eat(&Tok::Amp) {
             parts.push(self.parse_unary()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Formula::And(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Formula::And(parts)
+        })
     }
 
     fn parse_unary(&mut self) -> Result<Formula, EvalError> {
@@ -353,9 +379,8 @@ impl Parser {
                     match self.next() {
                         Some(Tok::Ident(v)) if Self::is_var(&v) => vars.push(Var::new(v)),
                         other => {
-                            return Err(
-                                self.error(format!("expected quantified variable, found {other:?}"))
-                            )
+                            return Err(self
+                                .error(format!("expected quantified variable, found {other:?}")))
                         }
                     }
                     if !self.eat(&Tok::Comma) {
@@ -472,11 +497,7 @@ mod tests {
 
     fn db() -> Instance {
         let sch = Schema::new().with("e", 2).with("s", 1);
-        Instance::from_facts(
-            sch,
-            vec![fact!("e", 1, 2), fact!("e", 2, 3), fact!("s", 2)],
-        )
-        .unwrap()
+        Instance::from_facts(sch, vec![fact!("e", 1, 2), fact!("e", 2, 3), fact!("s", 2)]).unwrap()
     }
 
     #[test]
@@ -514,11 +535,8 @@ mod tests {
     fn lowercase_idents_in_term_position_are_constants() {
         let p = parse_program("q(X) :- lab(X, red).").unwrap();
         let sch = Schema::new().with("lab", 2);
-        let dbx = Instance::from_facts(
-            sch,
-            vec![fact!("lab", 1, "red"), fact!("lab", 2, "blue")],
-        )
-        .unwrap();
+        let dbx = Instance::from_facts(sch, vec![fact!("lab", 1, "red"), fact!("lab", 2, "blue")])
+            .unwrap();
         let q = crate::datalog::DatalogQuery::new(p, "q").unwrap();
         let out = q.eval(&dbx).unwrap();
         assert_eq!(out.len(), 1);

@@ -120,7 +120,10 @@ pub struct CopyQuery {
 impl CopyQuery {
     /// Copy `rel` (of the given arity).
     pub fn new(rel: impl Into<RelName>, arity: usize) -> Self {
-        CopyQuery { rel: rel.into(), arity }
+        CopyQuery {
+            rel: rel.into(),
+            arity,
+        }
     }
 }
 

@@ -107,7 +107,10 @@ pub struct Atom {
 impl Atom {
     /// Build an atom.
     pub fn new(pred: impl Into<RelName>, terms: Vec<Term>) -> Self {
-        Atom { pred: pred.into(), terms }
+        Atom {
+            pred: pred.into(),
+            terms,
+        }
     }
 
     /// Arity of the atom.
@@ -161,7 +164,11 @@ impl Atom {
     ///
     /// Returns `None` if some variable is unbound.
     pub fn instantiate(&self, env: &Bindings) -> Option<Tuple> {
-        self.terms.iter().map(|t| t.resolve(env)).collect::<Option<Vec<_>>>().map(Tuple::new)
+        self.terms
+            .iter()
+            .map(|t| t.resolve(env))
+            .collect::<Option<Vec<_>>>()
+            .map(Tuple::new)
     }
 
     /// Join this atom against a materialized relation: for every tuple of

@@ -26,7 +26,11 @@ impl ViewQuery {
     /// Build a view composition. Each `(name, q)` pair defines view
     /// `name` as the result of `q` on the base database.
     pub fn new(views: Vec<(RelName, QueryRef)>, inner: QueryRef) -> Self {
-        ViewQuery { views, inner, include_base: false }
+        ViewQuery {
+            views,
+            inner,
+            include_base: false,
+        }
     }
 
     /// Expose base relations alongside the views (views shadow).
@@ -85,8 +89,11 @@ impl Query for ViewQuery {
         // Relations of the *base* database that may be read: everything
         // the views read, plus (with include_base) whatever the inner
         // query reads that is not shadowed by a view.
-        let mut out: BTreeSet<RelName> =
-            self.views.iter().flat_map(|(_, q)| q.referenced_relations()).collect();
+        let mut out: BTreeSet<RelName> = self
+            .views
+            .iter()
+            .flat_map(|(_, q)| q.referenced_relations())
+            .collect();
         if self.include_base {
             let view_names: BTreeSet<&RelName> = self.views.iter().map(|(n, _)| n).collect();
             for r in self.inner.referenced_relations() {
@@ -103,8 +110,11 @@ impl Query for ViewQuery {
     }
 
     fn describe(&self) -> String {
-        let views: Vec<String> =
-            self.views.iter().map(|(n, q)| format!("{n} := {}", q.describe())).collect();
+        let views: Vec<String> = self
+            .views
+            .iter()
+            .map(|(n, q)| format!("{n} := {}", q.describe()))
+            .collect();
         format!("[{}] ⊢ {}", views.join("; "), self.inner.describe())
     }
 }
@@ -131,10 +141,7 @@ mod tests {
         let sch = Schema::new().with("Store", 3);
         let db = Instance::from_facts(
             sch,
-            vec![
-                fact!("Store", "n1", 1, 2),
-                fact!("Store", "n2", 2, 3),
-            ],
+            vec![fact!("Store", "n1", 1, 2), fact!("Store", "n2", 2, 3)],
         )
         .unwrap();
         let view = CqBuilder::head(vec![Term::var("X"), Term::var("Y")])
@@ -159,7 +166,10 @@ mod tests {
         .unwrap();
         let inner: QueryRef = Arc::new(DatalogQuery::new(tc, "T").unwrap());
         let q = ViewQuery::new(
-            vec![("E".into(), Arc::new(crate::cq::UcqQuery::single(view)) as QueryRef)],
+            vec![(
+                "E".into(),
+                Arc::new(crate::cq::UcqQuery::single(view)) as QueryRef,
+            )],
             inner,
         );
         let out = q.eval(&db).unwrap();
@@ -185,7 +195,10 @@ mod tests {
             .build()
             .unwrap();
         let q = ViewQuery::new(
-            vec![("S".into(), Arc::new(crate::cq::UcqQuery::single(view)) as QueryRef)],
+            vec![(
+                "S".into(),
+                Arc::new(crate::cq::UcqQuery::single(view)) as QueryRef,
+            )],
             Arc::new(crate::cq::UcqQuery::single(inner_rule)),
         )
         .with_base();
@@ -203,7 +216,10 @@ mod tests {
         let sch = Schema::new().with("S", 1);
         let db = Instance::from_facts(sch, vec![fact!("S", 1)]).unwrap();
         let q = ViewQuery::new(
-            vec![("S".into(), Arc::new(crate::query::EmptyQuery::new(1)) as QueryRef)],
+            vec![(
+                "S".into(),
+                Arc::new(crate::query::EmptyQuery::new(1)) as QueryRef,
+            )],
             Arc::new(crate::query::CopyQuery::new("S", 1)),
         )
         .with_base();
@@ -213,7 +229,10 @@ mod tests {
     #[test]
     fn monotonicity_composition() {
         let q = ViewQuery::new(
-            vec![("S".into(), Arc::new(crate::query::CopyQuery::new("R", 1)) as QueryRef)],
+            vec![(
+                "S".into(),
+                Arc::new(crate::query::CopyQuery::new("R", 1)) as QueryRef,
+            )],
             Arc::new(crate::query::CopyQuery::new("S", 1)),
         );
         assert!(q.is_monotone_syntactic());

@@ -112,7 +112,12 @@ impl WhileProgram {
                 rel: output.clone(),
             }));
         }
-        Ok(WhileProgram { scratch, body, output, fuel: DEFAULT_FUEL })
+        Ok(WhileProgram {
+            scratch,
+            body,
+            output,
+            fuel: DEFAULT_FUEL,
+        })
     }
 
     /// Override the statement budget.
@@ -212,7 +217,10 @@ impl WhileQuery {
             .scratch
             .arity(&program.output)
             .expect("validated by WhileProgram::new");
-        WhileQuery { program: Arc::new(program), arity }
+        WhileQuery {
+            program: Arc::new(program),
+            arity,
+        }
     }
 
     /// The wrapped program.
@@ -257,7 +265,7 @@ mod tests {
     use super::*;
     use crate::atom;
     use crate::cq::CqBuilder;
-    use crate::fo::{Formula, FoQuery};
+    use crate::fo::{FoQuery, Formula};
     use crate::term::Term;
     use rtx_relational::{fact, tuple};
 
@@ -335,7 +343,9 @@ mod tests {
             Guard::Empty("S".into()),
             Box::new(Stmt::Assign("T".into(), q(copy_t))),
         );
-        let p = WhileProgram::new(scratch, body, "T").unwrap().with_fuel(100);
+        let p = WhileProgram::new(scratch, body, "T")
+            .unwrap()
+            .with_fuel(100);
         let sch = Schema::new().with("S", 1);
         let db = Instance::empty(sch);
         assert!(matches!(
@@ -403,7 +413,9 @@ mod tests {
             Guard::Empty("Out".into()),
             Box::new(Stmt::Accumulate("Out".into(), q(copy))),
         );
-        let p = WhileProgram::new(scratch, body, "Out").unwrap().with_fuel(10);
+        let p = WhileProgram::new(scratch, body, "Out")
+            .unwrap()
+            .with_fuel(10);
         let out = WhileQuery::new(p.clone()).eval(&edges(&[(1, 2)])).unwrap();
         assert_eq!(out.len(), 1);
         // with empty E it diverges (guard never falsified)

@@ -40,11 +40,21 @@ impl fmt::Display for RelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RelError::UnknownRelation { rel } => write!(f, "unknown relation `{rel}`"),
-            RelError::ArityMismatch { rel, expected, found } => {
-                write!(f, "arity mismatch for `{rel}`: expected {expected}, found {found}")
+            RelError::ArityMismatch {
+                rel,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "arity mismatch for `{rel}`: expected {expected}, found {found}"
+                )
             }
             RelError::TupleArity { expected, found } => {
-                write!(f, "tuple arity {found} does not match relation arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {found} does not match relation arity {expected}"
+                )
             }
             RelError::NotDisjoint { rel } => {
                 write!(f, "schemas are not disjoint: both declare `{rel}`")
@@ -64,9 +74,16 @@ mod tests {
     fn display_messages_are_informative() {
         let e = RelError::UnknownRelation { rel: "R".into() };
         assert!(e.to_string().contains("unknown relation"));
-        let e = RelError::ArityMismatch { rel: "R".into(), expected: 2, found: 3 };
+        let e = RelError::ArityMismatch {
+            rel: "R".into(),
+            expected: 2,
+            found: 3,
+        };
         assert!(e.to_string().contains("expected 2"));
-        let e = RelError::TupleArity { expected: 1, found: 0 };
+        let e = RelError::TupleArity {
+            expected: 1,
+            found: 0,
+        };
         assert!(e.to_string().contains("arity 0"));
         let e = RelError::NotDisjoint { rel: "R".into() };
         assert!(e.to_string().contains("not disjoint"));

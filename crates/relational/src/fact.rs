@@ -169,7 +169,10 @@ pub struct Fact {
 impl Fact {
     /// Build a fact.
     pub fn new(rel: impl Into<RelName>, tuple: impl Into<Tuple>) -> Self {
-        Fact { rel: rel.into(), tuple: tuple.into() }
+        Fact {
+            rel: rel.into(),
+            tuple: tuple.into(),
+        }
     }
 
     /// The relation name.

@@ -24,7 +24,10 @@ pub struct Instance {
 impl Instance {
     /// The empty instance of a schema.
     pub fn empty(schema: Schema) -> Self {
-        Instance { schema, relations: BTreeMap::new() }
+        Instance {
+            schema,
+            relations: BTreeMap::new(),
+        }
     }
 
     /// Build an instance from facts, validating each against the schema.
@@ -76,12 +79,20 @@ impl Instance {
     }
 
     /// Insert a whole relation under `name`, replacing the previous value.
-    pub fn set_relation(&mut self, name: impl Into<RelName>, rel: Relation) -> Result<(), RelError> {
+    pub fn set_relation(
+        &mut self,
+        name: impl Into<RelName>,
+        rel: Relation,
+    ) -> Result<(), RelError> {
         let name = name.into();
         match self.schema.arity(&name) {
             None => return Err(RelError::UnknownRelation { rel: name }),
             Some(a) if a != rel.arity() => {
-                return Err(RelError::ArityMismatch { rel: name, expected: a, found: rel.arity() })
+                return Err(RelError::ArityMismatch {
+                    rel: name,
+                    expected: a,
+                    found: rel.arity(),
+                })
             }
             Some(_) => {}
         }
@@ -116,9 +127,9 @@ impl Instance {
 
     /// Iterate over all facts, relation by relation, in order.
     pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
-        self.relations.iter().flat_map(|(name, rel)| {
-            rel.iter().map(move |t| Fact::new(name.clone(), t.clone()))
-        })
+        self.relations
+            .iter()
+            .flat_map(|(name, rel)| rel.iter().map(move |t| Fact::new(name.clone(), t.clone())))
     }
 
     /// Total number of facts.
@@ -310,8 +321,7 @@ mod tests {
     #[test]
     fn subinstance_is_fact_containment() {
         let a = Instance::from_facts(schema_rs(), vec![fact!("R", 1, 2)]).unwrap();
-        let b =
-            Instance::from_facts(schema_rs(), vec![fact!("R", 1, 2), fact!("S", 1)]).unwrap();
+        let b = Instance::from_facts(schema_rs(), vec![fact!("R", 1, 2), fact!("S", 1)]).unwrap();
         assert!(a.is_subinstance_of(&b));
         assert!(!b.is_subinstance_of(&a));
     }

@@ -25,9 +25,7 @@ impl Iso {
 
     /// Build from `(from, to)` pairs; errors when the pairs are not
     /// injective or remap the same source twice inconsistently.
-    pub fn from_pairs(
-        pairs: impl IntoIterator<Item = (Value, Value)>,
-    ) -> Result<Self, RelError> {
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Value, Value)>) -> Result<Self, RelError> {
         let mut map = BTreeMap::new();
         let mut seen_targets = BTreeMap::new();
         for (from, to) in pairs {
@@ -66,7 +64,11 @@ impl Iso {
     /// The inverse renaming (support swapped).
     pub fn inverse(&self) -> Iso {
         Iso {
-            map: self.map.iter().map(|(a, b)| (b.clone(), a.clone())).collect(),
+            map: self
+                .map
+                .iter()
+                .map(|(a, b)| (b.clone(), a.clone()))
+                .collect(),
         }
     }
 
@@ -82,7 +84,9 @@ impl Iso {
     /// (e.g. `{a→b}` with `b` not in the support maps both `a` and `b` to
     /// `b`). Permutation-like isos avoid this by having support = image.
     pub fn is_permutation_like(&self) -> bool {
-        self.map.values().all(|target| self.map.contains_key(target))
+        self.map
+            .values()
+            .all(|target| self.map.contains_key(target))
     }
 }
 

@@ -96,7 +96,9 @@ impl FactMultiset {
 
     /// Iterate over every copy (facts repeated per multiplicity).
     pub fn iter_copies(&self) -> impl Iterator<Item = &Fact> {
-        self.counts.iter().flat_map(|(f, &c)| std::iter::repeat_n(f, c))
+        self.counts
+            .iter()
+            .flat_map(|(f, &c)| std::iter::repeat_n(f, c))
     }
 
     /// The `i`-th copy in deterministic order (for seeded random picks).

@@ -19,7 +19,10 @@ pub struct Relation {
 impl Relation {
     /// The empty relation of the given arity.
     pub fn empty(arity: usize) -> Self {
-        Relation { arity, tuples: BTreeSet::new() }
+        Relation {
+            arity,
+            tuples: BTreeSet::new(),
+        }
     }
 
     /// Build from tuples, validating arity.
@@ -75,7 +78,10 @@ impl Relation {
     /// Insert a tuple; `Ok(true)` if newly inserted.
     pub fn insert(&mut self, t: Tuple) -> Result<bool, RelError> {
         if t.arity() != self.arity {
-            return Err(RelError::TupleArity { expected: self.arity, found: t.arity() });
+            return Err(RelError::TupleArity {
+                expected: self.arity,
+                found: t.arity(),
+            });
         }
         Ok(self.tuples.insert(t))
     }
@@ -136,7 +142,10 @@ impl Relation {
 
     fn check_same_arity(&self, other: &Relation) -> Result<(), RelError> {
         if self.arity != other.arity {
-            return Err(RelError::TupleArity { expected: self.arity, found: other.arity });
+            return Err(RelError::TupleArity {
+                expected: self.arity,
+                found: other.arity,
+            });
         }
         Ok(())
     }
@@ -201,7 +210,10 @@ mod tests {
         let mut r = Relation::empty(2);
         assert!(matches!(
             r.insert(tuple![1]),
-            Err(RelError::TupleArity { expected: 2, found: 1 })
+            Err(RelError::TupleArity {
+                expected: 2,
+                found: 1
+            })
         ));
     }
 

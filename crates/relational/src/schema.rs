@@ -54,7 +54,8 @@ impl Schema {
     /// Chainable variant of [`Schema::declare`] that panics on conflict —
     /// for statically-known schemas in tests and constructions.
     pub fn with(mut self, name: impl Into<RelName>, arity: usize) -> Self {
-        self.declare(name, arity).expect("conflicting arity in schema literal");
+        self.declare(name, arity)
+            .expect("conflicting arity in schema literal");
         self
     }
 
@@ -121,7 +122,9 @@ impl Schema {
     /// Validate a fact against this schema.
     pub fn check_fact(&self, fact: &Fact) -> Result<(), RelError> {
         match self.arity(fact.rel()) {
-            None => Err(RelError::UnknownRelation { rel: fact.rel().clone() }),
+            None => Err(RelError::UnknownRelation {
+                rel: fact.rel().clone(),
+            }),
             Some(a) if a != fact.arity() => Err(RelError::ArityMismatch {
                 rel: fact.rel().clone(),
                 expected: a,
@@ -178,7 +181,11 @@ mod tests {
         assert!(sch.declare("R", 2).is_ok());
         assert!(matches!(
             sch.declare("R", 3),
-            Err(RelError::ArityMismatch { expected: 2, found: 3, .. })
+            Err(RelError::ArityMismatch {
+                expected: 2,
+                found: 3,
+                ..
+            })
         ));
     }
 

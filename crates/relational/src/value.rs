@@ -112,7 +112,12 @@ mod tests {
         // Ints sort before Syms (enum declaration order); each group ordered.
         assert_eq!(
             v,
-            vec![Value::int(1), Value::int(2), Value::sym("a"), Value::sym("b")]
+            vec![
+                Value::int(1),
+                Value::int(2),
+                Value::sym("a"),
+                Value::sym("b")
+            ]
         );
     }
 

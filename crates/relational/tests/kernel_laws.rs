@@ -1,0 +1,231 @@
+//! Focused law-level tests for the relational kernel: multiset
+//! union/containment laws, isomorphism application round-trips, and
+//! schema-mismatch error paths.
+
+use rtx_relational::{
+    fact, tuple, Fact, FactMultiset, Instance, Iso, RelError, Relation, Schema, Tuple, Value,
+};
+
+fn m(facts: &[(i64, usize)]) -> FactMultiset {
+    let mut out = FactMultiset::new();
+    for &(v, n) in facts {
+        out.insert_n(fact!("M", v), n);
+    }
+    out
+}
+
+// ---------------------------------------------------------------- multiset
+
+#[test]
+fn multiset_union_adds_multiplicities_pointwise() {
+    let mut a = m(&[(1, 2), (2, 1)]);
+    let b = m(&[(1, 1), (3, 4)]);
+    a.extend(b.iter_copies().cloned());
+    assert_eq!(a.count(&fact!("M", 1)), 3);
+    assert_eq!(a.count(&fact!("M", 2)), 1);
+    assert_eq!(a.count(&fact!("M", 3)), 4);
+    assert_eq!(a.len(), 8);
+    assert_eq!(a.distinct_len(), 3);
+}
+
+#[test]
+fn multiset_union_is_commutative() {
+    let a = m(&[(1, 2), (2, 1)]);
+    let b = m(&[(2, 3), (5, 1)]);
+    let mut ab = a.clone();
+    ab.extend(b.iter_copies().cloned());
+    let mut ba = b.clone();
+    ba.extend(a.iter_copies().cloned());
+    assert_eq!(ab, ba);
+}
+
+#[test]
+fn multiset_union_with_empty_is_identity() {
+    let a = m(&[(1, 2), (9, 3)]);
+    let mut au = a.clone();
+    au.extend(FactMultiset::new().iter_copies().cloned());
+    assert_eq!(au, a);
+}
+
+#[test]
+fn multiset_containment_laws() {
+    let a = m(&[(1, 2)]);
+    // contains ⟺ count > 0, and removal of the last copy flips it
+    assert!(a.contains(&fact!("M", 1)));
+    assert!(!a.contains(&fact!("M", 2)));
+    let mut b = a.clone();
+    assert!(b.remove_one(&fact!("M", 1)));
+    assert!(b.contains(&fact!("M", 1)));
+    assert!(b.remove_one(&fact!("M", 1)));
+    assert!(!b.contains(&fact!("M", 1)));
+    // removing from the empty multiset reports absence
+    assert!(!b.remove_one(&fact!("M", 1)));
+    assert!(b.is_empty());
+}
+
+#[test]
+fn multiset_insert_then_remove_round_trips() {
+    let a = m(&[(1, 1), (2, 5), (3, 2)]);
+    let mut b = a.clone();
+    b.insert(fact!("M", 2));
+    assert!(b.remove_one(&fact!("M", 2)));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn multiset_from_iter_equals_repeated_insert() {
+    let facts: Vec<Fact> = vec![fact!("M", 1), fact!("M", 1), fact!("M", 4)];
+    let collected: FactMultiset = facts.clone().into_iter().collect();
+    let mut manual = FactMultiset::new();
+    for f in facts {
+        manual.insert(f);
+    }
+    assert_eq!(collected, manual);
+    assert_eq!(collected.len(), 3);
+    assert_eq!(collected.distinct_len(), 2);
+}
+
+// --------------------------------------------------------------------- iso
+
+fn edge_instance(pairs: &[(i64, i64)]) -> Instance {
+    let mut i = Instance::empty(Schema::new().with("E", 2));
+    for &(a, b) in pairs {
+        i.insert_fact(fact!("E", a, b)).unwrap();
+    }
+    i
+}
+
+#[test]
+fn iso_inverse_round_trips_on_instances() {
+    let i = edge_instance(&[(1, 2), (2, 3), (3, 1)]);
+    let h = Iso::from_pairs(vec![
+        (Value::int(1), Value::int(2)),
+        (Value::int(2), Value::int(3)),
+        (Value::int(3), Value::int(1)),
+    ])
+    .unwrap();
+    assert!(h.is_permutation_like());
+    assert_eq!(h.inverse().apply_instance(&h.apply_instance(&i)), i);
+    assert_eq!(h.apply_instance(&h.inverse().apply_instance(&i)), i);
+}
+
+#[test]
+fn iso_application_preserves_cardinalities_when_injective() {
+    let i = edge_instance(&[(1, 2), (2, 3), (1, 3)]);
+    let h = Iso::from_pairs(vec![
+        (Value::int(1), Value::int(10)),
+        (Value::int(2), Value::int(20)),
+        (Value::int(3), Value::int(30)),
+    ])
+    .unwrap();
+    let j = h.apply_instance(&i);
+    assert_eq!(j.fact_count(), i.fact_count());
+    assert_eq!(j.adom().len(), i.adom().len());
+    assert!(j.contains_fact(&fact!("E", 10, 20)));
+}
+
+#[test]
+fn iso_composition_via_successive_application() {
+    // h2 ∘ h1 applied stepwise equals the composed renaming 1→5→6.
+    let i = edge_instance(&[(1, 1)]);
+    let h1 = Iso::from_pairs(vec![(Value::int(1), Value::int(5))]).unwrap();
+    let h2 = Iso::from_pairs(vec![(Value::int(5), Value::int(6))]).unwrap();
+    let j = h2.apply_instance(&h1.apply_instance(&i));
+    assert!(j.contains_fact(&fact!("E", 6, 6)));
+    assert_eq!(j.fact_count(), 1);
+}
+
+#[test]
+fn iso_relation_round_trip() {
+    let r = Relation::from_tuples(2, vec![tuple![1, 2], tuple![2, 2]]).unwrap();
+    let h = Iso::from_pairs(vec![
+        (Value::int(1), Value::int(2)),
+        (Value::int(2), Value::int(1)),
+    ])
+    .unwrap();
+    let s = h.apply_relation(&r);
+    assert!(s.contains(&tuple![2, 1]));
+    assert!(s.contains(&tuple![1, 1]));
+    assert_eq!(h.inverse().apply_relation(&s), r);
+}
+
+#[test]
+fn iso_rejects_non_injective_pairs() {
+    assert_eq!(
+        Iso::from_pairs(vec![
+            (Value::int(1), Value::int(9)),
+            (Value::int(2), Value::int(9)),
+        ]),
+        Err(RelError::NotInjective)
+    );
+}
+
+// --------------------------------------------------- schema error paths
+
+#[test]
+fn instance_rejects_unknown_relation() {
+    let mut i = Instance::empty(Schema::new().with("R", 2));
+    let err = i.insert_fact(fact!("Q", 1, 2)).unwrap_err();
+    assert!(matches!(err, RelError::UnknownRelation { .. }));
+}
+
+#[test]
+fn instance_rejects_arity_mismatch() {
+    let mut i = Instance::empty(Schema::new().with("R", 2));
+    let err = i.insert_fact(fact!("R", 1)).unwrap_err();
+    assert_eq!(
+        err,
+        RelError::ArityMismatch {
+            rel: "R".into(),
+            expected: 2,
+            found: 1
+        }
+    );
+}
+
+#[test]
+fn from_facts_propagates_schema_errors() {
+    let sch = Schema::new().with("R", 1);
+    assert!(Instance::from_facts(sch.clone(), vec![fact!("R", 1, 2)]).is_err());
+    assert!(Instance::from_facts(sch, vec![fact!("S", 1)]).is_err());
+}
+
+#[test]
+fn set_relation_checks_name_and_arity() {
+    let mut i = Instance::empty(Schema::new().with("R", 2));
+    let wrong_arity = Relation::from_tuples(1, vec![tuple![1]]).unwrap();
+    assert!(i.set_relation("R", wrong_arity).is_err());
+    let unknown = Relation::from_tuples(2, vec![tuple![1, 2]]).unwrap();
+    assert!(i.set_relation("Q", unknown).is_err());
+    let ok = Relation::from_tuples(2, vec![tuple![1, 2]]).unwrap();
+    assert!(i.set_relation("R", ok).is_ok());
+    assert!(i.contains_fact(&fact!("R", 1, 2)));
+}
+
+#[test]
+fn relation_ops_reject_mixed_arities() {
+    let r1 = Relation::from_tuples(1, vec![tuple![1]]).unwrap();
+    let r2 = Relation::from_tuples(2, vec![tuple![1, 2]]).unwrap();
+    assert!(r1.union(&r2).is_err());
+    assert!(r1.intersect(&r2).is_err());
+    assert!(r1.difference(&r2).is_err());
+    let mut r = Relation::empty(2);
+    assert_eq!(
+        r.insert(Tuple::new(vec![Value::int(1)])),
+        Err(RelError::TupleArity {
+            expected: 2,
+            found: 1
+        })
+    );
+}
+
+#[test]
+fn instance_union_requires_compatible_schemas() {
+    let a = Instance::from_facts(Schema::new().with("R", 1), vec![fact!("R", 1)]).unwrap();
+    let b = Instance::from_facts(Schema::new().with("R", 2), vec![fact!("R", 1, 2)]).unwrap();
+    assert!(a.union(&b).is_err());
+    let c = Instance::from_facts(Schema::new().with("R", 1), vec![fact!("R", 2)]).unwrap();
+    let u = a.union(&c).unwrap();
+    assert_eq!(u.fact_count(), 2);
+    assert!(a.is_subinstance_of(&u) && c.is_subinstance_of(&u));
+}

@@ -119,9 +119,8 @@ impl TransducerBuilder {
             return Err(e);
         }
         let output_arity = self.output_arity.unwrap_or(0);
-        let schema =
-            TransducerSchema::new(self.input, self.message, self.memory, output_arity)
-                .map_err(EvalError::Rel)?;
+        let schema = TransducerSchema::new(self.input, self.message, self.memory, output_arity)
+            .map_err(EvalError::Rel)?;
 
         let mut snd = self.snd;
         let mut ins = self.ins;
@@ -154,11 +153,14 @@ impl TransducerBuilder {
 
         // Defaults: empty queries.
         for (rel, arity) in schema.message().iter() {
-            snd.entry(rel.clone()).or_insert_with(|| Arc::new(EmptyQuery::new(arity)));
+            snd.entry(rel.clone())
+                .or_insert_with(|| Arc::new(EmptyQuery::new(arity)));
         }
         for (rel, arity) in schema.memory().iter() {
-            ins.entry(rel.clone()).or_insert_with(|| Arc::new(EmptyQuery::new(arity)));
-            del.entry(rel.clone()).or_insert_with(|| Arc::new(EmptyQuery::new(arity)));
+            ins.entry(rel.clone())
+                .or_insert_with(|| Arc::new(EmptyQuery::new(arity)));
+            del.entry(rel.clone())
+                .or_insert_with(|| Arc::new(EmptyQuery::new(arity)));
         }
 
         let out = match self.out {
@@ -176,7 +178,9 @@ impl TransducerBuilder {
             None => Arc::new(EmptyQuery::new(output_arity)) as QueryRef,
         };
 
-        Ok(Transducer::from_parts(schema, snd, ins, del, out, self.name))
+        Ok(Transducer::from_parts(
+            schema, snd, ins, del, out, self.name,
+        ))
     }
 }
 

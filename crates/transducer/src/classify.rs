@@ -97,7 +97,7 @@ impl fmt::Display for Classification {
 mod tests {
     use super::*;
     use crate::builder::TransducerBuilder;
-    use rtx_query::{atom, CqBuilder, Formula, FoQuery, QueryRef, Term, UcqQuery};
+    use rtx_query::{atom, CqBuilder, FoQuery, Formula, QueryRef, Term, UcqQuery};
     use std::sync::Arc;
 
     fn copy_s() -> QueryRef {

@@ -39,8 +39,12 @@ impl TransducerSchema {
     ) -> Result<Self, RelError> {
         let sys = system_schema();
         // pairwise disjointness, system included
-        let parts: [(&str, &Schema); 4] =
-            [("input", &input), ("system", &sys), ("message", &message), ("memory", &memory)];
+        let parts: [(&str, &Schema); 4] = [
+            ("input", &input),
+            ("system", &sys),
+            ("message", &message),
+            ("memory", &memory),
+        ];
         for i in 0..parts.len() {
             for j in (i + 1)..parts.len() {
                 for (name, _) in parts[i].1.iter() {
@@ -50,7 +54,12 @@ impl TransducerSchema {
                 }
             }
         }
-        Ok(TransducerSchema { input, message, memory, output_arity })
+        Ok(TransducerSchema {
+            input,
+            message,
+            memory,
+            output_arity,
+        })
     }
 
     /// The input schema `S_in`.
@@ -187,11 +196,8 @@ mod tests {
     #[test]
     fn initial_state_fills_system_relations() {
         let s = sch();
-        let input = Instance::from_facts(
-            Schema::new().with("R", 2),
-            vec![fact!("R", 1, 2)],
-        )
-        .unwrap();
+        let input =
+            Instance::from_facts(Schema::new().with("R", 2), vec![fact!("R", 1, 2)]).unwrap();
         let nodes: BTreeSet<Value> = [Value::sym("a"), Value::sym("b")].into_iter().collect();
         let st = s.initial_state(&input, &Value::sym("a"), &nodes).unwrap();
         assert!(st.contains_fact(&fact!("Id", "a")));

@@ -50,7 +50,14 @@ impl Transducer {
         out: QueryRef,
         name: String,
     ) -> Self {
-        Transducer { schema, snd, ins, del, out, name }
+        Transducer {
+            schema,
+            snd,
+            ins,
+            del,
+            out,
+            name,
+        }
     }
 
     /// The transducer schema.
@@ -115,7 +122,10 @@ impl Transducer {
         // Sends.
         let mut sent = Instance::empty(self.schema.message().clone());
         for (rel, _) in self.schema.message().iter() {
-            let q = self.snd.get(rel).expect("builder populates every message relation");
+            let q = self
+                .snd
+                .get(rel)
+                .expect("builder populates every message relation");
             sent.set_relation(rel.clone(), q.eval(&combined)?)?;
         }
 
@@ -125,8 +135,14 @@ impl Transducer {
         // Memory update.
         let mut new_state = state.clone();
         for (rel, _) in self.schema.memory().iter() {
-            let ins_q = self.ins.get(rel).expect("builder populates every memory relation");
-            let del_q = self.del.get(rel).expect("builder populates every memory relation");
+            let ins_q = self
+                .ins
+                .get(rel)
+                .expect("builder populates every memory relation");
+            let del_q = self
+                .del
+                .get(rel)
+                .expect("builder populates every memory relation");
             let ins = ins_q.eval(&combined)?;
             let del = del_q.eval(&combined)?;
             let cur = state.relation(rel)?;
@@ -137,7 +153,11 @@ impl Transducer {
             new_state.set_relation(rel.clone(), next)?;
         }
 
-        Ok(StepResult { new_state, sent, output })
+        Ok(StepResult {
+            new_state,
+            sent,
+            output,
+        })
     }
 
     /// A heartbeat transition: a step with no received messages.
@@ -218,12 +238,10 @@ mod tests {
                     .build()
                     .unwrap()),
             )
-            .output(
-                cq(CqBuilder::head(vec![Term::var("X")])
-                    .when(atom!("T"; @"X"))
-                    .build()
-                    .unwrap()),
-            )
+            .output(cq(CqBuilder::head(vec![Term::var("X")])
+                .when(atom!("T"; @"X"))
+                .build()
+                .unwrap()))
             .build()
             .unwrap()
     }
@@ -235,7 +253,9 @@ mod tests {
         )
         .unwrap();
         let nodes: BTreeSet<Value> = [Value::sym("n1")].into_iter().collect();
-        t.schema().initial_state(&input, &Value::sym("n1"), &nodes).unwrap()
+        t.schema()
+            .initial_state(&input, &Value::sym("n1"), &nodes)
+            .unwrap()
     }
 
     fn msg(facts: &[i64]) -> Instance {
@@ -320,14 +340,20 @@ mod tests {
         )
         .unwrap();
         let nodes: BTreeSet<Value> = [Value::sym("n")].into_iter().collect();
-        let mut st = t.schema().initial_state(&input, &Value::sym("n"), &nodes).unwrap();
+        let mut st = t
+            .schema()
+            .initial_state(&input, &Value::sym("n"), &nodes)
+            .unwrap();
         st.insert_fact(fact!("T", 3)).unwrap();
         st.insert_fact(fact!("T", 4)).unwrap();
 
         let res = t.heartbeat(&st).unwrap();
         let tm = res.new_state.relation(&"T".into()).unwrap();
         assert!(tm.contains(&tuple![1]), "ins-only enters");
-        assert!(!tm.contains(&tuple![2]), "conflicting ins/del on absent tuple stays out");
+        assert!(
+            !tm.contains(&tuple![2]),
+            "conflicting ins/del on absent tuple stays out"
+        );
         assert!(!tm.contains(&tuple![3]), "del-only leaves");
         assert!(tm.contains(&tuple![4]), "untouched stays");
 
@@ -336,7 +362,10 @@ mod tests {
         st2.insert_fact(fact!("T", 2)).unwrap();
         let res2 = t.heartbeat(&st2).unwrap();
         let tm2 = res2.new_state.relation(&"T".into()).unwrap();
-        assert!(tm2.contains(&tuple![2]), "conflicting ins/del on present tuple keeps it");
+        assert!(
+            tm2.contains(&tuple![2]),
+            "conflicting ins/del on present tuple keeps it"
+        );
     }
 
     #[test]
@@ -363,10 +392,12 @@ mod tests {
             .output(Arc::new(rtx_query::EmptyQuery::new(0)))
             .build()
             .unwrap();
-        let input =
-            Instance::from_facts(Schema::new().with("A", 1), vec![fact!("A", 5)]).unwrap();
+        let input = Instance::from_facts(Schema::new().with("A", 1), vec![fact!("A", 5)]).unwrap();
         let nodes: BTreeSet<Value> = [Value::sym("n")].into_iter().collect();
-        let mut st = t.schema().initial_state(&input, &Value::sym("n"), &nodes).unwrap();
+        let mut st = t
+            .schema()
+            .initial_state(&input, &Value::sym("n"), &nodes)
+            .unwrap();
         st.insert_fact(fact!("T", 9)).unwrap(); // old junk
         let res = t.heartbeat(&st).unwrap();
         let tm = res.new_state.relation(&"T".into()).unwrap();

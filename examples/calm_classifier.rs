@@ -41,6 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("{}", "-".repeat(118));
-    println!("CALM (Cor. 13): coordination-free ⟺ monotone; oblivious ⇒ coordination-free (Prop. 11).");
+    println!(
+        "CALM (Cor. 13): coordination-free ⟺ monotone; oblivious ⇒ coordination-free (Prop. 11)."
+    );
     Ok(())
 }

@@ -31,10 +31,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let budget = RunBudget::steps(2_000_000);
 
         let flood = flood_transducer(&schema, FloodMode::Dedup, None)?;
-        let f = run(&net, &flood, &partition, &mut FifoRoundRobin::new(), &budget)?;
+        let f = run(
+            &net,
+            &flood,
+            &partition,
+            &mut FifoRoundRobin::new(),
+            &budget,
+        )?;
 
         let multicast = multicast_transducer(&schema, None)?;
-        let m = run(&net, &multicast, &partition, &mut FifoRoundRobin::new(), &budget)?;
+        let m = run(
+            &net,
+            &multicast,
+            &partition,
+            &mut FifoRoundRobin::new(),
+            &budget,
+        )?;
 
         println!(
             "{:<7} {:<16} {:<16} {:<16.1} {:<12}",

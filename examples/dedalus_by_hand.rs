@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     edb.insert(0, fact!("link", "b", "c"));
     edb.insert(4, fact!("link", "c", "d")); // a late link
 
-    let opts = DedalusOptions { max_ticks: 60, async_max_delay: 3, seed: 7 };
+    let opts = DedalusOptions {
+        max_ticks: 60,
+        async_max_delay: 3,
+        seed: 7,
+    };
     let trace = run_dedalus(&program, &edb, &opts)?;
 
     println!("tick-by-tick discovery (async delays are seeded):");
@@ -50,8 +54,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let final_db = trace.last();
     println!("\nconverged at tick: {:?}", trace.converged_at);
-    println!("discovery times:   {}", final_db.relation(&"found_at".into())?);
+    println!(
+        "discovery times:   {}",
+        final_db.relation(&"found_at".into())?
+    );
     assert!(trace.converged(), "eventually consistent");
-    assert_eq!(final_db.relation(&"reach".into())?.len(), 4, "a,b,c,d all reached");
+    assert_eq!(
+        final_db.relation(&"reach".into())?.len(),
+        4,
+        "a,b,c,d all reached"
+    );
     Ok(())
 }

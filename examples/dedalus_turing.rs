@@ -10,7 +10,11 @@ use rtx::dedalus::{simulate_word, DedalusOptions, InputSchedule};
 use rtx::machine::machines;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let opts = DedalusOptions { max_ticks: 2000, async_max_delay: 1, seed: 0 };
+    let opts = DedalusOptions {
+        max_ticks: 2000,
+        async_max_delay: 1,
+        seed: 0,
+    };
     println!("Turing machines as eventually-consistent Dedalus programs (Theorem 18)");
     println!("{}", "-".repeat(88));
     println!(
@@ -25,9 +29,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             let direct = m.run(w, 1_000_000)?.accepted();
             let sim0 = simulate_word(&m, w, InputSchedule::AllAtZero, &opts)?;
-            let sim_scattered =
-                simulate_word(&m, w, InputSchedule::Scattered { spread: 5, seed: 42 }, &opts)?;
-            assert_eq!(direct, sim0.accepted, "simulation must agree with the machine");
+            let sim_scattered = simulate_word(
+                &m,
+                w,
+                InputSchedule::Scattered {
+                    spread: 5,
+                    seed: 42,
+                },
+                &opts,
+            )?;
+            assert_eq!(
+                direct, sim0.accepted,
+                "simulation must agree with the machine"
+            );
             assert_eq!(direct, sim_scattered.accepted, "…under any arrival order");
             println!(
                 "{:<14} {:<8} {:<11} {:<14} {:<14} {:<10}",

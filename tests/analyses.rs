@@ -7,8 +7,8 @@ use rtx::calm::analysis::{
 };
 use rtx::calm::examples;
 use rtx::net::Network;
-use rtx::query::{Formula, FoQuery, Query};
 use rtx::query::atom;
+use rtx::query::{FoQuery, Formula, Query};
 use rtx::relational::{fact, Instance, Relation, Schema};
 
 fn tc_input() -> Instance {
@@ -100,11 +100,7 @@ fn monotonicity_verdict_carries_witness() {
         Formula::atom(atom!("S"; @"X")),
     )))
     .unwrap();
-    let pool = vec![Instance::from_facts(
-        Schema::new().with("S", 1),
-        vec![fact!("S", 1)],
-    )
-    .unwrap()];
+    let pool = vec![Instance::from_facts(Schema::new().with("S", 1), vec![fact!("S", 1)]).unwrap()];
     match check_monotone(&q, &pool, 4, 7).unwrap() {
         MonotonicityVerdict::Violation { smaller, larger } => {
             assert!(smaller.is_subinstance_of(&larger));

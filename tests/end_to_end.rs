@@ -7,8 +7,7 @@ use rtx::calm::constructions::distribute::{distribute_any, distribute_monotone};
 use rtx::calm::constructions::flood::FloodMode;
 use rtx::calm::examples;
 use rtx::net::{
-    run, FifoRoundRobin, HorizontalPartition, LifoRoundRobin, Network, RandomScheduler,
-    RunBudget,
+    run, FifoRoundRobin, HorizontalPartition, LifoRoundRobin, Network, RandomScheduler, RunBudget,
 };
 use rtx::query::{DatalogQuery, Query, QueryRef};
 use rtx::relational::{fact, Instance, Relation, Schema};
@@ -25,10 +24,8 @@ fn edges(pairs: &[(i64, i64)]) -> Instance {
 
 #[test]
 fn parsed_datalog_distributed_on_every_builtin_topology() {
-    let program = rtx::query::parser::parse_program(
-        "T(X,Y) :- E(X,Y). T(X,Z) :- T(X,Y), E(Y,Z).",
-    )
-    .unwrap();
+    let program =
+        rtx::query::parser::parse_program("T(X,Y) :- E(X,Y). T(X,Z) :- T(X,Y), E(Y,Z).").unwrap();
     let q: QueryRef = Arc::new(DatalogQuery::new(program, "T").unwrap());
     let input = edges(&[(1, 2), (2, 3), (3, 4), (5, 1)]);
     let expected = q.eval(&input).unwrap();
@@ -43,8 +40,14 @@ fn parsed_datalog_distributed_on_every_builtin_topology() {
         Network::ring4_with_chord(),
     ] {
         let p = HorizontalPartition::round_robin(&net, &input);
-        let out =
-            run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(500_000)).unwrap();
+        let out = run(
+            &net,
+            &t,
+            &p,
+            &mut FifoRoundRobin::new(),
+            &RunBudget::steps(500_000),
+        )
+        .unwrap();
         assert!(out.quiescent, "not quiescent on {net:?}");
         assert_eq!(out.output, expected, "wrong closure on {net:?}");
     }
@@ -82,10 +85,8 @@ fn theorem_6_1_distributes_a_while_query_end_to_end() {
     // nonmonotone while-ish query via FO sentence: "E is a total relation
     // over its active domain" — every pair of adom elements is an edge.
     let q: QueryRef = Arc::new(
-        rtx::query::parser::parse_fo_query(
-            "() <- forall X, Y . E(X,X) | E(X,Y) | E(Y,X) | X = Y",
-        )
-        .unwrap(),
+        rtx::query::parser::parse_fo_query("() <- forall X, Y . E(X,X) | E(X,Y) | E(Y,X) | X = Y")
+            .unwrap(),
     );
     let yes = edges(&[(1, 2), (2, 1)]);
     let no = edges(&[(1, 2), (3, 4)]);
@@ -94,8 +95,14 @@ fn theorem_6_1_distributes_a_while_query_end_to_end() {
         let t = distribute_any(q.clone(), input.schema()).unwrap();
         let net = Network::line(3).unwrap();
         let p = HorizontalPartition::round_robin(&net, input);
-        let out =
-            run(&net, &t, &p, &mut LifoRoundRobin::new(), &RunBudget::steps(500_000)).unwrap();
+        let out = run(
+            &net,
+            &t,
+            &p,
+            &mut LifoRoundRobin::new(),
+            &RunBudget::steps(500_000),
+        )
+        .unwrap();
         assert!(out.quiescent);
         assert_eq!(out.output.as_bool(), central);
     }
@@ -188,11 +195,17 @@ fn quiescence_point_exists_for_every_library_transducer() {
 fn per_node_outputs_union_to_global_output() {
     let t = examples::ex3_transitive_closure(true).unwrap();
     let sch = Schema::new().with("S", 2);
-    let input =
-        Instance::from_facts(sch, vec![fact!("S", 1, 2), fact!("S", 2, 3)]).unwrap();
+    let input = Instance::from_facts(sch, vec![fact!("S", 1, 2), fact!("S", 2, 3)]).unwrap();
     let net = Network::star(4).unwrap();
     let p = HorizontalPartition::round_robin(&net, &input);
-    let out = run(&net, &t, &p, &mut FifoRoundRobin::new(), &RunBudget::steps(500_000)).unwrap();
+    let out = run(
+        &net,
+        &t,
+        &p,
+        &mut FifoRoundRobin::new(),
+        &RunBudget::steps(500_000),
+    )
+    .unwrap();
     let mut union = Relation::empty(2);
     for per in out.outputs_per_node.values() {
         union = union.union(per).unwrap();

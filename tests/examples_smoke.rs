@@ -1,0 +1,35 @@
+//! Smoke test: every `examples/` program must build and exit 0.
+//!
+//! Runs each example through `cargo run --example` (the same entry
+//! point CI and the README advertise) so examples can never silently
+//! rot. The examples are small end-to-end demos; each finishes in
+//! seconds even in debug mode.
+
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "calm_classifier",
+    "coordination_cost",
+    "dedalus_by_hand",
+    "dedalus_turing",
+];
+
+#[test]
+fn all_examples_run_cleanly() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    for name in EXAMPLES {
+        let out = Command::new(&cargo)
+            .args(["run", "--quiet", "--example", name])
+            .env("CARGO_TERM_COLOR", "never")
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example `{name}`: {e}"));
+        assert!(
+            out.status.success(),
+            "example `{name}` failed with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr),
+        );
+    }
+}

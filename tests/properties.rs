@@ -12,9 +12,7 @@
 use proptest::prelude::*;
 use rtx::calm::constructions::distribute::distribute_monotone;
 use rtx::calm::constructions::flood::{flood_transducer, FloodMode};
-use rtx::net::{
-    run, HorizontalPartition, Network, RandomScheduler, RunBudget,
-};
+use rtx::net::{run, HorizontalPartition, Network, RandomScheduler, RunBudget};
 use rtx::query::{DatalogQuery, EvalStrategy, Query, QueryRef};
 use rtx::relational::{fact, Fact, Instance, Iso, Schema, Value};
 use std::sync::Arc;
@@ -29,10 +27,8 @@ fn edge_instance(pairs: &[(u8, u8)]) -> Instance {
 }
 
 fn tc_query() -> DatalogQuery {
-    let p = rtx::query::parser::parse_program(
-        "T(X,Y) :- E(X,Y). T(X,Z) :- T(X,Y), E(Y,Z).",
-    )
-    .unwrap();
+    let p =
+        rtx::query::parser::parse_program("T(X,Y) :- E(X,Y). T(X,Z) :- T(X,Y), E(Y,Z).").unwrap();
     DatalogQuery::new(p, "T").unwrap()
 }
 
