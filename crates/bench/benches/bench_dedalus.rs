@@ -1,9 +1,16 @@
 //! THM-18 benchmark: the Dedalus Turing-machine simulation — ticks and
-//! wall time vs word length, against the direct interpreter baseline.
+//! wall time vs word length, against the direct interpreter baseline —
+//! plus the delta-vs-clone store ablation on the TM simulation and on a
+//! larger transitive-closure workload.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rtx_dedalus::{simulate_word, DedalusOptions, InputSchedule};
+use rtx_dedalus::{
+    simulate_word, DedalusOptions, DedalusProgram, DedalusRuntime, InputSchedule, StoreMode,
+    TemporalFacts,
+};
 use rtx_machine::machines;
+use rtx_query::atom;
+use rtx_relational::Fact;
 
 fn bench_dedalus(c: &mut Criterion) {
     let opts = DedalusOptions {
@@ -40,6 +47,82 @@ fn bench_dedalus(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Store ablation on the TM simulation: the compiled Theorem 18
+    // program through the delta store + indexed joins vs the seed
+    // clone-per-tick + scan-join loop, at the largest existing length
+    // and one size up.
+    let mut group = c.benchmark_group("dedalus-tm-store");
+    group.sample_size(10);
+    let program = rtx_dedalus::compile_tm(&m).unwrap();
+    let rt = DedalusRuntime::new(&program).unwrap();
+    for len in [6usize, 8] {
+        let word: String = "ab".repeat(len / 2);
+        let input = rtx_machine::encode_word(&word, m.input_alphabet().iter().copied()).unwrap();
+        let edb = TemporalFacts::all_at_zero(&input);
+        for (label, mode) in [("delta", StoreMode::Delta), ("clone", StoreMode::Cloning)] {
+            group.bench_with_input(BenchmarkId::new(label, len), &len, |b, _| {
+                b.iter(|| {
+                    let trace = rt.run_with(&edb, &opts, mode).unwrap();
+                    assert!(trace.converged_at.is_some());
+                    trace.ticks.len()
+                })
+            });
+        }
+    }
+    group.finish();
+
+    // Store ablation on a persistence-heavy transitive-closure
+    // workload: edges trickle in over the first ticks, the deductive
+    // rules re-close the graph every tick, persistence re-derives the
+    // whole carry — the worst case for clone-per-tick.
+    let mut group = c.benchmark_group("dedalus-tc-store");
+    group.sample_size(10);
+    let program = tc_program();
+    let rt = DedalusRuntime::new(&program).unwrap();
+    for n in [16usize, 32] {
+        let mut edb = TemporalFacts::new();
+        for i in 0..n as i64 {
+            edb.insert(
+                (i as u64) % 4,
+                Fact::new(
+                    "e",
+                    rtx_relational::Tuple::new(vec![
+                        rtx_relational::Value::int(i),
+                        rtx_relational::Value::int(i + 1),
+                    ]),
+                ),
+            );
+        }
+        let tc_opts = DedalusOptions {
+            max_ticks: 64,
+            async_max_delay: 1,
+            seed: 0,
+        };
+        for (label, mode) in [("delta", StoreMode::Delta), ("clone", StoreMode::Cloning)] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    let trace = rt.run_with(&edb, &tc_opts, mode).unwrap();
+                    assert!(trace.converged_at.is_some());
+                    trace.last().fact_count()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Persisted edges, within-tick transitive closure.
+fn tc_program() -> DedalusProgram {
+    DedalusProgram::new(vec![
+        rtx_dedalus::DRule::persist("e", 2),
+        rtx_dedalus::DRule::new(atom!("t"; @"X", @"Y"), rtx_dedalus::DTime::Same)
+            .when(atom!("e"; @"X", @"Y")),
+        rtx_dedalus::DRule::new(atom!("t"; @"X", @"Z"), rtx_dedalus::DTime::Same)
+            .when(atom!("t"; @"X", @"Y"))
+            .when(atom!("e"; @"Y", @"Z")),
+    ])
+    .unwrap()
 }
 
 criterion_group!(benches, bench_dedalus);

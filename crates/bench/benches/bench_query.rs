@@ -1,10 +1,11 @@
-//! Substrate benchmarks: query-language evaluation, including the
-//! naive-vs-semi-naive Datalog ablation called out in DESIGN.md.
+//! Substrate benchmarks: query-language evaluation — the
+//! naive-vs-semi-naive Datalog ablation and the indexed-vs-scan join
+//! ablation introduced with the storage engine refactor.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtx_bench::chain_input;
 use rtx_query::atom;
-use rtx_query::{DatalogQuery, EvalStrategy, FoQuery, Formula, Query};
+use rtx_query::{DatalogQuery, EvalStrategy, FoQuery, Formula, JoinMode, Query};
 
 fn bench_query(c: &mut Criterion) {
     let program =
@@ -23,6 +24,36 @@ fn bench_query(c: &mut Criterion) {
             .with_strategy(EvalStrategy::Naive);
         group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
             b.iter(|| naive.eval(&input).unwrap().len())
+        });
+    }
+    group.finish();
+
+    // Indexed vs scan joins on the same semi-naive evaluator, at the
+    // sizes where the access path dominates.
+    let mut group = c.benchmark_group("datalog-tc-joins");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let input = chain_input("E", n);
+        let indexed = DatalogQuery::new(program.clone(), "T")
+            .unwrap()
+            .with_join_mode(JoinMode::Indexed);
+        let scan = DatalogQuery::new(program.clone(), "T")
+            .unwrap()
+            .with_join_mode(JoinMode::Scan);
+        let expect = n * (n + 1) / 2;
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| {
+                let out = indexed.eval(&input).unwrap();
+                assert_eq!(out.len(), expect);
+                out.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            b.iter(|| {
+                let out = scan.eval(&input).unwrap();
+                assert_eq!(out.len(), expect);
+                out.len()
+            })
         });
     }
     group.finish();
@@ -56,6 +87,32 @@ fn bench_query(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("forall-sentence", n), &n, |b, _| {
             b.iter(|| quantified.eval(&input).unwrap().len())
+        });
+    }
+    group.finish();
+
+    // The two-hop join at scale: the second E atom probes on its bound
+    // first column under the indexed mode vs scanning all n edges per
+    // binding under the seed scan mode.
+    let mut group = c.benchmark_group("two-hop-join");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        let input = chain_input("E", n);
+        let indexed = conjunctive.clone().with_join_mode(JoinMode::Indexed);
+        let scan = conjunctive.clone().with_join_mode(JoinMode::Scan);
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| {
+                let out = indexed.eval(&input).unwrap();
+                assert_eq!(out.len(), n - 1);
+                out.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            b.iter(|| {
+                let out = scan.eval(&input).unwrap();
+                assert_eq!(out.len(), n - 1);
+                out.len()
+            })
         });
     }
     group.finish();

@@ -6,7 +6,7 @@ use rtx_calm::analysis::{classify, standard_suite, ClassifierOptions};
 fn main() {
     let opts = ClassifierOptions::default();
     println!("\n[COR-13] the CALM property, empirically");
-    let tab = Table::new(&[
+    let mut tab = Table::new(&[
         ("case", 18),
         ("oblivious", 10),
         ("consistent", 11),

@@ -17,7 +17,7 @@ fn main() {
     println!(
         "\n[EX-9/10/15, PROP-11] coordination-freeness search (2-node line, exhaustive partitions)"
     );
-    let tab = Table::new(&[
+    let mut tab = Table::new(&[
         ("transducer", 18),
         ("oblivious", 10),
         ("query", 22),

@@ -14,7 +14,7 @@ fn main() {
     };
 
     println!("\n[THM-18] Q_M in Dedalus: agreement with the direct interpreter");
-    let tab = Table::new(&[
+    let mut tab = Table::new(&[
         ("machine", 13),
         ("word", 7),
         ("interp", 7),
@@ -59,7 +59,7 @@ fn main() {
     tab.done();
 
     println!("\n[THM-18] monotonicity guard: spurious inputs accept outright");
-    let tab = Table::new(&[("perturbation", 28), ("accepted", 9), ("converged", 10)]);
+    let mut tab = Table::new(&[("perturbation", 28), ("accepted", 9), ("converged", 10)]);
     let m = machines::even_as(); // rejects "ab"
     let base = rtx_machine::encode_word("ab", ['a', 'b']).unwrap();
     let perturbations: Vec<(&str, Instance)> = {

@@ -14,7 +14,7 @@ fn main() {
     let input = set_input(5);
 
     println!("\n[LEM-5.1/5.2] dissemination: flooding vs ack-multicast (5 facts)");
-    let tab = Table::new(&[
+    let mut tab = Table::new(&[
         ("topology", 10),
         ("nodes", 6),
         ("flood msgs", 11),

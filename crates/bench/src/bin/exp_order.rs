@@ -12,7 +12,7 @@ fn main() {
     {
         let input = set_input(4);
         let t = linear_order_transducer(input.schema()).unwrap();
-        let tab = Table::new(&[("topology", 10), ("nodes with a total order", 26)]);
+        let mut tab = Table::new(&[("topology", 10), ("nodes with a total order", 26)]);
         for net in [Network::line(2).unwrap(), Network::ring(4).unwrap()] {
             let out = run_fifo(&net, &t, &input);
             assert!(out.quiescent);
@@ -32,7 +32,7 @@ fn main() {
     println!("\n[COR-8] parity of |S| — a non-FO, nonmonotone query via the order");
     {
         let t = even_cardinality_transducer().unwrap();
-        let tab = Table::new(&[
+        let mut tab = Table::new(&[
             ("|S|", 5),
             ("expected even?", 15),
             ("2-node answer", 14),

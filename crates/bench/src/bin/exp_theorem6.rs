@@ -25,7 +25,7 @@ fn main() {
             .unwrap(),
         );
         let t = distribute_any(q.clone(), &schema).unwrap();
-        let tab = Table::new(&[
+        let mut tab = Table::new(&[
             ("input", 24),
             ("Q(I) central", 13),
             ("distributed", 12),
@@ -53,7 +53,7 @@ fn main() {
     {
         let program = transitive_closure_program();
         let q: QueryRef = Arc::new(DatalogQuery::new(program, "T").unwrap());
-        let tab = Table::new(&[
+        let mut tab = Table::new(&[
             ("chain length", 13),
             ("|Q(I)|", 8),
             ("|output|", 9),
@@ -86,7 +86,7 @@ fn main() {
         let q = DatalogQuery::new(program.clone(), "T").unwrap();
         let t = distribute_datalog(&program, &"T".into(), FloodMode::Dedup).unwrap();
         let c = Classification::of(&t);
-        let tab = Table::new(&[
+        let mut tab = Table::new(&[
             ("input", 14),
             ("|Q(I)|", 8),
             ("|output|", 9),

@@ -9,7 +9,7 @@ use rtx_transducer::Classification;
 
 fn main() {
     println!("\n[THM-16] the ring-R4 / chorded-ring transfer: out(I) ⊆ out(J) for I ⊆ J");
-    let tab = Table::new(&[
+    let mut tab = Table::new(&[
         ("transducer", 18),
         ("uses Id", 8),
         ("|out| on R4 (I)", 16),

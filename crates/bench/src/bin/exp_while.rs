@@ -49,7 +49,7 @@ fn tc_while() -> WhileProgram {
 fn main() {
     println!("\n[LEM-5.3] while-program ⟺ FO-transducer on a single-node network");
     let program = tc_while();
-    let tab = Table::new(&[
+    let mut tab = Table::new(&[
         ("input", 10),
         ("while |Q(I)|", 13),
         ("compiled |out|", 14),

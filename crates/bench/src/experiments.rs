@@ -1,0 +1,114 @@
+//! EX-2 / EX-3a / EX-3b / EX-4: the paper's worked examples, verified.
+//!
+//! This is the body of the `exp_examples` binary, exposed as a library
+//! function so the tier-1 test suite can smoke-run it in-process (the
+//! other eight experiment binaries are slower and stay bin-only; see
+//! `EXPERIMENTS.md`).
+
+use crate::Table;
+use rtx_calm::examples;
+use rtx_net::{run, FifoRoundRobin, HorizontalPartition, LifoRoundRobin, Network, RunBudget};
+use rtx_relational::{fact, Instance, Schema, Value};
+
+/// Run the four worked-example experiments, printing their tables.
+pub fn run_examples() {
+    println!("\n[EX-2] Example 2: first-received-element is INCONSISTENT");
+    let t = examples::ex2_first_element().unwrap();
+    let input = Instance::from_facts(
+        Schema::new().with("S", 1),
+        vec![fact!("S", 1), fact!("S", 2)],
+    )
+    .unwrap();
+    let net = Network::line(2).unwrap();
+    let p = HorizontalPartition::concentrate(&net, &input, &Value::sym("n0")).unwrap();
+    let budget = RunBudget::steps(100_000);
+    let fifo = run(&net, &t, &p, &mut FifoRoundRobin::new(), &budget).unwrap();
+    let lifo = run(&net, &t, &p, &mut LifoRoundRobin::new(), &budget).unwrap();
+    let mut tab = Table::new(&[("schedule", 10), ("output", 24), ("quiescent", 10)]);
+    tab.row(&[
+        "fifo".into(),
+        format!("{}", fifo.output),
+        fifo.quiescent.to_string(),
+    ]);
+    tab.row(&[
+        "lifo".into(),
+        format!("{}", lifo.output),
+        lifo.quiescent.to_string(),
+    ]);
+    tab.done();
+    println!(
+        "paper: \"different runs may deliver the elements in different orders\" → inconsistent: {}",
+        fifo.output != lifo.output
+    );
+
+    println!("\n[EX-3a] Example 3: equality selection σ_{{$1=$2}}(S), messageless");
+    let t = examples::ex3_equality_selection().unwrap();
+    let input = Instance::from_facts(
+        Schema::new().with("S", 2),
+        vec![fact!("S", 1, 1), fact!("S", 1, 2), fact!("S", 3, 3)],
+    )
+    .unwrap();
+    let mut tab = Table::new(&[("topology", 10), ("output", 24), ("messages", 10)]);
+    for net in [Network::single(), Network::line(3).unwrap()] {
+        let out = crate::run_fifo(&net, &t, &input);
+        tab.row(&[
+            format!("{}-node", net.len()),
+            format!("{}", out.output),
+            out.messages_enqueued.to_string(),
+        ]);
+    }
+    tab.done();
+
+    println!("\n[EX-3b] Example 3: naive distributed transitive closure (paper's formulation)");
+    let t = examples::ex3_transitive_closure(true).unwrap();
+    let input = Instance::from_facts(
+        Schema::new().with("S", 2),
+        vec![fact!("S", 1, 2), fact!("S", 2, 3), fact!("S", 3, 4)],
+    )
+    .unwrap();
+    let mut tab = Table::new(&[
+        ("topology", 10),
+        ("|output|", 9),
+        ("steps", 8),
+        ("messages", 10),
+    ]);
+    for net in [
+        Network::line(2).unwrap(),
+        Network::ring(4).unwrap(),
+        Network::star(5).unwrap(),
+    ] {
+        let out = crate::run_fifo(&net, &t, &input);
+        assert!(out.quiescent);
+        tab.row(&[
+            format!("{net:?}"),
+            out.output.len().to_string(),
+            out.steps.to_string(),
+            out.messages_enqueued.to_string(),
+        ]);
+    }
+    tab.done();
+    println!("closure of a 3-edge chain has 6 tuples on every topology: consistent & NTI");
+
+    println!("\n[EX-4] Example 4: echo — consistent per topology, NOT network-independent");
+    let t = examples::ex4_echo().unwrap();
+    let input = Instance::from_facts(
+        Schema::new().with("S", 1),
+        vec![fact!("S", 5), fact!("S", 6)],
+    )
+    .unwrap();
+    let mut tab = Table::new(&[("topology", 10), ("computed query", 20)]);
+    for net in [
+        Network::single(),
+        Network::line(2).unwrap(),
+        Network::ring(3).unwrap(),
+    ] {
+        let out = crate::run_fifo(&net, &t, &input);
+        let what = if out.output.is_empty() {
+            "empty query"
+        } else {
+            "identity"
+        };
+        tab.row(&[format!("{}-node", net.len()), what.into()]);
+    }
+    tab.done();
+}

@@ -7,39 +7,91 @@ use rtx_net::{run, FifoRoundRobin, HorizontalPartition, Network, RunBudget, RunO
 use rtx_relational::{fact, Instance, Schema};
 use rtx_transducer::Transducer;
 
-/// A minimal fixed-width table printer (keeps experiment output uniform).
+pub mod experiments;
+
+/// Longest cell a [`Table`] column grows to before eliding with `…`.
+const MAX_COL_WIDTH: usize = 48;
+
+/// A minimal table printer (keeps experiment output uniform).
+///
+/// Rows are buffered and printed by [`Table::done`], with each column
+/// widened to its longest cell (the per-column width passed to
+/// [`Table::new`] is only a minimum) — labels like `Network[4 nodes: …]`
+/// are never cut off at the declared width. Cells beyond
+/// [`MAX_COL_WIDTH`] characters are elided with `…`.
 pub struct Table {
-    widths: Vec<usize>,
+    headers: Vec<String>,
+    min_widths: Vec<usize>,
+    rows: Vec<Vec<String>>,
 }
 
 impl Table {
-    /// Start a table; prints the header immediately.
+    /// Start a table with headers and minimum column widths.
     pub fn new(columns: &[(&str, usize)]) -> Self {
-        let widths: Vec<usize> = columns.iter().map(|&(_, w)| w).collect();
+        Table {
+            headers: columns.iter().map(|&(name, _)| name.to_string()).collect(),
+            min_widths: columns.iter().map(|&(_, w)| w).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Buffer one row (missing cells print empty, extras are dropped).
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Print the whole table with fitted column widths.
+    pub fn done(self) {
+        print!("{}", self.render());
+    }
+
+    /// Render the table to a string (see [`Table::done`]).
+    pub fn render(self) -> String {
+        let clip = |s: &str| -> String {
+            let n = s.chars().count();
+            if n <= MAX_COL_WIDTH {
+                s.to_string()
+            } else {
+                let mut out: String = s.chars().take(MAX_COL_WIDTH - 1).collect();
+                out.push('…');
+                out
+            }
+        };
+        let headers: Vec<String> = self.headers.iter().map(|h| clip(h)).collect();
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|c| clip(c)).collect())
+            .collect();
+        let mut widths: Vec<usize> = headers
+            .iter()
+            .zip(&self.min_widths)
+            .map(|(h, &w)| w.max(h.chars().count()))
+            .collect();
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate().take(widths.len()) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
         let total: usize = widths.iter().sum::<usize>() + widths.len();
-        println!("{}", "-".repeat(total));
-        let mut line = String::new();
-        for ((name, _), w) in columns.iter().zip(&widths) {
-            line.push_str(&format!("{name:<w$} "));
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<w$} "));
+            }
+            format!("{}\n", line.trim_end())
+        };
+        let rule = format!("{}\n", "-".repeat(total));
+        let mut out = String::new();
+        out.push_str(&rule);
+        out.push_str(&fmt_row(&headers));
+        out.push_str(&rule);
+        for row in &rows {
+            out.push_str(&fmt_row(row));
         }
-        println!("{line}");
-        println!("{}", "-".repeat(total));
-        Table { widths }
-    }
-
-    /// Print one row.
-    pub fn row(&self, cells: &[String]) {
-        let mut line = String::new();
-        for (cell, w) in cells.iter().zip(&self.widths) {
-            line.push_str(&format!("{cell:<w$} "));
-        }
-        println!("{line}");
-    }
-
-    /// Print the footer rule.
-    pub fn done(&self) {
-        let total: usize = self.widths.iter().sum::<usize>() + self.widths.len();
-        println!("{}", "-".repeat(total));
+        out.push_str(&rule);
+        out
     }
 }
 
@@ -93,5 +145,28 @@ mod tests {
     fn helpers_build_inputs() {
         assert_eq!(set_input(4).fact_count(), 4);
         assert_eq!(chain_input("E", 3).fact_count(), 3);
+    }
+
+    #[test]
+    fn table_widens_columns_to_fit_labels() {
+        let mut t = Table::new(&[("topology", 10), ("n", 3)]);
+        let label = "Network[4 nodes: n0–n1, n1–n2, n2–n3]";
+        t.row(&[label.into(), "4".into()]);
+        let out = t.render();
+        // the full label survives (the seed truncated at the declared width)
+        assert!(out.contains(label), "label truncated:\n{out}");
+        // header still present and aligned
+        assert!(out.contains("topology"));
+    }
+
+    #[test]
+    fn table_elides_extreme_cells() {
+        let mut t = Table::new(&[("c", 3)]);
+        let long = "x".repeat(MAX_COL_WIDTH + 20);
+        t.row(std::slice::from_ref(&long));
+        let out = t.render();
+        assert!(!out.contains(&long));
+        assert!(out.contains('…'));
+        assert!(out.lines().all(|l| l.chars().count() <= MAX_COL_WIDTH + 4));
     }
 }

@@ -1,0 +1,12 @@
+//! Smoke test: the `exp_examples` experiment must run cleanly.
+//!
+//! Calls the library entry point in-process (the binary is a thin
+//! wrapper over the same function), so the fast experiment can never
+//! silently rot without failing tier-1. The slower experiment binaries
+//! are compile-checked by `cargo build`/`cargo bench --no-run` and
+//! documented in `EXPERIMENTS.md`.
+
+#[test]
+fn exp_examples_runs_cleanly() {
+    rtx_bench::experiments::run_examples();
+}

@@ -12,11 +12,92 @@
 //! mean/min per-iteration wall time is printed. Good enough to compare
 //! hot paths across commits; swap in the real criterion when the
 //! registry is reachable.
+//!
+//! When the `RTX_BENCH_JSON` environment variable names a file, every
+//! bench binary additionally appends its results there as a JSON array
+//! of `{name, iters, mean_ns, min_ns}` records (see [`flush_json`]), so
+//! successive `cargo bench` targets build up one machine-readable
+//! baseline — the repo's `BENCH_baseline.json`.
 
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One finished benchmark, in the shape serialized to
+/// `RTX_BENCH_JSON`.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full benchmark label (`group/function/param`).
+    pub name: String,
+    /// Number of timed samples.
+    pub iters: usize,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: u128,
+    /// Minimum wall time per iteration, nanoseconds.
+    pub min_ns: u128,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn record(rec: BenchRecord) {
+    RESULTS.lock().unwrap_or_else(|e| e.into_inner()).push(rec);
+}
+
+/// Append this process's recorded results to the file named by
+/// `RTX_BENCH_JSON` (no-op when unset). Called by [`criterion_main!`]
+/// after all groups finish.
+///
+/// The file is a JSON array; an existing array written by a previous
+/// bench binary in the same `cargo bench` run is extended in place, so
+/// delete the file first to start a fresh baseline.
+pub fn flush_json() {
+    let Ok(path) = std::env::var("RTX_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    if results.is_empty() {
+        return;
+    }
+    let mut entries = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "  {{\"name\": \"{}\", \"iters\": {}, \"mean_ns\": {}, \"min_ns\": {}}}",
+            r.name.replace('\\', "\\\\").replace('"', "\\\""),
+            r.iters,
+            r.mean_ns,
+            r.min_ns
+        ));
+    }
+    let body = match std::fs::read_to_string(&path) {
+        Ok(prev) => {
+            // Extend the array written by an earlier bench binary.
+            let trimmed = prev.trim_end();
+            match trimmed.strip_suffix(']') {
+                Some(head) if trimmed.starts_with('[') => {
+                    let head = head.trim_end();
+                    if head == "[" {
+                        format!("[\n{entries}\n]\n")
+                    } else {
+                        format!("{head},\n{entries}\n]\n")
+                    }
+                }
+                _ => format!("[\n{entries}\n]\n"),
+            }
+        }
+        Err(_) => format!("[\n{entries}\n]\n"),
+    };
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("warning: could not write RTX_BENCH_JSON={path}: {e}");
+    }
+}
 
 /// Prevent the optimizer from deleting a computed value.
 pub fn black_box<T>(x: T) -> T {
@@ -187,6 +268,12 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) 
         "{label:<48} mean {mean:>12.3?}   min {min:>12.3?}   ({} samples)",
         b.results.len()
     );
+    record(BenchRecord {
+        name: label.to_string(),
+        iters: b.results.len(),
+        mean_ns: mean.as_nanos(),
+        min_ns: min.as_nanos(),
+    });
 }
 
 /// Collect benchmark functions into a runnable group.
@@ -200,12 +287,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Produce a `main` that runs the listed groups.
+/// Produce a `main` that runs the listed groups, then appends the
+/// results to `RTX_BENCH_JSON` (when set).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::flush_json();
         }
     };
 }

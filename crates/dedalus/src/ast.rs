@@ -58,6 +58,14 @@ impl DRule {
         }
     }
 
+    /// The ubiquitous persistence rule `P(x̄)@next ← P(x̄)` — every
+    /// Dedalus program in the paper persists its EDB this way.
+    pub fn persist(pred: impl Into<RelName>, arity: usize) -> Self {
+        let pred = pred.into();
+        let vars: Vec<Term> = (0..arity).map(|i| Term::var(format!("X{i}"))).collect();
+        DRule::new(Atom::new(pred.clone(), vars.clone()), DTime::Next).when(Atom::new(pred, vars))
+    }
+
     /// Add a positive body atom.
     pub fn when(mut self, a: Atom) -> Self {
         self.body_pos.push(a);

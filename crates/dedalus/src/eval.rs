@@ -23,7 +23,7 @@
 use crate::ast::{DRule, DTime, DedalusProgram};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rtx_query::{Atom, EvalError, Literal, Program, Rule, Term, Var};
+use rtx_query::{Atom, EvalError, EvalStrategy, JoinMode, Literal, Program, Rule, Term, Var};
 use rtx_relational::{Fact, Instance, RelName, Schema, Value};
 use std::collections::BTreeMap;
 
@@ -170,6 +170,22 @@ fn translate(rule: &DRule, now: u64) -> Result<Rule, EvalError> {
     Rule::new(head, body)
 }
 
+/// How the runtime maintains the tick-to-tick database.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StoreMode {
+    /// The seed behavior: clone the carry instance every tick, rebuild
+    /// the inductive/asynchronous programs every tick, and evaluate the
+    /// deductive fixpoint with full-scan joins. Kept as the measurable
+    /// baseline for `bench_dedalus` and as the oracle for the
+    /// delta ≡ clone property tests.
+    Cloning,
+    /// The delta store: one persistent base instance advanced by
+    /// [`Instance::apply_delta`] per tick, per-timing programs cached
+    /// when they don't entangle time, and indexed joins throughout.
+    #[default]
+    Delta,
+}
+
 /// The Dedalus evaluator.
 pub struct DedalusRuntime<'p> {
     program: &'p DedalusProgram,
@@ -217,8 +233,166 @@ impl<'p> DedalusRuntime<'p> {
         Ok(s)
     }
 
-    /// Run the program on a temporal EDB.
+    /// Run the program on a temporal EDB (delta store, indexed joins).
     pub fn run(&self, edb: &TemporalFacts, opts: &DedalusOptions) -> Result<Trace, EvalError> {
+        self.run_with(edb, opts, StoreMode::default())
+    }
+
+    /// Run with an explicit store mode. Both modes compute the same
+    /// trace — [`StoreMode::Cloning`] is the seed implementation kept
+    /// for benchmarking and equivalence testing.
+    pub fn run_with(
+        &self,
+        edb: &TemporalFacts,
+        opts: &DedalusOptions,
+        mode: StoreMode,
+    ) -> Result<Trace, EvalError> {
+        match mode {
+            StoreMode::Cloning => self.run_cloning(edb, opts),
+            StoreMode::Delta => self.run_delta(edb, opts),
+        }
+    }
+
+    /// Split a timing class into a program for the rules that never
+    /// mention the time variable (translated once, reused every tick)
+    /// and the entangled remainder (retranslated per tick). Firing the
+    /// two halves separately and unioning their heads is equivalent to
+    /// firing the whole class: `T_P` applies each rule once.
+    fn split_timing(&self, timing: DTime) -> Result<(Option<Program>, Vec<&'p DRule>), EvalError> {
+        let (free, entangled): (Vec<&DRule>, Vec<&DRule>) = self
+            .program
+            .rules_with(timing)
+            .partition(|r| r.time_var().is_none());
+        let cached = if free.is_empty() {
+            None
+        } else {
+            let rules: Vec<Rule> = free
+                .iter()
+                .map(|r| translate(r, 0))
+                .collect::<Result<_, _>>()?;
+            Some(Program::new(rules)?)
+        };
+        Ok((cached, entangled))
+    }
+
+    /// Translate and build a program from a rule subset at tick `now`.
+    fn build_subset(rules: &[&DRule], now: u64) -> Result<Program, EvalError> {
+        let translated: Vec<Rule> = rules
+            .iter()
+            .map(|r| translate(r, now))
+            .collect::<Result<_, _>>()?;
+        Program::new(translated)
+    }
+
+    /// The delta-store loop: one persistent `base` instance advanced by
+    /// per-tick deltas instead of a fresh clone of the carry, plus
+    /// tick-invariant program caching and indexed joins.
+    fn run_delta(&self, edb: &TemporalFacts, opts: &DedalusOptions) -> Result<Trace, EvalError> {
+        let schema = self.schema(edb)?;
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        // The persistent store: always equals carry(now) ∪ arrivals so
+        // far this tick. Between ticks it is advanced by the (usually
+        // tiny, for persistence-style programs) carry delta.
+        let mut base: Instance = Instance::empty(schema.clone());
+        let mut pending_async: BTreeMap<u64, Vec<Fact>> = BTreeMap::new();
+        let mut ticks: Vec<Instance> = Vec::new();
+        let mut converged_at = None;
+        let (cached_inductive, entangled_inductive) = self.split_timing(DTime::Next)?;
+        let (cached_async, entangled_async) = self.split_timing(DTime::Async)?;
+
+        for now in 0..opts.max_ticks {
+            // 1. base facts: the carried store plus this tick's arrivals
+            for f in edb.at(now) {
+                base.insert_fact(f.clone()).map_err(EvalError::Rel)?;
+            }
+            if let Some(facts) = pending_async.remove(&now) {
+                for f in facts {
+                    base.insert_fact(f).map_err(EvalError::Rel)?;
+                }
+            }
+
+            // 2. deductive fixpoint
+            let db = match &self.cached_deductive {
+                Some(p) => p.eval(&base)?,
+                None => Self::build(self.program, DTime::Same, now)?.eval(&base)?,
+            };
+
+            // 3. inductive rules → carry to now+1 (cached half + the
+            // per-tick entangled half)
+            let mut next_carry = Instance::empty(schema.clone());
+            let carry_step = |step: Instance, next_carry: &mut Instance| -> Result<(), EvalError> {
+                for f in step.facts() {
+                    if self.program.signature().contains(f.rel()) {
+                        next_carry.insert_fact(f).map_err(EvalError::Rel)?;
+                    }
+                }
+                Ok(())
+            };
+            if let Some(p) = &cached_inductive {
+                carry_step(p.tp_step(&db)?, &mut next_carry)?;
+            }
+            if !entangled_inductive.is_empty() {
+                let p = Self::build_subset(&entangled_inductive, now)?;
+                carry_step(p.tp_step(&db)?, &mut next_carry)?;
+            }
+
+            // 4. async rules → pending deliveries. The two halves merge
+            // into one instance before delays are drawn, so the RNG
+            // consumes facts in the same (sorted) order as the cloning
+            // store, keeping traces mode-independent.
+            let mut astep: Option<Instance> = None;
+            if let Some(p) = &cached_async {
+                astep = Some(p.tp_step(&db)?);
+            }
+            if !entangled_async.is_empty() {
+                let p = Self::build_subset(&entangled_async, now)?;
+                let step = p.tp_step(&db)?;
+                astep = Some(match astep {
+                    None => step,
+                    Some(mut acc) => {
+                        for f in step.facts() {
+                            acc.insert_fact(f).map_err(EvalError::Rel)?;
+                        }
+                        acc
+                    }
+                });
+            }
+            if let Some(astep) = astep {
+                for f in astep.facts() {
+                    if !self.program.signature().contains(f.rel()) {
+                        continue;
+                    }
+                    let delay = rng.gen_range(1..=opts.async_max_delay.max(1));
+                    pending_async.entry(now + delay).or_default().push(f);
+                }
+            }
+
+            // 5. convergence detection (see `run_cloning`)
+            let stable = ticks.last() == Some(&db);
+            let arrivals_done = edb.last_arrival().map(|l| l < now).unwrap_or(true);
+            let async_idempotent = pending_async
+                .values()
+                .flatten()
+                .all(|f| db.contains_fact(f));
+            ticks.push(db);
+            if stable && arrivals_done && async_idempotent {
+                converged_at = Some(now);
+                break;
+            }
+            // 6. advance the store to the next tick's carry by delta
+            let delta = next_carry.diff(&base);
+            base.apply_delta(&delta).map_err(EvalError::Rel)?;
+        }
+        Ok(Trace {
+            ticks,
+            converged_at,
+        })
+    }
+
+    /// The seed loop, preserved byte-for-byte modulo the explicit scan
+    /// join mode: clone the carry every tick, rebuild the inductive and
+    /// asynchronous programs every tick.
+    fn run_cloning(&self, edb: &TemporalFacts, opts: &DedalusOptions) -> Result<Trace, EvalError> {
         let schema = self.schema(edb)?;
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let mut carry: Instance = Instance::empty(schema.clone());
@@ -240,13 +414,17 @@ impl<'p> DedalusRuntime<'p> {
 
             // 2. deductive fixpoint
             let db = match &self.cached_deductive {
-                Some(p) => p.eval(&base)?,
-                None => Self::build(self.program, DTime::Same, now)?.eval(&base)?,
+                Some(p) => p.eval_with_mode(&base, EvalStrategy::SemiNaive, JoinMode::Scan)?,
+                None => Self::build(self.program, DTime::Same, now)?.eval_with_mode(
+                    &base,
+                    EvalStrategy::SemiNaive,
+                    JoinMode::Scan,
+                )?,
             };
 
             // 3. inductive rules → carry to now+1
             let inductive = Self::build(self.program, DTime::Next, now)?;
-            let step = inductive.tp_step(&db)?;
+            let step = inductive.tp_step_with_mode(&db, JoinMode::Scan)?;
             let mut next_carry = Instance::empty(schema.clone());
             for f in step.facts() {
                 if self.program.signature().contains(f.rel()) {
@@ -256,7 +434,7 @@ impl<'p> DedalusRuntime<'p> {
 
             // 4. async rules → pending deliveries
             let async_p = Self::build(self.program, DTime::Async, now)?;
-            let astep = async_p.tp_step(&db)?;
+            let astep = async_p.tp_step_with_mode(&db, JoinMode::Scan)?;
             for f in astep.facts() {
                 if !self.program.signature().contains(f.rel()) {
                     continue;
@@ -307,8 +485,7 @@ mod tests {
     use rtx_relational::fact;
 
     fn persist(pred: &str, arity: usize) -> DRule {
-        let vars: Vec<Term> = (0..arity).map(|i| Term::var(format!("X{i}"))).collect();
-        DRule::new(Atom::new(pred, vars.clone()), DTime::Next).when(Atom::new(pred, vars))
+        DRule::persist(pred, arity)
     }
 
     #[test]
@@ -432,6 +609,68 @@ mod tests {
         let trace = run_dedalus(&p, &edb, &DedalusOptions::default()).unwrap();
         assert!(trace.converged());
         assert!(trace.last().contains_fact(&fact!("fired", 1)));
+    }
+
+    #[test]
+    fn delta_store_matches_cloning_store() {
+        // A program exercising all three timing classes plus negation
+        // and entanglement-free persistence.
+        let p = DedalusProgram::new(vec![
+            persist("e", 2),
+            persist("got", 1),
+            persist("done", 0),
+            DRule::new(atom!("t"; @"X", @"Y"), DTime::Same).when(atom!("e"; @"X", @"Y")),
+            DRule::new(atom!("t"; @"X", @"Z"), DTime::Same)
+                .when(atom!("t"; @"X", @"Y"))
+                .when(atom!("e"; @"Y", @"Z")),
+            DRule::new(atom!("m"; @"X"), DTime::Async)
+                .when(atom!("e"; @"X", @"Y"))
+                .unless(atom!("done")),
+            DRule::new(atom!("got"; @"X"), DTime::Same).when(atom!("m"; @"X")),
+            DRule::new(atom!("done"), DTime::Next).when(atom!("e"; @"X", @"Y")),
+        ])
+        .unwrap();
+        let mut edb = TemporalFacts::new();
+        edb.insert(0, fact!("e", 1, 2));
+        edb.insert(2, fact!("e", 2, 3));
+        edb.insert(3, fact!("e", 3, 4));
+        for seed in [0u64, 7, 42] {
+            let opts = DedalusOptions {
+                max_ticks: 80,
+                async_max_delay: 3,
+                seed,
+            };
+            let rt = DedalusRuntime::new(&p).unwrap();
+            let delta = rt.run_with(&edb, &opts, StoreMode::Delta).unwrap();
+            let cloning = rt.run_with(&edb, &opts, StoreMode::Cloning).unwrap();
+            assert_eq!(delta.converged_at, cloning.converged_at, "seed {seed}");
+            assert_eq!(delta.ticks, cloning.ticks, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn delta_store_matches_cloning_with_entangled_time() {
+        // Entangled time variables force per-tick program rebuilds even
+        // in delta mode; the traces must still agree.
+        let p = DedalusProgram::new(vec![
+            persist("go", 0),
+            persist("tick", 1),
+            DRule::new(atom!("tick"; @"T"), DTime::Next)
+                .when(atom!("go"))
+                .with_time_var("T"),
+        ])
+        .unwrap();
+        let mut edb = TemporalFacts::new();
+        edb.insert(0, fact!("go"));
+        let opts = DedalusOptions {
+            max_ticks: 8,
+            ..Default::default()
+        };
+        let rt = DedalusRuntime::new(&p).unwrap();
+        let delta = rt.run_with(&edb, &opts, StoreMode::Delta).unwrap();
+        let cloning = rt.run_with(&edb, &opts, StoreMode::Cloning).unwrap();
+        assert_eq!(delta.ticks, cloning.ticks);
+        assert_eq!(delta.converged_at, cloning.converged_at);
     }
 
     #[test]

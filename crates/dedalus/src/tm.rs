@@ -48,10 +48,7 @@ pub fn compile_tm(m: &TuringMachine) -> Result<DedalusProgram, EvalError> {
     let states: Vec<String> = m.states().into_iter().collect();
     let mut rules: Vec<DRule> = Vec::new();
 
-    let persist = |pred: &str, arity: usize| -> DRule {
-        let vars: Vec<Term> = (0..arity).map(|i| v(&format!("X{i}"))).collect();
-        DRule::new(Atom::new(pred, vars.clone()), DTime::Next).when(Atom::new(pred, vars))
-    };
+    let persist = |pred: &str, arity: usize| DRule::persist(pred, arity);
 
     // 1. persistence of the EDB
     for a in &sigma {

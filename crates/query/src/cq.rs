@@ -96,15 +96,10 @@ impl CqRule {
     fn eval_into(&self, db: &Instance, out: &mut Relation) -> Result<(), EvalError> {
         let mut envs: Vec<Bindings> = vec![Bindings::new()];
         for a in &self.pos {
-            let rel = db.relation(&a.pred)?;
-            if rel.arity() != a.arity() {
-                return Err(EvalError::Rel(rtx_relational::RelError::ArityMismatch {
-                    rel: a.pred.clone(),
-                    expected: rel.arity(),
-                    found: a.arity(),
-                }));
-            }
-            envs = a.join(&rel, &envs);
+            let Some(rel) = crate::plan::lookup(db, a)? else {
+                return Ok(());
+            };
+            envs = a.join_indexed(rel, &envs);
             if envs.is_empty() {
                 return Ok(());
             }

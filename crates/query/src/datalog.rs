@@ -7,9 +7,10 @@
 //! heartbeat.
 
 use crate::error::EvalError;
+use crate::plan::{self, JoinMode};
 use crate::query::Query;
 use crate::term::{Atom, Bindings, Term, Var};
-use rtx_relational::{Instance, RelName, Relation, Schema, Tuple};
+use rtx_relational::{Fact, Instance, RelName, Relation, Schema, Tuple};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -35,11 +36,28 @@ impl fmt::Debug for Literal {
 }
 
 /// A Datalog rule `head ← body`.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Rule {
     head: Atom,
     body: Vec<Literal>,
+    /// Join orders for the positive atoms (index 0: no atom pinned;
+    /// index i+1: atom i pinned first, as when atom i joins the
+    /// semi-naive delta). A pure function of `body`, computed lazily on
+    /// the first indexed evaluation and cached so the per-firing hot
+    /// path never replans — and so scan-only evaluations (the ablation
+    /// baseline) never pay for planning at all.
+    plans: std::sync::OnceLock<Vec<Vec<usize>>>,
 }
+
+// `plans` is a cache of a pure function of `body`; equality is over the
+// logical rule only.
+impl PartialEq for Rule {
+    fn eq(&self, other: &Self) -> bool {
+        self.head == other.head && self.body == other.body
+    }
+}
+
+impl Eq for Rule {}
 
 impl Rule {
     /// Build a rule, validating safety: every head variable, negated-atom
@@ -80,7 +98,32 @@ impl Rule {
                 });
             }
         }
-        Ok(Rule { head, body })
+        Ok(Rule {
+            head,
+            body,
+            plans: std::sync::OnceLock::new(),
+        })
+    }
+
+    /// The cached join order for the given pinned delta atom.
+    fn plan(&self, pinned: Option<usize>) -> &[usize] {
+        let plans = self.plans.get_or_init(|| {
+            let atoms: Vec<&Atom> = self
+                .body
+                .iter()
+                .filter_map(|l| match l {
+                    Literal::Pos(a) => Some(a),
+                    _ => None,
+                })
+                .collect();
+            let mut plans = Vec::with_capacity(atoms.len() + 1);
+            plans.push(plan::plan_order(&atoms, None));
+            for i in 0..atoms.len() {
+                plans.push(plan::plan_order(&atoms, Some(i)));
+            }
+            plans
+        });
+        &plans[pinned.map(|i| i + 1).unwrap_or(0)]
     }
 
     /// The head atom.
@@ -101,38 +144,25 @@ impl Rule {
     /// Evaluate the rule against `pos_db` for positive atoms and `neg_db`
     /// for negated atoms (these differ under stratified semantics only in
     /// that `neg_db` must already be complete). When `delta` is given as
-    /// `(index, instance)`, the positive atom at `index` is joined against
-    /// `delta` instead of `pos_db` (semi-naive evaluation).
+    /// `(index, relation)`, the positive atom at `index` is joined against
+    /// that delta relation instead of its `pos_db` relation (semi-naive
+    /// evaluation).
     fn derive(
         &self,
         pos_db: &Instance,
         neg_db: &Instance,
-        delta: Option<(usize, &Instance)>,
+        delta: Option<(usize, &Relation)>,
+        mode: JoinMode,
         out: &mut Vec<Tuple>,
     ) -> Result<(), EvalError> {
-        let mut envs: Vec<Bindings> = vec![Bindings::new()];
-        let mut pos_index = 0usize;
-        // positive joins first
-        for l in &self.body {
-            if let Literal::Pos(a) = l {
-                let source = match delta {
-                    Some((i, d)) if i == pos_index => d,
-                    _ => pos_db,
-                };
-                let rel = source.relation(&a.pred)?;
-                if rel.arity() != a.arity() {
-                    return Err(EvalError::Rel(rtx_relational::RelError::ArityMismatch {
-                        rel: a.pred.clone(),
-                        expected: rel.arity(),
-                        found: a.arity(),
-                    }));
-                }
-                envs = a.join(&rel, &envs);
-                if envs.is_empty() {
-                    return Ok(());
-                }
-                pos_index += 1;
-            }
+        let envs = match mode {
+            JoinMode::Scan => self.join_positive_scan(pos_db, delta)?,
+            JoinMode::Indexed => self.join_positive_indexed(pos_db, delta)?,
+        };
+        if envs.is_empty() {
+            // A rule with no positive atoms still yields one empty
+            // binding; an empty vector here means some join failed.
+            return Ok(());
         }
         // filters
         'env: for env in envs {
@@ -171,6 +201,100 @@ impl Rule {
             out.push(t);
         }
         Ok(())
+    }
+
+    /// The seed join loop: original literal order, full-scan joins,
+    /// owned relation lookups. Kept verbatim as the `JoinMode::Scan`
+    /// baseline the benches and property tests measure against.
+    fn join_positive_scan(
+        &self,
+        pos_db: &Instance,
+        delta: Option<(usize, &Relation)>,
+    ) -> Result<Vec<Bindings>, EvalError> {
+        let mut envs: Vec<Bindings> = vec![Bindings::new()];
+        let mut pos_index = 0usize;
+        for l in &self.body {
+            if let Literal::Pos(a) = l {
+                let owned;
+                let rel = match delta {
+                    Some((i, d)) if i == pos_index => d,
+                    _ => {
+                        owned = pos_db.relation(&a.pred)?;
+                        &owned
+                    }
+                };
+                if rel.arity() != a.arity() {
+                    return Err(EvalError::Rel(rtx_relational::RelError::ArityMismatch {
+                        rel: a.pred.clone(),
+                        expected: rel.arity(),
+                        found: a.arity(),
+                    }));
+                }
+                envs = a.join(rel, &envs);
+                if envs.is_empty() {
+                    return Ok(envs);
+                }
+                pos_index += 1;
+            }
+        }
+        Ok(envs)
+    }
+
+    /// The planned join loop: literals reordered by bound-variable
+    /// coverage (the delta atom, if any, pinned first), relations
+    /// borrowed so their cached indexes persist across firings, and
+    /// each step probing an index on the already-bound columns.
+    fn join_positive_indexed(
+        &self,
+        pos_db: &Instance,
+        delta: Option<(usize, &Relation)>,
+    ) -> Result<Vec<Bindings>, EvalError> {
+        let atoms: Vec<&Atom> = self
+            .body
+            .iter()
+            .filter_map(|l| match l {
+                Literal::Pos(a) => Some(a),
+                _ => None,
+            })
+            .collect();
+        if atoms.is_empty() {
+            return Ok(vec![Bindings::new()]);
+        }
+        let mut sources: Vec<Option<&Relation>> = Vec::with_capacity(atoms.len());
+        for (i, a) in atoms.iter().enumerate() {
+            let src = match delta {
+                Some((d, rel)) if d == i => {
+                    if rel.arity() != a.arity() {
+                        return Err(EvalError::Rel(rtx_relational::RelError::ArityMismatch {
+                            rel: a.pred.clone(),
+                            expected: rel.arity(),
+                            found: a.arity(),
+                        }));
+                    }
+                    if rel.is_empty() {
+                        None
+                    } else {
+                        Some(rel)
+                    }
+                }
+                _ => plan::lookup(pos_db, a)?,
+            };
+            sources.push(src);
+        }
+        if sources.iter().any(Option::is_none) {
+            // Some atom's relation is empty: the conjunction is empty.
+            return Ok(Vec::new());
+        }
+        let order = self.plan(delta.map(|(i, _)| i));
+        let mut envs: Vec<Bindings> = vec![Bindings::new()];
+        for &i in order {
+            let rel = sources[i].expect("checked non-empty above");
+            envs = atoms[i].join_indexed(rel, &envs);
+            if envs.is_empty() {
+                return Ok(envs);
+            }
+        }
+        Ok(envs)
     }
 
     fn count_pos(&self) -> usize {
@@ -223,6 +347,12 @@ pub struct Program {
     /// Arity signature of every predicate mentioned.
     signature: Schema,
     idb: BTreeSet<RelName>,
+    /// Stratification computed once at construction (the Dedalus
+    /// runtime evaluates the same program thousands of times per run;
+    /// re-stratifying per evaluation was measurable). Non-stratifiable
+    /// programs keep the error here and surface it at evaluation, like
+    /// the on-demand computation did.
+    strata: Result<Vec<BTreeSet<RelName>>, EvalError>,
 }
 
 impl Program {
@@ -242,10 +372,12 @@ impl Program {
                 }
             }
         }
+        let strata = Self::compute_strata(&rules, &idb);
         Ok(Program {
             rules,
             signature,
             idb,
+            strata,
         })
     }
 
@@ -322,17 +454,24 @@ impl Program {
         self.idb.iter().all(|p| dfs(p, &deps, &mut marks))
     }
 
-    /// Compute a stratification: a list of strata, each a set of IDB
-    /// predicates, such that negation only reaches strictly lower strata.
+    /// A stratification: a list of strata, each a set of IDB
+    /// predicates, such that negation only reaches strictly lower
+    /// strata. Computed once at construction; this returns the cache.
     pub fn stratify(&self) -> Result<Vec<BTreeSet<RelName>>, EvalError> {
-        let mut stratum: BTreeMap<RelName, usize> =
-            self.idb.iter().map(|p| (p.clone(), 0)).collect();
-        let n = self.idb.len().max(1);
+        self.strata.clone()
+    }
+
+    fn compute_strata(
+        rules: &[Rule],
+        idb: &BTreeSet<RelName>,
+    ) -> Result<Vec<BTreeSet<RelName>>, EvalError> {
+        let mut stratum: BTreeMap<RelName, usize> = idb.iter().map(|p| (p.clone(), 0)).collect();
+        let n = idb.len().max(1);
         // Bellman-Ford-style relaxation; a stratum exceeding the number of
         // IDB predicates certifies a negative cycle.
         for _ in 0..=n {
             let mut changed = false;
-            for r in &self.rules {
+            for r in rules {
                 let head_s = stratum[&r.head.pred];
                 let mut required = head_s;
                 for l in &r.body {
@@ -366,7 +505,7 @@ impl Program {
         }
         // Re-check: a final pass must be quiescent, otherwise a negative
         // cycle kept pumping.
-        for r in &self.rules {
+        for r in rules {
             let head_s = stratum[&r.head.pred];
             for l in &r.body {
                 match l {
@@ -419,38 +558,66 @@ impl Program {
     /// Evaluate with an explicit strategy (naive kept for the ablation
     /// benchmark).
     pub fn eval_with(&self, db: &Instance, strategy: EvalStrategy) -> Result<Instance, EvalError> {
-        let schema = self.working_schema(db)?;
-        let mut total = Instance::empty(schema.clone());
-        for f in db.facts() {
-            total.insert_fact(f)?;
-        }
-        for stratum in self.stratify()? {
+        self.eval_with_mode(db, strategy, JoinMode::default())
+    }
+
+    /// Evaluate with explicit strategy *and* join mode (the scan mode is
+    /// the measurable baseline for the indexed-join ablation).
+    pub fn eval_with_mode(
+        &self,
+        db: &Instance,
+        strategy: EvalStrategy,
+        mode: JoinMode,
+    ) -> Result<Instance, EvalError> {
+        // Seed the fixpoint with the database re-housed under the
+        // working schema — a structural copy, not a fact-by-fact
+        // rebuild (this runs once per Dedalus tick).
+        let mut total = if self.schema_covers(db) {
+            db.clone()
+        } else {
+            db.widen(self.working_schema(db)?)?
+        };
+        let strata = self.strata.as_ref().map_err(Clone::clone)?;
+        for stratum in strata {
             let rules: Vec<&Rule> = self
                 .rules
                 .iter()
                 .filter(|r| stratum.contains(&r.head.pred))
                 .collect();
             match strategy {
-                EvalStrategy::Naive => self.run_naive(&rules, &mut total)?,
-                EvalStrategy::SemiNaive => self.run_seminaive(&rules, &stratum, &mut total)?,
+                EvalStrategy::Naive => self.run_naive(&rules, &mut total, mode)?,
+                EvalStrategy::SemiNaive => self.run_seminaive(&rules, stratum, &mut total, mode)?,
             }
         }
         Ok(total)
     }
 
-    fn run_naive(&self, rules: &[&Rule], total: &mut Instance) -> Result<(), EvalError> {
+    /// Does `db`'s schema already declare every predicate of the
+    /// program signature at the right arity (so widening is a no-op)?
+    fn schema_covers(&self, db: &Instance) -> bool {
+        self.signature
+            .iter()
+            .all(|(name, arity)| db.schema().arity(name) == Some(arity))
+    }
+
+    fn run_naive(
+        &self,
+        rules: &[&Rule],
+        total: &mut Instance,
+        mode: JoinMode,
+    ) -> Result<(), EvalError> {
         loop {
             let mut derived = Vec::new();
             for r in rules {
                 let mut tuples = Vec::new();
-                r.derive(total, total, None, &mut tuples)?;
+                r.derive(total, total, None, mode, &mut tuples)?;
                 for t in tuples {
                     derived.push((r.head.pred.clone(), t));
                 }
             }
             let mut changed = false;
             for (p, t) in derived {
-                if total.insert_fact(rtx_relational::Fact::new(p, t))? {
+                if total.insert_fact(Fact::new(p, t))? {
                     changed = true;
                 }
             }
@@ -465,44 +632,57 @@ impl Program {
         rules: &[&Rule],
         stratum: &BTreeSet<RelName>,
         total: &mut Instance,
+        mode: JoinMode,
     ) -> Result<(), EvalError> {
-        let schema = total.schema().clone();
+        // Per-round deltas are first-class relations keyed by predicate,
+        // not whole instances: each rule joins one atom directly against
+        // its (small) delta relation.
+        let mut delta: BTreeMap<RelName, Relation> = BTreeMap::new();
+        let push =
+            |map: &mut BTreeMap<RelName, Relation>, pred: &RelName, arity: usize, t: Tuple| {
+                map.entry(pred.clone())
+                    .or_insert_with(|| Relation::empty(arity))
+                    .insert(t)
+                    .expect("head tuple arity matches head predicate")
+            };
         // Round 0: full evaluation (covers rules without stratum-IDB in
         // the body, and seeds the delta).
-        let mut delta = Instance::empty(schema.clone());
         for r in rules {
             let mut tuples = Vec::new();
-            r.derive(total, total, None, &mut tuples)?;
+            r.derive(total, total, None, mode, &mut tuples)?;
             for t in tuples {
-                let f = rtx_relational::Fact::new(r.head.pred.clone(), t);
-                if !total.contains_fact(&f) {
-                    delta.insert_fact(f)?;
+                if !total.contains_fact(&Fact::new(r.head.pred.clone(), t.clone())) {
+                    push(&mut delta, &r.head.pred, r.head.arity(), t);
                 }
             }
         }
-        for f in delta.facts() {
-            total.insert_fact(f)?;
-        }
         while !delta.is_empty() {
-            let mut next = Instance::empty(schema.clone());
+            for (p, rel) in &delta {
+                for t in rel.iter() {
+                    total.insert_fact(Fact::new(p.clone(), t.clone()))?;
+                }
+            }
+            let mut next: BTreeMap<RelName, Relation> = BTreeMap::new();
             for r in rules {
                 for i in 0..r.count_pos() {
                     let pred = r.pos_pred(i).expect("index within positive atoms");
                     if !stratum.contains(pred) {
                         continue;
                     }
+                    let Some(drel) = delta.get(pred) else {
+                        continue; // nothing new for this atom this round
+                    };
                     let mut tuples = Vec::new();
-                    r.derive(total, total, Some((i, &delta)), &mut tuples)?;
+                    r.derive(total, total, Some((i, drel)), mode, &mut tuples)?;
                     for t in tuples {
-                        let f = rtx_relational::Fact::new(r.head.pred.clone(), t);
-                        if !total.contains_fact(&f) && !next.contains_fact(&f) {
-                            next.insert_fact(f)?;
+                        let f = Fact::new(r.head.pred.clone(), t.clone());
+                        let fresh = !total.contains_fact(&f)
+                            && next.get(&r.head.pred).is_none_or(|rel| !rel.contains(&t));
+                        if fresh {
+                            push(&mut next, &r.head.pred, r.head.arity(), t);
                         }
                     }
                 }
-            }
-            for f in next.facts() {
-                total.insert_fact(f)?;
             }
             delta = next;
         }
@@ -516,14 +696,29 @@ impl Program {
     /// responsible for only using `T_P` with semipositive programs (the
     /// paper's Theorem 6(5) uses pure Datalog, with no negation at all).
     pub fn tp_step(&self, db: &Instance) -> Result<Instance, EvalError> {
-        let schema = self.working_schema(db)?;
-        let widened = db.widen(schema.clone())?;
+        self.tp_step_with_mode(db, JoinMode::default())
+    }
+
+    /// [`Program::tp_step`] with an explicit join mode.
+    pub fn tp_step_with_mode(&self, db: &Instance, mode: JoinMode) -> Result<Instance, EvalError> {
+        // Fast path: when the database schema already covers the
+        // program signature, evaluate against `db` directly instead of
+        // materializing a widened copy (this runs twice per Dedalus
+        // tick).
+        let widened_owned;
+        let (widened, schema) = if self.schema_covers(db) {
+            (db, db.schema().clone())
+        } else {
+            let schema = self.working_schema(db)?;
+            widened_owned = db.widen(schema.clone())?;
+            (&widened_owned, schema)
+        };
         let mut out = Instance::empty(schema);
         for r in &self.rules {
             let mut tuples = Vec::new();
-            r.derive(&widened, &widened, None, &mut tuples)?;
+            r.derive(widened, widened, None, mode, &mut tuples)?;
             for t in tuples {
-                out.insert_fact(rtx_relational::Fact::new(r.head.pred.clone(), t))?;
+                out.insert_fact(Fact::new(r.head.pred.clone(), t))?;
             }
         }
         Ok(out)
@@ -550,6 +745,7 @@ pub struct DatalogQuery {
     output: RelName,
     arity: usize,
     strategy: EvalStrategy,
+    join_mode: JoinMode,
 }
 
 impl DatalogQuery {
@@ -566,12 +762,19 @@ impl DatalogQuery {
             output,
             arity,
             strategy: EvalStrategy::SemiNaive,
+            join_mode: JoinMode::default(),
         })
     }
 
     /// Select an evaluation strategy (ablation hook).
     pub fn with_strategy(mut self, strategy: EvalStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Select a join mode (ablation hook; defaults to indexed).
+    pub fn with_join_mode(mut self, mode: JoinMode) -> Self {
+        self.join_mode = mode;
         self
     }
 
@@ -592,7 +795,9 @@ impl Query for DatalogQuery {
     }
 
     fn eval(&self, db: &Instance) -> Result<Relation, EvalError> {
-        let result = self.program.eval_with(db, self.strategy)?;
+        let result = self
+            .program
+            .eval_with_mode(db, self.strategy, self.join_mode)?;
         Ok(result.relation(&self.output)?)
     }
 

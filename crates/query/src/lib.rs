@@ -29,6 +29,7 @@ mod error;
 pub mod fo;
 pub mod native;
 pub mod parser;
+pub mod plan;
 mod query;
 pub mod term;
 pub mod view;
@@ -40,6 +41,7 @@ pub use datalog::{DatalogQuery, EvalStrategy, Literal, Program, Rule, TpQuery};
 pub use error::EvalError;
 pub use fo::{FoQuery, Formula};
 pub use native::NativeQuery;
+pub use plan::JoinMode;
 pub use query::{CopyQuery, EmptyQuery, Query, QueryRef};
 pub use term::{Atom, Bindings, Term, Var};
 pub use view::ViewQuery;

@@ -192,6 +192,70 @@ impl Atom {
         }
         out
     }
+
+    /// Index-accelerated [`Atom::join`]: probe a cached secondary index
+    /// of `rel` on the columns already determined by `envs` (constants
+    /// plus variables bound in every binding) instead of scanning.
+    ///
+    /// Produces exactly the bindings of `join`, in the same order: a
+    /// probe enumerates the subsequence of a full scan agreeing on the
+    /// key columns, and [`Atom::match_tuple`] re-checks everything else
+    /// (repeated variables, per-binding extras).
+    pub fn join_indexed(&self, rel: &Relation, envs: &[Bindings]) -> Vec<Bindings> {
+        if envs.is_empty() || rel.is_empty() {
+            return Vec::new();
+        }
+        // For tiny relations a scan beats building (or even probing) a
+        // hash index; the cutover only changes the access path, never
+        // the result.
+        const SCAN_THRESHOLD: usize = 16;
+        if rel.len() <= SCAN_THRESHOLD {
+            return self.join(rel, envs);
+        }
+        // Columns determined in *every* binding — the batch shares one
+        // index. Bindings produced by a common join prefix all bind the
+        // same variables, so this is rarely a strict intersection.
+        let mut common: BTreeSet<&Var> = envs[0].keys().collect();
+        for env in &envs[1..] {
+            common.retain(|v| env.contains_key(*v));
+        }
+        let cols: Vec<usize> = self
+            .terms
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| match t {
+                Term::Const(_) => true,
+                Term::Var(v) => common.contains(v),
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if cols.is_empty() || cols.len() == self.terms.len() {
+            // Nothing to probe on, or fully determined (join() already
+            // degenerates to a membership probe per binding).
+            return self.join(rel, envs);
+        }
+        let idx = rel
+            .index(&cols)
+            .expect("key columns lie within the checked arity");
+        let mut out = Vec::new();
+        let mut key: Vec<Value> = Vec::with_capacity(cols.len());
+        for env in envs {
+            key.clear();
+            for &c in &cols {
+                key.push(
+                    self.terms[c]
+                        .resolve(env)
+                        .expect("key columns are bound in every binding"),
+                );
+            }
+            for tuple in idx.probe(&key) {
+                if let Some(ext) = self.match_tuple(tuple, env) {
+                    out.push(ext);
+                }
+            }
+        }
+        out
+    }
 }
 
 impl fmt::Debug for Atom {
@@ -306,6 +370,45 @@ mod tests {
         let envs = b.join(&rel, &[env]);
         assert_eq!(envs.len(), 1);
         assert_eq!(envs[0][&Var::new("Y")], Value::int(3));
+    }
+
+    #[test]
+    fn join_indexed_agrees_with_scan() {
+        let rel = Relation::from_tuples(
+            2,
+            vec![tuple![1, 2], tuple![2, 3], tuple![2, 4], tuple![3, 4]],
+        )
+        .unwrap();
+        let a = atom!("R"; @"X", @"Y");
+        // X bound in every env: probes on column 0
+        let envs: Vec<Bindings> = [1i64, 2, 9]
+            .iter()
+            .map(|&x| {
+                let mut e = Bindings::new();
+                e.insert(Var::new("X"), Value::int(x));
+                e
+            })
+            .collect();
+        assert_eq!(a.join_indexed(&rel, &envs), a.join(&rel, &envs));
+        // nothing bound: falls back to scan
+        let free = vec![Bindings::new()];
+        assert_eq!(a.join_indexed(&rel, &free), a.join(&rel, &free));
+        // repeated variable with constant
+        let b = atom!("R"; @"X", @"X");
+        assert_eq!(b.join_indexed(&rel, &free), b.join(&rel, &free));
+    }
+
+    #[test]
+    fn join_indexed_mixed_bound_sets_intersect() {
+        let rel = Relation::from_tuples(2, vec![tuple![1, 2], tuple![2, 3]]).unwrap();
+        let a = atom!("R"; @"X", @"Y");
+        let mut e1 = Bindings::new();
+        e1.insert(Var::new("X"), Value::int(1));
+        let mut e2 = Bindings::new();
+        e2.insert(Var::new("X"), Value::int(2));
+        e2.insert(Var::new("Y"), Value::int(3));
+        let envs = vec![e1, e2];
+        assert_eq!(a.join_indexed(&rel, &envs), a.join(&rel, &envs));
     }
 
     #[test]

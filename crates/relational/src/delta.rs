@@ -1,0 +1,114 @@
+//! Delta views: the difference between two relations or instances.
+//!
+//! The runtimes built on this kernel (semi-naive Datalog, the Dedalus
+//! tick loop) advance a store from one version to the next. Rather than
+//! cloning whole relations per step, they compute a [`RelationDelta`] /
+//! [`InstanceDelta`] once and apply it in place — cheap when consecutive
+//! versions mostly agree, which is the common case for persistence-style
+//! programs.
+
+use crate::error::RelError;
+use crate::fact::{Fact, Tuple};
+use std::fmt;
+
+/// The difference between two same-arity relations: tuples to add and
+/// tuples to remove, always disjoint.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RelationDelta {
+    arity: usize,
+    added: Vec<Tuple>,
+    removed: Vec<Tuple>,
+}
+
+impl RelationDelta {
+    pub(crate) fn new(arity: usize, added: Vec<Tuple>, removed: Vec<Tuple>) -> Self {
+        RelationDelta {
+            arity,
+            added,
+            removed,
+        }
+    }
+
+    /// Arity of the relations this delta mediates between.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Tuples present in the target but not the source.
+    pub fn added(&self) -> &[Tuple] {
+        &self.added
+    }
+
+    /// Tuples present in the source but not the target.
+    pub fn removed(&self) -> &[Tuple] {
+        &self.removed
+    }
+
+    /// Does the delta change nothing?
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total number of changed tuples.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// Decompose into `(added, removed)` tuple lists.
+    pub fn into_parts(self) -> (Vec<Tuple>, Vec<Tuple>) {
+        (self.added, self.removed)
+    }
+}
+
+impl fmt::Debug for RelationDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Δ(+{:?}, −{:?})", self.added, self.removed)
+    }
+}
+
+/// The difference between two instances, as facts to add and remove.
+#[derive(Clone, PartialEq, Eq)]
+pub struct InstanceDelta {
+    added: Vec<Fact>,
+    removed: Vec<Fact>,
+}
+
+impl InstanceDelta {
+    pub(crate) fn new(added: Vec<Fact>, removed: Vec<Fact>) -> Self {
+        InstanceDelta { added, removed }
+    }
+
+    /// Facts present in the target but not the source.
+    pub fn added(&self) -> &[Fact] {
+        &self.added
+    }
+
+    /// Facts present in the source but not the target.
+    pub fn removed(&self) -> &[Fact] {
+        &self.removed
+    }
+
+    /// Does the delta change nothing?
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total number of changed facts.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+}
+
+impl fmt::Debug for InstanceDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Δ(+{:?}, −{:?})", self.added, self.removed)
+    }
+}
+
+/// Validate that a delta's arity matches a relation's.
+pub(crate) fn check_arity(expected: usize, found: usize) -> Result<(), RelError> {
+    if expected != found {
+        return Err(RelError::TupleArity { expected, found });
+    }
+    Ok(())
+}

@@ -34,6 +34,13 @@ pub enum RelError {
     },
     /// A value renaming is not injective.
     NotInjective,
+    /// An index column lies outside a relation's arity.
+    ColumnOutOfRange {
+        /// The offending column position.
+        column: usize,
+        /// The relation arity.
+        arity: usize,
+    },
 }
 
 impl fmt::Display for RelError {
@@ -60,6 +67,9 @@ impl fmt::Display for RelError {
                 write!(f, "schemas are not disjoint: both declare `{rel}`")
             }
             RelError::NotInjective => write!(f, "value renaming is not injective"),
+            RelError::ColumnOutOfRange { column, arity } => {
+                write!(f, "index column {column} outside relation arity {arity}")
+            }
         }
     }
 }

@@ -1,0 +1,98 @@
+//! Secondary hash indexes over relations.
+//!
+//! An [`Index`] groups the tuples of a relation by their values on a
+//! chosen column subset, so a join can probe exactly the tuples matching
+//! the columns already bound instead of scanning the whole relation.
+//! Indexes are immutable snapshots; [`crate::Relation`] builds them
+//! lazily, caches them per column subset, and drops the cache on any
+//! mutation, so holders of an `Arc<Index>` always see a consistent
+//! picture of the relation at build time.
+
+use crate::fact::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A hash index on a subset of a relation's columns.
+///
+/// Within each key group the tuples keep the relation's deterministic
+/// (sorted) iteration order, so an index probe enumerates exactly the
+/// subsequence of a full scan that matches on the key columns — callers
+/// can switch between scanning and probing without changing results.
+pub struct Index {
+    cols: Box<[usize]>,
+    groups: HashMap<Box<[Value]>, Vec<Tuple>>,
+}
+
+impl Index {
+    /// Build an index on `cols` from tuples in relation iteration order.
+    ///
+    /// Callers must have validated that every column is below the
+    /// relation arity; [`crate::Relation::index`] does.
+    pub(crate) fn build<'a>(cols: &[usize], tuples: impl Iterator<Item = &'a Tuple>) -> Self {
+        let cols: Box<[usize]> = cols.into();
+        let mut groups: HashMap<Box<[Value]>, Vec<Tuple>> = HashMap::new();
+        for t in tuples {
+            let key: Box<[Value]> = cols.iter().map(|&c| t.values()[c].clone()).collect();
+            groups.entry(key).or_default().push(t.clone());
+        }
+        Index { cols, groups }
+    }
+
+    /// The indexed column positions.
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// The tuples whose values on the indexed columns equal `key`, in the
+    /// relation's deterministic order; empty when no tuple matches.
+    pub fn probe(&self, key: &[Value]) -> &[Tuple] {
+        self.groups.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+impl fmt::Debug for Index {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Index(cols={:?}, {} keys)", self.cols, self.groups.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn build_and_probe() {
+        let tuples = [tuple![1, 2], tuple![1, 3], tuple![2, 3]];
+        let idx = Index::build(&[0], tuples.iter());
+        assert_eq!(idx.cols(), &[0]);
+        assert_eq!(idx.key_count(), 2);
+        assert_eq!(idx.probe(&[Value::int(1)]).len(), 2);
+        assert_eq!(idx.probe(&[Value::int(2)]), &[tuple![2, 3]]);
+        assert!(idx.probe(&[Value::int(9)]).is_empty());
+    }
+
+    #[test]
+    fn probe_preserves_scan_order() {
+        let tuples = [tuple![1, 1], tuple![1, 2], tuple![1, 3]];
+        let idx = Index::build(&[0], tuples.iter());
+        assert_eq!(
+            idx.probe(&[Value::int(1)]),
+            &[tuple![1, 1], tuple![1, 2], tuple![1, 3]]
+        );
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let tuples = [tuple![1, 2, 3], tuple![1, 2, 4], tuple![1, 9, 3]];
+        let idx = Index::build(&[0, 1], tuples.iter());
+        assert_eq!(idx.probe(&[Value::int(1), Value::int(2)]).len(), 2);
+        assert_eq!(idx.probe(&[Value::int(1), Value::int(9)]).len(), 1);
+    }
+}

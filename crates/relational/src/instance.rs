@@ -1,6 +1,7 @@
 //! Database instances: assignments of finite relations to relation names,
 //! equivalently sets of facts (paper, Section 2).
 
+use crate::delta::InstanceDelta;
 use crate::error::RelError;
 use crate::fact::{Fact, RelName};
 use crate::relation::Relation;
@@ -210,6 +211,84 @@ impl Instance {
         Ok(out)
     }
 
+    /// The delta turning `from` into `self`, as facts to add and remove.
+    ///
+    /// Fact-based, so the instances' schemas may differ; applying the
+    /// delta only succeeds where the target's schema declares every
+    /// added relation.
+    pub fn diff(&self, from: &Instance) -> InstanceDelta {
+        let mut added = Vec::new();
+        let mut removed = Vec::new();
+        // Walk both sorted relation maps in lockstep.
+        let mut ours = self.relations.iter().peekable();
+        let mut theirs = from.relations.iter().peekable();
+        loop {
+            match (ours.peek(), theirs.peek()) {
+                (None, None) => break,
+                (Some((name, rel)), None) => {
+                    added.extend(rel.iter().map(|t| Fact::new((*name).clone(), t.clone())));
+                    ours.next();
+                }
+                (None, Some((name, rel))) => {
+                    removed.extend(rel.iter().map(|t| Fact::new((*name).clone(), t.clone())));
+                    theirs.next();
+                }
+                (Some((a, ra)), Some((b, rb))) => match a.cmp(b) {
+                    std::cmp::Ordering::Less => {
+                        added.extend(ra.iter().map(|t| Fact::new((*a).clone(), t.clone())));
+                        ours.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        removed.extend(rb.iter().map(|t| Fact::new((*b).clone(), t.clone())));
+                        theirs.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        if ra != rb {
+                            match ra.diff(rb) {
+                                Ok(d) => {
+                                    let (add, rem) = d.into_parts();
+                                    added.extend(
+                                        add.into_iter().map(|t| Fact::new((*a).clone(), t)),
+                                    );
+                                    removed.extend(
+                                        rem.into_iter().map(|t| Fact::new((*a).clone(), t)),
+                                    );
+                                }
+                                Err(_) => {
+                                    // Same name at different arities across the
+                                    // two schemas: no tuple can coincide.
+                                    added.extend(
+                                        ra.iter().map(|t| Fact::new((*a).clone(), t.clone())),
+                                    );
+                                    removed.extend(
+                                        rb.iter().map(|t| Fact::new((*a).clone(), t.clone())),
+                                    );
+                                }
+                            }
+                        }
+                        ours.next();
+                        theirs.next();
+                    }
+                },
+            }
+        }
+        InstanceDelta::new(added, removed)
+    }
+
+    /// Apply a delta in place: remove `delta.removed()`, insert
+    /// `delta.added()`. Inverse of [`Instance::diff`]:
+    /// `from.apply_delta(&to.diff(&from))` makes `from`'s facts equal
+    /// `to`'s.
+    pub fn apply_delta(&mut self, delta: &InstanceDelta) -> Result<(), RelError> {
+        for f in delta.removed() {
+            self.remove_fact(f);
+        }
+        for f in delta.added() {
+            self.insert_fact(f.clone())?;
+        }
+        Ok(())
+    }
+
     /// The isomorphic instance `h(I)` for a mapping `h` on values.
     ///
     /// Genericity of queries (paper, Section 2) is stated via permutations
@@ -366,6 +445,45 @@ mod tests {
         assert!(i.is_empty());
         assert!(i.set_relation("S", Relation::empty(4)).is_err());
         assert!(i.set_relation("Nope", Relation::empty(1)).is_err());
+    }
+
+    #[test]
+    fn diff_apply_delta_roundtrip() {
+        let from =
+            Instance::from_facts(schema_rs(), vec![fact!("R", 1, 2), fact!("S", 1)]).unwrap();
+        let to = Instance::from_facts(
+            schema_rs(),
+            vec![fact!("R", 1, 2), fact!("R", 3, 4), fact!("S", 2)],
+        )
+        .unwrap();
+        let d = to.diff(&from);
+        assert_eq!(d.added().len(), 2);
+        assert_eq!(d.removed(), &[fact!("S", 1)]);
+        let mut i = from.clone();
+        i.apply_delta(&d).unwrap();
+        assert_eq!(i, to);
+        assert!(to.diff(&to).is_empty());
+    }
+
+    #[test]
+    fn diff_covers_relations_only_on_one_side() {
+        let a = Instance::from_facts(schema_rs(), vec![fact!("R", 1, 2)]).unwrap();
+        let b = Instance::from_facts(schema_rs(), vec![fact!("S", 7)]).unwrap();
+        let d = b.diff(&a);
+        assert_eq!(d.added(), &[fact!("S", 7)]);
+        assert_eq!(d.removed(), &[fact!("R", 1, 2)]);
+        let mut i = a.clone();
+        i.apply_delta(&d).unwrap();
+        assert_eq!(i, b);
+    }
+
+    #[test]
+    fn apply_delta_rejects_undeclared_additions() {
+        let narrow = Schema::new().with("R", 2);
+        let mut i = Instance::empty(narrow);
+        let full = Instance::from_facts(schema_rs(), vec![fact!("S", 1)]).unwrap();
+        let d = full.diff(&Instance::empty(schema_rs()));
+        assert!(i.apply_delta(&d).is_err());
     }
 
     #[test]

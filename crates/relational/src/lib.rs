@@ -14,8 +14,10 @@
 
 #![warn(missing_docs)]
 
+mod delta;
 mod error;
 mod fact;
+mod index;
 mod instance;
 mod iso;
 mod multiset;
@@ -23,8 +25,10 @@ mod relation;
 mod schema;
 mod value;
 
+pub use delta::{InstanceDelta, RelationDelta};
 pub use error::RelError;
 pub use fact::{Fact, RelName, Tuple};
+pub use index::Index;
 pub use instance::Instance;
 pub use iso::Iso;
 pub use multiset::FactMultiset;

@@ -1,19 +1,38 @@
 //! Finite relations: ordered sets of tuples of a fixed arity.
 
+use crate::delta::RelationDelta;
 use crate::error::RelError;
 use crate::fact::Tuple;
+use crate::index::Index;
 use crate::value::Value;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::{Arc, RwLock};
+
+/// Lazily built secondary indexes, keyed by indexed column subset.
+///
+/// The cache never influences a relation's value: it is skipped by
+/// `Clone`/`Eq`/`Ord` and dropped whenever the tuple set mutates.
+#[derive(Default)]
+struct IndexCache(RwLock<BTreeMap<Box<[usize]>, Arc<Index>>>);
+
+impl IndexCache {
+    fn clear(&mut self) {
+        // `&mut self` guarantees exclusivity; no lock needed.
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
 
 /// A finite `k`-ary relation on **dom**.
 ///
 /// Backed by a `BTreeSet` so iteration order is deterministic — the whole
-/// simulator relies on runs being pure functions of their inputs.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+/// simulator relies on runs being pure functions of their inputs. Joins
+/// can additionally request a cached secondary [`Index`] on any column
+/// subset via [`Relation::index`].
 pub struct Relation {
     arity: usize,
     tuples: BTreeSet<Tuple>,
+    cache: IndexCache,
 }
 
 impl Relation {
@@ -22,6 +41,7 @@ impl Relation {
         Relation {
             arity,
             tuples: BTreeSet::new(),
+            cache: IndexCache::default(),
         }
     }
 
@@ -83,12 +103,81 @@ impl Relation {
                 found: t.arity(),
             });
         }
-        Ok(self.tuples.insert(t))
+        let inserted = self.tuples.insert(t);
+        if inserted {
+            self.cache.clear();
+        }
+        Ok(inserted)
     }
 
     /// Remove a tuple; `true` if it was present.
     pub fn remove(&mut self, t: &Tuple) -> bool {
-        self.tuples.remove(t)
+        let removed = self.tuples.remove(t);
+        if removed {
+            self.cache.clear();
+        }
+        removed
+    }
+
+    /// A secondary index on the given column subset, built lazily and
+    /// cached until the next mutation.
+    ///
+    /// The returned [`Index`] is an immutable snapshot: it stays valid
+    /// even if the relation mutates afterwards (the cache merely stops
+    /// handing it out).
+    pub fn index(&self, cols: &[usize]) -> Result<Arc<Index>, RelError> {
+        for &c in cols {
+            if c >= self.arity {
+                return Err(RelError::ColumnOutOfRange {
+                    column: c,
+                    arity: self.arity,
+                });
+            }
+        }
+        if let Some(idx) = self
+            .cache
+            .0
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(cols)
+        {
+            return Ok(Arc::clone(idx));
+        }
+        let idx = Arc::new(Index::build(cols, self.tuples.iter()));
+        self.cache
+            .0
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(cols.into())
+            .or_insert_with(|| Arc::clone(&idx));
+        Ok(idx)
+    }
+
+    /// The delta turning `from` into `self`: `added = self ∖ from`,
+    /// `removed = from ∖ self` (arities must agree).
+    pub fn diff(&self, from: &Relation) -> Result<RelationDelta, RelError> {
+        self.check_same_arity(from)?;
+        let added = self.tuples.difference(&from.tuples).cloned().collect();
+        let removed = from.tuples.difference(&self.tuples).cloned().collect();
+        Ok(RelationDelta::new(self.arity, added, removed))
+    }
+
+    /// Apply a delta in place: remove `delta.removed()`, insert
+    /// `delta.added()`. Inverse of [`Relation::diff`]:
+    /// `from.apply_delta(&to.diff(&from)?)` makes `from == to`.
+    pub fn apply_delta(&mut self, delta: &RelationDelta) -> Result<(), RelError> {
+        crate::delta::check_arity(self.arity, delta.arity())?;
+        if delta.is_empty() {
+            return Ok(());
+        }
+        for t in delta.removed() {
+            self.tuples.remove(t);
+        }
+        for t in delta.added() {
+            self.tuples.insert(t.clone());
+        }
+        self.cache.clear();
+        Ok(())
     }
 
     /// Iterate over tuples in order.
@@ -96,30 +185,39 @@ impl Relation {
         self.tuples.iter()
     }
 
+    /// Build from an already-validated tuple set (no per-tuple checks).
+    fn from_set(arity: usize, tuples: BTreeSet<Tuple>) -> Self {
+        Relation {
+            arity,
+            tuples,
+            cache: IndexCache::default(),
+        }
+    }
+
     /// Set union (arities must agree).
     pub fn union(&self, other: &Relation) -> Result<Relation, RelError> {
         self.check_same_arity(other)?;
-        let mut out = self.clone();
-        out.tuples.extend(other.tuples.iter().cloned());
-        Ok(out)
+        let mut tuples = self.tuples.clone();
+        tuples.extend(other.tuples.iter().cloned());
+        Ok(Relation::from_set(self.arity, tuples))
     }
 
     /// Set intersection (arities must agree).
     pub fn intersect(&self, other: &Relation) -> Result<Relation, RelError> {
         self.check_same_arity(other)?;
-        Ok(Relation {
-            arity: self.arity,
-            tuples: self.tuples.intersection(&other.tuples).cloned().collect(),
-        })
+        Ok(Relation::from_set(
+            self.arity,
+            self.tuples.intersection(&other.tuples).cloned().collect(),
+        ))
     }
 
     /// Set difference `self \ other` (arities must agree).
     pub fn difference(&self, other: &Relation) -> Result<Relation, RelError> {
         self.check_same_arity(other)?;
-        Ok(Relation {
-            arity: self.arity,
-            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
-        })
+        Ok(Relation::from_set(
+            self.arity,
+            self.tuples.difference(&other.tuples).cloned().collect(),
+        ))
     }
 
     /// Is `self ⊆ other`?
@@ -134,10 +232,10 @@ impl Relation {
 
     /// A new relation with `f` applied to every value (isomorphic image).
     pub fn map_values(&self, mut f: impl FnMut(&Value) -> Value) -> Relation {
-        Relation {
-            arity: self.arity,
-            tuples: self.tuples.iter().map(|t| t.map(&mut f)).collect(),
-        }
+        Relation::from_set(
+            self.arity,
+            self.tuples.iter().map(|t| t.map(&mut f)).collect(),
+        )
     }
 
     fn check_same_arity(&self, other: &Relation) -> Result<(), RelError> {
@@ -148,6 +246,36 @@ impl Relation {
             });
         }
         Ok(())
+    }
+}
+
+// The index cache is an evaluation artifact: it must not take part in
+// the relation's value, so `Clone`/`Eq`/`Ord` are written by hand over
+// (arity, tuples) only. Clones start with a cold cache — they are
+// usually about to be mutated.
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Relation::from_set(self.arity, self.tuples.clone())
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity && self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
+
+impl PartialOrd for Relation {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Relation {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.arity, &self.tuples).cmp(&(other.arity, &other.tuples))
     }
 }
 
@@ -277,5 +405,83 @@ mod tests {
         assert!(r.remove(&tuple![1]));
         assert!(!r.remove(&tuple![1]));
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn index_probe_matches_scan() {
+        let r = rel(2, vec![tuple![1, 2], tuple![1, 3], tuple![2, 3]]);
+        let idx = r.index(&[0]).unwrap();
+        assert_eq!(idx.probe(&[Value::int(1)]).len(), 2);
+        let scan: Vec<_> = r
+            .iter()
+            .filter(|t| t.values()[0] == Value::int(1))
+            .cloned()
+            .collect();
+        assert_eq!(idx.probe(&[Value::int(1)]), scan.as_slice());
+    }
+
+    #[test]
+    fn index_is_cached_until_mutation() {
+        let mut r = rel(2, vec![tuple![1, 2]]);
+        let a = r.index(&[0]).unwrap();
+        let b = r.index(&[0]).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        r.insert(tuple![5, 6]).unwrap();
+        let c = r.index(&[0]).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        // the old snapshot is unchanged, the fresh index sees the insert
+        assert!(a.probe(&[Value::int(5)]).is_empty());
+        assert_eq!(c.probe(&[Value::int(5)]).len(), 1);
+    }
+
+    #[test]
+    fn index_rejects_out_of_range_columns() {
+        let r = rel(2, vec![tuple![1, 2]]);
+        assert!(matches!(
+            r.index(&[2]),
+            Err(RelError::ColumnOutOfRange {
+                column: 2,
+                arity: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn cache_never_affects_equality() {
+        let a = rel(2, vec![tuple![1, 2]]);
+        let b = rel(2, vec![tuple![1, 2]]);
+        let _ = a.index(&[0]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        let c = a.clone();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn diff_apply_delta_roundtrip() {
+        let from = rel(1, vec![tuple![1], tuple![2]]);
+        let to = rel(1, vec![tuple![2], tuple![3]]);
+        let d = to.diff(&from).unwrap();
+        assert_eq!(d.added(), &[tuple![3]]);
+        assert_eq!(d.removed(), &[tuple![1]]);
+        assert_eq!(d.len(), 2);
+        let mut r = from.clone();
+        r.apply_delta(&d).unwrap();
+        assert_eq!(r, to);
+        // empty delta round-trips too
+        let e = to.diff(&to).unwrap();
+        assert!(e.is_empty());
+        r.apply_delta(&e).unwrap();
+        assert_eq!(r, to);
+    }
+
+    #[test]
+    fn diff_rejects_mixed_arity() {
+        let a = rel(1, vec![tuple![1]]);
+        let b = rel(2, vec![tuple![1, 2]]);
+        assert!(a.diff(&b).is_err());
+        let mut c = a.clone();
+        let d = b.diff(&b).unwrap();
+        assert!(c.apply_delta(&d).is_err());
     }
 }

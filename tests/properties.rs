@@ -229,6 +229,152 @@ proptest! {
     }
 }
 
+/// A random stratified Datalog program over EDB {E/2, S/1} and IDB
+/// {T/2, U/1}: safe by construction (head/negated/nonequality variables
+/// drawn from positive body variables, negation only on EDB).
+fn random_program(seed: u64, n_rules: usize) -> rtx::query::Program {
+    use rand::{Rng, SeedableRng};
+    use rtx::query::{Atom, Literal, Program, Rule, Term, Var};
+    const VARS: [&str; 4] = ["X", "Y", "Z", "W"];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rules = Vec::new();
+    for _ in 0..n_rules.max(1) {
+        let n_body = rng.gen_range(1usize..=3);
+        let mut body = Vec::new();
+        let mut body_vars: Vec<Var> = Vec::new();
+        for _ in 0..n_body {
+            let (pred, arity) = match rng.gen_range(0usize..4) {
+                0 => ("E", 2),
+                1 => ("S", 1),
+                2 => ("T", 2),
+                _ => ("U", 1),
+            };
+            let terms: Vec<Term> = (0..arity)
+                .map(|_| {
+                    let v = VARS[rng.gen_range(0usize..VARS.len())];
+                    body_vars.push(Var::new(v));
+                    Term::var(v)
+                })
+                .collect();
+            body.push(Literal::Pos(Atom::new(pred, terms)));
+        }
+        let pick = |rng: &mut rand::rngs::StdRng, vars: &[Var]| -> Var {
+            vars[rng.gen_range(0usize..vars.len())].clone()
+        };
+        if rng.gen_range(0usize..3) == 0 {
+            let v = pick(&mut rng, &body_vars);
+            body.push(Literal::Neg(Atom::new("S", vec![Term::Var(v)])));
+        }
+        if rng.gen_range(0usize..3) == 0 {
+            let a = pick(&mut rng, &body_vars);
+            let b = pick(&mut rng, &body_vars);
+            body.push(Literal::Diseq(Term::Var(a), Term::Var(b)));
+        }
+        let (head_pred, head_arity) = if rng.gen_range(0usize..2) == 0 {
+            ("T", 2)
+        } else {
+            ("U", 1)
+        };
+        let head_terms: Vec<Term> = (0..head_arity)
+            .map(|_| Term::Var(pick(&mut rng, &body_vars)))
+            .collect();
+        rules
+            .push(Rule::new(Atom::new(head_pred, head_terms), body).expect("safe by construction"));
+    }
+    Program::new(rules).expect("consistent arities by construction")
+}
+
+fn random_db(pairs: &[(u8, u8)], singles: &[i64]) -> Instance {
+    let sch = Schema::new().with("E", 2).with("S", 1);
+    let mut db = Instance::empty(sch);
+    for &(a, b) in pairs {
+        db.insert_fact(fact!("E", a as i64, b as i64)).unwrap();
+    }
+    for &v in singles {
+        db.insert_fact(fact!("S", v)).unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tentpole equivalence: planned, index-probing joins compute
+    /// exactly what the seed's full-scan joins computed, on random
+    /// stratified programs and random instances, under both fixpoint
+    /// strategies.
+    #[test]
+    fn indexed_join_equals_scan_join(
+        prog_seed in 0u64..10_000,
+        n_rules in 1usize..6,
+        pairs in proptest::collection::vec((0u8..6, 0u8..6), 0..14),
+        singles in proptest::collection::btree_set(0i64..6, 0..5)) {
+        use rtx::query::{EvalStrategy, JoinMode};
+        let p = random_program(prog_seed, n_rules);
+        let db = random_db(&pairs, &singles.iter().copied().collect::<Vec<_>>());
+        let indexed = p.eval_with_mode(&db, EvalStrategy::SemiNaive, JoinMode::Indexed).unwrap();
+        let scan = p.eval_with_mode(&db, EvalStrategy::SemiNaive, JoinMode::Scan).unwrap();
+        prop_assert_eq!(&indexed, &scan);
+        // and across strategies, with indexes on
+        let naive = p.eval_with_mode(&db, EvalStrategy::Naive, JoinMode::Indexed).unwrap();
+        prop_assert_eq!(&indexed, &naive);
+    }
+
+    /// FO generator joins: indexed and scan modes agree on a two-hop
+    /// conjunctive query over random edges.
+    #[test]
+    fn fo_indexed_equals_scan(pairs in proptest::collection::vec((0u8..8, 0u8..8), 0..16)) {
+        use rtx::query::{atom, FoQuery, Formula, JoinMode};
+        let db = random_db(&pairs, &[]);
+        let q = FoQuery::new(
+            ["X", "Z"],
+            Formula::exists(["Y"], Formula::and([
+                Formula::atom(atom!("E"; @"X", @"Y")),
+                Formula::atom(atom!("E"; @"Y", @"Z")),
+            ])),
+        ).unwrap();
+        let indexed = q.clone().with_join_mode(JoinMode::Indexed).eval(&db).unwrap();
+        let scan = q.with_join_mode(JoinMode::Scan).eval(&db).unwrap();
+        prop_assert_eq!(indexed, scan);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The delta-store Dedalus runtime replays the clone-store runtime
+    /// tick for tick on random temporal instances and delivery seeds.
+    #[test]
+    fn dedalus_delta_store_equals_clone_store(
+        pairs in proptest::collection::vec((0u8..5, 0u8..5), 1..8),
+        spread in 0u64..4,
+        run_seed in 0u64..500) {
+        use rtx::dedalus::{DRule, DTime, DedalusOptions, DedalusProgram, DedalusRuntime,
+                           StoreMode, TemporalFacts};
+        use rtx::query::atom;
+        let p = DedalusProgram::new(vec![
+            DRule::persist("e", 2),
+            DRule::persist("got", 1),
+            DRule::new(atom!("t"; @"X", @"Y"), DTime::Same).when(atom!("e"; @"X", @"Y")),
+            DRule::new(atom!("t"; @"X", @"Z"), DTime::Same)
+                .when(atom!("t"; @"X", @"Y"))
+                .when(atom!("e"; @"Y", @"Z")),
+            DRule::new(atom!("m"; @"X"), DTime::Async).when(atom!("e"; @"X", @"X")),
+            DRule::new(atom!("got"; @"X"), DTime::Same).when(atom!("m"; @"X")),
+        ]).unwrap();
+        let mut edb = TemporalFacts::new();
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            edb.insert((i as u64) % (spread + 1), fact!("e", a as i64, b as i64));
+        }
+        let opts = DedalusOptions { max_ticks: 60, async_max_delay: 3, seed: run_seed };
+        let rt = DedalusRuntime::new(&p).unwrap();
+        let delta = rt.run_with(&edb, &opts, StoreMode::Delta).unwrap();
+        let clone = rt.run_with(&edb, &opts, StoreMode::Cloning).unwrap();
+        prop_assert_eq!(delta.converged_at, clone.converged_at);
+        prop_assert_eq!(delta.ticks, clone.ticks);
+    }
+}
+
 #[test]
 fn iso_with_explicit_pairs_sanity() {
     // non-proptest companion: a concrete renaming round trip
