@@ -1,0 +1,100 @@
+//! Sharded vs serial round-synchronous network execution.
+//!
+//! Measures `rtx_net::run_sharded` wall time at `ExecMode::Serial`
+//! against `ExecMode::Sharded` on ring / grid / random topologies from
+//! 64 to 1024 nodes. Each iteration executes a *fixed* transition
+//! budget (not to-quiescence), so serial and sharded runs do exactly
+//! the same work — the executors are bit-identical by construction —
+//! and the ratio is pure executor overhead vs parallel win.
+//!
+//! On a multicore host the sharded executor should beat serial from
+//! ~256 nodes at 4 threads (per-node heartbeat/delivery steps dominate
+//! and parallelize; the barrier merge is cheap). On a single-core host
+//! the sharded rows degrade to serial plus coordination overhead —
+//! check `nproc` before reading the numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtx_bench::set_input;
+use rtx_calm::constructions::flood::{flood_transducer, FloodMode};
+use rtx_net::{run_sharded, HorizontalPartition, Network, RunBudget, ShardOptions};
+
+/// Rounds of work per iteration: each round is one heartbeat per node
+/// plus up to one delivery per node, so the budget is `2 * ROUNDS * n`.
+const ROUNDS: usize = 8;
+
+fn topologies() -> Vec<(&'static str, Network)> {
+    vec![
+        ("ring-64", Network::ring(64).unwrap()),
+        ("ring-256", Network::ring(256).unwrap()),
+        ("grid-256", Network::grid(16, 16).unwrap()),
+        (
+            "random-256",
+            Network::random_connected_seeded(256, 0.01, 7).unwrap(),
+        ),
+        ("grid-1024", Network::grid(32, 32).unwrap()),
+    ]
+}
+
+fn bench_parallel_vs_serial(c: &mut Criterion) {
+    let schema = rtx_relational::Schema::new().with("S", 1);
+    let input = set_input(8);
+    let mut group = c.benchmark_group("net-sharded");
+    group.sample_size(3);
+    for (label, net) in topologies() {
+        let t = flood_transducer(&schema, FloodMode::Dedup, None).unwrap();
+        let p = HorizontalPartition::round_robin(&net, &input);
+        let budget = RunBudget::steps(2 * ROUNDS * net.len());
+        group.bench_with_input(BenchmarkId::new("serial", label), &net, |b, net| {
+            b.iter(|| {
+                let out = run_sharded(net, &t, &p, &ShardOptions::serial(), &budget).unwrap();
+                assert!(out.outcome.steps > 0);
+                out.outcome.messages_enqueued
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sharded-4", label), &net, |b, net| {
+            b.iter(|| {
+                let out = run_sharded(net, &t, &p, &ShardOptions::sharded(4), &budget).unwrap();
+                assert!(out.outcome.steps > 0);
+                out.outcome.messages_enqueued
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_thread_sweep(c: &mut Criterion) {
+    let schema = rtx_relational::Schema::new().with("S", 1);
+    let input = set_input(8);
+    let net = Network::grid(16, 16).unwrap();
+    let t = flood_transducer(&schema, FloodMode::Dedup, None).unwrap();
+    let p = HorizontalPartition::round_robin(&net, &input);
+    let budget = RunBudget::steps(2 * ROUNDS * net.len());
+    let mut group = c.benchmark_group("net-threads-grid-256");
+    group.sample_size(3);
+    group.bench_function(BenchmarkId::from_parameter("serial"), |b| {
+        b.iter(|| {
+            run_sharded(&net, &t, &p, &ShardOptions::serial(), &budget)
+                .unwrap()
+                .outcome
+                .steps
+        })
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    run_sharded(&net, &t, &p, &ShardOptions::sharded(threads), &budget)
+                        .unwrap()
+                        .outcome
+                        .steps
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_vs_serial, bench_thread_sweep);
+criterion_main!(benches);

@@ -59,11 +59,43 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
         let n = self.size.sample(rng);
         (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    /// Structural shrinks first (halve the length, drop one element),
+    /// then element-wise shrinks via the inner strategy. Candidate
+    /// lengths never fall below the size range's minimum.
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let n = value.len();
+        let lo = self.size.lo;
+        let mut out: Vec<Vec<S::Value>> = Vec::new();
+        if n > lo {
+            let half = (n / 2).max(lo);
+            if half < n {
+                out.push(value[..half].to_vec()); // keep the front half
+                out.push(value[n - half..].to_vec()); // keep the back half
+            }
+            for i in 0..n {
+                let mut shorter = value.clone();
+                shorter.remove(i);
+                out.push(shorter);
+            }
+        }
+        for (i, v) in value.iter().enumerate() {
+            for cand in self.elem.shrink(v) {
+                let mut next = value.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
     }
 }
 
@@ -91,7 +123,7 @@ pub struct BTreeSetStrategy<S> {
 impl<S> Strategy for BTreeSetStrategy<S>
 where
     S: Strategy,
-    S::Value: Ord,
+    S::Value: Ord + Clone,
 {
     type Value = BTreeSet<S::Value>;
     fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
@@ -102,6 +134,37 @@ where
         while out.len() < target && attempts < 100 * (target + 1) {
             out.insert(self.elem.generate(rng));
             attempts += 1;
+        }
+        out
+    }
+
+    /// Halve the cardinality, drop single elements, then shrink
+    /// individual elements (when the shrunk element is not already a
+    /// member). Candidate sizes never fall below the range's minimum.
+    fn shrink(&self, value: &BTreeSet<S::Value>) -> Vec<BTreeSet<S::Value>> {
+        let n = value.len();
+        let lo = self.size.lo;
+        let mut out: Vec<BTreeSet<S::Value>> = Vec::new();
+        if n > lo {
+            let half = (n / 2).max(lo);
+            if half < n {
+                out.push(value.iter().take(half).cloned().collect());
+                out.push(value.iter().skip(n - half).cloned().collect());
+            }
+            for drop in value {
+                out.push(value.iter().filter(|v| *v != drop).cloned().collect());
+            }
+        }
+        for old in value {
+            for cand in self.elem.shrink(old) {
+                if value.contains(&cand) {
+                    continue; // replacement would change the cardinality
+                }
+                let mut next: BTreeSet<S::Value> =
+                    value.iter().filter(|v| *v != old).cloned().collect();
+                next.insert(cand);
+                out.push(next);
+            }
         }
         out
     }

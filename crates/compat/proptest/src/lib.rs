@@ -17,8 +17,15 @@
 //!   `RTX_PROPTEST_CASES=2000 cargo test` for deeper local fuzzing);
 //! * `RTX_PROPTEST_SEED` — changes the base seed (default `0x5EED`).
 //!
-//! There is no shrinking: a failing case reports the case index, the
-//! seed, and the assertion message, which is enough to replay it.
+//! ## Shrinking
+//!
+//! A failing case is **shrunk** before it is reported: the harness
+//! greedily applies [`Strategy::shrink`] candidates (halving toward the
+//! strategy's minimum, dropping collection elements, then linear steps)
+//! as long as the property keeps failing, and the panic message shows
+//! the minimized arguments next to the case index and seed. Shrinking
+//! is capped at [`MAX_SHRINK_EVALS`] property re-executions, so a slow
+//! property cannot hang the reporter.
 
 #![warn(missing_docs)]
 
@@ -104,6 +111,62 @@ pub fn test_rng(test_name: &str) -> StdRng {
     StdRng::seed_from_u64(base_seed() ^ h)
 }
 
+/// Cap on property re-executions during shrinking.
+pub const MAX_SHRINK_EVALS: usize = 512;
+
+/// Greedily minimize a failing input: repeatedly try the strategy's
+/// shrink candidates and keep the first one that still fails, until no
+/// candidate fails (a local minimum) or [`MAX_SHRINK_EVALS`] property
+/// re-executions have been spent.
+///
+/// Returns the minimized value, the failure message it produced, and
+/// how many shrinking steps were accepted. Used by the [`proptest!`]
+/// macro; public so custom harnesses can reuse it.
+pub fn shrink_failure<S, F>(
+    strategy: &S,
+    failing: S::Value,
+    err: TestCaseError,
+    run: F,
+) -> (S::Value, TestCaseError, usize)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    let mut best = failing;
+    let mut msg = err;
+    let mut evals = 0usize;
+    let mut accepted = 0usize;
+    'outer: loop {
+        for cand in strategy.shrink(&best) {
+            if evals >= MAX_SHRINK_EVALS {
+                break 'outer;
+            }
+            evals += 1;
+            if let Err(e) = run(&cand) {
+                best = cand;
+                msg = e;
+                accepted += 1;
+                continue 'outer; // restart from the smaller input
+            }
+        }
+        break; // no candidate fails: local minimum
+    }
+    (best, msg, accepted)
+}
+
+/// Identity helper that pins a property closure's argument type to the
+/// strategy's value type, so the [`proptest!`] macro can define the
+/// closure before the first generated value exists. Implementation
+/// detail of the macro.
+#[doc(hidden)]
+pub fn bind_runner<S, F>(_strategy: &S, f: F) -> F
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    f
+}
+
 /// A failed property assertion (carries the formatted message).
 #[derive(Debug)]
 pub struct TestCaseError {
@@ -168,14 +231,29 @@ macro_rules! __proptest_tests {
             let __cfg: $crate::ProptestConfig = $cfg;
             let __cases = __cfg.effective_cases();
             let mut __rng = $crate::test_rng(stringify!($name));
+            // All argument strategies combined into one tuple strategy,
+            // so the whole input shrinks coordinate-wise.
+            let __strat = ($(($strat),)+);
+            let __run = $crate::bind_runner(&__strat, |__vals| {
+                let ($($arg,)+) = ::std::clone::Clone::clone(__vals);
+                $body
+                ::std::result::Result::Ok(())
+            });
             for __case in 0..__cases {
-                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
-                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
-                    (|| { $body ::std::result::Result::Ok(()) })();
-                if let ::std::result::Result::Err(e) = __outcome {
+                let __vals = $crate::Strategy::generate(&__strat, &mut __rng);
+                if let ::std::result::Result::Err(__e) = __run(&__vals) {
+                    let (__min, __msg, __steps) =
+                        $crate::shrink_failure(&__strat, __vals, __e, &__run);
+                    let ($($arg,)+) = __min;
                     panic!(
-                        "property `{}` failed at case {}/{} (base seed {:#x}): {}",
-                        stringify!($name), __case, __cases, $crate::base_seed(), e
+                        "property `{}` failed at case {}/{} (base seed {:#x}): {}\n\
+                         minimized counterexample ({} shrinking steps):{}",
+                        stringify!($name), __case, __cases, $crate::base_seed(), __msg,
+                        __steps,
+                        format!(
+                            concat!($("\n  ", stringify!($arg), " = {:?}",)+),
+                            $($arg),+
+                        )
                     );
                 }
             }

@@ -1,4 +1,4 @@
-//! Value-generation strategies (no shrinking).
+//! Value-generation strategies with simple halving/linear shrinking.
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -8,19 +8,33 @@ use std::ops::{Range, RangeInclusive};
 /// Generates random values of `Self::Value` from a seeded RNG.
 ///
 /// The real proptest builds shrinkable value *trees*; this stand-in
-/// generates plain values — enough for deterministic CI properties.
+/// generates plain values and shrinks them after the fact:
+/// [`Strategy::shrink`] proposes strictly "smaller" candidate values
+/// (halving toward the strategy's minimum, then linear steps), and the
+/// test harness greedily keeps candidates that still fail. Every
+/// candidate stays inside the strategy's domain, so minimized
+/// counterexamples satisfy the same invariants as generated ones.
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Draw one value.
     fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, simplest first. Default:
+    /// none (the value is reported as-is).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
     fn generate(&self, rng: &mut StdRng) -> Self::Value {
         (**self).generate(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -29,6 +43,34 @@ impl<S: Strategy + ?Sized> Strategy for Box<S> {
     fn generate(&self, rng: &mut StdRng) -> Self::Value {
         (**self).generate(rng)
     }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
+}
+
+/// Halving/linear candidates for an integer `v` with minimum `lo`:
+/// `lo` itself, the midpoint between `lo` and `v`, and `v - 1`.
+///
+/// The midpoint is computed in `i128` so signed ranges spanning more
+/// than the type's maximum (e.g. `-100i8..100`) cannot overflow; every
+/// integer type here fits in `i128`.
+macro_rules! int_candidates {
+    ($v:expr, $lo:expr, $t:ty) => {{
+        let v = $v;
+        let lo = $lo;
+        let mut out: Vec<$t> = Vec::new();
+        if v > lo {
+            out.push(lo);
+            let mid = (((lo as i128) + (v as i128)) / 2) as $t;
+            if mid != lo && mid != v {
+                out.push(mid);
+            }
+            if v - 1 != lo {
+                out.push(v - 1);
+            }
+        }
+        out
+    }};
 }
 
 macro_rules! impl_range_strategy {
@@ -38,11 +80,17 @@ macro_rules! impl_range_strategy {
             fn generate(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_candidates!(*value, self.start, $t)
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_candidates!(*value, *self.start(), $t)
             }
         }
     )*};
@@ -51,22 +99,37 @@ macro_rules! impl_range_strategy {
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($idx:tt, $name:ident)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
-            #[allow(non_snake_case)]
             fn generate(&self, rng: &mut StdRng) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.generate(rng),)+)
+                ($(self.$idx.generate(rng),)+)
+            }
+            // Shrink one coordinate at a time, holding the others.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     };
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!((0, A));
+impl_tuple_strategy!((0, A), (1, B));
+impl_tuple_strategy!((0, A), (1, B), (2, C));
+impl_tuple_strategy!((0, A), (1, B), (2, C), (3, D));
+impl_tuple_strategy!((0, A), (1, B), (2, C), (3, D), (4, E));
+impl_tuple_strategy!((0, A), (1, B), (2, C), (3, D), (4, E), (5, F));
 
 /// Always generates a clone of the given value.
 #[derive(Debug, Clone)]
@@ -96,6 +159,13 @@ impl Strategy for Any<bool> {
     fn generate(&self, rng: &mut StdRng) -> bool {
         rng.next_u64() & 1 == 1
     }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 macro_rules! impl_any_int {
@@ -104,6 +174,23 @@ macro_rules! impl_any_int {
             type Value = $t;
             fn generate(&self, rng: &mut StdRng) -> $t {
                 rng.next_u64() as $t
+            }
+            // Halve toward zero, then step linearly.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    let mid = v / 2;
+                    if mid != 0 && mid != v {
+                        out.push(mid);
+                    }
+                    let step = if v > 0 { v - 1 } else { v + 1 };
+                    if step != 0 && step != mid {
+                        out.push(step);
+                    }
+                }
+                out
             }
         }
     )*};

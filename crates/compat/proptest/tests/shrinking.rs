@@ -1,0 +1,146 @@
+//! The shrinking contract: failing inputs are minimized by halving /
+//! linear steps, candidates stay inside the strategy's domain, and the
+//! macro reports the minimized counterexample.
+
+use proptest::collection::{btree_set, vec};
+use proptest::prelude::*;
+use proptest::{shrink_failure, Strategy, TestCaseError};
+
+#[test]
+fn range_shrink_candidates_stay_in_range_and_get_smaller() {
+    let s = 10u32..100;
+    let cands = s.shrink(&57);
+    assert!(!cands.is_empty());
+    for c in &cands {
+        assert!((10..100).contains(c) && *c < 57, "bad candidate {c}");
+    }
+    // the minimum has no candidates
+    assert!(s.shrink(&10).is_empty());
+    // inclusive ranges shrink toward their start
+    let si = 5i64..=9;
+    assert!(si.shrink(&5).is_empty());
+    assert!(si.shrink(&9).iter().all(|c| (5..9).contains(c)));
+}
+
+#[test]
+fn wide_signed_ranges_shrink_without_overflow() {
+    // span > i8::MAX: the naive `lo + (v - lo) / 2` midpoint overflows
+    let s = -100i8..100;
+    for v in [-99i8, -1, 0, 1, 99] {
+        for c in s.shrink(&v) {
+            assert!(
+                (-100..100).contains(&c) && c < v,
+                "bad candidate {c} for {v}"
+            );
+        }
+    }
+    assert!(s.shrink(&-100).is_empty());
+    let su = 0u64..u64::MAX;
+    assert!(su.shrink(&(u64::MAX - 1)).iter().all(|&c| c < u64::MAX - 1));
+}
+
+#[test]
+fn any_int_shrinks_toward_zero_from_both_signs() {
+    let s = any::<i32>();
+    assert!(s.shrink(&0).is_empty());
+    assert!(s.shrink(&40).contains(&0));
+    assert!(s.shrink(&40).iter().all(|&c| (0..40).contains(&c)));
+    assert!(s.shrink(&-40).iter().all(|&c| c > -40 && c <= 0));
+    assert_eq!(any::<bool>().shrink(&true), vec![false]);
+    assert!(any::<bool>().shrink(&false).is_empty());
+}
+
+#[test]
+fn vec_shrink_respects_min_len_and_shrinks_elements() {
+    let s = vec(0u8..50, 2..6);
+    let v = vec![9u8, 30, 4, 11, 2];
+    for c in s.shrink(&v) {
+        assert!(c.len() >= 2, "candidate below min length: {c:?}");
+        assert!(c.iter().all(|&x| x < 50));
+        assert_ne!(c, v, "candidate equals the input");
+    }
+    // a vec at min length still shrinks element-wise
+    let at_min = vec![7u8, 7];
+    assert!(s.shrink(&at_min).iter().all(|c| c.len() == 2));
+    assert!(!s.shrink(&at_min).is_empty());
+}
+
+#[test]
+fn btree_set_shrink_respects_min_cardinality() {
+    let s = btree_set(0i64..40, 1..5);
+    let v: std::collections::BTreeSet<i64> = [3, 17, 29].into_iter().collect();
+    let cands = s.shrink(&v);
+    assert!(!cands.is_empty());
+    for c in &cands {
+        assert!(!c.is_empty(), "below min cardinality");
+        assert!(c.iter().all(|&x| (0..40).contains(&x)));
+        assert_ne!(c, &v);
+    }
+}
+
+#[test]
+fn shrink_failure_minimizes_a_sum_property() {
+    // fails whenever the vec has ≥ 3 elements; minimal failing input
+    // under the strategy is any 3-element vec of zeros.
+    let strat = (vec(0i64..100, 0..10),);
+    let run = |vals: &(Vec<i64>,)| -> Result<(), TestCaseError> {
+        if vals.0.len() >= 3 {
+            Err(TestCaseError::fail("too long"))
+        } else {
+            Ok(())
+        }
+    };
+    let failing = (vec![55i64, 3, 99, 14, 8, 61],);
+    let err = run(&failing).unwrap_err();
+    let (min, _msg, steps) = shrink_failure(&strat, failing, err, run);
+    assert_eq!(min.0.len(), 3, "length not minimized: {:?}", min.0);
+    assert!(
+        min.0.iter().all(|&x| x == 0),
+        "elements not minimized: {:?}",
+        min.0
+    );
+    assert!(steps > 0);
+}
+
+#[test]
+fn shrink_failure_minimizes_coordinates_independently() {
+    // fails when x ≥ 7 (y is irrelevant and should shrink to its min).
+    let strat = (0u32..100, 5u32..50);
+    let run = |&(x, _y): &(u32, u32)| -> Result<(), TestCaseError> {
+        if x >= 7 {
+            Err(TestCaseError::fail("x too big"))
+        } else {
+            Ok(())
+        }
+    };
+    let failing = (93u32, 41u32);
+    let err = run(&failing).unwrap_err();
+    let (min, _msg, _steps) = shrink_failure(&strat, failing, err, run);
+    assert_eq!(min, (7, 5));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // End to end: the macro panics with the minimized arguments in the
+    // message. x ≥ 10 always fails, so the minimum is the range start.
+    #[test]
+    #[should_panic(expected = "x = 10")]
+    fn macro_reports_minimized_counterexample(x in 10u32..1000) {
+        prop_assert!(x < 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimized counterexample")]
+    fn macro_mentions_shrinking(v in proptest::collection::vec(0i64..50, 1..8)) {
+        prop_assert!(v.is_empty()); // always fails (min length is 1)
+    }
+
+    // A passing property still passes: shrinking must not perturb the
+    // happy path.
+    #[test]
+    fn macro_happy_path_unchanged(x in 0u8..10, v in proptest::collection::vec(0i64..5, 0..4)) {
+        prop_assert!(x < 10);
+        prop_assert!(v.len() < 4);
+    }
+}

@@ -25,7 +25,7 @@ pub enum TransitionKind {
 }
 
 /// A record of one applied global transition.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TransitionRecord {
     /// The node that transitioned.
     pub node: NodeId,
@@ -45,6 +45,63 @@ impl TransitionRecord {
     /// A transition that changed nothing observable.
     pub fn is_noop(&self) -> bool {
         !self.state_changed && self.sent_facts == 0 && self.output.is_empty()
+    }
+}
+
+/// An ordered log of applied transitions.
+///
+/// The sharded runtime builds one log per run by appending phase records
+/// in a fixed node order, so two runs agree step for step exactly when
+/// their logs are equal — the determinism invariant of
+/// [`crate::run_sharded`] is stated (and property-tested) as log
+/// equality. Logs from disjoint shards merge by concatenation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TransitionLog {
+    records: Vec<TransitionRecord>,
+}
+
+impl TransitionLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        TransitionLog::default()
+    }
+
+    /// Append one record.
+    pub fn push(&mut self, rec: TransitionRecord) {
+        self.records.push(rec);
+    }
+
+    /// Append every record of `other`, in order (shard merge).
+    pub fn merge(&mut self, other: TransitionLog) {
+        self.records.extend(other.records);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records, in application order.
+    pub fn records(&self) -> &[TransitionRecord] {
+        &self.records
+    }
+
+    /// Iterate over the records.
+    pub fn iter(&self) -> impl Iterator<Item = &TransitionRecord> {
+        self.records.iter()
+    }
+}
+
+impl FromIterator<TransitionRecord> for TransitionLog {
+    fn from_iter<I: IntoIterator<Item = TransitionRecord>>(iter: I) -> Self {
+        TransitionLog {
+            records: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -79,6 +136,36 @@ impl Configuration {
             buffers.insert(node.clone(), Vec::new());
         }
         Ok(Configuration { states, buffers })
+    }
+
+    /// Decompose into per-node `(state, buffer)` pairs, in node order.
+    ///
+    /// This is the shape the sharded runtime works on: states are
+    /// distributed to worker shards (each node's state is only ever read
+    /// and written by its owning shard) while buffers stay with the
+    /// coordinator, which merges outboxes into them in a fixed order.
+    /// [`Configuration::from_parts`] reassembles the configuration.
+    pub fn into_parts(self) -> Vec<(NodeId, Instance, Vec<Fact>)> {
+        let mut buffers = self.buffers;
+        self.states
+            .into_iter()
+            .map(|(n, st)| {
+                let buf = buffers.remove(&n).unwrap_or_default();
+                (n, st, buf)
+            })
+            .collect()
+    }
+
+    /// Reassemble a configuration from per-node parts (inverse of
+    /// [`Configuration::into_parts`]).
+    pub fn from_parts(parts: impl IntoIterator<Item = (NodeId, Instance, Vec<Fact>)>) -> Self {
+        let mut states = BTreeMap::new();
+        let mut buffers = BTreeMap::new();
+        for (n, st, buf) in parts {
+            states.insert(n.clone(), st);
+            buffers.insert(n, buf);
+        }
+        Configuration { states, buffers }
     }
 
     /// The state of a node.
@@ -337,6 +424,36 @@ mod tests {
         let (net, t, mut cfg) = setup();
         let zz = rtx_relational::Value::sym("zz");
         assert!(cfg.apply_heartbeat(&net, &t, &zz).is_err());
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let (net, t, mut cfg) = setup();
+        let n0 = rtx_relational::Value::sym("n0");
+        cfg.apply_heartbeat(&net, &t, &n0).unwrap(); // nonempty buffer at n1
+        let copy = cfg.clone();
+        let parts = cfg.into_parts();
+        assert_eq!(parts.len(), 2);
+        let back = Configuration::from_parts(parts);
+        assert_eq!(back, copy);
+    }
+
+    #[test]
+    fn transition_log_merge_and_equality() {
+        let (net, t, mut cfg) = setup();
+        let n0 = rtx_relational::Value::sym("n0");
+        let n1 = rtx_relational::Value::sym("n1");
+        let r0 = cfg.apply_heartbeat(&net, &t, &n0).unwrap();
+        let r1 = cfg.apply_heartbeat(&net, &t, &n1).unwrap();
+        let mut a = TransitionLog::new();
+        a.push(r0.clone());
+        let b: TransitionLog = [r1.clone()].into_iter().collect();
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        let c: TransitionLog = [r0, r1].into_iter().collect();
+        assert_eq!(a, c);
+        assert_eq!(a.iter().count(), a.records().len());
     }
 
     #[test]

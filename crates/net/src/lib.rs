@@ -11,6 +11,17 @@
 //! pluggable, seeded [`Scheduler`]s — FIFO round-robin, LIFO, and random
 //! — so the consistency analyses of `rtx-calm` can quantify over delivery
 //! orders reproducibly.
+//!
+//! Two executors drive a network:
+//!
+//! * [`run`] — the seed's serial driver: one global transition at a
+//!   time, delivery order chosen by a [`Scheduler`].
+//! * [`run_sharded`] — the round-synchronous executor: each round
+//!   heartbeats every node and delivers one buffered fact per node with
+//!   mail, with the per-node steps computed in parallel across worker
+//!   shards ([`ExecMode::Sharded`]) or serially ([`ExecMode::Serial`]).
+//!   Results are bit-identical across thread counts and
+//!   [`ShardPlan`]s; see [`run_sharded`] for the round semantics.
 
 #![warn(missing_docs)]
 
@@ -18,13 +29,18 @@ mod config;
 mod error;
 mod partition;
 mod run;
+mod shard;
 mod topology;
 
-pub use config::{Configuration, TransitionKind, TransitionRecord};
+pub use config::{Configuration, TransitionKind, TransitionLog, TransitionRecord};
 pub use error::NetError;
 pub use partition::HorizontalPartition;
 pub use run::{
     run, run_from, run_heartbeats_only, Action, FifoRoundRobin, HeartbeatOnlyOutcome,
     LifoRoundRobin, RandomScheduler, RunBudget, RunOutcome, Scheduler,
+};
+pub use shard::{
+    run_sharded, run_sharded_from, ExecMode, RoundScheduling, ShardOptions, ShardPlan,
+    ShardRunOutcome,
 };
 pub use topology::{Network, NodeId};

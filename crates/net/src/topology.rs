@@ -118,6 +118,45 @@ impl Network {
         Network::from_edges(nodes, edges)
     }
 
+    /// A `w × h` grid: node `n{y*w+x}` sits at column `x`, row `y`, and
+    /// connects to its right and down neighbors. The workhorse topology
+    /// of the scale benches (`bench_net`): diameter `w+h-2` with bounded
+    /// degree.
+    pub fn grid(w: usize, h: usize) -> Result<Self, NetError> {
+        if w == 0 || h == 0 {
+            return Err(NetError::Topology(
+                "a grid needs at least one row and one column".into(),
+            ));
+        }
+        let at = |x: usize, y: usize| Self::node_name(y * w + x);
+        let nodes: Vec<NodeId> = (0..w * h).map(Self::node_name).collect();
+        let mut edges = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    edges.push((at(x, y), at(x + 1, y)));
+                }
+                if y + 1 < h {
+                    edges.push((at(x, y), at(x, y + 1)));
+                }
+            }
+        }
+        Network::from_edges(nodes, edges)
+    }
+
+    /// [`Network::random_connected`] from a bare seed — the convenient
+    /// form for benches and property tests that don't hold an RNG.
+    pub fn random_connected_seeded(
+        k: usize,
+        extra_edge_prob: f64,
+        seed: u64,
+    ) -> Result<Self, NetError> {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::random_connected(k, extra_edge_prob, &mut rng)
+    }
+
     /// A random connected graph: a random spanning tree plus each extra
     /// edge independently with probability `extra_edge_prob`.
     pub fn random_connected(
@@ -283,6 +322,34 @@ mod tests {
         assert!(n
             .neighbors(&Value::sym("n1"))
             .any(|m| m == &Value::sym("n3")));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = Network::grid(4, 3).unwrap();
+        assert_eq!(g.len(), 12);
+        // (w-1)*h horizontal + w*(h-1) vertical
+        assert_eq!(g.edge_count(), 3 * 3 + 4 * 2);
+        assert_eq!(g.diameter(), 4 + 3 - 2);
+        // corner n0 has exactly two neighbors: right (n1) and down (n4)
+        let nbrs: Vec<_> = g.neighbors(&Value::sym("n0")).collect();
+        assert_eq!(nbrs.len(), 2);
+        assert!(nbrs.contains(&&Value::sym("n1")));
+        assert!(nbrs.contains(&&Value::sym("n4")));
+        // degenerate grids are lines / single nodes
+        assert_eq!(Network::grid(1, 1).unwrap().len(), 1);
+        assert_eq!(Network::grid(5, 1).unwrap().diameter(), 4);
+        assert!(Network::grid(0, 3).is_err());
+        assert!(Network::grid(3, 0).is_err());
+    }
+
+    #[test]
+    fn random_connected_seeded_is_reproducible() {
+        let a = Network::random_connected_seeded(10, 0.1, 77).unwrap();
+        let b = Network::random_connected_seeded(10, 0.1, 77).unwrap();
+        assert_eq!(a, b);
+        let c = Network::random_connected_seeded(10, 0.1, 78).unwrap();
+        assert_eq!(c.len(), 10); // different seed still connected
     }
 
     #[test]

@@ -51,7 +51,19 @@ pub trait Query: fmt::Debug + Send + Sync {
 }
 
 /// Shared handle to a query; the form stored inside transducers.
+///
+/// [`Query`] requires `Send + Sync`, so a `QueryRef` (and everything
+/// built from it, like a transducer) can be shared across the worker
+/// threads of `rtx-net`'s sharded executor without cloning. Cached
+/// evaluation state (join plans, stratifications) lives behind
+/// `OnceLock`s and is therefore thread-safe too.
 pub type QueryRef = Arc<dyn Query>;
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+    assert_send_sync::<dyn Query>();
+    assert_send_sync::<QueryRef>();
+};
 
 impl Query for QueryRef {
     fn arity(&self) -> usize {

@@ -12,6 +12,13 @@
 //!
 //! Syntactic classification — *oblivious*, *inflationary*, *monotone* —
 //! lives in [`Classification`]; network execution lives in `rtx-net`.
+//!
+//! A [`Transducer`] is immutable after construction and `Send + Sync`
+//! (its queries are `Arc<dyn Query + Send + Sync>` and all query-plan
+//! caches are thread-safe), so one instance is shared by reference by
+//! every node of a network simulation, including across the worker
+//! shards of `rtx-net`'s sharded executor. No per-node clones are ever
+//! needed.
 
 #![warn(missing_docs)]
 
@@ -24,3 +31,17 @@ pub use builder::TransducerBuilder;
 pub use classify::{Classification, SystemUsage};
 pub use schema::{system_schema, TransducerSchema, SYS_ALL, SYS_ID};
 pub use transducer::{StepResult, Transducer};
+
+/// Shared owning handle to a transducer, for callers that need to keep
+/// one alive beyond a borrow (e.g. a long-lived scheduler or service).
+/// The executors in `rtx-net` themselves only need `&Transducer` —
+/// sharding works by borrowing, not by cloning handles.
+pub type TransducerRef = std::sync::Arc<Transducer>;
+
+// The sharded network runtime hands `&Transducer` to worker threads;
+// this is the compile-time guarantee that makes that sound.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Transducer>();
+    assert_send_sync::<TransducerRef>();
+};

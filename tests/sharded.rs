@@ -1,0 +1,170 @@
+//! Property tests for the sharded round-synchronous runtime
+//! (`rtx_net::run_sharded`): the determinism invariant — sharded
+//! execution is bit-identical to the serial reference for every thread
+//! count and shard plan — plus output agreement with the seed drivers.
+
+use proptest::prelude::*;
+use rtx::calm::constructions::distribute::distribute_monotone;
+use rtx::calm::constructions::flood::{flood_transducer, FloodMode};
+use rtx::net::{
+    run, ExecMode, FifoRoundRobin, HorizontalPartition, Network, RoundScheduling, RunBudget,
+    ShardOptions, ShardPlan,
+};
+use rtx::query::{Query, QueryRef};
+use rtx::relational::{fact, Fact, Instance, Schema};
+use std::sync::Arc;
+
+fn set_instance(values: &[i64]) -> Instance {
+    let sch = Schema::new().with("S", 1);
+    let facts: Vec<Fact> = values.iter().map(|&v| fact!("S", v)).collect();
+    Instance::from_facts(sch, facts).unwrap()
+}
+
+fn edge_instance(pairs: &[(u8, u8)]) -> Instance {
+    let sch = Schema::new().with("S", 2);
+    let mut i = Instance::empty(sch);
+    for &(a, b) in pairs {
+        i.insert_fact(fact!("S", a as i64, b as i64)).unwrap();
+    }
+    i
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tentpole invariant: for random connected topologies, random
+    /// partitions, and every (thread count, shard plan) combination,
+    /// the sharded FIFO round-synchronous run is bit-identical to the
+    /// serial reference — same quiescent output, same per-node outputs,
+    /// same step/message counters, same final configuration, and the
+    /// same transition log, record for record.
+    #[test]
+    fn sharded_equals_serial_bit_for_bit(
+        values in proptest::collection::btree_set(0i64..40, 1..5),
+        nodes in 2usize..9,
+        topo_seed in 0u64..500,
+        part_seed in 0u64..500) {
+        use rand::SeedableRng;
+        let input = set_instance(&values.iter().copied().collect::<Vec<_>>());
+        let net = Network::random_connected_seeded(nodes, 0.2, topo_seed).unwrap();
+        let t = flood_transducer(input.schema(), FloodMode::Dedup, None).unwrap();
+        let mut prng = rand::rngs::StdRng::seed_from_u64(part_seed);
+        let p = HorizontalPartition::random(&net, &input, 0.1, &mut prng);
+        let budget = RunBudget::steps(500_000);
+        let serial = rtx::net::run_sharded(
+            &net, &t, &p, &ShardOptions::serial().with_log(), &budget).unwrap();
+        prop_assert!(serial.outcome.quiescent);
+        for threads in [2usize, 3, 4, 8] {
+            for plan in [ShardPlan::Contiguous, ShardPlan::RoundRobin, ShardPlan::Hash] {
+                let opts = ShardOptions::sharded(threads).with_plan(plan).with_log();
+                let sharded = rtx::net::run_sharded(&net, &t, &p, &opts, &budget).unwrap();
+                prop_assert_eq!(&sharded.outcome.output, &serial.outcome.output,
+                                "output diverged: threads={} plan={:?}", threads, plan);
+                prop_assert_eq!(&sharded.outcome.outputs_per_node,
+                                &serial.outcome.outputs_per_node);
+                prop_assert_eq!(sharded.outcome.steps, serial.outcome.steps);
+                prop_assert_eq!(sharded.outcome.heartbeats, serial.outcome.heartbeats);
+                prop_assert_eq!(sharded.outcome.deliveries, serial.outcome.deliveries);
+                prop_assert_eq!(sharded.outcome.messages_enqueued,
+                                serial.outcome.messages_enqueued);
+                prop_assert_eq!(sharded.rounds, serial.rounds);
+                prop_assert!(sharded.outcome.final_config == serial.outcome.final_config,
+                             "final configuration diverged: threads={} plan={:?}",
+                             threads, plan);
+                prop_assert_eq!(&sharded.log, &serial.log,
+                                "transition log diverged: threads={} plan={:?}",
+                                threads, plan);
+            }
+        }
+    }
+
+    /// Under sharded *random* scheduling the delivery order differs from
+    /// FIFO, but a confluent transducer must still reach the same
+    /// quiescent output — and the run must be bit-identical across
+    /// thread counts for a fixed seed.
+    #[test]
+    fn sharded_random_scheduling_output_agrees(
+        values in proptest::collection::btree_set(0i64..40, 1..5),
+        nodes in 2usize..8,
+        topo_seed in 0u64..500,
+        sched_seed in 0u64..1000) {
+        let input = set_instance(&values.iter().copied().collect::<Vec<_>>());
+        let net = Network::random_connected_seeded(nodes, 0.2, topo_seed).unwrap();
+        let t = flood_transducer(input.schema(), FloodMode::Dedup, None).unwrap();
+        let p = HorizontalPartition::round_robin(&net, &input);
+        let budget = RunBudget::steps(500_000);
+        let fifo = rtx::net::run_sharded(
+            &net, &t, &p, &ShardOptions::serial(), &budget).unwrap();
+        prop_assert!(fifo.outcome.quiescent);
+        let rand_serial = rtx::net::run_sharded(
+            &net, &t, &p,
+            &ShardOptions::serial()
+                .with_scheduling(RoundScheduling::Random { seed: sched_seed })
+                .with_log(),
+            &budget).unwrap();
+        let rand_sharded = rtx::net::run_sharded(
+            &net, &t, &p,
+            &ShardOptions::sharded(4)
+                .with_scheduling(RoundScheduling::Random { seed: sched_seed })
+                .with_log(),
+            &budget).unwrap();
+        prop_assert!(rand_sharded.outcome.quiescent);
+        prop_assert_eq!(&rand_sharded.log, &rand_serial.log,
+                        "random scheduling must be thread-count independent");
+        prop_assert_eq!(&rand_sharded.outcome.output, &fifo.outcome.output,
+                        "confluent transducer output must not depend on delivery order");
+    }
+
+    /// Cross-driver agreement: the round-synchronous executor and the
+    /// seed's scheduler-driven driver compute the same query answer on
+    /// distributed transitive closure.
+    #[test]
+    fn sharded_tc_agrees_with_seed_driver(
+        pairs in proptest::collection::vec((0u8..5, 0u8..5), 1..7),
+        nodes in 2usize..6,
+        topo_seed in 0u64..300) {
+        let input = edge_instance(&pairs);
+        let q: QueryRef = {
+            let p = rtx::query::parser::parse_program(
+                "T(X,Y) :- S(X,Y). T(X,Z) :- T(X,Y), S(Y,Z).").unwrap();
+            Arc::new(rtx::query::DatalogQuery::new(p, "T").unwrap())
+        };
+        let expected = q.eval(&input).unwrap();
+        let t = distribute_monotone(q, input.schema(), FloodMode::Dedup).unwrap();
+        let net = Network::random_connected_seeded(nodes, 0.3, topo_seed).unwrap();
+        let p = HorizontalPartition::round_robin(&net, &input);
+        let budget = RunBudget::steps(500_000);
+        let seed_run = run(&net, &t, &p, &mut FifoRoundRobin::new(), &budget).unwrap();
+        let sharded = rtx::net::run_sharded(
+            &net, &t, &p, &ShardOptions::sharded(4), &budget).unwrap();
+        prop_assert!(seed_run.quiescent && sharded.outcome.quiescent);
+        prop_assert_eq!(&sharded.outcome.output, &expected);
+        prop_assert_eq!(&sharded.outcome.output, &seed_run.output);
+    }
+}
+
+/// `ExecMode::sharded_auto` honours `RTX_NET_THREADS` (the CI matrix
+/// sets it to 4), and auto-sharded runs stay on the deterministic path.
+#[test]
+fn auto_threads_run_matches_serial() {
+    let input = set_instance(&[1, 2, 3, 4, 5]);
+    let net = Network::grid(4, 4).unwrap();
+    let t = flood_transducer(input.schema(), FloodMode::Dedup, None).unwrap();
+    let p = HorizontalPartition::round_robin(&net, &input);
+    let budget = RunBudget::steps(500_000);
+    let serial =
+        rtx::net::run_sharded(&net, &t, &p, &ShardOptions::serial().with_log(), &budget).unwrap();
+    let auto = ShardOptions {
+        mode: ExecMode::sharded_auto(),
+        ..ShardOptions::default()
+    };
+    let sharded = rtx::net::run_sharded(&net, &t, &p, &auto.with_log(), &budget).unwrap();
+    assert!(sharded.outcome.quiescent);
+    assert_eq!(sharded.outcome.output, serial.outcome.output);
+    assert_eq!(sharded.log, serial.log);
+    if let Ok(v) = std::env::var("RTX_NET_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            assert_eq!(sharded.threads_used, n.clamp(1, net.len()));
+        }
+    }
+}
