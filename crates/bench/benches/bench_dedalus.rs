@@ -1,12 +1,14 @@
 //! THM-18 benchmark: the Dedalus Turing-machine simulation — ticks and
 //! wall time vs word length, against the direct interpreter baseline —
 //! plus the delta-vs-clone store ablation on the TM simulation and on a
-//! larger transitive-closure workload.
+//! larger transitive-closure workload, and the cross-tick
+//! incremental-vs-scratch fixpoint ablation (`dedalus-tc-fixpoint`,
+//! `dedalus-tm-fixpoint`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtx_dedalus::{
-    simulate_word, DedalusOptions, DedalusProgram, DedalusRuntime, InputSchedule, StoreMode,
-    TemporalFacts,
+    simulate_word, DedalusOptions, DedalusProgram, DedalusRuntime, FixpointMode, InputSchedule,
+    StoreMode, TemporalFacts,
 };
 use rtx_machine::machines;
 use rtx_query::atom;
@@ -63,7 +65,12 @@ fn bench_dedalus(c: &mut Criterion) {
         for (label, mode) in [("delta", StoreMode::Delta), ("clone", StoreMode::Cloning)] {
             group.bench_with_input(BenchmarkId::new(label, len), &len, |b, _| {
                 b.iter(|| {
-                    let trace = rt.run_with(&edb, &opts, mode).unwrap();
+                    // Fixpoint pinned to Scratch: this group isolates
+                    // the store ablation (see dedalus-*-fixpoint for
+                    // the incremental-maintenance comparison).
+                    let trace = rt
+                        .run_with_fixpoint(&edb, &opts, mode, FixpointMode::Scratch)
+                        .unwrap();
                     assert!(trace.converged_at.is_some());
                     trace.ticks.len()
                 })
@@ -102,9 +109,96 @@ fn bench_dedalus(c: &mut Criterion) {
         for (label, mode) in [("delta", StoreMode::Delta), ("clone", StoreMode::Cloning)] {
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
                 b.iter(|| {
-                    let trace = rt.run_with(&edb, &tc_opts, mode).unwrap();
+                    let trace = rt
+                        .run_with_fixpoint(&edb, &tc_opts, mode, FixpointMode::Scratch)
+                        .unwrap();
                     assert!(trace.converged_at.is_some());
                     trace.last().fact_count()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The cross-tick incremental fixpoint ablation: the same delta store
+/// either re-derives the whole IDB per tick (`FixpointMode::Scratch`,
+/// the seed path) or maintains it under the tick's base ±
+/// (`FixpointMode::Incremental`, counting-based DRed). The TC workload
+/// is the incremental sweet spot — after the arrival ticks the base
+/// stops changing and maintenance is a no-op, while scratch re-closes
+/// the graph all the way to convergence. The TM workload retracts and
+/// re-derives a few facts every tick (head moves, state flips), so it
+/// measures the DRed path under churn.
+fn bench_fixpoint_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dedalus-tc-fixpoint");
+    group.sample_size(10);
+    let program = tc_program();
+    let rt = DedalusRuntime::new(&program).unwrap();
+    for n in [32usize, 64] {
+        // One edge arrives per tick: the run spans ~n ticks, each with
+        // a one-fact base delta — scratch re-closes the whole graph
+        // every tick, maintenance touches only the new paths.
+        let mut edb = TemporalFacts::new();
+        for i in 0..n as i64 {
+            edb.insert(
+                i as u64,
+                Fact::new(
+                    "e",
+                    rtx_relational::Tuple::new(vec![
+                        rtx_relational::Value::int(i),
+                        rtx_relational::Value::int(i + 1),
+                    ]),
+                ),
+            );
+        }
+        let opts = DedalusOptions {
+            max_ticks: n as u64 + 8,
+            async_max_delay: 1,
+            seed: 0,
+        };
+        for (label, mode) in [
+            ("incremental", FixpointMode::Incremental),
+            ("scratch", FixpointMode::Scratch),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    let trace = rt
+                        .run_with_fixpoint(&edb, &opts, StoreMode::Delta, mode)
+                        .unwrap();
+                    assert!(trace.converged_at.is_some());
+                    trace.last().fact_count()
+                })
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dedalus-tm-fixpoint");
+    group.sample_size(10);
+    let m = machines::even_as();
+    let program = rtx_dedalus::compile_tm(&m).unwrap();
+    let rt = DedalusRuntime::new(&program).unwrap();
+    let opts = DedalusOptions {
+        max_ticks: 5000,
+        async_max_delay: 1,
+        seed: 0,
+    };
+    for len in [6usize, 8] {
+        let word: String = "ab".repeat(len / 2);
+        let input = rtx_machine::encode_word(&word, m.input_alphabet().iter().copied()).unwrap();
+        let edb = TemporalFacts::all_at_zero(&input);
+        for (label, mode) in [
+            ("incremental", FixpointMode::Incremental),
+            ("scratch", FixpointMode::Scratch),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, len), &len, |b, _| {
+                b.iter(|| {
+                    let trace = rt
+                        .run_with_fixpoint(&edb, &opts, StoreMode::Delta, mode)
+                        .unwrap();
+                    assert!(trace.converged_at.is_some());
+                    trace.ticks.len()
                 })
             });
         }
@@ -125,5 +219,5 @@ fn tc_program() -> DedalusProgram {
     .unwrap()
 }
 
-criterion_group!(benches, bench_dedalus);
+criterion_group!(benches, bench_dedalus, bench_fixpoint_modes);
 criterion_main!(benches);

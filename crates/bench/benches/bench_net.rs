@@ -16,7 +16,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtx_bench::set_input;
 use rtx_calm::constructions::flood::{flood_transducer, FloodMode};
-use rtx_net::{run_sharded, HorizontalPartition, Network, RunBudget, ShardOptions};
+use rtx_net::{run_sharded, DeliveryPolicy, HorizontalPartition, Network, RunBudget, ShardOptions};
 
 /// Rounds of work per iteration: each round is one heartbeat per node
 /// plus up to one delivery per node, so the budget is `2 * ROUNDS * n`.
@@ -96,5 +96,45 @@ fn bench_thread_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parallel_vs_serial, bench_thread_sweep);
+/// Per-edge outbox batching: to-quiescence dissemination runs with one
+/// delivery per node per round vs `DeliveryPolicy::Batch(k)`. Batching
+/// amortizes the per-round heartbeat sweep and barrier over up to `k`
+/// delivery sub-phases, so fewer total rounds (and fewer no-op
+/// heartbeats) reach the same quiescent configuration.
+fn bench_delivery_batching(c: &mut Criterion) {
+    let schema = rtx_relational::Schema::new().with("S", 1);
+    let input = set_input(8);
+    let mut group = c.benchmark_group("net-delivery-batch");
+    group.sample_size(3);
+    for (label, net) in [
+        ("ring-64", Network::ring(64).unwrap()),
+        ("grid-256", Network::grid(16, 16).unwrap()),
+    ] {
+        let t = flood_transducer(&schema, FloodMode::Dedup, None).unwrap();
+        let p = HorizontalPartition::round_robin(&net, &input);
+        let budget = RunBudget::steps(50_000_000);
+        for (plabel, policy) in [
+            ("one", DeliveryPolicy::One),
+            ("batch-4", DeliveryPolicy::Batch(4)),
+            ("batch-16", DeliveryPolicy::Batch(16)),
+        ] {
+            let opts = ShardOptions::serial().with_delivery(policy);
+            group.bench_with_input(BenchmarkId::new(plabel, label), &net, |b, net| {
+                b.iter(|| {
+                    let out = run_sharded(net, &t, &p, &opts, &budget).unwrap();
+                    assert!(out.outcome.quiescent);
+                    out.rounds
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parallel_vs_serial,
+    bench_thread_sweep,
+    bench_delivery_batching
+);
 criterion_main!(benches);

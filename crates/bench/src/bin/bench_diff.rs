@@ -1,0 +1,42 @@
+//! Diff a fresh `RTX_BENCH_JSON` run against the committed baseline.
+//!
+//! ```text
+//! bench_diff [FRESH] [BASELINE]
+//! ```
+//!
+//! `FRESH` defaults to `$RTX_BENCH_JSON`, `BASELINE` to
+//! `BENCH_baseline.json`. Prints per-group `fresh / baseline` ratios
+//! (see `rtx_bench::regression`). Informational only: the exit code is
+//! nonzero only for missing or unparsable inputs, never for slow
+//! numbers.
+
+use rtx_bench::regression::{parse_bench_json, render_report};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let fresh_path = args
+        .next()
+        .or_else(|| std::env::var("RTX_BENCH_JSON").ok())
+        .unwrap_or_default();
+    let baseline_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    if fresh_path.is_empty() {
+        eprintln!("usage: bench_diff [FRESH] [BASELINE]  (or set RTX_BENCH_JSON)");
+        std::process::exit(2);
+    }
+    let read = |path: &str| -> Vec<rtx_bench::regression::BenchEntry> {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_diff: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        parse_bench_json(&text).unwrap_or_else(|e| {
+            eprintln!("bench_diff: cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(&baseline_path);
+    let fresh = read(&fresh_path);
+    println!("bench_diff: {fresh_path} vs {baseline_path}");
+    print!("{}", render_report(&baseline, &fresh));
+}

@@ -8,6 +8,7 @@ use rtx_relational::{fact, Instance, Schema};
 use rtx_transducer::Transducer;
 
 pub mod experiments;
+pub mod regression;
 
 /// Longest cell a [`Table`] column grows to before eliding with `…`.
 const MAX_COL_WIDTH: usize = 48;

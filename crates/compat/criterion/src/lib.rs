@@ -7,23 +7,32 @@
 //! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
 //! macros.
 //!
-//! It is a *timer*, not a statistics engine: each benchmark is warmed
-//! up once, then timed over `sample_size` batched samples, and the
-//! mean/min per-iteration wall time is printed. Good enough to compare
-//! hot paths across commits; swap in the real criterion when the
-//! registry is reachable.
+//! It is a *timer*, not a statistics engine: each benchmark runs
+//! [`WARMUP_ITERS`] untimed warm-up iterations (cold caches and lazy
+//! initialization settle before measurement), is then timed over
+//! `sample_size` batched samples, and the mean/median/min per-iteration
+//! wall time is printed. The **median** and the **median absolute
+//! deviation** (MAD) are recorded alongside mean/min because the
+//! committed baselines come from a 1-core container where scheduler
+//! noise produces heavy outliers — the median is robust to them where
+//! the mean is not, and the MAD says how noisy a record is. Good
+//! enough to compare hot paths across commits; swap in the real
+//! criterion when the registry is reachable.
 //!
 //! When the `RTX_BENCH_JSON` environment variable names a file, every
 //! bench binary additionally appends its results there as a JSON array
-//! of `{name, iters, mean_ns, min_ns}` records (see [`flush_json`]), so
-//! successive `cargo bench` targets build up one machine-readable
-//! baseline — the repo's `BENCH_baseline.json`.
+//! of `{name, iters, mean_ns, min_ns, median_ns, mad_ns}` records (see
+//! [`flush_json`]), so successive `cargo bench` targets build up one
+//! machine-readable baseline — the repo's `BENCH_baseline.json`.
 
 #![warn(missing_docs)]
 
 use std::fmt;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Untimed iterations run before sampling starts.
+pub const WARMUP_ITERS: usize = 3;
 
 /// One finished benchmark, in the shape serialized to
 /// `RTX_BENCH_JSON`.
@@ -37,6 +46,11 @@ pub struct BenchRecord {
     pub mean_ns: u128,
     /// Minimum wall time per iteration, nanoseconds.
     pub min_ns: u128,
+    /// Median wall time per iteration, nanoseconds (robust to the
+    /// 1-core container's scheduling outliers).
+    pub median_ns: u128,
+    /// Median absolute deviation, nanoseconds (robust spread).
+    pub mad_ns: u128,
 }
 
 static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
@@ -69,11 +83,13 @@ pub fn flush_json() {
             entries.push_str(",\n");
         }
         entries.push_str(&format!(
-            "  {{\"name\": \"{}\", \"iters\": {}, \"mean_ns\": {}, \"min_ns\": {}}}",
+            "  {{\"name\": \"{}\", \"iters\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"median_ns\": {}, \"mad_ns\": {}}}",
             r.name.replace('\\', "\\\\").replace('"', "\\\""),
             r.iters,
             r.mean_ns,
-            r.min_ns
+            r.min_ns,
+            r.median_ns,
+            r.mad_ns
         ));
     }
     let body = match std::fs::read_to_string(&path) {
@@ -240,15 +256,34 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Time `routine`, once per sample, after one warm-up call.
+    /// Time `routine`, once per sample, after [`WARMUP_ITERS`] untimed
+    /// warm-up calls.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        black_box(routine()); // warm-up
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
         for _ in 0..self.samples {
             let t0 = Instant::now();
             black_box(routine());
             self.results.push(t0.elapsed());
         }
     }
+}
+
+/// Median and median-absolute-deviation of a sample set.
+///
+/// The median of an even-length set is the lower middle element (a
+/// real sample, no interpolation); the MAD is the median of the
+/// absolute deviations from it.
+pub fn median_mad(samples: &[Duration]) -> (Duration, Duration) {
+    assert!(!samples.is_empty(), "median of no samples");
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[(sorted.len() - 1) / 2];
+    let mut dev: Vec<Duration> = sorted.iter().map(|&d| d.abs_diff(median)).collect();
+    dev.sort_unstable();
+    let mad = dev[(dev.len() - 1) / 2];
+    (median, mad)
 }
 
 fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
@@ -264,8 +299,9 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) 
     let total: Duration = b.results.iter().sum();
     let mean = total / b.results.len() as u32;
     let min = b.results.iter().min().copied().unwrap_or_default();
+    let (median, mad) = median_mad(&b.results);
     println!(
-        "{label:<48} mean {mean:>12.3?}   min {min:>12.3?}   ({} samples)",
+        "{label:<48} mean {mean:>12.3?}   median {median:>12.3?} (±{mad:.3?})   min {min:>12.3?}   ({} samples)",
         b.results.len()
     );
     record(BenchRecord {
@@ -273,6 +309,8 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) 
         iters: b.results.len(),
         mean_ns: mean.as_nanos(),
         min_ns: min.as_nanos(),
+        median_ns: median.as_nanos(),
+        mad_ns: mad.as_nanos(),
     });
 }
 
@@ -297,4 +335,50 @@ macro_rules! criterion_main {
             $crate::flush_json();
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(ns: u64) -> Duration {
+        Duration::from_nanos(ns)
+    }
+
+    #[test]
+    fn median_is_robust_to_outliers() {
+        // One scheduler hiccup must not move the median.
+        let samples = vec![d(100), d(101), d(99), d(100), d(90_000)];
+        let (median, mad) = median_mad(&samples);
+        assert_eq!(median, d(100));
+        assert_eq!(mad, d(1));
+    }
+
+    #[test]
+    fn median_of_even_sets_is_lower_middle() {
+        let samples = vec![d(10), d(20), d(30), d(40)];
+        let (median, _) = median_mad(&samples);
+        assert_eq!(median, d(20));
+        let (median, mad) = median_mad(&[d(7)]);
+        assert_eq!(median, d(7));
+        assert_eq!(mad, d(0));
+    }
+
+    #[test]
+    fn bencher_runs_warmup_before_samples() {
+        let mut b = Bencher {
+            samples: 5,
+            results: Vec::new(),
+        };
+        let mut calls = 0usize;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, WARMUP_ITERS + 5);
+        assert_eq!(b.results.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "median of no samples")]
+    fn median_of_empty_panics() {
+        let _ = median_mad(&[]);
+    }
 }

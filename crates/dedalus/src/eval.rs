@@ -23,8 +23,10 @@
 use crate::ast::{DRule, DTime, DedalusProgram};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rtx_query::{Atom, EvalError, EvalStrategy, JoinMode, Literal, Program, Rule, Term, Var};
-use rtx_relational::{Fact, Instance, RelName, Schema, Value};
+use rtx_query::{
+    Atom, EvalError, EvalStrategy, JoinMode, Literal, MaintainedFixpoint, Program, Rule, Term, Var,
+};
+use rtx_relational::{Fact, Instance, InstanceDelta, RelName, Schema, Value};
 use std::collections::BTreeMap;
 
 /// EDB facts with arrival timestamps.
@@ -186,6 +188,51 @@ pub enum StoreMode {
     Delta,
 }
 
+/// How the delta store computes each tick's deductive fixpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FixpointMode {
+    /// Re-derive every IDB fact from scratch each tick (the seed
+    /// behavior, kept as the measurable baseline for `bench_dedalus`
+    /// and as the oracle for the incremental ≡ scratch property tests).
+    Scratch,
+    /// Maintain the IDB across ticks with a
+    /// [`MaintainedFixpoint`]: the tick's base ± delta (arrivals,
+    /// deliveries, and carry-dropped facts as first-class retractions)
+    /// updates only the affected derivations and strata. Falls back to
+    /// scratch on the first tick, and for programs whose *deductive*
+    /// rules entangle the time variable (their rule set changes every
+    /// tick, so there is nothing stable to maintain).
+    #[default]
+    Incremental,
+}
+
+impl FixpointMode {
+    /// The `RTX_DEDALUS_FIXPOINT` override (`scratch` / `incremental`,
+    /// case-insensitive) when set and parsable, else the default
+    /// ([`FixpointMode::Incremental`]).
+    pub fn auto() -> FixpointMode {
+        match std::env::var("RTX_DEDALUS_FIXPOINT") {
+            Ok(v) => match FixpointMode::parse(&v) {
+                Some(m) => m,
+                None => {
+                    eprintln!("warning: ignoring unparsable RTX_DEDALUS_FIXPOINT={v:?}");
+                    FixpointMode::default()
+                }
+            },
+            Err(_) => FixpointMode::default(),
+        }
+    }
+
+    /// Parse a mode name as accepted by `RTX_DEDALUS_FIXPOINT`.
+    pub fn parse(s: &str) -> Option<FixpointMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scratch" => Some(FixpointMode::Scratch),
+            "incremental" => Some(FixpointMode::Incremental),
+            _ => None,
+        }
+    }
+}
+
 /// The Dedalus evaluator.
 pub struct DedalusRuntime<'p> {
     program: &'p DedalusProgram,
@@ -233,23 +280,40 @@ impl<'p> DedalusRuntime<'p> {
         Ok(s)
     }
 
-    /// Run the program on a temporal EDB (delta store, indexed joins).
+    /// Run the program on a temporal EDB (delta store, indexed joins,
+    /// fixpoint mode resolved from `RTX_DEDALUS_FIXPOINT`).
     pub fn run(&self, edb: &TemporalFacts, opts: &DedalusOptions) -> Result<Trace, EvalError> {
         self.run_with(edb, opts, StoreMode::default())
     }
 
     /// Run with an explicit store mode. Both modes compute the same
     /// trace — [`StoreMode::Cloning`] is the seed implementation kept
-    /// for benchmarking and equivalence testing.
+    /// for benchmarking and equivalence testing. The delta store's
+    /// fixpoint mode is resolved from the environment
+    /// ([`FixpointMode::auto`]).
     pub fn run_with(
         &self,
         edb: &TemporalFacts,
         opts: &DedalusOptions,
         mode: StoreMode,
     ) -> Result<Trace, EvalError> {
+        self.run_with_fixpoint(edb, opts, mode, FixpointMode::auto())
+    }
+
+    /// Run with explicit store *and* fixpoint modes. All four
+    /// combinations compute the same trace; the fixpoint mode only
+    /// applies to the delta store ([`StoreMode::Cloning`] always
+    /// re-derives from scratch — that is the seed loop).
+    pub fn run_with_fixpoint(
+        &self,
+        edb: &TemporalFacts,
+        opts: &DedalusOptions,
+        mode: StoreMode,
+        fixpoint: FixpointMode,
+    ) -> Result<Trace, EvalError> {
         match mode {
             StoreMode::Cloning => self.run_cloning(edb, opts),
-            StoreMode::Delta => self.run_delta(edb, opts),
+            StoreMode::Delta => self.run_delta(edb, opts, fixpoint),
         }
     }
 
@@ -287,7 +351,21 @@ impl<'p> DedalusRuntime<'p> {
     /// The delta-store loop: one persistent `base` instance advanced by
     /// per-tick deltas instead of a fresh clone of the carry, plus
     /// tick-invariant program caching and indexed joins.
-    fn run_delta(&self, edb: &TemporalFacts, opts: &DedalusOptions) -> Result<Trace, EvalError> {
+    ///
+    /// With [`FixpointMode::Incremental`] the deductive fixpoint is
+    /// additionally maintained *across* ticks: the tick's base ± —
+    /// arrivals, async deliveries, and the facts the carry dropped
+    /// (first-class retractions) — feeds a [`MaintainedFixpoint`]
+    /// instead of triggering a from-scratch re-derivation. Only the
+    /// first tick evaluates from scratch (it initializes the maintained
+    /// state); programs whose deductive rules entangle time keep the
+    /// per-tick scratch path, since their rule set changes every tick.
+    fn run_delta(
+        &self,
+        edb: &TemporalFacts,
+        opts: &DedalusOptions,
+        fixpoint: FixpointMode,
+    ) -> Result<Trace, EvalError> {
         let schema = self.schema(edb)?;
         let mut rng = StdRng::seed_from_u64(opts.seed);
         // The persistent store: always equals carry(now) ∪ arrivals so
@@ -299,22 +377,50 @@ impl<'p> DedalusRuntime<'p> {
         let mut converged_at = None;
         let (cached_inductive, entangled_inductive) = self.split_timing(DTime::Next)?;
         let (cached_async, entangled_async) = self.split_timing(DTime::Async)?;
+        let mut maintained: Option<MaintainedFixpoint> = match (&self.cached_deductive, fixpoint) {
+            (Some(p), FixpointMode::Incremental) => Some(MaintainedFixpoint::new(p)?),
+            _ => None,
+        };
+        // The tick's base ± relative to the previous tick's evaluated
+        // base: carry-dropped facts arrive here as retractions, carry
+        // additions / EDB arrivals / async deliveries as insertions.
+        // Only tracked when a maintained fixpoint consumes it — the
+        // scratch path must not pay for (or accumulate) the clones.
+        let track = maintained.is_some();
+        let mut tick_added: Vec<Fact> = Vec::new();
+        let mut tick_removed: Vec<Fact> = Vec::new();
 
         for now in 0..opts.max_ticks {
             // 1. base facts: the carried store plus this tick's arrivals
             for f in edb.at(now) {
-                base.insert_fact(f.clone()).map_err(EvalError::Rel)?;
+                if base.insert_fact(f.clone()).map_err(EvalError::Rel)? && track {
+                    tick_added.push(f.clone());
+                }
             }
             if let Some(facts) = pending_async.remove(&now) {
                 for f in facts {
-                    base.insert_fact(f).map_err(EvalError::Rel)?;
+                    if base.insert_fact(f.clone()).map_err(EvalError::Rel)? && track {
+                        tick_added.push(f);
+                    }
                 }
             }
 
             // 2. deductive fixpoint
-            let db = match &self.cached_deductive {
-                Some(p) => p.eval(&base)?,
-                None => Self::build(self.program, DTime::Same, now)?.eval(&base)?,
+            let db = match (&mut maintained, &self.cached_deductive) {
+                (Some(fix), _) if fix.is_initialized() => {
+                    let delta = InstanceDelta::from_parts(
+                        std::mem::take(&mut tick_added),
+                        std::mem::take(&mut tick_removed),
+                    );
+                    fix.apply(&delta)?.clone()
+                }
+                (Some(fix), _) => {
+                    tick_added.clear();
+                    tick_removed.clear();
+                    fix.initialize(&base)?.clone()
+                }
+                (None, Some(p)) => p.eval(&base)?,
+                (None, None) => Self::build(self.program, DTime::Same, now)?.eval(&base)?,
             };
 
             // 3. inductive rules → carry to now+1 (cached half + the
@@ -379,9 +485,15 @@ impl<'p> DedalusRuntime<'p> {
                 converged_at = Some(now);
                 break;
             }
-            // 6. advance the store to the next tick's carry by delta
+            // 6. advance the store to the next tick's carry by delta —
+            // carry-dropped facts become the next tick's retractions
             let delta = next_carry.diff(&base);
             base.apply_delta(&delta).map_err(EvalError::Rel)?;
+            if maintained.is_some() {
+                let (add, rem) = delta.into_parts();
+                tick_added = add;
+                tick_removed = rem;
+            }
         }
         Ok(Trace {
             ticks,
@@ -671,6 +783,129 @@ mod tests {
         let cloning = rt.run_with(&edb, &opts, StoreMode::Cloning).unwrap();
         assert_eq!(delta.ticks, cloning.ticks);
         assert_eq!(delta.converged_at, cloning.converged_at);
+    }
+
+    #[test]
+    fn incremental_fixpoint_matches_scratch_across_modes() {
+        // The same three-timing-class program as the store test: its
+        // carry drops the `m` deliveries between ticks, so the
+        // incremental path exercises genuine retractions.
+        let p = DedalusProgram::new(vec![
+            persist("e", 2),
+            persist("got", 1),
+            persist("done", 0),
+            DRule::new(atom!("t"; @"X", @"Y"), DTime::Same).when(atom!("e"; @"X", @"Y")),
+            DRule::new(atom!("t"; @"X", @"Z"), DTime::Same)
+                .when(atom!("t"; @"X", @"Y"))
+                .when(atom!("e"; @"Y", @"Z")),
+            DRule::new(atom!("m"; @"X"), DTime::Async)
+                .when(atom!("e"; @"X", @"Y"))
+                .unless(atom!("done")),
+            DRule::new(atom!("got"; @"X"), DTime::Same).when(atom!("m"; @"X")),
+            DRule::new(atom!("done"), DTime::Next).when(atom!("e"; @"X", @"Y")),
+        ])
+        .unwrap();
+        let mut edb = TemporalFacts::new();
+        edb.insert(0, fact!("e", 1, 2));
+        edb.insert(2, fact!("e", 2, 3));
+        edb.insert(3, fact!("e", 3, 4));
+        for seed in [0u64, 7, 42] {
+            let opts = DedalusOptions {
+                max_ticks: 80,
+                async_max_delay: 3,
+                seed,
+            };
+            let rt = DedalusRuntime::new(&p).unwrap();
+            let inc = rt
+                .run_with_fixpoint(&edb, &opts, StoreMode::Delta, FixpointMode::Incremental)
+                .unwrap();
+            let scr = rt
+                .run_with_fixpoint(&edb, &opts, StoreMode::Delta, FixpointMode::Scratch)
+                .unwrap();
+            let cloning = rt.run_with(&edb, &opts, StoreMode::Cloning).unwrap();
+            assert_eq!(inc.converged_at, scr.converged_at, "seed {seed}");
+            assert_eq!(inc.ticks, scr.ticks, "seed {seed}");
+            assert_eq!(inc.converged_at, cloning.converged_at, "seed {seed}");
+            assert_eq!(inc.ticks, cloning.ticks, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn incremental_with_retraction_heavy_carry_matches_scratch() {
+        // A one-hot token walks a ring: each tick the carry drops the
+        // old position and adds the next one — every tick retracts.
+        let p = DedalusProgram::new(vec![
+            persist("n", 2),
+            DRule::new(atom!("at"; @"Y"), DTime::Next)
+                .when(atom!("at"; @"X"))
+                .when(atom!("n"; @"X", @"Y")),
+            DRule::new(atom!("seen"; @"X"), DTime::Same).when(atom!("at"; @"X")),
+            persist("seen", 1),
+        ])
+        .unwrap();
+        let mut edb = TemporalFacts::new();
+        for i in 0..5i64 {
+            edb.insert(0, Fact::new("n", rtx_relational::tuple![i, (i + 1) % 5]));
+        }
+        edb.insert(0, fact!("at", 0));
+        let opts = DedalusOptions {
+            max_ticks: 20,
+            ..Default::default()
+        };
+        let rt = DedalusRuntime::new(&p).unwrap();
+        let inc = rt
+            .run_with_fixpoint(&edb, &opts, StoreMode::Delta, FixpointMode::Incremental)
+            .unwrap();
+        let scr = rt
+            .run_with_fixpoint(&edb, &opts, StoreMode::Delta, FixpointMode::Scratch)
+            .unwrap();
+        assert_eq!(inc.ticks, scr.ticks);
+        assert_eq!(inc.converged_at, scr.converged_at);
+        // every node got visited
+        for i in 0..5i64 {
+            assert!(inc
+                .last()
+                .contains_fact(&Fact::new("seen", rtx_relational::tuple![i])));
+        }
+    }
+
+    #[test]
+    fn incremental_with_entangled_deductive_rules_falls_back() {
+        // A deductive rule that names the time variable cannot be
+        // maintained (its translation changes every tick); Incremental
+        // must silently take the per-tick scratch path and still agree.
+        let p = DedalusProgram::new(vec![
+            persist("go", 0),
+            DRule::new(atom!("stamp"; @"T"), DTime::Same)
+                .when(atom!("go"))
+                .with_time_var("T"),
+        ])
+        .unwrap();
+        let mut edb = TemporalFacts::new();
+        edb.insert(0, fact!("go"));
+        let opts = DedalusOptions {
+            max_ticks: 6,
+            ..Default::default()
+        };
+        let rt = DedalusRuntime::new(&p).unwrap();
+        let inc = rt
+            .run_with_fixpoint(&edb, &opts, StoreMode::Delta, FixpointMode::Incremental)
+            .unwrap();
+        let scr = rt
+            .run_with_fixpoint(&edb, &opts, StoreMode::Delta, FixpointMode::Scratch)
+            .unwrap();
+        assert_eq!(inc.ticks, scr.ticks);
+    }
+
+    #[test]
+    fn fixpoint_mode_parsing() {
+        assert_eq!(FixpointMode::parse("scratch"), Some(FixpointMode::Scratch));
+        assert_eq!(
+            FixpointMode::parse(" Incremental "),
+            Some(FixpointMode::Incremental)
+        );
+        assert_eq!(FixpointMode::parse("nope"), None);
+        assert_eq!(FixpointMode::default(), FixpointMode::Incremental);
     }
 
     #[test]

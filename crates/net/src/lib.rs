@@ -40,7 +40,7 @@ pub use run::{
     LifoRoundRobin, RandomScheduler, RunBudget, RunOutcome, Scheduler,
 };
 pub use shard::{
-    run_sharded, run_sharded_from, ExecMode, RoundScheduling, ShardOptions, ShardPlan,
-    ShardRunOutcome,
+    run_sharded, run_sharded_from, DeliveryPolicy, ExecMode, RoundScheduling, ShardOptions,
+    ShardPlan, ShardRunOutcome,
 };
 pub use topology::{Network, NodeId};

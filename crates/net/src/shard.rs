@@ -169,6 +169,34 @@ impl RoundScheduling {
     }
 }
 
+/// How many buffered facts each node may deliver per round.
+///
+/// Batching amortizes the per-round barrier cost over up to `k`
+/// delivery transitions: a round becomes one heartbeat phase followed
+/// by up to `k` delivery sub-phases, each delivering one fact per node
+/// with mail in deterministic prefix order. Every batched run is still
+/// a legal run of the paper's one-transition-at-a-time semantics (the
+/// sub-phases are just scheduled back to back), and serial ≡ sharded
+/// is preserved by the same barrier construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DeliveryPolicy {
+    /// One delivery per node per round (the PR 3 behavior).
+    #[default]
+    One,
+    /// Up to `k` deliveries per node per round (clamped to ≥ 1).
+    Batch(usize),
+}
+
+impl DeliveryPolicy {
+    /// Maximum delivery sub-phases per round.
+    pub fn per_round(&self) -> usize {
+        match self {
+            DeliveryPolicy::One => 1,
+            DeliveryPolicy::Batch(k) => (*k).max(1),
+        }
+    }
+}
+
 /// Options for a sharded run.
 #[derive(Clone, Debug)]
 pub struct ShardOptions {
@@ -178,6 +206,8 @@ pub struct ShardOptions {
     pub plan: ShardPlan,
     /// Per-round delivery choice.
     pub scheduling: RoundScheduling,
+    /// Per-round delivery batching.
+    pub delivery: DeliveryPolicy,
     /// Record the full [`TransitionLog`] (costly on long runs; used by
     /// the determinism property tests).
     pub record_log: bool,
@@ -197,12 +227,14 @@ impl Default for ShardOptions {
 }
 
 impl ShardOptions {
-    /// The serial reference configuration (FIFO, no log).
+    /// The serial reference configuration (FIFO, one delivery per
+    /// round, no log).
     pub fn serial() -> Self {
         ShardOptions {
             mode: ExecMode::Serial,
             plan: ShardPlan::Contiguous,
             scheduling: RoundScheduling::Fifo,
+            delivery: DeliveryPolicy::One,
             record_log: false,
         }
     }
@@ -224,6 +256,12 @@ impl ShardOptions {
     /// Replace the per-round delivery scheduling.
     pub fn with_scheduling(mut self, scheduling: RoundScheduling) -> Self {
         self.scheduling = scheduling;
+        self
+    }
+
+    /// Replace the per-round delivery batching policy.
+    pub fn with_delivery(mut self, delivery: DeliveryPolicy) -> Self {
+        self.delivery = delivery;
         self
     }
 
@@ -640,21 +678,30 @@ fn drive(
             }
         }
 
-        // Delivery phase: one fact per node with mail, truncated at the
-        // budget. Facts are removed before the phase, so each delivery
-        // depends only on its own node's state.
-        let quota = budget.max_steps - steps;
-        let mut dl_jobs: Vec<Job> = Vec::new();
-        for (i, buf) in buffers.iter_mut().enumerate() {
-            if dl_jobs.len() >= quota {
+        // Delivery phase(s): one fact per node with mail per sub-phase,
+        // up to the batching policy's cap, truncated at the budget.
+        // Facts are removed before each sub-phase, so the deliveries of
+        // a sub-phase are independent and run in parallel; their
+        // outboxes merge at the sub-phase barrier (visible to the next
+        // sub-phase, exactly as in back-to-back singleton rounds).
+        for _ in 0..opts.delivery.per_round() {
+            if steps >= budget.max_steps {
                 break;
             }
-            if !buf.is_empty() {
-                let pick = opts.scheduling.pick(rounds, i, buf.len());
-                dl_jobs.push((i, Some(buf.remove(pick))));
+            let quota = budget.max_steps - steps;
+            let mut dl_jobs: Vec<Job> = Vec::new();
+            for (i, buf) in buffers.iter_mut().enumerate() {
+                if dl_jobs.len() >= quota {
+                    break;
+                }
+                if !buf.is_empty() {
+                    let pick = opts.scheduling.pick(rounds, i, buf.len());
+                    dl_jobs.push((i, Some(buf.remove(pick))));
+                }
             }
-        }
-        if !dl_jobs.is_empty() {
+            if dl_jobs.is_empty() {
+                break;
+            }
             let dl_count = dl_jobs.len();
             let mut results = engine.execute(dl_jobs.clone())?;
             merge(
@@ -929,6 +976,71 @@ mod tests {
             }
             assert!(hit.iter().all(|&h| h), "{plan:?} left a shard empty");
         }
+    }
+
+    #[test]
+    fn batched_delivery_is_confluent_and_saves_rounds() {
+        let net = Network::grid(3, 3).unwrap();
+        let t = dedup_flooder();
+        let p = HorizontalPartition::round_robin(&net, &input_s(&[1, 2, 3, 4, 5]));
+        let budget = RunBudget::steps(200_000);
+        let one = run_sharded(&net, &t, &p, &ShardOptions::serial(), &budget).unwrap();
+        for k in [2usize, 4, 16] {
+            let opts = ShardOptions::serial().with_delivery(DeliveryPolicy::Batch(k));
+            let batched = run_sharded(&net, &t, &p, &opts, &budget).unwrap();
+            assert!(batched.outcome.quiescent);
+            assert_eq!(batched.outcome.output, one.outcome.output, "k={k}");
+            assert!(
+                batched.rounds < one.rounds,
+                "k={k}: {} !< {}",
+                batched.rounds,
+                one.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn batched_delivery_sharded_matches_serial_bit_for_bit() {
+        let net = Network::ring(6).unwrap();
+        let t = dedup_flooder();
+        let p = HorizontalPartition::round_robin(&net, &input_s(&[10, 20, 30, 40]));
+        let budget = RunBudget::steps(100_000);
+        for k in [3usize, 8] {
+            let base = ShardOptions::serial()
+                .with_delivery(DeliveryPolicy::Batch(k))
+                .with_log();
+            let serial = run_sharded(&net, &t, &p, &base, &budget).unwrap();
+            for threads in [2, 4] {
+                let opts = ShardOptions::sharded(threads)
+                    .with_delivery(DeliveryPolicy::Batch(k))
+                    .with_log();
+                let sharded = run_sharded(&net, &t, &p, &opts, &budget).unwrap();
+                assert_eq!(sharded.log, serial.log, "k={k} threads={threads}");
+                assert_eq!(sharded.outcome.final_config, serial.outcome.final_config);
+                assert_eq!(sharded.rounds, serial.rounds);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_delivery_respects_step_budget_exactly() {
+        let net = Network::line(5).unwrap();
+        let t = dedup_flooder();
+        let p = HorizontalPartition::round_robin(&net, &input_s(&[1, 2, 3, 4]));
+        for cap in [1usize, 6, 11] {
+            let budget = RunBudget::steps(cap);
+            let opts = ShardOptions::serial().with_delivery(DeliveryPolicy::Batch(4));
+            let out = run_sharded(&net, &t, &p, &opts, &budget).unwrap();
+            assert_eq!(out.outcome.steps, cap);
+        }
+    }
+
+    #[test]
+    fn delivery_policy_per_round_clamps() {
+        assert_eq!(DeliveryPolicy::One.per_round(), 1);
+        assert_eq!(DeliveryPolicy::Batch(0).per_round(), 1);
+        assert_eq!(DeliveryPolicy::Batch(7).per_round(), 7);
+        assert_eq!(DeliveryPolicy::default(), DeliveryPolicy::One);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod cq;
 pub mod datalog;
 mod error;
 pub mod fo;
+pub mod incremental;
 pub mod native;
 pub mod parser;
 pub mod plan;
@@ -40,6 +41,7 @@ pub use cq::{CqBuilder, CqRule, UcqQuery};
 pub use datalog::{DatalogQuery, EvalStrategy, Literal, Program, Rule, TpQuery};
 pub use error::EvalError;
 pub use fo::{FoQuery, Formula};
+pub use incremental::{FixpointStats, MaintainedFixpoint};
 pub use native::NativeQuery;
 pub use plan::JoinMode;
 pub use query::{CopyQuery, EmptyQuery, Query, QueryRef};

@@ -1,0 +1,219 @@
+//! Relations with per-tuple derivation counts.
+//!
+//! Incremental Datalog maintenance (counting-based DRed) needs to know
+//! not just *whether* a fact holds but *how many* derivations currently
+//! support it: retracting one derivation of a doubly-supported fact must
+//! leave the fact in place, while retracting the last one deletes it.
+//! A [`CountedRelation`] is that bookkeeping structure — a finite map
+//! from tuples to positive support counts, with ± delta application.
+
+use crate::error::RelError;
+use crate::fact::Tuple;
+use crate::relation::Relation;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A `k`-ary relation where every tuple carries a positive support
+/// count (number of derivations currently justifying it).
+///
+/// The *set* view of a counted relation is its key set: a tuple is
+/// "present" iff its count is ≥ 1. Counts never go negative —
+/// over-subtracting is reported as an error, since it means the
+/// maintenance bookkeeping lost a derivation.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct CountedRelation {
+    arity: usize,
+    counts: BTreeMap<Tuple, u64>,
+}
+
+impl CountedRelation {
+    /// The empty counted relation of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        CountedRelation {
+            arity,
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// Arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of distinct tuples with positive support.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Is the relation empty (no supported tuples)?
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The support count of a tuple (0 when absent).
+    pub fn count(&self, t: &Tuple) -> u64 {
+        self.counts.get(t).copied().unwrap_or(0)
+    }
+
+    /// Membership in the set view.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.counts.contains_key(t)
+    }
+
+    /// Add `k` derivations of `t`; `Ok(true)` when the tuple becomes
+    /// newly present (count went 0 → positive). Adding 0 is a no-op.
+    pub fn add(&mut self, t: Tuple, k: u64) -> Result<bool, RelError> {
+        if t.arity() != self.arity {
+            return Err(RelError::TupleArity {
+                expected: self.arity,
+                found: t.arity(),
+            });
+        }
+        if k == 0 {
+            return Ok(false);
+        }
+        match self.counts.entry(t) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(k);
+                Ok(true)
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                *e.get_mut() += k;
+                Ok(false)
+            }
+        }
+    }
+
+    /// Retract `k` derivations of `t`; `Ok(true)` when the tuple
+    /// vanishes (count hit exactly 0). Retracting from an absent tuple
+    /// or below zero is an error — the caller's derivation accounting
+    /// has drifted.
+    pub fn sub(&mut self, t: &Tuple, k: u64) -> Result<bool, RelError> {
+        if k == 0 {
+            return Ok(false);
+        }
+        match self.counts.get_mut(t) {
+            None => Err(RelError::NegativeSupport {
+                have: 0,
+                retract: k,
+            }),
+            Some(c) if *c < k => Err(RelError::NegativeSupport {
+                have: *c,
+                retract: k,
+            }),
+            Some(c) if *c == k => {
+                self.counts.remove(t);
+                Ok(true)
+            }
+            Some(c) => {
+                *c -= k;
+                Ok(false)
+            }
+        }
+    }
+
+    /// Apply a signed delta: positive `k` adds derivations, negative
+    /// retracts them. Returns `true` when the tuple's *presence*
+    /// changed (appeared or vanished).
+    pub fn apply_signed(&mut self, t: &Tuple, k: i64) -> Result<bool, RelError> {
+        match k.cmp(&0) {
+            std::cmp::Ordering::Greater => self.add(t.clone(), k as u64),
+            std::cmp::Ordering::Less => self.sub(t, k.unsigned_abs()),
+            std::cmp::Ordering::Equal => Ok(false),
+        }
+    }
+
+    /// Drop a tuple entirely, whatever its count; returns the dropped
+    /// count (0 when absent). Used by DRed over-deletion, where a
+    /// fact's support is recomputed from scratch at re-derivation.
+    pub fn clear_tuple(&mut self, t: &Tuple) -> u64 {
+        self.counts.remove(t).unwrap_or(0)
+    }
+
+    /// Iterate over `(tuple, count)` pairs in tuple order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, u64)> {
+        self.counts.iter().map(|(t, &c)| (t, c))
+    }
+
+    /// The set view as a plain [`Relation`].
+    pub fn to_relation(&self) -> Relation {
+        Relation::from_tuples(self.arity, self.counts.keys().cloned())
+            .expect("all stored tuples have the stored arity")
+    }
+}
+
+impl fmt::Debug for CountedRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (t, c)) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}×{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn add_and_sub_track_presence() {
+        let mut r = CountedRelation::empty(1);
+        assert!(r.add(tuple![1], 2).unwrap()); // newly present
+        assert!(!r.add(tuple![1], 1).unwrap()); // just more support
+        assert_eq!(r.count(&tuple![1]), 3);
+        assert!(!r.sub(&tuple![1], 2).unwrap());
+        assert!(r.sub(&tuple![1], 1).unwrap()); // vanished
+        assert!(!r.contains(&tuple![1]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn oversubtraction_is_an_error() {
+        let mut r = CountedRelation::empty(1);
+        r.add(tuple![1], 1).unwrap();
+        assert!(matches!(
+            r.sub(&tuple![1], 2),
+            Err(RelError::NegativeSupport {
+                have: 1,
+                retract: 2
+            })
+        ));
+        assert!(r.sub(&tuple![9], 1).is_err());
+    }
+
+    #[test]
+    fn signed_application_and_zero_noop() {
+        let mut r = CountedRelation::empty(2);
+        assert!(!r.apply_signed(&tuple![1, 2], 0).unwrap());
+        assert!(r.apply_signed(&tuple![1, 2], 2).unwrap());
+        assert!(!r.apply_signed(&tuple![1, 2], -1).unwrap());
+        assert!(r.apply_signed(&tuple![1, 2], -1).unwrap());
+        assert!(!r.add(tuple![1, 2], 0).unwrap());
+        assert!(!r.sub(&tuple![1, 2], 0).unwrap());
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let mut r = CountedRelation::empty(2);
+        assert!(r.add(tuple![1], 1).is_err());
+    }
+
+    #[test]
+    fn clear_tuple_and_set_view() {
+        let mut r = CountedRelation::empty(1);
+        r.add(tuple![1], 5).unwrap();
+        r.add(tuple![2], 1).unwrap();
+        assert_eq!(r.clear_tuple(&tuple![1]), 5);
+        assert_eq!(r.clear_tuple(&tuple![1]), 0);
+        let s = r.to_relation();
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&tuple![2]));
+        assert_eq!(r.iter().count(), 1);
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -78,6 +78,35 @@ impl InstanceDelta {
         InstanceDelta { added, removed }
     }
 
+    /// Build a delta from explicit insertion and retraction lists —
+    /// retractions are first-class data, not an implied complement.
+    ///
+    /// The lists are normalized: duplicates collapse, and a fact named
+    /// on both sides cancels (the delta's net effect is empty for it),
+    /// so `added()` and `removed()` are always disjoint and sorted, as
+    /// [`Instance::diff`](crate::Instance::diff) guarantees.
+    pub fn from_parts(
+        added: impl IntoIterator<Item = Fact>,
+        removed: impl IntoIterator<Item = Fact>,
+    ) -> Self {
+        let mut add: std::collections::BTreeSet<Fact> = added.into_iter().collect();
+        let mut rem: std::collections::BTreeSet<Fact> = removed.into_iter().collect();
+        let both: Vec<Fact> = add.intersection(&rem).cloned().collect();
+        for f in &both {
+            add.remove(f);
+            rem.remove(f);
+        }
+        InstanceDelta {
+            added: add.into_iter().collect(),
+            removed: rem.into_iter().collect(),
+        }
+    }
+
+    /// Decompose into `(added, removed)` fact lists.
+    pub fn into_parts(self) -> (Vec<Fact>, Vec<Fact>) {
+        (self.added, self.removed)
+    }
+
     /// Facts present in the target but not the source.
     pub fn added(&self) -> &[Fact] {
         &self.added
@@ -111,4 +140,30 @@ pub(crate) fn check_arity(expected: usize, found: usize) -> Result<(), RelError>
         return Err(RelError::TupleArity { expected, found });
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact;
+
+    #[test]
+    fn from_parts_normalizes_and_cancels() {
+        let d = InstanceDelta::from_parts(
+            vec![fact!("R", 1), fact!("R", 1), fact!("R", 2)],
+            vec![fact!("R", 2), fact!("S", 3)],
+        );
+        assert_eq!(d.added(), &[fact!("R", 1)]);
+        assert_eq!(d.removed(), &[fact!("S", 3)]);
+        let (a, r) = d.into_parts();
+        assert_eq!(a.len(), 1);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn from_parts_empty_is_empty() {
+        let d = InstanceDelta::from_parts(Vec::new(), Vec::new());
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
 }

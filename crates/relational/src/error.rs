@@ -41,6 +41,14 @@ pub enum RelError {
         /// The relation arity.
         arity: usize,
     },
+    /// A counted relation was asked to retract more derivations than a
+    /// tuple has — the caller's support accounting has drifted.
+    NegativeSupport {
+        /// Derivations currently supporting the tuple.
+        have: u64,
+        /// Derivations the caller tried to retract.
+        retract: u64,
+    },
 }
 
 impl fmt::Display for RelError {
@@ -69,6 +77,12 @@ impl fmt::Display for RelError {
             RelError::NotInjective => write!(f, "value renaming is not injective"),
             RelError::ColumnOutOfRange { column, arity } => {
                 write!(f, "index column {column} outside relation arity {arity}")
+            }
+            RelError::NegativeSupport { have, retract } => {
+                write!(
+                    f,
+                    "cannot retract {retract} derivation(s) from a tuple with {have}"
+                )
             }
         }
     }

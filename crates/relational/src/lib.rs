@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+mod counted;
 mod delta;
 mod error;
 mod fact;
@@ -25,6 +26,7 @@ mod relation;
 mod schema;
 mod value;
 
+pub use counted::CountedRelation;
 pub use delta::{InstanceDelta, RelationDelta};
 pub use error::RelError;
 pub use fact::{Fact, RelName, Tuple};
