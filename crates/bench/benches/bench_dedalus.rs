@@ -19,6 +19,7 @@ fn bench_dedalus(c: &mut Criterion) {
         max_ticks: 5000,
         async_max_delay: 1,
         seed: 0,
+        async_faults: None,
     };
     let mut group = c.benchmark_group("dedalus-tm");
     group.sample_size(10);
@@ -105,6 +106,7 @@ fn bench_dedalus(c: &mut Criterion) {
             max_ticks: 64,
             async_max_delay: 1,
             seed: 0,
+            async_faults: None,
         };
         for (label, mode) in [("delta", StoreMode::Delta), ("clone", StoreMode::Cloning)] {
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
@@ -156,6 +158,7 @@ fn bench_fixpoint_modes(c: &mut Criterion) {
             max_ticks: n as u64 + 8,
             async_max_delay: 1,
             seed: 0,
+            async_faults: None,
         };
         for (label, mode) in [
             ("incremental", FixpointMode::Incremental),
@@ -183,6 +186,7 @@ fn bench_fixpoint_modes(c: &mut Criterion) {
         max_ticks: 5000,
         async_max_delay: 1,
         seed: 0,
+        async_faults: None,
     };
     for len in [6usize, 8] {
         let word: String = "ab".repeat(len / 2);

@@ -16,7 +16,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let fresh_path = args
         .next()
-        .or_else(|| std::env::var("RTX_BENCH_JSON").ok())
+        .or_else(|| rtx_core::env::raw("RTX_BENCH_JSON"))
         .unwrap_or_default();
     let baseline_path = args
         .next()

@@ -11,6 +11,7 @@ fn main() {
         max_ticks: 3000,
         async_max_delay: 1,
         seed: 0,
+        async_faults: None,
     };
 
     println!("\n[THM-18] Q_M in Dedalus: agreement with the direct interpreter");

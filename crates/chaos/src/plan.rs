@@ -1,0 +1,471 @@
+//! Fault plans: the replayable grammar of adversarial schedules.
+//!
+//! A [`FaultPlan`] describes *what can go wrong* — per-edge message
+//! delay/duplication/loss distributions, healing network partitions,
+//! and node crash/restart events — while a seed fixes *what actually
+//! goes wrong*: every concrete decision is a pure [splitmix64] draw
+//! keyed by `(seed, time, edge, send index, fact)`, so any run is
+//! exactly reproducible from `(topology, program, FaultPlan, seed)`.
+//! No mutable RNG stream exists anywhere in the fault layer; replay
+//! determinism is by construction, not by careful state management.
+//!
+//! [splitmix64]: https://prng.di.unimi.it/splitmix64.c
+
+use rtx_net::fault::{NodeFault, SendFate};
+use rtx_relational::Fact;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Per-directed-edge message fault distribution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkFaults {
+    /// Extra delivery delay in scheduling units, drawn uniformly from
+    /// this inclusive range.
+    pub delay: (u32, u32),
+    /// Per-mille probability that a message copy is duplicated (the
+    /// extra copy draws its own independent delay).
+    pub dup_millis: u16,
+    /// Per-mille probability that a message is dropped. **Fairness
+    /// violating** — the paper's network duplicates and reorders but
+    /// never loses; the explorer's default adversary keeps this 0.
+    pub drop_millis: u16,
+}
+
+impl LinkFaults {
+    /// No faults on this link.
+    pub fn none() -> LinkFaults {
+        LinkFaults::default()
+    }
+
+    /// A fixed deterministic delay.
+    pub fn delayed(d: u32) -> LinkFaults {
+        LinkFaults {
+            delay: (d, d),
+            ..LinkFaults::default()
+        }
+    }
+
+    /// Is this the fault-free distribution?
+    pub fn is_none(&self) -> bool {
+        *self == LinkFaults::default()
+    }
+}
+
+/// A healing network partition: while `from <= time < heal`, messages
+/// crossing the cut between `side` and the rest of the nodes are held
+/// in flight and released at `heal` (plus the link's own delay draw).
+/// Partitions *delay*, never drop — healing keeps runs fair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// Node indices on one side of the cut.
+    pub side: BTreeSet<usize>,
+    /// First scheduling unit of the outage.
+    pub from: u64,
+    /// The healing unit: held messages are released here.
+    pub heal: u64,
+}
+
+impl Partition {
+    /// Does this partition sever the directed edge `src → dst` at `time`?
+    pub fn severs(&self, time: u64, src: usize, dst: usize) -> bool {
+        time >= self.from
+            && time < self.heal
+            && (self.side.contains(&src) != self.side.contains(&dst))
+    }
+}
+
+/// What a crash destroys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashKind {
+    /// A pause: the node stops transitioning but loses nothing —
+    /// buffer and full state survive. Fair.
+    Pause,
+    /// The *persistent-EDB* semantics: the input fragment and `Id`/`All`
+    /// are durable, but the node's buffered messages are dropped at the
+    /// crash and its memory relations (soft state) are wiped at the
+    /// restart.
+    PersistentEdb,
+}
+
+/// A node crash event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Crash {
+    /// The crashed node's index.
+    pub node: usize,
+    /// The crash unit (the node misses this unit onward).
+    pub at: u64,
+    /// The restart unit; `None` leaves the node down forever (fairness
+    /// violating).
+    pub restart: Option<u64>,
+    /// What the crash destroys.
+    pub kind: CrashKind,
+}
+
+/// A composable description of everything that goes wrong in a run.
+///
+/// The empty plan ([`FaultPlan::none`]) injects nothing: under it the
+/// faulted executors behave bit-identically to the plain ones.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The fault distribution of every directed edge without an
+    /// override.
+    pub default_link: LinkFaults,
+    /// Per-directed-edge overrides, keyed by `(src, dst)` node indices.
+    pub links: BTreeMap<(usize, usize), LinkFaults>,
+    /// Healing partitions.
+    pub partitions: Vec<Partition>,
+    /// Crash/restart events.
+    pub crashes: Vec<Crash>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults at all.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Is this the empty plan?
+    pub fn is_none(&self) -> bool {
+        self.default_link.is_none()
+            && self.links.values().all(LinkFaults::is_none)
+            && self.partitions.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// The fault distribution of the directed edge `src → dst`.
+    pub fn link(&self, src: usize, dst: usize) -> &LinkFaults {
+        self.links.get(&(src, dst)).unwrap_or(&self.default_link)
+    }
+
+    /// Is the plan **fair** — does every message eventually arrive and
+    /// every node eventually transition again, with nothing lost? Fair
+    /// plans (delay, duplication, reordering, healing partitions,
+    /// pause-crashes) stay inside the space of runs the paper's
+    /// consistency theorems quantify over; unfair ones (drops,
+    /// permanent crashes, soft-state loss) model real failures the
+    /// theorems do not cover.
+    pub fn is_fair(&self) -> bool {
+        self.default_link.drop_millis == 0
+            && self.links.values().all(|l| l.drop_millis == 0)
+            && self
+                .crashes
+                .iter()
+                .all(|c| c.restart.is_some() && c.kind == CrashKind::Pause)
+    }
+
+    /// The last scheduling unit with a node fault event (0 when there
+    /// are none): executors must not declare quiescence before it.
+    pub fn node_event_horizon(&self) -> u64 {
+        self.crashes
+            .iter()
+            .map(|c| c.restart.unwrap_or(c.at))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The status of `node` at `time` (first matching crash wins).
+    pub fn node_fault_at(&self, time: u64, node: usize) -> NodeFault {
+        for c in self.crashes.iter().filter(|c| c.node == node) {
+            let lossy = c.kind == CrashKind::PersistentEdb;
+            if time == c.at {
+                return NodeFault::CrashNow { lose_buffer: lossy };
+            }
+            match c.restart {
+                Some(r) if time == r => return NodeFault::RestartNow { wipe_memory: lossy },
+                Some(r) if time > c.at && time < r => return NodeFault::Down,
+                None if time > c.at => return NodeFault::Down,
+                _ => {}
+            }
+        }
+        NodeFault::Up
+    }
+
+    /// The fate of the `k`-th fact sent on `src → dst` at `time`, under
+    /// `seed`. Pure: same arguments, same fate, forever.
+    pub fn send_fate(
+        &self,
+        seed: u64,
+        time: u64,
+        src: usize,
+        dst: usize,
+        k: usize,
+        fact: &Fact,
+    ) -> SendFate {
+        let lf = self.link(src, dst);
+        // One independent sub-draw per decision, keyed by a salt.
+        let draw = |salt: u64| {
+            mix(&[
+                seed,
+                time,
+                src as u64,
+                dst as u64,
+                k as u64,
+                fact_key(fact),
+                salt,
+            ])
+        };
+        if lf.drop_millis > 0 && draw(0) % 1000 < lf.drop_millis as u64 {
+            return SendFate::dropped();
+        }
+        // Messages crossing an active partition are held until the
+        // latest heal among the active cuts, then subject to the link's
+        // own delay.
+        let hold = self
+            .partitions
+            .iter()
+            .filter(|p| p.severs(time, src, dst))
+            .map(|p| p.heal - time)
+            .max()
+            .unwrap_or(0);
+        let link_delay = |salt: u64| -> u64 {
+            let (lo, hi) = lf.delay;
+            if hi <= lo {
+                lo as u64
+            } else {
+                lo as u64 + draw(salt) % (hi as u64 - lo as u64 + 1)
+            }
+        };
+        let mut delays = vec![hold + link_delay(1)];
+        if lf.dup_millis > 0 && draw(2) % 1000 < lf.dup_millis as u64 {
+            delays.push(hold + link_delay(3));
+        }
+        SendFate::copies(delays)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    /// The human-readable plan grammar, as printed by the explorer:
+    /// `link[*]` is the default edge distribution, `link[s->d]` an
+    /// override, `cut{..}@[a,b)` a healing partition, and
+    /// `crash(n@a..b, kind)` a crash/restart event.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            return write!(f, "no-faults");
+        }
+        let mut parts: Vec<String> = Vec::new();
+        let link_str = |l: &LinkFaults| {
+            let mut s = format!("delay {}..={}", l.delay.0, l.delay.1);
+            if l.dup_millis > 0 {
+                s.push_str(&format!(", dup {}‰", l.dup_millis));
+            }
+            if l.drop_millis > 0 {
+                s.push_str(&format!(", drop {}‰", l.drop_millis));
+            }
+            s
+        };
+        if !self.default_link.is_none() {
+            parts.push(format!("link[*]({})", link_str(&self.default_link)));
+        }
+        for ((s, d), l) in &self.links {
+            if !l.is_none() {
+                parts.push(format!("link[{s}->{d}]({})", link_str(l)));
+            }
+        }
+        for p in &self.partitions {
+            let side: Vec<String> = p.side.iter().map(|i| i.to_string()).collect();
+            parts.push(format!("cut{{{}}}@[{},{})", side.join(","), p.from, p.heal));
+        }
+        for c in &self.crashes {
+            let until = c
+                .restart
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "∞".into());
+            let kind = match c.kind {
+                CrashKind::Pause => "pause",
+                CrashKind::PersistentEdb => "persistent-edb",
+            };
+            parts.push(format!("crash({}@{}..{}, {})", c.node, c.at, until, kind));
+        }
+        write!(f, "{}", parts.join(" + "))
+    }
+}
+
+/// The shared splitmix64 fold (see [`rtx_core::mix`]).
+pub(crate) fn mix(parts: &[u64]) -> u64 {
+    rtx_core::mix::fold(parts)
+}
+
+/// A stable, allocation-free key for a fact (FNV-1a over its relation
+/// name and values, with per-field type tags), so two different facts
+/// sent at the same `(time, edge, k)` point draw independent fates.
+fn fact_key(fact: &Fact) -> u64 {
+    const FNV_PRIME: u64 = 0x100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut byte = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    for b in fact.rel().as_str().bytes() {
+        byte(b);
+    }
+    for v in fact.tuple().values() {
+        match v {
+            rtx_relational::Value::Int(i) => {
+                byte(1);
+                for b in i.to_le_bytes() {
+                    byte(b);
+                }
+            }
+            rtx_relational::Value::Sym(s) => {
+                byte(2);
+                for b in s.bytes() {
+                    byte(b);
+                }
+                byte(0); // terminator: ("ab","c") ≠ ("a","bc")
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_relational::fact;
+
+    #[test]
+    fn empty_plan_is_fair_and_prompt() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        assert!(p.is_fair());
+        assert_eq!(p.node_event_horizon(), 0);
+        let f = fact!("M", 1);
+        assert!(p.send_fate(7, 3, 0, 1, 0, &f).is_prompt_single());
+        assert_eq!(p.node_fault_at(5, 0), NodeFault::Up);
+    }
+
+    #[test]
+    fn send_fate_is_replayable() {
+        let mut plan = FaultPlan::none();
+        plan.default_link = LinkFaults {
+            delay: (0, 4),
+            dup_millis: 500,
+            drop_millis: 0,
+        };
+        let f = fact!("M", 42);
+        for time in 0..20 {
+            for k in 0..3 {
+                let a = plan.send_fate(0xC0FFEE, time, 0, 1, k, &f);
+                let b = plan.send_fate(0xC0FFEE, time, 0, 1, k, &f);
+                assert_eq!(a, b, "pure draws must replay");
+                for &d in &a.delays {
+                    assert!(d <= 4);
+                }
+                assert!(!a.delays.is_empty(), "no drops configured");
+                assert!(a.delays.len() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_vary_the_fates() {
+        let mut plan = FaultPlan::none();
+        plan.default_link.delay = (0, 8);
+        let f = fact!("M", 1);
+        let fates: BTreeSet<u64> = (0..64)
+            .map(|s| plan.send_fate(s, 1, 0, 1, 0, &f).delays[0])
+            .collect();
+        assert!(fates.len() > 1, "seed must influence the delay draw");
+    }
+
+    #[test]
+    fn partitions_hold_until_heal() {
+        let mut plan = FaultPlan::none();
+        plan.partitions.push(Partition {
+            side: [0].into_iter().collect(),
+            from: 2,
+            heal: 6,
+        });
+        let f = fact!("M", 1);
+        // inside the outage, crossing edges are held until heal
+        let fate = plan.send_fate(1, 3, 0, 1, 0, &f);
+        assert_eq!(fate.delays, vec![3]); // 6 - 3
+                                          // non-crossing edges and times outside the window are prompt
+        assert!(plan.send_fate(1, 3, 1, 2, 0, &f).is_prompt_single());
+        assert!(plan.send_fate(1, 6, 0, 1, 0, &f).is_prompt_single());
+        assert!(plan.send_fate(1, 1, 0, 1, 0, &f).is_prompt_single());
+        assert!(plan.is_fair(), "healing partitions are fair");
+    }
+
+    #[test]
+    fn drops_and_permanent_crashes_are_unfair() {
+        let mut plan = FaultPlan::none();
+        plan.default_link.drop_millis = 1000;
+        assert!(!plan.is_fair());
+        let f = fact!("M", 1);
+        assert_eq!(plan.send_fate(1, 1, 0, 1, 0, &f), SendFate::dropped());
+
+        let mut plan = FaultPlan::none();
+        plan.crashes.push(Crash {
+            node: 1,
+            at: 3,
+            restart: None,
+            kind: CrashKind::Pause,
+        });
+        assert!(!plan.is_fair());
+        let mut plan = FaultPlan::none();
+        plan.crashes.push(Crash {
+            node: 1,
+            at: 3,
+            restart: Some(5),
+            kind: CrashKind::PersistentEdb,
+        });
+        assert!(!plan.is_fair(), "soft-state loss is outside the theorems");
+        plan.crashes[0].kind = CrashKind::Pause;
+        assert!(plan.is_fair(), "pause crashes with restart are fair");
+    }
+
+    #[test]
+    fn crash_schedule_resolves_statuses() {
+        let mut plan = FaultPlan::none();
+        plan.crashes.push(Crash {
+            node: 2,
+            at: 3,
+            restart: Some(6),
+            kind: CrashKind::PersistentEdb,
+        });
+        assert_eq!(plan.node_fault_at(2, 2), NodeFault::Up);
+        assert_eq!(
+            plan.node_fault_at(3, 2),
+            NodeFault::CrashNow { lose_buffer: true }
+        );
+        assert_eq!(plan.node_fault_at(4, 2), NodeFault::Down);
+        assert_eq!(plan.node_fault_at(5, 2), NodeFault::Down);
+        assert_eq!(
+            plan.node_fault_at(6, 2),
+            NodeFault::RestartNow { wipe_memory: true }
+        );
+        assert_eq!(plan.node_fault_at(7, 2), NodeFault::Up);
+        assert_eq!(plan.node_event_horizon(), 6);
+        // other nodes unaffected
+        assert_eq!(plan.node_fault_at(4, 1), NodeFault::Up);
+    }
+
+    #[test]
+    fn grammar_renders() {
+        let mut plan = FaultPlan::none();
+        assert_eq!(plan.to_string(), "no-faults");
+        plan.default_link = LinkFaults {
+            delay: (1, 3),
+            dup_millis: 250,
+            drop_millis: 0,
+        };
+        plan.links.insert((0, 1), LinkFaults::delayed(9));
+        plan.partitions.push(Partition {
+            side: [0, 2].into_iter().collect(),
+            from: 1,
+            heal: 4,
+        });
+        plan.crashes.push(Crash {
+            node: 1,
+            at: 2,
+            restart: Some(5),
+            kind: CrashKind::Pause,
+        });
+        let s = plan.to_string();
+        assert!(s.contains("link[*](delay 1..=3, dup 250‰)"), "{s}");
+        assert!(s.contains("link[0->1](delay 9..=9)"), "{s}");
+        assert!(s.contains("cut{0,2}@[1,4)"), "{s}");
+        assert!(s.contains("crash(1@2..5, pause)"), "{s}");
+    }
+}

@@ -1,0 +1,323 @@
+//! Proptest strategies over fault plans.
+//!
+//! The explorer's random search and its divergence minimizer are the
+//! same machinery the workspace's property tests use: a
+//! [`proptest::Strategy`] generates random adversarial [`FaultPlan`]s,
+//! and the compat-proptest greedy shrinker
+//! ([`proptest::shrink_failure`]) minimizes a diverging plan by
+//! repeatedly proposing *less faulty* candidates (drop a crash, heal a
+//! partition earlier, zero a duplication rate, halve a delay) and
+//! keeping those that still diverge. The minimum is a plan where every
+//! remaining fault is load-bearing for the divergence.
+
+use crate::plan::{Crash, CrashKind, FaultPlan, LinkFaults, Partition};
+use proptest::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rtx_dedalus::AsyncFaultPlan;
+use std::collections::BTreeSet;
+
+/// Which space of adversaries the explorer searches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Adversary {
+    /// Only **fair** plans: delay, duplication, reordering, healing
+    /// partitions, pause-crashes. Every message still arrives and every
+    /// node keeps running — exactly the space the paper's consistency
+    /// theorems quantify over, so a monotone (hence coordination-free)
+    /// program must never diverge under it.
+    #[default]
+    Fair,
+    /// Additionally inject *persistent-EDB* crash/restarts (buffer
+    /// dropped, soft state wiped, inputs durable). Outside the
+    /// theorems' run space: programs that retransmit monotonically
+    /// survive it, send-once protocols generally do not.
+    CrashFaulty,
+}
+
+/// Random fault plans over a fixed topology.
+#[derive(Clone, Debug)]
+pub struct FaultPlanStrategy {
+    /// Node count of the topology.
+    pub nodes: usize,
+    /// The directed edges `(src, dst)` of the topology, by node index.
+    pub edges: Vec<(usize, usize)>,
+    /// Cap on random per-link delays (scheduling units).
+    pub max_delay: u32,
+    /// Cap on partition/crash window lengths.
+    pub max_hold: u64,
+    /// Cap on event start times.
+    pub horizon: u64,
+    /// The adversary space.
+    pub adversary: Adversary,
+}
+
+impl Strategy for FaultPlanStrategy {
+    type Value = FaultPlan;
+
+    fn generate(&self, rng: &mut StdRng) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        plan.default_link.delay = (0, rng.gen_range(0..=self.max_delay));
+        plan.default_link.dup_millis = [0u16, 0, 250, 1000][rng.gen_range(0..4usize)];
+        if !self.edges.is_empty() && rng.gen_bool(0.5) {
+            // one starved edge: everything on it is held much longer
+            let e = self.edges[rng.gen_range(0..self.edges.len())];
+            plan.links.insert(
+                e,
+                LinkFaults {
+                    delay: (self.max_delay, self.max_delay.saturating_mul(2)),
+                    ..LinkFaults::default()
+                },
+            );
+        }
+        if self.nodes >= 2 && rng.gen_bool(0.5) {
+            let mut side = BTreeSet::new();
+            for i in 0..self.nodes {
+                if rng.gen_bool(0.5) {
+                    side.insert(i);
+                }
+            }
+            if side.is_empty() {
+                side.insert(rng.gen_range(0..self.nodes));
+            }
+            if side.len() == self.nodes {
+                let first = *side.iter().next().expect("nonempty");
+                side.remove(&first);
+            }
+            let from = rng.gen_range(1..=self.horizon.max(1));
+            let heal = from + rng.gen_range(1..=self.max_hold.max(1));
+            plan.partitions.push(Partition { side, from, heal });
+        }
+        let crash_prob = match self.adversary {
+            Adversary::Fair => 0.3,
+            Adversary::CrashFaulty => 0.6,
+        };
+        if rng.gen_bool(crash_prob) {
+            let node = rng.gen_range(0..self.nodes.max(1));
+            let at = rng.gen_range(1..=self.horizon.max(1));
+            let restart = Some(at + rng.gen_range(1..=self.max_hold.max(1)));
+            let kind = match self.adversary {
+                Adversary::Fair => CrashKind::Pause,
+                Adversary::CrashFaulty => {
+                    if rng.gen_bool(0.5) {
+                        CrashKind::PersistentEdb
+                    } else {
+                        CrashKind::Pause
+                    }
+                }
+            };
+            plan.crashes.push(Crash {
+                node,
+                at,
+                restart,
+                kind,
+            });
+        }
+        plan
+    }
+
+    fn shrink(&self, plan: &FaultPlan) -> Vec<FaultPlan> {
+        let mut out: Vec<FaultPlan> = Vec::new();
+        // Aggressive first: drop whole fault components.
+        if !plan.crashes.is_empty() {
+            let mut p = plan.clone();
+            p.crashes.pop();
+            out.push(p);
+        }
+        if !plan.partitions.is_empty() {
+            let mut p = plan.clone();
+            p.partitions.pop();
+            out.push(p);
+        }
+        for key in plan.links.keys().cloned().collect::<Vec<_>>() {
+            let mut p = plan.clone();
+            p.links.remove(&key);
+            out.push(p);
+        }
+        // Then soften what remains.
+        for (i, c) in plan.crashes.iter().enumerate() {
+            if c.kind == CrashKind::PersistentEdb {
+                let mut p = plan.clone();
+                p.crashes[i].kind = CrashKind::Pause;
+                out.push(p);
+            }
+            let window = c.restart.map(|r| r.saturating_sub(c.at)).unwrap_or(0);
+            if window > 1 {
+                let mut p = plan.clone();
+                p.crashes[i].restart = Some(c.at + window / 2);
+                out.push(p);
+            }
+        }
+        for (i, part) in plan.partitions.iter().enumerate() {
+            if part.heal - part.from > 1 {
+                let mut p = plan.clone();
+                p.partitions[i].heal = part.from + (part.heal - part.from) / 2;
+                out.push(p);
+            }
+            if part.side.len() > 1 {
+                let mut p = plan.clone();
+                let first = *part.side.iter().next().expect("nonempty");
+                p.partitions[i].side.remove(&first);
+                out.push(p);
+            }
+        }
+        if plan.default_link.dup_millis > 0 {
+            let mut p = plan.clone();
+            p.default_link.dup_millis = 0;
+            out.push(p);
+        }
+        if plan.default_link.delay.1 > 0 {
+            let mut p = plan.clone();
+            p.default_link.delay = (0, 0);
+            out.push(p);
+            if plan.default_link.delay.1 > 1 {
+                let mut p = plan.clone();
+                p.default_link.delay.1 /= 2;
+                p.default_link.delay.0 = p.default_link.delay.0.min(p.default_link.delay.1);
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+/// Random async fault plans for Dedalus programs.
+#[derive(Clone, Copy, Debug)]
+pub struct AsyncPlanStrategy {
+    /// Cap on the random extra delay range.
+    pub max_extra: u64,
+}
+
+impl Strategy for AsyncPlanStrategy {
+    type Value = AsyncFaultPlan;
+
+    fn generate(&self, rng: &mut StdRng) -> AsyncFaultPlan {
+        AsyncFaultPlan {
+            seed: rng.next_u64(),
+            extra_delay: (0, rng.gen_range(0..=self.max_extra)),
+            dup_millis: [0u16, 500, 1000][rng.gen_range(0..3usize)],
+        }
+    }
+
+    fn shrink(&self, plan: &AsyncFaultPlan) -> Vec<AsyncFaultPlan> {
+        let mut out = Vec::new();
+        if plan.dup_millis > 0 {
+            out.push(AsyncFaultPlan {
+                dup_millis: 0,
+                ..*plan
+            });
+        }
+        if plan.extra_delay.1 > 0 {
+            out.push(AsyncFaultPlan {
+                extra_delay: (0, 0),
+                ..*plan
+            });
+            if plan.extra_delay.1 > 1 {
+                out.push(AsyncFaultPlan {
+                    extra_delay: (0, plan.extra_delay.1 / 2),
+                    ..*plan
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn strat() -> FaultPlanStrategy {
+        FaultPlanStrategy {
+            nodes: 4,
+            edges: vec![(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)],
+            max_delay: 4,
+            max_hold: 6,
+            horizon: 5,
+            adversary: Adversary::Fair,
+        }
+    }
+
+    #[test]
+    fn generated_fair_plans_are_fair_and_bounded() {
+        let s = strat();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let p = s.generate(&mut rng);
+            assert!(p.is_fair(), "{p}");
+            assert!(p.default_link.delay.1 <= 4);
+            for part in &p.partitions {
+                assert!(!part.side.is_empty() && part.side.len() < 4);
+                assert!(part.heal > part.from);
+                assert!(part.heal - part.from <= 6);
+            }
+            for c in &p.crashes {
+                assert!(c.restart.is_some());
+                assert_eq!(c.kind, CrashKind::Pause);
+            }
+        }
+    }
+
+    #[test]
+    fn crash_faulty_plans_eventually_wipe() {
+        let s = FaultPlanStrategy {
+            adversary: Adversary::CrashFaulty,
+            ..strat()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut saw_wipe = false;
+        for _ in 0..200 {
+            let p = s.generate(&mut rng);
+            saw_wipe |= p.crashes.iter().any(|c| c.kind == CrashKind::PersistentEdb);
+        }
+        assert!(saw_wipe, "the crash-faulty adversary must exercise wipes");
+    }
+
+    #[test]
+    fn shrink_moves_toward_the_empty_plan() {
+        let s = strat();
+        let mut rng = StdRng::seed_from_u64(5);
+        // find a plan with every component populated
+        let mut plan = None;
+        for _ in 0..500 {
+            let p = s.generate(&mut rng);
+            if !p.crashes.is_empty() && !p.partitions.is_empty() && !p.links.is_empty() {
+                plan = Some(p);
+                break;
+            }
+        }
+        let plan = plan.expect("the generator populates all components");
+        // greedily accept every candidate: must reach the empty plan
+        let mut cur = plan;
+        let mut steps = 0;
+        while let Some(next) = s.shrink(&cur).into_iter().next() {
+            assert_ne!(next, cur, "shrink candidates must differ");
+            cur = next;
+            steps += 1;
+            assert!(steps < 100, "shrinking must terminate");
+        }
+        assert!(cur.is_none(), "fully shrunk plan is the empty plan: {cur}");
+    }
+
+    #[test]
+    fn async_strategy_generates_and_shrinks() {
+        let s = AsyncPlanStrategy { max_extra: 5 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = s.generate(&mut rng);
+        assert!(p.extra_delay.1 <= 5);
+        let worst = AsyncFaultPlan {
+            seed: 9,
+            extra_delay: (0, 4),
+            dup_millis: 1000,
+        };
+        let mut cur = worst;
+        let mut steps = 0;
+        while let Some(next) = s.shrink(&cur).into_iter().next() {
+            cur = next;
+            steps += 1;
+            assert!(steps < 20);
+        }
+        assert_eq!(cur.dup_millis, 0);
+        assert_eq!(cur.extra_delay, (0, 0));
+    }
+}

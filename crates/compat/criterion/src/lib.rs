@@ -19,11 +19,27 @@
 //! enough to compare hot paths across commits; swap in the real
 //! criterion when the registry is reachable.
 //!
+//! ## Adaptive sample calibration
+//!
+//! `sample_size` is a *minimum*, not the sample count: after taking it,
+//! the [`Bencher`] keeps sampling (in half-`sample_size` batches) until
+//! the median stabilizes — the MAD falls within
+//! [`Calibration::mad_pct`] percent of the median — or a wall-clock
+//! budget / hard sample cap is hit. The chosen sample count is recorded
+//! in the JSON as `iters` together with a `calibrated` flag (`1` when
+//! the MAD stabilized, `0` when the budget cut sampling short, so noisy
+//! records are distinguishable in the baseline). Overrides:
+//! `RTX_BENCH_CALIBRATE=off` pins the fixed-`sample_size` behavior,
+//! `RTX_BENCH_MAD_PCT` changes the stability target (default 5),
+//! `RTX_BENCH_BUDGET_MS` the per-benchmark extra-sampling budget
+//! (default 200).
+//!
 //! When the `RTX_BENCH_JSON` environment variable names a file, every
 //! bench binary additionally appends its results there as a JSON array
-//! of `{name, iters, mean_ns, min_ns, median_ns, mad_ns}` records (see
-//! [`flush_json`]), so successive `cargo bench` targets build up one
-//! machine-readable baseline — the repo's `BENCH_baseline.json`.
+//! of `{name, iters, calibrated, mean_ns, min_ns, median_ns, mad_ns}`
+//! records (see [`flush_json`]), so successive `cargo bench` targets
+//! build up one machine-readable baseline — the repo's
+//! `BENCH_baseline.json`.
 
 #![warn(missing_docs)]
 
@@ -34,14 +50,22 @@ use std::time::{Duration, Instant};
 /// Untimed iterations run before sampling starts.
 pub const WARMUP_ITERS: usize = 3;
 
+/// Hard cap on adaptive sampling, as a multiple of the configured
+/// `sample_size`.
+pub const CALIBRATION_MAX_FACTOR: usize = 8;
+
 /// One finished benchmark, in the shape serialized to
 /// `RTX_BENCH_JSON`.
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
     /// Full benchmark label (`group/function/param`).
     pub name: String,
-    /// Number of timed samples.
+    /// Number of timed samples (the adaptively chosen count).
     pub iters: usize,
+    /// Did the MAD stabilize before the calibration budget ran out?
+    /// Always `true` when calibration is disabled (the fixed count is
+    /// what was asked for).
+    pub calibrated: bool,
     /// Mean wall time per iteration, nanoseconds.
     pub mean_ns: u128,
     /// Minimum wall time per iteration, nanoseconds.
@@ -51,6 +75,45 @@ pub struct BenchRecord {
     pub median_ns: u128,
     /// Median absolute deviation, nanoseconds (robust spread).
     pub mad_ns: u128,
+}
+
+/// Adaptive sample-count calibration parameters (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Calibration {
+    /// Stop once `mad * 100 <= median * mad_pct`.
+    pub mad_pct: u32,
+    /// Stop once this much wall clock has been spent sampling.
+    pub budget: Duration,
+}
+
+impl Calibration {
+    /// The environment-resolved calibration: `None` when
+    /// `RTX_BENCH_CALIBRATE` is `off`/`0`/`false`, else the defaults
+    /// with `RTX_BENCH_MAD_PCT` / `RTX_BENCH_BUDGET_MS` applied.
+    pub fn auto() -> Option<Calibration> {
+        let enabled =
+            rtx_core::env::parse_choice("RTX_BENCH_CALIBRATE", "\"on\" or \"off\"", |s| {
+                match s.to_ascii_lowercase().as_str() {
+                    "on" | "1" | "true" => Some(true),
+                    "off" | "0" | "false" => Some(false),
+                    _ => None,
+                }
+            })
+            .unwrap_or(true);
+        enabled.then(|| Calibration {
+            mad_pct: rtx_core::env::parse_u64("RTX_BENCH_MAD_PCT").unwrap_or(5) as u32,
+            budget: Duration::from_millis(
+                rtx_core::env::parse_u64("RTX_BENCH_BUDGET_MS").unwrap_or(200),
+            ),
+        })
+    }
+}
+
+/// Has the median stabilized — is the MAD within `mad_pct` percent of
+/// the median?
+pub fn mad_stable(samples: &[Duration], mad_pct: u32) -> bool {
+    let (median, mad) = median_mad(samples);
+    mad * 100 <= median * mad_pct
 }
 
 static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
@@ -67,12 +130,9 @@ fn record(rec: BenchRecord) {
 /// bench binary in the same `cargo bench` run is extended in place, so
 /// delete the file first to start a fresh baseline.
 pub fn flush_json() {
-    let Ok(path) = std::env::var("RTX_BENCH_JSON") else {
+    let Some(path) = rtx_core::env::raw("RTX_BENCH_JSON") else {
         return;
     };
-    if path.is_empty() {
-        return;
-    }
     let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
     if results.is_empty() {
         return;
@@ -83,9 +143,10 @@ pub fn flush_json() {
             entries.push_str(",\n");
         }
         entries.push_str(&format!(
-            "  {{\"name\": \"{}\", \"iters\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"median_ns\": {}, \"mad_ns\": {}}}",
+            "  {{\"name\": \"{}\", \"iters\": {}, \"calibrated\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"median_ns\": {}, \"mad_ns\": {}}}",
             r.name.replace('\\', "\\\\").replace('"', "\\\""),
             r.iters,
+            u8::from(r.calibrated),
             r.mean_ns,
             r.min_ns,
             r.median_ns,
@@ -253,19 +314,49 @@ impl From<String> for BenchmarkId {
 pub struct Bencher {
     samples: usize,
     results: Vec<Duration>,
+    calibrated: bool,
 }
 
 impl Bencher {
-    /// Time `routine`, once per sample, after [`WARMUP_ITERS`] untimed
-    /// warm-up calls.
-    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+    /// Time `routine` after [`WARMUP_ITERS`] untimed warm-up calls:
+    /// `sample_size` samples minimum, then adaptively more until the
+    /// median's MAD stabilizes or the calibration budget is spent (see
+    /// the module docs and [`Calibration::auto`]).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, routine: R) {
+        self.iter_with(Calibration::auto(), routine)
+    }
+
+    /// [`Bencher::iter`] with an explicit calibration (`None` pins the
+    /// fixed-`sample_size` behavior).
+    pub fn iter_with<O, R: FnMut() -> O>(&mut self, cal: Option<Calibration>, mut routine: R) {
         for _ in 0..WARMUP_ITERS {
             black_box(routine());
         }
-        for _ in 0..self.samples {
-            let t0 = Instant::now();
-            black_box(routine());
-            self.results.push(t0.elapsed());
+        let mut spent = Duration::ZERO;
+        let mut take = |n: usize, results: &mut Vec<Duration>, spent: &mut Duration| {
+            for _ in 0..n {
+                let t0 = Instant::now();
+                black_box(routine());
+                let d = t0.elapsed();
+                *spent += d;
+                results.push(d);
+            }
+        };
+        take(self.samples, &mut self.results, &mut spent);
+        let Some(cal) = cal else {
+            self.calibrated = true; // the fixed count is what was asked for
+            return;
+        };
+        let cap = self.samples.saturating_mul(CALIBRATION_MAX_FACTOR);
+        loop {
+            if mad_stable(&self.results, cal.mad_pct) {
+                self.calibrated = true;
+                return;
+            }
+            if spent >= cal.budget || self.results.len() >= cap {
+                return; // budget exhausted before stability
+            }
+            take((self.samples / 2).max(1), &mut self.results, &mut spent);
         }
     }
 }
@@ -290,6 +381,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) 
     let mut b = Bencher {
         samples,
         results: Vec::new(),
+        calibrated: false,
     };
     f(&mut b);
     if b.results.is_empty() {
@@ -300,13 +392,15 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) 
     let mean = total / b.results.len() as u32;
     let min = b.results.iter().min().copied().unwrap_or_default();
     let (median, mad) = median_mad(&b.results);
+    let tag = if b.calibrated { "" } else { ", noisy" };
     println!(
-        "{label:<48} mean {mean:>12.3?}   median {median:>12.3?} (±{mad:.3?})   min {min:>12.3?}   ({} samples)",
+        "{label:<48} mean {mean:>12.3?}   median {median:>12.3?} (±{mad:.3?})   min {min:>12.3?}   ({} samples{tag})",
         b.results.len()
     );
     record(BenchRecord {
         name: label.to_string(),
         iters: b.results.len(),
+        calibrated: b.calibrated,
         mean_ns: mean.as_nanos(),
         min_ns: min.as_nanos(),
         median_ns: median.as_nanos(),
@@ -369,11 +463,37 @@ mod tests {
         let mut b = Bencher {
             samples: 5,
             results: Vec::new(),
+            calibrated: false,
         };
         let mut calls = 0usize;
-        b.iter(|| calls += 1);
+        b.iter_with(None, || calls += 1);
         assert_eq!(calls, WARMUP_ITERS + 5);
         assert_eq!(b.results.len(), 5);
+        assert!(b.calibrated, "a pinned count is calibrated by definition");
+    }
+
+    #[test]
+    fn calibration_stops_at_stability_and_respects_cap() {
+        // A perfectly steady routine stabilizes at the minimum count.
+        let mut b = Bencher {
+            samples: 4,
+            results: Vec::new(),
+            calibrated: false,
+        };
+        let cal = Calibration {
+            mad_pct: 100, // any nonzero median passes; zero-MAD always passes
+            budget: Duration::from_secs(60),
+        };
+        b.iter_with(Some(cal), || std::hint::black_box(0u64));
+        assert!(b.calibrated);
+        assert!(b.results.len() >= 4);
+        assert!(b.results.len() <= 4 * CALIBRATION_MAX_FACTOR);
+        // With an impossible target and zero budget, the minimum count
+        // is kept and the record is flagged un-calibrated... unless the
+        // timer granularity yields an exactly zero MAD, which satisfies
+        // any target. Force non-stability with synthetic samples:
+        assert!(!mad_stable(&[d(100), d(200), d(900)], 5));
+        assert!(mad_stable(&[d(100), d(101), d(102)], 5));
     }
 
     #[test]

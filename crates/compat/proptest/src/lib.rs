@@ -58,19 +58,16 @@ impl ProptestConfig {
 
     /// The case count after applying the `RTX_PROPTEST_CASES` override.
     pub fn effective_cases(&self) -> u32 {
-        match std::env::var("RTX_PROPTEST_CASES") {
-            Ok(v) => match parse_env_int("RTX_PROPTEST_CASES", &v) {
-                Some(n) if n > u32::MAX as u64 => {
-                    eprintln!(
-                        "warning: clamping RTX_PROPTEST_CASES={n} to u32::MAX ({})",
-                        u32::MAX
-                    );
+        match rtx_core::env::parse_u64("RTX_PROPTEST_CASES") {
+            Some(n) if n > u32::MAX as u64 => {
+                eprintln!(
+                    "warning: clamping RTX_PROPTEST_CASES={n} to u32::MAX ({})",
                     u32::MAX
-                }
-                Some(n) => n as u32,
-                None => self.cases,
-            },
-            Err(_) => self.cases,
+                );
+                u32::MAX
+            }
+            Some(n) => n as u32,
+            None => self.cases,
         }
     }
 }
@@ -78,26 +75,7 @@ impl ProptestConfig {
 /// The base seed: `RTX_PROPTEST_SEED` if set, else `0x5EED`.
 /// Accepts decimal or `0x`-prefixed hex (failure reports print hex).
 pub fn base_seed() -> u64 {
-    match std::env::var("RTX_PROPTEST_SEED") {
-        Ok(v) => parse_env_int("RTX_PROPTEST_SEED", &v).unwrap_or(0x5EED),
-        Err(_) => 0x5EED,
-    }
-}
-
-/// Parse a decimal or `0x`-hex integer; warn loudly instead of
-/// silently falling back, so a typo'd override can't mislead a replay.
-fn parse_env_int(name: &str, v: &str) -> Option<u64> {
-    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
-        Some(hex) => u64::from_str_radix(hex, 16),
-        None => v.parse(),
-    };
-    match parsed {
-        Ok(n) => Some(n),
-        Err(_) => {
-            eprintln!("warning: ignoring unparsable {name}={v:?} (want decimal or 0x-hex)");
-            None
-        }
-    }
+    rtx_core::env::parse_u64("RTX_PROPTEST_SEED").unwrap_or(0x5EED)
 }
 
 /// Deterministic RNG for one test function: the base seed mixed with a

@@ -86,6 +86,63 @@ impl TemporalFacts {
     }
 }
 
+/// A fault plan for the asynchronous rules: replaces the uniform
+/// `1..=async_max_delay` delay draw with a seeded, *pure* per-fact
+/// decision (splitmix64 keyed by `(seed, tick, fact index)`), optionally
+/// widening delays and duplicating deliveries. Because every decision
+/// is a pure function of the key, a faulted run is exactly reproducible
+/// from `(program, EDB, DedalusOptions)` — the chaos explorer varies
+/// these plans to probe the eventual consistency of a program over many
+/// adversarial async schedules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AsyncFaultPlan {
+    /// Seed of the pure decision stream (independent of
+    /// [`DedalusOptions::seed`], which feeds the plain draw).
+    pub seed: u64,
+    /// Extra delay added on top of the base `1..=async_max_delay` draw,
+    /// drawn uniformly from this inclusive range.
+    pub extra_delay: (u64, u64),
+    /// Per-mille probability that a derived head is delivered twice
+    /// (the duplicate draws its own delay) — the paper's duplicating
+    /// network, for async rules.
+    pub dup_millis: u16,
+}
+
+impl AsyncFaultPlan {
+    /// The plan that only reseeds the delay stream (no widening, no
+    /// duplication).
+    pub fn reseeded(seed: u64) -> AsyncFaultPlan {
+        AsyncFaultPlan {
+            seed,
+            extra_delay: (0, 0),
+            dup_millis: 0,
+        }
+    }
+
+    /// The delays (one per delivered copy) of the `k`-th async head
+    /// derived at `now`, each in `1..=max_delay + extra`.
+    pub fn delays(&self, now: u64, k: usize, max_delay: u64) -> Vec<u64> {
+        let draw = |salt: u64| mix(&[self.seed, now, k as u64, salt]);
+        let one = |salt: u64| {
+            let base = 1 + draw(salt) % max_delay.max(1);
+            let (lo, hi) = self.extra_delay;
+            let extra = if hi <= lo {
+                lo
+            } else {
+                lo + draw(salt + 1) % (hi - lo + 1)
+            };
+            base + extra
+        };
+        let mut delays = vec![one(0)];
+        if self.dup_millis > 0 && draw(100) % 1000 < self.dup_millis as u64 {
+            delays.push(one(200));
+        }
+        delays
+    }
+}
+
+use rtx_core::mix::fold as mix;
+
 /// Options for a Dedalus run.
 #[derive(Clone, Debug)]
 pub struct DedalusOptions {
@@ -95,6 +152,11 @@ pub struct DedalusOptions {
     pub async_max_delay: u64,
     /// Seed for async timestamp choices.
     pub seed: u64,
+    /// When set, async delivery timestamps are decided by this fault
+    /// plan instead of the plain seeded draw (see [`AsyncFaultPlan`]).
+    /// Both store modes and both fixpoint modes honor it identically,
+    /// so the store/fixpoint equivalences hold under fault plans too.
+    pub async_faults: Option<AsyncFaultPlan>,
 }
 
 impl Default for DedalusOptions {
@@ -103,6 +165,7 @@ impl Default for DedalusOptions {
             max_ticks: 500,
             async_max_delay: 3,
             seed: 0,
+            async_faults: None,
         }
     }
 }
@@ -211,16 +274,12 @@ impl FixpointMode {
     /// case-insensitive) when set and parsable, else the default
     /// ([`FixpointMode::Incremental`]).
     pub fn auto() -> FixpointMode {
-        match std::env::var("RTX_DEDALUS_FIXPOINT") {
-            Ok(v) => match FixpointMode::parse(&v) {
-                Some(m) => m,
-                None => {
-                    eprintln!("warning: ignoring unparsable RTX_DEDALUS_FIXPOINT={v:?}");
-                    FixpointMode::default()
-                }
-            },
-            Err(_) => FixpointMode::default(),
-        }
+        rtx_core::env::parse_choice(
+            "RTX_DEDALUS_FIXPOINT",
+            "\"scratch\" or \"incremental\"",
+            FixpointMode::parse,
+        )
+        .unwrap_or_default()
     }
 
     /// Parse a mode name as accepted by `RTX_DEDALUS_FIXPOINT`.
@@ -464,13 +523,15 @@ impl<'p> DedalusRuntime<'p> {
                 });
             }
             if let Some(astep) = astep {
-                for f in astep.facts() {
-                    if !self.program.signature().contains(f.rel()) {
-                        continue;
-                    }
-                    let delay = rng.gen_range(1..=opts.async_max_delay.max(1));
-                    pending_async.entry(now + delay).or_default().push(f);
-                }
+                schedule_async(
+                    astep
+                        .facts()
+                        .filter(|f| self.program.signature().contains(f.rel())),
+                    now,
+                    opts,
+                    &mut rng,
+                    &mut pending_async,
+                );
             }
 
             // 5. convergence detection (see `run_cloning`)
@@ -547,13 +608,15 @@ impl<'p> DedalusRuntime<'p> {
             // 4. async rules → pending deliveries
             let async_p = Self::build(self.program, DTime::Async, now)?;
             let astep = async_p.tp_step_with_mode(&db, JoinMode::Scan)?;
-            for f in astep.facts() {
-                if !self.program.signature().contains(f.rel()) {
-                    continue;
-                }
-                let delay = rng.gen_range(1..=opts.async_max_delay.max(1));
-                pending_async.entry(now + delay).or_default().push(f);
-            }
+            schedule_async(
+                astep
+                    .facts()
+                    .filter(|f| self.program.signature().contains(f.rel())),
+                now,
+                opts,
+                &mut rng,
+                &mut pending_async,
+            );
 
             // 5. convergence detection: the tick database repeats, no
             // input remains, and every pending asynchronous delivery is
@@ -577,6 +640,40 @@ impl<'p> DedalusRuntime<'p> {
             ticks,
             converged_at,
         })
+    }
+}
+
+/// Schedule the tick's async heads: the plain seeded uniform draw, or
+/// the pure per-fact decisions of an [`AsyncFaultPlan`] when one is
+/// set. Shared verbatim by both store loops, so traces stay
+/// mode-identical under either path. The plain path consumes `rng` in
+/// fact order exactly as the seed loop did; the fault path consumes
+/// nothing from it (its decisions are pure), keeping the two regimes
+/// cleanly separated.
+fn schedule_async<'f>(
+    facts: impl Iterator<Item = Fact> + 'f,
+    now: u64,
+    opts: &DedalusOptions,
+    rng: &mut StdRng,
+    pending_async: &mut BTreeMap<u64, Vec<Fact>>,
+) {
+    match &opts.async_faults {
+        None => {
+            for f in facts {
+                let delay = rng.gen_range(1..=opts.async_max_delay.max(1));
+                pending_async.entry(now + delay).or_default().push(f);
+            }
+        }
+        Some(plan) => {
+            for (k, f) in facts.enumerate() {
+                for delay in plan.delays(now, k, opts.async_max_delay.max(1)) {
+                    pending_async
+                        .entry(now + delay)
+                        .or_default()
+                        .push(f.clone());
+                }
+            }
+        }
     }
 }
 
@@ -678,6 +775,7 @@ mod tests {
             max_ticks: 50,
             async_max_delay: 4,
             seed: 13,
+            async_faults: None,
         };
         let trace = run_dedalus(&p, &edb, &opts).unwrap();
         assert!(trace.converged());
@@ -751,6 +849,7 @@ mod tests {
                 max_ticks: 80,
                 async_max_delay: 3,
                 seed,
+                async_faults: None,
             };
             let rt = DedalusRuntime::new(&p).unwrap();
             let delta = rt.run_with(&edb, &opts, StoreMode::Delta).unwrap();
@@ -814,6 +913,7 @@ mod tests {
                 max_ticks: 80,
                 async_max_delay: 3,
                 seed,
+                async_faults: None,
             };
             let rt = DedalusRuntime::new(&p).unwrap();
             let inc = rt

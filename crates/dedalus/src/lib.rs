@@ -18,7 +18,8 @@ pub mod tm;
 
 pub use ast::{DRule, DTime, DedalusProgram};
 pub use eval::{
-    run_dedalus, DedalusOptions, DedalusRuntime, FixpointMode, StoreMode, TemporalFacts, Trace,
+    run_dedalus, AsyncFaultPlan, DedalusOptions, DedalusRuntime, FixpointMode, StoreMode,
+    TemporalFacts, Trace,
 };
 pub use parser::parse_dedalus;
 pub use tm::{compile_tm, simulate_instance, simulate_word, InputSchedule, Thm18Outcome};

@@ -391,6 +391,7 @@ mod tests {
             max_ticks: 400,
             async_max_delay: 1,
             seed: 0,
+            async_faults: None,
         }
     }
 

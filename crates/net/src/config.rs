@@ -8,12 +8,25 @@
 //! recovered by ignoring the order.
 
 use crate::error::NetError;
+use crate::fault::SendFate;
 use crate::partition::HorizontalPartition;
 use crate::topology::{Network, NodeId};
 use rtx_relational::{Fact, FactMultiset, Instance, Relation};
 use rtx_transducer::Transducer;
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// A send interceptor for the scheduler-driven executor: decides the
+/// fate of the `k`-th fact a transitioning node sends to one neighbor.
+/// See [`crate::fault::FaultHook::on_send`] — this is the same decision
+/// surface, shaped for [`Configuration::apply_heartbeat_intercepted`] /
+/// [`Configuration::apply_delivery_intercepted`], which work in node
+/// ids rather than indices.
+pub type SendInterceptor<'a> = dyn FnMut(&NodeId, &NodeId, usize, &Fact) -> SendFate + 'a;
+
+/// Where intercepted copies with a nonzero delay go: `(destination,
+/// extra delay, fact)`, owned by the driver that manages maturity.
+pub type DelayedSends = Vec<(NodeId, u64, Fact)>;
 
 /// What kind of global transition happened.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -209,7 +222,14 @@ impl Configuration {
         node: &NodeId,
     ) -> Result<TransitionRecord, NetError> {
         let empty = Instance::empty(transducer.schema().message().clone());
-        self.apply(net, transducer, node, empty, TransitionKind::Heartbeat)
+        self.apply(
+            net,
+            transducer,
+            node,
+            empty,
+            TransitionKind::Heartbeat,
+            None,
+        )
     }
 
     /// Apply a delivery transition at `node`, reading the buffered fact
@@ -221,6 +241,64 @@ impl Configuration {
         node: &NodeId,
         index: usize,
     ) -> Result<TransitionRecord, NetError> {
+        let (received, kind) = self.take_delivery(transducer, node, index)?;
+        self.apply(net, transducer, node, received, kind, None)
+    }
+
+    /// Like [`Configuration::apply_heartbeat`], but every sent copy's
+    /// fate is decided by `intercept`; copies fated with a nonzero delay
+    /// are pushed onto `delayed` as `(destination, extra delay, fact)`
+    /// instead of being enqueued — the caller owns their maturity (see
+    /// [`Configuration::enqueue_fact`]).
+    pub fn apply_heartbeat_intercepted(
+        &mut self,
+        net: &Network,
+        transducer: &Transducer,
+        node: &NodeId,
+        intercept: &mut SendInterceptor<'_>,
+        delayed: &mut DelayedSends,
+    ) -> Result<TransitionRecord, NetError> {
+        let empty = Instance::empty(transducer.schema().message().clone());
+        self.apply(
+            net,
+            transducer,
+            node,
+            empty,
+            TransitionKind::Heartbeat,
+            Some((intercept, delayed)),
+        )
+    }
+
+    /// Like [`Configuration::apply_delivery`], with send interception
+    /// (see [`Configuration::apply_heartbeat_intercepted`]).
+    pub fn apply_delivery_intercepted(
+        &mut self,
+        net: &Network,
+        transducer: &Transducer,
+        node: &NodeId,
+        index: usize,
+        intercept: &mut SendInterceptor<'_>,
+        delayed: &mut DelayedSends,
+    ) -> Result<TransitionRecord, NetError> {
+        let (received, kind) = self.take_delivery(transducer, node, index)?;
+        self.apply(
+            net,
+            transducer,
+            node,
+            received,
+            kind,
+            Some((intercept, delayed)),
+        )
+    }
+
+    /// Remove the buffered fact at `index` of `node` and wrap it as a
+    /// received message instance.
+    fn take_delivery(
+        &mut self,
+        transducer: &Transducer,
+        node: &NodeId,
+        index: usize,
+    ) -> Result<(Instance, TransitionKind), NetError> {
         let buf = self
             .buffers
             .get_mut(node)
@@ -234,13 +312,45 @@ impl Configuration {
         let fact = buf.remove(index);
         let mut received = Instance::empty(transducer.schema().message().clone());
         received.insert_fact(fact.clone()).map_err(NetError::Rel)?;
-        self.apply(
-            net,
-            transducer,
-            node,
-            received,
-            TransitionKind::Delivery(fact),
-        )
+        Ok((received, TransitionKind::Delivery(fact)))
+    }
+
+    /// Enqueue a fact into a node's buffer directly. Fault-injection
+    /// hook: the release of a matured delayed/duplicated in-flight copy.
+    pub fn enqueue_fact(&mut self, node: &NodeId, fact: Fact) -> Result<(), NetError> {
+        self.buffers
+            .get_mut(node)
+            .ok_or_else(|| NetError::Topology(format!("unknown node {node}")))?
+            .push(fact);
+        Ok(())
+    }
+
+    /// Drop every buffered message at a node (a lossy crash). Returns
+    /// how many messages were lost.
+    pub fn clear_buffer(&mut self, node: &NodeId) -> Result<usize, NetError> {
+        let buf = self
+            .buffers
+            .get_mut(node)
+            .ok_or_else(|| NetError::Topology(format!("unknown node {node}")))?;
+        let n = buf.len();
+        buf.clear();
+        Ok(n)
+    }
+
+    /// Clear a node's memory relations — a restart under the
+    /// *persistent-EDB* semantics: the input fragment and `Id`/`All` are
+    /// durable, soft state is lost. Returns whether anything was
+    /// cleared.
+    pub fn wipe_memory(
+        &mut self,
+        transducer: &Transducer,
+        node: &NodeId,
+    ) -> Result<bool, NetError> {
+        let state = self
+            .states
+            .get_mut(node)
+            .ok_or_else(|| NetError::Topology(format!("unknown node {node}")))?;
+        wipe_memory_relations(transducer, state).map_err(NetError::Rel)
     }
 
     fn apply(
@@ -250,6 +360,7 @@ impl Configuration {
         node: &NodeId,
         received: Instance,
         kind: TransitionKind,
+        mut faults: Option<(&mut SendInterceptor<'_>, &mut DelayedSends)>,
     ) -> Result<TransitionRecord, NetError> {
         let state = self
             .states
@@ -260,13 +371,33 @@ impl Configuration {
         let sent: Vec<Fact> = res.sent.facts().collect();
         let mut enqueued = 0usize;
         for neighbor in net.neighbors(node) {
-            let buf = self
-                .buffers
-                .get_mut(neighbor)
-                .expect("all nodes have buffers");
-            for f in &sent {
-                buf.push(f.clone());
-                enqueued += 1;
+            match &mut faults {
+                None => {
+                    let buf = self
+                        .buffers
+                        .get_mut(neighbor)
+                        .expect("all nodes have buffers");
+                    for f in &sent {
+                        buf.push(f.clone());
+                        enqueued += 1;
+                    }
+                }
+                Some((intercept, delayed)) => {
+                    for (k, f) in sent.iter().enumerate() {
+                        let fate = intercept(node, neighbor, k, f);
+                        for &d in &fate.delays {
+                            if d == 0 {
+                                self.buffers
+                                    .get_mut(neighbor)
+                                    .expect("all nodes have buffers")
+                                    .push(f.clone());
+                            } else {
+                                delayed.push((neighbor.clone(), d, f.clone()));
+                            }
+                            enqueued += 1;
+                        }
+                    }
+                }
             }
         }
         self.states.insert(node.clone(), res.new_state);
@@ -279,6 +410,33 @@ impl Configuration {
             state_changed,
         })
     }
+}
+
+/// Clear the memory relations of a transducer state in place; `true`
+/// when anything was cleared. Shared by [`Configuration::wipe_memory`]
+/// and the sharded executor's restart jobs.
+pub(crate) fn wipe_memory_relations(
+    transducer: &Transducer,
+    state: &mut Instance,
+) -> Result<bool, rtx_relational::RelError> {
+    let mut cleared = false;
+    let mem: Vec<(rtx_relational::RelName, usize)> = transducer
+        .schema()
+        .memory()
+        .iter()
+        .map(|(n, a)| (n.clone(), a))
+        .collect();
+    for (name, arity) in mem {
+        let nonempty = state
+            .relation_ref(&name)
+            .map(|r| !r.is_empty())
+            .unwrap_or(false);
+        if nonempty {
+            state.set_relation(name, Relation::empty(arity))?;
+            cleared = true;
+        }
+    }
+    Ok(cleared)
 }
 
 impl fmt::Debug for Configuration {

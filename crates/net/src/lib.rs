@@ -27,20 +27,24 @@
 
 mod config;
 mod error;
+pub mod fault;
 mod partition;
 mod run;
 mod shard;
 mod topology;
 
-pub use config::{Configuration, TransitionKind, TransitionLog, TransitionRecord};
+pub use config::{
+    Configuration, DelayedSends, SendInterceptor, TransitionKind, TransitionLog, TransitionRecord,
+};
 pub use error::NetError;
+pub use fault::{FaultHook, NoFaults, NodeFault, SendFate};
 pub use partition::HorizontalPartition;
 pub use run::{
     run, run_from, run_heartbeats_only, Action, FifoRoundRobin, HeartbeatOnlyOutcome,
     LifoRoundRobin, RandomScheduler, RunBudget, RunOutcome, Scheduler,
 };
 pub use shard::{
-    run_sharded, run_sharded_from, DeliveryPolicy, ExecMode, RoundScheduling, ShardOptions,
-    ShardPlan, ShardRunOutcome,
+    run_sharded, run_sharded_faulted, run_sharded_faulted_from, run_sharded_from, DeliveryPolicy,
+    ExecMode, RoundScheduling, ShardOptions, ShardPlan, ShardRunOutcome,
 };
 pub use topology::{Network, NodeId};

@@ -32,8 +32,11 @@
 //! The thread count honours the `RTX_NET_THREADS` environment variable
 //! (see [`ExecMode::sharded_auto`]).
 
-use crate::config::{Configuration, TransitionKind, TransitionLog, TransitionRecord};
+use crate::config::{
+    wipe_memory_relations, Configuration, TransitionKind, TransitionLog, TransitionRecord,
+};
 use crate::error::NetError;
+use crate::fault::{FaultHook, NodeFault};
 use crate::partition::HorizontalPartition;
 use crate::run::{RunBudget, RunOutcome};
 use crate::topology::{Network, NodeId};
@@ -80,15 +83,11 @@ impl ExecMode {
 
 /// The `RTX_NET_THREADS` override, else available parallelism, else 1.
 fn auto_threads() -> usize {
-    if let Ok(v) = std::env::var("RTX_NET_THREADS") {
-        match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => return n,
-            _ => eprintln!("warning: ignoring unparsable RTX_NET_THREADS={v:?}"),
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    rtx_core::env::parse_positive_usize("RTX_NET_THREADS").unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// How nodes are assigned to worker shards.
@@ -293,8 +292,22 @@ struct StepOut {
     state_changed: bool,
 }
 
-/// A phase job: heartbeat (`None`) or delivery of the given fact.
-type Job = (usize, Option<Fact>);
+/// What a phase job does at its node.
+#[derive(Clone, Debug)]
+enum JobKind {
+    /// A heartbeat transition.
+    Heartbeat,
+    /// A delivery transition of the given fact.
+    Deliver(Fact),
+    /// A fault event, not a paper transition: clear the node's memory
+    /// relations (restart under the persistent-EDB semantics). Produces
+    /// no output and no sends, and is excluded from step counts and the
+    /// transition log.
+    WipeMemory,
+}
+
+/// A phase job: the target node index plus what to do there.
+type Job = (usize, JobKind);
 
 /// Phase execution backends. Both compute, for each job `(idx, rcv)`,
 /// the local transition of node `idx` and update that node's state;
@@ -405,16 +418,26 @@ fn worker_gone() -> NetError {
     NetError::Topology("sharded runtime: a worker shard terminated unexpectedly".into())
 }
 
-/// Perform one local transition on `state` in place, returning the
-/// observable parts. `received` is `None` for a heartbeat.
+/// Perform one job on `state` in place, returning the observable parts.
 fn step_node(
     transducer: &Transducer,
     state: &mut Instance,
-    received: Option<Fact>,
+    kind: JobKind,
 ) -> Result<StepOut, NetError> {
     let mut rcv = Instance::empty(transducer.schema().message().clone());
-    if let Some(f) = received {
-        rcv.insert_fact(f).map_err(NetError::Rel)?;
+    match kind {
+        JobKind::Heartbeat => {}
+        JobKind::Deliver(f) => {
+            rcv.insert_fact(f).map_err(NetError::Rel)?;
+        }
+        JobKind::WipeMemory => {
+            let cleared = wipe_memory_relations(transducer, state).map_err(NetError::Rel)?;
+            return Ok(StepOut {
+                output: Relation::empty(transducer.schema().output_arity()),
+                sent: Vec::new(),
+                state_changed: cleared,
+            });
+        }
     }
     let res = transducer.step(state, &rcv).map_err(NetError::Eval)?;
     let state_changed = res.new_state != *state;
@@ -451,6 +474,47 @@ pub fn run_sharded_from(
     cfg: Configuration,
     opts: &ShardOptions,
     budget: &RunBudget,
+) -> Result<ShardRunOutcome, NetError> {
+    run_sharded_inner(net, transducer, cfg, opts, budget, None)
+}
+
+/// [`run_sharded`] under fault injection: every sent copy's fate and
+/// every node's per-round status are decided by `faults` (see
+/// [`crate::fault`]). The hook is consulted only at the coordinator's
+/// deterministic merge points, so serial and sharded execution remain
+/// bit-identical under any fault hook, any thread count, and any
+/// [`DeliveryPolicy`].
+pub fn run_sharded_faulted(
+    net: &Network,
+    transducer: &Transducer,
+    partition: &HorizontalPartition,
+    opts: &ShardOptions,
+    budget: &RunBudget,
+    faults: &mut dyn FaultHook,
+) -> Result<ShardRunOutcome, NetError> {
+    let cfg = Configuration::initial(net, transducer, partition)?;
+    run_sharded_faulted_from(net, transducer, cfg, opts, budget, faults)
+}
+
+/// [`run_sharded_faulted`] from an explicit configuration.
+pub fn run_sharded_faulted_from(
+    net: &Network,
+    transducer: &Transducer,
+    cfg: Configuration,
+    opts: &ShardOptions,
+    budget: &RunBudget,
+    faults: &mut dyn FaultHook,
+) -> Result<ShardRunOutcome, NetError> {
+    run_sharded_inner(net, transducer, cfg, opts, budget, Some(faults))
+}
+
+fn run_sharded_inner(
+    net: &Network,
+    transducer: &Transducer,
+    cfg: Configuration,
+    opts: &ShardOptions,
+    budget: &RunBudget,
+    faults: Option<&mut dyn FaultHook>,
 ) -> Result<ShardRunOutcome, NetError> {
     let parts = cfg.into_parts();
     if parts.len() != net.len() || !parts.iter().all(|(n, _, _)| net.contains(n)) {
@@ -502,13 +566,13 @@ pub fn run_sharded_from(
                 handles,
             });
             drive(
-                net, transducer, &nodes, &adj, buffers, engine, threads, opts, budget,
+                net, transducer, &nodes, &adj, buffers, engine, threads, opts, budget, faults,
             )
         }),
         _ => {
             let engine = Engine::Serial { states, transducer };
             drive(
-                net, transducer, &nodes, &adj, buffers, engine, 1, opts, budget,
+                net, transducer, &nodes, &adj, buffers, engine, 1, opts, budget, faults,
             )
         }
     }
@@ -574,6 +638,7 @@ fn drive(
     threads_used: usize,
     opts: &ShardOptions,
     budget: &RunBudget,
+    mut faults: Option<&mut dyn FaultHook>,
 ) -> Result<ShardRunOutcome, NetError> {
     let n = nodes.len();
     let arity = transducer.schema().output_arity();
@@ -590,19 +655,31 @@ fn drive(
     let mut quiescent = false;
     let mut reached_target = false;
     let mut log = opts.record_log.then(TransitionLog::new);
+    // In-flight copies under fault injection: maturity round → the
+    // copies released into destination buffers at its start, in the
+    // deterministic order the merge produced them.
+    let mut held: BTreeMap<u64, Vec<(usize, Fact)>> = BTreeMap::new();
+    // Which nodes are down this round (skip heartbeat and delivery).
+    let mut down = vec![false; n];
+    // Consecutive rounds that executed no transition at all.
+    let mut idle_rounds = 0usize;
 
     // Merge one phase's results at the barrier, in node order: absorb
-    // outputs, append outboxes to destination buffers, build records.
-    let merge = |jobs: Vec<Job>,
+    // outputs, append outboxes to destination buffers (consulting the
+    // fault hook for each copy's fate), build records.
+    let merge = |now: u64,
+                 jobs: Vec<Job>,
                  results: &mut BTreeMap<usize, StepOut>,
                  buffers: &mut Vec<Vec<Fact>>,
+                 held: &mut BTreeMap<u64, Vec<(usize, Fact)>>,
+                 faults: &mut Option<&mut dyn FaultHook>,
                  output: &mut Relation,
                  outputs_per_node: &mut BTreeMap<NodeId, Relation>,
                  messages_enqueued: &mut usize,
                  log: &mut Option<TransitionLog>|
      -> Result<bool, NetError> {
         let mut all_quiet = true;
-        for (idx, received) in jobs {
+        for (idx, kind) in jobs {
             let res = results.remove(&idx).ok_or_else(worker_gone)?;
             let new_out = !res.output.is_subset(output);
             if res.state_changed || !res.sent.is_empty() || new_out {
@@ -613,18 +690,36 @@ fn drive(
             *per = per.union(&res.output).map_err(NetError::Rel)?;
             let mut enqueued = 0usize;
             for &d in &adj[idx] {
-                for f in &res.sent {
-                    buffers[d].push(f.clone());
-                    enqueued += 1;
+                match faults {
+                    None => {
+                        for f in &res.sent {
+                            buffers[d].push(f.clone());
+                            enqueued += 1;
+                        }
+                    }
+                    Some(fh) => {
+                        for (k, f) in res.sent.iter().enumerate() {
+                            let fate = fh.on_send(now, idx, d, k, f);
+                            for &delay in &fate.delays {
+                                if delay == 0 {
+                                    buffers[d].push(f.clone());
+                                } else {
+                                    held.entry(now + delay).or_default().push((d, f.clone()));
+                                }
+                                enqueued += 1;
+                            }
+                        }
+                    }
                 }
             }
             *messages_enqueued += enqueued;
             if let Some(log) = log {
                 log.push(TransitionRecord {
                     node: nodes[idx].clone(),
-                    kind: match received {
-                        None => TransitionKind::Heartbeat,
-                        Some(f) => TransitionKind::Delivery(f),
+                    kind: match kind {
+                        JobKind::Heartbeat => TransitionKind::Heartbeat,
+                        JobKind::Deliver(f) => TransitionKind::Delivery(f),
+                        JobKind::WipeMemory => unreachable!("wipes are not merged"),
                     },
                     output: res.output,
                     sent_facts: res.sent.len(),
@@ -643,18 +738,65 @@ fn drive(
                 break;
             }
         }
-        let stable_probe = buffers.iter().all(Vec::is_empty);
         rounds += 1;
+        let now = rounds as u64;
 
-        // Heartbeat phase: every node, truncated at the budget.
+        // Fault phase (coordinator-only, deterministic): release
+        // matured in-flight copies, resolve node statuses, run restart
+        // wipes. None of this counts as paper transitions.
+        let mut fault_horizon_passed = true;
+        if let Some(fh) = faults.as_deref_mut() {
+            let due: Vec<u64> = held.range(..=now).map(|(k, _)| *k).collect();
+            for k in due {
+                for (dst, fact) in held.remove(&k).unwrap_or_default() {
+                    buffers[dst].push(fact);
+                }
+            }
+            let mut wipes: Vec<Job> = Vec::new();
+            for (i, d) in down.iter_mut().enumerate() {
+                match fh.node_fault(now, i) {
+                    NodeFault::Up => *d = false,
+                    NodeFault::CrashNow { lose_buffer } => {
+                        *d = true;
+                        if lose_buffer {
+                            buffers[i].clear();
+                        }
+                    }
+                    NodeFault::Down => *d = true,
+                    NodeFault::RestartNow { wipe_memory } => {
+                        *d = false;
+                        if wipe_memory {
+                            wipes.push((i, JobKind::WipeMemory));
+                        }
+                    }
+                }
+            }
+            if !wipes.is_empty() {
+                // Execute the wipes as their own phase; the StepOuts
+                // are empty by construction and deliberately dropped.
+                engine.execute(wipes)?;
+            }
+            fault_horizon_passed = now > fh.quiet_after() && held.is_empty();
+        }
+
+        let stable_probe = buffers.iter().all(Vec::is_empty);
+
+        // Heartbeat phase: every up node, truncated at the budget.
         let quota = budget.max_steps - steps;
-        let hb_jobs: Vec<Job> = (0..n.min(quota)).map(|i| (i, None)).collect();
+        let hb_jobs: Vec<Job> = (0..n)
+            .filter(|&i| !down[i])
+            .take(quota)
+            .map(|i| (i, JobKind::Heartbeat))
+            .collect();
         let hb_count = hb_jobs.len();
         let mut results = engine.execute(hb_jobs.clone())?;
         let all_quiet = merge(
+            now,
             hb_jobs,
             &mut results,
             &mut buffers,
+            &mut held,
+            &mut faults,
             &mut output,
             &mut outputs_per_node,
             &mut messages_enqueued,
@@ -662,8 +804,9 @@ fn drive(
         )?;
         steps += hb_count;
         heartbeats += hb_count;
-        if stable_probe && all_quiet && hb_count == n {
-            // A whole round of no-op heartbeats on empty buffers: the
+        if stable_probe && all_quiet && hb_count == n && fault_horizon_passed {
+            // A whole round of no-op heartbeats on empty buffers, with
+            // no in-flight copies and no future node fault events: the
             // configuration repeats forever — quiescence.
             quiescent = true;
             break;
@@ -684,6 +827,7 @@ fn drive(
         // a sub-phase are independent and run in parallel; their
         // outboxes merge at the sub-phase barrier (visible to the next
         // sub-phase, exactly as in back-to-back singleton rounds).
+        let mut delivered_this_round = 0usize;
         for _ in 0..opts.delivery.per_round() {
             if steps >= budget.max_steps {
                 break;
@@ -694,9 +838,9 @@ fn drive(
                 if dl_jobs.len() >= quota {
                     break;
                 }
-                if !buf.is_empty() {
+                if !buf.is_empty() && !down[i] {
                     let pick = opts.scheduling.pick(rounds, i, buf.len());
-                    dl_jobs.push((i, Some(buf.remove(pick))));
+                    dl_jobs.push((i, JobKind::Deliver(buf.remove(pick))));
                 }
             }
             if dl_jobs.is_empty() {
@@ -705,9 +849,12 @@ fn drive(
             let dl_count = dl_jobs.len();
             let mut results = engine.execute(dl_jobs.clone())?;
             merge(
+                now,
                 dl_jobs,
                 &mut results,
                 &mut buffers,
+                &mut held,
+                &mut faults,
                 &mut output,
                 &mut outputs_per_node,
                 &mut messages_enqueued,
@@ -715,6 +862,27 @@ fn drive(
             )?;
             steps += dl_count;
             deliveries += dl_count;
+            delivered_this_round += dl_count;
+        }
+        if hb_count == 0 && delivered_this_round == 0 {
+            if fault_horizon_passed {
+                // Every node is down, nothing matured, and the fault
+                // plan has no further node events: the network is dead
+                // forever. Stop (non-quiescent) instead of spinning.
+                break;
+            }
+            // All nodes down but a restart (or an in-flight copy) is
+            // still ahead. Idle rounds consume no budget steps, so a
+            // hook with a distant horizon could spin unboundedly —
+            // cap consecutive idle rounds at the step budget (an idle
+            // streak longer than the budget could never be followed by
+            // that much work anyway).
+            idle_rounds += 1;
+            if idle_rounds > budget.max_steps {
+                break;
+            }
+        } else {
+            idle_rounds = 0;
         }
     }
 
@@ -1049,6 +1217,131 @@ mod tests {
         assert_eq!(ExecMode::Sharded { threads: 0 }.threads(), 1);
         assert_eq!(ExecMode::Sharded { threads: 6 }.threads(), 6);
         assert!(ExecMode::sharded_auto().threads() >= 1);
+    }
+
+    /// A hand-written hook: delays every copy on edge (0→1) by 2
+    /// rounds, duplicates everything sent to node 2, crashes node 3 at
+    /// round 2 and restarts it (memory wiped) at round 4.
+    struct TestHook;
+    impl FaultHook for TestHook {
+        fn on_send(&mut self, _t: u64, src: usize, dst: usize, _k: usize, _f: &Fact) -> SendFate {
+            if src == 0 && dst == 1 {
+                SendFate::delayed(2)
+            } else if dst == 2 {
+                SendFate::copies(vec![0, 0])
+            } else {
+                SendFate::deliver()
+            }
+        }
+        fn node_fault(&mut self, t: u64, node: usize) -> NodeFault {
+            match (node, t) {
+                (3, 2) => NodeFault::CrashNow { lose_buffer: true },
+                (3, 3) => NodeFault::Down,
+                (3, 4) => NodeFault::RestartNow { wipe_memory: true },
+                _ => NodeFault::Up,
+            }
+        }
+        fn quiet_after(&self) -> u64 {
+            4
+        }
+    }
+
+    use crate::fault::{FaultHook, NodeFault, SendFate};
+
+    #[test]
+    fn faulted_run_quiesces_and_stays_serial_sharded_identical() {
+        let net = Network::ring(6).unwrap();
+        let t = dedup_flooder();
+        let p = HorizontalPartition::round_robin(&net, &input_s(&[10, 20, 30, 40]));
+        let budget = RunBudget::steps(100_000);
+        let serial = run_sharded_faulted(
+            &net,
+            &t,
+            &p,
+            &ShardOptions::serial().with_log(),
+            &budget,
+            &mut TestHook,
+        )
+        .unwrap();
+        assert!(serial.outcome.quiescent);
+        for threads in [2, 4] {
+            for delivery in [DeliveryPolicy::One, DeliveryPolicy::Batch(4)] {
+                let opts = ShardOptions::sharded(threads)
+                    .with_delivery(delivery)
+                    .with_log();
+                let base_opts = ShardOptions::serial().with_delivery(delivery).with_log();
+                let base =
+                    run_sharded_faulted(&net, &t, &p, &base_opts, &budget, &mut TestHook).unwrap();
+                let sharded =
+                    run_sharded_faulted(&net, &t, &p, &opts, &budget, &mut TestHook).unwrap();
+                assert_eq!(sharded.log, base.log, "threads={threads} {delivery:?}");
+                assert_eq!(sharded.outcome.final_config, base.outcome.final_config);
+                assert_eq!(sharded.outcome.output, base.outcome.output);
+                assert_eq!(sharded.rounds, base.rounds);
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_run_replays_identically() {
+        let net = Network::grid(3, 3).unwrap();
+        let t = dedup_flooder();
+        let p = HorizontalPartition::round_robin(&net, &input_s(&[1, 2, 3]));
+        let budget = RunBudget::steps(100_000);
+        let opts = ShardOptions::serial().with_log();
+        let a = run_sharded_faulted(&net, &t, &p, &opts, &budget, &mut TestHook).unwrap();
+        let b = run_sharded_faulted(&net, &t, &p, &opts, &budget, &mut TestHook).unwrap();
+        assert_eq!(a.log, b.log);
+        assert_eq!(a.outcome.final_config, b.outcome.final_config);
+    }
+
+    #[test]
+    fn no_faults_hook_matches_plain_run_bit_for_bit() {
+        let net = Network::line(5).unwrap();
+        let t = dedup_flooder();
+        let p = HorizontalPartition::round_robin(&net, &input_s(&[1, 2, 3, 4]));
+        let budget = RunBudget::steps(100_000);
+        let opts = ShardOptions::serial().with_log();
+        let plain = run_sharded(&net, &t, &p, &opts, &budget).unwrap();
+        let hooked =
+            run_sharded_faulted(&net, &t, &p, &opts, &budget, &mut crate::fault::NoFaults).unwrap();
+        assert_eq!(plain.log, hooked.log);
+        assert_eq!(plain.outcome.final_config, hooked.outcome.final_config);
+        assert_eq!(plain.rounds, hooked.rounds);
+    }
+
+    #[test]
+    fn dead_forever_network_terminates_without_quiescence() {
+        struct AllDown;
+        impl FaultHook for AllDown {
+            fn on_send(&mut self, _: u64, _: usize, _: usize, _: usize, _: &Fact) -> SendFate {
+                SendFate::deliver()
+            }
+            fn node_fault(&mut self, t: u64, _n: usize) -> NodeFault {
+                if t == 1 {
+                    NodeFault::CrashNow { lose_buffer: true }
+                } else {
+                    NodeFault::Down
+                }
+            }
+            fn quiet_after(&self) -> u64 {
+                1
+            }
+        }
+        let net = Network::line(3).unwrap();
+        let t = dedup_flooder();
+        let p = HorizontalPartition::round_robin(&net, &input_s(&[1, 2]));
+        let out = run_sharded_faulted(
+            &net,
+            &t,
+            &p,
+            &ShardOptions::serial(),
+            &RunBudget::steps(100_000),
+            &mut AllDown,
+        )
+        .unwrap();
+        assert!(!out.outcome.quiescent);
+        assert_eq!(out.outcome.steps, 0, "no node ever transitioned");
     }
 
     #[test]

@@ -40,6 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_ticks: 60,
         async_max_delay: 3,
         seed: 7,
+        async_faults: None,
     };
     let trace = run_dedalus(&program, &edb, &opts)?;
 

@@ -14,6 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_ticks: 2000,
         async_max_delay: 1,
         seed: 0,
+        async_faults: None,
     };
     println!("Turing machines as eventually-consistent Dedalus programs (Theorem 18)");
     println!("{}", "-".repeat(88));

@@ -14,7 +14,9 @@
 //! * [`net`] — transducer networks: topologies, schedulers, runs;
 //! * [`calm`] — the paper's constructions, examples, and analyses;
 //! * [`machine`] — Turing machines and word structures;
-//! * [`dedalus`] — Dedalus and the Theorem 18 TM simulation.
+//! * [`dedalus`] — Dedalus and the Theorem 18 TM simulation;
+//! * [`chaos`] — fault injection, adversarial schedule exploration, and
+//!   the empirical eventual-consistency checker.
 //!
 //! ## Quick start
 //!
@@ -39,6 +41,7 @@
 //! ```
 
 pub use rtx_calm as calm;
+pub use rtx_chaos as chaos;
 pub use rtx_dedalus as dedalus;
 pub use rtx_machine as machine;
 pub use rtx_net as net;

@@ -215,7 +215,7 @@ proptest! {
             edb.insert(0, fact!("s", v as i64));
         }
         edb.insert(0, fact!("at", 0));
-        let opts = DedalusOptions { max_ticks: 40, async_max_delay: 2, seed: run_seed };
+        let opts = DedalusOptions { max_ticks: 40, async_max_delay: 2, seed: run_seed, async_faults: None };
         let rt = DedalusRuntime::new(&p).unwrap();
         let inc = rt
             .run_with_fixpoint(&edb, &opts, StoreMode::Delta, FixpointMode::Incremental)

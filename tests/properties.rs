@@ -188,7 +188,7 @@ proptest! {
         word in proptest::collection::vec(prop_oneof![Just('a'), Just('b')], 2..6)) {
         use rtx::dedalus::{simulate_word, DedalusOptions, InputSchedule};
         let w: String = word.into_iter().collect();
-        let opts = DedalusOptions { max_ticks: 2000, async_max_delay: 1, seed: 0 };
+        let opts = DedalusOptions { max_ticks: 2000, async_max_delay: 1, seed: 0, async_faults: None };
         for m in [rtx::machine::machines::even_as(), rtx::machine::machines::contains_ab()] {
             let direct = m.run(&w, 1_000_000).unwrap().accepted();
             let sim = simulate_word(&m, &w, InputSchedule::AllAtZero, &opts).unwrap();
@@ -366,7 +366,7 @@ proptest! {
         for (i, &(a, b)) in pairs.iter().enumerate() {
             edb.insert((i as u64) % (spread + 1), fact!("e", a as i64, b as i64));
         }
-        let opts = DedalusOptions { max_ticks: 60, async_max_delay: 3, seed: run_seed };
+        let opts = DedalusOptions { max_ticks: 60, async_max_delay: 3, seed: run_seed, async_faults: None };
         let rt = DedalusRuntime::new(&p).unwrap();
         let delta = rt.run_with(&edb, &opts, StoreMode::Delta).unwrap();
         let clone = rt.run_with(&edb, &opts, StoreMode::Cloning).unwrap();
