@@ -16,7 +16,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtx_bench::set_input;
 use rtx_calm::constructions::flood::{flood_transducer, FloodMode};
-use rtx_net::{run_sharded, DeliveryPolicy, HorizontalPartition, Network, RunBudget, ShardOptions};
+use rtx_net::{
+    run_sharded, run_sparse_from, Configuration, DeliveryPolicy, HorizontalPartition, Network,
+    NodeId, RunBudget, ShardOptions,
+};
 
 /// Rounds of work per iteration: each round is one heartbeat per node
 /// plus up to one delivery per node, so the budget is `2 * ROUNDS * n`.
@@ -131,10 +134,64 @@ fn bench_delivery_batching(c: &mut Criterion) {
     group.finish();
 }
 
+/// The event-driven sparse executor at scale: one seeded fact in the
+/// corner of a long grid, so the active frontier is a BFS wave bounded
+/// by the short grid side — well under 1% of the network — while the
+/// dense round-synchronous executor would heartbeat every node every
+/// round. Quiescing this workload densely costs at least
+/// `diameter × n` node-steps (the wave needs ≥ diameter rounds, each
+/// heartbeating all n nodes), so each iteration asserts the sparse
+/// step count stays ≥10× below that bound, and that the scheduled
+/// frontier never exceeds the 1% warm-up chunk plus a few wave fronts.
+///
+/// Scales: 10⁴ and 10⁵ nodes always; the 10⁶-node row only when
+/// `RTX_BENCH_HUGE` is set (it is minutes of work on small hosts).
+/// Initial configurations come from `Configuration::initial_lean`,
+/// which skips the Θ(n²) `All`-fact population for oblivious machines.
+fn bench_sparse_frontier(c: &mut Criterion) {
+    let schema = rtx_relational::Schema::new().with("S", 1);
+    let input = set_input(1);
+    let mut group = c.benchmark_group("net-sparse");
+    group.sample_size(2);
+    let mut scales = vec![("grid-10k", 500usize, 20usize), ("grid-100k", 1000, 100)];
+    if std::env::var_os("RTX_BENCH_HUGE").is_some() {
+        scales.push(("grid-1m", 10_000, 100));
+    }
+    for (label, w, h) in scales {
+        let net = Network::grid(w, h).unwrap();
+        let n = net.len();
+        let diameter = w + h - 2;
+        let t = flood_transducer(&schema, FloodMode::Dedup, None).unwrap();
+        let p = HorizontalPartition::concentrate(&net, &input, &NodeId::sym("n0")).unwrap();
+        let budget = RunBudget::steps(usize::MAX / 2);
+        group.bench_with_input(BenchmarkId::new("sparse", label), &net, |b, net| {
+            b.iter(|| {
+                let cfg = Configuration::initial_lean(net, &t, &p).unwrap();
+                let out = run_sparse_from(net, &t, cfg, &ShardOptions::serial(), &budget).unwrap();
+                assert!(out.outcome.quiescent);
+                assert!(
+                    out.max_active <= n / 100 + 8 * h,
+                    "{label}: frontier {} too wide",
+                    out.max_active
+                );
+                assert!(
+                    out.outcome.steps * 10 <= diameter * n,
+                    "{label}: sparse took {} steps, dense lower bound is {}",
+                    out.outcome.steps,
+                    diameter * n
+                );
+                out.outcome.steps
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_parallel_vs_serial,
     bench_thread_sweep,
-    bench_delivery_batching
+    bench_delivery_batching,
+    bench_sparse_frontier
 );
 criterion_main!(benches);

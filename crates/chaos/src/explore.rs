@@ -29,9 +29,7 @@ use proptest::{shrink_failure, Strategy, TestCaseError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rtx_dedalus::{AsyncFaultPlan, DedalusOptions, DedalusProgram, DedalusRuntime, TemporalFacts};
-use rtx_net::{
-    run_sharded, HorizontalPartition, NetError, Network, NodeId, RunBudget, ShardOptions,
-};
+use rtx_net::{run_auto, HorizontalPartition, NetError, Network, NodeId, RunBudget, ShardOptions};
 use rtx_query::EvalError;
 use rtx_relational::{Instance, Relation};
 use rtx_transducer::{Classification, Transducer};
@@ -252,7 +250,7 @@ pub fn explore(
     opts: &ExplorerOptions,
 ) -> Result<ExploreReport, NetError> {
     let serial = ShardOptions::serial();
-    let reference = run_sharded(net, transducer, partition, &serial, &opts.budget)?;
+    let reference = run_auto(net, transducer, partition, &serial, &opts.budget)?;
     let expected = reference.outcome.output.clone();
     let edges = directed_edges(net);
     let strategy = FaultPlanStrategy {

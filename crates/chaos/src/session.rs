@@ -10,7 +10,7 @@
 use crate::plan::FaultPlan;
 use rtx_net::fault::{FaultHook, NodeFault, SendFate};
 use rtx_net::{
-    run_sharded_faulted, Configuration, HorizontalPartition, NetError, Network, NodeId, RunBudget,
+    run_auto_faulted, Configuration, HorizontalPartition, NetError, Network, NodeId, RunBudget,
     RunOutcome, Scheduler, ShardOptions, ShardRunOutcome,
 };
 use rtx_relational::{Fact, Relation};
@@ -47,11 +47,17 @@ impl FaultHook for FaultSession {
     }
 }
 
-/// Run the round-synchronous executor under a fault session. Serial ≡
+/// Run the round-based executor under a fault session. Serial ≡
 /// sharded bit-identity holds for any session (the hook is consulted
 /// only at the coordinator's deterministic merge points), and the run
 /// is exactly reproducible from `(net, transducer, partition, opts,
 /// budget, plan, seed)`.
+///
+/// Dispatches through `RTX_NET_EXECUTOR` ([`rtx_net::run_auto_faulted`]):
+/// pinning `sparse` drives the whole chaos stack — sessions, the
+/// explorer, minimization — through the event-driven executor, whose
+/// fault phase re-arms restarted and healed nodes so adversarial plans
+/// exercise the parking logic.
 pub fn run_round_faulted(
     net: &Network,
     transducer: &Transducer,
@@ -61,7 +67,7 @@ pub fn run_round_faulted(
     session: &FaultSession,
 ) -> Result<ShardRunOutcome, NetError> {
     let mut hook = session.clone();
-    run_sharded_faulted(net, transducer, partition, opts, budget, &mut hook)
+    run_auto_faulted(net, transducer, partition, opts, budget, &mut hook)
 }
 
 /// Run the seed's scheduler-driven executor under a fault session.

@@ -13,7 +13,7 @@ use crate::partition::HorizontalPartition;
 use crate::topology::{Network, NodeId};
 use rtx_relational::{Fact, FactMultiset, Instance, Relation};
 use rtx_transducer::Transducer;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A send interceptor for the scheduler-driven executor: decides the
@@ -135,6 +135,50 @@ impl Configuration {
         partition: &HorizontalPartition,
     ) -> Result<Self, NetError> {
         let all = net.node_set();
+        let mut states = BTreeMap::new();
+        let mut buffers = BTreeMap::new();
+        for node in net.nodes() {
+            let fragment = partition
+                .fragment(node)
+                .ok_or_else(|| NetError::Partition(format!("no fragment for node {node}")))?;
+            let state = transducer
+                .schema()
+                .initial_state(fragment, node, &all)
+                .map_err(NetError::Rel)?;
+            states.insert(node.clone(), state);
+            buffers.insert(node.clone(), Vec::new());
+        }
+        Ok(Configuration { states, buffers })
+    }
+
+    /// Like [`Configuration::initial`], but the `All` system relation is
+    /// populated *on demand*: only when some query of the transducer
+    /// actually references `All` (per [`rtx_transducer::Classification`],
+    /// the same syntactic check the obliviousness analysis uses).
+    ///
+    /// Eagerly materializing `All` at every node costs Θ(n²) facts on an
+    /// n-node network — prohibitive at the 10⁵–10⁶ node scales the
+    /// sparse executor targets — while `All`-free transducers (every
+    /// oblivious machine, including the flooding constructions) never
+    /// read it. For transducers that do reference `All` this is
+    /// identical to [`Configuration::initial`]; for the rest, the only
+    /// difference is the absent (never-consulted) `All` tuples, so run
+    /// outputs, logs, and quiescence verdicts are unaffected — only
+    /// `final_config` comparisons against eagerly-built configurations
+    /// would notice.
+    pub fn initial_lean(
+        net: &Network,
+        transducer: &Transducer,
+        partition: &HorizontalPartition,
+    ) -> Result<Self, NetError> {
+        let uses_all = rtx_transducer::Classification::of(transducer)
+            .system_usage
+            .uses_all;
+        let all = if uses_all {
+            net.node_set()
+        } else {
+            BTreeSet::new()
+        };
         let mut states = BTreeMap::new();
         let mut buffers = BTreeMap::new();
         for node in net.nodes() {
@@ -412,6 +456,123 @@ impl Configuration {
     }
 }
 
+/// Activation tracking for the event-driven sparse executor
+/// ([`crate::sparse`]): which node indices are *armed* (must be offered
+/// a heartbeat) and which have *mail* (must be offered a delivery).
+///
+/// The transitions encode the executor's re-arming rules:
+///
+/// * every node must heartbeat at least once before it may park,
+///   because an initial state can produce output or sends — the sparse
+///   executor schedules this through a rate-limited warm-up queue
+///   (or seed the tracker with [`ActivationSet::all_armed`]);
+/// * a fact enqueued to a node marks its mail and re-arms it;
+/// * a delivery re-arms the delivering node (its state may have changed,
+///   so its next heartbeat is not provably a no-op);
+/// * a *quiet* heartbeat (no state change, no sends, no new output)
+///   parks the node — unless it still has pending mail;
+/// * a crashed node that loses its buffer drops its mail mark;
+/// * a restarted or partition-healed node is re-armed.
+///
+/// Parking can never starve a node with undelivered mail: a node leaves
+/// `mail` only when its buffer drains (or is faulted away), and the
+/// executor offers every `mail` node a delivery each round regardless
+/// of `armed`. Dually, quiescence may be certified from `is_quiet`
+/// without waking the whole network: a parked node's heartbeat is a
+/// pure function of its state, which cannot change without a delivery —
+/// and any delivery would have re-armed it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ActivationSet {
+    armed: BTreeSet<usize>,
+    mail: BTreeSet<usize>,
+}
+
+impl ActivationSet {
+    /// The initial tracker for `n` nodes: all armed, no mail.
+    pub fn all_armed(n: usize) -> Self {
+        ActivationSet {
+            armed: (0..n).collect(),
+            mail: BTreeSet::new(),
+        }
+    }
+
+    /// A fact was enqueued to `node`: mark mail and re-arm.
+    pub fn note_enqueue(&mut self, node: usize) {
+        self.mail.insert(node);
+        self.armed.insert(node);
+    }
+
+    /// `node` heartbeat; `quiet` means no state change, no sends, and
+    /// no new output. A quiet node with no pending mail parks.
+    pub fn note_heartbeat(&mut self, node: usize, quiet: bool) {
+        if quiet && !self.mail.contains(&node) {
+            self.armed.remove(&node);
+        } else {
+            self.armed.insert(node);
+        }
+    }
+
+    /// `node` delivered a buffered fact; `buffer_now_empty` reports
+    /// whether its buffer drained. Deliveries always re-arm.
+    pub fn note_delivery(&mut self, node: usize, buffer_now_empty: bool) {
+        self.armed.insert(node);
+        if buffer_now_empty {
+            self.mail.remove(&node);
+        }
+    }
+
+    /// `node` restarted (or a partition around it healed): re-arm.
+    pub fn note_restart(&mut self, node: usize) {
+        self.armed.insert(node);
+    }
+
+    /// `node`'s buffer was lost to a crash: drop its mail mark.
+    pub fn note_buffer_lost(&mut self, node: usize) {
+        self.mail.remove(&node);
+    }
+
+    /// Armed node indices, ascending (the deterministic work queue).
+    pub fn armed_nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.armed.iter().copied()
+    }
+
+    /// Node indices with pending mail, ascending.
+    pub fn mail_nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.mail.iter().copied()
+    }
+
+    /// Is `node` armed?
+    pub fn is_armed(&self, node: usize) -> bool {
+        self.armed.contains(&node)
+    }
+
+    /// Does `node` have pending mail?
+    pub fn has_mail(&self, node: usize) -> bool {
+        self.mail.contains(&node)
+    }
+
+    /// Number of armed nodes.
+    pub fn armed_count(&self) -> usize {
+        self.armed.len()
+    }
+
+    /// Number of nodes with pending mail.
+    pub fn mail_count(&self) -> usize {
+        self.mail.len()
+    }
+
+    /// Size of the active frontier: nodes that are armed or have mail.
+    pub fn active_count(&self) -> usize {
+        self.armed.union(&self.mail).count()
+    }
+
+    /// No node is armed and no node has mail — together with empty
+    /// in-flight state this certifies quiescence.
+    pub fn is_quiet(&self) -> bool {
+        self.armed.is_empty() && self.mail.is_empty()
+    }
+}
+
 /// Clear the memory relations of a transducer state in place; `true`
 /// when anything was cleared. Shared by [`Configuration::wipe_memory`]
 /// and the sharded executor's restart jobs.
@@ -621,5 +782,91 @@ mod tests {
         // n1 has no input: heartbeat sends nothing, changes nothing
         let rec = cfg.apply_heartbeat(&net, &t, &n1).unwrap();
         assert!(rec.is_noop());
+    }
+
+    #[test]
+    fn initial_lean_skips_all_for_oblivious_transducers() {
+        let net = Network::line(3).unwrap();
+        let t = flooder(); // references neither Id nor All
+        let full = Instance::from_facts(Schema::new().with("S", 1), vec![fact!("S", 7)]).unwrap();
+        let p = HorizontalPartition::round_robin(&net, &full);
+        let lean = Configuration::initial_lean(&net, &t, &p).unwrap();
+        let eager = Configuration::initial(&net, &t, &p).unwrap();
+        for n in net.nodes() {
+            let st = lean.state(n).unwrap();
+            assert!(st.relation(&"All".into()).unwrap().is_empty(), "{n}");
+            // Id stays: it is O(1) per node and some fault tooling reads it
+            assert_eq!(st.relation(&"Id".into()).unwrap().len(), 1);
+            // everything except All matches the eager configuration
+            let es = eager.state(n).unwrap();
+            for rel in ["S", "T", "Id"] {
+                assert_eq!(
+                    st.relation(&rel.into()).unwrap(),
+                    es.relation(&rel.into()).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn initial_lean_populates_all_when_referenced() {
+        // a transducer whose output query reads All
+        let t = TransducerBuilder::new("all-reader")
+            .input_relation("S", 1)
+            .message_relation("M", 1)
+            .output_arity(1)
+            .output(cq(CqBuilder::head(vec![Term::var("X")])
+                .when(atom!("All"; @"X"))
+                .build()
+                .unwrap()))
+            .build()
+            .unwrap();
+        let net = Network::line(3).unwrap();
+        let full = Instance::from_facts(Schema::new().with("S", 1), Vec::new()).unwrap();
+        let p = HorizontalPartition::replicate(&net, &full);
+        let lean = Configuration::initial_lean(&net, &t, &p).unwrap();
+        let eager = Configuration::initial(&net, &t, &p).unwrap();
+        assert_eq!(lean, eager, "All-referencing transducers get the full set");
+    }
+
+    #[test]
+    fn activation_set_parks_and_rearms() {
+        let mut act = ActivationSet::all_armed(3);
+        assert_eq!(act.armed_count(), 3);
+        assert_eq!(act.mail_count(), 0);
+        assert!(!act.is_quiet());
+        // quiet heartbeats park nodes 0 and 2; node 1 was loud
+        act.note_heartbeat(0, true);
+        act.note_heartbeat(1, false);
+        act.note_heartbeat(2, true);
+        assert!(!act.is_armed(0) && act.is_armed(1) && !act.is_armed(2));
+        // an enqueue re-arms a parked node and marks mail
+        act.note_enqueue(2);
+        assert!(act.is_armed(2) && act.has_mail(2));
+        assert_eq!(act.mail_nodes().collect::<Vec<_>>(), vec![2]);
+        // a quiet heartbeat cannot park a node with pending mail
+        act.note_heartbeat(2, true);
+        assert!(act.is_armed(2), "parking must never starve pending mail");
+        // delivery drains the buffer: mail cleared, still armed
+        act.note_delivery(2, true);
+        assert!(act.is_armed(2) && !act.has_mail(2));
+        // now a quiet heartbeat parks it
+        act.note_heartbeat(2, true);
+        act.note_heartbeat(1, true);
+        assert!(act.is_quiet());
+        // restart re-arms
+        act.note_restart(1);
+        assert_eq!(act.armed_nodes().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(act.active_count(), 1);
+    }
+
+    #[test]
+    fn activation_set_buffer_loss_clears_mail() {
+        let mut act = ActivationSet::all_armed(2);
+        act.note_enqueue(1);
+        act.note_delivery(1, false); // one of two facts delivered
+        assert!(act.has_mail(1));
+        act.note_buffer_lost(1);
+        assert!(!act.has_mail(1));
     }
 }

@@ -22,6 +22,15 @@
 //!   shards ([`ExecMode::Sharded`]) or serially ([`ExecMode::Serial`]).
 //!   Results are bit-identical across thread counts and
 //!   [`ShardPlan`]s; see [`run_sharded`] for the round semantics.
+//! * [`run_sparse`] — the event-driven executor for huge, mostly-idle
+//!   networks: quiescent nodes park; only armed or mailed nodes are
+//!   scheduled, through the same worker shards. Same outputs and
+//!   quiescence verdict on confluent machines, ≥10× fewer node-steps
+//!   when the active frontier is small; see [`sparse`](crate::sparse)
+//!   module docs for the parking/re-arming model.
+//!
+//! [`run_auto`] dispatches between the last two by the
+//! `RTX_NET_EXECUTOR` environment variable ([`ExecutorKind::auto`]).
 
 #![warn(missing_docs)]
 
@@ -31,10 +40,12 @@ pub mod fault;
 mod partition;
 mod run;
 mod shard;
+pub mod sparse;
 mod topology;
 
 pub use config::{
-    Configuration, DelayedSends, SendInterceptor, TransitionKind, TransitionLog, TransitionRecord,
+    ActivationSet, Configuration, DelayedSends, SendInterceptor, TransitionKind, TransitionLog,
+    TransitionRecord,
 };
 pub use error::NetError;
 pub use fault::{FaultHook, NoFaults, NodeFault, SendFate};
@@ -46,5 +57,9 @@ pub use run::{
 pub use shard::{
     run_sharded, run_sharded_faulted, run_sharded_faulted_from, run_sharded_from, DeliveryPolicy,
     ExecMode, RoundScheduling, ShardOptions, ShardPlan, ShardRunOutcome,
+};
+pub use sparse::{
+    run_auto, run_auto_faulted, run_executor, run_executor_faulted, run_sparse, run_sparse_faulted,
+    run_sparse_faulted_from, run_sparse_from, ExecutorKind,
 };
 pub use topology::{Network, NodeId};

@@ -61,40 +61,64 @@ impl FifoRoundRobin {
         Self::default()
     }
 
-    /// Number of completed scheduling rounds.
+    /// Number of *completed* scheduling rounds: a round is counted only
+    /// once every action planned for it has been consumed — returned to
+    /// the driver or skipped because its target buffer was empty. After
+    /// the first action of a fresh round this still reports the previous
+    /// total, and a round cut short by a step budget is not counted.
     pub fn rounds(&self) -> usize {
         self.rounds
     }
 }
 
+/// Shared round-robin drain loop: pop planned actions, skipping
+/// deliveries whose buffer is empty, replanning via `plan` when the
+/// queue runs dry, and crediting `rounds` exactly when the last planned
+/// action of a round is consumed.
+fn drain_round_robin(
+    pending: &mut VecDeque<PlannedAction>,
+    rounds: &mut usize,
+    cfg: &Configuration,
+    plan: impl Fn(&mut VecDeque<PlannedAction>),
+) -> Action {
+    loop {
+        let planned = match pending.pop_front() {
+            Some(p) => p,
+            None => {
+                plan(pending);
+                continue;
+            }
+        };
+        let round_done = pending.is_empty();
+        let action = match planned {
+            PlannedAction::Heartbeat(n) => Some(Action::Heartbeat(n)),
+            PlannedAction::DeliverOldest(n) => {
+                (!cfg.buffer(&n).is_empty()).then_some(Action::Deliver(n, 0))
+            }
+            PlannedAction::DeliverNewest(n) => {
+                let len = cfg.buffer(&n).len();
+                (len > 0).then(|| Action::Deliver(n, len - 1))
+            }
+        };
+        if round_done {
+            *rounds += 1;
+        }
+        if let Some(a) = action {
+            return a;
+        }
+    }
+}
+
 impl Scheduler for FifoRoundRobin {
     fn next_action(&mut self, cfg: &Configuration, net: &Network) -> Action {
-        loop {
-            match self.pending.pop_front() {
-                Some(PlannedAction::Heartbeat(n)) => return Action::Heartbeat(n),
-                Some(PlannedAction::DeliverOldest(n)) => {
-                    if !cfg.buffer(&n).is_empty() {
-                        return Action::Deliver(n, 0);
-                    }
-                }
-                Some(PlannedAction::DeliverNewest(n)) => {
-                    let len = cfg.buffer(&n).len();
-                    if len > 0 {
-                        return Action::Deliver(n, len - 1);
-                    }
-                }
-                None => {
-                    self.rounds += 1;
-                    for n in net.nodes() {
-                        self.pending.push_back(PlannedAction::Heartbeat(n.clone()));
-                    }
-                    for n in net.nodes() {
-                        self.pending
-                            .push_back(PlannedAction::DeliverOldest(n.clone()));
-                    }
-                }
+        drain_round_robin(&mut self.pending, &mut self.rounds, cfg, |pending| {
+            for n in net.nodes() {
+                pending.push_back(PlannedAction::Heartbeat(n.clone()));
             }
-        }
+            for n in net.nodes() {
+                pending.push_back(PlannedAction::DeliverOldest(n.clone()));
+            }
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -109,6 +133,7 @@ impl Scheduler for FifoRoundRobin {
 #[derive(Debug, Default)]
 pub struct LifoRoundRobin {
     pending: VecDeque<PlannedAction>,
+    rounds: usize,
 }
 
 impl LifoRoundRobin {
@@ -116,31 +141,24 @@ impl LifoRoundRobin {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Number of *completed* scheduling rounds, with the same
+    /// consumed-not-planned semantics as [`FifoRoundRobin::rounds`].
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
 }
 
 impl Scheduler for LifoRoundRobin {
     fn next_action(&mut self, cfg: &Configuration, net: &Network) -> Action {
-        loop {
-            match self.pending.pop_front() {
-                Some(PlannedAction::Heartbeat(n)) => return Action::Heartbeat(n),
-                Some(PlannedAction::DeliverNewest(n)) => {
-                    let len = cfg.buffer(&n).len();
-                    if len > 0 {
-                        return Action::Deliver(n, len - 1);
-                    }
-                }
-                Some(PlannedAction::DeliverOldest(_)) => unreachable!("lifo plans no fifo"),
-                None => {
-                    for n in net.nodes() {
-                        self.pending.push_back(PlannedAction::Heartbeat(n.clone()));
-                    }
-                    for n in net.nodes() {
-                        self.pending
-                            .push_back(PlannedAction::DeliverNewest(n.clone()));
-                    }
-                }
+        drain_round_robin(&mut self.pending, &mut self.rounds, cfg, |pending| {
+            for n in net.nodes() {
+                pending.push_back(PlannedAction::Heartbeat(n.clone()));
             }
-        }
+            for n in net.nodes() {
+                pending.push_back(PlannedAction::DeliverNewest(n.clone()));
+            }
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -152,24 +170,50 @@ impl Scheduler for LifoRoundRobin {
 /// random buffered fact with high probability, heartbeats otherwise.
 /// Statistically fair — every buffered fact is eventually delivered with
 /// probability 1, and every node heartbeats infinitely often.
+///
+/// Fairness is enforced, not merely probable: the heartbeat probability
+/// is clamped strictly below 1 (see [`RandomScheduler::MAX_HEARTBEAT_PROB`]),
+/// and after [`RandomScheduler::MAX_HEARTBEAT_RUN`] consecutive heartbeat
+/// picks while mail is buffered the scheduler forces a delivery. At the
+/// default probability the backstop is statistically unreachable, so
+/// seeded runs are unchanged; near the boundary it bounds the time until
+/// any buffered fact is delivered.
 #[derive(Debug)]
 pub struct RandomScheduler {
     rng: StdRng,
     heartbeat_prob: f64,
+    consecutive_heartbeats: u32,
 }
 
 impl RandomScheduler {
+    /// Upper clamp for [`Self::with_heartbeat_prob`]. Exactly 1.0 would
+    /// make `next_action` heartbeat forever while mail is buffered, so
+    /// the driver would spin until `max_steps` without ever delivering —
+    /// precisely the unfair schedule the paper's runs exclude.
+    pub const MAX_HEARTBEAT_PROB: f64 = 0.999_999;
+
+    /// Deterministic fairness backstop: after this many consecutive
+    /// heartbeat picks with mail buffered, the next pick is a delivery.
+    pub const MAX_HEARTBEAT_RUN: u32 = 512;
+
     /// New random scheduler from a seed.
     pub fn seeded(seed: u64) -> Self {
         RandomScheduler {
             rng: StdRng::seed_from_u64(seed),
             heartbeat_prob: 0.25,
+            consecutive_heartbeats: 0,
         }
     }
 
     /// Adjust the heartbeat probability.
+    ///
+    /// The value is clamped to `[0.0, Self::MAX_HEARTBEAT_PROB]` —
+    /// strictly below 1, so that a delivery always has positive
+    /// probability; together with the [`Self::MAX_HEARTBEAT_RUN`]
+    /// backstop this guarantees buffers drain within a bounded number
+    /// of steps even for `with_heartbeat_prob(1.0)`.
     pub fn with_heartbeat_prob(mut self, p: f64) -> Self {
-        self.heartbeat_prob = p.clamp(0.0, 1.0);
+        self.heartbeat_prob = p.clamp(0.0, Self::MAX_HEARTBEAT_PROB);
         self
     }
 }
@@ -177,15 +221,24 @@ impl RandomScheduler {
 impl Scheduler for RandomScheduler {
     fn next_action(&mut self, cfg: &Configuration, net: &Network) -> Action {
         let nodes: Vec<&NodeId> = net.nodes().collect();
-        if self.rng.gen_bool(self.heartbeat_prob) {
+        // The forced-delivery check precedes the RNG draw so that on the
+        // non-degenerate path the draw sequence (and thus every existing
+        // seeded run) is unchanged.
+        let force_delivery = self.consecutive_heartbeats >= Self::MAX_HEARTBEAT_RUN;
+        if !force_delivery && self.rng.gen_bool(self.heartbeat_prob) {
+            self.consecutive_heartbeats += 1;
             let n = nodes[self.rng.gen_range(0..nodes.len())];
             return Action::Heartbeat(n.clone());
         }
         let with_mail: Vec<&NodeId> = cfg.nodes_with_mail().collect();
         if with_mail.is_empty() {
+            // No starvation possible without mail (the driver only
+            // consults schedulers while some buffer is nonempty).
+            self.consecutive_heartbeats = 0;
             let n = nodes[self.rng.gen_range(0..nodes.len())];
             return Action::Heartbeat(n.clone());
         }
+        self.consecutive_heartbeats = 0;
         let n = with_mail[self.rng.gen_range(0..with_mail.len())];
         let idx = self.rng.gen_range(0..cfg.buffer(n).len());
         Action::Deliver(n.clone(), idx)
@@ -625,6 +678,112 @@ mod tests {
         assert!(out.quiescent);
         assert_eq!(out.deliveries, 0);
         assert_eq!(out.output.len(), 2);
+    }
+
+    /// Regression: `rounds()` used to increment when a round was
+    /// *planned*, reporting 1 immediately after the first action of the
+    /// run. It must report a round only once all its planned actions
+    /// have been consumed (returned or skipped).
+    #[test]
+    fn fifo_rounds_count_consumed_rounds_only() {
+        let net = Network::line(3).unwrap();
+        let t = dedup_flooder();
+        let p = HorizontalPartition::round_robin(&net, &input_s(&[]));
+        let mut cfg = Configuration::initial(&net, &t, &p).unwrap();
+        // one buffered fact at n1; never applied, so the plan's skip
+        // logic sees a stable configuration
+        let n1 = rtx_relational::Value::sym("n1");
+        cfg.enqueue_fact(&n1, fact!("M", 7)).unwrap();
+        let mut sched = FifoRoundRobin::new();
+        // round plan: HB n0, n1, n2 then DeliverOldest n0 (skip), n1, n2 (skip)
+        for expected_rounds in [0usize, 0, 0] {
+            assert!(matches!(
+                sched.next_action(&cfg, &net),
+                Action::Heartbeat(_)
+            ));
+            assert_eq!(sched.rounds(), expected_rounds);
+        }
+        // the delivery at n1 consumes the skipped n0 entry but leaves n2
+        // planned: the round is not yet complete
+        assert!(matches!(
+            sched.next_action(&cfg, &net),
+            Action::Deliver(_, 0)
+        ));
+        assert_eq!(sched.rounds(), 0);
+        // the next call drains the skipped n2 entry (completing round 1)
+        // and starts round 2
+        assert!(matches!(
+            sched.next_action(&cfg, &net),
+            Action::Heartbeat(_)
+        ));
+        assert_eq!(sched.rounds(), 1);
+    }
+
+    /// Regression companion: a run interrupted by its step budget in the
+    /// middle of a round must not count the partial round.
+    #[test]
+    fn fifo_rounds_not_counted_on_interrupted_budget() {
+        let net = Network::line(3).unwrap();
+        let t = dedup_flooder();
+        let p = HorizontalPartition::round_robin(&net, &input_s(&[]));
+        let mut cfg = Configuration::initial(&net, &t, &p).unwrap();
+        let n1 = rtx_relational::Value::sym("n1");
+        cfg.enqueue_fact(&n1, fact!("M", 7)).unwrap();
+        let mut sched = FifoRoundRobin::new();
+        let out = run_from(&net, &t, cfg, &mut sched, &RunBudget::steps(2)).unwrap();
+        assert_eq!(out.steps, 2);
+        assert_eq!(sched.rounds(), 0, "partial rounds must not be counted");
+    }
+
+    #[test]
+    fn lifo_rounds_counter_matches_fifo_semantics() {
+        let net = Network::line(2).unwrap();
+        let t = dedup_flooder();
+        let p = HorizontalPartition::round_robin(&net, &input_s(&[]));
+        let mut cfg = Configuration::initial(&net, &t, &p).unwrap();
+        let n0 = rtx_relational::Value::sym("n0");
+        cfg.enqueue_fact(&n0, fact!("M", 1)).unwrap();
+        let mut sched = LifoRoundRobin::new();
+        // plan: HB n0, HB n1, DeliverNewest n0, DeliverNewest n1 (skip)
+        sched.next_action(&cfg, &net);
+        sched.next_action(&cfg, &net);
+        assert_eq!(sched.rounds(), 0);
+        // delivering at n0 leaves n1 planned; the skip on the *next* call
+        // completes the round
+        assert!(matches!(
+            sched.next_action(&cfg, &net),
+            Action::Deliver(_, _)
+        ));
+        assert_eq!(sched.rounds(), 0);
+        sched.next_action(&cfg, &net);
+        assert_eq!(sched.rounds(), 1);
+    }
+
+    /// Regression: `with_heartbeat_prob(1.0)` used to heartbeat forever
+    /// while mail was buffered, spinning until `max_steps`. The clamp +
+    /// forced-delivery backstop must drain the dedup flooder within a
+    /// modest budget.
+    #[test]
+    fn heartbeat_prob_one_still_drains() {
+        let net = Network::line(4).unwrap();
+        let t = dedup_flooder();
+        let p = HorizontalPartition::round_robin(&net, &input_s(&[1, 2, 3]));
+        let mut sched = RandomScheduler::seeded(9).with_heartbeat_prob(1.0);
+        let out = run(&net, &t, &p, &mut sched, &RunBudget::steps(50_000)).unwrap();
+        assert!(out.quiescent, "p=1.0 must still drain: {} steps", out.steps);
+        assert_eq!(out.output.len(), 3);
+        assert!(out.deliveries > 0);
+    }
+
+    #[test]
+    fn heartbeat_prob_near_one_still_drains() {
+        let net = Network::line(4).unwrap();
+        let t = dedup_flooder();
+        let p = HorizontalPartition::round_robin(&net, &input_s(&[1, 2, 3]));
+        let mut sched = RandomScheduler::seeded(11).with_heartbeat_prob(0.999);
+        let out = run(&net, &t, &p, &mut sched, &RunBudget::steps(200_000)).unwrap();
+        assert!(out.quiescent, "p=0.999 must drain: {} steps", out.steps);
+        assert_eq!(out.output.len(), 3);
     }
 
     #[test]

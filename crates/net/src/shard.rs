@@ -148,7 +148,7 @@ pub enum RoundScheduling {
 impl RoundScheduling {
     /// The buffer index to deliver at `node_idx` in `round` from a
     /// buffer of length `len` (which must be nonzero).
-    fn pick(&self, round: usize, node_idx: usize, len: usize) -> usize {
+    pub(crate) fn pick(&self, round: usize, node_idx: usize, len: usize) -> usize {
         match self {
             RoundScheduling::Fifo => 0,
             RoundScheduling::Random { seed } => {
@@ -281,20 +281,26 @@ pub struct ShardRunOutcome {
     pub rounds: usize,
     /// Worker threads actually used (1 for [`ExecMode::Serial`]).
     pub threads_used: usize,
+    /// High-water mark of a single phase's job count — the active
+    /// frontier. The dense round-synchronous executor heartbeats every
+    /// up node each round, so here this is typically the node count;
+    /// the sparse executor's ([`crate::sparse`]) whole point is keeping
+    /// it small.
+    pub max_active: usize,
     /// The transition log, when [`ShardOptions::record_log`] was set.
     pub log: Option<TransitionLog>,
 }
 
 /// One computed local transition, before the barrier merge.
-struct StepOut {
-    output: Relation,
-    sent: Vec<Fact>,
-    state_changed: bool,
+pub(crate) struct StepOut {
+    pub(crate) output: Relation,
+    pub(crate) sent: Vec<Fact>,
+    pub(crate) state_changed: bool,
 }
 
 /// What a phase job does at its node.
 #[derive(Clone, Debug)]
-enum JobKind {
+pub(crate) enum JobKind {
     /// A heartbeat transition.
     Heartbeat,
     /// A delivery transition of the given fact.
@@ -307,13 +313,15 @@ enum JobKind {
 }
 
 /// A phase job: the target node index plus what to do there.
-type Job = (usize, JobKind);
+pub(crate) type Job = (usize, JobKind);
 
 /// Phase execution backends. Both compute, for each job `(idx, rcv)`,
 /// the local transition of node `idx` and update that node's state;
 /// the coordinator merges the results identically for both, which is
-/// what makes sharded ≡ serial hold by construction.
-enum Engine<'scope> {
+/// what makes sharded ≡ serial hold by construction. Shared with the
+/// event-driven executor in [`crate::sparse`], whose coordinator feeds
+/// the same engines much smaller phases.
+pub(crate) enum Engine<'scope> {
     Serial {
         states: Vec<Instance>,
         transducer: &'scope Transducer,
@@ -321,7 +329,7 @@ enum Engine<'scope> {
     Sharded(ShardedEngine<'scope>),
 }
 
-struct ShardedEngine<'scope> {
+pub(crate) struct ShardedEngine<'scope> {
     /// Shard owning each node index.
     owner: Vec<usize>,
     /// Per-worker job senders.
@@ -341,7 +349,7 @@ enum WorkerReply {
 
 impl Engine<'_> {
     /// Execute one phase. Returns the step results keyed by node index.
-    fn execute(&mut self, jobs: Vec<Job>) -> Result<BTreeMap<usize, StepOut>, NetError> {
+    pub(crate) fn execute(&mut self, jobs: Vec<Job>) -> Result<BTreeMap<usize, StepOut>, NetError> {
         match self {
             Engine::Serial { states, transducer } => {
                 let mut out = BTreeMap::new();
@@ -389,7 +397,7 @@ impl Engine<'_> {
     }
 
     /// Tear down the engine and return the final states, in node order.
-    fn finish(self, n_nodes: usize) -> Result<Vec<Instance>, NetError> {
+    pub(crate) fn finish(self, n_nodes: usize) -> Result<Vec<Instance>, NetError> {
         match self {
             Engine::Serial { states, .. } => Ok(states),
             Engine::Sharded(sh) => {
@@ -414,12 +422,12 @@ impl Engine<'_> {
     }
 }
 
-fn worker_gone() -> NetError {
+pub(crate) fn worker_gone() -> NetError {
     NetError::Topology("sharded runtime: a worker shard terminated unexpectedly".into())
 }
 
 /// Perform one job on `state` in place, returning the observable parts.
-fn step_node(
+pub(crate) fn step_node(
     transducer: &Transducer,
     state: &mut Instance,
     kind: JobKind,
@@ -508,14 +516,16 @@ pub fn run_sharded_faulted_from(
     run_sharded_inner(net, transducer, cfg, opts, budget, Some(faults))
 }
 
-fn run_sharded_inner(
-    net: &Network,
-    transducer: &Transducer,
-    cfg: Configuration,
-    opts: &ShardOptions,
-    budget: &RunBudget,
-    faults: Option<&mut dyn FaultHook>,
-) -> Result<ShardRunOutcome, NetError> {
+/// A configuration decomposed into indexed parallel arrays: node ids,
+/// states, buffers, and adjacency (neighbor indices).
+pub(crate) type Decomposed = (Vec<NodeId>, Vec<Instance>, Vec<Vec<Fact>>, Vec<Vec<usize>>);
+
+/// Validate `cfg` against `net` and decompose it into the indexed shape
+/// the round executors work on. The adjacency lists are in node-index
+/// order; BTreeSet neighbor order coincides with ascending node order,
+/// matching the serial drivers' enqueue order. Shared by the
+/// round-synchronous and the sparse executor.
+pub(crate) fn decompose(net: &Network, cfg: Configuration) -> Result<Decomposed, NetError> {
     let parts = cfg.into_parts();
     if parts.len() != net.len() || !parts.iter().all(|(n, _, _)| net.contains(n)) {
         return Err(NetError::Topology(
@@ -530,41 +540,64 @@ fn run_sharded_inner(
         buffers.push(buf);
     }
     let index: BTreeMap<&NodeId, usize> = nodes.iter().enumerate().map(|(i, n)| (n, i)).collect();
-    // Adjacency in node-index order; BTreeSet neighbor order coincides
-    // with ascending node order, matching the serial drivers' enqueue
-    // order.
     let adj: Vec<Vec<usize>> = nodes
         .iter()
         .map(|n| net.neighbors(n).map(|m| index[m]).collect())
         .collect();
+    Ok((nodes, states, buffers, adj))
+}
 
+/// Spawn the worker shards for a sharded run inside `scope` and return
+/// the engine facade. Callers with `threads <= 1` should construct
+/// [`Engine::Serial`] directly instead.
+pub(crate) fn spawn_sharded_engine<'scope, 'env>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    transducer: &'env Transducer,
+    nodes: &[NodeId],
+    states: Vec<Instance>,
+    plan: ShardPlan,
+    threads: usize,
+) -> Engine<'scope> {
+    let owner: Vec<usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| plan.assign(i, n, nodes.len(), threads))
+        .collect();
+    let mut shard_states: Vec<Vec<(usize, Instance)>> = vec![Vec::new(); threads];
+    for (i, st) in states.into_iter().enumerate() {
+        shard_states[owner[i]].push((i, st));
+    }
+    let (reply_tx, from_workers) = mpsc::channel();
+    let mut to_workers = Vec::with_capacity(threads);
+    let mut handles = Vec::with_capacity(threads);
+    for shard in shard_states {
+        let (job_tx, job_rx) = mpsc::channel::<Vec<Job>>();
+        to_workers.push(job_tx);
+        let reply_tx = reply_tx.clone();
+        handles.push(scope.spawn(move || worker_loop(transducer, shard, job_rx, reply_tx)));
+    }
+    Engine::Sharded(ShardedEngine {
+        owner,
+        to_workers,
+        from_workers,
+        handles,
+    })
+}
+
+fn run_sharded_inner(
+    net: &Network,
+    transducer: &Transducer,
+    cfg: Configuration,
+    opts: &ShardOptions,
+    budget: &RunBudget,
+    faults: Option<&mut dyn FaultHook>,
+) -> Result<ShardRunOutcome, NetError> {
+    let (nodes, states, buffers, adj) = decompose(net, cfg)?;
     let threads = opts.mode.threads().min(nodes.len()).max(1);
     match opts.mode {
         ExecMode::Sharded { .. } if threads > 1 => std::thread::scope(|scope| {
-            let owner: Vec<usize> = nodes
-                .iter()
-                .enumerate()
-                .map(|(i, n)| opts.plan.assign(i, n, nodes.len(), threads))
-                .collect();
-            let mut shard_states: Vec<Vec<(usize, Instance)>> = vec![Vec::new(); threads];
-            for (i, st) in states.into_iter().enumerate() {
-                shard_states[owner[i]].push((i, st));
-            }
-            let (reply_tx, from_workers) = mpsc::channel();
-            let mut to_workers = Vec::with_capacity(threads);
-            let mut handles = Vec::with_capacity(threads);
-            for shard in shard_states {
-                let (job_tx, job_rx) = mpsc::channel::<Vec<Job>>();
-                to_workers.push(job_tx);
-                let reply_tx = reply_tx.clone();
-                handles.push(scope.spawn(move || worker_loop(transducer, shard, job_rx, reply_tx)));
-            }
-            let engine = Engine::Sharded(ShardedEngine {
-                owner,
-                to_workers,
-                from_workers,
-                handles,
-            });
+            let engine =
+                spawn_sharded_engine(scope, transducer, &nodes, states, opts.plan, threads);
             drive(
                 net, transducer, &nodes, &adj, buffers, engine, threads, opts, budget, faults,
             )
@@ -652,6 +685,7 @@ fn drive(
     let mut deliveries = 0usize;
     let mut messages_enqueued = 0usize;
     let mut rounds = 0usize;
+    let mut max_active = 0usize;
     let mut quiescent = false;
     let mut reached_target = false;
     let mut log = opts.record_log.then(TransitionLog::new);
@@ -789,6 +823,7 @@ fn drive(
             .map(|i| (i, JobKind::Heartbeat))
             .collect();
         let hb_count = hb_jobs.len();
+        max_active = max_active.max(hb_count);
         let mut results = engine.execute(hb_jobs.clone())?;
         let all_quiet = merge(
             now,
@@ -847,6 +882,7 @@ fn drive(
                 break;
             }
             let dl_count = dl_jobs.len();
+            max_active = max_active.max(dl_count);
             let mut results = engine.execute(dl_jobs.clone())?;
             merge(
                 now,
@@ -916,6 +952,7 @@ fn drive(
         },
         rounds,
         threads_used,
+        max_active,
         log,
     })
 }

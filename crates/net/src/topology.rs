@@ -56,6 +56,36 @@ impl Network {
         Ok(net)
     }
 
+    /// Build from edges known to form a connected graph by
+    /// construction (the shape generators below): same adjacency
+    /// structure as [`Network::from_edges`] but without the O(N+E) BFS
+    /// connectivity pass and its per-node clones, which keeps
+    /// generation cheap at 10⁵–10⁶ nodes. Connectivity and
+    /// self-loop-freedom are still asserted in debug builds.
+    fn from_edges_unchecked(
+        nodes: impl IntoIterator<Item = NodeId>,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Self {
+        let mut adj: BTreeMap<NodeId, BTreeSet<NodeId>> =
+            nodes.into_iter().map(|n| (n, BTreeSet::new())).collect();
+        debug_assert!(!adj.is_empty());
+        for (a, b) in edges {
+            debug_assert_ne!(a, b, "generator produced a self-loop");
+            adj.get_mut(&a)
+                .expect("generator names a known node")
+                .insert(b.clone());
+            adj.get_mut(&b)
+                .expect("generator names a known node")
+                .insert(a);
+        }
+        let net = Network { adj };
+        debug_assert!(
+            net.is_connected(),
+            "generator produced a disconnected graph"
+        );
+        net
+    }
+
     fn node_name(i: usize) -> NodeId {
         Value::sym(format!("n{i}"))
     }
@@ -68,9 +98,14 @@ impl Network {
 
     /// A line `n0 – n1 – … – n{k-1}`.
     pub fn line(k: usize) -> Result<Self, NetError> {
+        if k == 0 {
+            return Err(NetError::Topology(
+                "a network needs at least one node".into(),
+            ));
+        }
         let nodes: Vec<NodeId> = (0..k).map(Self::node_name).collect();
         let edges = (1..k).map(|i| (Self::node_name(i - 1), Self::node_name(i)));
-        Network::from_edges(nodes, edges)
+        Ok(Network::from_edges_unchecked(nodes, edges))
     }
 
     /// A ring `n0 – n1 – … – n{k-1} – n0` (k ≥ 3).
@@ -80,7 +115,7 @@ impl Network {
         }
         let nodes: Vec<NodeId> = (0..k).map(Self::node_name).collect();
         let edges = (0..k).map(|i| (Self::node_name(i), Self::node_name((i + 1) % k)));
-        Network::from_edges(nodes, edges)
+        Ok(Network::from_edges_unchecked(nodes, edges))
     }
 
     /// The 4-ring `1–2–3–4–1` with an added chord `2–4` — the network
@@ -103,7 +138,7 @@ impl Network {
         }
         let nodes: Vec<NodeId> = (0..k).map(Self::node_name).collect();
         let edges = (1..k).map(|i| (Self::node_name(0), Self::node_name(i)));
-        Network::from_edges(nodes, edges)
+        Ok(Network::from_edges_unchecked(nodes, edges))
     }
 
     /// The complete graph on `k` nodes.
@@ -141,7 +176,7 @@ impl Network {
                 }
             }
         }
-        Network::from_edges(nodes, edges)
+        Ok(Network::from_edges_unchecked(nodes, edges))
     }
 
     /// [`Network::random_connected`] from a bare seed — the convenient
@@ -186,6 +221,43 @@ impl Network {
             }
         }
         Network::from_edges(nodes, edges)
+    }
+
+    /// A random connected graph with O(N + E) generation cost: a
+    /// random spanning tree plus exactly `extra_edges` uniformly random
+    /// chords (self-loops skipped, duplicate chords collapse in the
+    /// adjacency sets). Unlike [`Network::random_connected`], whose
+    /// per-pair extra-edge draws are Θ(k²), this stays cheap at
+    /// 10⁵–10⁶ nodes — it is the generator the sparse-executor scale
+    /// benches use.
+    pub fn random_sparse_seeded(k: usize, extra_edges: usize, seed: u64) -> Result<Self, NetError> {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        if k == 0 {
+            return Err(NetError::Topology(
+                "a network needs at least one node".into(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nodes: Vec<NodeId> = (0..k).map(Self::node_name).collect();
+        let mut order: Vec<usize> = (0..k).collect();
+        order.shuffle(&mut rng);
+        let mut edges = Vec::with_capacity(k - 1 + extra_edges);
+        // random spanning tree: attach each node to a random earlier one
+        for i in 1..k {
+            let parent = order[rng.gen_range(0..i)];
+            edges.push((Self::node_name(order[i]), Self::node_name(parent)));
+        }
+        if k > 1 {
+            for _ in 0..extra_edges {
+                let a = rng.gen_range(0..k);
+                let b = rng.gen_range(0..k);
+                if a != b {
+                    edges.push((Self::node_name(a), Self::node_name(b)));
+                }
+            }
+        }
+        Ok(Network::from_edges_unchecked(nodes, edges))
     }
 
     /// The nodes, in deterministic order.
