@@ -23,7 +23,7 @@ fn steps_to_first_output(
     let mut sched = FifoRoundRobin::new();
     for step in 0..200_000usize {
         let rec = if cfg.all_buffers_empty() {
-            let n = net.nodes().next().unwrap().clone();
+            let n = *net.nodes().next().unwrap();
             cfg.apply_heartbeat(net, t, &n).unwrap()
         } else {
             match sched.next_action(&cfg, net) {

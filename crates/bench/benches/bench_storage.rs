@@ -1,0 +1,120 @@
+//! Storage-engine microbenchmarks: the columnar sorted-run engine
+//! against the `RTX_STORAGE=btree` oracle on the operations the
+//! relational kernel actually spends time in — bulk construction,
+//! tail inserts with adoption, delta application (run merge), and
+//! membership probes. Both engines are pinned explicitly with
+//! `empty_in`/`from_tuples_in`, so one run records the ablation
+//! whatever the ambient `RTX_STORAGE` is.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtx_relational::{Relation, StorageMode, Tuple, Value};
+
+/// `n` two-column tuples in a shuffled-but-deterministic order, so
+/// bulk construction pays a real sort and tail inserts land mid-run.
+fn scattered(n: usize) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| {
+            let a = (i * 7919) % n;
+            vec![Value::Int(a as i64), Value::Int(i as i64)].into()
+        })
+        .collect()
+}
+
+fn modes() -> [(&'static str, StorageMode); 2] {
+    [
+        ("columnar", StorageMode::Columnar),
+        ("btree", StorageMode::Btree),
+    ]
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage-columnar");
+    group.sample_size(10);
+    for n in [1024usize, 8192] {
+        let tuples = scattered(n);
+        for (label, mode) in modes() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("from-tuples-{label}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        Relation::from_tuples_in(mode, 2, tuples.clone())
+                            .unwrap()
+                            .len()
+                    })
+                },
+            );
+        }
+
+        // Tail inserts over a sorted base: the columnar engine absorbs
+        // them into its mutable tail, then re-adopts on read.
+        let fresh: Vec<Tuple> = (0..n / 8)
+            .map(|i| vec![Value::Int(-(i as i64) - 1), Value::Int(i as i64)].into())
+            .collect();
+        for (label, mode) in modes() {
+            let base = Relation::from_tuples_in(mode, 2, tuples.clone()).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("insert-tail-{label}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut r = base.clone();
+                        for t in &fresh {
+                            r.insert(t.clone()).unwrap();
+                        }
+                        // Force the merged view the way a reader would.
+                        assert!(r.iter().count() == n + fresh.len());
+                        r.len()
+                    })
+                },
+            );
+        }
+
+        // Delta application: adds and removes in one batch — the
+        // columnar run-merge path against B-tree set edits.
+        for (label, mode) in modes() {
+            let base = Relation::from_tuples_in(mode, 2, tuples.clone()).unwrap();
+            let mut target = base.clone();
+            for t in &fresh {
+                target.insert(t.clone()).unwrap();
+            }
+            for t in tuples.iter().step_by(16) {
+                target.remove(t);
+            }
+            let delta = target.diff(&base).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("delta-apply-{label}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut r = base.clone();
+                        r.apply_delta(&delta).unwrap();
+                        assert!(r.iter().count() == target.len());
+                        r.len()
+                    })
+                },
+            );
+        }
+
+        // Point membership over the whole key range: galloping into
+        // sorted runs vs B-tree descent.
+        for (label, mode) in modes() {
+            let rel = Relation::from_tuples_in(mode, 2, tuples.clone()).unwrap();
+            group.bench_with_input(BenchmarkId::new(format!("probe-{label}"), n), &n, |b, _| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for t in tuples.iter().step_by(3) {
+                        if rel.contains(t) {
+                            hits += 1;
+                        }
+                    }
+                    hits
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

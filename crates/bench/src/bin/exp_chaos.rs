@@ -105,10 +105,24 @@ fn main() {
         let min = match &check.report.divergence {
             None => "—".to_string(),
             Some(d) => {
+                let loc = match &d.localization {
+                    None => "no witness in the logged replay".to_string(),
+                    Some(l) => format!(
+                        "node {} {} {:?} (first divergent round {})",
+                        l.node,
+                        if l.extra {
+                            "emits extra"
+                        } else {
+                            "never outputs"
+                        },
+                        l.fact,
+                        l.round
+                    ),
+                };
                 divergences.push((
                     label.to_string(),
                     format!(
-                        "plan: {}   seed: {:#x}\n  expected {:?}\n  observed {:?}",
+                        "plan: {}   seed: {:#x}\n  expected {:?}\n  observed {:?}\n  localized: {loc}",
                         d.plan, d.seed, d.expected, d.observed
                     ),
                 ));

@@ -31,7 +31,7 @@ use rand::SeedableRng;
 use rtx_dedalus::{AsyncFaultPlan, DedalusOptions, DedalusProgram, DedalusRuntime, TemporalFacts};
 use rtx_net::{run_auto, HorizontalPartition, NetError, Network, NodeId, RunBudget, ShardOptions};
 use rtx_query::EvalError;
-use rtx_relational::{Instance, Relation};
+use rtx_relational::{Instance, Relation, Tuple};
 use rtx_transducer::{Classification, Transducer};
 use std::collections::BTreeMap;
 
@@ -114,6 +114,33 @@ impl ExplorerOptions {
     }
 }
 
+/// Where a divergence first becomes visible: the earliest point in the
+/// minimized faulted replay at which its outputs are known to depart
+/// from the fault-free reference.
+///
+/// Computed by replaying the minimized `(plan, seed)` once with the
+/// transition log enabled and walking the log in application order.
+/// An **extra** fact is pinned to the exact transition that emitted it;
+/// a **missing** fact has no emitting transition to point at, so it is
+/// pinned to the round the replay ended in — the run completed (or
+/// exhausted its budget) without ever deriving the fact.
+#[derive(Clone, Debug)]
+pub struct Localization {
+    /// The node that witnesses the divergence: the emitter of an extra
+    /// fact, or the node a missing fact was expected at (in global
+    /// mode, the first node that outputs it in the reference run).
+    pub node: NodeId,
+    /// The witness output tuple.
+    pub fact: Tuple,
+    /// `true` when the faulted run emitted a fact the reference never
+    /// outputs; `false` when an expected fact never appeared.
+    pub extra: bool,
+    /// The first divergent round (1-based): the emitting transition's
+    /// round for an extra fact, the replay's final round for a missing
+    /// one.
+    pub round: u64,
+}
+
 /// A minimized pair of diverging schedules: the fault-free reference
 /// run against the smallest-found faulted run with a different output.
 #[derive(Clone, Debug)]
@@ -135,6 +162,11 @@ pub struct Divergence {
     /// and `observed` (the global unions) may coincide — the difference
     /// is at individual nodes (see [`ExplorerOptions::per_node`]).
     pub per_node: bool,
+    /// Which node, which fact, and which round the divergence first
+    /// surfaces at in the minimized replay. `None` only if the logged
+    /// replay found no witness (e.g. the early-exit target stopped the
+    /// replay at exact agreement).
+    pub localization: Option<Localization>,
 }
 
 /// The explorer's verdict for one `(network, transducer, partition)`.
@@ -336,6 +368,7 @@ pub fn explore(
                 i,
                 &confirm_budget,
                 &expected,
+                &reference.outcome.outputs_per_node,
                 &diverges,
                 opts,
             )?;
@@ -360,7 +393,8 @@ pub fn explore(
 }
 
 /// Minimize a diverging plan with the compat-proptest shrinker, then
-/// replay the minimum to capture its output.
+/// replay the minimum with the transition log enabled to capture its
+/// output and localize the divergence.
 #[allow(clippy::too_many_arguments)]
 fn minimize(
     net: &Network,
@@ -372,6 +406,7 @@ fn minimize(
     found_at_run: usize,
     budget: &RunBudget,
     expected: &Relation,
+    expected_per_node: &BTreeMap<NodeId, Relation>,
     diverges: &dyn Fn(&rtx_net::ShardRunOutcome) -> bool,
     opts: &ExplorerOptions,
 ) -> Result<Divergence, NetError> {
@@ -392,7 +427,9 @@ fn minimize(
         (plan, TestCaseError::fail("diverges"), 0)
     };
     let session = FaultSession::new(min_plan.clone(), seed);
-    let out = run_round_faulted(net, transducer, partition, &serial, budget, &session)?;
+    let logged = ShardOptions::serial().with_log();
+    let out = run_round_faulted(net, transducer, partition, &logged, budget, &session)?;
+    let localization = localize(&out, expected, expected_per_node, opts.per_node);
     Ok(Divergence {
         plan: min_plan,
         seed,
@@ -401,7 +438,79 @@ fn minimize(
         expected: expected.clone(),
         observed: out.outcome.output,
         per_node: opts.per_node,
+        localization,
     })
+}
+
+/// Walk a logged faulted replay and pin down the first point where it
+/// departs from the reference outputs (see [`Localization`]).
+///
+/// Extra facts win over missing ones: the log is scanned in application
+/// order, so the first transition emitting a fact the reference never
+/// outputs (at that node in per-node mode, anywhere in global mode) is
+/// the earliest observable divergence. Only when the faulted outputs
+/// are a strict subset of the reference's does the missing-fact case
+/// apply, and then no single round "causes" the loss — the whole
+/// remaining run fails to derive the fact — so the replay's final round
+/// is reported.
+fn localize(
+    out: &rtx_net::ShardRunOutcome,
+    expected: &Relation,
+    expected_per_node: &BTreeMap<NodeId, Relation>,
+    per_node: bool,
+) -> Option<Localization> {
+    let log = out.log.as_ref()?;
+    for rec in log.iter() {
+        let allowed = if per_node {
+            expected_per_node.get(&rec.node)
+        } else {
+            Some(expected)
+        };
+        for t in rec.output.iter() {
+            if !allowed.is_some_and(|r| r.contains(t)) {
+                return Some(Localization {
+                    node: rec.node,
+                    fact: t.clone(),
+                    extra: true,
+                    round: rec.round,
+                });
+            }
+        }
+    }
+    let last_round = out.rounds as u64;
+    if per_node {
+        for (node, exp) in expected_per_node {
+            let got = out.outcome.outputs_per_node.get(node);
+            for t in exp.iter() {
+                if !got.is_some_and(|r| r.contains(t)) {
+                    return Some(Localization {
+                        node: *node,
+                        fact: t.clone(),
+                        extra: false,
+                        round: last_round,
+                    });
+                }
+            }
+        }
+    } else {
+        for t in expected.iter() {
+            if !out.outcome.output.contains(t) {
+                // Pin the loss on the node that derives the fact in the
+                // fault-free run (ties broken by node order).
+                let node = expected_per_node
+                    .iter()
+                    .find(|(_, r)| r.contains(t))
+                    .map(|(n, _)| *n)?;
+                return Some(Localization {
+                    node,
+                    fact: t.clone(),
+                    extra: false,
+                    round: last_round,
+                });
+            }
+        }
+    }
+    None
 }
 
 /// The classifier's verdict cross-validated against the explorer.

@@ -101,10 +101,8 @@ pub fn run_scheduled_faulted(
     let nodes: Vec<NodeId> = net.nodes().cloned().collect();
     let index: BTreeMap<&NodeId, usize> = nodes.iter().enumerate().map(|(i, n)| (n, i)).collect();
     let arity = transducer.schema().output_arity();
-    let mut outputs_per_node: BTreeMap<NodeId, Relation> = nodes
-        .iter()
-        .map(|n| (n.clone(), Relation::empty(arity)))
-        .collect();
+    let mut outputs_per_node: BTreeMap<NodeId, Relation> =
+        nodes.iter().map(|n| (*n, Relation::empty(arity))).collect();
     let mut output = Relation::empty(arity);
     let mut steps = 0usize;
     let mut heartbeats = 0usize;
@@ -212,13 +210,13 @@ pub fn run_scheduled_faulted(
         // heartbeat round-robin style instead of consulting the
         // scheduler with no mail anywhere.
         let action = if cfg.all_buffers_empty() {
-            rtx_net::Action::Heartbeat(nodes[steps % nodes.len()].clone())
+            rtx_net::Action::Heartbeat(nodes[steps % nodes.len()])
         } else {
             scheduler.next_action(&cfg, net)
         };
         let (node, delivery_index) = match &action {
-            rtx_net::Action::Heartbeat(n) => (n.clone(), None),
-            rtx_net::Action::Deliver(n, idx) => (n.clone(), Some(*idx)),
+            rtx_net::Action::Heartbeat(n) => (*n, None),
+            rtx_net::Action::Deliver(n, idx) => (*n, Some(*idx)),
         };
         let src = index[&node];
         if down[src] {

@@ -241,6 +241,24 @@ fn explorer_finds_and_shrinks_divergence_for_first_element() {
         replay.outcome.output, div.observed,
         "the minimized divergence must replay exactly"
     );
+    // The divergence is localized: the witness fact really separates
+    // the two outputs, and it is pinned to a concrete replay round.
+    let loc = div
+        .localization
+        .as_ref()
+        .expect("a replayable divergence must localize");
+    if loc.extra {
+        assert!(
+            !div.expected.contains(&loc.fact),
+            "an extra witness must be absent from the reference"
+        );
+    } else {
+        assert!(
+            div.expected.contains(&loc.fact) && !div.observed.contains(&loc.fact),
+            "a missing witness must separate expected from observed"
+        );
+    }
+    assert!(loc.round >= 1, "rounds are 1-based in the round executors");
     // And the classifier knows this program is not monotone, so the
     // divergence does not refute CALM.
     let check = cross_validate(&net, &t, &p, &opts.with_runs(40)).unwrap();
@@ -385,6 +403,22 @@ fn crash_faulty_adversary_breaks_send_once_dissemination_per_node() {
         "the minimized plan must pin the loss on a wiping crash: {}",
         div.plan
     );
+    // The localization names the starved node and the fact it never
+    // outputs: a wipe only loses state, so no node can emit anything
+    // the fault-free run would not.
+    let loc = div
+        .localization
+        .as_ref()
+        .expect("a per-node divergence must localize");
+    assert!(
+        !loc.extra,
+        "soft-state loss starves, it cannot invent facts: {loc:?}"
+    );
+    assert!(
+        div.expected.contains(&loc.fact),
+        "the starved fact exists in the global reference (the union hides the loss)"
+    );
+    assert!(loc.round >= 1);
     // The same program under the same adversary is *globally*
     // consistent: the union never notices the starved node.
     let global = explore(

@@ -312,8 +312,8 @@ pub fn is_total_order_over(
             if a == bv {
                 continue;
             }
-            let ab = order.contains(&rtx_relational::Tuple::new(vec![a.clone(), bv.clone()]));
-            let ba = order.contains(&rtx_relational::Tuple::new(vec![bv.clone(), a.clone()]));
+            let ab = order.contains(&rtx_relational::Tuple::new(vec![*a, *bv]));
+            let ba = order.contains(&rtx_relational::Tuple::new(vec![*bv, *a]));
             if ab == ba {
                 return false;
             }
@@ -323,9 +323,9 @@ pub fn is_total_order_over(
     for a in expected {
         for bv in expected {
             for c in expected {
-                let ab = order.contains(&rtx_relational::Tuple::new(vec![a.clone(), bv.clone()]));
-                let bc = order.contains(&rtx_relational::Tuple::new(vec![bv.clone(), c.clone()]));
-                let ac = order.contains(&rtx_relational::Tuple::new(vec![a.clone(), c.clone()]));
+                let ab = order.contains(&rtx_relational::Tuple::new(vec![*a, *bv]));
+                let bc = order.contains(&rtx_relational::Tuple::new(vec![*bv, *c]));
+                let ac = order.contains(&rtx_relational::Tuple::new(vec![*a, *c]));
                 if ab && bc && !ac {
                     return false;
                 }

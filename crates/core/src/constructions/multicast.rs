@@ -319,7 +319,7 @@ mod tests {
             // the store holds all 3 facts (origin-tagged)
             let stored = st.relation(&seen_cast_rel(&"S".into())).unwrap();
             let data: std::collections::BTreeSet<_> =
-                stored.iter().map(|t| t.get(1).unwrap().clone()).collect();
+                stored.iter().map(|t| *t.get(1).unwrap()).collect();
             assert_eq!(data.len(), 3, "node {n} is missing input facts");
         }
     }
@@ -342,7 +342,7 @@ mod tests {
                 if st.relation(&ready_rel()).unwrap().as_bool() {
                     let stored = st.relation(&seen_cast_rel(&"S".into())).unwrap();
                     let data: std::collections::BTreeSet<_> =
-                        stored.iter().map(|t| t.get(1).unwrap().clone()).collect();
+                        stored.iter().map(|t| *t.get(1).unwrap()).collect();
                     assert_eq!(
                         data.len(),
                         3,

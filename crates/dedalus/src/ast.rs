@@ -134,7 +134,7 @@ impl DRule {
             bound.extend(a.vars());
         }
         if let Some(tv) = &self.time_var {
-            bound.insert(tv.clone());
+            bound.insert(*tv);
         }
         let mut need: Vec<Var> = self.head.vars();
         for a in &self.body_neg {
@@ -143,7 +143,7 @@ impl DRule {
         for (a, b) in &self.diseq {
             for t in [a, b] {
                 if let Term::Var(v) = t {
-                    need.push(v.clone());
+                    need.push(*v);
                 }
             }
         }

@@ -495,7 +495,7 @@ mod tests {
         assert!(trace.holds("Accepted"));
         let ext = trace.last().relation(&"ExtSucc".into()).unwrap();
         assert!(!ext.is_empty(), "the tape was extended");
-        let minted: Vec<Value> = ext.iter().map(|t| t.get(1).unwrap().clone()).collect();
+        let minted: Vec<Value> = ext.iter().map(|t| *t.get(1).unwrap()).collect();
         assert!(
             minted.iter().all(|c| c.as_int().is_some()),
             "extension cells are named by integer timestamps (entanglement)"

@@ -90,7 +90,7 @@ pub fn decode_word(instance: &Instance, alphabet: &BTreeSet<Sym>) -> WordShape {
         .relation(&"Tape".into())
         .map(|r| {
             r.iter()
-                .map(|t| (t.get(0).unwrap().clone(), t.get(1).unwrap().clone()))
+                .map(|t| (*t.get(0).unwrap(), *t.get(1).unwrap()))
                 .collect()
         })
         .unwrap_or_default();
@@ -119,7 +119,7 @@ pub fn decode_word(instance: &Instance, alphabet: &BTreeSet<Sym>) -> WordShape {
             continue;
         }
         // DFS along labeled tape elements
-        let mut stack = vec![(b.clone(), vec![b.clone()])];
+        let mut stack = vec![(*b, vec![*b])];
         let mut visited: BTreeSet<Value> = BTreeSet::new();
         while let Some((v, path)) = stack.pop() {
             if end.contains(&v) {
@@ -127,14 +127,14 @@ pub fn decode_word(instance: &Instance, alphabet: &BTreeSet<Sym>) -> WordShape {
                 witness = Some(path.clone());
                 break;
             }
-            if !visited.insert(v.clone()) {
+            if !visited.insert(v) {
                 continue;
             }
             for next in succ.get(&v).into_iter().flatten() {
                 if labeled(next) {
                     let mut p = path.clone();
-                    p.push((*next).clone());
-                    stack.push(((*next).clone(), p));
+                    p.push(*(*next));
+                    stack.push((*(*next), p));
                 }
             }
         }
@@ -209,7 +209,7 @@ pub fn decode_word(instance: &Instance, alphabet: &BTreeSet<Sym>) -> WordShape {
 fn rel_values(instance: &Instance, rel: &str) -> Vec<Value> {
     instance
         .relation(&rel.into())
-        .map(|r| r.iter().map(|t| t.get(0).unwrap().clone()).collect())
+        .map(|r| r.iter().map(|t| *t.get(0).unwrap()).collect())
         .unwrap_or_default()
 }
 

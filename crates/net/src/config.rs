@@ -42,6 +42,12 @@ pub enum TransitionKind {
 pub struct TransitionRecord {
     /// The node that transitioned.
     pub node: NodeId,
+    /// The 1-based round the transition executed in, when the record
+    /// was produced by a round executor ([`crate::run_sharded`],
+    /// [`crate::run_sparse`]); 0 for scheduler-driven applications
+    /// ([`Configuration::apply_heartbeat`] and friends), which have no
+    /// round structure.
+    pub round: u64,
     /// Heartbeat or delivery (with the delivered fact).
     pub kind: TransitionKind,
     /// The output `J_out` of the local transition.
@@ -145,8 +151,8 @@ impl Configuration {
                 .schema()
                 .initial_state(fragment, node, &all)
                 .map_err(NetError::Rel)?;
-            states.insert(node.clone(), state);
-            buffers.insert(node.clone(), Vec::new());
+            states.insert(*node, state);
+            buffers.insert(*node, Vec::new());
         }
         Ok(Configuration { states, buffers })
     }
@@ -189,8 +195,8 @@ impl Configuration {
                 .schema()
                 .initial_state(fragment, node, &all)
                 .map_err(NetError::Rel)?;
-            states.insert(node.clone(), state);
-            buffers.insert(node.clone(), Vec::new());
+            states.insert(*node, state);
+            buffers.insert(*node, Vec::new());
         }
         Ok(Configuration { states, buffers })
     }
@@ -219,7 +225,7 @@ impl Configuration {
         let mut states = BTreeMap::new();
         let mut buffers = BTreeMap::new();
         for (n, st, buf) in parts {
-            states.insert(n.clone(), st);
+            states.insert(n, st);
             buffers.insert(n, buf);
         }
         Configuration { states, buffers }
@@ -436,7 +442,7 @@ impl Configuration {
                                     .expect("all nodes have buffers")
                                     .push(f.clone());
                             } else {
-                                delayed.push((neighbor.clone(), d, f.clone()));
+                                delayed.push((*neighbor, d, f.clone()));
                             }
                             enqueued += 1;
                         }
@@ -444,9 +450,10 @@ impl Configuration {
                 }
             }
         }
-        self.states.insert(node.clone(), res.new_state);
+        self.states.insert(*node, res.new_state);
         Ok(TransitionRecord {
-            node: node.clone(),
+            node: *node,
+            round: 0,
             kind,
             output: res.output,
             sent_facts: sent.len(),
@@ -672,10 +679,7 @@ mod tests {
         assert!(cfg.all_buffers_empty());
         for n in net.nodes() {
             let st = cfg.state(n).unwrap();
-            assert!(st.contains_fact(&Fact::new(
-                "Id",
-                rtx_relational::Tuple::new(vec![n.clone()])
-            )));
+            assert!(st.contains_fact(&Fact::new("Id", rtx_relational::Tuple::new(vec![*n]))));
             assert_eq!(st.relation(&"All".into()).unwrap().len(), 2);
         }
         assert_eq!(

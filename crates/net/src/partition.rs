@@ -57,7 +57,7 @@ impl HorizontalPartition {
 
     /// Every node holds the entire instance.
     pub fn replicate(net: &Network, full: &Instance) -> Self {
-        let fragments = net.nodes().map(|n| (n.clone(), full.clone())).collect();
+        let fragments = net.nodes().map(|n| (*n, full.clone())).collect();
         HorizontalPartition {
             fragments,
             schema: full.schema().clone(),
@@ -74,7 +74,7 @@ impl HorizontalPartition {
             .nodes()
             .map(|n| {
                 (
-                    n.clone(),
+                    *n,
                     if n == owner {
                         full.clone()
                     } else {
@@ -93,10 +93,8 @@ impl HorizontalPartition {
     pub fn round_robin(net: &Network, full: &Instance) -> Self {
         let nodes: Vec<&NodeId> = net.nodes().collect();
         let empty = Instance::empty(full.schema().clone());
-        let mut fragments: BTreeMap<NodeId, Instance> = nodes
-            .iter()
-            .map(|n| ((*n).clone(), empty.clone()))
-            .collect();
+        let mut fragments: BTreeMap<NodeId, Instance> =
+            nodes.iter().map(|n| (*(*n), empty.clone())).collect();
         for (i, fact) in full.facts().enumerate() {
             let node = nodes[i % nodes.len()];
             fragments
@@ -116,10 +114,8 @@ impl HorizontalPartition {
     pub fn random(net: &Network, full: &Instance, overlap: f64, rng: &mut impl Rng) -> Self {
         let nodes: Vec<&NodeId> = net.nodes().collect();
         let empty = Instance::empty(full.schema().clone());
-        let mut fragments: BTreeMap<NodeId, Instance> = nodes
-            .iter()
-            .map(|n| ((*n).clone(), empty.clone()))
-            .collect();
+        let mut fragments: BTreeMap<NodeId, Instance> =
+            nodes.iter().map(|n| (*(*n), empty.clone())).collect();
         for fact in full.facts() {
             let owner = nodes[rng.gen_range(0..nodes.len())];
             fragments
@@ -164,7 +160,7 @@ impl HorizontalPartition {
         for code in 0..total.min(limit) {
             let mut c = code;
             let mut fragments: BTreeMap<NodeId, Instance> =
-                nodes.iter().map(|n| (n.clone(), empty.clone())).collect();
+                nodes.iter().map(|n| (*n, empty.clone())).collect();
             for fact in &facts {
                 let node = &nodes[c % nodes.len()];
                 c /= nodes.len();

@@ -113,10 +113,10 @@ impl Scheduler for FifoRoundRobin {
     fn next_action(&mut self, cfg: &Configuration, net: &Network) -> Action {
         drain_round_robin(&mut self.pending, &mut self.rounds, cfg, |pending| {
             for n in net.nodes() {
-                pending.push_back(PlannedAction::Heartbeat(n.clone()));
+                pending.push_back(PlannedAction::Heartbeat(*n));
             }
             for n in net.nodes() {
-                pending.push_back(PlannedAction::DeliverOldest(n.clone()));
+                pending.push_back(PlannedAction::DeliverOldest(*n));
             }
         })
     }
@@ -153,10 +153,10 @@ impl Scheduler for LifoRoundRobin {
     fn next_action(&mut self, cfg: &Configuration, net: &Network) -> Action {
         drain_round_robin(&mut self.pending, &mut self.rounds, cfg, |pending| {
             for n in net.nodes() {
-                pending.push_back(PlannedAction::Heartbeat(n.clone()));
+                pending.push_back(PlannedAction::Heartbeat(*n));
             }
             for n in net.nodes() {
-                pending.push_back(PlannedAction::DeliverNewest(n.clone()));
+                pending.push_back(PlannedAction::DeliverNewest(*n));
             }
         })
     }
@@ -228,7 +228,7 @@ impl Scheduler for RandomScheduler {
         if !force_delivery && self.rng.gen_bool(self.heartbeat_prob) {
             self.consecutive_heartbeats += 1;
             let n = nodes[self.rng.gen_range(0..nodes.len())];
-            return Action::Heartbeat(n.clone());
+            return Action::Heartbeat(*n);
         }
         let with_mail: Vec<&NodeId> = cfg.nodes_with_mail().collect();
         if with_mail.is_empty() {
@@ -236,12 +236,12 @@ impl Scheduler for RandomScheduler {
             // consults schedulers while some buffer is nonempty).
             self.consecutive_heartbeats = 0;
             let n = nodes[self.rng.gen_range(0..nodes.len())];
-            return Action::Heartbeat(n.clone());
+            return Action::Heartbeat(*n);
         }
         self.consecutive_heartbeats = 0;
         let n = with_mail[self.rng.gen_range(0..with_mail.len())];
         let idx = self.rng.gen_range(0..cfg.buffer(n).len());
-        Action::Deliver(n.clone(), idx)
+        Action::Deliver(*n, idx)
     }
 
     fn name(&self) -> &'static str {
@@ -334,10 +334,8 @@ pub fn run_from(
     budget: &RunBudget,
 ) -> Result<RunOutcome, NetError> {
     let arity = transducer.schema().output_arity();
-    let mut outputs_per_node: BTreeMap<NodeId, Relation> = net
-        .nodes()
-        .map(|n| (n.clone(), Relation::empty(arity)))
-        .collect();
+    let mut outputs_per_node: BTreeMap<NodeId, Relation> =
+        net.nodes().map(|n| (*n, Relation::empty(arity))).collect();
     let mut output = Relation::empty(arity);
     let mut steps = 0usize;
     let mut heartbeats = 0usize;

@@ -532,7 +532,7 @@ pub(crate) fn decompose(net: &Network, cfg: Configuration) -> Result<Decomposed,
             "configuration nodes differ from the network's".into(),
         ));
     }
-    let nodes: Vec<NodeId> = parts.iter().map(|(n, _, _)| n.clone()).collect();
+    let nodes: Vec<NodeId> = parts.iter().map(|(n, _, _)| *n).collect();
     let mut states: Vec<Instance> = Vec::with_capacity(parts.len());
     let mut buffers: Vec<Vec<Fact>> = Vec::with_capacity(parts.len());
     for (_, st, buf) in parts {
@@ -678,7 +678,7 @@ fn drive(
     let mut output = Relation::empty(arity);
     let mut outputs_per_node: BTreeMap<NodeId, Relation> = nodes
         .iter()
-        .map(|nd| (nd.clone(), Relation::empty(arity)))
+        .map(|nd| (*nd, Relation::empty(arity)))
         .collect();
     let mut steps = 0usize;
     let mut heartbeats = 0usize;
@@ -749,7 +749,8 @@ fn drive(
             *messages_enqueued += enqueued;
             if let Some(log) = log {
                 log.push(TransitionRecord {
-                    node: nodes[idx].clone(),
+                    node: nodes[idx],
+                    round: now,
                     kind: match kind {
                         JobKind::Heartbeat => TransitionKind::Heartbeat,
                         JobKind::Deliver(f) => TransitionKind::Delivery(f),

@@ -295,7 +295,7 @@ fn drive_sparse(
     let mut output = Relation::empty(arity);
     let mut outputs_per_node: BTreeMap<NodeId, Relation> = nodes
         .iter()
-        .map(|nd| (nd.clone(), Relation::empty(arity)))
+        .map(|nd| (*nd, Relation::empty(arity)))
         .collect();
     let mut steps = 0usize;
     let mut heartbeats = 0usize;
@@ -383,7 +383,8 @@ fn drive_sparse(
             *messages_enqueued += enqueued;
             if let Some(log) = log {
                 log.push(TransitionRecord {
-                    node: nodes[idx].clone(),
+                    node: nodes[idx],
+                    round: now,
                     kind: match kind {
                         JobKind::Heartbeat => TransitionKind::Heartbeat,
                         JobKind::Deliver(f) => TransitionKind::Delivery(f.clone()),

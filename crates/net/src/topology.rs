@@ -46,8 +46,8 @@ impl Network {
                     "edge ({a},{b}) references unknown node"
                 )));
             }
-            adj.get_mut(&a).unwrap().insert(b.clone());
-            adj.get_mut(&b).unwrap().insert(a.clone());
+            adj.get_mut(&a).unwrap().insert(b);
+            adj.get_mut(&b).unwrap().insert(a);
         }
         let net = Network { adj };
         if !net.is_connected() {
@@ -73,7 +73,7 @@ impl Network {
             debug_assert_ne!(a, b, "generator produced a self-loop");
             adj.get_mut(&a)
                 .expect("generator names a known node")
-                .insert(b.clone());
+                .insert(b);
             adj.get_mut(&b)
                 .expect("generator names a known node")
                 .insert(a);
@@ -309,14 +309,14 @@ impl Network {
 
     fn bfs(&self, start: &NodeId) -> BTreeMap<NodeId, usize> {
         let mut dist = BTreeMap::new();
-        dist.insert(start.clone(), 0usize);
-        let mut queue = VecDeque::from([start.clone()]);
+        dist.insert(*start, 0usize);
+        let mut queue = VecDeque::from([*start]);
         while let Some(n) = queue.pop_front() {
             let d = dist[&n];
             for m in self.neighbors(&n) {
                 if !dist.contains_key(m) {
-                    dist.insert(m.clone(), d + 1);
-                    queue.push_back(m.clone());
+                    dist.insert(*m, d + 1);
+                    queue.push_back(*m);
                 }
             }
         }

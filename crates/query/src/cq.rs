@@ -42,7 +42,7 @@ impl CqRule {
         let mut need: Vec<(&str, Var)> = Vec::new();
         for t in &head {
             if let Term::Var(v) = t {
-                need.push(("head", v.clone()));
+                need.push(("head", *v));
             }
         }
         for a in &neg {
@@ -53,7 +53,7 @@ impl CqRule {
         for (a, b) in &diseq {
             for t in [a, b] {
                 if let Term::Var(v) = t {
-                    need.push(("nonequality", v.clone()));
+                    need.push(("nonequality", *v));
                 }
             }
         }

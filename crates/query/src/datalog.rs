@@ -7,12 +7,14 @@
 //! heartbeat.
 
 use crate::error::EvalError;
+use crate::frame::Frame;
 use crate::plan::{self, JoinMode};
 use crate::query::Query;
 use crate::term::{Atom, Bindings, Term, Var};
-use rtx_relational::{Fact, Instance, RelName, Relation, Schema, Tuple};
+use rtx_relational::{Fact, Instance, RelName, Relation, Run, Schema, StorageMode, Tuple};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// A body literal.
 #[derive(Clone, PartialEq, Eq)]
@@ -85,7 +87,7 @@ impl Rule {
                 Literal::Diseq(x, y) => {
                     for t in [x, y] {
                         if let Term::Var(v) = t {
-                            need.push(("nonequality", v.clone()));
+                            need.push(("nonequality", *v));
                         }
                     }
                 }
@@ -201,6 +203,125 @@ impl Rule {
             out.push(t);
         }
         Ok(())
+    }
+
+    /// Columnar rule firing: the whole body — joins, stratified-negation
+    /// and nonequality filters, head projection — evaluated directly
+    /// over sorted runs via [`Frame`], returning the derived head facts
+    /// as a sorted, deduplicated [`Run`]. Returns `Ok(None)` when some
+    /// source relation is not columnar, in which case the caller must
+    /// take the generic [`Rule::derive`] path (that is exactly what the
+    /// `RTX_STORAGE=btree` oracle forces).
+    ///
+    /// `mode` keeps its meaning: `Scan` joins in original literal order
+    /// scanning every run row per binding; `Indexed` joins in planned
+    /// order probing run views on the bound columns.
+    fn derive_run(
+        &self,
+        pos_db: &Instance,
+        neg_db: &Instance,
+        delta: Option<(usize, &Relation)>,
+        mode: JoinMode,
+    ) -> Result<Option<Run>, EvalError> {
+        let atoms: Vec<&Atom> = self
+            .body
+            .iter()
+            .filter_map(|l| match l {
+                Literal::Pos(a) => Some(a),
+                _ => None,
+            })
+            .collect();
+        let head_arity = self.head.arity();
+        let mut runs: Vec<Arc<Run>> = Vec::with_capacity(atoms.len());
+        for (i, a) in atoms.iter().enumerate() {
+            let src = match delta {
+                Some((d, rel)) if d == i => {
+                    if rel.arity() != a.arity() {
+                        return Err(EvalError::Rel(rtx_relational::RelError::ArityMismatch {
+                            rel: a.pred.clone(),
+                            expected: rel.arity(),
+                            found: a.arity(),
+                        }));
+                    }
+                    if rel.is_empty() {
+                        None
+                    } else {
+                        Some(rel)
+                    }
+                }
+                _ => plan::lookup(pos_db, a)?,
+            };
+            match src {
+                // Some atom's relation is empty: the conjunction is empty.
+                None => return Ok(Some(Run::empty(head_arity))),
+                Some(rel) => match rel.columnar_run() {
+                    None => return Ok(None),
+                    Some(run) => runs.push(run),
+                },
+            }
+        }
+        let mut neg_runs: Vec<Option<Arc<Run>>> = Vec::new();
+        for l in &self.body {
+            if let Literal::Neg(a) = l {
+                match plan::lookup(neg_db, a)? {
+                    None => neg_runs.push(None), // empty: filters nothing
+                    Some(rel) => match rel.columnar_run() {
+                        None => return Ok(None),
+                        Some(run) => neg_runs.push(Some(run)),
+                    },
+                }
+            }
+        }
+
+        let indexed = mode == JoinMode::Indexed;
+        let order: Vec<usize> = match mode {
+            JoinMode::Scan => (0..atoms.len()).collect(),
+            JoinMode::Indexed => self.plan(delta.map(|(i, _)| i)).to_vec(),
+        };
+        let mut frame = Frame::unit();
+        for &i in &order {
+            frame = frame.join_atom(atoms[i], &runs[i], indexed);
+            if frame.is_empty() {
+                return Ok(Some(Run::empty(head_arity)));
+            }
+        }
+        let mut negs = neg_runs.iter();
+        for l in &self.body {
+            match l {
+                Literal::Pos(_) => {}
+                Literal::Neg(a) => {
+                    let run = negs.next().expect("one run slot per negated atom");
+                    if let Some(run) = run {
+                        frame.retain_not_in(a, run)?;
+                    }
+                }
+                Literal::Diseq(x, y) => frame.retain_diseq(x, y)?,
+            }
+            if frame.is_empty() {
+                return Ok(Some(Run::empty(head_arity)));
+            }
+        }
+        frame.project(&self.head.terms).map(Some)
+    }
+
+    /// One rule firing as a sorted run of head facts: the columnar
+    /// executor when every source is columnar, else the generic path
+    /// with its output sorted into a run.
+    fn derive_to_run(
+        &self,
+        pos_db: &Instance,
+        neg_db: &Instance,
+        delta: Option<(usize, &Relation)>,
+        mode: JoinMode,
+    ) -> Result<Run, EvalError> {
+        if let Some(run) = self.derive_run(pos_db, neg_db, delta, mode)? {
+            return Ok(run);
+        }
+        let mut tuples = Vec::new();
+        self.derive(pos_db, neg_db, delta, mode, &mut tuples)?;
+        tuples.sort_unstable();
+        tuples.dedup();
+        Ok(Run::from_sorted(self.head.arity(), tuples.iter()))
     }
 
     /// The seed join loop: original literal order, full-scan joins,
@@ -338,6 +459,53 @@ pub enum EvalStrategy {
     Naive,
     /// Join each rule against the per-round delta (default).
     SemiNaive,
+}
+
+/// Disjoint sorted runs in decreasing size order — the fixpoint
+/// loop's write-buffer. New runs merge into the smallest level, and a
+/// level folds into the one below only once it reaches a quarter of
+/// its size, so membership checks touch few runs while no fact is
+/// endlessly re-merged through the big bottom level (the O(rounds ×
+/// total) rebuild a single accumulator run would cost).
+#[derive(Default)]
+struct Levels(Vec<Run>);
+
+impl Levels {
+    /// `run` minus every fact held in the levels.
+    fn subtract(&self, mut run: Run) -> Run {
+        for level in &self.0 {
+            if run.is_empty() {
+                break;
+            }
+            run = run.difference(level);
+        }
+        run
+    }
+
+    fn push(&mut self, run: Run) {
+        if run.is_empty() {
+            return;
+        }
+        match self.0.len() {
+            0 => self.0.push(run),
+            1 if run.len() >= self.0[0].len() => self.0[0] = self.0[0].union(&run),
+            1 => self.0.push(run),
+            _ => {
+                self.0[1] = self.0[1].union(&run);
+                if self.0[1].len() >= self.0[0].len() {
+                    let recent = self.0.pop().expect("two levels");
+                    self.0[0] = self.0[0].union(&recent);
+                }
+            }
+        }
+    }
+
+    /// Union of all levels, draining them. `None` when empty.
+    fn fold(&mut self) -> Option<Run> {
+        let mut runs = self.0.drain(..);
+        let first = runs.next()?;
+        Some(runs.fold(first, |a, b| a.union(&b)))
+    }
 }
 
 /// A Datalog program: a finite set of rules.
@@ -584,9 +752,19 @@ impl Program {
                 .iter()
                 .filter(|r| stratum.contains(&r.head.pred))
                 .collect();
-            match strategy {
-                EvalStrategy::Naive => self.run_naive(&rules, &mut total, mode)?,
-                EvalStrategy::SemiNaive => self.run_seminaive(&rules, stratum, &mut total, mode)?,
+            // The run-based fixpoint loops dedup and fold derived
+            // facts with galloping run merges; the btree engine keeps
+            // the original fact-at-a-time loops as the oracle.
+            let columnar = total.mode() == StorageMode::Columnar;
+            match (strategy, columnar) {
+                (EvalStrategy::Naive, true) => self.run_naive_runs(&rules, &mut total, mode)?,
+                (EvalStrategy::Naive, false) => self.run_naive(&rules, &mut total, mode)?,
+                (EvalStrategy::SemiNaive, true) => {
+                    self.run_seminaive_runs(&rules, stratum, &mut total, mode)?
+                }
+                (EvalStrategy::SemiNaive, false) => {
+                    self.run_seminaive(&rules, stratum, &mut total, mode)?
+                }
             }
         }
         Ok(total)
@@ -689,6 +867,143 @@ impl Program {
         Ok(())
     }
 
+    /// Derived facts of one firing not already in `total`'s relation.
+    fn fresh_against(total: &Instance, pred: &RelName, derived: Run) -> Run {
+        match total.relation_ref(pred) {
+            None => derived,
+            Some(rel) => match rel.columnar_run() {
+                Some(t) => derived.difference(&t),
+                None => {
+                    // Mixed-mode instance: fall back to per-row checks.
+                    let keep: Vec<Tuple> = derived
+                        .rows()
+                        .iter()
+                        .filter(|t| !rel.contains(t))
+                        .cloned()
+                        .collect();
+                    Run::from_sorted(derived.arity(), keep.iter())
+                }
+            },
+        }
+    }
+
+    /// Naive fixpoint over runs: each round derives every rule into a
+    /// run and folds the union into `total` with run merges.
+    fn run_naive_runs(
+        &self,
+        rules: &[&Rule],
+        total: &mut Instance,
+        mode: JoinMode,
+    ) -> Result<(), EvalError> {
+        loop {
+            let mut derived: Vec<(&RelName, Run)> = Vec::with_capacity(rules.len());
+            for r in rules {
+                derived.push((&r.head.pred, r.derive_to_run(total, total, None, mode)?));
+            }
+            let mut changed = false;
+            for (p, run) in derived {
+                changed |= total.absorb_run(p, &run)? > 0;
+            }
+            if !changed {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Semi-naive fixpoint over runs: per-round deltas are sorted runs,
+    /// novelty checks are run differences, and newly derived facts
+    /// accumulate in LSM-style levelled runs per predicate that are
+    /// folded into `total` lazily — only when a later firing actually
+    /// reads that predicate as a non-delta source (and once at the
+    /// end). Linear-recursive programs like transitive closure never
+    /// re-read the recursive predicate outside the delta position, so
+    /// they skip the O(|total|) per-round rebuild entirely.
+    fn run_seminaive_runs(
+        &self,
+        rules: &[&Rule],
+        stratum: &BTreeSet<RelName>,
+        total: &mut Instance,
+        mode: JoinMode,
+    ) -> Result<(), EvalError> {
+        let push = |map: &mut BTreeMap<RelName, Relation>, pred: &RelName, fresh: &Run| {
+            if fresh.is_empty() {
+                return;
+            }
+            match map.get_mut(pred) {
+                Some(rel) => {
+                    rel.absorb_run(fresh).expect("one arity per head predicate");
+                }
+                None => {
+                    map.insert(pred.clone(), Relation::from_run(fresh.clone()));
+                }
+            }
+        };
+        // Facts derived but not yet folded into `total`, as disjoint
+        // sorted runs with geometrically growing sizes (merged on push,
+        // so each fact takes part in O(log n) merges overall).
+        let mut pending: BTreeMap<RelName, Levels> = BTreeMap::new();
+        let fresh_of = |total: &Instance,
+                        pending: &BTreeMap<RelName, Levels>,
+                        pred: &RelName,
+                        derived: Run| {
+            let vs_total = Self::fresh_against(total, pred, derived);
+            match pending.get(pred) {
+                Some(levels) => levels.subtract(vs_total),
+                None => vs_total,
+            }
+        };
+        // Round 0: full evaluation (covers rules without stratum-IDB in
+        // the body, and seeds the delta).
+        let mut delta: BTreeMap<RelName, Relation> = BTreeMap::new();
+        for r in rules {
+            let derived = r.derive_to_run(total, total, None, mode)?;
+            let fresh = fresh_of(total, &pending, &r.head.pred, derived);
+            push(&mut delta, &r.head.pred, &fresh);
+            pending.entry(r.head.pred.clone()).or_default().push(fresh);
+        }
+        while !delta.is_empty() {
+            let mut next: BTreeMap<RelName, Relation> = BTreeMap::new();
+            for r in rules {
+                for i in 0..r.count_pos() {
+                    let pred = r.pos_pred(i).expect("index within positive atoms");
+                    if !stratum.contains(pred) {
+                        continue;
+                    }
+                    let Some(drel) = delta.get(pred) else {
+                        continue; // nothing new for this atom this round
+                    };
+                    // Non-delta atoms read from `total`: fold any
+                    // pending facts for their predicates first.
+                    for j in 0..r.count_pos() {
+                        if j == i {
+                            continue;
+                        }
+                        let p = r.pos_pred(j).expect("index within positive atoms");
+                        if let Some(levels) = pending.get_mut(p) {
+                            if let Some(run) = levels.fold() {
+                                total.absorb_run(p, &run)?;
+                            }
+                        }
+                    }
+                    let derived = r.derive_to_run(total, total, Some((i, drel)), mode)?;
+                    if derived.is_empty() {
+                        continue;
+                    }
+                    let fresh = fresh_of(total, &pending, &r.head.pred, derived);
+                    push(&mut next, &r.head.pred, &fresh);
+                    pending.entry(r.head.pred.clone()).or_default().push(fresh);
+                }
+            }
+            delta = next;
+        }
+        for (p, levels) in &mut pending {
+            if let Some(run) = levels.fold() {
+                total.absorb_run(p, &run)?;
+            }
+        }
+        Ok(())
+    }
+
     /// One application of the immediate-consequence operator `T_P`:
     /// every head fact derivable from `db` in a single rule firing.
     ///
@@ -714,11 +1029,18 @@ impl Program {
             (&widened_owned, schema)
         };
         let mut out = Instance::empty(schema);
-        for r in &self.rules {
-            let mut tuples = Vec::new();
-            r.derive(widened, widened, None, mode, &mut tuples)?;
-            for t in tuples {
-                out.insert_fact(Fact::new(r.head.pred.clone(), t))?;
+        if widened.mode() == StorageMode::Columnar {
+            for r in &self.rules {
+                let run = r.derive_to_run(widened, widened, None, mode)?;
+                out.absorb_run(&r.head.pred, &run)?;
+            }
+        } else {
+            for r in &self.rules {
+                let mut tuples = Vec::new();
+                r.derive(widened, widened, None, mode, &mut tuples)?;
+                for t in tuples {
+                    out.insert_fact(Fact::new(r.head.pred.clone(), t))?;
+                }
             }
         }
         Ok(out)

@@ -100,7 +100,7 @@ impl Formula {
                 for t in &a.terms {
                     if let Term::Var(v) = t {
                         if !bound.contains(v) {
-                            out.insert(v.clone());
+                            out.insert(*v);
                         }
                     }
                 }
@@ -109,7 +109,7 @@ impl Formula {
                 for t in [a, b] {
                     if let Term::Var(v) = t {
                         if !bound.contains(v) {
-                            out.insert(v.clone());
+                            out.insert(*v);
                         }
                     }
                 }
@@ -121,11 +121,7 @@ impl Formula {
                 }
             }
             Formula::Exists(vs, f) | Formula::Forall(vs, f) => {
-                let newly: Vec<Var> = vs
-                    .iter()
-                    .filter(|v| bound.insert((*v).clone()))
-                    .cloned()
-                    .collect();
+                let newly: Vec<Var> = vs.iter().filter(|v| bound.insert(*(*v))).cloned().collect();
                 f.collect_free(bound, out);
                 for v in newly {
                     bound.remove(&v);
@@ -247,17 +243,17 @@ impl Formula {
                 Some((v, rest)) => {
                     let shadowed = env.get(v).cloned();
                     for a in adom {
-                        env.insert(v.clone(), a.clone());
+                        env.insert(*v, *a);
                         if rec(db, adom, env, rest, f, universal)? {
                             match shadowed {
-                                Some(old) => env.insert(v.clone(), old),
+                                Some(old) => env.insert(*v, old),
                                 None => env.remove(v),
                             };
                             return Ok(true);
                         }
                     }
                     match shadowed {
-                        Some(old) => env.insert(v.clone(), old),
+                        Some(old) => env.insert(*v, old),
                         None => env.remove(v),
                     };
                     Ok(false)
@@ -449,9 +445,6 @@ impl Query for FoQuery {
     }
 
     fn eval(&self, db: &Instance) -> Result<Relation, EvalError> {
-        let adom: Vec<Value> = db.adom().into_iter().collect();
-        let adom_set: BTreeSet<&Value> = adom.iter().collect();
-
         // Phase 1: use top-level positive atoms as generators (looking
         // through a safe existential prefix — projection).
         let conjuncts = Self::conjuncts_of(self.generator_body());
@@ -463,6 +456,44 @@ impl Query for FoQuery {
                 other => checks.push(other),
             }
         }
+
+        // Columnar fast path: a pure conjunctive shape — no residual
+        // conjuncts, every head variable bound by a generator — joins
+        // directly over sorted runs and never materializes bindings or
+        // the active domain (head values come from stored facts, so the
+        // adom(I)^k membership condition holds by construction).
+        'frame: {
+            if !checks.is_empty() {
+                break 'frame;
+            }
+            let gen_vars: BTreeSet<Var> = generators.iter().flat_map(|a| a.vars()).collect();
+            if !self.head.iter().all(|v| gen_vars.contains(v)) {
+                break 'frame;
+            }
+            let mut runs = Vec::with_capacity(generators.len());
+            for a in &generators {
+                let Some(rel) = crate::plan::lookup(db, a)? else {
+                    return Ok(Relation::empty(self.head.len()));
+                };
+                match rel.columnar_run() {
+                    None => break 'frame, // btree source: generic path
+                    Some(run) => runs.push(run),
+                }
+            }
+            let indexed = self.join_mode == JoinMode::Indexed;
+            let mut frame = crate::frame::Frame::unit();
+            for (a, run) in generators.iter().zip(&runs) {
+                frame = frame.join_atom(a, run, indexed);
+                if frame.is_empty() {
+                    return Ok(Relation::empty(self.head.len()));
+                }
+            }
+            let head_terms: Vec<Term> = self.head.iter().map(|&v| Term::Var(v)).collect();
+            return Ok(Relation::from_run(frame.project(&head_terms)?));
+        }
+
+        let adom: Vec<Value> = db.adom().into_iter().collect();
+        let adom_set: BTreeSet<&Value> = adom.iter().collect();
 
         let mut envs: Vec<Bindings> = vec![Bindings::new()];
         for a in &generators {
@@ -487,8 +518,8 @@ impl Query for FoQuery {
         let mut unbound: Vec<Var> = Vec::new();
         let mut seen = BTreeSet::new();
         for v in &self.head {
-            if !bound_by_generators.contains(v) && seen.insert(v.clone()) {
-                unbound.push(v.clone());
+            if !bound_by_generators.contains(v) && seen.insert(*v) {
+                unbound.push(*v);
             }
         }
 
@@ -498,7 +529,7 @@ impl Query for FoQuery {
             if depth < unbound.len() {
                 for a in &adom {
                     let mut e = env.clone();
-                    e.insert(unbound[depth].clone(), a.clone());
+                    e.insert(unbound[depth], *a);
                     stack.push((e, depth + 1));
                 }
                 continue;

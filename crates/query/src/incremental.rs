@@ -38,10 +38,14 @@
 
 use crate::datalog::{Literal, Program, Rule};
 use crate::error::EvalError;
+use crate::frame::Frame;
 use crate::plan::plan_order;
 use crate::term::{Atom, Bindings};
-use rtx_relational::{CountedRelation, Fact, Instance, InstanceDelta, RelName, Relation, Tuple};
+use rtx_relational::{
+    CountedRelation, Fact, Instance, InstanceDelta, RelName, Relation, Run, Tuple,
+};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Per-head-tuple firing counts collected by a delta expansion.
 type HeadCounts = BTreeMap<RelName, BTreeMap<Tuple, u64>>;
@@ -995,6 +999,9 @@ fn count_rule_firings(rule: &Rule, db: &Instance, out: &mut HeadCounts) -> Resul
                 _ => return Ok(()), // some body relation is empty
             }
         }
+        if frame_count(rule, &atoms, &srcs, None, db, out)? {
+            return Ok(());
+        }
         for &k in &plan_order(&atoms, None) {
             envs = atoms[k].join_indexed(srcs[k], &envs);
             if envs.is_empty() {
@@ -1003,6 +1010,71 @@ fn count_rule_firings(rule: &Rule, db: &Instance, out: &mut HeadCounts) -> Resul
         }
     }
     collect_heads(rule, &envs, db, out)
+}
+
+/// Columnar fast path shared by [`expansion`] and
+/// [`count_rule_firings`]: join the positive atoms directly over their
+/// sorted runs with the [`Frame`] executor (probing run ranges, never
+/// materializing a `Tuple` or `Bindings` per candidate), apply the
+/// rule's negation / nonequality filters column-wise, and count the
+/// surviving firings per head tuple. Returns `Ok(false)` when any
+/// source (or negated relation) is not columnar — the caller falls
+/// back to the generic `Bindings` path, which is exactly what the
+/// `RTX_STORAGE=btree` oracle forces.
+fn frame_count(
+    rule: &Rule,
+    atoms: &[&Atom],
+    srcs: &[&Relation],
+    pinned: Option<usize>,
+    neg_db: &Instance,
+    out: &mut HeadCounts,
+) -> Result<bool, EvalError> {
+    let mut runs: Vec<Arc<Run>> = Vec::with_capacity(srcs.len());
+    for r in srcs {
+        match r.columnar_run() {
+            Some(run) => runs.push(run),
+            None => return Ok(false),
+        }
+    }
+    // Negated relations must be columnar too (a missing one filters
+    // nothing, modeled as an empty run so unbound-variable errors stay
+    // identical to the generic path).
+    let mut negs: Vec<(&Atom, Arc<Run>)> = Vec::new();
+    for l in rule.body() {
+        if let Literal::Neg(a) = l {
+            match neg_db.relation_ref(&a.pred) {
+                None => negs.push((a, Arc::new(Run::empty(a.terms.len())))),
+                Some(rel) => match rel.columnar_run() {
+                    Some(run) => negs.push((a, run)),
+                    None => return Ok(false),
+                },
+            }
+        }
+    }
+    let mut frame = Frame::unit();
+    for &k in &plan_order(atoms, pinned) {
+        frame = frame.join_atom(atoms[k], &runs[k], true);
+        if frame.is_empty() {
+            return Ok(true);
+        }
+    }
+    for l in rule.body() {
+        if let Literal::Diseq(x, y) = l {
+            frame.retain_diseq(x, y)?;
+        }
+    }
+    for (a, run) in &negs {
+        frame.retain_not_in(a, run)?;
+    }
+    if frame.is_empty() {
+        return Ok(true);
+    }
+    let head = rule.head();
+    let slot = out.entry(head.pred.clone()).or_default();
+    for (t, k) in frame.project_counts(&head.terms)? {
+        *slot.entry(t).or_insert(0) += k;
+    }
+    Ok(true)
 }
 
 /// The mixed semi-naive expansion for one elementary step of predicate
@@ -1076,6 +1148,9 @@ fn expansion(
                 srcs.push(r);
             }
             if dead {
+                continue;
+            }
+            if frame_count(rule, &atoms, &srcs, Some(i), total, out)? {
                 continue;
             }
             let mut envs = vec![Bindings::new()];

@@ -27,6 +27,7 @@ pub mod cq;
 pub mod datalog;
 mod error;
 pub mod fo;
+pub(crate) mod frame;
 pub mod incremental;
 pub mod native;
 pub mod parser;

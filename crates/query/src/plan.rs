@@ -67,7 +67,7 @@ pub fn plan_order(atoms: &[&Atom], pinned: Option<usize>) -> Vec<usize> {
                         if bound.contains(v) {
                             bound_terms += 1;
                         } else {
-                            unbound_vars.insert(v.clone());
+                            unbound_vars.insert(*v);
                         }
                     }
                 }

@@ -1,24 +1,27 @@
 //! Variables, terms, atoms and bindings — shared by every rule-based
 //! language in this crate (CQ, UCQ¬, Datalog) and by the FO engine.
 
-use rtx_relational::{RelName, Relation, Tuple, Value};
-use std::collections::{BTreeMap, BTreeSet};
+use rtx_relational::{RelName, Relation, Symbol, Tuple, Value};
+use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::Arc;
 
-/// A variable name (interned).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Var(Arc<str>);
+/// A variable name (process-interned, `Copy`).
+///
+/// Ordering is by the variable's *name* (via [`Symbol`]'s structural
+/// order), so everything keyed by `Var` iterates deterministically,
+/// independent of intern history.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(Symbol);
 
 impl Var {
     /// Intern a variable name.
     pub fn new(name: impl AsRef<str>) -> Self {
-        Var(Arc::from(name.as_ref()))
+        Var(Symbol::new(name))
     }
 
     /// The textual name.
     pub fn as_str(&self) -> &str {
-        &self.0
+        self.0.as_str()
     }
 }
 
@@ -72,7 +75,7 @@ impl Term {
     pub fn resolve(&self, env: &Bindings) -> Option<Value> {
         match self {
             Term::Var(v) => env.get(v).cloned(),
-            Term::Const(c) => Some(c.clone()),
+            Term::Const(c) => Some(*c),
         }
     }
 }
@@ -93,7 +96,108 @@ impl fmt::Display for Term {
 }
 
 /// A (partial) assignment of values to variables.
-pub type Bindings = BTreeMap<Var, Value>;
+///
+/// Stored as a flat vector sorted by variable — bindings are tiny (a
+/// rule's variable count), so binary search beats a tree and, since
+/// both `Var` and `Value` are `Copy`, cloning a binding set is a plain
+/// memcpy. That clone sits on the innermost loop of every join, which
+/// is why this is not a `BTreeMap`. The sorted invariant also makes
+/// equality insertion-order-insensitive, which the scan/indexed join
+/// equivalence guarantees rely on.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bindings(Vec<(Var, Value)>);
+
+impl Bindings {
+    /// The empty binding set.
+    pub fn new() -> Self {
+        Bindings(Vec::new())
+    }
+
+    #[inline]
+    fn pos(&self, v: &Var) -> Result<usize, usize> {
+        self.0.binary_search_by(|(w, _)| w.cmp(v))
+    }
+
+    /// The value bound to `v`, if any.
+    #[inline]
+    pub fn get(&self, v: &Var) -> Option<&Value> {
+        match self.pos(v) {
+            Ok(i) => Some(&self.0[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// Bind `v` to `val`, returning the previous value if `v` was bound.
+    pub fn insert(&mut self, v: Var, val: Value) -> Option<Value> {
+        match self.pos(&v) {
+            Ok(i) => Some(std::mem::replace(&mut self.0[i].1, val)),
+            Err(i) => {
+                self.0.insert(i, (v, val));
+                None
+            }
+        }
+    }
+
+    /// Unbind `v`, returning its value if it was bound.
+    pub fn remove(&mut self, v: &Var) -> Option<Value> {
+        match self.pos(v) {
+            Ok(i) => Some(self.0.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Is `v` bound?
+    pub fn contains_key(&self, v: &Var) -> bool {
+        self.pos(v).is_ok()
+    }
+
+    /// The bound variables, in sorted order.
+    pub fn keys(&self) -> impl Iterator<Item = &Var> {
+        self.0.iter().map(|(v, _)| v)
+    }
+
+    /// Iterate over `(variable, value)` pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, &Value)> {
+        self.0.iter().map(|(v, a)| (v, a))
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Any bindings at all?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl std::ops::Index<&Var> for Bindings {
+    type Output = Value;
+    fn index(&self, v: &Var) -> &Value {
+        self.get(v).expect("variable not bound")
+    }
+}
+
+impl fmt::Debug for Bindings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut m = f.debug_map();
+        for (v, a) in self.iter() {
+            m.entry(v, a);
+        }
+        m.finish()
+    }
+}
+
+impl FromIterator<(Var, Value)> for Bindings {
+    fn from_iter<T: IntoIterator<Item = (Var, Value)>>(iter: T) -> Self {
+        let mut b = Bindings::new();
+        for (v, a) in iter {
+            b.insert(v, a);
+        }
+        b
+    }
+}
 
 /// A predicate atom `R(t1, …, tk)`.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -124,8 +228,8 @@ impl Atom {
         let mut out = Vec::new();
         for t in &self.terms {
             if let Term::Var(v) = t {
-                if seen.insert(v.clone()) {
-                    out.push(v.clone());
+                if seen.insert(*v) {
+                    out.push(*v);
                 }
             }
         }
@@ -140,7 +244,10 @@ impl Atom {
         if tuple.arity() != self.terms.len() {
             return None;
         }
-        let mut out = env.clone();
+        // Phase 1: verify constants and already-bound variables without
+        // touching `env` — the overwhelmingly common outcome of a scan
+        // join is rejection, which must not pay for a clone.
+        let mut fresh = false;
         for (term, value) in self.terms.iter().zip(tuple.iter()) {
             match term {
                 Term::Const(c) => {
@@ -148,13 +255,33 @@ impl Atom {
                         return None;
                     }
                 }
-                Term::Var(v) => match out.get(v) {
-                    Some(bound) if bound != value => return None,
-                    Some(_) => {}
-                    None => {
-                        out.insert(v.clone(), value.clone());
+                Term::Var(v) => match env.get(v) {
+                    Some(bound) => {
+                        if bound != value {
+                            return None;
+                        }
                     }
+                    None => fresh = true,
                 },
+            }
+        }
+        // Phase 2: clone (a memcpy) and bind the fresh variables; a
+        // repeated fresh variable is checked against its first binding.
+        let mut out = env.clone();
+        if fresh {
+            for (term, value) in self.terms.iter().zip(tuple.iter()) {
+                if let Term::Var(v) = term {
+                    match out.get(v) {
+                        Some(bound) => {
+                            if bound != value {
+                                return None;
+                            }
+                        }
+                        None => {
+                            out.insert(*v, *value);
+                        }
+                    }
+                }
             }
         }
         Some(out)
@@ -217,7 +344,7 @@ impl Atom {
         // same variables, so this is rarely a strict intersection.
         let mut common: BTreeSet<&Var> = envs[0].keys().collect();
         for env in &envs[1..] {
-            common.retain(|v| env.contains_key(*v));
+            common.retain(|v| env.contains_key(v));
         }
         let cols: Vec<usize> = self
             .terms

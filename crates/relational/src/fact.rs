@@ -110,7 +110,7 @@ impl Tuple {
     /// Project onto the given positions. Panics if an index is out of
     /// bounds — projections are built against a validated schema.
     pub fn project(&self, positions: &[usize]) -> Tuple {
-        Tuple(positions.iter().map(|&i| self.0[i].clone()).collect())
+        Tuple(positions.iter().map(|&i| self.0[i]).collect())
     }
 }
 
@@ -249,7 +249,7 @@ mod tests {
         let t = tuple![1, 2];
         let u = t.map(|v| match v {
             Value::Int(i) => Value::int(i + 10),
-            other => other.clone(),
+            other => *other,
         });
         assert_eq!(u, tuple![11, 12]);
     }

@@ -1,31 +1,56 @@
-//! Secondary hash indexes over relations.
+//! Secondary indexes over relations.
 //!
-//! An [`Index`] groups the tuples of a relation by their values on a
-//! chosen column subset, so a join can probe exactly the tuples matching
-//! the columns already bound instead of scanning the whole relation.
+//! An [`Index`] lets a join probe exactly the tuples matching the
+//! columns already bound instead of scanning the whole relation.
 //! Indexes are immutable snapshots; [`crate::Relation`] builds them
-//! lazily, caches them per column subset, and drops the cache on any
-//! mutation, so holders of an `Arc<Index>` always see a consistent
-//! picture of the relation at build time.
+//! lazily and caches them (per column subset, per storage generation),
+//! so holders of an `Arc<Index>` always see a consistent picture of the
+//! relation at build time.
+//!
+//! Two physical forms exist behind the one probe API:
+//!
+//! * **hash** — the classic side table grouping tuples by key values,
+//!   built for BTree-stored relations;
+//! * **view** — for columnar relations, a view into the sorted run:
+//!   when the key columns are a prefix of the column order the sorted
+//!   run *is* the index (a probe is a per-column binary search yielding
+//!   a contiguous row range, no side structure at all); otherwise the
+//!   view is a row-index permutation sorted by the key columns.
+//!
+//! Either way a probe enumerates exactly the subsequence of a full scan
+//! that matches on the key columns — callers can switch between
+//! scanning and probing without changing results.
 
 use crate::fact::Tuple;
+use crate::intern::Vid;
+use crate::runs::RunData;
 use crate::value::Value;
+use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
-/// A hash index on a subset of a relation's columns.
+enum Kind {
+    Hash(HashMap<Box<[Value]>, Vec<Tuple>>),
+    Prefix(Arc<RunData>),
+    Perm {
+        data: Arc<RunData>,
+        perm: Box<[u32]>,
+    },
+}
+
+/// An index on a subset of a relation's columns.
 ///
 /// Within each key group the tuples keep the relation's deterministic
-/// (sorted) iteration order, so an index probe enumerates exactly the
-/// subsequence of a full scan that matches on the key columns — callers
-/// can switch between scanning and probing without changing results.
+/// (sorted) iteration order, whatever the physical form.
 pub struct Index {
     cols: Box<[usize]>,
-    groups: HashMap<Box<[Value]>, Vec<Tuple>>,
+    kind: Kind,
 }
 
 impl Index {
-    /// Build an index on `cols` from tuples in relation iteration order.
+    /// Build a hash index on `cols` from tuples in relation iteration
+    /// order (the BTree storage path).
     ///
     /// Callers must have validated that every column is below the
     /// relation arity; [`crate::Relation::index`] does.
@@ -33,10 +58,31 @@ impl Index {
         let cols: Box<[usize]> = cols.into();
         let mut groups: HashMap<Box<[Value]>, Vec<Tuple>> = HashMap::new();
         for t in tuples {
-            let key: Box<[Value]> = cols.iter().map(|&c| t.values()[c].clone()).collect();
+            let key: Box<[Value]> = cols.iter().map(|&c| t.values()[c]).collect();
             groups.entry(key).or_default().push(t.clone());
         }
-        Index { cols, groups }
+        Index {
+            cols,
+            kind: Kind::Hash(groups),
+        }
+    }
+
+    /// A prefix view: `cols == [0, 1, …, k-1]`, the run's own sort
+    /// order is the index.
+    pub(crate) fn view_prefix(cols: &[usize], data: Arc<RunData>) -> Self {
+        Index {
+            cols: cols.into(),
+            kind: Kind::Prefix(data),
+        }
+    }
+
+    /// A permutation view: row indices sorted by the key columns (ties
+    /// in scan order).
+    pub(crate) fn view_perm(cols: &[usize], data: Arc<RunData>, perm: Box<[u32]>) -> Self {
+        Index {
+            cols: cols.into(),
+            kind: Kind::Perm { data, perm },
+        }
     }
 
     /// The indexed column positions.
@@ -44,23 +90,246 @@ impl Index {
         &self.cols
     }
 
-    /// The tuples whose values on the indexed columns equal `key`, in the
-    /// relation's deterministic order; empty when no tuple matches.
-    pub fn probe(&self, key: &[Value]) -> &[Tuple] {
-        self.groups.get(key).map(Vec::as_slice).unwrap_or(&[])
+    /// The tuples whose values on the indexed columns equal `key`, in
+    /// the relation's deterministic order; empty when no tuple matches.
+    pub fn probe(&self, key: &[Value]) -> ProbeHits<'_> {
+        debug_assert_eq!(key.len(), self.cols.len());
+        match &self.kind {
+            Kind::Hash(groups) => {
+                ProbeHits::Slice(groups.get(key).map(Vec::as_slice).unwrap_or(&[]))
+            }
+            Kind::Prefix(data) => {
+                let k: Vec<Vid> = key.iter().map(Vid::from_value).collect();
+                let range = data.prefix_range(&k);
+                ProbeHits::Slice(&data.rows()[range])
+            }
+            Kind::Perm { data, perm } => {
+                let k: Vec<Vid> = key.iter().map(Vid::from_value).collect();
+                // Key of permuted row r vs probe key, lexicographically.
+                let cmp = |r: u32| -> Ordering {
+                    for (i, &c) in self.cols.iter().enumerate() {
+                        match data.vid(c, r as usize).cmp_structural(k[i]) {
+                            Ordering::Equal => continue,
+                            ord => return ord,
+                        }
+                    }
+                    Ordering::Equal
+                };
+                let lo = perm.partition_point(|&r| cmp(r) == Ordering::Less);
+                let hi = perm[lo..].partition_point(|&r| cmp(r) == Ordering::Equal) + lo;
+                ProbeHits::Perm {
+                    rows: data.rows(),
+                    perm: &perm[lo..hi],
+                }
+            }
+        }
+    }
+
+    /// The matching *row indices* of the underlying run for an
+    /// interned key — the zero-materialization probe used by columnar
+    /// join executors. Returns `None` for hash indexes (the BTree
+    /// storage path), which have no run to index into.
+    pub fn probe_rows(&self, key: &[Vid]) -> Option<RowHits<'_>> {
+        debug_assert_eq!(key.len(), self.cols.len());
+        match &self.kind {
+            Kind::Hash(_) => None,
+            Kind::Prefix(data) => Some(RowHits::Range(data.prefix_range(key))),
+            Kind::Perm { data, perm } => {
+                let cmp = |r: u32| -> Ordering {
+                    for (i, &c) in self.cols.iter().enumerate() {
+                        match data.vid(c, r as usize).cmp_structural(key[i]) {
+                            Ordering::Equal => continue,
+                            ord => return ord,
+                        }
+                    }
+                    Ordering::Equal
+                };
+                let lo = perm.partition_point(|&r| cmp(r) == Ordering::Less);
+                let hi = perm[lo..].partition_point(|&r| cmp(r) == Ordering::Equal) + lo;
+                Some(RowHits::Rows(&perm[lo..hi]))
+            }
+        }
     }
 
     /// Number of distinct keys.
     pub fn key_count(&self) -> usize {
-        self.groups.len()
+        match &self.kind {
+            Kind::Hash(groups) => groups.len(),
+            Kind::Prefix(data) => {
+                let mut n = 0;
+                let mut prev: Option<usize> = None;
+                for r in 0..data.len() {
+                    let fresh = match prev {
+                        None => true,
+                        Some(p) => self.cols.iter().any(|&c| data.vid(c, r) != data.vid(c, p)),
+                    };
+                    if fresh {
+                        n += 1;
+                    }
+                    prev = Some(r);
+                }
+                n
+            }
+            Kind::Perm { data, perm } => {
+                let mut n = 0;
+                let mut prev: Option<u32> = None;
+                for &r in perm.iter() {
+                    let fresh = match prev {
+                        None => true,
+                        Some(p) => self
+                            .cols
+                            .iter()
+                            .any(|&c| data.vid(c, r as usize) != data.vid(c, p as usize)),
+                    };
+                    if fresh {
+                        n += 1;
+                    }
+                    prev = Some(r);
+                }
+                n
+            }
+        }
     }
 }
 
 impl fmt::Debug for Index {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Index(cols={:?}, {} keys)", self.cols, self.groups.len())
+        let form = match &self.kind {
+            Kind::Hash(_) => "hash",
+            Kind::Prefix(_) => "prefix-view",
+            Kind::Perm { .. } => "perm-view",
+        };
+        write!(f, "Index(cols={:?}, {form})", self.cols)
     }
 }
+
+/// The matching row indices from [`Index::probe_rows`]: either a
+/// contiguous range of the run (prefix views) or an explicit index
+/// list in scan order (permutation views).
+#[derive(Clone, Debug)]
+pub enum RowHits<'a> {
+    /// Contiguous run rows.
+    Range(std::ops::Range<usize>),
+    /// Explicit row indices, in scan order.
+    Rows(&'a [u32]),
+}
+
+impl RowHits<'_> {
+    /// Number of matching rows.
+    pub fn len(&self) -> usize {
+        match self {
+            RowHits::Range(r) => r.len(),
+            RowHits::Rows(rs) => rs.len(),
+        }
+    }
+
+    /// Any matches?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Iterator for RowHits<'_> {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            RowHits::Range(r) => r.next(),
+            RowHits::Rows(rs) => {
+                let (&first, rest) = rs.split_first()?;
+                *rs = rest;
+                Some(first as usize)
+            }
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.len(), Some(self.len()))
+    }
+}
+
+/// The result of an index probe: a borrowed set of matching tuples in
+/// the relation's deterministic order.
+#[derive(Clone, Copy)]
+pub enum ProbeHits<'a> {
+    /// A contiguous slice of tuples (hash group or prefix-view range).
+    Slice(&'a [Tuple]),
+    /// A permuted subset of a run's rows (general-column view).
+    Perm {
+        /// The run's materialized rows.
+        rows: &'a [Tuple],
+        /// Row indices of the matches, in scan order.
+        perm: &'a [u32],
+    },
+}
+
+impl<'a> ProbeHits<'a> {
+    /// Number of matching tuples.
+    pub fn len(&self) -> usize {
+        match self {
+            ProbeHits::Slice(s) => s.len(),
+            ProbeHits::Perm { perm, .. } => perm.len(),
+        }
+    }
+
+    /// Any matches?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate over the matching tuples in scan order.
+    pub fn iter(&self) -> ProbeIter<'a> {
+        match *self {
+            ProbeHits::Slice(s) => ProbeIter::Slice(s.iter()),
+            ProbeHits::Perm { rows, perm } => ProbeIter::Perm {
+                rows,
+                perm: perm.iter(),
+            },
+        }
+    }
+
+    /// Collect the matches into owned tuples (mostly for tests).
+    pub fn to_vec(&self) -> Vec<Tuple> {
+        self.iter().cloned().collect()
+    }
+}
+
+impl<'a> IntoIterator for ProbeHits<'a> {
+    type Item = &'a Tuple;
+    type IntoIter = ProbeIter<'a>;
+    fn into_iter(self) -> ProbeIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over probe hits (see [`ProbeHits::iter`]).
+pub enum ProbeIter<'a> {
+    /// Contiguous form.
+    Slice(std::slice::Iter<'a, Tuple>),
+    /// Permuted form.
+    Perm {
+        /// The run's materialized rows.
+        rows: &'a [Tuple],
+        /// Remaining match row indices.
+        perm: std::slice::Iter<'a, u32>,
+    },
+}
+
+impl<'a> Iterator for ProbeIter<'a> {
+    type Item = &'a Tuple;
+    fn next(&mut self) -> Option<&'a Tuple> {
+        match self {
+            ProbeIter::Slice(it) => it.next(),
+            ProbeIter::Perm { rows, perm } => perm.next().map(|&r| &rows[r as usize]),
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            ProbeIter::Slice(it) => it.size_hint(),
+            ProbeIter::Perm { perm, .. } => perm.size_hint(),
+        }
+    }
+}
+
+impl<'a> ExactSizeIterator for ProbeIter<'a> {}
 
 #[cfg(test)]
 mod tests {
@@ -74,7 +343,7 @@ mod tests {
         assert_eq!(idx.cols(), &[0]);
         assert_eq!(idx.key_count(), 2);
         assert_eq!(idx.probe(&[Value::int(1)]).len(), 2);
-        assert_eq!(idx.probe(&[Value::int(2)]), &[tuple![2, 3]]);
+        assert_eq!(idx.probe(&[Value::int(2)]).to_vec(), vec![tuple![2, 3]]);
         assert!(idx.probe(&[Value::int(9)]).is_empty());
     }
 
@@ -83,8 +352,8 @@ mod tests {
         let tuples = [tuple![1, 1], tuple![1, 2], tuple![1, 3]];
         let idx = Index::build(&[0], tuples.iter());
         assert_eq!(
-            idx.probe(&[Value::int(1)]),
-            &[tuple![1, 1], tuple![1, 2], tuple![1, 3]]
+            idx.probe(&[Value::int(1)]).to_vec(),
+            vec![tuple![1, 1], tuple![1, 2], tuple![1, 3]]
         );
     }
 
@@ -94,5 +363,44 @@ mod tests {
         let idx = Index::build(&[0, 1], tuples.iter());
         assert_eq!(idx.probe(&[Value::int(1), Value::int(2)]).len(), 2);
         assert_eq!(idx.probe(&[Value::int(1), Value::int(9)]).len(), 1);
+    }
+
+    #[test]
+    fn view_probes_match_hash_probes() {
+        use crate::runs::Run;
+        use std::collections::BTreeSet;
+        let set: BTreeSet<Tuple> = [
+            tuple![1, 2, "x"],
+            tuple![1, 3, "x"],
+            tuple![2, 2, "y"],
+            tuple![2, 3, "x"],
+            tuple![3, 1, "z"],
+        ]
+        .into_iter()
+        .collect();
+        let run = Run::from_sorted(3, set.iter());
+        for cols in [
+            vec![0],
+            vec![1],
+            vec![2],
+            vec![0, 1],
+            vec![1, 2],
+            vec![0, 1, 2],
+        ] {
+            let view = run.view(&cols);
+            let hash = Index::build(&cols, set.iter());
+            for t in &set {
+                let key: Vec<Value> = cols.iter().map(|&c| t.values()[c]).collect();
+                assert_eq!(
+                    view.probe(&key).to_vec(),
+                    hash.probe(&key).to_vec(),
+                    "cols {cols:?} key {key:?}"
+                );
+            }
+            assert_eq!(view.key_count(), hash.key_count(), "cols {cols:?}");
+            // A key matching nothing.
+            let miss: Vec<Value> = cols.iter().map(|_| Value::int(99)).collect();
+            assert!(view.probe(&miss).is_empty());
+        }
     }
 }

@@ -4,7 +4,7 @@
 use crate::delta::InstanceDelta;
 use crate::error::RelError;
 use crate::fact::{Fact, RelName};
-use crate::relation::Relation;
+use crate::relation::{Relation, StorageMode};
 use crate::schema::Schema;
 use crate::value::Value;
 use std::collections::{BTreeMap, BTreeSet};
@@ -16,18 +16,38 @@ use std::fmt;
 /// schema: looking up a declared-but-unpopulated relation yields the empty
 /// relation of the right arity, and inserting an undeclared or ill-sized
 /// fact is an error.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// An instance remembers the [`StorageMode`] it was built in and uses it
+/// for every relation it creates internally; the mode is an evaluation
+/// detail and never takes part in equality.
+#[derive(Clone)]
 pub struct Instance {
     schema: Schema,
     relations: BTreeMap<RelName, Relation>,
+    mode: StorageMode,
 }
 
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.relations == other.relations
+    }
+}
+
+impl Eq for Instance {}
+
 impl Instance {
-    /// The empty instance of a schema.
+    /// The empty instance of a schema, in the process default storage
+    /// mode.
     pub fn empty(schema: Schema) -> Self {
+        Instance::empty_in(StorageMode::global(), schema)
+    }
+
+    /// The empty instance of a schema in an explicit storage mode.
+    pub fn empty_in(mode: StorageMode, schema: Schema) -> Self {
         Instance {
             schema,
             relations: BTreeMap::new(),
+            mode,
         }
     }
 
@@ -36,11 +56,25 @@ impl Instance {
         schema: Schema,
         facts: impl IntoIterator<Item = Fact>,
     ) -> Result<Self, RelError> {
-        let mut i = Instance::empty(schema);
+        Instance::from_facts_in(StorageMode::global(), schema, facts)
+    }
+
+    /// Build an instance from facts in an explicit storage mode.
+    pub fn from_facts_in(
+        mode: StorageMode,
+        schema: Schema,
+        facts: impl IntoIterator<Item = Fact>,
+    ) -> Result<Self, RelError> {
+        let mut i = Instance::empty_in(mode, schema);
         for f in facts {
             i.insert_fact(f)?;
         }
         Ok(i)
+    }
+
+    /// The storage mode this instance creates relations in.
+    pub fn mode(&self) -> StorageMode {
+        self.mode
     }
 
     /// The schema.
@@ -56,7 +90,7 @@ impl Instance {
         match self.relations.get(name) {
             Some(r) => Ok(r.clone()),
             None => match self.schema.arity(name) {
-                Some(a) => Ok(Relation::empty(a)),
+                Some(a) => Ok(Relation::empty_in(self.mode, a)),
                 None => Err(RelError::UnknownRelation { rel: name.clone() }),
             },
         }
@@ -73,9 +107,10 @@ impl Instance {
         self.schema.check_fact(&fact)?;
         let (rel, tuple) = fact.into_parts();
         let arity = tuple.arity();
+        let mode = self.mode;
         self.relations
             .entry(rel)
-            .or_insert_with(|| Relation::empty(arity))
+            .or_insert_with(|| Relation::empty_in(mode, arity))
             .insert(tuple)
     }
 
@@ -103,6 +138,35 @@ impl Instance {
             self.relations.insert(name, rel);
         }
         Ok(())
+    }
+
+    /// Union a sorted run of tuples into the relation `name` in place
+    /// (columnar relations merge runs, btree relations insert row by
+    /// row). Returns the number of facts actually added.
+    pub fn absorb_run(
+        &mut self,
+        name: &RelName,
+        run: &crate::runs::Run,
+    ) -> Result<usize, RelError> {
+        match self.schema.arity(name) {
+            None => return Err(RelError::UnknownRelation { rel: name.clone() }),
+            Some(a) if a != run.arity() => {
+                return Err(RelError::ArityMismatch {
+                    rel: name.clone(),
+                    expected: a,
+                    found: run.arity(),
+                })
+            }
+            Some(_) => {}
+        }
+        if run.is_empty() {
+            return Ok(0);
+        }
+        let mode = self.mode;
+        self.relations
+            .entry(name.clone())
+            .or_insert_with(|| Relation::empty_in(mode, run.arity()))
+            .absorb_run(run)
     }
 
     /// Remove a fact; `true` if present.
@@ -154,7 +218,7 @@ impl Instance {
     /// their tuples.
     pub fn union(&self, other: &Instance) -> Result<Instance, RelError> {
         let schema = self.schema.union_compatible(&other.schema)?;
-        let mut out = Instance::empty(schema);
+        let mut out = Instance::empty_in(self.mode, schema);
         for f in self.facts().chain(other.facts()) {
             out.insert_fact(f)?;
         }
@@ -170,7 +234,7 @@ impl Instance {
     /// this instance's schema (used e.g. to split a transducer state into
     /// its input / memory parts).
     pub fn restrict(&self, target: &Schema) -> Result<Instance, RelError> {
-        let mut out = Instance::empty(target.clone());
+        let mut out = Instance::empty_in(self.mode, target.clone());
         for (name, arity) in target.iter() {
             match self.schema.arity(name) {
                 None => return Err(RelError::UnknownRelation { rel: name.clone() }),
@@ -206,7 +270,7 @@ impl Instance {
                 None => return Err(RelError::UnknownRelation { rel: name.clone() }),
             }
         }
-        let mut out = Instance::empty(wider);
+        let mut out = Instance::empty_in(self.mode, wider);
         out.relations = self.relations.clone();
         Ok(out)
     }
@@ -295,7 +359,7 @@ impl Instance {
     /// of **dom**; callers wanting a genuine isomorphism should pass an
     /// injective map (see [`crate::iso::Iso`]).
     pub fn map_values(&self, mut h: impl FnMut(&Value) -> Value) -> Instance {
-        let mut out = Instance::empty(self.schema.clone());
+        let mut out = Instance::empty_in(self.mode, self.schema.clone());
         for (name, rel) in &self.relations {
             let mapped = rel.map_values(&mut h);
             out.relations.insert(name.clone(), mapped);
@@ -429,7 +493,7 @@ mod tests {
         let i = Instance::from_facts(schema_rs(), vec![fact!("R", 1, 2)]).unwrap();
         let j = i.map_values(|v| match v {
             Value::Int(k) => Value::int(k + 100),
-            o => o.clone(),
+            o => *o,
         });
         assert!(j.contains_fact(&fact!("R", 101, 102)));
         assert_eq!(j.fact_count(), 1);

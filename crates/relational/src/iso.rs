@@ -40,7 +40,7 @@ impl Iso {
                     return Err(RelError::NotInjective);
                 }
             }
-            seen_targets.insert(to.clone(), from.clone());
+            seen_targets.insert(to, from);
             map.insert(from, to);
         }
         Ok(Iso { map })
@@ -48,7 +48,7 @@ impl Iso {
 
     /// Apply to a single value.
     pub fn apply(&self, v: &Value) -> Value {
-        self.map.get(v).cloned().unwrap_or_else(|| v.clone())
+        self.map.get(v).cloned().unwrap_or(*v)
     }
 
     /// Apply to an instance: the isomorphic instance `h(I)`.
@@ -64,11 +64,7 @@ impl Iso {
     /// The inverse renaming (support swapped).
     pub fn inverse(&self) -> Iso {
         Iso {
-            map: self
-                .map
-                .iter()
-                .map(|(a, b)| (b.clone(), a.clone()))
-                .collect(),
+            map: self.map.iter().map(|(a, b)| (*b, *a)).collect(),
         }
     }
 

@@ -6,7 +6,13 @@
 //! facts (message buffers), and isomorphisms of **dom** (for genericity
 //! checks).
 //!
-//! All collections are B-tree-based: iteration order is deterministic,
+//! Values are interned process-wide ([`intern`]: inline small ints,
+//! shared symbol/big-int tables, `u32` [`Vid`]s), and relations run on
+//! one of two storage engines (see [`StorageMode`]): the default
+//! **columnar** engine — flat sorted runs of value ids with galloping
+//! merge set algebra ([`runs`]) — and the original **B-tree** engine
+//! (`RTX_STORAGE=btree`), kept as the equivalence oracle and ablation
+//! baseline. Both iterate in the same deterministic sorted order,
 //! which the network simulator relies on for reproducible runs.
 //!
 //! Terminology follows Section 2 of *Ameloot, Neven, Van den Bussche,
@@ -20,9 +26,11 @@ mod error;
 mod fact;
 mod index;
 mod instance;
+pub mod intern;
 mod iso;
 mod multiset;
 mod relation;
+pub mod runs;
 mod schema;
 mod value;
 
@@ -30,10 +38,12 @@ pub use counted::CountedRelation;
 pub use delta::{InstanceDelta, RelationDelta};
 pub use error::RelError;
 pub use fact::{Fact, RelName, Tuple};
-pub use index::Index;
+pub use index::{Index, ProbeHits, ProbeIter, RowHits};
 pub use instance::Instance;
+pub use intern::{Symbol, Vid};
 pub use iso::Iso;
 pub use multiset::FactMultiset;
-pub use relation::Relation;
+pub use relation::{Relation, StorageMode};
+pub use runs::Run;
 pub use schema::Schema;
 pub use value::Value;

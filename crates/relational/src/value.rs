@@ -7,27 +7,34 @@
 //! names for elements; nothing in the kernel gives them arithmetic or
 //! lexicographic *semantics* (the total order on [`Value`] exists only so
 //! that relations can be stored in ordered sets deterministically).
+//!
+//! Since the columnar storage engine landed, `Value` is a 16-byte
+//! `Copy` type: symbols are process-interned [`Symbol`] ids (see
+//! [`crate::intern`]), so cloning a value is a register move and symbol
+//! equality is an integer compare. The total order is unchanged —
+//! integers numerically, then symbols lexicographically — and is
+//! independent of interner state.
 
+use crate::intern::Symbol;
 use std::fmt;
-use std::sync::Arc;
 
 /// An atomic data element of the universe **dom**.
 ///
 /// Node identifiers of a network are also values (the paper stores nodes
 /// in relations, e.g. in `Id` and `All`), so there is no separate node
 /// type: a node is whatever [`Value`] names it.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Value {
     /// An integer-named element.
     Int(i64),
-    /// A symbol-named element (interned via `Arc<str>`, cheap to clone).
-    Sym(Arc<str>),
+    /// A symbol-named element (process-interned, `Copy`).
+    Sym(Symbol),
 }
 
 impl Value {
     /// Build a symbol value from anything string-like.
     pub fn sym(s: impl AsRef<str>) -> Self {
-        Value::Sym(Arc::from(s.as_ref()))
+        Value::Sym(Symbol::new(s))
     }
 
     /// Build an integer value.
@@ -47,7 +54,25 @@ impl Value {
     pub fn as_sym(&self) -> Option<&str> {
         match self {
             Value::Int(_) => None,
-            Value::Sym(s) => Some(s),
+            Value::Sym(s) => Some(s.as_str()),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Int(_), Value::Sym(_)) => Ordering::Less,
+            (Value::Sym(_), Value::Int(_)) => Ordering::Greater,
+            (Value::Sym(a), Value::Sym(b)) => a.cmp(b),
         }
     }
 }
@@ -81,7 +106,7 @@ impl From<&str> for Value {
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
-        Value::Sym(Arc::from(s.as_str()))
+        Value::sym(s)
     }
 }
 
@@ -139,9 +164,16 @@ mod tests {
     }
 
     #[test]
+    fn value_is_copy() {
+        let v = Value::sym("a-long-symbol-name-for-testing");
+        let w = v; // plain Copy, no allocation
+        assert_eq!(v, w);
+    }
+
+    #[test]
     fn clone_is_cheap_and_equal() {
         let v = Value::sym("a-long-symbol-name-for-testing");
-        let w = v.clone();
+        let w = v;
         assert_eq!(v, w);
     }
 }

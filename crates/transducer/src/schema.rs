@@ -111,12 +111,12 @@ impl TransducerSchema {
         let mut state = local_input.widen(self.state_schema())?;
         state.insert_fact(rtx_relational::Fact::new(
             RelName::new(SYS_ID),
-            rtx_relational::Tuple::new(vec![me.clone()]),
+            rtx_relational::Tuple::new(vec![*me]),
         ))?;
         for v in all_nodes {
             state.insert_fact(rtx_relational::Fact::new(
                 RelName::new(SYS_ALL),
-                rtx_relational::Tuple::new(vec![v.clone()]),
+                rtx_relational::Tuple::new(vec![*v]),
             ))?;
         }
         Ok(state)

@@ -55,7 +55,7 @@ fn random_layered_program(seed: u64, n_rules: usize) -> Program {
             body.push(Literal::Pos(Atom::new(pred, terms)));
         }
         let pick = |rng: &mut rand::rngs::StdRng, vars: &[Var]| -> Var {
-            vars[rng.gen_range(0usize..vars.len())].clone()
+            vars[rng.gen_range(0usize..vars.len())]
         };
         if rng.gen_range(0usize..3) == 0 {
             // Bottom layer negates EDB; top layer may negate the middle

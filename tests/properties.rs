@@ -259,7 +259,7 @@ fn random_program(seed: u64, n_rules: usize) -> rtx::query::Program {
             body.push(Literal::Pos(Atom::new(pred, terms)));
         }
         let pick = |rng: &mut rand::rngs::StdRng, vars: &[Var]| -> Var {
-            vars[rng.gen_range(0usize..vars.len())].clone()
+            vars[rng.gen_range(0usize..vars.len())]
         };
         if rng.gen_range(0usize..3) == 0 {
             let v = pick(&mut rng, &body_vars);

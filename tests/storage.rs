@@ -1,0 +1,296 @@
+//! Property tests for the storage engines: the columnar sorted-run
+//! engine against the B-tree oracle (`RTX_STORAGE=btree`), under the
+//! schedules that exercise every adoption path — random interleaved
+//! inserts and deletes, `diff`/`apply_delta` round trips, set algebra,
+//! random stratified programs under naive and semi-naive evaluation,
+//! and the incremental fixpoint. Plus determinism of the process-wide
+//! value interner, which both engines share.
+//!
+//! Every test here builds **both** representations explicitly with
+//! `empty_in`/`from_facts_in`, so the suite is oracle-complete no
+//! matter what `RTX_STORAGE` the ambient process runs under.
+
+use proptest::prelude::*;
+use rtx::query::{EvalStrategy, MaintainedFixpoint};
+use rtx::relational::{fact, Fact, Instance, Relation, Schema, StorageMode, Tuple, Value, Vid};
+
+fn tuple2(a: u8, b: u8) -> Tuple {
+    vec![Value::Int(a as i64), Value::Int(b as i64)].into()
+}
+
+/// One mutation in a randomized schedule: `(insert?, a, b)` — insert
+/// `(a, b)` when the flag is set, otherwise remove it. (The compat
+/// proptest has no mapping combinators, so schedules stay raw tuples.)
+fn op_strategy() -> (
+    proptest::strategy::Any<bool>,
+    std::ops::Range<u8>,
+    std::ops::Range<u8>,
+) {
+    (any::<bool>(), 0u8..12, 0u8..12)
+}
+
+fn edge_instance_in(mode: StorageMode, pairs: &[(u8, u8)]) -> Instance {
+    let mut i = Instance::empty_in(mode, Schema::new().with("E", 2));
+    for &(a, b) in pairs {
+        i.insert_fact(fact!("E", a as i64, b as i64)).unwrap();
+    }
+    i
+}
+
+/// The pool of always-safe stratified rules a random program draws
+/// from: stratum 1 is positive (and optionally recursive) over the EDB
+/// `E`, stratum 2 negates stratum-1 predicates. Index 0 is mandatory so
+/// `P` is never undefined under negation.
+const RULE_POOL: [&str; 8] = [
+    "p(X,Y) :- e(X,Y).",
+    "p(X,Z) :- p(X,Y), e(Y,Z).",
+    "q(X) :- e(X,Y).",
+    "q(Y) :- e(X,Y).",
+    "r(X,Y) :- e(X,Y), !p(Y,X).",
+    "s(X) :- q(X), !p(X,X).",
+    "s(Y) :- e(X,Y), X != Y.",
+    "w(X,Y) :- e(X,Y), q(Y), !s(X).",
+];
+
+fn random_program(picks: &[bool]) -> String {
+    let mut src = String::from(RULE_POOL[0]);
+    for (i, rule) in RULE_POOL.iter().enumerate().skip(1) {
+        if *picks.get(i - 1).unwrap_or(&false) {
+            src.push(' ');
+            src.push_str(rule);
+        }
+    }
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Columnar and B-tree relations agree tuple-for-tuple under any
+    /// interleaving of inserts and deletes — the schedule that forces
+    /// tail accumulation, run adoption, and tombstone handling in the
+    /// columnar engine.
+    #[test]
+    fn columnar_matches_btree_under_mutation_schedules(
+        ops in proptest::collection::vec(op_strategy(), 0..60),
+    ) {
+        let mut col = Relation::empty_in(StorageMode::Columnar, 2);
+        let mut bt = Relation::empty_in(StorageMode::Btree, 2);
+        for op in &ops {
+            let (ins, a, b) = *op;
+            if ins {
+                let (x, y) = (col.insert(tuple2(a, b)).unwrap(),
+                              bt.insert(tuple2(a, b)).unwrap());
+                prop_assert_eq!(x, y, "insert novelty must agree");
+            } else {
+                prop_assert_eq!(col.remove(&tuple2(a, b)), bt.remove(&tuple2(a, b)));
+            }
+            prop_assert_eq!(col.len(), bt.len());
+        }
+        // Cross-mode equality is content equality.
+        prop_assert_eq!(&col, &bt);
+        prop_assert!(col.iter().eq(bt.iter()), "iteration order is the sorted order");
+        for a in 0..12u8 {
+            for b in 0..12u8 {
+                prop_assert_eq!(col.contains(&tuple2(a, b)), bt.contains(&tuple2(a, b)));
+            }
+        }
+    }
+
+    /// `diff` and `apply_delta` round-trip across engines: a delta
+    /// computed between B-tree relations moves a columnar relation to
+    /// the same contents, and vice versa.
+    #[test]
+    fn deltas_transport_across_engines(
+        from in proptest::collection::vec((0u8..10, 0u8..10), 0..25),
+        to in proptest::collection::vec((0u8..10, 0u8..10), 0..25),
+    ) {
+        let mk = |mode, pairs: &[(u8, u8)]| {
+            Relation::from_tuples_in(
+                mode, 2, pairs.iter().map(|&(a, b)| tuple2(a, b)).collect::<Vec<_>>(),
+            ).unwrap()
+        };
+        let bt_from = mk(StorageMode::Btree, &from);
+        let bt_to = mk(StorageMode::Btree, &to);
+        let col_from = mk(StorageMode::Columnar, &from);
+        let col_to = mk(StorageMode::Columnar, &to);
+
+        let delta_bt = bt_to.diff(&bt_from).unwrap();
+        let delta_col = col_to.diff(&col_from).unwrap();
+        prop_assert_eq!(delta_bt.added(), delta_col.added());
+        prop_assert_eq!(delta_bt.removed(), delta_col.removed());
+
+        let mut col = col_from.clone();
+        col.apply_delta(&delta_bt).unwrap();
+        prop_assert_eq!(&col, &bt_to);
+        let mut bt = bt_from.clone();
+        bt.apply_delta(&delta_col).unwrap();
+        prop_assert_eq!(&bt, &col_to);
+    }
+
+    /// The set algebra (union / intersect / difference / subset) gives
+    /// identical answers whichever engine holds either operand.
+    #[test]
+    fn set_algebra_agrees_across_engines(
+        xs in proptest::collection::vec((0u8..8, 0u8..8), 0..20),
+        ys in proptest::collection::vec((0u8..8, 0u8..8), 0..20),
+    ) {
+        let mk = |mode, pairs: &[(u8, u8)]| {
+            Relation::from_tuples_in(
+                mode, 2, pairs.iter().map(|&(a, b)| tuple2(a, b)).collect::<Vec<_>>(),
+            ).unwrap()
+        };
+        let (cx, cy) = (mk(StorageMode::Columnar, &xs), mk(StorageMode::Columnar, &ys));
+        let (bx, by) = (mk(StorageMode::Btree, &xs), mk(StorageMode::Btree, &ys));
+        prop_assert_eq!(cx.union(&cy).unwrap(), bx.union(&by).unwrap());
+        prop_assert_eq!(cx.intersect(&cy).unwrap(), bx.intersect(&by).unwrap());
+        prop_assert_eq!(cx.difference(&cy).unwrap(), bx.difference(&by).unwrap());
+        // Mixed-mode operands hit the cross-engine paths.
+        prop_assert_eq!(cx.union(&by).unwrap(), bx.union(&cy).unwrap());
+        prop_assert_eq!(cx.is_subset(&by), bx.is_subset(&cy));
+    }
+
+    /// Random stratified programs (negation, disequality, recursion)
+    /// evaluate identically under naive and semi-naive strategies on
+    /// both storage engines — four evaluations, one answer.
+    #[test]
+    fn stratified_evaluation_is_engine_independent(
+        pairs in proptest::collection::vec((0u8..6, 0u8..6), 0..14),
+        picks in proptest::collection::vec(any::<bool>(), RULE_POOL.len() - 1),
+    ) {
+        let program = rtx::query::parser::parse_program(&random_program(&picks)).unwrap();
+        let mut outs: Vec<Instance> = Vec::new();
+        for mode in [StorageMode::Columnar, StorageMode::Btree] {
+            let db = edge_instance_in(mode, &pairs);
+            for strategy in [EvalStrategy::Naive, EvalStrategy::SemiNaive] {
+                outs.push(program.eval_with(&db, strategy).unwrap());
+            }
+        }
+        for other in &outs[1..] {
+            prop_assert_eq!(&outs[0], other);
+        }
+    }
+
+    /// The incremental fixpoint over a random schedule of EDB deltas
+    /// agrees with from-scratch evaluation, whichever engine holds the
+    /// base instance — the counting/DRed path against the oracle.
+    #[test]
+    fn incremental_fixpoint_matches_scratch_on_both_engines(
+        base in proptest::collection::vec((0u8..6, 0u8..6), 0..10),
+        ticks in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(), 1..6), 0..5),
+        picks in proptest::collection::vec(any::<bool>(), RULE_POOL.len() - 1),
+    ) {
+        let program = rtx::query::parser::parse_program(&random_program(&picks)).unwrap();
+        for mode in [StorageMode::Columnar, StorageMode::Btree] {
+            let mut db = edge_instance_in(mode, &base);
+            let mut maintained = MaintainedFixpoint::new(&program).unwrap();
+            maintained.initialize(&db).unwrap();
+            for tick in &ticks {
+                let mut next = db.clone();
+                for op in tick {
+                    let (ins, a, b) = *op;
+                    if ins {
+                        next.insert_fact(fact!("E", a as i64, b as i64)).unwrap();
+                    } else {
+                        next.remove_fact(&fact!("E", a as i64, b as i64));
+                    }
+                }
+                let delta = next.diff(&db);
+                db = next;
+                let incr = maintained.apply(&delta).unwrap().clone();
+                let scratch = program.eval(&db).unwrap();
+                prop_assert_eq!(incr, scratch);
+            }
+        }
+    }
+
+    /// Interner determinism: interning the same value always yields the
+    /// same id, the id round-trips to the value, and id-level ordering
+    /// agrees with value ordering.
+    #[test]
+    fn interner_is_deterministic_and_order_faithful(
+        ints in proptest::collection::vec(-1000i64..1000, 0..40),
+        syms in proptest::collection::vec(0u16..40, 0..20),
+    ) {
+        let mut values: Vec<Value> = ints.iter().map(|&i| Value::Int(i)).collect();
+        values.extend(syms.iter().map(|n| Value::sym(format!("storage-sym-{n}").as_str())));
+        for v in &values {
+            let id = Vid::from_value(v);
+            prop_assert_eq!(id, Vid::from_value(v), "same value, same id");
+            prop_assert_eq!(&id.value(), v, "ids round-trip");
+            prop_assert_eq!(id.cmp_value(v), std::cmp::Ordering::Equal);
+        }
+        for a in &values {
+            for b in &values {
+                let (ia, ib) = (Vid::from_value(a), Vid::from_value(b));
+                prop_assert_eq!(
+                    ia.cmp_structural(ib), a.cmp(b),
+                    "structural id order mirrors value order"
+                );
+                if ia.raw_ordered() && ib.raw_ordered() {
+                    prop_assert_eq!(
+                        ia.raw().cmp(&ib.raw()), a.cmp(b),
+                        "inline ids compare by raw bits"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Interning is deterministic across threads racing on the same fresh
+/// symbols: every thread resolves each name to the same id.
+#[test]
+fn interner_agrees_across_racing_threads() {
+    let names: Vec<String> = (0..64).map(|i| format!("storage-race-{i}")).collect();
+    let ids: Vec<Vec<Vid>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let names = &names;
+                scope.spawn(move || {
+                    names
+                        .iter()
+                        .map(|n| Vid::from_value(&Value::sym(n.as_str())))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for other in &ids[1..] {
+        assert_eq!(&ids[0], other);
+    }
+    for (n, id) in names.iter().zip(&ids[0]) {
+        assert_eq!(id.value(), Value::sym(n.as_str()));
+    }
+}
+
+/// A columnar instance and a B-tree instance built from the same fact
+/// stream are equal, and `Instance::diff`/`apply_delta` transport
+/// across engines at the instance level too.
+#[test]
+fn instance_deltas_transport_across_engines() {
+    let schema = Schema::new().with("E", 2).with("S", 1);
+    let facts: Vec<Fact> = vec![
+        fact!("E", 1, 2),
+        fact!("E", 2, 3),
+        fact!("S", 7),
+        fact!("E", 1, 2), // duplicate: second insert is a no-op
+    ];
+    let col =
+        Instance::from_facts_in(StorageMode::Columnar, schema.clone(), facts.clone()).unwrap();
+    let bt = Instance::from_facts_in(StorageMode::Btree, schema.clone(), facts).unwrap();
+    assert_eq!(col, bt);
+    assert_eq!(col.fact_count(), 3);
+
+    let mut target = Instance::from_facts_in(
+        StorageMode::Columnar,
+        schema,
+        vec![fact!("E", 9, 9), fact!("S", 7)],
+    )
+    .unwrap();
+    let delta = bt.diff(&target);
+    target.apply_delta(&delta).unwrap();
+    assert_eq!(target, bt);
+}
