@@ -13,7 +13,7 @@
 //! the sharded rows degrade to serial plus coordination overhead —
 //! check `nproc` before reading the numbers.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Calibration, Criterion};
 use rtx_bench::set_input;
 use rtx_calm::constructions::flood::{flood_transducer, FloodMode};
 use rtx_net::{
@@ -24,6 +24,20 @@ use rtx_net::{
 /// Rounds of work per iteration: each round is one heartbeat per node
 /// plus up to one delivery per node, so the budget is `2 * ROUNDS * n`.
 const ROUNDS: usize = 8;
+
+/// Calibration for the `net-*` groups: single iterations here run
+/// tens of milliseconds (a whole network to a step budget), so the
+/// default 200ms sampling budget exhausts before the MAD converges
+/// and the record lands `calibrated: 0` (the PR-7 baseline's
+/// `net-sharded/serial/ring-256` showed a 28ms MAD). Raise the floor
+/// so every committed record calibrates; `RTX_BENCH_BUDGET_MS` can
+/// still push it higher.
+fn net_cal() -> Option<Calibration> {
+    Calibration::auto().map(|c| Calibration {
+        budget: c.budget.max(std::time::Duration::from_millis(4000)),
+        ..c
+    })
+}
 
 fn topologies() -> Vec<(&'static str, Network)> {
     vec![
@@ -48,14 +62,14 @@ fn bench_parallel_vs_serial(c: &mut Criterion) {
         let p = HorizontalPartition::round_robin(&net, &input);
         let budget = RunBudget::steps(2 * ROUNDS * net.len());
         group.bench_with_input(BenchmarkId::new("serial", label), &net, |b, net| {
-            b.iter(|| {
+            b.iter_with(net_cal(), || {
                 let out = run_sharded(net, &t, &p, &ShardOptions::serial(), &budget).unwrap();
                 assert!(out.outcome.steps > 0);
                 out.outcome.messages_enqueued
             })
         });
         group.bench_with_input(BenchmarkId::new("sharded-4", label), &net, |b, net| {
-            b.iter(|| {
+            b.iter_with(net_cal(), || {
                 let out = run_sharded(net, &t, &p, &ShardOptions::sharded(4), &budget).unwrap();
                 assert!(out.outcome.steps > 0);
                 out.outcome.messages_enqueued
@@ -75,7 +89,7 @@ fn bench_thread_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("net-threads-grid-256");
     group.sample_size(3);
     group.bench_function(BenchmarkId::from_parameter("serial"), |b| {
-        b.iter(|| {
+        b.iter_with(net_cal(), || {
             run_sharded(&net, &t, &p, &ShardOptions::serial(), &budget)
                 .unwrap()
                 .outcome
@@ -87,7 +101,7 @@ fn bench_thread_sweep(c: &mut Criterion) {
             BenchmarkId::from_parameter(threads),
             &threads,
             |b, &threads| {
-                b.iter(|| {
+                b.iter_with(net_cal(), || {
                     run_sharded(&net, &t, &p, &ShardOptions::sharded(threads), &budget)
                         .unwrap()
                         .outcome
@@ -123,7 +137,7 @@ fn bench_delivery_batching(c: &mut Criterion) {
         ] {
             let opts = ShardOptions::serial().with_delivery(policy);
             group.bench_with_input(BenchmarkId::new(plabel, label), &net, |b, net| {
-                b.iter(|| {
+                b.iter_with(net_cal(), || {
                     let out = run_sharded(net, &t, &p, &opts, &budget).unwrap();
                     assert!(out.outcome.quiescent);
                     out.rounds
@@ -165,7 +179,7 @@ fn bench_sparse_frontier(c: &mut Criterion) {
         let p = HorizontalPartition::concentrate(&net, &input, &NodeId::sym("n0")).unwrap();
         let budget = RunBudget::steps(usize::MAX / 2);
         group.bench_with_input(BenchmarkId::new("sparse", label), &net, |b, net| {
-            b.iter(|| {
+            b.iter_with(net_cal(), || {
                 let cfg = Configuration::initial_lean(net, &t, &p).unwrap();
                 let out = run_sparse_from(net, &t, cfg, &ShardOptions::serial(), &budget).unwrap();
                 assert!(out.outcome.quiescent);

@@ -1,10 +1,13 @@
-//! Storage-engine microbenchmarks: the columnar sorted-run engine
+//! Storage-engine microbenchmarks: the adaptive and columnar engines
 //! against the `RTX_STORAGE=btree` oracle on the operations the
 //! relational kernel actually spends time in — bulk construction,
 //! tail inserts with adoption, delta application (run merge), and
-//! membership probes. Both engines are pinned explicitly with
-//! `empty_in`/`from_tuples_in`, so one run records the ablation
-//! whatever the ambient `RTX_STORAGE` is.
+//! membership probes — plus a `storage-adaptive/threshold-sweep`
+//! group that measures insert/remove/probe/scan at relation sizes
+//! straddling the promotion threshold, the empirical basis for the
+//! default `RTX_STORAGE_PROMOTE=256`. All engines are pinned
+//! explicitly with `empty_in`/`from_tuples_in`, so one run records
+//! the ablation whatever the ambient `RTX_STORAGE` is.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtx_relational::{Relation, StorageMode, Tuple, Value};
@@ -20,8 +23,9 @@ fn scattered(n: usize) -> Vec<Tuple> {
         .collect()
 }
 
-fn modes() -> [(&'static str, StorageMode); 2] {
+fn modes() -> [(&'static str, StorageMode); 3] {
     [
+        ("adaptive", StorageMode::Adaptive),
         ("columnar", StorageMode::Columnar),
         ("btree", StorageMode::Btree),
     ]
@@ -116,5 +120,93 @@ fn bench_storage(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_storage);
+/// The threshold sweep: the round executors' workload shape — point
+/// inserts, removes, probes, and occasional ordered scans on relations
+/// of a few dozen to a few thousand tuples — at sizes straddling the
+/// promotion threshold (16/64 stay in the small regime under the
+/// default threshold, 256 promotes exactly at the boundary, 1024 runs
+/// promoted). The adaptive engine should track btree below the
+/// threshold and columnar above it.
+fn bench_threshold_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage-adaptive");
+    group.sample_size(10);
+    for n in [16usize, 64, 256, 1024] {
+        let tuples = scattered(n);
+        for (label, mode) in modes() {
+            // insert: grow from empty by point inserts (the transducer
+            // round shape), reading nothing.
+            group.bench_with_input(
+                BenchmarkId::new(format!("threshold-sweep-insert-{label}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut r = Relation::empty_in(mode, 2);
+                        for t in &tuples {
+                            r.insert(t.clone()).unwrap();
+                        }
+                        r.len()
+                    })
+                },
+            );
+
+            // remove: drain half of a built relation fact by fact.
+            let base = Relation::from_tuples_in(mode, 2, tuples.clone()).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("threshold-sweep-remove-{label}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut r = base.clone();
+                        for t in tuples.iter().step_by(2) {
+                            r.remove(t);
+                        }
+                        r.len()
+                    })
+                },
+            );
+
+            // probe: membership over the whole key range, half misses.
+            let probes: Vec<Tuple> = (0..n)
+                .map(|i| {
+                    let a = (i * 7919) % n;
+                    let b = if i % 2 == 0 { i as i64 } else { -1 };
+                    vec![Value::Int(a as i64), Value::Int(b)].into()
+                })
+                .collect();
+            group.bench_with_input(
+                BenchmarkId::new(format!("threshold-sweep-probe-{label}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut hits = 0usize;
+                        for t in &probes {
+                            if base.contains(t) {
+                                hits += 1;
+                            }
+                        }
+                        hits
+                    })
+                },
+            );
+
+            // scan: ordered iteration after a point mutation — the
+            // order-demand cost (sort for small, fold for columnar).
+            group.bench_with_input(
+                BenchmarkId::new(format!("threshold-sweep-scan-{label}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut r = base.clone();
+                        r.remove(&tuples[0]);
+                        r.insert(tuples[0].clone()).unwrap();
+                        r.iter().count()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage, bench_threshold_sweep);
 criterion_main!(benches);

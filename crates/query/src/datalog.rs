@@ -11,7 +11,7 @@ use crate::frame::Frame;
 use crate::plan::{self, JoinMode};
 use crate::query::Query;
 use crate::term::{Atom, Bindings, Term, Var};
-use rtx_relational::{Fact, Instance, RelName, Relation, Run, Schema, StorageMode, Tuple};
+use rtx_relational::{Fact, Instance, RelName, Relation, Run, Schema, Tuple};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
@@ -755,7 +755,7 @@ impl Program {
             // The run-based fixpoint loops dedup and fold derived
             // facts with galloping run merges; the btree engine keeps
             // the original fact-at-a-time loops as the oracle.
-            let columnar = total.mode() == StorageMode::Columnar;
+            let columnar = total.mode().uses_runs();
             match (strategy, columnar) {
                 (EvalStrategy::Naive, true) => self.run_naive_runs(&rules, &mut total, mode)?,
                 (EvalStrategy::Naive, false) => self.run_naive(&rules, &mut total, mode)?,
@@ -1029,7 +1029,7 @@ impl Program {
             (&widened_owned, schema)
         };
         let mut out = Instance::empty(schema);
-        if widened.mode() == StorageMode::Columnar {
+        if widened.mode().uses_runs() {
             for r in &self.rules {
                 let run = r.derive_to_run(widened, widened, None, mode)?;
                 out.absorb_run(&r.head.pred, &run)?;

@@ -135,9 +135,25 @@ impl Instance {
         if rel.is_empty() {
             self.relations.remove(&name);
         } else {
-            self.relations.insert(name, rel);
+            // Keep the instance storage-homogeneous: query outputs
+            // arrive as plain columnar runs whatever the instance
+            // mode; re-house them. Under the adaptive engine this is
+            // the bulk-rebuild point where a shrunken relation
+            // re-enters the small regime.
+            self.relations.insert(name, rel.into_mode(self.mode));
         }
         Ok(())
+    }
+
+    /// Snapshot the storage counters of every populated relation, in
+    /// name order — promotion/fold/probe observability for the
+    /// adaptive engine (see [`crate::runs::StorageStats`]). Printed by
+    /// `exp_examples` under `RTX_STORAGE_STATS=1`.
+    pub fn storage_stats(&self) -> Vec<(RelName, crate::runs::StorageStats)> {
+        self.relations
+            .iter()
+            .map(|(name, rel)| (name.clone(), rel.storage_stats()))
+            .collect()
     }
 
     /// Union a sorted run of tuples into the relation `name` in place

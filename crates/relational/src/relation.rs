@@ -1,27 +1,41 @@
 //! Finite relations: ordered sets of tuples of a fixed arity.
 //!
-//! Two physical storage engines live behind the one `Relation` API:
+//! Three physical storage engines live behind the one `Relation` API:
 //!
-//! * **columnar** (the default): an immutable sorted [`Run`] of flat
-//!   `Vec<Vid>` columns plus small sorted add/delete *tails*; reads
-//!   that need the full sorted view fold the tails into a fresh run
-//!   once (cached until the next mutation), set algebra and delta
-//!   application are galloping merge walks over runs, and indexes are
-//!   permutation/range views into the run rather than side tables;
+//! * **adaptive** (the default): relations stay in a flat *unsorted*
+//!   append log with tombstones ([`SmallTail`]) while they are small —
+//!   inserts, removes, and membership are O(tail) linear probes with
+//!   zero sort/fold cost, exactly the shape of the round executors'
+//!   tiny per-node relations — and **promote** to sorted columnar runs
+//!   when they outgrow [`adaptive_promote_len`], when a consumer
+//!   demands order while they sit above the hysteresis floor
+//!   ([`adaptive_reentry_len`], a quarter of the promotion threshold),
+//!   or when a bulk run absorption carries them past the floor.
+//!   Promotion is one-way per growth episode; bulk rebuilds (delta
+//!   application, [`crate::Instance::set_relation`]) re-enter the
+//!   small regime only at or below the floor — keeping the folded run
+//!   as the pre-built sorted cache — so churn-heavy workloads never
+//!   flap;
+//! * **columnar** (`RTX_STORAGE=columnar`): an immutable sorted
+//!   [`Run`] of flat `Vec<Vid>` columns plus small sorted add/delete
+//!   *tails*; reads that need the full sorted view fold the tails into
+//!   a fresh run once (cached until the next mutation), set algebra
+//!   and delta application are galloping merge walks over runs, and
+//!   indexes are permutation/range views into the run;
 //! * **btree** (`RTX_STORAGE=btree`): the original `BTreeSet<Tuple>`
 //!   representation, kept as the equivalence oracle and measurable
 //!   ablation.
 //!
-//! Both engines present identical *values*: same iteration order, same
+//! All engines present identical *values*: same iteration order, same
 //! equality, same `Ord` — `tests/storage.rs` holds them to that under
-//! randomized schedules. Mixed-mode comparisons are supported (a
-//! columnar relation can equal a btree one).
+//! randomized schedules. Mixed-mode comparisons are supported (an
+//! adaptive relation can equal a btree one).
 
 use crate::delta::RelationDelta;
 use crate::error::RelError;
 use crate::fact::Tuple;
 use crate::index::Index;
-use crate::runs::Run;
+use crate::runs::{Run, SmallTail, StatCells, StorageStats};
 use crate::value::Value;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -29,8 +43,9 @@ use std::sync::{Arc, OnceLock, RwLock};
 
 /// Which physical storage engine a [`Relation`] uses.
 ///
-/// The process-wide default is [`StorageMode::Columnar`], overridable
-/// with `RTX_STORAGE=btree` (the ablation/oracle engine); individual
+/// The process-wide default is [`StorageMode::Adaptive`], overridable
+/// with `RTX_STORAGE=columnar` (always-sorted runs) or
+/// `RTX_STORAGE=btree` (the original oracle engine); individual
 /// relations and instances can be built in an explicit mode with the
 /// `*_in` constructors, e.g. for in-process equivalence testing.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -39,27 +54,69 @@ pub enum StorageMode {
     Btree,
     /// Sorted columnar runs of interned ids + index views.
     Columnar,
+    /// Per-relation adaptive storage: small relations live in a flat
+    /// unsorted log ([`SmallTail`]) and promote to sorted columnar
+    /// runs when they outgrow [`adaptive_promote_len`] or a consumer
+    /// demands order above the [`adaptive_reentry_len`] hysteresis
+    /// floor.
+    Adaptive,
 }
 
 impl StorageMode {
-    /// Parse a mode name (`"btree"` / `"columnar"`).
+    /// Parse a mode name (`"btree"` / `"columnar"` / `"adaptive"`).
     pub fn parse(s: &str) -> Option<StorageMode> {
         match s.to_ascii_lowercase().as_str() {
             "btree" => Some(StorageMode::Btree),
             "columnar" | "col" => Some(StorageMode::Columnar),
+            "adaptive" | "auto" => Some(StorageMode::Adaptive),
             _ => None,
         }
     }
 
     /// The process-wide default mode: `RTX_STORAGE` if set and valid,
-    /// else [`StorageMode::Columnar`]. Read once and cached.
+    /// else [`StorageMode::Adaptive`]. Read once and cached.
     pub fn global() -> StorageMode {
         static MODE: OnceLock<StorageMode> = OnceLock::new();
         *MODE.get_or_init(|| {
-            rtx_core::env::parse_choice("RTX_STORAGE", "btree|columnar", StorageMode::parse)
-                .unwrap_or(StorageMode::Columnar)
+            rtx_core::env::parse_choice(
+                "RTX_STORAGE",
+                "btree|columnar|adaptive",
+                StorageMode::parse,
+            )
+            .unwrap_or(StorageMode::Adaptive)
         })
     }
+
+    /// Can relations of this mode hand out sorted runs
+    /// ([`Relation::columnar_run`] is always `Some`)? True for both
+    /// [`StorageMode::Columnar`] and [`StorageMode::Adaptive`] — the
+    /// run-based query executors branch on this.
+    pub fn uses_runs(self) -> bool {
+        !matches!(self, StorageMode::Btree)
+    }
+}
+
+/// The live-tuple count at which an adaptive small relation promotes
+/// to sorted columnar runs. Defaults to 256, overridable with
+/// `RTX_STORAGE_PROMOTE` (clamped to ≥ 4; read once). The
+/// `storage-adaptive/threshold-sweep` bench group justifies the
+/// default empirically.
+pub fn adaptive_promote_len() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        rtx_core::env::parse_u64("RTX_STORAGE_PROMOTE")
+            .map(|v| (v as usize).max(4))
+            .unwrap_or(256)
+    })
+}
+
+/// The hysteresis floor of the adaptive engine: a quarter of
+/// [`adaptive_promote_len`]. Order demands on relations at or below
+/// this size never trigger promotion, and bulk rebuilds re-enter the
+/// small regime only at or below it — a promoted relation is never
+/// demoted above the floor, so promote/demote cycles cannot flap.
+pub fn adaptive_reentry_len() -> usize {
+    adaptive_promote_len() / 4
 }
 
 /// Lazily built secondary hash indexes for the btree engine, keyed by
@@ -68,7 +125,9 @@ impl StorageMode {
 /// The cache never influences a relation's value: it is skipped by
 /// `Clone`/`Eq`/`Ord` and dropped whenever the tuple set mutates. (The
 /// columnar engine needs no such cache — its index views hang off the
-/// run itself, one lock-free chain per run generation.)
+/// run itself, one lock-free chain per run generation. The adaptive
+/// small regime rebuilds indexes from the log on demand; at its scale
+/// a build is cheaper than cache bookkeeping.)
 #[derive(Default)]
 struct IndexCache(RwLock<BTreeMap<Box<[usize]>, Arc<Index>>>);
 
@@ -87,20 +146,34 @@ impl IndexCache {
 /// `merged` cache, when set, is exactly `(base ∖ dels) ∪ adds` — any
 /// mutation first *adopts* a set `merged` as the new base (advancing
 /// the run generation) and always leaves `merged` unset.
+///
+/// `adaptive` marks a store the adaptive engine promoted (or built
+/// above the small threshold): it reports [`StorageMode::Adaptive`]
+/// from [`Relation::mode`] and may demote back to the small regime on
+/// a bulk rebuild that lands at or below [`adaptive_reentry_len`].
+#[derive(Clone)]
 struct ColStore {
     base: Arc<Run>,
     adds: BTreeSet<Tuple>,
     dels: BTreeSet<Tuple>,
     merged: OnceLock<Arc<Run>>,
+    adaptive: bool,
+    stats: StatCells,
 }
 
 impl ColStore {
     fn from_run(run: Run) -> ColStore {
+        ColStore::new(Arc::new(run), false)
+    }
+
+    fn new(base: Arc<Run>, adaptive: bool) -> ColStore {
         ColStore {
-            base: Arc::new(run),
+            base,
             adds: BTreeSet::new(),
             dels: BTreeSet::new(),
             merged: OnceLock::new(),
+            adaptive,
+            stats: StatCells::default(),
         }
     }
 
@@ -118,6 +191,9 @@ impl ColStore {
         if self.adds.is_empty() && self.dels.is_empty() {
             &self.base
         } else {
+            if self.merged.get().is_none() {
+                self.stats.note_fold();
+            }
             self.merged.get_or_init(|| {
                 let add: Vec<Tuple> = self.adds.iter().cloned().collect();
                 let del: Vec<Tuple> = self.dels.iter().cloned().collect();
@@ -136,6 +212,19 @@ impl ColStore {
             self.dels.clear();
         }
     }
+
+    /// Replace the contents with a freshly built run (bulk rebuild),
+    /// keeping the adaptive flag and counters.
+    fn replace_base(&mut self, run: Run) {
+        self.base = Arc::new(run);
+        self.adds.clear();
+        self.dels.clear();
+        self.merged = OnceLock::new();
+    }
+
+    fn note_tail(&self) {
+        self.stats.note_tail_len(self.adds.len() + self.dels.len());
+    }
 }
 
 enum Store {
@@ -144,6 +233,7 @@ enum Store {
         cache: IndexCache,
     },
     Col(ColStore),
+    Small(SmallTail),
 }
 
 /// A finite `k`-ary relation on **dom**.
@@ -155,6 +245,20 @@ enum Store {
 pub struct Relation {
     arity: usize,
     store: Store,
+}
+
+/// Build an adaptive-mode store from sorted, duplicate-free tuples:
+/// the small regime at or below the hysteresis floor, a promoted run
+/// above it.
+fn adaptive_store_from_sorted(arity: usize, tuples: Vec<Tuple>) -> Store {
+    if tuples.len() <= adaptive_reentry_len() {
+        Store::Small(SmallTail::from_sorted(arity, tuples))
+    } else {
+        Store::Col(ColStore::new(
+            Arc::new(Run::from_sorted(arity, tuples.iter())),
+            true,
+        ))
+    }
 }
 
 impl Relation {
@@ -172,6 +276,7 @@ impl Relation {
                 cache: IndexCache::default(),
             },
             StorageMode::Columnar => Store::Col(ColStore::from_run(Run::empty(arity))),
+            StorageMode::Adaptive => Store::Small(SmallTail::new(arity)),
         };
         Relation { arity, store }
     }
@@ -198,7 +303,7 @@ impl Relation {
                 }
                 Ok(r)
             }
-            StorageMode::Columnar => {
+            StorageMode::Columnar | StorageMode::Adaptive => {
                 // Sort + dedup once, then build columns directly —
                 // no per-tuple tree rebalancing.
                 let mut v: Vec<Tuple> = Vec::new();
@@ -213,10 +318,12 @@ impl Relation {
                 }
                 v.sort_unstable();
                 v.dedup();
-                Ok(Relation {
-                    arity,
-                    store: Store::Col(ColStore::from_run(Run::from_sorted(arity, v.iter()))),
-                })
+                let store = if mode == StorageMode::Adaptive {
+                    adaptive_store_from_sorted(arity, v)
+                } else {
+                    Store::Col(ColStore::from_run(Run::from_sorted(arity, v.iter())))
+                };
+                Ok(Relation { arity, store })
             }
         }
     }
@@ -235,7 +342,10 @@ impl Relation {
     }
 
     /// Build a columnar relation directly from a sorted run — the
-    /// zero-copy landing for columnar join outputs.
+    /// zero-copy landing for columnar join outputs. (Plain columnar,
+    /// not adaptive: outputs headed for an adaptive instance are
+    /// re-housed by [`crate::Instance::set_relation`] /
+    /// [`Relation::into_mode`].)
     pub fn from_run(run: Run) -> Relation {
         Relation {
             arity: run.arity(),
@@ -243,19 +353,29 @@ impl Relation {
         }
     }
 
-    /// The current sorted run, for columnar relations (folding any
-    /// pending tails, cached until the next mutation); `None` under the
-    /// btree engine. Columnar executors branch on this.
+    /// The current sorted run, for run-backed relations; `None` under
+    /// the btree engine. Columnar relations fold any pending tails
+    /// (cached until the next mutation); adaptive small relations sort
+    /// their log on demand — which **is** the order-demand signal that
+    /// makes the next mutation above the hysteresis floor promote.
+    /// Columnar executors branch on this.
     pub fn columnar_run(&self) -> Option<Arc<Run>> {
         match &self.store {
             Store::Btree { .. } => None,
             Store::Col(c) => Some(Arc::clone(c.run())),
+            Store::Small(s) => Some(Arc::clone(s.sorted_run())),
         }
     }
 
-    /// In-place union with a run of the same arity (columnar engines
-    /// merge runs; btree engines insert row by row). Returns the number
-    /// of tuples actually added.
+    /// In-place union with a run of the same arity (run-backed engines
+    /// merge runs; btree engines insert row by row). Adaptive small
+    /// relations point-insert only while the combined size stays at or
+    /// below the hysteresis floor, else promote first and take the
+    /// galloping merge: absorbing a run is a bulk operation, so the
+    /// cheap-probe argument that lets point inserts ride to the full
+    /// promotion threshold does not apply — repeated O(|tail|·|run|)
+    /// absorbs are exactly the fixpoint inner loop the columnar engine
+    /// wins. Returns the number of tuples actually added.
     pub fn absorb_run(&mut self, run: &Run) -> Result<usize, RelError> {
         if run.arity() != self.arity {
             return Err(RelError::TupleArity {
@@ -265,6 +385,10 @@ impl Relation {
         }
         if run.is_empty() {
             return Ok(0);
+        }
+        self.adaptive_pre_mutation();
+        if matches!(&self.store, Store::Small(s) if s.len() + run.len() > adaptive_reentry_len()) {
+            self.promote();
         }
         match &mut self.store {
             Store::Btree { tuples, cache } => {
@@ -285,18 +409,51 @@ impl Relation {
                     c.base = Arc::new(c.base.union(run));
                 } else {
                     let folded = c.run().union(run);
-                    *c = ColStore::from_run(folded);
+                    c.replace_base(folded);
                 }
                 Ok(c.len() - before)
+            }
+            Store::Small(s) => {
+                let mut grown = 0usize;
+                for t in run.rows() {
+                    if s.insert(t.clone()) {
+                        grown += 1;
+                    }
+                }
+                Ok(grown)
             }
         }
     }
 
-    /// The storage engine backing this relation.
+    /// The storage engine backing this relation. Both regimes of the
+    /// adaptive engine (small log and promoted runs) report
+    /// [`StorageMode::Adaptive`]; see [`Relation::in_small_regime`].
     pub fn mode(&self) -> StorageMode {
         match &self.store {
             Store::Btree { .. } => StorageMode::Btree,
+            Store::Col(c) if c.adaptive => StorageMode::Adaptive,
             Store::Col(_) => StorageMode::Columnar,
+            Store::Small(_) => StorageMode::Adaptive,
+        }
+    }
+
+    /// Is this relation currently in the adaptive engine's small
+    /// (unsorted log) regime? Always `false` for the btree and
+    /// columnar engines; observability for promotion-boundary tests
+    /// and diagnostics.
+    pub fn in_small_regime(&self) -> bool {
+        matches!(&self.store, Store::Small(_))
+    }
+
+    /// A snapshot of this relation's storage counters (promotions,
+    /// folds, small-regime probes, tail high-water mark). Counters
+    /// travel with the relation through clones, promotions, and
+    /// demotions; the btree engine reports all zeros.
+    pub fn storage_stats(&self) -> StorageStats {
+        match &self.store {
+            Store::Btree { .. } => StorageStats::default(),
+            Store::Col(c) => c.stats.snapshot(),
+            Store::Small(s) => s.stats_cells().snapshot(),
         }
     }
 
@@ -310,6 +467,7 @@ impl Relation {
         match &self.store {
             Store::Btree { tuples, .. } => tuples.len(),
             Store::Col(c) => c.len(),
+            Store::Small(s) => s.len(),
         }
     }
 
@@ -328,6 +486,70 @@ impl Relation {
         match &self.store {
             Store::Btree { tuples, .. } => tuples.contains(t),
             Store::Col(c) => t.arity() == self.arity && c.contains(t),
+            Store::Small(s) => t.arity() == self.arity && s.contains(t),
+        }
+    }
+
+    /// Promote an adaptive small relation to sorted columnar runs:
+    /// adopt the sorted view of the log (building it if no consumer
+    /// has yet) as the base run of a tail-less [`ColStore`], carrying
+    /// the counters across. One-way per growth episode.
+    fn promote(&mut self) {
+        if let Store::Small(s) = &self.store {
+            let base = Arc::clone(s.sorted_run());
+            let stats = s.stats_cells().clone();
+            stats.note_promotion();
+            let mut col = ColStore::new(base, true);
+            col.stats = stats;
+            self.store = Store::Col(col);
+        }
+    }
+
+    /// The order-demand half of the promotion policy, run before every
+    /// point mutation: a small relation whose sorted view was demanded
+    /// since the last mutation, and which sits above the hysteresis
+    /// floor, promotes now — the already-built sorted run becomes the
+    /// base for free. At or below the floor the demand is ignored
+    /// (the next mutation just drops the cache), so tiny hot relations
+    /// never leave the small regime however often they are scanned.
+    fn adaptive_pre_mutation(&mut self) {
+        let promote = matches!(
+            &self.store,
+            Store::Small(s) if s.order_demanded() && s.len() > adaptive_reentry_len()
+        );
+        if promote {
+            self.promote();
+        }
+    }
+
+    /// The size half of the promotion policy, run after growth: a
+    /// small relation reaching [`adaptive_promote_len`] promotes.
+    fn adaptive_post_growth(&mut self) {
+        let promote = matches!(&self.store, Store::Small(s) if s.len() >= adaptive_promote_len());
+        if promote {
+            self.promote();
+        }
+    }
+
+    /// Demote a promoted adaptive relation whose *bulk rebuild* landed
+    /// at or below the hysteresis floor back into the small regime
+    /// (the "clear / rebuild re-enters" half of the policy). Point
+    /// removals never demote.
+    fn adaptive_post_rebuild(&mut self) {
+        let demote = matches!(
+            &self.store,
+            Store::Col(c) if c.adaptive && c.len() <= adaptive_reentry_len()
+        );
+        if demote {
+            if let Store::Col(c) = &self.store {
+                // Keep the folded run as the tail's pre-built sorted
+                // cache: a per-tick bulk rebuild that lands small would
+                // otherwise re-sort and rebuild index views on the very
+                // next ordered read, every tick.
+                let run = Arc::clone(c.run());
+                let stats = c.stats.clone();
+                self.store = Store::Small(SmallTail::from_run(run, stats));
+            }
         }
     }
 
@@ -339,29 +561,39 @@ impl Relation {
                 found: t.arity(),
             });
         }
-        match &mut self.store {
+        self.adaptive_pre_mutation();
+        let inserted = match &mut self.store {
             Store::Btree { tuples, cache } => {
                 let inserted = tuples.insert(t);
                 if inserted {
                     cache.clear();
                 }
-                Ok(inserted)
+                inserted
             }
             Store::Col(c) => {
                 c.adopt();
                 if c.dels.remove(&t) {
-                    return Ok(true); // was deleted from base; undelete
+                    true // was deleted from base; undelete
+                } else if c.base.contains(&t) {
+                    false
+                } else {
+                    let inserted = c.adds.insert(t);
+                    c.note_tail();
+                    inserted
                 }
-                if c.base.contains(&t) {
-                    return Ok(false);
-                }
-                Ok(c.adds.insert(t))
             }
-        }
+            Store::Small(s) => s.insert(t),
+        };
+        self.adaptive_post_growth();
+        Ok(inserted)
     }
 
     /// Remove a tuple; `true` if it was present.
     pub fn remove(&mut self, t: &Tuple) -> bool {
+        if t.arity() != self.arity {
+            return false;
+        }
+        self.adaptive_pre_mutation();
         match &mut self.store {
             Store::Btree { tuples, cache } => {
                 let removed = tuples.remove(t);
@@ -371,30 +603,31 @@ impl Relation {
                 removed
             }
             Store::Col(c) => {
-                if t.arity() != self.arity {
-                    return false;
-                }
                 c.adopt();
                 if c.adds.remove(t) {
                     return true;
                 }
                 if c.base.contains(t) {
-                    return c.dels.insert(t.clone());
+                    let removed = c.dels.insert(t.clone());
+                    c.note_tail();
+                    return removed;
                 }
                 false
             }
+            Store::Small(s) => s.remove(t),
         }
     }
 
-    /// A secondary index on the given column subset, built lazily and
-    /// cached until the next mutation.
+    /// A secondary index on the given column subset.
     ///
     /// The returned [`Index`] is an immutable snapshot: it stays valid
-    /// even if the relation mutates afterwards (the cache merely stops
-    /// handing it out). For columnar relations the index is a view into
+    /// even if the relation mutates afterwards. Btree indexes are
+    /// cached until the next mutation; columnar indexes are views into
     /// the current sorted run, cached on the run itself — so clones
     /// sharing a run share its views, and no lock sits on the read
-    /// path.
+    /// path. Adaptive small relations build the index **from the log
+    /// directly** (a local sort, no run, no order-demand signal) —
+    /// at small-regime scale a rebuild is cheaper than caching.
     pub fn index(&self, cols: &[usize]) -> Result<Arc<Index>, RelError> {
         for &c in cols {
             if c >= self.arity {
@@ -419,16 +652,28 @@ impl Relation {
                 Ok(idx)
             }
             Store::Col(c) => Ok(c.run().view(cols)),
+            Store::Small(s) => {
+                // Hash-group the live log in sorted order (probe
+                // results must come back in scan order) without
+                // building or caching a run.
+                let mut live: Vec<&Tuple> = s.live_tuples().collect();
+                live.sort_unstable();
+                Ok(Arc::new(Index::build(cols, live.into_iter())))
+            }
         }
     }
 
     /// The delta turning `from` into `self`: `added = self ∖ from`,
     /// `removed = from ∖ self` (arities must agree).
+    ///
+    /// Delta normalization is an order demand: adaptive small operands
+    /// sort their logs (and may promote on their next mutation if
+    /// above the hysteresis floor).
     pub fn diff(&self, from: &Relation) -> Result<RelationDelta, RelError> {
         self.check_same_arity(from)?;
-        if let (Store::Col(a), Store::Col(b)) = (&self.store, &from.store) {
+        if let Some((ra, rb)) = self.run_pair(from) {
             // Vid-level merge walk: only changed rows materialize.
-            let (added, removed) = a.run().diff(b.run());
+            let (added, removed) = ra.diff(&rb);
             return Ok(RelationDelta::new(self.arity, added, removed));
         }
         let mut added = Vec::new();
@@ -456,10 +701,23 @@ impl Relation {
     /// Apply a delta in place: remove `delta.removed()`, insert
     /// `delta.added()`. Inverse of [`Relation::diff`]:
     /// `from.apply_delta(&to.diff(&from)?)` makes `from == to`.
+    ///
+    /// Adaptive small relations apply the delta as point operations —
+    /// no run merge — unless the result could outgrow the promotion
+    /// threshold; promoted adaptive relations rebuild with one merge
+    /// and re-enter the small regime when the result lands at or below
+    /// the hysteresis floor.
     pub fn apply_delta(&mut self, delta: &RelationDelta) -> Result<(), RelError> {
         crate::delta::check_arity(self.arity, delta.arity())?;
         if delta.is_empty() {
             return Ok(());
+        }
+        self.adaptive_pre_mutation();
+        if matches!(
+            &self.store,
+            Store::Small(s) if s.len() + delta.added().len() >= adaptive_promote_len()
+        ) {
+            self.promote();
         }
         match &mut self.store {
             Store::Btree { tuples, cache } => {
@@ -475,17 +733,29 @@ impl Relation {
                 // One three-way merge over the current run instead of
                 // per-fact tree edits.
                 let next = c.run().apply_sorted(delta.added(), delta.removed());
-                *c = ColStore::from_run(next);
+                c.replace_base(next);
+            }
+            Store::Small(s) => {
+                for t in delta.removed() {
+                    s.remove(t);
+                }
+                for t in delta.added() {
+                    s.insert(t.clone());
+                }
             }
         }
+        self.adaptive_post_rebuild();
         Ok(())
     }
 
-    /// Iterate over tuples in order.
+    /// Iterate over tuples in order. (An order demand: adaptive small
+    /// relations sort their log on first call and cache it until the
+    /// next mutation.)
     pub fn iter(&self) -> Iter<'_> {
         match &self.store {
             Store::Btree { tuples, .. } => Iter::Btree(tuples.iter()),
             Store::Col(c) => Iter::Slice(c.run().rows().iter()),
+            Store::Small(s) => Iter::Slice(s.sorted_run().rows().iter()),
         }
     }
 
@@ -493,27 +763,116 @@ impl Relation {
     /// which are already sorted and deduplicated.
     #[allow(clippy::wrong_self_convention)] // `self` only donates the mode
     fn from_sorted_vec(&self, tuples: Vec<Tuple>) -> Relation {
-        match self.mode() {
-            StorageMode::Btree => Relation {
-                arity: self.arity,
-                store: Store::Btree {
-                    tuples: tuples.into_iter().collect(),
-                    cache: IndexCache::default(),
-                },
+        let store = match self.mode() {
+            StorageMode::Btree => Store::Btree {
+                tuples: tuples.into_iter().collect(),
+                cache: IndexCache::default(),
             },
-            StorageMode::Columnar => Relation {
-                arity: self.arity,
-                store: Store::Col(ColStore::from_run(Run::from_sorted(
-                    self.arity,
-                    tuples.iter(),
-                ))),
-            },
+            StorageMode::Columnar => Store::Col(ColStore::from_run(Run::from_sorted(
+                self.arity,
+                tuples.iter(),
+            ))),
+            StorageMode::Adaptive => adaptive_store_from_sorted(self.arity, tuples),
+        };
+        Relation {
+            arity: self.arity,
+            store,
         }
     }
 
-    fn col_pair<'a>(&'a self, other: &'a Relation) -> Option<(&'a ColStore, &'a ColStore)> {
+    /// Build a same-mode relation from a run an operation produced.
+    #[allow(clippy::wrong_self_convention)] // `self` only donates the mode
+    fn from_result_run(&self, run: Run) -> Relation {
+        let store = match self.mode() {
+            StorageMode::Btree => Store::Btree {
+                tuples: run.rows().iter().cloned().collect(),
+                cache: IndexCache::default(),
+            },
+            StorageMode::Columnar => Store::Col(ColStore::from_run(run)),
+            StorageMode::Adaptive if run.len() <= adaptive_reentry_len() => Store::Small(
+                // Keep the produced run as the pre-built sorted cache
+                // so a downstream ordered read costs no re-sort.
+                SmallTail::from_run(Arc::new(run), StatCells::default()),
+            ),
+            StorageMode::Adaptive => Store::Col(ColStore::new(Arc::new(run), true)),
+        };
+        Relation {
+            arity: self.arity,
+            store,
+        }
+    }
+
+    /// Re-house the same tuples under `mode` (a no-op when the modes
+    /// already agree).
+    ///
+    /// [`crate::Instance::set_relation`] uses this to keep instances
+    /// storage-homogeneous: query outputs land as plain columnar runs
+    /// and are re-flagged — or, when at or below the hysteresis floor,
+    /// dropped into the small regime — on their way into an adaptive
+    /// instance. This is the "bulk rebuild re-enters the small regime"
+    /// half of the promotion hysteresis.
+    pub fn into_mode(self, mode: StorageMode) -> Relation {
+        if self.mode() == mode {
+            return self;
+        }
+        let arity = self.arity;
+        match mode {
+            StorageMode::Btree => {
+                let tuples: BTreeSet<Tuple> = self.iter().cloned().collect();
+                Relation {
+                    arity,
+                    store: Store::Btree {
+                        tuples,
+                        cache: IndexCache::default(),
+                    },
+                }
+            }
+            StorageMode::Columnar | StorageMode::Adaptive => {
+                let adaptive = mode == StorageMode::Adaptive;
+                let store = match self.store {
+                    Store::Col(mut c) => {
+                        c.adaptive = adaptive;
+                        Store::Col(c)
+                    }
+                    Store::Small(s) => {
+                        // Only reachable for a columnar target: adopt
+                        // the sorted view, carrying counters (a
+                        // conversion, not a growth promotion).
+                        let base = Arc::clone(s.sorted_run());
+                        let mut col = ColStore::new(base, adaptive);
+                        col.stats = s.stats_cells().clone();
+                        Store::Col(col)
+                    }
+                    Store::Btree { tuples, .. } => Store::Col(ColStore::new(
+                        Arc::new(Run::from_sorted(arity, tuples.iter())),
+                        adaptive,
+                    )),
+                };
+                let mut rel = Relation { arity, store };
+                if adaptive {
+                    rel.adaptive_post_rebuild();
+                }
+                rel
+            }
+        }
+    }
+
+    /// Sorted-run views of both operands when both are run-backed —
+    /// the galloping-merge fast path. Sorting a small side on demand
+    /// is an order demand on that operand.
+    fn run_pair(&self, other: &Relation) -> Option<(Arc<Run>, Arc<Run>)> {
+        if matches!(&self.store, Store::Btree { .. }) || matches!(&other.store, Store::Btree { .. })
+        {
+            return None;
+        }
+        Some((self.columnar_run()?, other.columnar_run()?))
+    }
+
+    /// Both operands' small tails, when both are in the small regime —
+    /// set algebra over the logs needs no sorted view on either side.
+    fn small_pair<'a>(&'a self, other: &'a Relation) -> Option<(&'a SmallTail, &'a SmallTail)> {
         match (&self.store, &other.store) {
-            (Store::Col(a), Store::Col(b)) => Some((a, b)),
+            (Store::Small(a), Store::Small(b)) => Some((a, b)),
             _ => None,
         }
     }
@@ -521,11 +880,15 @@ impl Relation {
     /// Set union (arities must agree). Result uses `self`'s mode.
     pub fn union(&self, other: &Relation) -> Result<Relation, RelError> {
         self.check_same_arity(other)?;
-        if let Some((a, b)) = self.col_pair(other) {
-            return Ok(Relation {
-                arity: self.arity,
-                store: Store::Col(ColStore::from_run(a.run().union(b.run()))),
-            });
+        if let Some((a, b)) = self.small_pair(other) {
+            let mut v: Vec<Tuple> = a.live_tuples().cloned().collect();
+            v.extend(b.live_tuples().cloned());
+            v.sort_unstable();
+            v.dedup();
+            return Ok(self.from_sorted_vec(v));
+        }
+        if let Some((ra, rb)) = self.run_pair(other) {
+            return Ok(self.from_result_run(ra.union(&rb)));
         }
         let mut tuples: BTreeSet<Tuple> = self.iter().cloned().collect();
         tuples.extend(other.iter().cloned());
@@ -535,11 +898,13 @@ impl Relation {
     /// Set intersection (arities must agree). Result uses `self`'s mode.
     pub fn intersect(&self, other: &Relation) -> Result<Relation, RelError> {
         self.check_same_arity(other)?;
-        if let Some((a, b)) = self.col_pair(other) {
-            return Ok(Relation {
-                arity: self.arity,
-                store: Store::Col(ColStore::from_run(a.run().intersect(b.run()))),
-            });
+        if let Some((a, b)) = self.small_pair(other) {
+            let mut v: Vec<Tuple> = a.live_tuples().filter(|t| b.contains(t)).cloned().collect();
+            v.sort_unstable();
+            return Ok(self.from_sorted_vec(v));
+        }
+        if let Some((ra, rb)) = self.run_pair(other) {
+            return Ok(self.from_result_run(ra.intersect(&rb)));
         }
         let out: Vec<Tuple> = self.iter().filter(|t| other.contains(t)).cloned().collect();
         Ok(self.from_sorted_vec(out))
@@ -549,11 +914,17 @@ impl Relation {
     /// `self`'s mode.
     pub fn difference(&self, other: &Relation) -> Result<Relation, RelError> {
         self.check_same_arity(other)?;
-        if let Some((a, b)) = self.col_pair(other) {
-            return Ok(Relation {
-                arity: self.arity,
-                store: Store::Col(ColStore::from_run(a.run().difference(b.run()))),
-            });
+        if let Some((a, b)) = self.small_pair(other) {
+            let mut v: Vec<Tuple> = a
+                .live_tuples()
+                .filter(|t| !b.contains(t))
+                .cloned()
+                .collect();
+            v.sort_unstable();
+            return Ok(self.from_sorted_vec(v));
+        }
+        if let Some((ra, rb)) = self.run_pair(other) {
+            return Ok(self.from_result_run(ra.difference(&rb)));
         }
         let out: Vec<Tuple> = self
             .iter()
@@ -568,7 +939,15 @@ impl Relation {
         if self.arity != other.arity {
             return false;
         }
-        if let Some((a, b)) = self.col_pair(other) {
+        // Probe-based paths first: subset never needs sorted order, so
+        // small operands stay free of order demands.
+        if let Store::Small(s) = &self.store {
+            return s.live_tuples().all(|t| other.contains(t));
+        }
+        if matches!(&other.store, Store::Small(_)) {
+            return self.iter().all(|t| other.contains(t));
+        }
+        if let (Store::Col(a), Store::Col(b)) = (&self.store, &other.store) {
             return a.run().is_subset(b.run());
         }
         self.iter().all(|t| other.contains(t))
@@ -576,12 +955,18 @@ impl Relation {
 
     /// All values occurring in the relation (its active domain).
     pub fn adom(&self) -> BTreeSet<Value> {
+        if let Store::Small(s) = &self.store {
+            return s.live_tuples().flat_map(|t| t.iter().copied()).collect();
+        }
         self.iter().flat_map(|t| t.iter().copied()).collect()
     }
 
     /// A new relation with `f` applied to every value (isomorphic image).
     pub fn map_values(&self, mut f: impl FnMut(&Value) -> Value) -> Relation {
-        let mut out: Vec<Tuple> = self.iter().map(|t| t.map(&mut f)).collect();
+        let mut out: Vec<Tuple> = match &self.store {
+            Store::Small(s) => s.live_tuples().map(|t| t.map(&mut f)).collect(),
+            _ => self.iter().map(|t| t.map(&mut f)).collect(),
+        };
         out.sort_unstable();
         out.dedup();
         self.from_sorted_vec(out)
@@ -603,7 +988,7 @@ impl Relation {
 pub enum Iter<'a> {
     /// BTree engine.
     Btree(std::collections::btree_set::Iter<'a, Tuple>),
-    /// Columnar engine (materialized run rows).
+    /// Run-backed engines (materialized sorted rows).
     Slice(std::slice::Iter<'a, Tuple>),
 }
 
@@ -625,12 +1010,13 @@ impl<'a> Iterator for Iter<'a> {
 
 impl<'a> ExactSizeIterator for Iter<'a> {}
 
-// Caches (btree hash indexes, columnar merged runs and views) are
-// evaluation artifacts: they must not take part in the relation's
-// value, so `Clone`/`Eq`/`Ord` are written by hand over the tuple
-// *sequence* only, and work across storage modes. Columnar clones
-// share the base run by `Arc` (and with it the run's view cache);
-// btree clones start with a cold cache.
+// Caches (btree hash indexes, columnar merged runs and views, small
+// sorted views) and counters are evaluation artifacts: they must not
+// take part in the relation's value, so `Clone`/`Eq`/`Ord` are written
+// by hand over the tuple *sequence* only, and work across storage
+// modes. Columnar clones share the base run by `Arc` (and with it the
+// run's view cache); btree clones start with a cold cache; small
+// clones copy the log and counters.
 impl Clone for Relation {
     fn clone(&self) -> Self {
         let store = match &self.store {
@@ -638,16 +1024,8 @@ impl Clone for Relation {
                 tuples: tuples.clone(),
                 cache: IndexCache::default(),
             },
-            Store::Col(c) => Store::Col(ColStore {
-                base: Arc::clone(&c.base),
-                adds: c.adds.clone(),
-                dels: c.dels.clone(),
-                merged: c.merged.get().map_or_else(OnceLock::new, |m| {
-                    let l = OnceLock::new();
-                    let _ = l.set(Arc::clone(m));
-                    l
-                }),
-            }),
+            Store::Col(c) => Store::Col(c.clone()),
+            Store::Small(s) => Store::Small(s.clone()),
         };
         Relation {
             arity: self.arity,
@@ -661,11 +1039,19 @@ impl PartialEq for Relation {
         if self.arity != other.arity || self.len() != other.len() {
             return false;
         }
-        if let Some((a, b)) = self.col_pair(other) {
+        if let (Store::Col(a), Store::Col(b)) = (&self.store, &other.store) {
             let (ra, rb) = (a.run(), b.run());
             if Arc::ptr_eq(ra, rb) {
                 return true;
             }
+        }
+        // With equal cardinalities, set equality is containment — so
+        // a small operand is compared by probing, never by sorting.
+        if let Store::Small(s) = &self.store {
+            return s.live_tuples().all(|t| other.contains(t));
+        }
+        if let Store::Small(s) = &other.store {
+            return s.live_tuples().all(|t| self.contains(t));
         }
         self.iter().eq(other.iter())
     }
@@ -710,7 +1096,7 @@ impl fmt::Display for Relation {
 pub enum IntoIter {
     /// BTree engine.
     Btree(std::collections::btree_set::IntoIter<Tuple>),
-    /// Columnar engine.
+    /// Run-backed engines.
     Vec(std::vec::IntoIter<Tuple>),
 }
 
@@ -737,6 +1123,7 @@ impl IntoIterator for Relation {
         match self.store {
             Store::Btree { tuples, .. } => IntoIter::Btree(tuples.into_iter()),
             Store::Col(c) => IntoIter::Vec(c.run().rows().to_vec().into_iter()),
+            Store::Small(s) => IntoIter::Vec(s.sorted_run().rows().to_vec().into_iter()),
         }
     }
 }
@@ -758,28 +1145,30 @@ mod tests {
         Relation::from_tuples(arity, ts).unwrap()
     }
 
-    /// Every test in this module runs against both engines via this
-    /// helper where storage behavior matters.
-    fn both_modes(f: impl Fn(StorageMode)) {
+    /// Every test in this module runs against all three engines via
+    /// this helper where storage behavior matters.
+    fn all_modes(f: impl Fn(StorageMode)) {
         f(StorageMode::Btree);
         f(StorageMode::Columnar);
+        f(StorageMode::Adaptive);
     }
 
     #[test]
     fn empty_and_insert() {
-        both_modes(|m| {
+        all_modes(|m| {
             let mut r = Relation::empty_in(m, 2);
             assert!(r.is_empty());
             assert!(r.insert(tuple![1, 2]).unwrap());
             assert!(!r.insert(tuple![1, 2]).unwrap()); // duplicate
             assert_eq!(r.len(), 1);
             assert!(r.contains(&tuple![1, 2]));
+            assert_eq!(r.mode(), m);
         });
     }
 
     #[test]
     fn arity_enforced_on_insert() {
-        both_modes(|m| {
+        all_modes(|m| {
             let mut r = Relation::empty_in(m, 2);
             assert!(matches!(
                 r.insert(tuple![1]),
@@ -800,7 +1189,7 @@ mod tests {
 
     #[test]
     fn set_algebra() {
-        both_modes(|m| {
+        all_modes(|m| {
             let a = Relation::from_tuples_in(m, 1, vec![tuple![1], tuple![2]]).unwrap();
             let b = Relation::from_tuples_in(m, 1, vec![tuple![2], tuple![3]]).unwrap();
             assert_eq!(a.union(&b).unwrap().len(), 3);
@@ -825,35 +1214,47 @@ mod tests {
     fn cross_mode_values_agree() {
         let ts = vec![tuple![3, "c"], tuple![1, "a"], tuple![2, "b"]];
         let col = Relation::from_tuples_in(StorageMode::Columnar, 2, ts.clone()).unwrap();
-        let bt = Relation::from_tuples_in(StorageMode::Btree, 2, ts).unwrap();
+        let bt = Relation::from_tuples_in(StorageMode::Btree, 2, ts.clone()).unwrap();
+        let ad = Relation::from_tuples_in(StorageMode::Adaptive, 2, ts).unwrap();
         assert_eq!(col, bt);
         assert_eq!(bt, col);
+        assert_eq!(ad, bt);
+        assert_eq!(col, ad);
         assert_eq!(col.cmp(&bt), std::cmp::Ordering::Equal);
+        assert_eq!(ad.cmp(&bt), std::cmp::Ordering::Equal);
         assert!(col.is_subset(&bt) && bt.is_subset(&col));
+        assert!(ad.is_subset(&col) && col.is_subset(&ad));
         assert_eq!(
             col.iter().collect::<Vec<_>>(),
             bt.iter().collect::<Vec<_>>()
         );
-        // mixed-mode set algebra takes the fallback path
+        assert_eq!(ad.iter().collect::<Vec<_>>(), bt.iter().collect::<Vec<_>>());
+        // mixed-mode set algebra takes the fallback paths
         assert_eq!(col.union(&bt).unwrap(), bt);
         assert_eq!(col.intersect(&bt).unwrap(), bt);
         assert!(col.difference(&bt).unwrap().is_empty());
+        assert_eq!(ad.union(&bt).unwrap(), bt);
+        assert_eq!(ad.intersect(&col).unwrap(), bt);
+        assert!(ad.difference(&col).unwrap().is_empty());
         assert_eq!(col.union(&bt).unwrap().mode(), StorageMode::Columnar);
         assert_eq!(bt.union(&col).unwrap().mode(), StorageMode::Btree);
+        assert_eq!(ad.union(&bt).unwrap().mode(), StorageMode::Adaptive);
     }
 
     #[test]
     fn adom_collects_all_values() {
-        let r = rel(2, vec![tuple![1, "a"], tuple![2, "a"]]);
-        let d = r.adom();
-        assert_eq!(d.len(), 3);
-        assert!(d.contains(&Value::int(1)));
-        assert!(d.contains(&Value::sym("a")));
+        all_modes(|m| {
+            let r = Relation::from_tuples_in(m, 2, vec![tuple![1, "a"], tuple![2, "a"]]).unwrap();
+            let d = r.adom();
+            assert_eq!(d.len(), 3);
+            assert!(d.contains(&Value::int(1)));
+            assert!(d.contains(&Value::sym("a")));
+        });
     }
 
     #[test]
     fn map_values_is_isomorphic_image() {
-        both_modes(|m| {
+        all_modes(|m| {
             let r = Relation::from_tuples_in(m, 2, vec![tuple![1, 2]]).unwrap();
             let s = r.map_values(|v| match v {
                 Value::Int(i) => Value::int(i * 10),
@@ -866,7 +1267,7 @@ mod tests {
 
     #[test]
     fn deterministic_iteration_order() {
-        both_modes(|m| {
+        all_modes(|m| {
             let r = Relation::from_tuples_in(m, 1, vec![tuple![3], tuple![1], tuple![2]]).unwrap();
             let order: Vec<_> = r.iter().cloned().collect();
             assert_eq!(order, vec![tuple![1], tuple![2], tuple![3]]);
@@ -875,7 +1276,7 @@ mod tests {
 
     #[test]
     fn remove_and_idempotence() {
-        both_modes(|m| {
+        all_modes(|m| {
             let mut r = Relation::from_tuples_in(m, 1, vec![tuple![1]]).unwrap();
             assert!(r.remove(&tuple![1]));
             assert!(!r.remove(&tuple![1]));
@@ -885,8 +1286,9 @@ mod tests {
 
     #[test]
     fn tail_interleavings_match_btree() {
-        // insert → remove → re-insert cycles through the add/del tails.
-        both_modes(|m| {
+        // insert → remove → re-insert cycles through the add/del tails
+        // (columnar) and the tombstone log (adaptive).
+        all_modes(|m| {
             let mut r = Relation::from_tuples_in(m, 1, (0..10).map(|i| tuple![i])).unwrap();
             assert!(r.remove(&tuple![3]));
             assert!(!r.contains(&tuple![3]));
@@ -902,7 +1304,7 @@ mod tests {
 
     #[test]
     fn index_probe_matches_scan() {
-        both_modes(|m| {
+        all_modes(|m| {
             let r = Relation::from_tuples_in(m, 2, vec![tuple![1, 2], tuple![1, 3], tuple![2, 3]])
                 .unwrap();
             let idx = r.index(&[0]).unwrap();
@@ -925,7 +1327,10 @@ mod tests {
 
     #[test]
     fn index_is_cached_until_mutation() {
-        both_modes(|m| {
+        // The adaptive small regime intentionally rebuilds from the
+        // log instead of caching, so this contract covers the two
+        // cache-bearing engines.
+        for m in [StorageMode::Btree, StorageMode::Columnar] {
             let mut r = Relation::from_tuples_in(m, 2, vec![tuple![1, 2]]).unwrap();
             let a = r.index(&[0]).unwrap();
             let b = r.index(&[0]).unwrap();
@@ -936,7 +1341,21 @@ mod tests {
             // the old snapshot is unchanged, the fresh index sees the insert
             assert!(a.probe(&[Value::int(5)]).is_empty());
             assert_eq!(c.probe(&[Value::int(5)]).len(), 1);
-        });
+        }
+    }
+
+    #[test]
+    fn small_regime_index_is_a_fresh_snapshot() {
+        let mut r = Relation::from_tuples_in(StorageMode::Adaptive, 2, vec![tuple![1, 2]]).unwrap();
+        assert!(r.in_small_regime());
+        let a = r.index(&[0]).unwrap();
+        r.insert(tuple![5, 6]).unwrap();
+        let b = r.index(&[0]).unwrap();
+        assert!(a.probe(&[Value::int(5)]).is_empty());
+        assert_eq!(b.probe(&[Value::int(5)]).len(), 1);
+        // building an index is not an order demand on the log
+        assert!(r.in_small_regime());
+        assert_eq!(r.storage_stats().promotions, 0);
     }
 
     #[test]
@@ -950,7 +1369,7 @@ mod tests {
 
     #[test]
     fn index_rejects_out_of_range_columns() {
-        both_modes(|m| {
+        all_modes(|m| {
             let r = Relation::from_tuples_in(m, 2, vec![tuple![1, 2]]).unwrap();
             assert!(matches!(
                 r.index(&[2]),
@@ -964,7 +1383,7 @@ mod tests {
 
     #[test]
     fn cache_never_affects_equality() {
-        both_modes(|m| {
+        all_modes(|m| {
             let a = Relation::from_tuples_in(m, 2, vec![tuple![1, 2]]).unwrap();
             let b = Relation::from_tuples_in(m, 2, vec![tuple![1, 2]]).unwrap();
             let _ = a.index(&[0]).unwrap();
@@ -977,7 +1396,7 @@ mod tests {
             let mut d = a.clone();
             d.insert(tuple![9, 9]).unwrap();
             d.remove(&tuple![9, 9]);
-            let _ = d.iter().count(); // forces the merged run
+            let _ = d.iter().count(); // forces the merged / sorted run
             assert_eq!(a, d);
             assert_eq!(a.cmp(&d), std::cmp::Ordering::Equal);
         });
@@ -985,7 +1404,7 @@ mod tests {
 
     #[test]
     fn diff_apply_delta_roundtrip() {
-        both_modes(|m| {
+        all_modes(|m| {
             let from = Relation::from_tuples_in(m, 1, vec![tuple![1], tuple![2]]).unwrap();
             let to = Relation::from_tuples_in(m, 1, vec![tuple![2], tuple![3]]).unwrap();
             let d = to.diff(&from).unwrap();
@@ -1018,6 +1437,126 @@ mod tests {
         assert_eq!(StorageMode::parse("btree"), Some(StorageMode::Btree));
         assert_eq!(StorageMode::parse("COLUMNAR"), Some(StorageMode::Columnar));
         assert_eq!(StorageMode::parse("col"), Some(StorageMode::Columnar));
+        assert_eq!(StorageMode::parse("adaptive"), Some(StorageMode::Adaptive));
+        assert_eq!(StorageMode::parse("Auto"), Some(StorageMode::Adaptive));
         assert_eq!(StorageMode::parse("nope"), None);
+        assert!(StorageMode::Adaptive.uses_runs());
+        assert!(StorageMode::Columnar.uses_runs());
+        assert!(!StorageMode::Btree.uses_runs());
+    }
+
+    #[test]
+    fn adaptive_promotes_at_threshold_and_counts_it() {
+        let n = adaptive_promote_len();
+        let mut r = Relation::empty_in(StorageMode::Adaptive, 1);
+        for i in 0..(n - 1) as i64 {
+            r.insert(tuple![i]).unwrap();
+        }
+        assert!(r.in_small_regime(), "N−1 inserts stay in the small regime");
+        assert_eq!(r.storage_stats().promotions, 0);
+        r.insert(tuple![(n as i64) - 1]).unwrap();
+        assert!(!r.in_small_regime(), "the Nth insert promotes");
+        assert_eq!(r.mode(), StorageMode::Adaptive);
+        assert_eq!(r.storage_stats().promotions, 1);
+        r.insert(tuple![n as i64]).unwrap();
+        assert_eq!(r.storage_stats().promotions, 1, "promotion is one-way");
+        assert_eq!(r.len(), n + 1);
+    }
+
+    #[test]
+    fn order_demand_promotes_only_above_the_floor() {
+        let floor = adaptive_reentry_len();
+        // At the floor: scans + mutations forever, never promotes.
+        let mut r = Relation::from_tuples_in(
+            StorageMode::Adaptive,
+            1,
+            (0..floor as i64).map(|i| tuple![i]),
+        )
+        .unwrap();
+        for _ in 0..8 {
+            let _ = r.iter().count(); // order demand
+            assert!(r.remove(&tuple![0]));
+            assert!(r.insert(tuple![0]).unwrap());
+        }
+        assert!(r.in_small_regime());
+        assert_eq!(r.storage_stats().promotions, 0);
+        // One above the floor: the first mutation after an order
+        // demand promotes.
+        let mut r = Relation::empty_in(StorageMode::Adaptive, 1);
+        for i in 0..=(floor as i64) {
+            r.insert(tuple![i]).unwrap();
+        }
+        assert!(r.in_small_regime());
+        let _ = r.iter().count(); // order demand above the floor
+        assert!(r.in_small_regime(), "the demand itself does not promote");
+        r.remove(&tuple![0]);
+        assert!(!r.in_small_regime(), "the next mutation does");
+        assert_eq!(r.storage_stats().promotions, 1);
+    }
+
+    #[test]
+    fn bulk_rebuild_reenters_small_regime() {
+        let n = adaptive_promote_len();
+        let floor = adaptive_reentry_len();
+        let mut r = Relation::empty_in(StorageMode::Adaptive, 1);
+        for i in 0..n as i64 {
+            r.insert(tuple![i]).unwrap();
+        }
+        assert!(!r.in_small_regime());
+        // A delta that clears almost everything re-enters the small
+        // regime; the counters survive the round trip.
+        let target = Relation::from_tuples_in(
+            StorageMode::Adaptive,
+            1,
+            (0..(floor as i64) - 1).map(|i| tuple![i]),
+        )
+        .unwrap();
+        let d = target.diff(&r).unwrap();
+        r.apply_delta(&d).unwrap();
+        assert_eq!(r, target);
+        assert!(r.in_small_regime(), "rebuild at the floor demotes");
+        assert_eq!(r.storage_stats().promotions, 1);
+        // ... and the relation can grow right back up and re-promote.
+        for i in 0..n as i64 {
+            r.insert(tuple![i]).unwrap();
+        }
+        assert!(!r.in_small_regime());
+        assert_eq!(r.storage_stats().promotions, 2);
+    }
+
+    #[test]
+    fn point_removals_never_demote() {
+        let n = adaptive_promote_len();
+        let mut r = Relation::empty_in(StorageMode::Adaptive, 1);
+        for i in 0..n as i64 {
+            r.insert(tuple![i]).unwrap();
+        }
+        assert!(!r.in_small_regime());
+        for i in 0..(n as i64) - 1 {
+            assert!(r.remove(&tuple![i]));
+        }
+        assert_eq!(r.len(), 1);
+        assert!(!r.in_small_regime(), "promotion is one-way per episode");
+    }
+
+    #[test]
+    fn into_mode_rehouses_values() {
+        let ts = vec![tuple![2, 1], tuple![1, 2]];
+        for from in [
+            StorageMode::Btree,
+            StorageMode::Columnar,
+            StorageMode::Adaptive,
+        ] {
+            let r = Relation::from_tuples_in(from, 2, ts.clone()).unwrap();
+            for to in [
+                StorageMode::Btree,
+                StorageMode::Columnar,
+                StorageMode::Adaptive,
+            ] {
+                let s = r.clone().into_mode(to);
+                assert_eq!(s.mode(), to);
+                assert_eq!(s, r);
+            }
+        }
     }
 }

@@ -28,6 +28,7 @@ use crate::index::Index;
 use crate::intern::Vid;
 use std::cmp::Ordering;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrd};
 use std::sync::{Arc, OnceLock};
 
 /// The immutable payload of a run: sorted columns plus the lazy row
@@ -827,6 +828,281 @@ impl Run {
 impl std::fmt::Debug for Run {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Run({} rows, arity {})", self.len(), self.arity())
+    }
+}
+
+/// Point-in-time storage-engine counters for one relation.
+///
+/// Snapshots come from
+/// [`Relation::storage_stats`](crate::Relation::storage_stats) and are
+/// listed per instance by
+/// [`Instance::storage_stats`](crate::Instance::storage_stats). The
+/// counters ride along with the relation through clones, promotions,
+/// and demotions; they are evaluation artifacts and never take part in
+/// equality.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Small-regime → sorted-run promotions in this relation's lineage.
+    pub promotions: u64,
+    /// Sorted-run folds: columnar tail merges, plus order-demanded
+    /// sorts of the small-regime log.
+    pub folds: u64,
+    /// Linear probe operations over the small-regime log (one per
+    /// insert / remove / membership call, not per comparison).
+    pub small_probes: u64,
+    /// High-water mark of the mutable tail: the small-regime log
+    /// length, or the columnar add+delete tail length.
+    pub tail_hwm: u64,
+}
+
+impl StorageStats {
+    /// Fold another snapshot into this one (counters sum; the
+    /// high-water mark takes the max) — for whole-instance rollups.
+    pub fn absorb(&mut self, other: &StorageStats) {
+        self.promotions += other.promotions;
+        self.folds += other.folds;
+        self.small_probes += other.small_probes;
+        self.tail_hwm = self.tail_hwm.max(other.tail_hwm);
+    }
+
+    /// Is every counter zero?
+    pub fn is_zero(&self) -> bool {
+        *self == StorageStats::default()
+    }
+}
+
+/// Interior-mutable cells behind [`StorageStats`]: folds and probes
+/// happen on shared read paths (`&self`), so the counters are relaxed
+/// atomics. Cloning copies the current values.
+#[derive(Default)]
+pub(crate) struct StatCells {
+    promotions: AtomicU64,
+    folds: AtomicU64,
+    small_probes: AtomicU64,
+    tail_hwm: AtomicU64,
+}
+
+impl StatCells {
+    pub(crate) fn snapshot(&self) -> StorageStats {
+        StorageStats {
+            promotions: self.promotions.load(AtomicOrd::Relaxed),
+            folds: self.folds.load(AtomicOrd::Relaxed),
+            small_probes: self.small_probes.load(AtomicOrd::Relaxed),
+            tail_hwm: self.tail_hwm.load(AtomicOrd::Relaxed),
+        }
+    }
+
+    pub(crate) fn note_promotion(&self) {
+        self.promotions.fetch_add(1, AtomicOrd::Relaxed);
+    }
+
+    pub(crate) fn note_fold(&self) {
+        self.folds.fetch_add(1, AtomicOrd::Relaxed);
+    }
+
+    pub(crate) fn note_probe(&self) {
+        self.small_probes.fetch_add(1, AtomicOrd::Relaxed);
+    }
+
+    pub(crate) fn note_tail_len(&self, len: usize) {
+        self.tail_hwm.fetch_max(len as u64, AtomicOrd::Relaxed);
+    }
+}
+
+impl Clone for StatCells {
+    fn clone(&self) -> StatCells {
+        let s = self.snapshot();
+        StatCells {
+            promotions: AtomicU64::new(s.promotions),
+            folds: AtomicU64::new(s.folds),
+            small_probes: AtomicU64::new(s.small_probes),
+            tail_hwm: AtomicU64::new(s.tail_hwm),
+        }
+    }
+}
+
+/// The adaptive engine's *small regime*: a flat **unsorted** append
+/// log of tuples with tombstones — no base run, no sort, no fold cost
+/// on mutation. Insert, remove, and membership are linear probes over
+/// the log, which at the few-hundred-tuple scale the round executors
+/// live at beats any tree or merge bookkeeping.
+///
+/// A sorted [`Run`] over the live tuples is built only when a consumer
+/// actually demands order (a sorted scan, a galloping merge, delta
+/// normalization) and is cached until the next mutation. A *set* cache
+/// doubles as the **order-demanded** signal:
+/// [`Relation`](crate::Relation) promotes a small relation to columnar
+/// runs when it mutates with the signal set and its size is above the
+/// hysteresis floor — see `StorageMode::Adaptive`.
+///
+/// The log holds at most one entry per tuple value: a re-insert of a
+/// tombstoned tuple revives its entry in place, and the log compacts
+/// (drops tombstones) whenever it grows past `2 × live + 32`, keeping
+/// probe cost proportional to the live size.
+#[derive(Clone)]
+pub struct SmallTail {
+    arity: usize,
+    /// `(tuple, alive)` — append order, at most one entry per tuple.
+    log: Vec<(Tuple, bool)>,
+    /// Number of alive entries.
+    live: usize,
+    /// Sorted view of the live tuples; set ⇒ order was demanded since
+    /// the last mutation. Every mutation clears it.
+    sorted: OnceLock<Arc<Run>>,
+    stats: StatCells,
+}
+
+impl SmallTail {
+    /// An empty small tail of the given arity.
+    pub fn new(arity: usize) -> SmallTail {
+        SmallTail {
+            arity,
+            log: Vec::new(),
+            live: 0,
+            sorted: OnceLock::new(),
+            stats: StatCells::default(),
+        }
+    }
+
+    /// Build from sorted, duplicate-free tuples (e.g. run rows).
+    pub fn from_sorted(arity: usize, tuples: Vec<Tuple>) -> SmallTail {
+        SmallTail::with_stats(arity, tuples, StatCells::default())
+    }
+
+    /// Build from an existing sorted run, carrying counters across a
+    /// demotion. The run is kept as the pre-built sorted cache, so the
+    /// representation change costs no re-sort and the run's cached row
+    /// materialization and index views survive — a per-tick bulk
+    /// rebuild that demotes would otherwise pay a sort plus a view
+    /// rebuild on the very next ordered read.
+    pub(crate) fn from_run(run: Arc<Run>, stats: StatCells) -> SmallTail {
+        let live = run.len();
+        stats.note_tail_len(live);
+        let log = run.rows().iter().cloned().map(|t| (t, true)).collect();
+        let arity = run.arity();
+        let sorted = OnceLock::new();
+        let _ = sorted.set(run);
+        SmallTail {
+            arity,
+            log,
+            live,
+            sorted,
+            stats,
+        }
+    }
+
+    /// Build from sorted tuples, carrying counters across a demotion.
+    pub(crate) fn with_stats(arity: usize, tuples: Vec<Tuple>, stats: StatCells) -> SmallTail {
+        let live = tuples.len();
+        stats.note_tail_len(live);
+        SmallTail {
+            arity,
+            log: tuples.into_iter().map(|t| (t, true)).collect(),
+            live,
+            sorted: OnceLock::new(),
+            stats,
+        }
+    }
+
+    /// Arity of every tuple in the tail.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Is the tail empty (no live tuples)?
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Membership probe — one linear scan of the log.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.stats.note_probe();
+        self.log.iter().any(|(u, alive)| *alive && u == t)
+    }
+
+    /// Insert; `true` if newly inserted (or revived from a tombstone).
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        debug_assert_eq!(t.arity(), self.arity);
+        self.sorted.take();
+        self.stats.note_probe();
+        for (u, alive) in self.log.iter_mut() {
+            if *u == t {
+                if *alive {
+                    return false;
+                }
+                *alive = true;
+                self.live += 1;
+                return true;
+            }
+        }
+        self.log.push((t, true));
+        self.live += 1;
+        self.stats.note_tail_len(self.log.len());
+        true
+    }
+
+    /// Remove; `true` if the tuple was live. Tombstones the entry and
+    /// compacts the log when tombstones dominate.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        self.sorted.take();
+        self.stats.note_probe();
+        for (u, alive) in self.log.iter_mut() {
+            if *alive && u == t {
+                *alive = false;
+                self.live -= 1;
+                if self.log.len() >= 2 * self.live + 32 {
+                    self.log.retain(|(_, alive)| *alive);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The live tuples in log (insertion) order — for probe-based
+    /// consumers that do **not** need sorted output.
+    pub fn live_tuples(&self) -> impl Iterator<Item = &Tuple> {
+        self.log.iter().filter(|(_, alive)| *alive).map(|(t, _)| t)
+    }
+
+    /// Has a consumer demanded order since the last mutation?
+    pub fn order_demanded(&self) -> bool {
+        self.sorted.get().is_some()
+    }
+
+    /// The sorted run over the live tuples, built on demand and cached
+    /// until the next mutation. Calling this **is** the order-demand
+    /// signal (see [`SmallTail::order_demanded`]).
+    pub fn sorted_run(&self) -> &Arc<Run> {
+        if self.sorted.get().is_none() {
+            self.stats.note_fold();
+        }
+        self.sorted.get_or_init(|| {
+            let mut live: Vec<&Tuple> = self.live_tuples().collect();
+            live.sort_unstable();
+            Arc::new(Run::from_sorted(self.arity, live.into_iter()))
+        })
+    }
+
+    pub(crate) fn stats_cells(&self) -> &StatCells {
+        &self.stats
+    }
+}
+
+impl std::fmt::Debug for SmallTail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SmallTail({} live of {} logged, arity {})",
+            self.live,
+            self.log.len(),
+            self.arity
+        )
     }
 }
 

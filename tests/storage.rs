@@ -1,18 +1,31 @@
-//! Property tests for the storage engines: the columnar sorted-run
-//! engine against the B-tree oracle (`RTX_STORAGE=btree`), under the
-//! schedules that exercise every adoption path — random interleaved
-//! inserts and deletes, `diff`/`apply_delta` round trips, set algebra,
-//! random stratified programs under naive and semi-naive evaluation,
-//! and the incremental fixpoint. Plus determinism of the process-wide
-//! value interner, which both engines share.
+//! Property tests for the storage engines: the adaptive and columnar
+//! sorted-run engines against the B-tree oracle (`RTX_STORAGE=btree`),
+//! under the schedules that exercise every adoption path — random
+//! interleaved inserts and deletes, `diff`/`apply_delta` round trips,
+//! set algebra, random stratified programs under naive and semi-naive
+//! evaluation, and the incremental fixpoint — plus directed tests
+//! pinning the adaptive engine's promotion boundary and hysteresis.
+//! Plus determinism of the process-wide value interner, which all
+//! engines share.
 //!
-//! Every test here builds **both** representations explicitly with
+//! Every test here builds **all** representations explicitly with
 //! `empty_in`/`from_facts_in`, so the suite is oracle-complete no
 //! matter what `RTX_STORAGE` the ambient process runs under.
 
 use proptest::prelude::*;
 use rtx::query::{EvalStrategy, MaintainedFixpoint};
-use rtx::relational::{fact, Fact, Instance, Relation, Schema, StorageMode, Tuple, Value, Vid};
+use rtx::relational::{
+    adaptive_promote_len, adaptive_reentry_len, fact, Fact, Instance, Relation, Schema,
+    StorageMode, Tuple, Value, Vid,
+};
+
+/// The three-way equivalence set: every engine in one array, oracle
+/// last.
+const ALL_MODES: [StorageMode; 3] = [
+    StorageMode::Adaptive,
+    StorageMode::Columnar,
+    StorageMode::Btree,
+];
 
 fn tuple2(a: u8, b: u8) -> Tuple {
     vec![Value::Int(a as i64), Value::Int(b as i64)].into()
@@ -66,33 +79,44 @@ fn random_program(picks: &[bool]) -> String {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// Columnar and B-tree relations agree tuple-for-tuple under any
-    /// interleaving of inserts and deletes — the schedule that forces
-    /// tail accumulation, run adoption, and tombstone handling in the
-    /// columnar engine.
+    /// Adaptive, columnar, and B-tree relations agree tuple-for-tuple
+    /// under any interleaving of inserts and deletes — the schedule
+    /// that forces tail accumulation, run adoption, and tombstone
+    /// handling in the run-backed engines, and tombstone revival in
+    /// the adaptive small log.
     #[test]
     fn columnar_matches_btree_under_mutation_schedules(
         ops in proptest::collection::vec(op_strategy(), 0..60),
     ) {
+        let mut ad = Relation::empty_in(StorageMode::Adaptive, 2);
         let mut col = Relation::empty_in(StorageMode::Columnar, 2);
         let mut bt = Relation::empty_in(StorageMode::Btree, 2);
         for op in &ops {
             let (ins, a, b) = *op;
             if ins {
-                let (x, y) = (col.insert(tuple2(a, b)).unwrap(),
-                              bt.insert(tuple2(a, b)).unwrap());
+                let (x, y, z) = (col.insert(tuple2(a, b)).unwrap(),
+                                 bt.insert(tuple2(a, b)).unwrap(),
+                                 ad.insert(tuple2(a, b)).unwrap());
                 prop_assert_eq!(x, y, "insert novelty must agree");
+                prop_assert_eq!(z, y, "insert novelty must agree (adaptive)");
             } else {
-                prop_assert_eq!(col.remove(&tuple2(a, b)), bt.remove(&tuple2(a, b)));
+                let keep = bt.remove(&tuple2(a, b));
+                prop_assert_eq!(col.remove(&tuple2(a, b)), keep);
+                prop_assert_eq!(ad.remove(&tuple2(a, b)), keep);
             }
             prop_assert_eq!(col.len(), bt.len());
+            prop_assert_eq!(ad.len(), bt.len());
         }
         // Cross-mode equality is content equality.
         prop_assert_eq!(&col, &bt);
+        prop_assert_eq!(&ad, &bt);
+        prop_assert_eq!(&ad, &col);
         prop_assert!(col.iter().eq(bt.iter()), "iteration order is the sorted order");
+        prop_assert!(ad.iter().eq(bt.iter()), "iteration order is the sorted order (adaptive)");
         for a in 0..12u8 {
             for b in 0..12u8 {
                 prop_assert_eq!(col.contains(&tuple2(a, b)), bt.contains(&tuple2(a, b)));
+                prop_assert_eq!(ad.contains(&tuple2(a, b)), bt.contains(&tuple2(a, b)));
             }
         }
     }
@@ -112,20 +136,23 @@ proptest! {
         };
         let bt_from = mk(StorageMode::Btree, &from);
         let bt_to = mk(StorageMode::Btree, &to);
-        let col_from = mk(StorageMode::Columnar, &from);
-        let col_to = mk(StorageMode::Columnar, &to);
-
         let delta_bt = bt_to.diff(&bt_from).unwrap();
-        let delta_col = col_to.diff(&col_from).unwrap();
-        prop_assert_eq!(delta_bt.added(), delta_col.added());
-        prop_assert_eq!(delta_bt.removed(), delta_col.removed());
+        for mode in ALL_MODES {
+            let m_from = mk(mode, &from);
+            let m_to = mk(mode, &to);
+            let delta_m = m_to.diff(&m_from).unwrap();
+            prop_assert_eq!(delta_bt.added(), delta_m.added());
+            prop_assert_eq!(delta_bt.removed(), delta_m.removed());
 
-        let mut col = col_from.clone();
-        col.apply_delta(&delta_bt).unwrap();
-        prop_assert_eq!(&col, &bt_to);
-        let mut bt = bt_from.clone();
-        bt.apply_delta(&delta_col).unwrap();
-        prop_assert_eq!(&bt, &col_to);
+            // A delta computed on the oracle transports this engine,
+            // and this engine's delta transports the oracle.
+            let mut r = m_from.clone();
+            r.apply_delta(&delta_bt).unwrap();
+            prop_assert_eq!(&r, &bt_to);
+            let mut bt = bt_from.clone();
+            bt.apply_delta(&delta_m).unwrap();
+            prop_assert_eq!(&bt, &m_to);
+        }
     }
 
     /// The set algebra (union / intersect / difference / subset) gives
@@ -140,19 +167,23 @@ proptest! {
                 mode, 2, pairs.iter().map(|&(a, b)| tuple2(a, b)).collect::<Vec<_>>(),
             ).unwrap()
         };
-        let (cx, cy) = (mk(StorageMode::Columnar, &xs), mk(StorageMode::Columnar, &ys));
         let (bx, by) = (mk(StorageMode::Btree, &xs), mk(StorageMode::Btree, &ys));
-        prop_assert_eq!(cx.union(&cy).unwrap(), bx.union(&by).unwrap());
-        prop_assert_eq!(cx.intersect(&cy).unwrap(), bx.intersect(&by).unwrap());
-        prop_assert_eq!(cx.difference(&cy).unwrap(), bx.difference(&by).unwrap());
-        // Mixed-mode operands hit the cross-engine paths.
-        prop_assert_eq!(cx.union(&by).unwrap(), bx.union(&cy).unwrap());
-        prop_assert_eq!(cx.is_subset(&by), bx.is_subset(&cy));
+        for mode in ALL_MODES {
+            let (mx, my) = (mk(mode, &xs), mk(mode, &ys));
+            prop_assert_eq!(mx.union(&my).unwrap(), bx.union(&by).unwrap());
+            prop_assert_eq!(mx.intersect(&my).unwrap(), bx.intersect(&by).unwrap());
+            prop_assert_eq!(mx.difference(&my).unwrap(), bx.difference(&by).unwrap());
+            // Mixed-mode operands hit the cross-engine paths.
+            prop_assert_eq!(mx.union(&by).unwrap(), bx.union(&my).unwrap());
+            prop_assert_eq!(mx.intersect(&by).unwrap(), bx.intersect(&my).unwrap());
+            prop_assert_eq!(mx.difference(&by).unwrap(), bx.difference(&my).unwrap());
+            prop_assert_eq!(mx.is_subset(&by), bx.is_subset(&my));
+        }
     }
 
     /// Random stratified programs (negation, disequality, recursion)
     /// evaluate identically under naive and semi-naive strategies on
-    /// both storage engines — four evaluations, one answer.
+    /// all three storage engines — six evaluations, one answer.
     #[test]
     fn stratified_evaluation_is_engine_independent(
         pairs in proptest::collection::vec((0u8..6, 0u8..6), 0..14),
@@ -160,7 +191,7 @@ proptest! {
     ) {
         let program = rtx::query::parser::parse_program(&random_program(&picks)).unwrap();
         let mut outs: Vec<Instance> = Vec::new();
-        for mode in [StorageMode::Columnar, StorageMode::Btree] {
+        for mode in ALL_MODES {
             let db = edge_instance_in(mode, &pairs);
             for strategy in [EvalStrategy::Naive, EvalStrategy::SemiNaive] {
                 outs.push(program.eval_with(&db, strategy).unwrap());
@@ -172,8 +203,9 @@ proptest! {
     }
 
     /// The incremental fixpoint over a random schedule of EDB deltas
-    /// agrees with from-scratch evaluation, whichever engine holds the
-    /// base instance — the counting/DRed path against the oracle.
+    /// agrees with from-scratch evaluation, whichever of the three
+    /// engines holds the base instance — the counting/DRed path
+    /// against the oracle.
     #[test]
     fn incremental_fixpoint_matches_scratch_on_both_engines(
         base in proptest::collection::vec((0u8..6, 0u8..6), 0..10),
@@ -182,7 +214,7 @@ proptest! {
         picks in proptest::collection::vec(any::<bool>(), RULE_POOL.len() - 1),
     ) {
         let program = rtx::query::parser::parse_program(&random_program(&picks)).unwrap();
-        for mode in [StorageMode::Columnar, StorageMode::Btree] {
+        for mode in ALL_MODES {
             let mut db = edge_instance_in(mode, &base);
             let mut maintained = MaintainedFixpoint::new(&program).unwrap();
             maintained.initialize(&db).unwrap();
@@ -266,9 +298,9 @@ fn interner_agrees_across_racing_threads() {
     }
 }
 
-/// A columnar instance and a B-tree instance built from the same fact
-/// stream are equal, and `Instance::diff`/`apply_delta` transport
-/// across engines at the instance level too.
+/// Instances built from the same fact stream are equal whatever engine
+/// backs them, and `Instance::diff`/`apply_delta` transport across
+/// engines at the instance level too.
 #[test]
 fn instance_deltas_transport_across_engines() {
     let schema = Schema::new().with("E", 2).with("S", 1);
@@ -278,19 +310,125 @@ fn instance_deltas_transport_across_engines() {
         fact!("S", 7),
         fact!("E", 1, 2), // duplicate: second insert is a no-op
     ];
-    let col =
-        Instance::from_facts_in(StorageMode::Columnar, schema.clone(), facts.clone()).unwrap();
-    let bt = Instance::from_facts_in(StorageMode::Btree, schema.clone(), facts).unwrap();
-    assert_eq!(col, bt);
-    assert_eq!(col.fact_count(), 3);
+    let bt = Instance::from_facts_in(StorageMode::Btree, schema.clone(), facts.clone()).unwrap();
+    for mode in ALL_MODES {
+        let inst = Instance::from_facts_in(mode, schema.clone(), facts.clone()).unwrap();
+        assert_eq!(inst, bt);
+        assert_eq!(inst.fact_count(), 3);
 
-    let mut target = Instance::from_facts_in(
-        StorageMode::Columnar,
-        schema,
-        vec![fact!("E", 9, 9), fact!("S", 7)],
+        let mut target =
+            Instance::from_facts_in(mode, schema.clone(), vec![fact!("E", 9, 9), fact!("S", 7)])
+                .unwrap();
+        let delta = bt.diff(&target);
+        target.apply_delta(&delta).unwrap();
+        assert_eq!(target, bt);
+    }
+}
+
+/// Directed promotion-boundary test: inserting to N−1 stays in the
+/// small regime, the Nth insert promotes (exactly once), and N+1
+/// keeps the promoted representation — all value-equal to the oracle
+/// at every boundary.
+#[test]
+fn adaptive_promotion_boundary_pins_threshold() {
+    let n = adaptive_promote_len();
+    let mut ad = Relation::empty_in(StorageMode::Adaptive, 1);
+    let mut bt = Relation::empty_in(StorageMode::Btree, 1);
+    for i in 0..(n + 1) as i64 {
+        ad.insert(vec![Value::Int(i)].into()).unwrap();
+        bt.insert(vec![Value::Int(i)].into()).unwrap();
+        let len = (i + 1) as usize;
+        if len < n {
+            assert!(ad.in_small_regime(), "below N stays small (len {len})");
+            assert_eq!(ad.storage_stats().promotions, 0);
+        } else {
+            assert!(
+                !ad.in_small_regime(),
+                "N and beyond are promoted (len {len})"
+            );
+            assert_eq!(ad.storage_stats().promotions, 1, "promotion happens once");
+        }
+        assert_eq!(ad, bt);
+    }
+    assert_eq!(ad.mode(), StorageMode::Adaptive);
+}
+
+/// Directed hysteresis test: churn (scan + insert/remove cycles) at
+/// the re-entry floor never promotes, while the same churn one above
+/// the floor promotes exactly once and never demotes back on point
+/// removals.
+#[test]
+fn adaptive_churn_at_hysteresis_edge_does_not_flap() {
+    let floor = adaptive_reentry_len();
+    let at_floor = Relation::from_tuples_in(
+        StorageMode::Adaptive,
+        1,
+        (0..floor as i64).map(|i| vec![Value::Int(i)].into()),
     )
     .unwrap();
-    let delta = bt.diff(&target);
-    target.apply_delta(&delta).unwrap();
-    assert_eq!(target, bt);
+    // Grown by point inserts so it is genuinely in the small regime
+    // one above the floor (a bulk construction above the floor would
+    // start out promoted).
+    let mut above = Relation::empty_in(StorageMode::Adaptive, 1);
+    for i in 0..=(floor as i64) {
+        above.insert(vec![Value::Int(i)].into()).unwrap();
+    }
+    assert!(above.in_small_regime());
+    let churn = |mut r: Relation| {
+        for _ in 0..16 {
+            let _ = r.iter().count(); // order demand
+            assert!(r.remove(&vec![Value::Int(0)].into()));
+            assert!(r.insert(vec![Value::Int(0)].into()).unwrap());
+        }
+        r
+    };
+    let at_floor = churn(at_floor);
+    assert!(at_floor.in_small_regime(), "churn at the floor stays small");
+    assert_eq!(at_floor.storage_stats().promotions, 0);
+    let above = churn(above);
+    assert!(!above.in_small_regime(), "churn above the floor promotes");
+    assert_eq!(above.storage_stats().promotions, 1, "…exactly once");
+}
+
+/// Directed clear-and-regrow test at the instance level: a relation
+/// grown past the promotion threshold, then bulk-replaced by a tiny
+/// value through `set_relation`, re-enters the small regime — and can
+/// grow right back up, re-promoting.
+#[test]
+fn adaptive_clear_and_regrow_reenters_small_regime() {
+    let n = adaptive_promote_len();
+    let schema = Schema::new().with("E", 2);
+    let mut inst = Instance::empty_in(StorageMode::Adaptive, schema);
+    for i in 0..n as i64 {
+        inst.insert_fact(fact!("E", i, i)).unwrap();
+    }
+    let name = "E".into();
+    let big = inst.relation(&name).unwrap();
+    assert!(!big.in_small_regime(), "grown past N: promoted");
+
+    // Bulk replace with a tiny relation: re-enters the small regime.
+    let tiny = Relation::from_tuples_in(StorageMode::Adaptive, 2, vec![tuple2(1, 1)]).unwrap();
+    inst.set_relation("E", tiny).unwrap();
+    let small = inst.relation(&name).unwrap();
+    assert_eq!(small.len(), 1);
+    assert!(
+        small.in_small_regime(),
+        "bulk rebuild re-enters the small regime"
+    );
+
+    // …and a query output (plain columnar run) landing via
+    // set_relation is re-housed adaptively too.
+    let as_output = Relation::from_tuples_in(StorageMode::Columnar, 2, vec![tuple2(2, 2)]).unwrap();
+    inst.set_relation("E", as_output).unwrap();
+    let rehoused = inst.relation(&name).unwrap();
+    assert_eq!(rehoused.mode(), StorageMode::Adaptive);
+    assert!(rehoused.in_small_regime());
+
+    // Regrow: promotes again.
+    for i in 0..n as i64 {
+        inst.insert_fact(fact!("E", i, -i)).unwrap();
+    }
+    let regrown = inst.relation(&name).unwrap();
+    assert!(!regrown.in_small_regime(), "regrowth re-promotes");
+    assert_eq!(regrown.mode(), StorageMode::Adaptive);
 }
