@@ -204,6 +204,31 @@ fn bench_threshold_sweep(c: &mut Criterion) {
                 },
             );
         }
+
+        // index-memo: repeated column-index probes of an *unchanged*
+        // relation — the access pattern of magic-set guard relations,
+        // which are consulted every semi-naive round but rarely
+        // mutated. The small regime memoizes the per-call index (and
+        // takes no promotion pressure from it), so repeat probes cost
+        // a hash lookup, not a rebuild.
+        for (label, mode) in modes() {
+            let base = Relation::from_tuples_in(mode, 2, tuples.clone()).unwrap();
+            let key = tuples[0].clone();
+            group.bench_with_input(
+                BenchmarkId::new(format!("index-memo-{label}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut hits = 0usize;
+                        for _ in 0..64 {
+                            let idx = base.index(&[0]).unwrap();
+                            hits += idx.probe(&key.values()[..1]).len();
+                        }
+                        hits
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -8,6 +8,7 @@
 
 use crate::error::EvalError;
 use crate::frame::Frame;
+use crate::incremental::FixpointStats;
 use crate::plan::{self, JoinMode};
 use crate::query::Query;
 use crate::term::{Atom, Bindings, Term, Var};
@@ -508,6 +509,18 @@ impl Levels {
     }
 }
 
+/// Per-stratum derivation counters filled in by the fixpoint loops:
+/// `considered` counts facts produced by rule firings before the
+/// novelty check (within-firing duplicates already folded), `derived`
+/// counts the novel facts that entered the fixpoint. The arithmetic is
+/// O(1) per firing on top of work the loops do anyway, so the counters
+/// are always on.
+#[derive(Clone, Copy, Default)]
+struct StratumTally {
+    considered: u64,
+    derived: u64,
+}
+
 /// A Datalog program: a finite set of rules.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Program {
@@ -737,6 +750,26 @@ impl Program {
         strategy: EvalStrategy,
         mode: JoinMode,
     ) -> Result<Instance, EvalError> {
+        Ok(self.eval_counted(db, strategy, mode)?.0)
+    }
+
+    /// Evaluate like [`Program::eval`], also returning a
+    /// [`FixpointStats`] whose per-stratum counters record how many
+    /// facts each stratum's rules produced before the novelty check
+    /// (`stratum_considered`) and how many were novel
+    /// (`stratum_derived`). These counters are how the magic-sets
+    /// suite and `exp_magic` prove a demand-driven evaluation derived
+    /// strictly less than full materialization.
+    pub fn eval_with_stats(&self, db: &Instance) -> Result<(Instance, FixpointStats), EvalError> {
+        self.eval_counted(db, EvalStrategy::SemiNaive, JoinMode::default())
+    }
+
+    fn eval_counted(
+        &self,
+        db: &Instance,
+        strategy: EvalStrategy,
+        mode: JoinMode,
+    ) -> Result<(Instance, FixpointStats), EvalError> {
         // Seed the fixpoint with the database re-housed under the
         // working schema — a structural copy, not a fact-by-fact
         // rebuild (this runs once per Dedalus tick).
@@ -745,6 +778,7 @@ impl Program {
         } else {
             db.widen(self.working_schema(db)?)?
         };
+        let mut stats = FixpointStats::default();
         let strata = self.strata.as_ref().map_err(Clone::clone)?;
         for stratum in strata {
             let rules: Vec<&Rule> = self
@@ -752,22 +786,29 @@ impl Program {
                 .iter()
                 .filter(|r| stratum.contains(&r.head.pred))
                 .collect();
+            let mut tally = StratumTally::default();
             // The run-based fixpoint loops dedup and fold derived
             // facts with galloping run merges; the btree engine keeps
             // the original fact-at-a-time loops as the oracle.
             let columnar = total.mode().uses_runs();
             match (strategy, columnar) {
-                (EvalStrategy::Naive, true) => self.run_naive_runs(&rules, &mut total, mode)?,
-                (EvalStrategy::Naive, false) => self.run_naive(&rules, &mut total, mode)?,
+                (EvalStrategy::Naive, true) => {
+                    self.run_naive_runs(&rules, &mut total, mode, &mut tally)?
+                }
+                (EvalStrategy::Naive, false) => {
+                    self.run_naive(&rules, &mut total, mode, &mut tally)?
+                }
                 (EvalStrategy::SemiNaive, true) => {
-                    self.run_seminaive_runs(&rules, stratum, &mut total, mode)?
+                    self.run_seminaive_runs(&rules, stratum, &mut total, mode, &mut tally)?
                 }
                 (EvalStrategy::SemiNaive, false) => {
-                    self.run_seminaive(&rules, stratum, &mut total, mode)?
+                    self.run_seminaive(&rules, stratum, &mut total, mode, &mut tally)?
                 }
             }
+            stats.stratum_considered.push(tally.considered);
+            stats.stratum_derived.push(tally.derived);
         }
-        Ok(total)
+        Ok((total, stats))
     }
 
     /// Does `db`'s schema already declare every predicate of the
@@ -783,6 +824,7 @@ impl Program {
         rules: &[&Rule],
         total: &mut Instance,
         mode: JoinMode,
+        tally: &mut StratumTally,
     ) -> Result<(), EvalError> {
         loop {
             let mut derived = Vec::new();
@@ -793,9 +835,11 @@ impl Program {
                     derived.push((r.head.pred.clone(), t));
                 }
             }
+            tally.considered += derived.len() as u64;
             let mut changed = false;
             for (p, t) in derived {
                 if total.insert_fact(Fact::new(p, t))? {
+                    tally.derived += 1;
                     changed = true;
                 }
             }
@@ -811,6 +855,7 @@ impl Program {
         stratum: &BTreeSet<RelName>,
         total: &mut Instance,
         mode: JoinMode,
+        tally: &mut StratumTally,
     ) -> Result<(), EvalError> {
         // Per-round deltas are first-class relations keyed by predicate,
         // not whole instances: each rule joins one atom directly against
@@ -828,6 +873,7 @@ impl Program {
         for r in rules {
             let mut tuples = Vec::new();
             r.derive(total, total, None, mode, &mut tuples)?;
+            tally.considered += tuples.len() as u64;
             for t in tuples {
                 if !total.contains_fact(&Fact::new(r.head.pred.clone(), t.clone())) {
                     push(&mut delta, &r.head.pred, r.head.arity(), t);
@@ -837,7 +883,9 @@ impl Program {
         while !delta.is_empty() {
             for (p, rel) in &delta {
                 for t in rel.iter() {
-                    total.insert_fact(Fact::new(p.clone(), t.clone()))?;
+                    if total.insert_fact(Fact::new(p.clone(), t.clone()))? {
+                        tally.derived += 1;
+                    }
                 }
             }
             let mut next: BTreeMap<RelName, Relation> = BTreeMap::new();
@@ -852,6 +900,7 @@ impl Program {
                     };
                     let mut tuples = Vec::new();
                     r.derive(total, total, Some((i, drel)), mode, &mut tuples)?;
+                    tally.considered += tuples.len() as u64;
                     for t in tuples {
                         let f = Fact::new(r.head.pred.clone(), t.clone());
                         let fresh = !total.contains_fact(&f)
@@ -894,15 +943,20 @@ impl Program {
         rules: &[&Rule],
         total: &mut Instance,
         mode: JoinMode,
+        tally: &mut StratumTally,
     ) -> Result<(), EvalError> {
         loop {
             let mut derived: Vec<(&RelName, Run)> = Vec::with_capacity(rules.len());
             for r in rules {
-                derived.push((&r.head.pred, r.derive_to_run(total, total, None, mode)?));
+                let run = r.derive_to_run(total, total, None, mode)?;
+                tally.considered += run.len() as u64;
+                derived.push((&r.head.pred, run));
             }
             let mut changed = false;
             for (p, run) in derived {
-                changed |= total.absorb_run(p, &run)? > 0;
+                let grown = total.absorb_run(p, &run)?;
+                tally.derived += grown as u64;
+                changed |= grown > 0;
             }
             if !changed {
                 return Ok(());
@@ -924,6 +978,7 @@ impl Program {
         stratum: &BTreeSet<RelName>,
         total: &mut Instance,
         mode: JoinMode,
+        tally: &mut StratumTally,
     ) -> Result<(), EvalError> {
         let push = |map: &mut BTreeMap<RelName, Relation>, pred: &RelName, fresh: &Run| {
             if fresh.is_empty() {
@@ -957,7 +1012,9 @@ impl Program {
         let mut delta: BTreeMap<RelName, Relation> = BTreeMap::new();
         for r in rules {
             let derived = r.derive_to_run(total, total, None, mode)?;
+            tally.considered += derived.len() as u64;
             let fresh = fresh_of(total, &pending, &r.head.pred, derived);
+            tally.derived += fresh.len() as u64;
             push(&mut delta, &r.head.pred, &fresh);
             pending.entry(r.head.pred.clone()).or_default().push(fresh);
         }
@@ -986,10 +1043,12 @@ impl Program {
                         }
                     }
                     let derived = r.derive_to_run(total, total, Some((i, drel)), mode)?;
+                    tally.considered += derived.len() as u64;
                     if derived.is_empty() {
                         continue;
                     }
                     let fresh = fresh_of(total, &pending, &r.head.pred, derived);
+                    tally.derived += fresh.len() as u64;
                     push(&mut next, &r.head.pred, &fresh);
                     pending.entry(r.head.pred.clone()).or_default().push(fresh);
                 }

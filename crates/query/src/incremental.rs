@@ -81,6 +81,30 @@ pub struct FixpointStats {
     pub facts_retracted: u64,
     /// Over-deleted facts put back by DRed re-derivation.
     pub facts_rederived: u64,
+    /// Facts produced by rule firings per stratum (before the novelty
+    /// check) in the most recent from-scratch evaluation — the work
+    /// the fixpoint loop actually did. Filled by
+    /// [`Program::eval_with_stats`] and
+    /// [`MaintainedFixpoint::initialize`]; `apply` does not update it.
+    pub stratum_considered: Vec<u64>,
+    /// Novel facts added per stratum in the most recent from-scratch
+    /// evaluation — the size of what was derived. The magic-sets
+    /// rewrite exists to shrink this; `exp_magic` prints both sides.
+    pub stratum_derived: Vec<u64>,
+}
+
+impl FixpointStats {
+    /// Total facts considered (pre-dedup firings) across all strata of
+    /// the last from-scratch evaluation.
+    pub fn eval_considered(&self) -> u64 {
+        self.stratum_considered.iter().sum()
+    }
+
+    /// Total novel facts derived across all strata of the last
+    /// from-scratch evaluation.
+    pub fn eval_derived(&self) -> u64 {
+        self.stratum_derived.iter().sum()
+    }
 }
 
 /// Static shape of one stratum, computed once at construction.
@@ -214,7 +238,7 @@ impl MaintainedFixpoint {
     /// support counts. Must be called once before
     /// [`MaintainedFixpoint::apply`].
     pub fn initialize(&mut self, base: &Instance) -> Result<&Instance, EvalError> {
-        let total = self.program.eval(base)?;
+        let (total, eval_stats) = self.program.eval_with_stats(base)?;
         self.base = base.widen(total.schema().clone()).map_err(EvalError::Rel)?;
         self.counts.clear();
         for p in self.program.idb_predicates() {
@@ -234,7 +258,9 @@ impl MaintainedFixpoint {
             &mut self.counts,
         )?;
         self.initialized = true;
-        self.stats = FixpointStats::default();
+        // Maintenance counters restart; the per-stratum derivation
+        // counters describe the evaluation that just ran.
+        self.stats = eval_stats;
         Ok(&self.total)
     }
 

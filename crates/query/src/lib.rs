@@ -29,6 +29,7 @@ mod error;
 pub mod fo;
 pub(crate) mod frame;
 pub mod incremental;
+pub mod magic;
 pub mod native;
 pub mod parser;
 pub mod plan;
@@ -43,6 +44,7 @@ pub use datalog::{DatalogQuery, EvalStrategy, Literal, Program, Rule, TpQuery};
 pub use error::EvalError;
 pub use fo::{FoQuery, Formula};
 pub use incremental::{FixpointStats, MaintainedFixpoint};
+pub use magic::{MagicQuery, QueryMode};
 pub use native::NativeQuery;
 pub use plan::JoinMode;
 pub use query::{CopyQuery, EmptyQuery, Query, QueryRef};

@@ -625,9 +625,11 @@ impl Relation {
     /// cached until the next mutation; columnar indexes are views into
     /// the current sorted run, cached on the run itself — so clones
     /// sharing a run share its views, and no lock sits on the read
-    /// path. Adaptive small relations build the index **from the log
-    /// directly** (a local sort, no run, no order-demand signal) —
-    /// at small-regime scale a rebuild is cheaper than caching.
+    /// path. Adaptive small relations memoize a sorted run of the log
+    /// (without registering an order demand, so probes alone never
+    /// promote) and serve views off it — repeated probes of the same
+    /// small relation, the access pattern of magic-set guards, sort
+    /// once per mutation instead of once per call.
     pub fn index(&self, cols: &[usize]) -> Result<Arc<Index>, RelError> {
         for &c in cols {
             if c >= self.arity {
@@ -652,14 +654,7 @@ impl Relation {
                 Ok(idx)
             }
             Store::Col(c) => Ok(c.run().view(cols)),
-            Store::Small(s) => {
-                // Hash-group the live log in sorted order (probe
-                // results must come back in scan order) without
-                // building or caching a run.
-                let mut live: Vec<&Tuple> = s.live_tuples().collect();
-                live.sort_unstable();
-                Ok(Arc::new(Index::build(cols, live.into_iter())))
-            }
+            Store::Small(s) => Ok(s.cached_run().view(cols)),
         }
     }
 
@@ -1327,10 +1322,13 @@ mod tests {
 
     #[test]
     fn index_is_cached_until_mutation() {
-        // The adaptive small regime intentionally rebuilds from the
-        // log instead of caching, so this contract covers the two
-        // cache-bearing engines.
-        for m in [StorageMode::Btree, StorageMode::Columnar] {
+        // All three engines memoize: btree on the relation, columnar
+        // and the adaptive small regime on the (cached) sorted run.
+        for m in [
+            StorageMode::Btree,
+            StorageMode::Columnar,
+            StorageMode::Adaptive,
+        ] {
             let mut r = Relation::from_tuples_in(m, 2, vec![tuple![1, 2]]).unwrap();
             let a = r.index(&[0]).unwrap();
             let b = r.index(&[0]).unwrap();
@@ -1349,8 +1347,12 @@ mod tests {
         let mut r = Relation::from_tuples_in(StorageMode::Adaptive, 2, vec![tuple![1, 2]]).unwrap();
         assert!(r.in_small_regime());
         let a = r.index(&[0]).unwrap();
+        // repeated probes of an unchanged relation reuse the memoized
+        // run view instead of re-sorting the log
+        assert!(Arc::ptr_eq(&a, &r.index(&[0]).unwrap()));
         r.insert(tuple![5, 6]).unwrap();
         let b = r.index(&[0]).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "mutation invalidates the memo");
         assert!(a.probe(&[Value::int(5)]).is_empty());
         assert_eq!(b.probe(&[Value::int(5)]).len(), 1);
         // building an index is not an order demand on the log

@@ -28,7 +28,7 @@ use crate::index::Index;
 use crate::intern::Vid;
 use std::cmp::Ordering;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrd};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrd};
 use std::sync::{Arc, OnceLock};
 
 /// The immutable payload of a run: sorted columns plus the lazy row
@@ -928,28 +928,54 @@ impl Clone for StatCells {
 /// live at beats any tree or merge bookkeeping.
 ///
 /// A sorted [`Run`] over the live tuples is built only when a consumer
-/// actually demands order (a sorted scan, a galloping merge, delta
-/// normalization) and is cached until the next mutation. A *set* cache
-/// doubles as the **order-demanded** signal:
-/// [`Relation`](crate::Relation) promotes a small relation to columnar
-/// runs when it mutates with the signal set and its size is above the
-/// hysteresis floor — see `StorageMode::Adaptive`.
+/// actually needs one (a sorted scan, a galloping merge, delta
+/// normalization, an index probe) and is cached until the next
+/// mutation, so repeated reads of an unchanged relation sort once.
+/// The **order-demanded** signal is tracked separately from the cache:
+/// only genuinely ordered reads ([`SmallTail::sorted_run`]) set it,
+/// while index builds ([`SmallTail::cached_run`]) fill the cache
+/// without it — [`Relation`](crate::Relation) promotes a small
+/// relation to columnar runs when it mutates with the signal set and
+/// its size is above the hysteresis floor, and a relation probed by
+/// point lookups alone must never migrate — see
+/// `StorageMode::Adaptive`.
 ///
 /// The log holds at most one entry per tuple value: a re-insert of a
 /// tombstoned tuple revives its entry in place, and the log compacts
 /// (drops tombstones) whenever it grows past `2 × live + 32`, keeping
 /// probe cost proportional to the live size.
-#[derive(Clone)]
 pub struct SmallTail {
     arity: usize,
     /// `(tuple, alive)` — append order, at most one entry per tuple.
     log: Vec<(Tuple, bool)>,
     /// Number of alive entries.
     live: usize,
-    /// Sorted view of the live tuples; set ⇒ order was demanded since
-    /// the last mutation. Every mutation clears it.
+    /// Sorted view of the live tuples. Every mutation clears it.
     sorted: OnceLock<Arc<Run>>,
+    /// Was order demanded (not just an index build) since the last
+    /// mutation? Atomic because demands happen through `&self`.
+    ordered: AtomicBool,
     stats: StatCells,
+}
+
+// `sorted` is a cache of a pure function of the log and `ordered` is a
+// promotion hint; both are carried verbatim — a clone starts with the
+// same caches and the same pending policy signal.
+impl Clone for SmallTail {
+    fn clone(&self) -> SmallTail {
+        let sorted = OnceLock::new();
+        if let Some(run) = self.sorted.get() {
+            let _ = sorted.set(Arc::clone(run));
+        }
+        SmallTail {
+            arity: self.arity,
+            log: self.log.clone(),
+            live: self.live,
+            sorted,
+            ordered: AtomicBool::new(self.ordered.load(AtomicOrd::Relaxed)),
+            stats: self.stats.clone(),
+        }
+    }
 }
 
 impl SmallTail {
@@ -960,6 +986,7 @@ impl SmallTail {
             log: Vec::new(),
             live: 0,
             sorted: OnceLock::new(),
+            ordered: AtomicBool::new(false),
             stats: StatCells::default(),
         }
     }
@@ -987,6 +1014,9 @@ impl SmallTail {
             log,
             live,
             sorted,
+            // The pre-built cache is a gift, not a demand: the relation
+            // just demoted, so no promotion pressure carries over.
+            ordered: AtomicBool::new(false),
             stats,
         }
     }
@@ -1000,6 +1030,7 @@ impl SmallTail {
             log: tuples.into_iter().map(|t| (t, true)).collect(),
             live,
             sorted: OnceLock::new(),
+            ordered: AtomicBool::new(false),
             stats,
         }
     }
@@ -1029,6 +1060,7 @@ impl SmallTail {
     pub fn insert(&mut self, t: Tuple) -> bool {
         debug_assert_eq!(t.arity(), self.arity);
         self.sorted.take();
+        *self.ordered.get_mut() = false;
         self.stats.note_probe();
         for (u, alive) in self.log.iter_mut() {
             if *u == t {
@@ -1050,6 +1082,7 @@ impl SmallTail {
     /// compacts the log when tombstones dominate.
     pub fn remove(&mut self, t: &Tuple) -> bool {
         self.sorted.take();
+        *self.ordered.get_mut() = false;
         self.stats.note_probe();
         for (u, alive) in self.log.iter_mut() {
             if *alive && u == t {
@@ -1070,15 +1103,27 @@ impl SmallTail {
         self.log.iter().filter(|(_, alive)| *alive).map(|(t, _)| t)
     }
 
-    /// Has a consumer demanded order since the last mutation?
+    /// Has a consumer demanded order (not just an index) since the
+    /// last mutation?
     pub fn order_demanded(&self) -> bool {
-        self.sorted.get().is_some()
+        self.ordered.load(AtomicOrd::Relaxed)
     }
 
     /// The sorted run over the live tuples, built on demand and cached
     /// until the next mutation. Calling this **is** the order-demand
     /// signal (see [`SmallTail::order_demanded`]).
     pub fn sorted_run(&self) -> &Arc<Run> {
+        self.ordered.store(true, AtomicOrd::Relaxed);
+        self.cached_run()
+    }
+
+    /// The sorted run **without** registering an order demand — the
+    /// memoization path for index probes, which are point lookups and
+    /// must not push a small relation toward promotion however often
+    /// they repeat. The run (and the index views hanging off it) is
+    /// cached until the next mutation, so repeated probes of an
+    /// unchanged relation sort once.
+    pub(crate) fn cached_run(&self) -> &Arc<Run> {
         if self.sorted.get().is_none() {
             self.stats.note_fold();
         }

@@ -43,9 +43,9 @@ fn op_strategy() -> (
 }
 
 fn edge_instance_in(mode: StorageMode, pairs: &[(u8, u8)]) -> Instance {
-    let mut i = Instance::empty_in(mode, Schema::new().with("E", 2));
+    let mut i = Instance::empty_in(mode, Schema::new().with("e", 2));
     for &(a, b) in pairs {
-        i.insert_fact(fact!("E", a as i64, b as i64)).unwrap();
+        i.insert_fact(fact!("e", a as i64, b as i64)).unwrap();
     }
     i
 }
@@ -223,9 +223,9 @@ proptest! {
                 for op in tick {
                     let (ins, a, b) = *op;
                     if ins {
-                        next.insert_fact(fact!("E", a as i64, b as i64)).unwrap();
+                        next.insert_fact(fact!("e", a as i64, b as i64)).unwrap();
                     } else {
-                        next.remove_fact(&fact!("E", a as i64, b as i64));
+                        next.remove_fact(&fact!("e", a as i64, b as i64));
                     }
                 }
                 let delta = next.diff(&db);
