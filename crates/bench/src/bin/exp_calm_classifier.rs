@@ -4,6 +4,10 @@ use rtx_bench::Table;
 use rtx_calm::analysis::{classify, standard_suite, ClassifierOptions};
 
 fn main() {
+    rtx_bench::exp::run("exp_calm_classifier", exp);
+}
+
+fn exp() {
     let opts = ClassifierOptions::default();
     println!("\n[COR-13] the CALM property, empirically");
     let mut tab = Table::new(&[

@@ -47,6 +47,10 @@ fn input_s2(pairs: &[(i64, i64)]) -> Instance {
 }
 
 fn main() {
+    rtx_bench::exp::run("exp_chaos", exp);
+}
+
+fn exp() {
     let opts = ExplorerOptions::auto().with_budget(RunBudget::steps(8_000));
     println!(
         "\n[rtx-chaos] adversarial schedule exploration, fair adversary, {} runs per program, seed {:#x}",
@@ -119,13 +123,28 @@ fn main() {
                         l.round
                     ),
                 };
-                divergences.push((
-                    label.to_string(),
-                    format!(
-                        "plan: {}   seed: {:#x}\n  expected {:?}\n  observed {:?}\n  localized: {loc}",
-                        d.plan, d.seed, d.expected, d.observed
-                    ),
-                ));
+                let mut detail = format!(
+                    "plan: {}   seed: {:#x}\n  expected {:?}\n  observed {:?}\n  localized: {loc}",
+                    d.plan, d.seed, d.expected, d.observed
+                );
+                // The embedded forced-full trace of the minimized
+                // replay: the localized node's round-by-round events.
+                if let Some(l) = &d.localization {
+                    if let Some(idx) = net.nodes().position(|n| n == &l.node) {
+                        let lines = d.trace.node_timeline(idx as i64);
+                        detail.push_str(&format!(
+                            "\n  node {} timeline in the minimized replay:",
+                            l.node
+                        ));
+                        for line in lines.iter().take(60) {
+                            detail.push_str(&format!("\n    {line}"));
+                        }
+                        if lines.len() > 60 {
+                            detail.push_str(&format!("\n    … {} more lines", lines.len() - 60));
+                        }
+                    }
+                }
+                divergences.push((label.to_string(), detail));
                 format!("{} (seed {:#x})", d.plan, d.seed)
             }
         };

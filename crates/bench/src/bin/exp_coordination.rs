@@ -11,6 +11,10 @@ use rtx_transducer::Classification;
 use std::sync::Arc;
 
 fn main() {
+    rtx_bench::exp::run("exp_coordination", exp);
+}
+
+fn exp() {
     let opts = CoordinationOptions::default();
     let net = Network::line(2).unwrap();
 

@@ -7,6 +7,10 @@ use rtx_machine::machines;
 use rtx_relational::{Fact, Tuple};
 
 fn main() {
+    rtx_bench::exp::run("exp_dedalus_tm", exp);
+}
+
+fn exp() {
     let opts = DedalusOptions {
         max_ticks: 3000,
         async_max_delay: 1,

@@ -4,5 +4,5 @@
 //! same code is exercised by the tier-1 smoke test and by CI.
 
 fn main() {
-    rtx_bench::experiments::run_examples();
+    rtx_bench::exp::run("exp_examples", rtx_bench::experiments::run_examples);
 }

@@ -53,6 +53,10 @@ fn compare(tab: &mut Table, name: &str, program: &Program, pattern: &Atom, db: &
 }
 
 fn main() {
+    rtx_bench::exp::run("exp_magic", exp);
+}
+
+fn exp() {
     println!("\n[magic] bound point lookups: derived facts, materialize vs magic");
     let mut tab = Table::new(&[
         ("query", 26),

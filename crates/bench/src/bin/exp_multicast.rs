@@ -10,6 +10,10 @@ use rtx_net::Network;
 use rtx_relational::Schema;
 
 fn main() {
+    rtx_bench::exp::run("exp_multicast", exp);
+}
+
+fn exp() {
     let schema = Schema::new().with("S", 1);
     let input = set_input(5);
 

@@ -8,6 +8,10 @@ use rtx_calm::constructions::linear_order::{
 use rtx_net::Network;
 
 fn main() {
+    rtx_bench::exp::run("exp_order", exp);
+}
+
+fn exp() {
     println!("\n[COR-8] every node builds a total order over adom(I) (≥ 2 nodes)");
     {
         let input = set_input(4);

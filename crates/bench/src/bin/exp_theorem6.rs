@@ -12,6 +12,10 @@ use rtx_transducer::Classification;
 use std::sync::Arc;
 
 fn main() {
+    rtx_bench::exp::run("exp_theorem6", exp);
+}
+
+fn exp() {
     let net = Network::ring(4).unwrap();
 
     println!("\n[THM-6.1] any query via multicast+Ready (here: the nonmonotone emptiness)");

@@ -8,6 +8,10 @@ use rtx_relational::{fact, Instance, Schema};
 use rtx_transducer::Classification;
 
 fn main() {
+    rtx_bench::exp::run("exp_thm16", exp);
+}
+
+fn exp() {
     println!("\n[THM-16] the ring-R4 / chorded-ring transfer: out(I) ⊆ out(J) for I ⊆ J");
     let mut tab = Table::new(&[
         ("transducer", 18),

@@ -1,0 +1,66 @@
+//! Timeline capture demo: the grid-256 flood dissemination on the
+//! sharded executor, traced at `RTX_TRACE=full` (forced), exported as
+//! Chrome trace-event JSON plus a compact text flamechart, with the
+//! registry delta reconciled against the run outcome.
+//!
+//! ```text
+//! cargo run --release -p rtx-bench --bin exp_trace -- --trace-out /tmp/flood.json
+//! ```
+//!
+//! Open the emitted file in `chrome://tracing` or Perfetto. Without
+//! `--trace-out` (or `RTX_TRACE_OUT`) the JSON goes to
+//! `target/exp_trace.chrome.json`.
+
+use rtx_bench::experiments::{reconcile_trace, trace_grid_flood};
+use rtx_bench::Table;
+use rtx_obs::RunTrace;
+
+fn main() {
+    rtx_bench::exp::run("exp_trace", exp);
+}
+
+/// Did the caller pick an export path? (`--trace-out` is written by
+/// the exp harness; only the default path is written here.)
+fn explicit_trace_out() -> bool {
+    rtx_core::env::raw("RTX_TRACE_OUT").is_some_and(|s| !s.is_empty())
+        || std::env::args().any(|a| a == "--trace-out" || a.starts_with("--trace-out="))
+}
+
+fn exp() {
+    println!("\n[exp_trace] grid-256 flood on the sharded executor, forced RTX_TRACE=full");
+    let (out, trace) = trace_grid_flood();
+    println!(
+        "run: rounds={} steps={} deliveries={} quiescent={}  trace: {} events, {} dropped",
+        out.rounds,
+        out.outcome.steps,
+        out.outcome.deliveries,
+        out.outcome.quiescent,
+        trace.events.len(),
+        trace.dropped
+    );
+
+    // Chrome trace-event JSON: validated round-trip, then exported.
+    let doc = trace.to_chrome_json();
+    let n = RunTrace::validate_chrome_json(&doc)
+        .unwrap_or_else(|e| panic!("emitted Chrome trace fails validation: {e}"));
+    if explicit_trace_out() {
+        // Hand the events back to the harness frame so its
+        // `--trace-out` export carries this timeline.
+        rtx_obs::trace::splice(trace.events.clone());
+    } else {
+        let path = "target/exp_trace.chrome.json";
+        std::fs::write(path, &doc).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("chrome trace: {n} records → {path}  (open in chrome://tracing or Perfetto)");
+    }
+
+    println!("\nflamechart (spans aggregated by path):");
+    print!("{}", trace.flamechart());
+
+    println!("registry ⇄ run-outcome reconciliation:");
+    let mut tab = Table::new(&[("counter", 24), ("value", 12), ("reconciles", 10)]);
+    for (name, v) in reconcile_trace(&out, &trace) {
+        tab.row(&[name.to_string(), v.to_string(), "yes".into()]);
+    }
+    tab.done();
+    println!("every registry counter equals the corresponding ShardRunOutcome field.");
+}

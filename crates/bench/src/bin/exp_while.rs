@@ -47,6 +47,10 @@ fn tc_while() -> WhileProgram {
 }
 
 fn main() {
+    rtx_bench::exp::run("exp_while", exp);
+}
+
+fn exp() {
     println!("\n[LEM-5.3] while-program ⟺ FO-transducer on a single-node network");
     let program = tc_while();
     let mut tab = Table::new(&[

@@ -1,0 +1,86 @@
+//! Uniform harness for the `exp_*` experiment binaries: one wrapper
+//! giving every experiment machine-readable output and timeline export.
+//!
+//! - `RTX_EXP_JSON=1` appends a single JSON line (the last line on
+//!   stdout) with the experiment name, wall time, and the
+//!   [`rtx_obs`] registry delta of the run — counters and histograms
+//!   in one schema across all experiments. The wrapper raises the
+//!   trace level to `counters` when it is `off` so the registry is
+//!   actually populated.
+//! - `--trace-out FILE` (or `RTX_TRACE_OUT=FILE`) forces the trace
+//!   level to `full`, captures the whole run, and writes the Chrome
+//!   trace-event JSON (`chrome://tracing` / Perfetto) to `FILE`.
+//!
+//! Both knobs compose; with neither set the wrapper is a plain call
+//! into the experiment body plus one empty registry snapshot.
+
+use rtx_obs::trace::{self, TraceLevel};
+
+/// The harness configuration resolved from argv and the environment.
+struct ExpConfig {
+    json: bool,
+    trace_out: Option<String>,
+}
+
+impl ExpConfig {
+    fn resolve() -> ExpConfig {
+        let mut trace_out = rtx_core::env::raw("RTX_TRACE_OUT").filter(|s| !s.is_empty());
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            if args[i] == "--trace-out" {
+                if let Some(path) = args.get(i + 1) {
+                    trace_out = Some(path.clone());
+                    i += 1;
+                }
+            } else if let Some(path) = args[i].strip_prefix("--trace-out=") {
+                trace_out = Some(path.to_string());
+            }
+            i += 1;
+        }
+        ExpConfig {
+            json: matches!(rtx_core::env::raw("RTX_EXP_JSON").as_deref(), Some("1")),
+            trace_out,
+        }
+    }
+}
+
+/// Run an experiment body under the uniform harness (see the module
+/// docs). Every `exp_*` binary's `main` is one call to this.
+pub fn run(name: &str, body: impl FnOnce()) {
+    let cfg = ExpConfig::resolve();
+    // Raise the level as the knobs demand — never lower it: an
+    // explicit RTX_TRACE=full still traces without --trace-out.
+    let min_level = if cfg.trace_out.is_some() {
+        TraceLevel::Full
+    } else if cfg.json {
+        TraceLevel::Counters
+    } else {
+        TraceLevel::Off
+    };
+    if trace::level() < min_level {
+        trace::set_level(min_level);
+    }
+    let t0 = std::time::Instant::now();
+    let ((), run_trace) = trace::capture_run(body);
+    let elapsed = t0.elapsed();
+    if let Some(path) = &cfg.trace_out {
+        let doc = run_trace.to_chrome_json();
+        match std::fs::write(path, &doc) {
+            Ok(()) => println!("[{name}] trace: {} events → {path}", run_trace.events.len()),
+            Err(e) => {
+                eprintln!("[{name}] cannot write trace to {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if cfg.json {
+        println!(
+            "{{\"experiment\":{},\"elapsed_ms\":{},\"events\":{},\"registry\":{}}}",
+            rtx_obs::json::quote(name),
+            elapsed.as_millis(),
+            run_trace.events.len(),
+            run_trace.counters.to_json()
+        );
+    }
+}

@@ -1,9 +1,10 @@
-//! EX-2 / EX-3a / EX-3b / EX-4: the paper's worked examples, verified.
+//! EX-2 / EX-3a / EX-3b / EX-4: the paper's worked examples, verified,
+//! plus the `exp_trace` timeline-capture experiment.
 //!
-//! This is the body of the `exp_examples` binary, exposed as a library
-//! function so the tier-1 test suite can smoke-run it in-process (the
-//! other eight experiment binaries are slower and stay bin-only; see
-//! `EXPERIMENTS.md`).
+//! These are the bodies of the `exp_examples` and `exp_trace`
+//! binaries, exposed as library functions so the tier-1 test suite can
+//! smoke-run them in-process (the other experiment binaries are slower
+//! and stay bin-only; see `EXPERIMENTS.md`).
 
 use crate::Table;
 use rtx_calm::examples;
@@ -147,4 +148,63 @@ pub fn run_examples() {
         tab.row(&[format!("{}-node", net.len()), what.into()]);
     }
     tab.done();
+}
+
+/// Run the `exp_trace` workload — the grid-256 flood dissemination on
+/// the sharded executor — at a forced-full trace level and return the
+/// run outcome plus its captured [`rtx_obs::RunTrace`]. The trace's
+/// span tree covers rounds → phases → per-node steps → deliveries, and
+/// its registry delta carries the `net.*` counters published by
+/// [`rtx_net::ShardRunOutcome::publish`], so the two sides must
+/// reconcile exactly (the `exp_trace` binary and `tests/obs.rs` both
+/// assert it).
+pub fn trace_grid_flood() -> (rtx_net::ShardRunOutcome, rtx_obs::RunTrace) {
+    use rtx_calm::constructions::flood::{flood_transducer, FloodMode};
+    use rtx_net::{run_sharded, ShardOptions};
+
+    let _full = rtx_obs::trace::level_guard(rtx_obs::TraceLevel::Full);
+    let schema = Schema::new().with("S", 1);
+    let input = crate::set_input(8);
+    let net = Network::grid(16, 16).unwrap();
+    let t = flood_transducer(&schema, FloodMode::Dedup, None).unwrap();
+    let p = HorizontalPartition::round_robin(&net, &input);
+    // To-quiescence: the flood wave crosses the whole grid well within
+    // this budget, so the captured timeline is a complete run.
+    let budget = RunBudget::steps(5_000_000);
+    rtx_obs::trace::capture_run(|| {
+        run_sharded(&net, &t, &p, &ShardOptions::sharded(4), &budget).unwrap()
+    })
+}
+
+/// Assert that a captured trace's registry delta reconciles exactly
+/// with the run outcome it was captured around — the acceptance
+/// contract of the observability layer. Returns the reconciled
+/// `(field, value)` pairs for display.
+pub fn reconcile_trace(
+    out: &rtx_net::ShardRunOutcome,
+    trace: &rtx_obs::RunTrace,
+) -> Vec<(&'static str, u64)> {
+    let pairs = vec![
+        ("net.runs", 1u64),
+        ("net.rounds", out.rounds as u64),
+        ("net.steps", out.outcome.steps as u64),
+        ("net.heartbeats", out.outcome.heartbeats as u64),
+        ("net.deliveries", out.outcome.deliveries as u64),
+        (
+            "net.messages_enqueued",
+            out.outcome.messages_enqueued as u64,
+        ),
+        (
+            "net.quiescent_runs",
+            if out.outcome.quiescent { 1 } else { 0 },
+        ),
+    ];
+    for (name, want) in &pairs {
+        let got = trace.counters.counter(name);
+        assert_eq!(
+            got, *want,
+            "registry counter {name} = {got} does not reconcile with the run outcome ({want})"
+        );
+    }
+    pairs
 }

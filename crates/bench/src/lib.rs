@@ -7,6 +7,7 @@ use rtx_net::{run, FifoRoundRobin, HorizontalPartition, Network, RunBudget, RunO
 use rtx_relational::{fact, Instance, Schema};
 use rtx_transducer::Transducer;
 
+pub mod exp;
 pub mod experiments;
 pub mod regression;
 

@@ -167,6 +167,11 @@ pub struct Divergence {
     /// replay found no witness (e.g. the early-exit target stopped the
     /// replay at exact agreement).
     pub localization: Option<Localization>,
+    /// The full trace of the minimized diverging replay, captured at
+    /// forced [`rtx_obs::TraceLevel::Full`] regardless of `RTX_TRACE`.
+    /// `trace.node_timeline(node)` of the localized node is the
+    /// round-by-round divergence listing `exp_chaos` prints.
+    pub trace: rtx_obs::RunTrace,
 }
 
 /// The explorer's verdict for one `(network, transducer, partition)`.
@@ -428,7 +433,18 @@ fn minimize(
     };
     let session = FaultSession::new(min_plan.clone(), seed);
     let logged = ShardOptions::serial().with_log();
-    let out = run_round_faulted(net, transducer, partition, &logged, budget, &session)?;
+    // Replay the minimum at forced-full trace level: the divergence
+    // report embeds the replay's event timeline whatever `RTX_TRACE`
+    // says (the capture frame keeps it out of any enclosing trace).
+    let (out, trace) = {
+        let _full = rtx_obs::trace::level_guard(rtx_obs::TraceLevel::Full);
+        rtx_obs::trace::capture_run(|| {
+            run_round_faulted(net, transducer, partition, &logged, budget, &session)
+        })
+    };
+    let out = out?;
+    rtx_obs::registry::add("chaos.divergences", 1);
+    rtx_obs::registry::add("chaos.shrink_steps", shrink_steps as u64);
     let localization = localize(&out, expected, expected_per_node, opts.per_node);
     Ok(Divergence {
         plan: min_plan,
@@ -439,6 +455,7 @@ fn minimize(
         observed: out.outcome.output,
         per_node: opts.per_node,
         localization,
+        trace,
     })
 }
 

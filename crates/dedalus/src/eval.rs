@@ -450,6 +450,7 @@ impl<'p> DedalusRuntime<'p> {
         let mut tick_removed: Vec<Fact> = Vec::new();
 
         for now in 0..opts.max_ticks {
+            let _tick_span = rtx_obs::trace::span("dedalus", "tick", &[("tick", now as i64)]);
             // 1. base facts: the carried store plus this tick's arrivals
             for f in edb.at(now) {
                 if base.insert_fact(f.clone()).map_err(EvalError::Rel)? && track {
@@ -556,6 +557,7 @@ impl<'p> DedalusRuntime<'p> {
                 tick_removed = rem;
             }
         }
+        publish_run(ticks.len(), converged_at);
         Ok(Trace {
             ticks,
             converged_at,
@@ -574,6 +576,7 @@ impl<'p> DedalusRuntime<'p> {
         let mut converged_at = None;
 
         for now in 0..opts.max_ticks {
+            let _tick_span = rtx_obs::trace::span("dedalus", "tick", &[("tick", now as i64)]);
             // 1. base facts
             let mut base = carry.clone();
             for f in edb.at(now) {
@@ -636,10 +639,24 @@ impl<'p> DedalusRuntime<'p> {
             }
             carry = next_carry;
         }
+        publish_run(ticks.len(), converged_at);
         Ok(Trace {
             ticks,
             converged_at,
         })
+    }
+}
+
+/// Publish one Dedalus run's `dedalus.*` counters into the global
+/// [`rtx_obs`] registry (both store loops call this once per run).
+fn publish_run(ticks: usize, converged_at: Option<u64>) {
+    if !rtx_obs::counting() {
+        return;
+    }
+    rtx_obs::registry::add("dedalus.runs", 1);
+    rtx_obs::registry::add("dedalus.ticks", ticks as u64);
+    if converged_at.is_some() {
+        rtx_obs::registry::add("dedalus.converged_runs", 1);
     }
 }
 

@@ -312,6 +312,25 @@ pub struct RunOutcome {
     pub final_config: Configuration,
 }
 
+impl RunOutcome {
+    /// Publish this run's counters into the global metrics registry
+    /// (`net.*`), under the same names the round executors use — one
+    /// schema for every driver (see `rtx_obs`).
+    pub fn publish(&self) {
+        if !rtx_obs::counting() {
+            return;
+        }
+        rtx_obs::registry::add("net.runs", 1);
+        rtx_obs::registry::add("net.steps", self.steps as u64);
+        rtx_obs::registry::add("net.heartbeats", self.heartbeats as u64);
+        rtx_obs::registry::add("net.deliveries", self.deliveries as u64);
+        rtx_obs::registry::add("net.messages_enqueued", self.messages_enqueued as u64);
+        if self.quiescent {
+            rtx_obs::registry::add("net.quiescent_runs", 1);
+        }
+    }
+}
+
 /// Drive a run of `(net, transducer)` from the initial configuration for
 /// `partition`, following `scheduler`.
 pub fn run(
@@ -333,6 +352,7 @@ pub fn run_from(
     scheduler: &mut dyn Scheduler,
     budget: &RunBudget,
 ) -> Result<RunOutcome, NetError> {
+    let t0 = rtx_obs::counting().then(std::time::Instant::now);
     let arity = transducer.schema().output_arity();
     let mut outputs_per_node: BTreeMap<NodeId, Relation> =
         net.nodes().map(|n| (*n, Relation::empty(arity))).collect();
@@ -408,7 +428,7 @@ pub fn run_from(
         }
     }
 
-    Ok(RunOutcome {
+    let out = RunOutcome {
         output,
         outputs_per_node,
         steps,
@@ -418,7 +438,12 @@ pub fn run_from(
         quiescent,
         reached_target,
         final_config: cfg,
-    })
+    };
+    if let Some(t0) = t0 {
+        out.publish();
+        rtx_obs::registry::record("net.run_ns", t0.elapsed().as_nanos() as u64);
+    }
+    Ok(out)
 }
 
 /// Outcome of a heartbeat-only run (the coordination-freeness probe).

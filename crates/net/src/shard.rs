@@ -40,6 +40,7 @@ use crate::fault::{FaultHook, NodeFault};
 use crate::partition::HorizontalPartition;
 use crate::run::{RunBudget, RunOutcome};
 use crate::topology::{Network, NodeId};
+use rtx_obs::trace;
 use rtx_relational::{Fact, Instance, Relation};
 use rtx_transducer::Transducer;
 use std::collections::BTreeMap;
@@ -296,6 +297,12 @@ pub(crate) struct StepOut {
     pub(crate) output: Relation,
     pub(crate) sent: Vec<Fact>,
     pub(crate) state_changed: bool,
+    /// Trace events recorded while computing this step (empty below
+    /// `RTX_TRACE=full`). Drained from the executing thread's buffer
+    /// per job, so the coordinator can splice them back in node order
+    /// at the barrier — the merged trace is deterministic regardless
+    /// of which shard ran the job.
+    pub(crate) events: Vec<rtx_obs::Event>,
 }
 
 /// What a phase job does at its node.
@@ -354,7 +361,7 @@ impl Engine<'_> {
             Engine::Serial { states, transducer } => {
                 let mut out = BTreeMap::new();
                 for (idx, received) in jobs {
-                    let res = step_node(transducer, &mut states[idx], received)?;
+                    let res = step_node(transducer, &mut states[idx], received, idx)?;
                     out.insert(idx, res);
                 }
                 Ok(out)
@@ -426,8 +433,40 @@ pub(crate) fn worker_gone() -> NetError {
     NetError::Topology("sharded runtime: a worker shard terminated unexpectedly".into())
 }
 
-/// Perform one job on `state` in place, returning the observable parts.
+/// Perform one job on `state` in place, returning the observable
+/// parts. `idx` is the node index, carried only by the trace events.
 pub(crate) fn step_node(
+    transducer: &Transducer,
+    state: &mut Instance,
+    kind: JobKind,
+    idx: usize,
+) -> Result<StepOut, NetError> {
+    let tracing = rtx_obs::tracing();
+    let mark = if tracing { trace::mark() } else { 0 };
+    let span_name = match &kind {
+        JobKind::Heartbeat => "step.heartbeat",
+        JobKind::Deliver(_) => "step.deliver",
+        JobKind::WipeMemory => "step.wipe",
+    };
+    if tracing {
+        trace::begin("net", span_name, &[("node", idx as i64)]);
+    }
+    let mut out = step_node_inner(transducer, state, kind)?;
+    if tracing {
+        if !out.sent.is_empty() {
+            trace::instant(
+                "net",
+                "sent",
+                &[("node", idx as i64), ("facts", out.sent.len() as i64)],
+            );
+        }
+        trace::end("net", span_name);
+        out.events = trace::take_since(mark);
+    }
+    Ok(out)
+}
+
+fn step_node_inner(
     transducer: &Transducer,
     state: &mut Instance,
     kind: JobKind,
@@ -444,6 +483,7 @@ pub(crate) fn step_node(
                 output: Relation::empty(transducer.schema().output_arity()),
                 sent: Vec::new(),
                 state_changed: cleared,
+                events: Vec::new(),
             });
         }
     }
@@ -454,6 +494,7 @@ pub(crate) fn step_node(
         output: res.output,
         sent: res.sent.facts().collect(),
         state_changed,
+        events: Vec::new(),
     })
 }
 
@@ -636,7 +677,7 @@ fn worker_loop(
                     break;
                 }
             };
-            match step_node(transducer, &mut shard[pos].1, received) {
+            match step_node(transducer, &mut shard[pos].1, received, idx) {
                 Ok(res) => results.push((idx, res)),
                 Err(e) => {
                     err = Some((idx, e));
@@ -674,6 +715,7 @@ fn drive(
     mut faults: Option<&mut dyn FaultHook>,
 ) -> Result<ShardRunOutcome, NetError> {
     let n = nodes.len();
+    let t0 = rtx_obs::counting().then(std::time::Instant::now);
     let arity = transducer.schema().output_arity();
     let mut output = Relation::empty(arity);
     let mut outputs_per_node: BTreeMap<NodeId, Relation> = nodes
@@ -714,7 +756,8 @@ fn drive(
      -> Result<bool, NetError> {
         let mut all_quiet = true;
         for (idx, kind) in jobs {
-            let res = results.remove(&idx).ok_or_else(worker_gone)?;
+            let mut res = results.remove(&idx).ok_or_else(worker_gone)?;
+            trace::splice(std::mem::take(&mut res.events));
             let new_out = !res.output.is_subset(output);
             if res.state_changed || !res.sent.is_empty() || new_out {
                 all_quiet = false;
@@ -734,6 +777,30 @@ fn drive(
                     Some(fh) => {
                         for (k, f) in res.sent.iter().enumerate() {
                             let fate = fh.on_send(now, idx, d, k, f);
+                            if rtx_obs::tracing() {
+                                match fate.delays.len() {
+                                    0 => trace::instant(
+                                        "net",
+                                        "fault.drop",
+                                        &[("node", idx as i64), ("dst", d as i64)],
+                                    ),
+                                    1 if fate.delays[0] == 0 => {}
+                                    _ => trace::instant(
+                                        "net",
+                                        "fault.fate",
+                                        &[
+                                            ("node", idx as i64),
+                                            ("dst", d as i64),
+                                            ("copies", fate.delays.len() as i64),
+                                            (
+                                                "max_delay",
+                                                fate.delays.iter().copied().max().unwrap_or(0)
+                                                    as i64,
+                                            ),
+                                        ],
+                                    ),
+                                }
+                            }
                             for &delay in &fate.delays {
                                 if delay == 0 {
                                     buffers[d].push(f.clone());
@@ -775,15 +842,18 @@ fn drive(
         }
         rounds += 1;
         let now = rounds as u64;
+        let _round_span = trace::span("net", "round", &[("round", now as i64)]);
 
         // Fault phase (coordinator-only, deterministic): release
         // matured in-flight copies, resolve node statuses, run restart
         // wipes. None of this counts as paper transitions.
         let mut fault_horizon_passed = true;
         if let Some(fh) = faults.as_deref_mut() {
+            let _fault_span = trace::span("net", "phase.fault", &[]);
             let due: Vec<u64> = held.range(..=now).map(|(k, _)| *k).collect();
             for k in due {
                 for (dst, fact) in held.remove(&k).unwrap_or_default() {
+                    rtx_obs::event!("net", "fault.release", "node" => dst);
                     buffers[dst].push(fact);
                 }
             }
@@ -793,6 +863,7 @@ fn drive(
                     NodeFault::Up => *d = false,
                     NodeFault::CrashNow { lose_buffer } => {
                         *d = true;
+                        rtx_obs::event!("net", "fault.crash", "node" => i, "lose_buffer" => lose_buffer as i64);
                         if lose_buffer {
                             buffers[i].clear();
                         }
@@ -800,6 +871,7 @@ fn drive(
                     NodeFault::Down => *d = true,
                     NodeFault::RestartNow { wipe_memory } => {
                         *d = false;
+                        rtx_obs::event!("net", "fault.restart", "node" => i, "wipe_memory" => wipe_memory as i64);
                         if wipe_memory {
                             wipes.push((i, JobKind::WipeMemory));
                         }
@@ -808,8 +880,14 @@ fn drive(
             }
             if !wipes.is_empty() {
                 // Execute the wipes as their own phase; the StepOuts
-                // are empty by construction and deliberately dropped.
-                engine.execute(wipes)?;
+                // carry no outputs or sends by construction, so only
+                // their trace events are kept (in node order).
+                let mut results = engine.execute(wipes.clone())?;
+                for (idx, _) in wipes {
+                    if let Some(mut res) = results.remove(&idx) {
+                        trace::splice(std::mem::take(&mut res.events));
+                    }
+                }
             }
             fault_horizon_passed = now > fh.quiet_after() && held.is_empty();
         }
@@ -825,6 +903,7 @@ fn drive(
             .collect();
         let hb_count = hb_jobs.len();
         max_active = max_active.max(hb_count);
+        let hb_span = trace::span("net", "phase.heartbeat", &[("jobs", hb_count as i64)]);
         let mut results = engine.execute(hb_jobs.clone())?;
         let all_quiet = merge(
             now,
@@ -838,6 +917,7 @@ fn drive(
             &mut messages_enqueued,
             &mut log,
         )?;
+        drop(hb_span);
         steps += hb_count;
         heartbeats += hb_count;
         if stable_probe && all_quiet && hb_count == n && fault_horizon_passed {
@@ -864,7 +944,7 @@ fn drive(
         // outboxes merge at the sub-phase barrier (visible to the next
         // sub-phase, exactly as in back-to-back singleton rounds).
         let mut delivered_this_round = 0usize;
-        for _ in 0..opts.delivery.per_round() {
+        for sub in 0..opts.delivery.per_round() {
             if steps >= budget.max_steps {
                 break;
             }
@@ -884,6 +964,11 @@ fn drive(
             }
             let dl_count = dl_jobs.len();
             max_active = max_active.max(dl_count);
+            let _dl_span = trace::span(
+                "net",
+                "phase.deliver",
+                &[("sub", sub as i64), ("jobs", dl_count as i64)],
+            );
             let mut results = engine.execute(dl_jobs.clone())?;
             merge(
                 now,
@@ -939,7 +1024,7 @@ fn drive(
             .map(|((nd, st), buf)| (nd, st, buf)),
     );
     debug_assert_eq!(net.len(), n);
-    Ok(ShardRunOutcome {
+    let out = ShardRunOutcome {
         outcome: RunOutcome {
             output,
             outputs_per_node,
@@ -955,7 +1040,37 @@ fn drive(
         threads_used,
         max_active,
         log,
-    })
+    };
+    if let Some(t0) = t0 {
+        out.publish();
+        rtx_obs::registry::record("net.run_ns", t0.elapsed().as_nanos() as u64);
+    }
+    Ok(out)
+}
+
+impl ShardRunOutcome {
+    /// Publish this run's counters into the global metrics registry
+    /// (`net.*`), making the ad-hoc outcome counters a view over the
+    /// registry: a registry snapshot diff across the run reconciles
+    /// exactly with these fields (asserted in `tests/obs.rs`).
+    pub fn publish(&self) {
+        if !rtx_obs::counting() {
+            return;
+        }
+        rtx_obs::registry::add("net.runs", 1);
+        rtx_obs::registry::add("net.rounds", self.rounds as u64);
+        rtx_obs::registry::add("net.steps", self.outcome.steps as u64);
+        rtx_obs::registry::add("net.heartbeats", self.outcome.heartbeats as u64);
+        rtx_obs::registry::add("net.deliveries", self.outcome.deliveries as u64);
+        rtx_obs::registry::add(
+            "net.messages_enqueued",
+            self.outcome.messages_enqueued as u64,
+        );
+        if self.outcome.quiescent {
+            rtx_obs::registry::add("net.quiescent_runs", 1);
+        }
+        rtx_obs::registry::record("net.max_active", self.max_active as u64);
+    }
 }
 
 #[cfg(test)]

@@ -66,6 +66,7 @@ use crate::shard::{
 };
 use crate::shard::{worker_gone, ExecMode};
 use crate::topology::{Network, NodeId};
+use rtx_obs::trace;
 use rtx_relational::{Fact, Relation};
 use rtx_transducer::Transducer;
 use std::collections::{BTreeMap, BTreeSet};
@@ -291,6 +292,7 @@ fn drive_sparse(
     mut faults: Option<&mut dyn FaultHook>,
 ) -> Result<ShardRunOutcome, NetError> {
     let n = nodes.len();
+    let t0 = rtx_obs::counting().then(std::time::Instant::now);
     let arity = transducer.schema().output_arity();
     let mut output = Relation::empty(arity);
     let mut outputs_per_node: BTreeMap<NodeId, Relation> = nodes
@@ -347,7 +349,8 @@ fn drive_sparse(
         let mut quiet_flags = Vec::with_capacity(jobs.len());
         for (idx, kind) in jobs {
             let idx = *idx;
-            let res = results.remove(&idx).ok_or_else(worker_gone)?;
+            let mut res = results.remove(&idx).ok_or_else(worker_gone)?;
+            trace::splice(std::mem::take(&mut res.events));
             let new_out = !res.output.is_subset(output);
             let quiet = !res.state_changed && res.sent.is_empty() && !new_out;
             quiet_flags.push((idx, quiet));
@@ -409,6 +412,7 @@ fn drive_sparse(
         }
         rounds += 1;
         let now = rounds as u64;
+        let _round_span = trace::span("net", "round", &[("round", now as i64)]);
 
         // Fault phase (coordinator-only). Note this resolves node
         // statuses for *all* nodes — fault plans key decisions on
@@ -417,9 +421,11 @@ fn drive_sparse(
         // O(n) work per round.
         let mut fault_horizon_passed = true;
         if let Some(fh) = faults.as_deref_mut() {
+            let _fault_span = trace::span("net", "phase.fault", &[]);
             let due: Vec<u64> = held.range(..=now).map(|(k, _)| *k).collect();
             for k in due {
                 for (dst, fact) in held.remove(&k).unwrap_or_default() {
+                    rtx_obs::event!("net", "fault.release", "node" => dst);
                     buffers[dst].push(fact);
                     act.note_enqueue(dst);
                 }
@@ -431,11 +437,13 @@ fn drive_sparse(
                         if *d {
                             // implicit restart (a heal): re-arm
                             act.note_restart(i);
+                            rtx_obs::event!("sparse", "arm.heal", "node" => i);
                         }
                         *d = false;
                     }
                     NodeFault::CrashNow { lose_buffer } => {
                         *d = true;
+                        rtx_obs::event!("net", "fault.crash", "node" => i, "lose_buffer" => lose_buffer as i64);
                         if lose_buffer {
                             buffers[i].clear();
                             act.note_buffer_lost(i);
@@ -445,6 +453,8 @@ fn drive_sparse(
                     NodeFault::RestartNow { wipe_memory } => {
                         *d = false;
                         act.note_restart(i);
+                        rtx_obs::event!("net", "fault.restart", "node" => i, "wipe_memory" => wipe_memory as i64);
+                        rtx_obs::event!("sparse", "arm.restart", "node" => i);
                         if wipe_memory {
                             wipes.push((i, JobKind::WipeMemory));
                         }
@@ -452,7 +462,12 @@ fn drive_sparse(
                 }
             }
             if !wipes.is_empty() {
-                engine.execute(wipes)?;
+                let mut results = engine.execute(wipes.clone())?;
+                for (idx, _) in wipes {
+                    if let Some(mut res) = results.remove(&idx) {
+                        trace::splice(std::mem::take(&mut res.events));
+                    }
+                }
             }
             fault_horizon_passed = now > fh.quiet_after() && held.is_empty();
         }
@@ -489,6 +504,7 @@ fn drive_sparse(
         }
         let hb_count = hb_jobs.len();
         max_active = max_active.max(hb_count);
+        let hb_span = trace::span("net", "phase.heartbeat", &[("jobs", hb_count as i64)]);
         let mut results = engine.execute(hb_jobs.clone())?;
         let quiet_flags = merge(
             now,
@@ -503,9 +519,21 @@ fn drive_sparse(
             &mut messages_enqueued,
             &mut log,
         )?;
+        let arm_tracing = rtx_obs::tracing();
         for (idx, quiet) in quiet_flags {
             act.note_heartbeat(idx, quiet);
+            if arm_tracing {
+                // The executor's arm/park decision for this node: a
+                // quiet heartbeat parks it until re-armed by mail,
+                // delivery, or a fault; a productive one keeps it armed.
+                if quiet {
+                    trace::instant("sparse", "park", &[("node", idx as i64)]);
+                } else {
+                    trace::instant("sparse", "arm.active", &[("node", idx as i64)]);
+                }
+            }
         }
+        drop(hb_span);
         steps += hb_count;
         heartbeats += hb_count;
         if steps >= budget.max_steps {
@@ -523,7 +551,7 @@ fn drive_sparse(
         // executor. Facts are removed (and the tracker updated) before
         // each sub-phase executes, so its deliveries are independent.
         let mut delivered_this_round = 0usize;
-        for _ in 0..opts.delivery.per_round() {
+        for sub in 0..opts.delivery.per_round() {
             if steps >= budget.max_steps {
                 break;
             }
@@ -548,6 +576,11 @@ fn drive_sparse(
             }
             let dl_count = dl_jobs.len();
             max_active = max_active.max(dl_count);
+            let _dl_span = trace::span(
+                "net",
+                "phase.deliver",
+                &[("sub", sub as i64), ("jobs", dl_count as i64)],
+            );
             let mut results = engine.execute(dl_jobs.clone())?;
             merge(
                 now,
@@ -602,7 +635,7 @@ fn drive_sparse(
             .map(|((nd, st), buf)| (nd, st, buf)),
     );
     debug_assert_eq!(net.len(), n);
-    Ok(ShardRunOutcome {
+    let out = ShardRunOutcome {
         outcome: RunOutcome {
             output,
             outputs_per_node,
@@ -618,7 +651,12 @@ fn drive_sparse(
         threads_used,
         max_active,
         log,
-    })
+    };
+    if let Some(t0) = t0 {
+        out.publish();
+        rtx_obs::registry::record("net.run_ns", t0.elapsed().as_nanos() as u64);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -1,0 +1,85 @@
+//! # rtx-obs — unified tracing, metrics registry, and run timelines
+//!
+//! Nine PRs of executors, fixpoints, and storage engines each grew
+//! their own ad-hoc counters (`FixpointStats`, `StorageStats`,
+//! `ShardRunOutcome`, …) with no shared schema and no timeline. This
+//! crate is the one observability seam they all plug into:
+//!
+//! * [`trace`] — cheap structured span/event recording into per-thread
+//!   buffers. Events are **purely logical** (no wall-clock timestamps):
+//!   worker shards drain their buffer per job and the coordinator
+//!   splices the fragments back in deterministic node order at its
+//!   merge barrier, so the merged sequence is bit-identical across
+//!   thread counts — the same property the executors themselves
+//!   guarantee for outputs. Gated by [`TraceLevel`] (`RTX_TRACE=
+//!   off|counters|full`); at `off` every hook is a single relaxed
+//!   atomic load.
+//! * [`registry`] — a process-global metrics registry of named
+//!   counters and log2-bucket histograms with a snapshot/diff/serialize
+//!   interface. The scattered stat structs (`FixpointStats`,
+//!   `StorageStats`, the `ShardRunOutcome` run counters) publish into
+//!   it, so one [`registry::Snapshot`] diff describes a whole run.
+//! * [`timeline`] — [`timeline::RunTrace`]: a captured event sequence
+//!   plus the registry delta of the run, exportable as Chrome
+//!   `chrome://tracing` JSON or a compact text flamechart.
+//! * [`json`] — a minimal JSON value parser, used to validate the
+//!   Chrome export round-trips (and by the experiment JSON mode's
+//!   consumers in tests).
+//!
+//! The intended capture shape is [`trace::capture_run`]:
+//!
+//! ```
+//! use rtx_obs::{trace, TraceLevel};
+//! let _g = trace::level_guard(TraceLevel::Full);
+//! let (out, run) = trace::capture_run(|| {
+//!     let _s = rtx_obs::span!("demo", "outer", "k" => 1);
+//!     rtx_obs::event!("demo", "inner");
+//!     42
+//! });
+//! assert_eq!(out, 42);
+//! assert_eq!(run.events.len(), 3); // begin, instant, end
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod registry;
+pub mod timeline;
+pub mod trace;
+
+pub use registry::{Hist, Registry, Snapshot};
+pub use timeline::RunTrace;
+pub use trace::{Event, EventKind, TraceLevel};
+
+/// Is full event tracing on? One relaxed atomic load; callers guard
+/// any non-trivial argument computation behind this.
+#[inline]
+pub fn tracing() -> bool {
+    trace::level() == TraceLevel::Full
+}
+
+/// Are registry counters on (`counters` or `full`)? One relaxed
+/// atomic load.
+#[inline]
+pub fn counting() -> bool {
+    trace::level() >= TraceLevel::Counters
+}
+
+/// Open a span: records a `Begin` event now and the matching `End`
+/// when the returned guard drops. No-op (and no allocation) unless the
+/// level is `full`. Usage: `let _s = span!("net", "round", "round" => r);`
+#[macro_export]
+macro_rules! span {
+    ($cat:expr, $name:expr $(, $k:expr => $v:expr)* $(,)?) => {
+        $crate::trace::span($cat, $name, &[$(($k, $v as i64)),*])
+    };
+}
+
+/// Record an `Instant` event. No-op unless the level is `full`.
+/// Usage: `event!("storage", "promote", "len" => n);`
+#[macro_export]
+macro_rules! event {
+    ($cat:expr, $name:expr $(, $k:expr => $v:expr)* $(,)?) => {
+        $crate::trace::instant($cat, $name, &[$(($k, $v as i64)),*])
+    };
+}

@@ -1,0 +1,267 @@
+//! Run timelines: a captured trace plus its registry delta, and the
+//! exporters — Chrome `chrome://tracing` JSON and a compact text
+//! flamechart.
+
+use crate::json;
+use crate::registry::Snapshot;
+use crate::trace::{Event, EventKind};
+
+/// Everything observed during one [`crate::trace::capture_run`]: the
+/// merged (deterministic) event sequence, the registry delta, and how
+/// many events were dropped to the buffer cap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTrace {
+    /// The merged event sequence, in deterministic logical order.
+    pub events: Vec<Event>,
+    /// Registry counters/histograms accumulated during the run.
+    pub counters: Snapshot,
+    /// Events lost to the per-thread buffer cap (0 in any healthy run).
+    pub dropped: u64,
+}
+
+impl RunTrace {
+    /// An empty trace (chaos divergences recorded below `full`).
+    pub fn empty() -> RunTrace {
+        RunTrace {
+            events: Vec::new(),
+            counters: Snapshot::default(),
+            dropped: 0,
+        }
+    }
+
+    /// A canonical one-line-per-event rendering — what the
+    /// determinism tests compare bit-for-bit across shard counts.
+    pub fn canonical_lines(&self) -> Vec<String> {
+        self.events
+            .iter()
+            .map(|e| {
+                let ph = match e.kind {
+                    EventKind::Begin => "B",
+                    EventKind::End => "E",
+                    EventKind::Instant => "I",
+                };
+                let args: Vec<String> = e.args.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!("{ph} {}:{} {}", e.cat, e.name, args.join(","))
+            })
+            .collect()
+    }
+
+    /// Serialize as Chrome trace-event JSON (`chrome://tracing`, also
+    /// readable by Perfetto): `{"traceEvents":[...]}` with the event's
+    /// position in the merged sequence as its timestamp, everything on
+    /// one pid/tid lane, and the registry counters appended as
+    /// metadata args on a final counter event.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (ts, e) in self.events.iter().enumerate() {
+            if ts > 0 {
+                out.push(',');
+            }
+            let ph = match e.kind {
+                EventKind::Begin => "B",
+                EventKind::End => "E",
+                EventKind::Instant => "i",
+            };
+            out.push_str(&format!(
+                "{{\"name\":{},\"cat\":{},\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":0,\"tid\":0",
+                json::quote(e.name),
+                json::quote(e.cat)
+            ));
+            if e.kind == EventKind::Instant {
+                out.push_str(",\"s\":\"t\"");
+            }
+            if !e.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (k, v)) in e.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{}:{}", json::quote(k), v));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        for (i, (name, v)) in self.counters.counters.iter().enumerate() {
+            if i > 0 || !self.events.is_empty() {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"cat\":\"registry\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"tid\":0,\"args\":{{\"value\":{v}}}}}",
+                json::quote(name),
+                self.events.len()
+            ));
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"registry\":");
+        out.push_str(&self.counters.to_json());
+        out.push_str(&format!(",\"dropped\":{}}}}}", self.dropped));
+        out
+    }
+
+    /// A compact text flamechart: spans aggregated by call path, one
+    /// line per distinct `cat:name` path with invocation count and
+    /// total logical width (events spanned). Deterministic: paths are
+    /// listed in first-appearance order of the sequence.
+    pub fn flamechart(&self) -> String {
+        struct Agg {
+            order: usize,
+            depth: usize,
+            count: u64,
+            width: u64,
+        }
+        let mut paths: std::collections::BTreeMap<String, Agg> = Default::default();
+        // Stack of (path, begin-index).
+        let mut stack: Vec<(String, usize)> = Vec::new();
+        let mut order = 0usize;
+        for (ts, e) in self.events.iter().enumerate() {
+            match e.kind {
+                EventKind::Begin => {
+                    let path = match stack.last() {
+                        Some((p, _)) => format!("{p};{}:{}", e.cat, e.name),
+                        None => format!("{}:{}", e.cat, e.name),
+                    };
+                    stack.push((path, ts));
+                }
+                EventKind::End => {
+                    if let Some((path, begin)) = stack.pop() {
+                        let depth = stack.len();
+                        let agg = paths.entry(path).or_insert_with(|| {
+                            order += 1;
+                            Agg {
+                                order,
+                                depth,
+                                count: 0,
+                                width: 0,
+                            }
+                        });
+                        agg.count += 1;
+                        agg.width += (ts - begin) as u64;
+                    }
+                }
+                EventKind::Instant => {}
+            }
+        }
+        // Unclosed spans (truncated trace) still show up.
+        while let Some((path, begin)) = stack.pop() {
+            let depth = stack.len();
+            let agg = paths.entry(path).or_insert_with(|| {
+                order += 1;
+                Agg {
+                    order,
+                    depth,
+                    count: 0,
+                    width: 0,
+                }
+            });
+            agg.count += 1;
+            agg.width += (self.events.len() - begin) as u64;
+        }
+        let mut rows: Vec<(&String, &Agg)> = paths.iter().collect();
+        rows.sort_by_key(|(_, a)| a.order);
+        let mut out = String::new();
+        for (path, a) in rows {
+            let leaf = path.rsplit(';').next().unwrap_or(path);
+            out.push_str(&format!(
+                "{:indent$}{leaf}  x{}  width={}\n",
+                "",
+                a.count,
+                a.width,
+                indent = a.depth * 2
+            ));
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("(truncated: {} events dropped)\n", self.dropped));
+        }
+        out
+    }
+
+    /// A round-by-round listing of the events touching one node — the
+    /// chaos divergence reports print this for the localized node.
+    /// Rounds are recovered from the executor's `net:round` spans; an
+    /// event "touches" the node when it carries a `node == idx` arg.
+    pub fn node_timeline(&self, node_idx: i64) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut round: Option<i64> = None;
+        let mut header_emitted = false;
+        for e in &self.events {
+            if e.cat == "net" && e.name == "round" {
+                match e.kind {
+                    EventKind::Begin => {
+                        round = e.args.iter().find(|(k, _)| *k == "round").map(|(_, v)| *v);
+                        header_emitted = false;
+                    }
+                    EventKind::End => round = None,
+                    EventKind::Instant => {}
+                }
+                continue;
+            }
+            let touches = e.args.iter().any(|(k, v)| *k == "node" && *v == node_idx);
+            if !touches {
+                continue;
+            }
+            if !header_emitted {
+                match round {
+                    Some(r) => out.push(format!("round {r}:")),
+                    None => out.push("(outside rounds):".to_string()),
+                }
+                header_emitted = true;
+            }
+            let args: Vec<String> = e
+                .args
+                .iter()
+                .filter(|(k, _)| *k != "node")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            out.push(format!("  {}:{} {}", e.cat, e.name, args.join(" ")));
+        }
+        out
+    }
+
+    /// Validate a Chrome trace document produced by
+    /// [`RunTrace::to_chrome_json`]: parses it, checks the shape of
+    /// every event record, and returns the number of trace events.
+    /// Used by the round-trip tests.
+    pub fn validate_chrome_json(doc: &str) -> Result<usize, String> {
+        let v = json::parse(doc).map_err(|e| e.to_string())?;
+        let events = v
+            .get("traceEvents")
+            .and_then(json::Json::items)
+            .ok_or("missing traceEvents array")?;
+        let mut depth = 0i64;
+        let mut last_ts = -1i64;
+        let mut n = 0usize;
+        for e in events {
+            let ph = e
+                .get("ph")
+                .and_then(json::Json::str)
+                .ok_or("event missing ph")?;
+            e.get("name")
+                .and_then(json::Json::str)
+                .ok_or("event missing name")?;
+            let ts = e
+                .get("ts")
+                .and_then(json::Json::int)
+                .ok_or("event missing ts")?;
+            if ts < last_ts {
+                return Err(format!("timestamps regress at ts={ts}"));
+            }
+            last_ts = ts;
+            match ph {
+                "B" => depth += 1,
+                "E" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return Err("unbalanced E before B".to_string());
+                    }
+                }
+                "i" | "C" => {}
+                other => return Err(format!("unexpected phase {other:?}")),
+            }
+            n += 1;
+        }
+        if depth != 0 {
+            return Err(format!("{depth} spans left open"));
+        }
+        Ok(n)
+    }
+}

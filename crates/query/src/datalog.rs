@@ -780,12 +780,18 @@ impl Program {
         };
         let mut stats = FixpointStats::default();
         let strata = self.strata.as_ref().map_err(Clone::clone)?;
-        for stratum in strata {
+        let _eval_span = rtx_obs::trace::span("query", "eval", &[("strata", strata.len() as i64)]);
+        for (si, stratum) in strata.iter().enumerate() {
             let rules: Vec<&Rule> = self
                 .rules
                 .iter()
                 .filter(|r| stratum.contains(&r.head.pred))
                 .collect();
+            let _stratum_span = rtx_obs::trace::span(
+                "query",
+                "stratum",
+                &[("stratum", si as i64), ("rules", rules.len() as i64)],
+            );
             let mut tally = StratumTally::default();
             // The run-based fixpoint loops dedup and fold derived
             // facts with galloping run merges; the btree engine keeps
@@ -805,8 +811,23 @@ impl Program {
                     self.run_seminaive(&rules, stratum, &mut total, mode, &mut tally)?
                 }
             }
+            if rtx_obs::tracing() {
+                rtx_obs::event!(
+                    "query",
+                    "stratum.tally",
+                    "stratum" => si,
+                    "considered" => tally.considered,
+                    "derived" => tally.derived,
+                );
+            }
             stats.stratum_considered.push(tally.considered);
             stats.stratum_derived.push(tally.derived);
+        }
+        if rtx_obs::counting() {
+            rtx_obs::registry::add("query.evals", 1);
+            rtx_obs::registry::add("query.strata", strata.len() as u64);
+            rtx_obs::registry::add("query.considered", stats.eval_considered());
+            rtx_obs::registry::add("query.derived", stats.eval_derived());
         }
         Ok((total, stats))
     }

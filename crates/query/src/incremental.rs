@@ -105,6 +105,40 @@ impl FixpointStats {
     pub fn eval_derived(&self) -> u64 {
         self.stratum_derived.iter().sum()
     }
+
+    /// Publish the change since `earlier` into the global
+    /// [`rtx_obs`] registry under `fixpoint.*` counters. The
+    /// maintenance engine calls this once per applied delta, so the
+    /// registry stays a faithful running total of these cumulative
+    /// stats without double counting.
+    pub fn publish_delta(&self, earlier: &FixpointStats) {
+        use rtx_obs::registry::add;
+        add(
+            "fixpoint.deltas_applied",
+            self.deltas_applied.saturating_sub(earlier.deltas_applied),
+        );
+        add(
+            "fixpoint.strata_skipped",
+            self.strata_skipped.saturating_sub(earlier.strata_skipped),
+        );
+        add(
+            "fixpoint.strata_incremental",
+            self.strata_incremental
+                .saturating_sub(earlier.strata_incremental),
+        );
+        add(
+            "fixpoint.strata_rebuilt",
+            self.strata_rebuilt.saturating_sub(earlier.strata_rebuilt),
+        );
+        add(
+            "fixpoint.facts_retracted",
+            self.facts_retracted.saturating_sub(earlier.facts_retracted),
+        );
+        add(
+            "fixpoint.facts_rederived",
+            self.facts_rederived.saturating_sub(earlier.facts_rederived),
+        );
+    }
 }
 
 /// Static shape of one stratum, computed once at construction.
@@ -277,8 +311,13 @@ impl MaintainedFixpoint {
             ));
         }
         self.stats.deltas_applied += 1;
+        let stats0 = rtx_obs::counting().then(|| self.stats.clone());
+        let _apply_span = rtx_obs::trace::span("query", "dred.apply", &[]);
         if delta.is_empty() {
             self.stats.strata_skipped += self.strata.len() as u64;
+            if let Some(earlier) = &stats0 {
+                self.stats.publish_delta(earlier);
+            }
             return Ok(&self.total);
         }
         let idb = self.program.idb_predicates().clone();
@@ -340,10 +379,12 @@ impl MaintainedFixpoint {
                 .collect();
             if touched.is_empty() && seed_changes.is_empty() {
                 self.stats.strata_skipped += 1;
+                rtx_obs::event!("query", "dred.skip", "stratum" => si);
                 continue;
             }
             if touched.iter().any(|p| info.negated.contains(p)) {
                 self.stats.strata_rebuilt += 1;
+                rtx_obs::event!("query", "dred.rebuild", "stratum" => si);
                 Self::rebuild_stratum(
                     &self.strata[si],
                     &self.base,
@@ -354,6 +395,7 @@ impl MaintainedFixpoint {
                 continue;
             }
             self.stats.strata_incremental += 1;
+            let cascade0 = (self.stats.facts_retracted, self.stats.facts_rederived);
             let mut pass = StratumPass {
                 program: &self.program,
                 info: &self.strata[si],
@@ -369,11 +411,23 @@ impl MaintainedFixpoint {
             };
             pass.run(&changes, &seed_changes)?;
             let net = pass.net;
+            if rtx_obs::tracing() {
+                rtx_obs::event!(
+                    "query",
+                    "dred.cascade",
+                    "stratum" => si,
+                    "retracted" => self.stats.facts_retracted - cascade0.0,
+                    "rederived" => self.stats.facts_rederived - cascade0.1,
+                );
+            }
             for (p, c) in net {
                 let e = changes.entry(p).or_default();
                 e.added.extend(c.added);
                 e.removed.extend(c.removed);
             }
+        }
+        if let Some(earlier) = &stats0 {
+            self.stats.publish_delta(earlier);
         }
         Ok(&self.total)
     }

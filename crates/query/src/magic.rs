@@ -264,6 +264,15 @@ impl MagicQuery {
             next.seeds = vec![Fact::new(magic_pred, bound_values(pattern))];
         }
         let delta = InstanceDelta::from_parts(next.seeds.clone(), self.seeds.clone());
+        rtx_obs::registry::add("magic.rebinds", 1);
+        if rtx_obs::tracing() {
+            rtx_obs::event!(
+                "query",
+                "magic.rebind",
+                "seeds_added" => next.seeds.len(),
+                "seeds_removed" => self.seeds.len(),
+            );
+        }
         Ok((next, delta))
     }
 }

@@ -499,6 +499,10 @@ impl Relation {
             let base = Arc::clone(s.sorted_run());
             let stats = s.stats_cells().clone();
             stats.note_promotion();
+            rtx_obs::registry::add("storage.promotions", 1);
+            if rtx_obs::tracing() {
+                rtx_obs::event!("storage", "promote", "len" => s.len());
+            }
             let mut col = ColStore::new(base, true);
             col.stats = stats;
             self.store = Store::Col(col);
@@ -548,6 +552,10 @@ impl Relation {
                 // next ordered read, every tick.
                 let run = Arc::clone(c.run());
                 let stats = c.stats.clone();
+                rtx_obs::registry::add("storage.demotions", 1);
+                if rtx_obs::tracing() {
+                    rtx_obs::event!("storage", "demote", "len" => c.len());
+                }
                 self.store = Store::Small(SmallTail::from_run(run, stats));
             }
         }

@@ -869,6 +869,21 @@ impl StorageStats {
     pub fn is_zero(&self) -> bool {
         *self == StorageStats::default()
     }
+
+    /// Publish this snapshot into the global [`rtx_obs`] registry:
+    /// `storage.folds` / `storage.small_probes` counters and the
+    /// `storage.tail_hwm` histogram. Promotions and demotions are
+    /// *not* published here — they are counted live at the transition
+    /// sites (`storage.promotions` / `storage.demotions`), so calling
+    /// this on an end-of-run rollup cannot double count them. Call
+    /// once per rollup snapshot, not per access.
+    pub fn publish(&self) {
+        rtx_obs::registry::add("storage.folds", self.folds);
+        rtx_obs::registry::add("storage.small_probes", self.small_probes);
+        if self.tail_hwm > 0 {
+            rtx_obs::registry::record("storage.tail_hwm", self.tail_hwm);
+        }
+    }
 }
 
 /// Interior-mutable cells behind [`StorageStats`]: folds and probes

@@ -16,7 +16,9 @@
 //! * [`machine`] — Turing machines and word structures;
 //! * [`dedalus`] — Dedalus and the Theorem 18 TM simulation;
 //! * [`chaos`] — fault injection, adversarial schedule exploration, and
-//!   the empirical eventual-consistency checker.
+//!   the empirical eventual-consistency checker;
+//! * [`obs`] — the observability layer: structured tracing, the
+//!   metrics registry, and run timeline export.
 //!
 //! ## Quick start
 //!
@@ -45,6 +47,7 @@ pub use rtx_chaos as chaos;
 pub use rtx_dedalus as dedalus;
 pub use rtx_machine as machine;
 pub use rtx_net as net;
+pub use rtx_obs as obs;
 pub use rtx_query as query;
 pub use rtx_relational as relational;
 pub use rtx_transducer as transducer;
